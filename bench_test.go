@@ -1,0 +1,337 @@
+package qurk
+
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation. Each bench regenerates its experiment (Quick scale, which
+// preserves every comparative claim at ~2–3× smaller datasets; run
+// cmd/experiments for the paper-scale numbers) and reports the headline
+// quantities as custom metrics so `go test -bench` output doubles as a
+// results table.
+//
+// Absolute wall-clock numbers measure the simulator, not a live crowd;
+// the paper-comparable outputs are the custom metrics (HITs, τ, κ,
+// reduction factors).
+
+import (
+	"testing"
+
+	"qurk/internal/experiment"
+)
+
+func benchConfig() experiment.Config {
+	return experiment.Config{Seed: 42, Scale: experiment.Quick}
+}
+
+// BenchmarkTable1BaselineJoin regenerates Table 1: the three unbatched
+// join implementations all land within a pair of ideal.
+func BenchmarkTable1BaselineJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Table1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := r.Rows[len(r.Rows)-1]
+			b.ReportMetric(float64(last.TruePosQA)/float64(r.N), "TPrate_QA")
+			b.ReportMetric(float64(last.TrueNegQA)/float64(last.NonMatches), "TNrate_QA")
+		}
+	}
+}
+
+// BenchmarkFigure3JoinBatching regenerates Figure 3: batching vs
+// accuracy under MV and QA.
+func BenchmarkFigure3JoinBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Figure3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range r.Rows {
+				if row.Variant == "Naive 10" {
+					b.ReportMetric(float64(row.TruePosQA)/float64(row.Matches), "naive10_TP_QA")
+					b.ReportMetric(float64(row.HITs), "naive10_HITs")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4JoinLatency regenerates Figure 4: completion-time
+// percentiles across join variants.
+func BenchmarkFigure4JoinLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Figure4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range r.Rows {
+				if row.Variant == "Simple" && len(row.TrialP100) > 0 {
+					b.ReportMetric(row.TrialP100[0], "simple_makespan_h")
+					b.ReportMetric(row.TrialP50[0], "simple_p50_h")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSec333WorkerRegression regenerates the §3.3.3 regression:
+// tasks-completed explains almost none of worker accuracy.
+func BenchmarkSec333WorkerRegression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.WorkerAccuracyRegression(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Fit.R2, "R2")
+		}
+	}
+}
+
+// BenchmarkTable2FeatureFiltering regenerates Table 2: errors, saved
+// comparisons, and join cost under feature filtering.
+func BenchmarkTable2FeatureFiltering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Table2(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			row := r.Rows[0]
+			b.ReportMetric(float64(row.SavedComparisons), "saved")
+			b.ReportMetric(float64(row.Errors), "errors")
+		}
+	}
+}
+
+// BenchmarkTable3LeaveOneOut regenerates Table 3: per-feature
+// leave-one-out error/savings analysis.
+func BenchmarkTable3LeaveOneOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Table3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range r.Rows {
+				if row.Omitted == "hair" {
+					b.ReportMetric(float64(row.Errors), "errors_wo_hair")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable4FeatureKappa regenerates Table 4: per-feature Fleiss κ
+// with 25% sampling.
+func BenchmarkTable4FeatureKappa(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Table4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range r.Rows {
+				if row.SampleFrac == 1 && row.Combined && row.Trial == 1 {
+					b.ReportMetric(row.Gender, "gender_kappa")
+					b.ReportMetric(row.Hair, "hair_kappa")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSec422CompareBatching regenerates the comparison-batching
+// microbenchmark: τ=1 at S=5,10; S=20 refused.
+func BenchmarkSec422CompareBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.SquareCompareBatching(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range r.Rows {
+				if row.GroupSize == 5 {
+					b.ReportMetric(row.Tau, "tau_s5")
+					b.ReportMetric(float64(row.HITs), "HITs_s5")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSec422RateBatching regenerates the rating-batching sweep:
+// τ ≈ 0.78 regardless of batch size.
+func BenchmarkSec422RateBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.SquareRateBatching(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.MeanTau, "mean_tau")
+			b.ReportMetric(r.StdTau, "std_tau")
+		}
+	}
+}
+
+// BenchmarkSec422RateGranularity regenerates the granularity sweep:
+// τ stable from 20 to 50 items on a 7-point scale.
+func BenchmarkSec422RateGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.SquareRateGranularity(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.MeanTau, "mean_tau")
+		}
+	}
+}
+
+// BenchmarkFigure6AmbiguityMetrics regenerates Figure 6: τ and modified
+// κ falling across Q1…Q5.
+func BenchmarkFigure6AmbiguityMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Figure6(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Rows[0].Kappa, "Q1_kappa")
+			b.ReportMetric(r.Rows[4].Kappa, "Q5_kappa")
+			b.ReportMetric(r.Rows[0].Tau, "Q1_tau")
+			b.ReportMetric(r.Rows[4].Tau, "Q5_tau")
+		}
+	}
+}
+
+// BenchmarkFigure7HybridSort regenerates Figure 7: hybrid τ
+// trajectories vs HITs.
+func BenchmarkFigure7HybridSort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Figure7(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.FinalTau("Window 6"), "window6_final_tau")
+			b.ReportMetric(float64(r.CompareHITs), "compare_HITs")
+			b.ReportMetric(float64(r.RateHITs), "rate_HITs")
+		}
+	}
+}
+
+// BenchmarkSec424AnimalsHybrid regenerates the §4.2.4 animals hybrid:
+// τ 0.76 → 0.90 in 20 iterations.
+func BenchmarkSec424AnimalsHybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.AnimalsHybrid(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.StartTau, "start_tau")
+			b.ReportMetric(r.EndTau, "end_tau")
+		}
+	}
+}
+
+// BenchmarkTable5EndToEnd regenerates Table 5: the 14.5× HIT reduction
+// on the end-to-end movie query.
+func BenchmarkTable5EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Table5(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Reduction(), "reduction_x")
+			b.ReportMetric(float64(r.TotalUnoptimized), "unoptimized_HITs")
+			b.ReportMetric(float64(r.TotalOptimized), "optimized_HITs")
+		}
+	}
+}
+
+// BenchmarkCostNarrative regenerates the §3.4 walk-down:
+// $67.50 → $27 → $2.70.
+func BenchmarkCostNarrative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.CostNarrative(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.UnfilteredDollars/r.BatchedDollars, "reduction_x")
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSimMarketJoinRound measures raw simulator throughput on a
+// 100-pair join round.
+func BenchmarkSimMarketJoinRound(b *testing.B) {
+	d := NewCelebrities(CelebrityConfig{N: 10, Seed: 1})
+	left, right := d.Celeb.Qualify("c"), d.Photos.Qualify("p")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewSimMarket(DefaultMarketConfig(int64(i)), d.Oracle())
+		if _, err := RunCrossJoin(left, right, SamePersonTask(),
+			JoinOptions{Algorithm: NaiveJoin, BatchSize: 5}, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQualityAdjustEM measures the Dawid-Skene EM combiner on a
+// 500-question, 20-worker corpus.
+func BenchmarkQualityAdjustEM(b *testing.B) {
+	d := NewCelebrities(CelebrityConfig{N: 20, Seed: 1})
+	left, right := d.Celeb.Qualify("c"), d.Photos.Qualify("p")
+	m := NewSimMarket(DefaultMarketConfig(1), d.Oracle())
+	res, err := RunCrossJoin(left, right, SamePersonTask(), JoinOptions{Algorithm: NaiveJoin, BatchSize: 5}, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qa := NewQualityAdjust(DefaultQAConfig())
+		if _, err := qa.Combine(res.Votes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKendallTau measures τ-b on 1000-element rankings.
+func BenchmarkKendallTau(b *testing.B) {
+	xs := make([]float64, 1000)
+	ys := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64((i * 37) % 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KendallTauB(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryParse measures the parser on the paper's end-to-end
+// query.
+func BenchmarkQueryParse(b *testing.B) {
+	src := `
+SELECT name, scenes.img
+FROM actors JOIN scenes
+ON inScene(actors.img, scenes.img)
+AND POSSIBLY numInScene(scenes.img) = 1
+ORDER BY name, quality(scenes.img)`
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseQuery(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command experiments regenerates every table and figure from the
+// paper's evaluation (§3.3, §4.2, §5) against the simulated crowd and
+// prints them in the paper's shapes. Output is deterministic for a
+// given seed.
+//
+// Usage:
+//
+//	experiments                 # full paper-scale run
+//	experiments -scale quick    # ~2-3x smaller datasets, same claims
+//	experiments -only table5    # one experiment
+//	experiments -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qurk/internal/experiment"
+)
+
+// runner is one named experiment.
+type runner struct {
+	id   string
+	desc string
+	run  func(experiment.Config) (renderer, error)
+}
+
+type renderer interface{ Render() string }
+
+// wrap adapts a typed experiment function to the runner signature.
+func wrap[T renderer](f func(experiment.Config) (T, error)) func(experiment.Config) (renderer, error) {
+	return func(cfg experiment.Config) (renderer, error) { return f(cfg) }
+}
+
+var runners = []runner{
+	{"table1", "Table 1: baseline join comparison (3 implementations, unbatched)", wrap(experiment.Table1)},
+	{"figure3", "Figure 3: join batching vs accuracy (MV and QA)", wrap(experiment.Figure3)},
+	{"figure4", "Figure 4: join latency percentiles", wrap(experiment.Figure4)},
+	{"sec333", "Sec 3.3.3: worker accuracy vs tasks completed", wrap(experiment.WorkerAccuracyRegression)},
+	{"table2", "Table 2: feature filtering effectiveness", wrap(experiment.Table2)},
+	{"table3", "Table 3: leave-one-out feature analysis", wrap(experiment.Table3)},
+	{"table4", "Table 4: inter-rater agreement (kappa)", wrap(experiment.Table4)},
+	{"selection", "Sec 3.2: automatic feature selection", wrap(experiment.FeatureSelection)},
+	{"sec422cmp", "Sec 4.2.2: comparison batching microbenchmark", wrap(experiment.SquareCompareBatching)},
+	{"sec422rate", "Sec 4.2.2: rating batching microbenchmark", wrap(experiment.SquareRateBatching)},
+	{"sec422gran", "Sec 4.2.2: rating granularity microbenchmark", wrap(experiment.SquareRateGranularity)},
+	{"figure6", "Figure 6: tau and kappa across ambiguous queries", wrap(experiment.Figure6)},
+	{"figure7", "Figure 7: hybrid sort trajectories", wrap(experiment.Figure7)},
+	{"sec424", "Sec 4.2.4: animals hybrid", wrap(experiment.AnimalsHybrid)},
+	{"table5", "Table 5: end-to-end query optimization", wrap(experiment.Table5)},
+	{"cost", "Sec 3.4: cost narrative", wrap(experiment.CostNarrative)},
+}
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 42, "simulation seed")
+		scale = flag.String("scale", "full", "full (paper sizes) or quick")
+		only  = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-12s %s\n", r.id, r.desc)
+		}
+		return
+	}
+	cfg := experiment.Config{Seed: *seed, Scale: experiment.Full}
+	if strings.EqualFold(*scale, "quick") {
+		cfg.Scale = experiment.Quick
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	fmt.Printf("Qurk evaluation reproduction — seed %d, scale %s\n", *seed, *scale)
+	fmt.Printf("(%d experiments; every table and figure from the paper)\n\n", len(runners))
+	start := time.Now()
+	failed := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		fmt.Printf("==== %s — %s ====\n", r.id, r.desc)
+		t0 := time.Now()
+		res, err := r.run(cfg)
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAILED: %v\n\n", err)
+			continue
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%.2fs)\n\n", time.Since(t0).Seconds())
+	}
+	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,217 @@
+// Command qurk is a CLI for the Qurk crowd-powered query processor. It
+// executes queries (and TASK DSL scripts) over the built-in datasets
+// with the simulated crowd, printing results, the logical plan, and the
+// HIT cost ledger.
+//
+// The simulator needs ground truth to generate worker answers, so the
+// CLI runs against the paper's datasets; a production deployment would
+// implement the Marketplace interface against a live crowd instead.
+//
+// Usage:
+//
+//	qurk -dataset celebrities -query "SELECT c.name FROM celeb AS c WHERE isFemale(c.img)"
+//	qurk -dataset movie -file query.qurk -sort rate -join smart5x5
+//	qurk -dataset squares -n 20 -query "SELECT label FROM squares ORDER BY squareSorter(img)"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qurk"
+)
+
+func main() {
+	var (
+		datasetName = flag.String("dataset", "celebrities", "dataset: celebrities, squares, animals, movie")
+		n           = flag.Int("n", 30, "dataset size (celebrities count or squares count)")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		queryText   = flag.String("query", "", "query to run")
+		file        = flag.String("file", "", "script file with TASK definitions and queries")
+		explainOnly = flag.Bool("explain", false, "print the plan without running")
+		joinAlg     = flag.String("join", "naive5", "join interface: simple, naive<B>, smart<R>x<C>")
+		sortMethod  = flag.String("sort", "compare", "sort interface: compare, rate, hybrid")
+		assignments = flag.Int("assignments", 5, "workers per HIT")
+		combiner    = flag.String("combiner", "MajorityVote", "vote combiner: MajorityVote or QualityAdjust")
+	)
+	flag.Parse()
+
+	opts := qurk.Options{Assignments: *assignments, Combiner: *combiner, Seed: *seed}
+	if err := parseJoin(*joinAlg, &opts); err != nil {
+		fail(err)
+	}
+	switch strings.ToLower(*sortMethod) {
+	case "compare":
+		opts.SortMethod = qurk.SortCompare
+	case "rate":
+		opts.SortMethod = qurk.SortRate
+	case "hybrid":
+		opts.SortMethod = qurk.SortHybrid
+	default:
+		fail(fmt.Errorf("unknown sort method %q", *sortMethod))
+	}
+
+	eng, err := buildEngine(*datasetName, *n, *seed, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	queries := []string{}
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		script, err := qurk.ParseScript(string(src))
+		if err != nil {
+			fail(err)
+		}
+		if err := eng.Library.LoadScript(script); err != nil {
+			fail(err)
+		}
+		for _, q := range script.Queries {
+			queries = append(queries, q.String())
+		}
+	}
+	if *queryText != "" {
+		queries = append(queries, *queryText)
+	}
+	if len(queries) == 0 {
+		fail(fmt.Errorf("nothing to run: pass -query or -file (tasks available: %s)",
+			strings.Join(eng.Library.Names(), ", ")))
+	}
+
+	for _, q := range queries {
+		fmt.Println("query:", q)
+		plan, err := qurk.Explain(eng, q)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(plan)
+		if *explainOnly {
+			continue
+		}
+		out, stats, err := qurk.RunQuery(eng, q)
+		if err != nil {
+			fail(err)
+		}
+		printRelation(out)
+		fmt.Printf("\n%d HITs posted, cost $%.2f\n", stats.TotalHITs(),
+			qurk.DollarCost(stats.TotalHITs(), *assignments))
+		if len(stats.Incomplete) > 0 {
+			fmt.Printf("WARNING: %d HITs were refused by workers (batch too large for the price)\n", len(stats.Incomplete))
+		}
+		fmt.Println()
+	}
+	if !*explainOnly {
+		fmt.Println("cost ledger:")
+		fmt.Println(eng.Ledger.Report())
+	}
+}
+
+// buildEngine wires a dataset's tables, tasks, and oracle into an engine.
+func buildEngine(name string, n int, seed int64, opts qurk.Options) (*qurk.Engine, error) {
+	switch strings.ToLower(name) {
+	case "celebrities", "celebs", "celeb":
+		d := qurk.NewCelebrities(qurk.CelebrityConfig{N: n, Seed: seed})
+		eng := qurk.NewEngine(qurk.NewSimMarket(qurk.DefaultMarketConfig(seed), d.Oracle()), opts)
+		eng.Catalog.Register(d.Celeb)
+		eng.Catalog.Register(d.Photos)
+		eng.Library.MustRegister(qurk.IsFemaleTask())
+		eng.Library.MustRegister(qurk.SamePersonTask())
+		eng.Library.MustRegister(qurk.GenderTask())
+		eng.Library.MustRegister(qurk.HairColorTask())
+		eng.Library.MustRegister(qurk.SkinColorTask())
+		return eng, nil
+	case "squares":
+		s := qurk.NewSquares(n)
+		eng := qurk.NewEngine(qurk.NewSimMarket(qurk.DefaultMarketConfig(seed), s.Oracle()), opts)
+		eng.Catalog.Register(s.Rel)
+		eng.Library.MustRegister(qurk.SquareSorterTask())
+		return eng, nil
+	case "animals":
+		a := qurk.NewAnimals()
+		eng := qurk.NewEngine(qurk.NewSimMarket(qurk.DefaultMarketConfig(seed), a.Oracle()), opts)
+		eng.Catalog.Register(a.Rel)
+		eng.Library.MustRegister(qurk.AnimalSizeTask())
+		eng.Library.MustRegister(qurk.DangerousTask())
+		eng.Library.MustRegister(qurk.SaturnTask())
+		eng.Library.MustRegister(qurk.AnimalInfoTask())
+		return eng, nil
+	case "movie":
+		m := qurk.NewMovie(qurk.MovieConfig{Seed: seed})
+		eng := qurk.NewEngine(qurk.NewSimMarket(qurk.DefaultMarketConfig(seed), m.Oracle()), opts)
+		eng.Catalog.Register(m.Actors)
+		eng.Catalog.Register(m.Scenes)
+		eng.Library.MustRegister(qurk.InSceneTask())
+		eng.Library.MustRegister(qurk.NumInSceneTask())
+		eng.Library.MustRegister(qurk.QualityTask())
+		return eng, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want celebrities, squares, animals, or movie)", name)
+	}
+}
+
+// parseJoin decodes simple / naive<B> / smart<R>x<C>.
+func parseJoin(s string, opts *qurk.Options) error {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch {
+	case s == "simple":
+		opts.JoinAlgorithm = qurk.SimpleJoin
+		return nil
+	case strings.HasPrefix(s, "naive"):
+		opts.JoinAlgorithm = qurk.NaiveJoin
+		if rest := strings.TrimPrefix(s, "naive"); rest != "" {
+			var b int
+			if _, err := fmt.Sscanf(rest, "%d", &b); err != nil || b < 1 {
+				return fmt.Errorf("bad naive batch size %q", rest)
+			}
+			opts.JoinBatch = b
+		}
+		return nil
+	case strings.HasPrefix(s, "smart"):
+		opts.JoinAlgorithm = qurk.SmartJoin
+		if rest := strings.TrimPrefix(s, "smart"); rest != "" {
+			var r, c int
+			if _, err := fmt.Sscanf(rest, "%dx%d", &r, &c); err != nil || r < 1 || c < 1 {
+				return fmt.Errorf("bad smart grid %q", rest)
+			}
+			opts.GridRows, opts.GridCols = r, c
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown join interface %q", s)
+	}
+}
+
+func printRelation(r *qurk.Relation) {
+	if r.Schema() == nil || r.Schema().Len() == 0 {
+		fmt.Println("(empty result)")
+		return
+	}
+	for i := 0; i < r.Schema().Len(); i++ {
+		if i > 0 {
+			fmt.Print(" | ")
+		}
+		fmt.Print(r.Schema().Column(i).Name)
+	}
+	fmt.Println()
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		for j := 0; j < row.Len(); j++ {
+			if j > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Print(row.At(j).String())
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", r.Len())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qurk:", err)
+	os.Exit(1)
+}

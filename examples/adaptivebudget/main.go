@@ -1,0 +1,106 @@
+// Command adaptivebudget demonstrates the paper's §6 "discussion and
+// future work" mechanisms, which this library implements:
+//
+//  1. adaptive per-question vote allocation (spend votes only where the
+//     posterior is uncertain),
+//  2. binary search for the largest batch size workers will accept,
+//  3. whole-plan budget allocation across operators, and
+//  4. banning spammers identified by QualityAdjust's worker-quality
+//     scores.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"qurk"
+)
+
+func main() {
+	celebs := qurk.NewCelebrities(qurk.CelebrityConfig{N: 40, Seed: 21})
+	market := qurk.NewSimMarket(qurk.DefaultMarketConfig(21), celebs.Oracle())
+
+	// --- 1. Adaptive votes vs fixed votes.
+	fmt.Println("== 1. Adaptive vote allocation (Sec 2.1, Sec 6)")
+	adaptiveRes, err := qurk.RunAdaptiveFilter(celebs.Celeb, qurk.IsFemaleTask(),
+		qurk.VoteConfig{MinVotes: 3, MaxVotes: 11, Step: 2, Confidence: 0.92}, market)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < celebs.Celeb.Len(); i++ {
+		truth, _ := celebs.Oracle().FilterTruth("isFemale", celebs.Celeb.Row(i))
+		if adaptiveRes.Decisions[i] == truth {
+			correct++
+		}
+	}
+	fixed := celebs.Celeb.Len() * 11
+	fmt.Printf("accuracy %d/%d with %d assignments in %d rounds (fixed-11 baseline: %d assignments, %.0f%% more)\n\n",
+		correct, celebs.Celeb.Len(), adaptiveRes.TotalAssignments, adaptiveRes.Rounds,
+		fixed, 100*(float64(fixed)/float64(adaptiveRes.TotalAssignments)-1))
+
+	// --- 2. Batch-size binary search.
+	fmt.Println("== 2. Batch-size binary search (Sec 6 'Choosing Batch Size')")
+	probe := qurk.FilterProbe(celebs.Celeb, qurk.IsFemaleTask(), 5, market)
+	best, steps, err := qurk.TuneBatchSize(probe, qurk.BatchTuneConfig{Min: 1, Max: 64, MinAccuracy: 0.75, MaxProbes: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range steps {
+		status := fmt.Sprintf("agreement %.2f", s.Result.Accuracy)
+		if s.Result.Refused {
+			status = "REFUSED by workers"
+		}
+		fmt.Printf("probe batch %-3d -> %s\n", s.Batch, status)
+	}
+	fmt.Printf("chosen batch size: %d\n\n", best)
+
+	// --- 3. Whole-plan budget allocation.
+	fmt.Println("== 3. Whole-plan budget allocation (Sec 6)")
+	stages := []qurk.BudgetStage{
+		{Name: "numInScene filter", HITs: 43, Levels: []int{1, 3, 5, 7}, Quality: []float64{0.75, 0.9, 0.96, 0.98}},
+		{Name: "inScene join (smart 5x5)", HITs: 67, Levels: []int{1, 3, 5, 7}, Quality: []float64{0.7, 0.85, 0.93, 0.95}},
+		{Name: "quality sort (rate)", HITs: 22, Levels: []int{1, 3, 5, 7}, Quality: []float64{0.6, 0.78, 0.86, 0.9}},
+	}
+	for _, budget := range []float64{3, 8, 15} {
+		plan, err := qurk.AllocateBudget(stages, budget)
+		if err != nil {
+			fmt.Printf("budget $%-5.2f -> %v\n", budget, err)
+			continue
+		}
+		fmt.Printf("budget $%-5.2f -> assignments %v, spend $%.2f, min stage quality %.2f\n",
+			budget, plan.Assignments, plan.Dollars, plan.Quality)
+	}
+	fmt.Println()
+
+	// --- 4. Spammer identification and banning.
+	fmt.Println("== 4. QualityAdjust spammer banning (Sec 6 'Worker Selection')")
+	left, right := celebs.Celeb.Qualify("c"), celebs.Photos.Qualify("p")
+	jr, err := qurk.RunCrossJoin(left, right, qurk.SamePersonTask(),
+		qurk.JoinOptions{Algorithm: qurk.NaiveJoin, BatchSize: 10, Assignments: 5}, market)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qa := qurk.NewQualityAdjust(qurk.DefaultQAConfig())
+	if _, err := qa.Combine(jr.Votes); err != nil {
+		log.Fatal(err)
+	}
+	// Ban the bottom decile of quality scores (an absolute threshold is
+	// brittle on skewed corpora where "always no" is nearly as cheap as
+	// competence; relative ranking still isolates the spammers).
+	quality := qa.WorkerQuality()
+	workers := make([]string, 0, len(quality))
+	for w := range quality {
+		workers = append(workers, w)
+	}
+	sort.Slice(workers, func(i, j int) bool { return quality[workers[i]] < quality[workers[j]] })
+	toBan := len(workers) / 10
+	for _, w := range workers[:toBan] {
+		market.Population().Ban(w)
+	}
+	fmt.Printf("QualityAdjust scored %d workers; banned the bottom %d (quality %.3f..%.3f)\n",
+		len(workers), toBan, quality[workers[0]], quality[workers[toBan-1]])
+	fmt.Printf("banned workers will never be sampled again (%d now excluded)\n",
+		market.Population().BannedCount())
+}

@@ -1,0 +1,66 @@
+// Command quickstart runs the paper's first example (§2.1): a crowd
+// filter finding the female celebrities in a table, written in the TASK
+// DSL, executed against the simulated marketplace.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qurk"
+)
+
+const script = `
+TASK isFemale(field) TYPE Filter:
+	Prompt: "<table><tr> \
+	<td><img src='%s'></td> \
+	<td>Is the person in the image a woman?</td> \
+	</tr></table>", tuple[field]
+	YesText: "Yes"
+	NoText: "No"
+	Combiner: MajorityVote
+
+SELECT c.name FROM celeb AS c WHERE isFemale(c.img);
+`
+
+func main() {
+	// Generate the celebrity dataset and a simulated crowd that knows
+	// its ground truth.
+	celebs := qurk.NewCelebrities(qurk.CelebrityConfig{N: 30, Seed: 7})
+	market := qurk.NewSimMarket(qurk.DefaultMarketConfig(7), celebs.Oracle())
+
+	// Build an engine, register the table, and load the TASK DSL.
+	eng := qurk.NewEngine(market, qurk.Options{Assignments: 5, FilterBatch: 5})
+	eng.Catalog.Register(celebs.Celeb)
+	parsed, err := qurk.ParseScript(script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Library.LoadScript(parsed); err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the logical plan, then run the query.
+	queryText := parsed.Queries[0].String()
+	planText, err := qurk.Explain(eng, queryText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Query:", queryText)
+	fmt.Println("\nPlan (crowd operators marked with a smiley):")
+	fmt.Println(planText)
+
+	out, stats, err := qurk.RunQuery(eng, queryText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Crowd said these %d of %d celebrities are women:\n", out.Len(), celebs.Celeb.Len())
+	for i := 0; i < out.Len(); i++ {
+		fmt.Println("  -", out.Row(i).MustGet("name").Text())
+	}
+	fmt.Printf("\nCost: %d HITs x %d assignments = $%.2f\n",
+		stats.TotalHITs(), eng.Options.Assignments,
+		qurk.DollarCost(stats.TotalHITs(), eng.Options.Assignments))
+	fmt.Println("\nLedger:")
+	fmt.Println(eng.Ledger.Report())
+}

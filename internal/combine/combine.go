@@ -1,0 +1,126 @@
+// Package combine merges multiple worker responses to the same question
+// into one answer (paper §2.1, §3.3.2). It provides the paper's two
+// categorical combiners — MajorityVote and QualityAdjust (the Ipeirotis
+// et al. EM algorithm over Dawid & Skene worker confusion matrices, with
+// asymmetric misclassification costs) — plus mean/median combiners for
+// ratings.
+package combine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vote is one worker's categorical response to one question.
+type Vote struct {
+	// Question identifies the question being answered.
+	Question string
+	// Worker identifies the responder; QualityAdjust models per-worker
+	// confusion, so worker identity matters.
+	Worker string
+	// Value is the categorical response (already normalized).
+	Value string
+}
+
+// Decision is the combined answer for one question.
+type Decision struct {
+	// Value is the chosen category.
+	Value string
+	// Confidence is the combiner's posterior/empirical support for the
+	// chosen value in [0,1].
+	Confidence float64
+	// Votes is the number of votes considered.
+	Votes int
+}
+
+// Combiner merges categorical votes, producing one decision per question.
+type Combiner interface {
+	// Combine groups votes by question and resolves each.
+	Combine(votes []Vote) (map[string]Decision, error)
+	// Name returns the registry name ("MajorityVote", "QualityAdjust").
+	Name() string
+}
+
+// groupByQuestion buckets votes preserving insertion order of questions.
+func groupByQuestion(votes []Vote) (order []string, byQ map[string][]Vote) {
+	byQ = make(map[string][]Vote)
+	for _, v := range votes {
+		if _, ok := byQ[v.Question]; !ok {
+			order = append(order, v.Question)
+		}
+		byQ[v.Question] = append(byQ[v.Question], v)
+	}
+	return order, byQ
+}
+
+// MajorityVote returns the most popular answer per question (paper §2.1).
+// Ties break lexicographically smallest-first for determinism.
+type MajorityVote struct{}
+
+// Name implements Combiner.
+func (MajorityVote) Name() string { return "MajorityVote" }
+
+// Combine implements Combiner.
+func (MajorityVote) Combine(votes []Vote) (map[string]Decision, error) {
+	if len(votes) == 0 {
+		return map[string]Decision{}, nil
+	}
+	_, byQ := groupByQuestion(votes)
+	out := make(map[string]Decision, len(byQ))
+	for q, vs := range byQ {
+		counts := map[string]int{}
+		for _, v := range vs {
+			counts[v.Value]++
+		}
+		vals := make([]string, 0, len(counts))
+		for val := range counts {
+			vals = append(vals, val)
+		}
+		sort.Strings(vals)
+		best, bestN := "", -1
+		for _, val := range vals {
+			if counts[val] > bestN {
+				best, bestN = val, counts[val]
+			}
+		}
+		out[q] = Decision{
+			Value:      best,
+			Confidence: float64(bestN) / float64(len(vs)),
+			Votes:      len(vs),
+		}
+	}
+	return out, nil
+}
+
+// WeightedMajority resolves a yes/no question with asymmetric vote
+// weights; the paper's join identification "if the number of positive
+// votes outweighs the negative votes" is the w=1 case.
+func WeightedMajority(yes, no int, yesWeight float64) bool {
+	return float64(yes)*yesWeight > float64(no)
+}
+
+// Registry resolves combiner names from task definitions.
+func Lookup(name string) (Combiner, error) {
+	switch normalizeName(name) {
+	case "", "majorityvote":
+		return MajorityVote{}, nil
+	case "qualityadjust":
+		return NewQualityAdjust(DefaultQAConfig()), nil
+	default:
+		return nil, fmt.Errorf("combine: unknown combiner %q", name)
+	}
+}
+
+func normalizeName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '_' || r == '-' || r == ' ' {
+			continue
+		}
+		if 'A' <= r && r <= 'Z' {
+			r += 'a' - 'A'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

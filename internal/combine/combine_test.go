@@ -1,0 +1,324 @@
+package combine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestMajorityVoteBasic(t *testing.T) {
+	votes := []Vote{
+		{Question: "q1", Worker: "w1", Value: "yes"},
+		{Question: "q1", Worker: "w2", Value: "yes"},
+		{Question: "q1", Worker: "w3", Value: "no"},
+		{Question: "q2", Worker: "w1", Value: "no"},
+	}
+	out, err := MajorityVote{}.Combine(votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["q1"].Value != "yes" || out["q1"].Votes != 3 {
+		t.Errorf("q1 = %+v", out["q1"])
+	}
+	if c := out["q1"].Confidence; c < 0.66 || c > 0.67 {
+		t.Errorf("q1 confidence = %v", c)
+	}
+	if out["q2"].Value != "no" || out["q2"].Confidence != 1 {
+		t.Errorf("q2 = %+v", out["q2"])
+	}
+}
+
+func TestMajorityVoteTieBreaksDeterministically(t *testing.T) {
+	votes := []Vote{
+		{Question: "q", Worker: "w1", Value: "zebra"},
+		{Question: "q", Worker: "w2", Value: "ant"},
+	}
+	for i := 0; i < 10; i++ {
+		out, _ := MajorityVote{}.Combine(votes)
+		if out["q"].Value != "ant" {
+			t.Fatalf("tie broke to %q, want lexicographic 'ant'", out["q"].Value)
+		}
+	}
+}
+
+func TestMajorityVoteEmpty(t *testing.T) {
+	out, err := MajorityVote{}.Combine(nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty combine = %v, %v", out, err)
+	}
+}
+
+func TestWeightedMajority(t *testing.T) {
+	if !WeightedMajority(3, 2, 1) {
+		t.Error("3-2 should pass")
+	}
+	if WeightedMajority(2, 3, 1) {
+		t.Error("2-3 should fail")
+	}
+	// A 2x yes weight flips a 2-3 split.
+	if !WeightedMajority(2, 3, 2) {
+		t.Error("2-3 with 2x weight should pass")
+	}
+	if WeightedMajority(2, 2, 1) {
+		t.Error("exact tie should fail (strict majority)")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"MajorityVote", "majority_vote", "", "QualityAdjust", "quality-adjust"} {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+	if _, err := Lookup("bogus"); err == nil {
+		t.Error("bogus combiner accepted")
+	}
+}
+
+// synthVotes builds a vote corpus: nGood accurate workers (accuracy acc),
+// nSpam spammers answering uniformly at random, over nQ binary questions
+// whose truth alternates yes/no.
+func synthVotes(nQ, nGood, nSpam int, acc float64, seed int64) (votes []Vote, truth map[string]string) {
+	rng := rand.New(rand.NewSource(seed))
+	truth = make(map[string]string, nQ)
+	for q := 0; q < nQ; q++ {
+		qid := fmt.Sprintf("q%03d", q)
+		want := "yes"
+		if q%2 == 1 {
+			want = "no"
+		}
+		truth[qid] = want
+		for w := 0; w < nGood; w++ {
+			v := want
+			if rng.Float64() > acc {
+				v = flip(want)
+			}
+			votes = append(votes, Vote{Question: qid, Worker: fmt.Sprintf("good%d", w), Value: v})
+		}
+		for w := 0; w < nSpam; w++ {
+			v := "yes"
+			if rng.Float64() < 0.5 {
+				v = "no"
+			}
+			votes = append(votes, Vote{Question: qid, Worker: fmt.Sprintf("spam%d", w), Value: v})
+		}
+	}
+	return votes, truth
+}
+
+func accuracy(out map[string]Decision, truth map[string]string) float64 {
+	correct := 0
+	for q, want := range truth {
+		if out[q].Value == want {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth))
+}
+
+func TestQualityAdjustBeatsMajorityUnderSpam(t *testing.T) {
+	// 3 good workers vs 4 spammers: majority vote is vulnerable, QA
+	// should recover the truth by discounting spammers — the paper's
+	// §3.3.2/§6 finding.
+	votes, truth := synthVotes(80, 3, 4, 0.95, 42)
+	mv, err := MajorityVote{}.Combine(votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa := NewQualityAdjust(QAConfig{Iterations: 5, Smoothing: 0.01})
+	qad, err := qa.Combine(votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvAcc, qaAcc := accuracy(mv, truth), accuracy(qad, truth)
+	if qaAcc < mvAcc {
+		t.Errorf("QA accuracy %.3f < MV accuracy %.3f", qaAcc, mvAcc)
+	}
+	if qaAcc < 0.95 {
+		t.Errorf("QA accuracy %.3f, want ≥0.95", qaAcc)
+	}
+}
+
+func TestQualityAdjustIdentifiesSpammers(t *testing.T) {
+	votes, _ := synthVotes(100, 4, 3, 0.95, 7)
+	qa := NewQualityAdjust(QAConfig{Iterations: 5, Smoothing: 0.01})
+	if _, err := qa.Combine(votes); err != nil {
+		t.Fatal(err)
+	}
+	quality := qa.WorkerQuality()
+	for w, q := range quality {
+		if w[:4] == "good" && q < 0.5 {
+			t.Errorf("good worker %s scored %.3f, want high", w, q)
+		}
+		if w[:4] == "spam" && q > 0.4 {
+			t.Errorf("spammer %s scored %.3f, want low", w, q)
+		}
+	}
+}
+
+func TestQualityAdjustCorrectsBias(t *testing.T) {
+	// A biased worker who systematically inverts answers still carries
+	// information; Dawid-Skene flips their votes and uses them as
+	// signal (Ipeirotis' bias correction), while majority vote treats
+	// them as pure noise. Majority of workers must be good so EM's
+	// majority-vote initialization anchors the truth-aligned mode.
+	rng := rand.New(rand.NewSource(9))
+	var votes []Vote
+	truth := map[string]string{}
+	for q := 0; q < 150; q++ {
+		qid := fmt.Sprintf("q%03d", q)
+		want := "yes"
+		if rng.Float64() < 0.5 {
+			want = "no"
+		}
+		truth[qid] = want
+		// Three good-but-noisy workers (accuracy 0.9).
+		for w := 0; w < 3; w++ {
+			v := want
+			if rng.Float64() > 0.9 {
+				v = flip(want)
+			}
+			votes = append(votes, Vote{Question: qid, Worker: fmt.Sprintf("good%d", w), Value: v})
+		}
+		// Two perfectly anti-correlated workers.
+		for w := 0; w < 2; w++ {
+			votes = append(votes, Vote{Question: qid, Worker: fmt.Sprintf("anti%d", w), Value: flip(want)})
+		}
+	}
+	mv, _ := MajorityVote{}.Combine(votes)
+	qa := NewQualityAdjust(QAConfig{Iterations: 10, Smoothing: 0.01})
+	qad, err := qa.Combine(votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvAcc, qaAcc := accuracy(mv, truth), accuracy(qad, truth)
+	// MV needs all three good workers right (the two anti votes always
+	// oppose): expected accuracy ≈ 0.9³ ≈ 0.73.
+	if mvAcc > 0.85 {
+		t.Fatalf("test setup broken: MV accuracy %.3f should be dragged down by bias", mvAcc)
+	}
+	if qaAcc < 0.95 {
+		t.Errorf("QA accuracy %.3f, want ≥0.95 (bias correction)", qaAcc)
+	}
+	// The anti-correlated workers are informative, not spammers: their
+	// quality should be high once bias is modeled.
+	quality := qa.WorkerQuality()
+	for w, q := range quality {
+		if w[:4] == "anti" && q < 0.5 {
+			t.Errorf("biased worker %s scored %.3f; bias correction should rate them informative", w, q)
+		}
+	}
+}
+
+func flip(v string) string {
+	if v == "yes" {
+		return "no"
+	}
+	return "yes"
+}
+
+func TestQualityAdjustFalseNegativePenalty(t *testing.T) {
+	// With a 2x false-negative cost, a 50/50 posterior should resolve
+	// to "yes". Build a question with perfectly split votes from
+	// workers with no history (so the posterior stays ~uniform).
+	votes := []Vote{
+		{Question: "q", Worker: "w1", Value: "yes"},
+		{Question: "q", Worker: "w2", Value: "no"},
+	}
+	qa := NewQualityAdjust(DefaultQAConfig())
+	out, err := qa.Combine(votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["q"].Value != "yes" {
+		t.Errorf("50/50 with FN penalty resolved to %q, want yes", out["q"].Value)
+	}
+}
+
+func TestQualityAdjustUnanimousSingleLabel(t *testing.T) {
+	votes := []Vote{
+		{Question: "q1", Worker: "w1", Value: "yes"},
+		{Question: "q1", Worker: "w2", Value: "yes"},
+		{Question: "q2", Worker: "w1", Value: "yes"},
+	}
+	qa := NewQualityAdjust(DefaultQAConfig())
+	out, err := qa.Combine(votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["q1"].Value != "yes" || out["q2"].Value != "yes" {
+		t.Errorf("unanimous = %+v", out)
+	}
+	if out["q1"].Confidence != 1 {
+		t.Errorf("unanimous confidence = %v", out["q1"].Confidence)
+	}
+}
+
+func TestQualityAdjustEmptyAndDefaults(t *testing.T) {
+	qa := NewQualityAdjust(QAConfig{})
+	out, err := qa.Combine(nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty = %v, %v", out, err)
+	}
+	if qa.cfg.Iterations != 5 || qa.cfg.Smoothing <= 0 {
+		t.Errorf("defaults not applied: %+v", qa.cfg)
+	}
+}
+
+func TestCostOf(t *testing.T) {
+	qa := NewQualityAdjust(DefaultQAConfig())
+	if qa.CostOf("yes", "yes") != 0 || qa.CostOf("no", "no") != 0 {
+		t.Error("diagonal cost should be 0")
+	}
+	if qa.CostOf("yes", "no") != 2 {
+		t.Error("false negative should cost 2")
+	}
+	if qa.CostOf("no", "yes") != 1 {
+		t.Error("false positive should cost 1")
+	}
+}
+
+func TestCombineRatings(t *testing.T) {
+	out := CombineRatings(map[string][]float64{
+		"a": {4, 4, 4, 4, 4},
+		"b": {1, 7},
+		"c": {},
+	})
+	if out["a"].Mean != 4 || out["a"].Std != 0 || out["a"].Count != 5 {
+		t.Errorf("a = %+v", out["a"])
+	}
+	if out["b"].Mean != 4 || out["b"].Std != 3 {
+		t.Errorf("b = %+v", out["b"])
+	}
+	if _, ok := out["c"]; ok {
+		t.Error("empty rating list should be skipped")
+	}
+}
+
+func TestQualityAdjustMultiCategory(t *testing.T) {
+	// Three hair colors; QA should work beyond binary labels.
+	rng := rand.New(rand.NewSource(21))
+	colors := []string{"black", "blond", "brown"}
+	var votes []Vote
+	truth := map[string]string{}
+	for q := 0; q < 90; q++ {
+		qid := fmt.Sprintf("q%03d", q)
+		want := colors[q%3]
+		truth[qid] = want
+		for w := 0; w < 5; w++ {
+			v := want
+			if rng.Float64() > 0.8 {
+				v = colors[rng.Intn(3)]
+			}
+			votes = append(votes, Vote{Question: qid, Worker: fmt.Sprintf("w%d", w), Value: v})
+		}
+	}
+	qa := NewQualityAdjust(QAConfig{Iterations: 5, Smoothing: 0.01})
+	out, err := qa.Combine(votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(out, truth); acc < 0.9 {
+		t.Errorf("multi-category accuracy = %.3f, want ≥0.9", acc)
+	}
+}

@@ -1,0 +1,135 @@
+package combine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// goldCorpus builds votes over real + gold questions from good workers
+// (accuracy acc) and spammers (always "yes").
+func goldCorpus(nReal, nGold, nGood, nSpam int, acc float64, seed int64) (votes []Vote, gold map[string]string, truth map[string]string) {
+	rng := rand.New(rand.NewSource(seed))
+	gold = map[string]string{}
+	truth = map[string]string{}
+	ask := func(qid, want string, isGold bool) {
+		if isGold {
+			gold[qid] = want
+		} else {
+			truth[qid] = want
+		}
+		for w := 0; w < nGood; w++ {
+			v := want
+			if rng.Float64() > acc {
+				v = flip(want)
+			}
+			votes = append(votes, Vote{Question: qid, Worker: fmt.Sprintf("good%d", w), Value: v})
+		}
+		for w := 0; w < nSpam; w++ {
+			votes = append(votes, Vote{Question: qid, Worker: fmt.Sprintf("spam%d", w), Value: "yes"})
+		}
+	}
+	for q := 0; q < nReal; q++ {
+		want := "yes"
+		if q%2 == 1 {
+			want = "no"
+		}
+		ask(fmt.Sprintf("q%03d", q), want, false)
+	}
+	for g := 0; g < nGold; g++ {
+		want := "yes"
+		if g%2 == 0 { // half the golds are "no", catching always-yes spam
+			want = "no"
+		}
+		ask(fmt.Sprintf("gold%03d", g), want, true)
+	}
+	return votes, gold, truth
+}
+
+func TestGoldScreenBansSpammers(t *testing.T) {
+	votes, gold, truth := goldCorpus(60, 6, 3, 3, 0.92, 1)
+	g := NewGoldScreen(gold, MajorityVote{})
+	out, err := g.Combine(votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spammers answered "yes" on the "no" golds → banned.
+	banned := g.Banned()
+	if len(banned) != 3 {
+		t.Fatalf("banned = %v, want the 3 spammers", banned)
+	}
+	for _, w := range banned {
+		if w[:4] != "spam" {
+			t.Errorf("banned a good worker: %s", w)
+		}
+	}
+	// Gold questions never appear in output.
+	for q := range gold {
+		if _, ok := out[q]; ok {
+			t.Errorf("gold question %s leaked into results", q)
+		}
+	}
+	// With spam removed, accuracy is near-perfect; without the screen,
+	// always-yes spam flips the "no" answers (3 good at 0.92 vs 3 yes).
+	correct := 0
+	for q, want := range truth {
+		if out[q].Value == want {
+			correct++
+		}
+	}
+	if correct < 57 {
+		t.Errorf("screened accuracy = %d/60", correct)
+	}
+	raw, _ := MajorityVote{}.Combine(votes)
+	rawCorrect := 0
+	for q, want := range truth {
+		if raw[q].Value == want {
+			rawCorrect++
+		}
+	}
+	if correct <= rawCorrect {
+		t.Errorf("screen did not help: %d vs %d", correct, rawCorrect)
+	}
+}
+
+func TestGoldScreenSparesGoodWorkers(t *testing.T) {
+	votes, gold, _ := goldCorpus(40, 8, 5, 0, 0.9, 3)
+	g := NewGoldScreen(gold, MajorityVote{})
+	if _, err := g.Combine(votes); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Banned()) != 0 {
+		t.Errorf("banned good workers: %v", g.Banned())
+	}
+}
+
+func TestGoldScreenMinVotesGrace(t *testing.T) {
+	// A worker with fewer than MinGoldVotes gold answers is not judged,
+	// even if those answers are wrong.
+	votes := []Vote{
+		{Question: "gold1", Worker: "newbie", Value: "yes"},
+		{Question: "q1", Worker: "newbie", Value: "yes"},
+		{Question: "q1", Worker: "vet", Value: "yes"},
+	}
+	g := NewGoldScreen(map[string]string{"gold1": "no"}, MajorityVote{})
+	out, err := g.Combine(votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Banned()) != 0 {
+		t.Errorf("banned under-sampled worker: %v", g.Banned())
+	}
+	if out["q1"].Votes != 2 {
+		t.Errorf("newbie's real vote dropped: %+v", out["q1"])
+	}
+}
+
+func TestGoldScreenValidation(t *testing.T) {
+	g := NewGoldScreen(nil, MajorityVote{})
+	if _, err := g.Combine([]Vote{{Question: "q", Worker: "w", Value: "yes"}}); err == nil {
+		t.Error("empty gold set accepted")
+	}
+	if NewGoldScreen(map[string]string{"g": "yes"}, nil).Name() != "GoldScreen" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"qurk/internal/combine"
+	"qurk/internal/cost"
+	"qurk/internal/crowd"
+	"qurk/internal/hit"
+	"qurk/internal/join"
+	"qurk/internal/query"
+	"qurk/internal/relation"
+	"qurk/internal/task"
+)
+
+// LibraryEntry is a registered task plus its DSL formal parameters
+// (empty for tasks constructed in Go against concrete column names).
+type LibraryEntry struct {
+	Task   task.Task
+	Params []string
+}
+
+// Library resolves UDF names to task templates for the planner.
+type Library struct {
+	entries map[string]LibraryEntry
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library { return &Library{entries: map[string]LibraryEntry{}} }
+
+// Register adds a task with optional formal parameters.
+func (l *Library) Register(t task.Task, params ...string) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	key := strings.ToLower(t.TaskName())
+	if _, dup := l.entries[key]; dup {
+		return fmt.Errorf("core: duplicate task %q", t.TaskName())
+	}
+	l.entries[key] = LibraryEntry{Task: t, Params: params}
+	return nil
+}
+
+// MustRegister panics on error (examples, tests).
+func (l *Library) MustRegister(t task.Task, params ...string) {
+	if err := l.Register(t, params...); err != nil {
+		panic(err)
+	}
+}
+
+// LoadScript registers every TASK definition from a parsed script.
+func (l *Library) LoadScript(s *query.Script) error {
+	for _, td := range s.Tasks {
+		t, err := query.BuildTask(td)
+		if err != nil {
+			return err
+		}
+		if err := l.Register(t, td.Params...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup resolves a task by name.
+func (l *Library) Lookup(name string) (LibraryEntry, error) {
+	e, ok := l.entries[strings.ToLower(name)]
+	if !ok {
+		return LibraryEntry{}, fmt.Errorf("core: unknown task %q", name)
+	}
+	return e, nil
+}
+
+// Resolve implements the planner's TaskSource interface.
+func (l *Library) Resolve(name string) (task.Task, []string, error) {
+	e, err := l.Lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.Task, e.Params, nil
+}
+
+// Names lists registered tasks.
+func (l *Library) Names() []string {
+	out := make([]string, 0, len(l.entries))
+	for n := range l.entries {
+		out = append(out, n)
+	}
+	return out
+}
+
+// SortMethod selects the ORDER BY implementation (paper §4).
+type SortMethod uint8
+
+const (
+	// SortCompare uses the comparison interface (quadratic HITs).
+	SortCompare SortMethod = iota
+	// SortRate uses the rating interface (linear HITs).
+	SortRate
+	// SortHybrid seeds with ratings and refines with comparisons.
+	SortHybrid
+)
+
+// String names the method.
+func (s SortMethod) String() string {
+	switch s {
+	case SortCompare:
+		return "Compare"
+	case SortRate:
+		return "Rate"
+	case SortHybrid:
+		return "Hybrid"
+	default:
+		return fmt.Sprintf("SortMethod(%d)", uint8(s))
+	}
+}
+
+// Options are the engine-wide execution knobs — the parameters the paper
+// tunes per experiment (batch sizes, interfaces, combiners, assignment
+// counts).
+type Options struct {
+	// Assignments per HIT (default 5).
+	Assignments int
+	// FilterBatch / GenerativeBatch / JoinBatch / ExtractBatch /
+	// RateBatch are merge batch sizes (defaults 5, 5, 5, 4, 5).
+	FilterBatch, GenerativeBatch, JoinBatch, ExtractBatch, RateBatch int
+	// JoinAlgorithm with its grid shape (default Naive 5).
+	JoinAlgorithm      join.Algorithm
+	GridRows, GridCols int
+	// ExtractCombined asks all POSSIBLY features in one interface
+	// (default true — the paper found it cheaper and more accurate).
+	ExtractCombined bool
+	// AutoSelectFeatures enables §3.2's automatic feature pruning: a
+	// crowd join over a sample of the cross product estimates each
+	// POSSIBLY feature's result loss, and features that are ambiguous
+	// (low κ), unselective, or error-prone are discarded before the
+	// full join ("the system automatically selects which features to
+	// apply").
+	AutoSelectFeatures bool
+	// FeatureSelection holds the §3.2 thresholds when
+	// AutoSelectFeatures is on.
+	FeatureSelection join.SelectionConfig
+	// SortMethod with its parameters (defaults: Compare, group 5).
+	SortMethod       SortMethod
+	CompareGroupSize int
+	HybridIterations int
+	HybridStep       int
+	// Combiner is "MajorityVote" (default) or "QualityAdjust".
+	Combiner string
+	// Seed drives operator-internal randomness (group covers, context
+	// samples).
+	Seed int64
+}
+
+func (o *Options) fillDefaults() {
+	if o.Assignments == 0 {
+		o.Assignments = 5
+	}
+	if o.FilterBatch == 0 {
+		o.FilterBatch = 5
+	}
+	if o.GenerativeBatch == 0 {
+		o.GenerativeBatch = 5
+	}
+	if o.JoinBatch == 0 {
+		o.JoinBatch = 5
+	}
+	if o.ExtractBatch == 0 {
+		o.ExtractBatch = 4
+	}
+	if o.RateBatch == 0 {
+		o.RateBatch = 5
+	}
+	if o.GridRows == 0 {
+		o.GridRows = 3
+	}
+	if o.GridCols == 0 {
+		o.GridCols = 3
+	}
+	if o.CompareGroupSize == 0 {
+		o.CompareGroupSize = 5
+	}
+	if o.HybridIterations == 0 {
+		o.HybridIterations = 20
+	}
+	if o.HybridStep == 0 {
+		o.HybridStep = 6
+	}
+	if o.Combiner == "" {
+		o.Combiner = "MajorityVote"
+	}
+}
+
+// Engine bundles the services every operator needs (paper Fig. 1: query
+// optimizer → executor → task manager → HIT compiler → crowd).
+type Engine struct {
+	Catalog *relation.Catalog
+	Library *Library
+	Market  crowd.Marketplace
+	Ledger  *cost.Ledger
+	Cache   *hit.Cache
+	Options Options
+}
+
+// NewEngine builds an engine with fresh catalog/library/ledger/cache.
+func NewEngine(market crowd.Marketplace, opts Options) *Engine {
+	opts.fillDefaults()
+	return &Engine{
+		Catalog: relation.NewCatalog(),
+		Library: NewLibrary(),
+		Market:  market,
+		Ledger:  cost.NewLedger(),
+		Cache:   hit.NewCache(),
+		Options: opts,
+	}
+}
+
+// Combiner instantiates the configured combiner.
+func (e *Engine) Combiner() (combine.Combiner, error) {
+	return combine.Lookup(e.Options.Combiner)
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"qurk/internal/combine"
+	"qurk/internal/crowd"
+	"qurk/internal/hit"
+	"qurk/internal/relation"
+	"qurk/internal/task"
+)
+
+// GenerativeOptions configures a generative pass (paper §2.2): workers
+// produce field values for each tuple; votes are normalized and combined
+// into new columns.
+type GenerativeOptions struct {
+	// BatchSize merges tuples per HIT (default 5).
+	BatchSize int
+	// Assignments is votes per tuple (default 5).
+	Assignments int
+	// GroupID labels the HIT group.
+	GroupID string
+	// Fields restricts output to the named fields (nil = all).
+	Fields []string
+}
+
+func (o *GenerativeOptions) fillDefaults() {
+	if o.BatchSize == 0 {
+		o.BatchSize = 5
+	}
+	if o.Assignments == 0 {
+		o.Assignments = 5
+	}
+	if o.GroupID == "" {
+		o.GroupID = "generative"
+	}
+}
+
+// GenerativeResult carries the produced columns.
+type GenerativeResult struct {
+	// Output is the input relation extended with one text column per
+	// generative field ("<task>.<field>").
+	Output *relation.Relation
+	// Values maps row index → field → combined value.
+	Values []map[string]string
+	// HITCount, AssignmentCount, MakespanHours: cost metrics.
+	HITCount, AssignmentCount int
+	MakespanHours             float64
+}
+
+// RunGenerative executes a generative task over every row, normalizes
+// each field's votes with the field's Normalizer, and combines them with
+// the field's Combiner.
+func RunGenerative(rel *relation.Relation, gt *task.Generative, opts GenerativeOptions, market crowd.Marketplace) (*GenerativeResult, error) {
+	opts.fillDefaults()
+	if err := gt.Validate(); err != nil {
+		return nil, err
+	}
+	fields := opts.Fields
+	if len(fields) == 0 {
+		for _, f := range gt.Fields {
+			fields = append(fields, f.Name)
+		}
+	}
+	for _, f := range fields {
+		if _, ok := gt.Field(f); !ok {
+			return nil, fmt.Errorf("core: task %s has no field %q", gt.Name, f)
+		}
+	}
+
+	n := rel.Len()
+	res := &GenerativeResult{Values: make([]map[string]string, n)}
+	qid := func(i int) string { return fmt.Sprintf("%s/t%05d", opts.GroupID, i) }
+
+	questions := make([]hit.Question, n)
+	for i := 0; i < n; i++ {
+		questions[i] = hit.Question{
+			ID:     qid(i),
+			Kind:   hit.GenerativeQ,
+			Task:   gt.Name,
+			Tuple:  rel.Row(i),
+			Fields: fields,
+		}
+	}
+	b := hit.NewBuilder(opts.GroupID, opts.Assignments, 1)
+	hits, err := b.Merge(questions, opts.BatchSize)
+	if err != nil {
+		return nil, err
+	}
+	run, err := market.Run(&hit.Group{ID: opts.GroupID, HITs: hits})
+	if err != nil {
+		return nil, err
+	}
+	res.HITCount = len(hits)
+	res.AssignmentCount = run.TotalAssignments
+	res.MakespanHours = run.MakespanHours
+
+	// Normalize and bucket votes per (tuple, field).
+	normalizers := map[string]task.Normalizer{}
+	combiners := map[string]combine.Combiner{}
+	for _, fname := range fields {
+		spec, _ := gt.Field(fname)
+		norm, err := task.LookupNormalizer(spec.Normalizer)
+		if err != nil {
+			return nil, err
+		}
+		normalizers[fname] = norm
+		comb, err := combine.Lookup(spec.Combiner)
+		if err != nil {
+			return nil, err
+		}
+		combiners[fname] = comb
+	}
+	votesByField := map[string][]combine.Vote{}
+	qByHIT := make(map[string]*hit.HIT, len(hits))
+	for _, h := range hits {
+		qByHIT[h.ID] = h
+	}
+	for _, a := range run.Assignments {
+		h := qByHIT[a.HITID]
+		if h == nil {
+			continue
+		}
+		for i, ans := range a.Answers {
+			if i >= len(h.Questions) {
+				break
+			}
+			q := &h.Questions[i]
+			for _, fname := range fields {
+				raw, ok := ans.Fields[fname]
+				if !ok {
+					continue
+				}
+				votesByField[fname] = append(votesByField[fname], combine.Vote{
+					Question: q.ID,
+					Worker:   a.WorkerID,
+					Value:    normalizers[fname](raw),
+				})
+			}
+		}
+	}
+	decisions := map[string]map[string]combine.Decision{}
+	for fname, votes := range votesByField {
+		d, err := combiners[fname].Combine(votes)
+		if err != nil {
+			return nil, err
+		}
+		decisions[fname] = d
+	}
+
+	// Build the output relation: input columns + one per field.
+	cols := rel.Schema().Columns()
+	for _, fname := range fields {
+		cols = append(cols, relation.Column{Name: gt.Name + "." + fname, Kind: relation.KindText})
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = relation.New(rel.Name(), schema)
+	for i := 0; i < n; i++ {
+		res.Values[i] = map[string]string{}
+		vals := make([]relation.Value, 0, schema.Len())
+		row := rel.Row(i)
+		for c := 0; c < row.Len(); c++ {
+			vals = append(vals, row.At(c))
+		}
+		for _, fname := range fields {
+			d := decisions[fname][qid(i)]
+			res.Values[i][fname] = d.Value
+			if d.Value == "UNKNOWN" {
+				vals = append(vals, relation.Unknown())
+			} else {
+				vals = append(vals, relation.Text(d.Value))
+			}
+		}
+		if err := res.Output.AppendValues(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+
+	"qurk/internal/hit"
+)
+
+func TestBanExcludesWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPopulation(PopulationConfig{Size: 30}, rng)
+	p.Ban("w0003")
+	p.Ban("w0007")
+	if !p.Banned("w0003") || p.Banned("w0001") {
+		t.Fatal("ban bookkeeping wrong")
+	}
+	if p.BannedCount() != 2 {
+		t.Fatalf("banned count = %d", p.BannedCount())
+	}
+	for i := 0; i < 200; i++ {
+		for _, w := range p.SampleDistinct(10, 1, rng) {
+			if w.ID == "w0003" || w.ID == "w0007" {
+				t.Fatalf("banned worker %s sampled", w.ID)
+			}
+		}
+	}
+	// Oversampling returns only unbanned workers.
+	all := p.SampleDistinct(100, 1, rng)
+	if len(all) != 28 {
+		t.Fatalf("oversample = %d, want 28", len(all))
+	}
+}
+
+// TestBanSpammersImprovesAccuracy exercises the paper's §6 workflow:
+// identify spammers with QualityAdjust on one run, ban them, and observe
+// cleaner votes on the next run.
+func TestBanSpammersImprovesAccuracy(t *testing.T) {
+	oracle := &pairOracle{difficulty: 0.25, n: 1000}
+	cfg := DefaultConfig(77)
+	cfg.Population.SpamFraction = 0.2
+	m := NewSimMarket(cfg, oracle)
+
+	spamShare := func(res *RunResult) float64 {
+		byID := map[string]*Worker{}
+		for _, w := range m.Population().Workers {
+			byID[w.ID] = w
+		}
+		spam := 0
+		for _, a := range res.Assignments {
+			if byID[a.WorkerID].IsSpammer {
+				spam++
+			}
+		}
+		return float64(spam) / float64(len(res.Assignments))
+	}
+
+	res1, err := m.Run(buildPairHITs(150, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := spamShare(res1)
+
+	// Ban every known spammer (in production this comes from
+	// QualityAdjust's worker-quality scores; see the combine tests).
+	for _, w := range m.Population().Workers {
+		if w.IsSpammer {
+			m.Population().Ban(w.ID)
+		}
+	}
+	g2 := buildPairHITs(150, 5)
+	g2.ID = "g2"
+	for _, h := range g2.HITs {
+		h.ID = "g2/" + h.ID
+	}
+	res2, err := m.Run(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := spamShare(res2)
+	if before == 0 {
+		t.Skip("no spam assignments drawn in the first run")
+	}
+	if after != 0 {
+		t.Errorf("spam share after banning = %.3f, want 0 (before %.3f)", after, before)
+	}
+}
+
+func TestBannedWorkersDontBlockValidation(t *testing.T) {
+	oracle := &pairOracle{difficulty: 0.1, n: 100}
+	m := NewSimMarket(DefaultConfig(5), oracle)
+	// Ban most of the pool; runs still complete with the remainder.
+	for i, w := range m.Population().Workers {
+		if i%2 == 0 {
+			m.Population().Ban(w.ID)
+		}
+	}
+	res, err := m.Run(buildPairHITs(20, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAssignments != 100 {
+		t.Errorf("assignments = %d, want 100", res.TotalAssignments)
+	}
+	for _, a := range res.Assignments {
+		if m.Population().Banned(a.WorkerID) {
+			t.Fatalf("banned worker %s completed an assignment", a.WorkerID)
+		}
+	}
+	_ = hit.SortAssignments
+}

@@ -1,0 +1,311 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"qurk/internal/hit"
+)
+
+// Marketplace is the abstraction Qurk's operators post work to. The
+// simulator below implements it; a live MTurk client would too (the
+// paper's "declarative interface enables platform independence", §1).
+type Marketplace interface {
+	// Run posts one HIT group and blocks until every assignment
+	// completes or is refused.
+	Run(group *hit.Group) (*RunResult, error)
+}
+
+// RunResult is the outcome of posting a HIT group.
+type RunResult struct {
+	// Assignments holds every completed assignment with submit times.
+	Assignments []hit.Assignment
+	// Incomplete lists HIT IDs workers refused to complete (batch too
+	// large for the price — paper §4.2.2's group-size-20 experiment and
+	// §6 "we found batch sizes at which workers refused to perform
+	// tasks").
+	Incomplete []string
+	// MakespanHours is the time the last assignment completed.
+	MakespanHours float64
+	// TotalAssignments counts completed assignments.
+	TotalAssignments int
+}
+
+// Config parametrizes the simulated marketplace.
+type Config struct {
+	// Seed makes the simulation deterministic.
+	Seed int64
+	// Population configures the worker pool.
+	Population PopulationConfig
+	// AssignmentsPerHour is the base marketplace throughput for
+	// effortless HITs (default 2500; calibrated so a 30×30 unbatched
+	// celebrity join lands in the paper's ~1.5–2 hour range).
+	AssignmentsPerHour float64
+	// TimeOfDayFactor scales throughput (the paper ran morning and
+	// evening trials and saw variance; default 1).
+	TimeOfDayFactor float64
+	// SlowdownEffort is the per-HIT effort (in unit-equivalents) at
+	// which pickup starts to slow; beyond it the rate falls
+	// quadratically (default 8).
+	SlowdownEffort float64
+	// RefusalEffort is the effort beyond which workers refuse the HIT
+	// entirely at this price (default 30; a group-size-20 comparison
+	// exceeds it, reproducing the paper's stalled experiment).
+	RefusalEffort float64
+	// StragglerFrac is the tail fraction of assignments that complete
+	// slowly (default 0.05).
+	StragglerFrac float64
+	// StragglerSlowdown stretches the tail (default 20; makes the last
+	// 5% of tasks consume roughly half the wall clock, as in Fig. 4).
+	StragglerSlowdown float64
+	// SpamBatchAffinityPerUnit grows spammer pickup weight per extra
+	// unit of batched work (default 0.35).
+	SpamBatchAffinityPerUnit float64
+	// CombinedConfusionFactor scales feature confusion in combined
+	// interfaces (default 0.55).
+	CombinedConfusionFactor float64
+	// RatingNoise is per-rating Gaussian noise in Likert units
+	// (default 0.55).
+	RatingNoise float64
+	// RateExtraSigma is additional perceptual noise (in units of the
+	// score range) that applies only to rating questions: judging an
+	// item in isolation is harder than comparing items side by side,
+	// which is why the paper's Rate reaches τ ≈ 0.78 on squares whose
+	// Compare is perfect (§4.2.2). Default 0.28.
+	RateExtraSigma float64
+	// UnknownShare is the fraction of feature errors reported as
+	// UNKNOWN when allowed (default 0.15).
+	UnknownShare float64
+	// GroupRampAssignments softens throughput for small groups: tiny
+	// groups are less attractive to Turkers (default 20).
+	GroupRampAssignments float64
+}
+
+// DefaultConfig returns the calibrated defaults described above.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:                     seed,
+		AssignmentsPerHour:       2500,
+		TimeOfDayFactor:          1,
+		SlowdownEffort:           8,
+		RefusalEffort:            30,
+		StragglerFrac:            0.05,
+		StragglerSlowdown:        20,
+		SpamBatchAffinityPerUnit: 0.35,
+		CombinedConfusionFactor:  0.55,
+		RatingNoise:              0.55,
+		RateExtraSigma:           0.28,
+		UnknownShare:             0.15,
+		GroupRampAssignments:     20,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig(c.Seed)
+	if c.AssignmentsPerHour == 0 {
+		c.AssignmentsPerHour = d.AssignmentsPerHour
+	}
+	if c.TimeOfDayFactor == 0 {
+		c.TimeOfDayFactor = d.TimeOfDayFactor
+	}
+	if c.SlowdownEffort == 0 {
+		c.SlowdownEffort = d.SlowdownEffort
+	}
+	if c.RefusalEffort == 0 {
+		c.RefusalEffort = d.RefusalEffort
+	}
+	if c.StragglerFrac == 0 {
+		c.StragglerFrac = d.StragglerFrac
+	}
+	if c.StragglerSlowdown == 0 {
+		c.StragglerSlowdown = d.StragglerSlowdown
+	}
+	if c.SpamBatchAffinityPerUnit == 0 {
+		c.SpamBatchAffinityPerUnit = d.SpamBatchAffinityPerUnit
+	}
+	if c.CombinedConfusionFactor == 0 {
+		c.CombinedConfusionFactor = d.CombinedConfusionFactor
+	}
+	if c.RatingNoise == 0 {
+		c.RatingNoise = d.RatingNoise
+	}
+	if c.RateExtraSigma == 0 {
+		c.RateExtraSigma = d.RateExtraSigma
+	}
+	if c.UnknownShare == 0 {
+		c.UnknownShare = d.UnknownShare
+	}
+	if c.GroupRampAssignments == 0 {
+		c.GroupRampAssignments = d.GroupRampAssignments
+	}
+}
+
+// SimMarket is the simulated marketplace. It is safe for concurrent Run
+// calls (a mutex serializes them so the RNG stream stays deterministic
+// given a fixed call order).
+type SimMarket struct {
+	mu     sync.Mutex
+	cfg    Config
+	oracle Oracle
+	pop    *Population
+	rng    *rand.Rand
+}
+
+// NewSimMarket builds a marketplace over the oracle's ground truth.
+func NewSimMarket(cfg Config, oracle Oracle) *SimMarket {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &SimMarket{
+		cfg:    cfg,
+		oracle: oracle,
+		pop:    NewPopulation(cfg.Population, rng),
+		rng:    rng,
+	}
+}
+
+// Population exposes the worker pool (experiments regress accuracy
+// against per-worker task counts, §3.3.3).
+func (m *SimMarket) Population() *Population { return m.pop }
+
+// Oracle returns the ground-truth oracle (experiments score results
+// against it).
+func (m *SimMarket) Oracle() Oracle { return m.oracle }
+
+// effort estimates how much work one HIT demands of a worker, in
+// single-judgment equivalents. Comparison groups cost S·log₂(S)/2 —
+// ranking needs more than S looks — and grid cells are cheaper than
+// standalone pair judgments (clicking matches in context).
+func effort(h *hit.HIT) float64 {
+	var e float64
+	for i := range h.Questions {
+		q := &h.Questions[i]
+		switch q.Kind {
+		case hit.CompareQ:
+			s := float64(len(q.Items))
+			e += s * math.Log2(s) / 2
+		case hit.JoinGridQ:
+			e += 0.35 * float64(q.UnitCount())
+		case hit.GenerativeQ:
+			e += 0.5 + 0.5*float64(len(q.Fields))
+		default:
+			e += 1
+		}
+	}
+	return e
+}
+
+// Run implements Marketplace.
+func (m *SimMarket) Run(group *hit.Group) (*RunResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if group == nil || len(group.HITs) == 0 {
+		return &RunResult{}, nil
+	}
+	res := &RunResult{}
+
+	// Pass 1: refusal check and total completable assignments.
+	type posting struct {
+		h        *hit.HIT
+		effort   float64
+		slowdown float64
+	}
+	var postings []posting
+	totalAssignments := 0
+	for _, h := range group.HITs {
+		if err := h.Validate(); err != nil {
+			return nil, fmt.Errorf("crowd: %w", err)
+		}
+		e := effort(h)
+		if e > m.cfg.RefusalEffort {
+			res.Incomplete = append(res.Incomplete, h.ID)
+			continue
+		}
+		slow := 1.0
+		if e > m.cfg.SlowdownEffort {
+			r := m.cfg.SlowdownEffort / e
+			slow = r * r
+		}
+		postings = append(postings, posting{h: h, effort: e, slowdown: slow})
+		totalAssignments += h.Assignments
+	}
+	if totalAssignments == 0 {
+		return res, nil
+	}
+
+	// Group throughput: base rate scaled by time of day and by group
+	// attractiveness (small groups draw fewer Turkers, §2.6).
+	a := float64(totalAssignments)
+	ramp := a / (a + m.cfg.GroupRampAssignments)
+	rate := m.cfg.AssignmentsPerHour * m.cfg.TimeOfDayFactor * ramp
+	baseMakespan := a / rate
+
+	// Pass 2: assign workers and generate answers + latencies.
+	rcfg := respondConfig{
+		ratingNoise:             m.cfg.RatingNoise,
+		rateExtraSigma:          m.cfg.RateExtraSigma,
+		combinedConfusionFactor: m.cfg.CombinedConfusionFactor,
+		unknownShare:            m.cfg.UnknownShare,
+	}
+	aid := 0
+	for _, p := range postings {
+		units := p.h.Units()
+		affinity := 1 + m.cfg.SpamBatchAffinityPerUnit*float64(units-1)
+		if affinity < 1 {
+			affinity = 1
+		}
+		workers := m.pop.SampleDistinct(p.h.Assignments, affinity, m.rng)
+		for _, w := range workers {
+			aid++
+			asn := hit.Assignment{
+				ID:       fmt.Sprintf("%s/a%06d", group.ID, aid),
+				HITID:    p.h.ID,
+				WorkerID: w.ID,
+			}
+			for qi := range p.h.Questions {
+				q := &p.h.Questions[qi]
+				asn.Answers = append(asn.Answers, respond(w, q, m.oracle, rcfg, units, m.rng))
+				w.TasksDone++
+			}
+			// Completion time: position u on the group's completion
+			// curve, stretched through the straggler tail, divided by
+			// this HIT's slowdown.
+			u := m.rng.Float64()
+			pos := u
+			if u > 1-m.cfg.StragglerFrac {
+				pos = (1 - m.cfg.StragglerFrac) + (u-(1-m.cfg.StragglerFrac))*m.cfg.StragglerSlowdown
+			}
+			t := baseMakespan * pos / p.slowdown
+			// Small per-assignment jitter.
+			t *= 1 + 0.1*m.rng.Float64()
+			asn.SubmitHours = t
+			if t > res.MakespanHours {
+				res.MakespanHours = t
+			}
+			res.Assignments = append(res.Assignments, asn)
+		}
+	}
+	res.TotalAssignments = len(res.Assignments)
+	hit.SortAssignments(res.Assignments)
+	return res, nil
+}
+
+// RunAll posts several groups in sequence and concatenates results; a
+// convenience for operators that stage multiple phases.
+func (m *SimMarket) RunAll(groups ...*hit.Group) (*RunResult, error) {
+	out := &RunResult{}
+	for _, g := range groups {
+		r, err := m.Run(g)
+		if err != nil {
+			return nil, err
+		}
+		out.Assignments = append(out.Assignments, r.Assignments...)
+		out.Incomplete = append(out.Incomplete, r.Incomplete...)
+		out.TotalAssignments += r.TotalAssignments
+		if r.MakespanHours > out.MakespanHours {
+			out.MakespanHours = r.MakespanHours
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+// Package crowd simulates a crowdsourcing marketplace (the paper's
+// Mechanical Turk substrate). The simulator reproduces the error-
+// generating processes the paper measures on the live crowd: imperfect
+// workers, spammers who do minimal work, worker bias, ambiguity-driven
+// disagreement, Zipfian work distribution across workers, latency that
+// depends on batch size and HIT-group attractiveness, straggler tails,
+// and outright refusal of over-large batches.
+//
+// Ground truth comes from an Oracle that datasets implement; workers
+// never see the oracle directly — their answers are truth plus a model
+// of human error.
+package crowd
+
+import (
+	"qurk/internal/relation"
+)
+
+// Oracle supplies the latent ground truth the simulated workers perceive
+// (imperfectly). Each dataset in internal/dataset implements it.
+type Oracle interface {
+	// JoinMatch reports whether two tuples denote the same entity and
+	// a difficulty in [0,1]: 0 = trivially distinguishable, 1 = workers
+	// can only guess (e.g. lookalike celebrities, profile-vs-candid
+	// shots).
+	JoinMatch(left, right relation.Tuple) (match bool, difficulty float64)
+
+	// FilterTruth reports the correct yes/no answer for filter task
+	// taskName over t, with a difficulty like JoinMatch's.
+	FilterTruth(taskName string, t relation.Tuple) (yes bool, difficulty float64)
+
+	// FieldValue reports the categorical value a careful worker
+	// perceives for one generative field, the per-field confusion rate
+	// in [0,1] (hair color is confusable, gender rarely), and the legal
+	// options. Perception is per-photo: a celebrity with dyed hair can
+	// display different values in different photos, which is what makes
+	// hair a bad feature filter in the paper (§3.3.4).
+	FieldValue(taskName, field string, t relation.Tuple) (value string, confusion float64, options []string)
+
+	// Score returns the latent scalar for compare/rate questions under
+	// sort task taskName, plus sigma — the per-query subjective noise
+	// (in units of the score range) that models query ambiguity: tiny
+	// for square areas (Q1), moderate for animal size (Q2), large for
+	// dangerousness (Q3), huge for "belongs on Saturn" (Q4), and
+	// effectively infinite for the random control (Q5).
+	Score(taskName string, t relation.Tuple) (score, sigma float64)
+
+	// ScoreRange returns the dataset's [lo, hi] latent score range for
+	// the task; workers calibrate ratings against it the way the
+	// paper's context sample of 10 random items lets live workers
+	// calibrate (§4.1.2).
+	ScoreRange(taskName string) (lo, hi float64)
+}
+
+// StaticOracle is a convenience Oracle backed by maps, used by unit tests
+// and the quickstart example. Keys are the Text() of a designated key
+// column.
+type StaticOracle struct {
+	// KeyColumn is the tuple column identifying an item (default "id").
+	KeyColumn string
+	// Matches maps "leftKey|rightKey" to true for joining pairs.
+	Matches map[string]bool
+	// JoinDifficulty applies to all pairs.
+	JoinDifficulty float64
+	// Filters maps taskName|key to the correct boolean.
+	Filters map[string]bool
+	// FilterDifficulty applies to all filter questions.
+	FilterDifficulty float64
+	// FieldValues maps taskName|field|key to the perceived value.
+	FieldValues map[string]string
+	// FieldConfusion maps taskName|field to a confusion rate.
+	FieldConfusion map[string]float64
+	// FieldOptions maps taskName|field to legal values.
+	FieldOptions map[string][]string
+	// Scores maps taskName|key to the latent score.
+	Scores map[string]float64
+	// Sigmas maps taskName to the subjective noise level.
+	Sigmas map[string]float64
+	// Ranges maps taskName to [lo, hi].
+	Ranges map[string][2]float64
+}
+
+func (o *StaticOracle) key(t relation.Tuple) string {
+	col := o.KeyColumn
+	if col == "" {
+		col = "id"
+	}
+	v, ok := t.Get(col)
+	if !ok {
+		return t.String()
+	}
+	return v.Text()
+}
+
+// JoinMatch implements Oracle.
+func (o *StaticOracle) JoinMatch(left, right relation.Tuple) (bool, float64) {
+	return o.Matches[o.key(left)+"|"+o.key(right)], o.JoinDifficulty
+}
+
+// FilterTruth implements Oracle.
+func (o *StaticOracle) FilterTruth(taskName string, t relation.Tuple) (bool, float64) {
+	return o.Filters[taskName+"|"+o.key(t)], o.FilterDifficulty
+}
+
+// FieldValue implements Oracle.
+func (o *StaticOracle) FieldValue(taskName, field string, t relation.Tuple) (string, float64, []string) {
+	return o.FieldValues[taskName+"|"+field+"|"+o.key(t)],
+		o.FieldConfusion[taskName+"|"+field],
+		o.FieldOptions[taskName+"|"+field]
+}
+
+// Score implements Oracle.
+func (o *StaticOracle) Score(taskName string, t relation.Tuple) (float64, float64) {
+	return o.Scores[taskName+"|"+o.key(t)], o.Sigmas[taskName]
+}
+
+// ScoreRange implements Oracle.
+func (o *StaticOracle) ScoreRange(taskName string) (float64, float64) {
+	r, ok := o.Ranges[taskName]
+	if !ok {
+		return 0, 1
+	}
+	return r[0], r[1]
+}

@@ -1,0 +1,253 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"qurk/internal/hit"
+)
+
+// respondConfig carries the response-model knobs out of Config.
+type respondConfig struct {
+	// ratingNoise is per-rating Gaussian noise in Likert units.
+	ratingNoise float64
+	// combinedConfusionFactor scales feature confusion down when
+	// several features are asked in one combined interface — the
+	// paper's "demographic survey" effect (§3.3.4: combining "reduces
+	// cost and error rate").
+	combinedConfusionFactor float64
+	// unknownShare is the fraction of feature errors that surface as
+	// UNKNOWN (when the task allows it) rather than a wrong value.
+	unknownShare float64
+	// rateExtraSigma is rating-only perceptual noise in range units
+	// (items judged in isolation, not side-by-side).
+	rateExtraSigma float64
+}
+
+// respond produces one worker's Answer to q. units is the total work in
+// the containing HIT (drives batching sloppiness).
+func respond(w *Worker, q *hit.Question, o Oracle, cfg respondConfig, units int, rng *rand.Rand) hit.Answer {
+	switch q.Kind {
+	case hit.FilterQ:
+		return answerFilter(w, q, o, units, rng)
+	case hit.GenerativeQ:
+		return answerGenerative(w, q, o, cfg, units, rng)
+	case hit.JoinPairQ:
+		return answerJoinPair(w, q, o, units, rng)
+	case hit.JoinGridQ:
+		return answerJoinGrid(w, q, o, units, rng)
+	case hit.CompareQ:
+		return answerCompare(w, q, o, rng)
+	case hit.RateQ:
+		return answerRate(w, q, o, cfg, rng)
+	default:
+		return hit.Answer{QuestionID: q.ID}
+	}
+}
+
+func answerFilter(w *Worker, q *hit.Question, o Oracle, units int, rng *rand.Rand) hit.Answer {
+	if w.IsSpammer {
+		return hit.Answer{QuestionID: q.ID, Bool: spamBool(w, rng)}
+	}
+	truth, diff := o.FilterTruth(q.Task, q.Tuple)
+	correct := rng.Float64() < w.effectiveAccuracy(diff, units)
+	return hit.Answer{QuestionID: q.ID, Bool: truth == correct}
+}
+
+// falsePositiveDamp scales the error rate when the true join answer is
+// "no": misses (false negatives) are the dominant human error on match
+// tasks, while spurious confirmations are rare — the paper's batched
+// joins lose true positives but keep the true-negative rate ≈ 1.0
+// (Fig. 3, Table 1).
+const falsePositiveDamp = 0.25
+
+func answerJoinPair(w *Worker, q *hit.Question, o Oracle, units int, rng *rand.Rand) hit.Answer {
+	if w.IsSpammer {
+		return hit.Answer{QuestionID: q.ID, Bool: spamBool(w, rng)}
+	}
+	match, diff := o.JoinMatch(q.Left, q.Right)
+	errProb := 1 - w.effectiveAccuracy(diff, units)
+	if !match {
+		errProb *= falsePositiveDamp
+	}
+	correct := rng.Float64() >= errProb
+	return hit.Answer{QuestionID: q.ID, Bool: match == correct}
+}
+
+func spamBool(w *Worker, rng *rand.Rand) bool {
+	if w.Strategy == SpamMinimal {
+		return false // least-effort click-through
+	}
+	return rng.Float64() < 0.5
+}
+
+func answerJoinGrid(w *Worker, q *hit.Question, o Oracle, units int, rng *rand.Rand) hit.Answer {
+	ans := hit.Answer{QuestionID: q.ID}
+	if w.IsSpammer {
+		if w.Strategy == SpamMinimal {
+			return ans // "no matches" checkbox
+		}
+		// Random spammer clicks a few arbitrary cells.
+		for l := range q.LeftItems {
+			for r := range q.RightItems {
+				if rng.Float64() < 0.1 {
+					ans.Pairs = append(ans.Pairs, [2]int{l, r})
+				}
+			}
+		}
+		return ans
+	}
+	for l, lt := range q.LeftItems {
+		for r, rt := range q.RightItems {
+			match, diff := o.JoinMatch(lt, rt)
+			errProb := 1 - w.effectiveAccuracy(diff, units)
+			if !match {
+				errProb *= falsePositiveDamp
+			}
+			correct := rng.Float64() >= errProb
+			if match == correct {
+				ans.Pairs = append(ans.Pairs, [2]int{l, r})
+			}
+		}
+	}
+	return ans
+}
+
+// answerCompare implements a Thurstonian judgment: the worker perceives
+// each item's latent score plus subjective noise and reports the induced
+// order. Within one worker's group the order is internally consistent;
+// across workers and groups, noise yields the non-transitive pairwise
+// majorities the paper observed (§4.1.1).
+func answerCompare(w *Worker, q *hit.Question, o Oracle, rng *rand.Rand) hit.Answer {
+	n := len(q.Items)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if w.IsSpammer {
+		if w.Strategy == SpamRandom {
+			rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		return hit.Answer{QuestionID: q.ID, Order: order}
+	}
+	lo, hi := o.ScoreRange(q.Task)
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	perceived := make([]float64, n)
+	for i, item := range q.Items {
+		score, sigma := o.Score(q.Task, item)
+		perceived[i] = score + rng.NormFloat64()*sigma*span*w.NoiseMult
+	}
+	sortByScore(order, perceived)
+	return hit.Answer{QuestionID: q.ID, Order: order}
+}
+
+func sortByScore(order []int, score []float64) {
+	// Insertion sort: n ≤ ~20 items per comparison group.
+	for i := 1; i < len(order); i++ {
+		j := i
+		for j > 0 && score[order[j-1]] > score[order[j]] {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+}
+
+// answerRate maps the item's latent score onto the Likert scale through
+// the worker's personal calibration (slope, bias) plus subjective and
+// response noise (paper §4.1.2).
+func answerRate(w *Worker, q *hit.Question, o Oracle, cfg respondConfig, rng *rand.Rand) hit.Answer {
+	if w.IsSpammer {
+		r := (q.Scale + 1) / 2
+		if w.Strategy == SpamRandom {
+			r = 1 + rng.Intn(q.Scale)
+		}
+		return hit.Answer{QuestionID: q.ID, Rating: r}
+	}
+	lo, hi := o.ScoreRange(q.Task)
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	score, sigma := o.Score(q.Task, q.Tuple)
+	norm := (score-lo)/span + rng.NormFloat64()*sigma*w.NoiseMult + rng.NormFloat64()*cfg.rateExtraSigma
+
+	raw := 1 + norm*w.RatingSlope*float64(q.Scale-1) + w.RatingBias + rng.NormFloat64()*cfg.ratingNoise
+	r := int(math.Round(raw))
+	if r < 1 {
+		r = 1
+	}
+	if r > q.Scale {
+		r = q.Scale
+	}
+	return hit.Answer{QuestionID: q.ID, Rating: r}
+}
+
+func answerGenerative(w *Worker, q *hit.Question, o Oracle, cfg respondConfig, units int, rng *rand.Rand) hit.Answer {
+	ans := hit.Answer{QuestionID: q.ID, Fields: make(map[string]string, len(q.Fields))}
+	combined := strings.Contains(q.Task, "+")
+	for _, field := range q.Fields {
+		value, confusion, options := o.FieldValue(q.Task, field, q.Tuple)
+		if w.IsSpammer {
+			switch {
+			case len(options) == 0:
+				ans.Fields[field] = "asdf"
+			case w.Strategy == SpamMinimal:
+				ans.Fields[field] = options[0]
+			default:
+				ans.Fields[field] = options[rng.Intn(len(options))]
+			}
+			continue
+		}
+		if combined {
+			confusion *= cfg.combinedConfusionFactor
+		}
+		// Worker-specific error rate: less skilled workers confuse
+		// features more; batching adds sloppiness.
+		errProb := confusion * (1.5 - w.Skill)
+		if units > 1 {
+			errProb += w.Sloppiness * float64(units-1)
+		}
+		if errProb > 0.95 {
+			errProb = 0.95
+		}
+		if rng.Float64() >= errProb {
+			ans.Fields[field] = value
+			continue
+		}
+		// Error: either UNKNOWN (if offered) or a different option.
+		if hasUnknown(options) && rng.Float64() < cfg.unknownShare {
+			ans.Fields[field] = "UNKNOWN"
+			continue
+		}
+		if len(options) == 0 {
+			// Free text: garbled response the normalizer can't save.
+			ans.Fields[field] = value + " ???"
+			continue
+		}
+		alts := make([]string, 0, len(options))
+		for _, opt := range options {
+			if opt != value && !strings.EqualFold(opt, "UNKNOWN") {
+				alts = append(alts, opt)
+			}
+		}
+		if len(alts) == 0 {
+			ans.Fields[field] = value
+			continue
+		}
+		ans.Fields[field] = alts[rng.Intn(len(alts))]
+	}
+	return ans
+}
+
+func hasUnknown(options []string) bool {
+	for _, o := range options {
+		if strings.EqualFold(o, "UNKNOWN") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+
+	"qurk/internal/hit"
+)
+
+func TestSpamBoolStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	minimal := &Worker{IsSpammer: true, Strategy: SpamMinimal}
+	for i := 0; i < 20; i++ {
+		if spamBool(minimal, rng) {
+			t.Fatal("minimal spammer answered yes")
+		}
+	}
+	random := &Worker{IsSpammer: true, Strategy: SpamRandom}
+	yes := 0
+	for i := 0; i < 500; i++ {
+		if spamBool(random, rng) {
+			yes++
+		}
+	}
+	if yes < 180 || yes > 320 {
+		t.Errorf("random spammer yes rate = %d/500, want ≈250", yes)
+	}
+}
+
+func TestAnswerRateClamping(t *testing.T) {
+	oracle := &pairOracle{sigma: 0, n: 10}
+	rng := rand.New(rand.NewSource(2))
+	// Extreme bias pushes raw ratings far out of range; answers must
+	// stay within [1, scale].
+	w := &Worker{Skill: 0.9, RatingSlope: 1, NoiseMult: 1, RatingBias: 100}
+	q := &hit.Question{ID: "q", Kind: hit.RateQ, Task: "sort", Tuple: item("i0"), Scale: 7}
+	for i := 0; i < 50; i++ {
+		r := answerRate(w, q, oracle, respondConfig{ratingNoise: 0.5}, rng).Rating
+		if r != 7 {
+			t.Fatalf("rating %d with +100 bias, want clamp at 7", r)
+		}
+	}
+	w.RatingBias = -100
+	for i := 0; i < 50; i++ {
+		if r := answerRate(w, q, oracle, respondConfig{ratingNoise: 0.5}, rng).Rating; r != 1 {
+			t.Fatalf("rating %d with -100 bias, want clamp at 1", r)
+		}
+	}
+}
+
+func TestAnswerFilterSpamAndDifficulty(t *testing.T) {
+	oracle := &pairOracle{difficulty: 0, n: 10}
+	rng := rand.New(rand.NewSource(3))
+	good := &Worker{Skill: 0.95}
+	q := &hit.Question{ID: "q", Kind: hit.FilterQ, Task: "f", Tuple: item("i0")} // truth: i0 even → yes
+	correct := 0
+	for i := 0; i < 300; i++ {
+		if answerFilter(good, q, oracle, 1, rng).Bool {
+			correct++
+		}
+	}
+	if correct < 260 {
+		t.Errorf("skilled filter accuracy = %d/300", correct)
+	}
+	// Impossible difficulty → coin flip.
+	hard := &pairOracle{difficulty: 1, n: 10}
+	correct = 0
+	for i := 0; i < 600; i++ {
+		if answerFilter(good, q, hard, 1, rng).Bool {
+			correct++
+		}
+	}
+	if correct < 240 || correct > 360 {
+		t.Errorf("impossible-task yes rate = %d/600, want ≈300", correct)
+	}
+}
+
+func TestRespondDispatch(t *testing.T) {
+	oracle := &pairOracle{n: 10}
+	rng := rand.New(rand.NewSource(4))
+	w := &Worker{Skill: 0.9, RatingSlope: 1, NoiseMult: 1}
+	cfg := respondConfig{ratingNoise: 0.5}
+	cases := []hit.Question{
+		{ID: "f", Kind: hit.FilterQ, Task: "t", Tuple: item("i0")},
+		{ID: "g", Kind: hit.GenerativeQ, Task: "t", Tuple: item("i0"), Fields: []string{"color"}},
+		{ID: "p", Kind: hit.JoinPairQ, Task: "t", Left: item("i0"), Right: item("i0")},
+		{ID: "r", Kind: hit.RateQ, Task: "t", Tuple: item("i0"), Scale: 7},
+	}
+	for _, q := range cases {
+		ans := respond(w, &q, oracle, cfg, 1, rng)
+		if ans.QuestionID != q.ID {
+			t.Errorf("kind %v: answer ID %q", q.Kind, ans.QuestionID)
+		}
+	}
+	// Unknown kind yields an empty answer, not a panic.
+	weird := hit.Question{ID: "w", Kind: hit.Kind(99)}
+	if got := respond(w, &weird, oracle, cfg, 1, rng); got.QuestionID != "w" {
+		t.Error("unknown kind mishandled")
+	}
+}
+
+func TestEffortModel(t *testing.T) {
+	mk := func(qs ...hit.Question) *hit.HIT { return &hit.HIT{ID: "h", Assignments: 5, Questions: qs} }
+	// Five filters = 5 units.
+	filters := make([]hit.Question, 5)
+	for i := range filters {
+		filters[i] = hit.Question{ID: "q", Kind: hit.FilterQ}
+	}
+	if e := effort(mk(filters...)); e != 5 {
+		t.Errorf("filter effort = %v", e)
+	}
+	// Compare group of 8: 8·log2(8)/2 = 12.
+	cq := hit.Question{ID: "q", Kind: hit.CompareQ}
+	for i := 0; i < 8; i++ {
+		cq.Items = append(cq.Items, item("i0"))
+	}
+	if e := effort(mk(cq)); e < 11.9 || e > 12.1 {
+		t.Errorf("compare-8 effort = %v, want 12", e)
+	}
+	// Generative with 3 fields: 0.5 + 1.5 = 2.
+	gq := hit.Question{ID: "q", Kind: hit.GenerativeQ, Fields: []string{"a", "b", "c"}}
+	if e := effort(mk(gq)); e != 2 {
+		t.Errorf("generative effort = %v", e)
+	}
+}

@@ -1,0 +1,268 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SpamStrategy is how a spammer minimizes effort (paper §2.1: workers
+// "attempt to game the marketplace by doing a minimal amount of work").
+type SpamStrategy uint8
+
+const (
+	// SpamRandom answers uniformly at random.
+	SpamRandom SpamStrategy = iota
+	// SpamMinimal gives the least-effort answer: "no" on pair
+	// questions, "no matches" on grids, a constant mid-scale rating,
+	// and the identity order on comparisons.
+	SpamMinimal
+)
+
+// Worker is one simulated Turker.
+type Worker struct {
+	// ID is stable across runs with the same seed.
+	ID string
+	// Skill is the probability of a correct binary judgment on an
+	// unambiguous, unbatched task. The paper's Simple join trials
+	// imply a population average around 0.78–0.85 (§3.3.2).
+	Skill float64
+	// IsSpammer marks minimal-effort workers.
+	IsSpammer bool
+	// Strategy applies when IsSpammer.
+	Strategy SpamStrategy
+	// RatingBias shifts this worker's Likert ratings (scale units).
+	RatingBias float64
+	// RatingSlope distorts this worker's mapping from latent score to
+	// the rating scale (1 = faithful).
+	RatingSlope float64
+	// NoiseMult scales the subjective comparison noise for this worker
+	// (1 = population typical).
+	NoiseMult float64
+	// Sloppiness is the extra per-unit error a worker accrues on
+	// batched HITs; the paper observes batched schemes attract "workers
+	// that quickly and inaccurately complete the tasks" (§3.3.2).
+	Sloppiness float64
+	// PickupWeight is the worker's propensity to grab tasks; drawn
+	// from a Zipfian so "a small number of workers complete a large
+	// fraction of the work" (§3.3.3).
+	PickupWeight float64
+	// TasksDone counts assignments completed in this simulation; used
+	// for the §3.3.3 accuracy-vs-work regression.
+	TasksDone int
+}
+
+// effectiveAccuracy is the worker's per-judgment accuracy on a HIT whose
+// questions carry the given difficulty and batch size (units of work).
+// Difficulty linearly interpolates between full skill and a coin flip;
+// batching subtracts sloppiness per extra unit, floored at chance.
+func (w *Worker) effectiveAccuracy(difficulty float64, units int) float64 {
+	p := 0.5 + (w.Skill-0.5)*(1-clamp01(difficulty))
+	if units > 1 {
+		p -= w.Sloppiness * float64(units-1)
+	}
+	if p < 0.5 {
+		p = 0.5
+	}
+	if p > 0.995 {
+		p = 0.995
+	}
+	return p
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Population is the simulated worker pool.
+type Population struct {
+	Workers []*Worker
+	cum     []float64 // cumulative pickup weights for sampling
+	banned  map[string]bool
+}
+
+// PopulationConfig controls worker generation.
+type PopulationConfig struct {
+	// Size is the number of workers (default 150).
+	Size int
+	// MeanSkill and SkillStd parametrize the truncated-normal skill
+	// distribution (defaults 0.83, 0.09 — calibrated so the average
+	// Simple-join worker lands near the paper's 78% true-positive rate
+	// once pair difficulty is applied).
+	MeanSkill, SkillStd float64
+	// SpamFraction is the share of spammers (default 0.08).
+	SpamFraction float64
+	// ZipfS is the Zipf exponent for pickup weights (default 1.3).
+	ZipfS float64
+	// RatingBiasStd is the std dev of per-worker rating bias in scale
+	// units (default 0.9).
+	RatingBiasStd float64
+	// RatingSlopeStd is the std dev of the rating slope around 1
+	// (default 0.12).
+	RatingSlopeStd float64
+	// SloppinessMean is the mean per-extra-unit accuracy loss on
+	// batched HITs (default 0.004).
+	SloppinessMean float64
+}
+
+func (c *PopulationConfig) fillDefaults() {
+	if c.Size == 0 {
+		c.Size = 150
+	}
+	if c.MeanSkill == 0 {
+		c.MeanSkill = 0.83
+	}
+	if c.SkillStd == 0 {
+		c.SkillStd = 0.09
+	}
+	if c.SpamFraction == 0 {
+		c.SpamFraction = 0.08
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.3
+	}
+	if c.RatingBiasStd == 0 {
+		c.RatingBiasStd = 0.9
+	}
+	if c.RatingSlopeStd == 0 {
+		c.RatingSlopeStd = 0.12
+	}
+	if c.SloppinessMean == 0 {
+		c.SloppinessMean = 0.004
+	}
+}
+
+// NewPopulation generates a deterministic worker pool from the seed.
+func NewPopulation(cfg PopulationConfig, rng *rand.Rand) *Population {
+	cfg.fillDefaults()
+	p := &Population{Workers: make([]*Worker, cfg.Size)}
+	for i := range p.Workers {
+		skill := cfg.MeanSkill + rng.NormFloat64()*cfg.SkillStd
+		if skill < 0.55 {
+			skill = 0.55
+		}
+		if skill > 0.98 {
+			skill = 0.98
+		}
+		w := &Worker{
+			ID:           fmt.Sprintf("w%04d", i),
+			Skill:        skill,
+			RatingBias:   rng.NormFloat64() * cfg.RatingBiasStd,
+			RatingSlope:  1 + rng.NormFloat64()*cfg.RatingSlopeStd,
+			NoiseMult:    math.Exp(rng.NormFloat64() * 0.25),
+			Sloppiness:   math.Abs(rng.NormFloat64()) * cfg.SloppinessMean,
+			PickupWeight: 1 / math.Pow(float64(i+1), cfg.ZipfS),
+		}
+		// The top pickup decile is exempt from spam: prolific Turkers
+		// carry reputations (paper §6) and requesters ban obvious
+		// spammers, so spam concentrates in the long tail of workers.
+		if i >= cfg.Size/10 && rng.Float64() < cfg.SpamFraction {
+			w.IsSpammer = true
+			if rng.Float64() < 0.5 {
+				w.Strategy = SpamRandom
+			} else {
+				w.Strategy = SpamMinimal
+			}
+		}
+		p.Workers[i] = w
+	}
+	p.rebuildCum(1)
+	return p
+}
+
+// rebuildCum recomputes the cumulative sampling weights. spamAffinity ≥ 1
+// multiplies spammer weights — batched HIT groups attract minimal-effort
+// workers (paper §3.3.2: "these larger, batched schemes are more
+// attractive to workers that quickly and inaccurately complete tasks").
+// Banned workers get zero weight.
+func (p *Population) rebuildCum(spamAffinity float64) {
+	p.cum = make([]float64, len(p.Workers))
+	total := 0.0
+	for i, w := range p.Workers {
+		weight := w.PickupWeight
+		if w.IsSpammer {
+			weight *= spamAffinity
+		}
+		if p.banned[w.ID] {
+			weight = 0
+		}
+		total += weight
+		p.cum[i] = total
+	}
+}
+
+// Ban excludes a worker from future task pickup — the paper's §6
+// suggestion to "use the output of the QA algorithm to ban Turkers found
+// to produce poor results, reducing future costs".
+func (p *Population) Ban(workerID string) {
+	if p.banned == nil {
+		p.banned = map[string]bool{}
+	}
+	p.banned[workerID] = true
+}
+
+// Banned reports whether a worker is banned.
+func (p *Population) Banned(workerID string) bool { return p.banned[workerID] }
+
+// BannedCount returns how many workers are banned.
+func (p *Population) BannedCount() int { return len(p.banned) }
+
+// SampleDistinct draws n distinct workers weighted by pickup propensity,
+// with the given spammer affinity. Banned workers are never drawn. If n
+// exceeds the available population, every unbanned worker is returned.
+func (p *Population) SampleDistinct(n int, spamAffinity float64, rng *rand.Rand) []*Worker {
+	if n >= len(p.Workers)-len(p.banned) {
+		out := make([]*Worker, 0, len(p.Workers))
+		for _, w := range p.Workers {
+			if !p.banned[w.ID] {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	p.rebuildCum(spamAffinity)
+	chosen := make(map[int]bool, n)
+	out := make([]*Worker, 0, n)
+	total := p.cum[len(p.cum)-1]
+	for len(out) < n {
+		x := rng.Float64() * total
+		i := searchCum(p.cum, x)
+		if chosen[i] || p.banned[p.Workers[i].ID] {
+			// Linear probe to the next eligible worker keeps sampling
+			// O(n) without rebuilding weights after each draw.
+			for chosen[i] || p.banned[p.Workers[i].ID] {
+				i = (i + 1) % len(p.Workers)
+			}
+		}
+		chosen[i] = true
+		out = append(out, p.Workers[i])
+	}
+	return out
+}
+
+func searchCum(cum []float64, x float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ResetTaskCounts zeroes per-worker completion counters between
+// experiments.
+func (p *Population) ResetTaskCounts() {
+	for _, w := range p.Workers {
+		w.TasksDone = 0
+	}
+}

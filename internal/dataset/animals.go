@@ -1,0 +1,232 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"qurk/internal/crowd"
+	"qurk/internal/relation"
+	"qurk/internal/task"
+)
+
+// The animals dataset (paper §4.2.1): 25 animals plus a rock and a
+// dandelion ("flower") "to introduce uncertainty". The paper publishes
+// the full Compare output orders for its three sort queries (§4.2.3);
+// we adopt those as latent ground truth and vary only the per-query
+// subjective noise, which is what κ and τ measure.
+var animalNames = []string{
+	"ant", "baboon", "bee", "camel", "dog", "dolphin", "eagle",
+	"elephant seal", "flower", "grasshopper", "great white shark",
+	"hippo", "hyena", "komodo dragon", "lemur", "moose", "octopus",
+	"panther", "parrot", "rat", "rock", "skunk", "tazmanian devil",
+	"tiger", "turkey", "whale", "wolf",
+}
+
+// The paper's published Compare orders, least → most (§4.2.3).
+var (
+	sizeOrder = []string{
+		"ant", "bee", "flower", "grasshopper", "parrot", "rock", "rat",
+		"octopus", "skunk", "tazmanian devil", "turkey", "eagle", "lemur",
+		"hyena", "dog", "komodo dragon", "baboon", "wolf", "panther",
+		"dolphin", "elephant seal", "moose", "tiger", "camel",
+		"great white shark", "hippo", "whale",
+	}
+	dangerOrder = []string{
+		"flower", "ant", "grasshopper", "rock", "bee", "turkey", "dolphin",
+		"parrot", "baboon", "rat", "tazmanian devil", "lemur", "camel",
+		"octopus", "dog", "eagle", "elephant seal", "skunk", "hippo",
+		"hyena", "great white shark", "moose", "komodo dragon", "wolf",
+		"tiger", "whale", "panther",
+	}
+	saturnOrder = []string{
+		"whale", "octopus", "dolphin", "elephant seal", "great white shark",
+		"bee", "flower", "grasshopper", "hippo", "dog", "lemur", "wolf",
+		"moose", "camel", "hyena", "skunk", "tazmanian devil", "tiger",
+		"baboon", "eagle", "parrot", "turkey", "rat", "panther",
+		"komodo dragon", "ant", "rock",
+	}
+)
+
+// Per-query subjective noise (range fraction): Q2 size is fairly crisp,
+// Q3 dangerousness is ambiguous, Q4 Saturn mostly guesswork, Q5 random
+// is pure noise (the paper's five queries, §4.2.3).
+const (
+	SizeSigma   = 0.05
+	DangerSigma = 0.16
+	SaturnSigma = 0.60
+	RandomSigma = 1000
+)
+
+// Animals is the animal-sort dataset.
+type Animals struct {
+	Rel   *relation.Relation
+	byURL map[string]string // url → name
+	// rankIn[task][name] = position in that task's ground order.
+	rankIn map[string]map[string]int
+}
+
+// NewAnimals builds the 27-item dataset.
+func NewAnimals() *Animals {
+	a := &Animals{
+		byURL:  make(map[string]string, len(animalNames)),
+		rankIn: map[string]map[string]int{},
+	}
+	for taskName, order := range map[string][]string{
+		"animalSize":  sizeOrder,
+		"dangerous":   dangerOrder,
+		"saturn":      saturnOrder,
+		"randomOrder": sizeOrder, // scores irrelevant at RandomSigma
+	} {
+		m := make(map[string]int, len(order))
+		for i, n := range order {
+			m[n] = i
+		}
+		a.rankIn[taskName] = m
+	}
+	schema := relation.MustSchema(
+		relation.Column{Name: "name", Kind: relation.KindText},
+		relation.Column{Name: "img", Kind: relation.KindURL},
+	)
+	a.Rel = relation.New("animals", schema)
+	for i, n := range animalNames {
+		url := fmt.Sprintf("http://animals.example/%02d-%s.jpg", i, strings.ReplaceAll(n, " ", "-"))
+		a.byURL[url] = n
+		_ = a.Rel.AppendValues(relation.Text(n), relation.URL(url))
+	}
+	return a
+}
+
+// TrueOrderIndices returns row indices in the ground order for a query
+// task ("animalSize", "dangerous", "saturn").
+func (a *Animals) TrueOrderIndices(taskName string) ([]int, error) {
+	ranks, ok := a.rankIn[taskName]
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown animal task %q", taskName)
+	}
+	type ri struct{ row, rank int }
+	rows := make([]ri, a.Rel.Len())
+	for i := 0; i < a.Rel.Len(); i++ {
+		name := a.Rel.Row(i).MustGet("name").Text()
+		rows[i] = ri{i, ranks[name]}
+	}
+	// insertion sort by rank (27 items)
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j-1].rank > rows[j].rank; j-- {
+			rows[j-1], rows[j] = rows[j], rows[j-1]
+		}
+	}
+	out := make([]int, len(rows))
+	for i, r := range rows {
+		out[i] = r.row
+	}
+	return out, nil
+}
+
+// TrueScores returns the latent score of each row under a task.
+func (a *Animals) TrueScores(taskName string) ([]float64, error) {
+	ranks, ok := a.rankIn[taskName]
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown animal task %q", taskName)
+	}
+	out := make([]float64, a.Rel.Len())
+	for i := 0; i < a.Rel.Len(); i++ {
+		out[i] = float64(ranks[a.Rel.Row(i).MustGet("name").Text()])
+	}
+	return out, nil
+}
+
+// Oracle returns the simulator oracle.
+func (a *Animals) Oracle() crowd.Oracle { return (*animalsOracle)(a) }
+
+type animalsOracle Animals
+
+// JoinMatch implements crowd.Oracle (unused).
+func (o *animalsOracle) JoinMatch(relation.Tuple, relation.Tuple) (bool, float64) { return false, 0 }
+
+// FilterTruth implements crowd.Oracle (unused).
+func (o *animalsOracle) FilterTruth(string, relation.Tuple) (bool, float64) { return false, 0.5 }
+
+// FieldValue implements crowd.Oracle: the animalInfo generative task
+// (§2.2) returns the common name as free text.
+func (o *animalsOracle) FieldValue(taskName, field string, t relation.Tuple) (string, float64, []string) {
+	name, ok := t.Get("name")
+	if !ok {
+		return "", 0, nil
+	}
+	switch field {
+	case "common":
+		return name.Text(), 0.08, nil
+	case "species":
+		return "species of " + name.Text(), 0.2, nil
+	default:
+		return "", 0, nil
+	}
+}
+
+// Score implements crowd.Oracle with per-query sigma.
+func (o *animalsOracle) Score(taskName string, t relation.Tuple) (float64, float64) {
+	a := (*Animals)(o)
+	name, ok := t.Get("name")
+	if !ok {
+		return 0, 0
+	}
+	ranks, ok := a.rankIn[taskName]
+	if !ok {
+		return 0, 0.5
+	}
+	sigma := SizeSigma
+	switch taskName {
+	case "dangerous":
+		sigma = DangerSigma
+	case "saturn":
+		sigma = SaturnSigma
+	case "randomOrder":
+		sigma = RandomSigma
+	}
+	return float64(ranks[name.Text()]), sigma
+}
+
+// ScoreRange implements crowd.Oracle.
+func (o *animalsOracle) ScoreRange(string) (float64, float64) {
+	return 0, float64(len(animalNames) - 1)
+}
+
+// AnimalSortTask builds a Rank template for one of the animal queries.
+func AnimalSortTask(taskName, dimension, least, most string) *task.Rank {
+	return &task.Rank{
+		Name:               taskName,
+		SingularName:       "animal",
+		PluralName:         "animals",
+		OrderDimensionName: dimension,
+		LeastName:          least,
+		MostName:           most,
+		HTML:               task.MustPrompt("<img src='%s' class=lgImg>", "img"),
+		Combiner:           "MajorityVote",
+	}
+}
+
+// The paper's Q2–Q4 templates.
+func AnimalSizeTask() *task.Rank {
+	return AnimalSortTask("animalSize", "adult size", "smallest", "largest")
+}
+func DangerousTask() *task.Rank {
+	return AnimalSortTask("dangerous", "dangerousness", "least dangerous", "most dangerous")
+}
+func SaturnTask() *task.Rank {
+	return AnimalSortTask("saturn", "how much this animal belongs on Saturn", "least", "most")
+}
+func RandomOrderTask() *task.Rank {
+	return AnimalSortTask("randomOrder", "random order", "least", "most")
+}
+
+// AnimalInfoTask is the paper's generative example (§2.2).
+func AnimalInfoTask() *task.Generative {
+	return &task.Generative{
+		Name:   "animalInfo",
+		Prompt: task.MustPrompt("<table><tr><td><img src='%s'><td>What is the common name and species of this animal?</table>", "img"),
+		Fields: []task.Field{
+			{Name: "common", Response: task.TextInput("Common name"), Combiner: "MajorityVote", Normalizer: "LowercaseSingleSpace"},
+			{Name: "species", Response: task.TextInput("Species"), Combiner: "MajorityVote", Normalizer: "LowercaseSingleSpace"},
+		},
+	}
+}

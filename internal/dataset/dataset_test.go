@@ -1,0 +1,284 @@
+package dataset
+
+import (
+	"testing"
+
+	"qurk/internal/crowd"
+	"qurk/internal/relation"
+)
+
+func TestCelebritiesShape(t *testing.T) {
+	d := NewCelebrities(CelebrityConfig{N: 30, Seed: 1})
+	if d.Celeb.Len() != 30 || d.Photos.Len() != 30 {
+		t.Fatalf("tables: %d celebs, %d photos", d.Celeb.Len(), d.Photos.Len())
+	}
+	// Exactly one match per celebrity.
+	matches := d.TrueMatches()
+	if len(matches) != 30 {
+		t.Fatalf("true matches = %d, want 30", len(matches))
+	}
+	for _, m := range matches {
+		if m.LeftIndex != m.RightIndex {
+			t.Errorf("match indices misaligned: %d vs %d", m.LeftIndex, m.RightIndex)
+		}
+	}
+}
+
+func TestCelebritiesDeterminism(t *testing.T) {
+	a := NewCelebrities(CelebrityConfig{N: 20, Seed: 5})
+	b := NewCelebrities(CelebrityConfig{N: 20, Seed: 5})
+	for i := 0; i < 20; i++ {
+		av, _, _ := a.Oracle().FieldValue("hairColor", "hair", a.Photos.Row(i))
+		bv, _, _ := b.Oracle().FieldValue("hairColor", "hair", b.Photos.Row(i))
+		if av != bv {
+			t.Fatalf("photo %d hair differs across same-seed runs: %s vs %s", i, av, bv)
+		}
+	}
+}
+
+func TestCelebritiesHairDrift(t *testing.T) {
+	d := NewCelebrities(CelebrityConfig{N: 200, Seed: 7, HairDriftProb: 0.15})
+	o := d.Oracle()
+	drifted, unknown := 0, 0
+	for i := 0; i < 200; i++ {
+		ph, _, _ := o.FieldValue("hairColor", "hair", d.Celeb.Row(i))
+		ch, _, _ := o.FieldValue("hairColor", "hair", d.Photos.Row(i))
+		if ph == "UNKNOWN" || ch == "UNKNOWN" {
+			unknown++
+			continue
+		}
+		if ph != ch {
+			drifted++
+		}
+	}
+	// ≈15% of determinate celebrities display different hair across
+	// photos, and a sizable share of photos are hair-indeterminate.
+	if drifted < 8 || drifted > 60 {
+		t.Errorf("hair drift count = %d/200, want ≈20-30 among determinate", drifted)
+	}
+	if unknown < 40 {
+		t.Errorf("hair-indeterminate photos = %d/200, want ≥40", unknown)
+	}
+	// Gender never drifts.
+	for i := 0; i < 200; i++ {
+		pg, _, _ := o.FieldValue("gender", "gender", d.Celeb.Row(i))
+		cg, _, _ := o.FieldValue("gender", "gender", d.Photos.Row(i))
+		if pg != cg {
+			t.Fatalf("gender drifted for celeb %d", i)
+		}
+	}
+}
+
+func TestCelebritiesOracleDifficulties(t *testing.T) {
+	d := NewCelebrities(CelebrityConfig{N: 10, Seed: 3})
+	o := d.Oracle()
+	match, diff := o.JoinMatch(d.Celeb.Row(0), d.Photos.Row(0))
+	if !match || diff <= 0 {
+		t.Errorf("true pair: match=%v diff=%v", match, diff)
+	}
+	match, diff2 := o.JoinMatch(d.Celeb.Row(0), d.Photos.Row(1))
+	if match {
+		t.Error("non-pair reported as match")
+	}
+	if diff2 >= diff {
+		t.Errorf("non-match difficulty %v ≥ match difficulty %v", diff2, diff)
+	}
+}
+
+func TestCelebrityFilterTruth(t *testing.T) {
+	d := NewCelebrities(CelebrityConfig{N: 50, Seed: 11})
+	o := d.Oracle()
+	females := 0
+	for i := 0; i < 50; i++ {
+		yes, _ := o.FilterTruth("isFemale", d.Celeb.Row(i))
+		g, _, _ := o.FieldValue("gender", "gender", d.Celeb.Row(i))
+		if yes != (g == "female") {
+			t.Fatalf("isFemale truth inconsistent with gender for row %d", i)
+		}
+		if yes {
+			females++
+		}
+	}
+	if females < 10 || females > 40 {
+		t.Errorf("females = %d/50, want roughly balanced", females)
+	}
+}
+
+func TestCelebrityTasksValidate(t *testing.T) {
+	for _, tk := range []interface{ Validate() error }{
+		SamePersonTask(), GenderTask(), HairColorTask(), SkinColorTask(), IsFemaleTask(),
+	} {
+		if err := tk.Validate(); err != nil {
+			t.Errorf("task invalid: %v", err)
+		}
+	}
+	if len(CelebrityFeatures()) != 3 {
+		t.Error("want 3 celebrity features")
+	}
+}
+
+func TestSquares(t *testing.T) {
+	s := NewSquares(40)
+	if s.Rel.Len() != 40 {
+		t.Fatalf("squares = %d", s.Rel.Len())
+	}
+	if s.Side(0) != 20 || s.Side(39) != 20+3*39 {
+		t.Errorf("sides = %d..%d, want 20..137", s.Side(0), s.Side(39))
+	}
+	scores := s.TrueScores()
+	if scores[0] != 400 {
+		t.Errorf("smallest area = %v, want 400", scores[0])
+	}
+	o := s.Oracle()
+	sc0, sig := o.Score("squareSorter", s.Rel.Row(0))
+	if sc0 != 20 || sig <= 0 || sig > 0.05 {
+		t.Errorf("score(0) = %v sigma %v", sc0, sig)
+	}
+	lo, hi := o.ScoreRange("squareSorter")
+	if lo != 20 || hi != 137 {
+		t.Errorf("range = [%v, %v]", lo, hi)
+	}
+	if err := SquareSorterTask().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnimalsOrders(t *testing.T) {
+	a := NewAnimals()
+	if a.Rel.Len() != 27 {
+		t.Fatalf("animals = %d, want 27 (25 + rock + flower)", a.Rel.Len())
+	}
+	for _, taskName := range []string{"animalSize", "dangerous", "saturn"} {
+		order, err := a.TrueOrderIndices(taskName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != 27 {
+			t.Fatalf("%s order = %d items", taskName, len(order))
+		}
+		scores, err := a.TrueScores(taskName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Order indices must sort scores ascending.
+		for i := 1; i < len(order); i++ {
+			if scores[order[i-1]] >= scores[order[i]] {
+				t.Fatalf("%s: order not ascending at %d", taskName, i)
+			}
+		}
+	}
+	// Spot-check the paper's published endpoints.
+	sizeIdx, _ := a.TrueOrderIndices("animalSize")
+	if a.Rel.Row(sizeIdx[0]).MustGet("name").Text() != "ant" {
+		t.Error("smallest animal should be ant")
+	}
+	if a.Rel.Row(sizeIdx[26]).MustGet("name").Text() != "whale" {
+		t.Error("largest animal should be whale")
+	}
+	dangerIdx, _ := a.TrueOrderIndices("dangerous")
+	if a.Rel.Row(dangerIdx[0]).MustGet("name").Text() != "flower" {
+		t.Error("least dangerous should be flower")
+	}
+	if a.Rel.Row(dangerIdx[26]).MustGet("name").Text() != "panther" {
+		t.Error("most dangerous should be panther")
+	}
+	saturnIdx, _ := a.TrueOrderIndices("saturn")
+	if a.Rel.Row(saturnIdx[26]).MustGet("name").Text() != "rock" {
+		t.Error("most Saturn-suited should be rock")
+	}
+	if _, err := a.TrueOrderIndices("bogus"); err == nil {
+		t.Error("bogus task accepted")
+	}
+}
+
+func TestAnimalsSigmasEscalate(t *testing.T) {
+	a := NewAnimals()
+	o := a.Oracle()
+	row := a.Rel.Row(0)
+	_, s1 := o.Score("animalSize", row)
+	_, s2 := o.Score("dangerous", row)
+	_, s3 := o.Score("saturn", row)
+	_, s4 := o.Score("randomOrder", row)
+	if !(s1 < s2 && s2 < s3 && s3 < s4) {
+		t.Errorf("sigmas not escalating: %v %v %v %v", s1, s2, s3, s4)
+	}
+}
+
+func TestMovieShape(t *testing.T) {
+	m := NewMovie(MovieConfig{Seed: 1})
+	if m.Scenes.Len() != 211 || m.Actors.Len() != 5 {
+		t.Fatalf("movie: %d scenes, %d actors", m.Scenes.Len(), m.Actors.Len())
+	}
+	one := m.OnePersonScenes()
+	frac := float64(len(one)) / 211
+	if frac < 0.45 || frac > 0.65 {
+		t.Errorf("one-person fraction = %.2f, want ≈0.55 (paper's selectivity)", frac)
+	}
+	// Every one-person scene joins exactly one actor.
+	joins := 0
+	for a := 0; a < m.Actors.Len(); a++ {
+		for s := 0; s < m.Scenes.Len(); s++ {
+			if m.InScene(m.Actors.Row(a), m.Scenes.Row(s)) {
+				joins++
+			}
+		}
+	}
+	if joins != len(one) {
+		t.Errorf("inScene joins = %d, want %d (one per one-person scene)", joins, len(one))
+	}
+}
+
+func TestMovieOracle(t *testing.T) {
+	m := NewMovie(MovieConfig{Seed: 3})
+	o := m.Oracle()
+	// numInScene field values match the scene truth.
+	for s := 0; s < 20; s++ {
+		v, conf, opts := o.FieldValue("numInScene", "numInScene", m.Scenes.Row(s))
+		if len(opts) != 5 || conf <= 0 {
+			t.Fatalf("numInScene options = %v conf %v", opts, conf)
+		}
+		yes, _ := o.FilterTruth("oneInScene", m.Scenes.Row(s))
+		if yes != (v == "1") {
+			t.Fatalf("scene %d: filter truth %v inconsistent with field %q", s, yes, v)
+		}
+	}
+	// Quality scores in [0,1] with the configured sigma.
+	_, sigma := o.Score("quality", m.Scenes.Row(0))
+	if sigma != 0.3 {
+		t.Errorf("quality sigma = %v", sigma)
+	}
+	for _, tk := range []interface{ Validate() error }{
+		InSceneTask(), NumInSceneTask(), OneInSceneFilter(), QualityTask(),
+	} {
+		if err := tk.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ crowd.Oracle = (*celebOracle)(nil)
+	_ crowd.Oracle = (*squaresOracle)(nil)
+	_ crowd.Oracle = (*animalsOracle)(nil)
+	_ crowd.Oracle = (*movieOracle)(nil)
+)
+
+func TestOracleUnknownTuples(t *testing.T) {
+	// Oracles must not panic on tuples from foreign schemas.
+	foreign := relation.MustTuple(
+		relation.MustSchema(relation.Column{Name: "x", Kind: relation.KindText}),
+		relation.Text("?"))
+	d := NewCelebrities(CelebrityConfig{N: 5, Seed: 1})
+	if match, _ := d.Oracle().JoinMatch(foreign, foreign); match {
+		t.Error("foreign tuple matched")
+	}
+	s := NewSquares(5)
+	if sc, _ := s.Oracle().Score("squareSorter", foreign); sc != 0 {
+		t.Error("foreign square scored")
+	}
+	m := NewMovie(MovieConfig{Scenes: 10, Actors: 2, Seed: 1})
+	if yes, _ := m.Oracle().FilterTruth("oneInScene", foreign); yes {
+		t.Error("foreign scene filtered")
+	}
+}

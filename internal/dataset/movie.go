@@ -1,0 +1,275 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"qurk/internal/crowd"
+	"qurk/internal/relation"
+	"qurk/internal/task"
+)
+
+// MovieConfig controls the end-to-end query dataset (paper §5): 211
+// stills from a three-minute movie plus actor profile photos.
+type MovieConfig struct {
+	// Scenes is the number of stills (paper: 211).
+	Scenes int
+	// Actors is the cast size (paper's unfiltered Simple join of 1055
+	// HITs over 211 scenes implies 5 actors).
+	Actors int
+	// Seed drives generation.
+	Seed int64
+	// OnePersonFrac is the fraction of scenes with exactly one person
+	// (the paper's numInScene predicate had selectivity ≈ 55%).
+	OnePersonFrac float64
+	// QualitySigma is the subjective noise of the "how flattering"
+	// sort (large: the paper found it "highly subjective"). Default 0.3.
+	QualitySigma float64
+	// InSceneMatchDifficulty / InSceneNonMatchDifficulty control the
+	// join ("some actors look similar, and some scenes showed actors
+	// from the side"). Defaults 0.22 / 0.06.
+	InSceneMatchDifficulty, InSceneNonMatchDifficulty float64
+}
+
+func (c *MovieConfig) fillDefaults() {
+	if c.Scenes == 0 {
+		c.Scenes = 211
+	}
+	if c.Actors == 0 {
+		c.Actors = 5
+	}
+	if c.OnePersonFrac == 0 {
+		c.OnePersonFrac = 0.55
+	}
+	if c.QualitySigma == 0 {
+		c.QualitySigma = 0.3
+	}
+	if c.InSceneMatchDifficulty == 0 {
+		c.InSceneMatchDifficulty = 0.22
+	}
+	if c.InSceneNonMatchDifficulty == 0 {
+		c.InSceneNonMatchDifficulty = 0.06
+	}
+}
+
+type sceneTruth struct {
+	numInScene int // 0, 1, 2, 3 (3 = "3+")
+	actor      int // featured actor if numInScene == 1, else -1
+	quality    float64
+}
+
+// Movie is the §5 dataset: actors(name, img) and scenes(id, img).
+type Movie struct {
+	cfg    MovieConfig
+	Actors *relation.Relation
+	Scenes *relation.Relation
+	scenes map[string]*sceneTruth // by scene img URL
+	actors map[string]int         // actor img URL → index
+}
+
+// NewMovie generates the dataset.
+func NewMovie(cfg MovieConfig) *Movie {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Movie{
+		cfg:    cfg,
+		scenes: make(map[string]*sceneTruth, cfg.Scenes),
+		actors: make(map[string]int, cfg.Actors),
+	}
+	actorSchema := relation.MustSchema(
+		relation.Column{Name: "name", Kind: relation.KindText},
+		relation.Column{Name: "img", Kind: relation.KindURL},
+	)
+	sceneSchema := relation.MustSchema(
+		relation.Column{Name: "id", Kind: relation.KindInt},
+		relation.Column{Name: "img", Kind: relation.KindURL},
+	)
+	m.Actors = relation.New("actors", actorSchema)
+	m.Scenes = relation.New("scenes", sceneSchema)
+	for a := 0; a < cfg.Actors; a++ {
+		url := fmt.Sprintf("http://cast.example/actor%02d.jpg", a)
+		m.actors[url] = a
+		_ = m.Actors.AppendValues(relation.Text(fmt.Sprintf("Actor %02d", a)), relation.URL(url))
+	}
+	for s := 0; s < cfg.Scenes; s++ {
+		url := fmt.Sprintf("http://stills.example/scene%03d.jpg", s)
+		st := &sceneTruth{actor: -1, quality: rng.Float64()}
+		if rng.Float64() < cfg.OnePersonFrac {
+			st.numInScene = 1
+			st.actor = rng.Intn(cfg.Actors)
+		} else {
+			// 0, 2, or 3+ people.
+			st.numInScene = []int{0, 2, 3}[rng.Intn(3)]
+		}
+		m.scenes[url] = st
+		_ = m.Scenes.AppendValues(relation.Int(int64(s)), relation.URL(url))
+	}
+	return m
+}
+
+func (m *Movie) scene(t relation.Tuple) *sceneTruth {
+	img, ok := t.Get("img")
+	if !ok {
+		return nil
+	}
+	return m.scenes[img.Text()]
+}
+
+// InScene reports ground truth for the inScene join: the actor is the
+// main focus of a one-person scene.
+func (m *Movie) InScene(actor, scene relation.Tuple) bool {
+	img, ok := actor.Get("img")
+	if !ok {
+		return false
+	}
+	a, ok := m.actors[img.Text()]
+	if !ok {
+		return false
+	}
+	st := m.scene(scene)
+	return st != nil && st.numInScene == 1 && st.actor == a
+}
+
+// OnePersonScenes returns the indices of scenes passing the numInScene
+// filter (ground truth).
+func (m *Movie) OnePersonScenes() []int {
+	var out []int
+	for i := 0; i < m.Scenes.Len(); i++ {
+		if st := m.scene(m.Scenes.Row(i)); st != nil && st.numInScene == 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// QualityScore returns a scene's latent "flattering" score.
+func (m *Movie) QualityScore(scene relation.Tuple) float64 {
+	st := m.scene(scene)
+	if st == nil {
+		return 0
+	}
+	return st.quality
+}
+
+// Oracle returns the simulator oracle.
+func (m *Movie) Oracle() crowd.Oracle { return (*movieOracle)(m) }
+
+type movieOracle Movie
+
+// JoinMatch implements crowd.Oracle for inScene.
+func (o *movieOracle) JoinMatch(left, right relation.Tuple) (bool, float64) {
+	m := (*Movie)(o)
+	if m.InScene(left, right) {
+		return true, m.cfg.InSceneMatchDifficulty
+	}
+	// Scenes with the right actor among several people are harder to
+	// reject (the actor appears but isn't alone).
+	st := m.scene(right)
+	diff := m.cfg.InSceneNonMatchDifficulty
+	if st != nil && st.numInScene > 1 {
+		diff *= 2
+	}
+	return false, diff
+}
+
+// FilterTruth implements crowd.Oracle for numInScene == 1. The paper
+// found this task "very accurate, resulting in no errors".
+func (o *movieOracle) FilterTruth(taskName string, t relation.Tuple) (bool, float64) {
+	m := (*Movie)(o)
+	st := m.scene(t)
+	if st == nil {
+		return false, 0
+	}
+	if strings.EqualFold(taskName, "oneInScene") {
+		return st.numInScene == 1, 0.02
+	}
+	return false, 0.5
+}
+
+// FieldValue implements crowd.Oracle for the numInScene generative UDF
+// (options 0, 1, 2, 3+, UNKNOWN).
+func (o *movieOracle) FieldValue(taskName, field string, t relation.Tuple) (string, float64, []string) {
+	m := (*Movie)(o)
+	st := m.scene(t)
+	if st == nil || field != "numInScene" {
+		return "", 0, nil
+	}
+	opts := []string{"0", "1", "2", "3+", "UNKNOWN"}
+	val := "3+"
+	switch st.numInScene {
+	case 0:
+		val = "0"
+	case 1:
+		val = "1"
+	case 2:
+		val = "2"
+	}
+	return val, 0.02, opts
+}
+
+// Score implements crowd.Oracle for the quality sort.
+func (o *movieOracle) Score(taskName string, t relation.Tuple) (float64, float64) {
+	m := (*Movie)(o)
+	st := m.scene(t)
+	if st == nil {
+		return 0, 0
+	}
+	return st.quality, m.cfg.QualitySigma
+}
+
+// ScoreRange implements crowd.Oracle.
+func (o *movieOracle) ScoreRange(string) (float64, float64) { return 0, 1 }
+
+// InSceneTask is the §5 join template.
+func InSceneTask() *task.EquiJoin {
+	return &task.EquiJoin{
+		Name:         "inScene",
+		SingularName: "actor",
+		PluralName:   "actors",
+		LeftPreview:  task.MustPrompt("<img src='%s' class=smImg>", "img"),
+		LeftNormal:   task.MustPrompt("<img src='%s' class=lgImg>", "img"),
+		RightPreview: task.MustPrompt("<img src='%s' class=smImg>", "img"),
+		RightNormal:  task.MustPrompt("<img src='%s' class=lgImg>", "img"),
+		Combiner:     "MajorityVote",
+	}
+}
+
+// NumInSceneTask is the §5 generative filter UDF.
+func NumInSceneTask() *task.Generative {
+	return &task.Generative{
+		Name:   "numInScene",
+		Prompt: task.MustPrompt("<table><tr><td><img src='%s'><td>How many people are in this scene?</table>", "img"),
+		Fields: []task.Field{{
+			Name:     "numInScene",
+			Response: task.Radio("People in scene", "0", "1", "2", "3+", "UNKNOWN"),
+			Combiner: "MajorityVote",
+		}},
+	}
+}
+
+// OneInSceneFilter is the boolean form of the numInScene predicate used
+// when the planner pushes it down as a crowd filter.
+func OneInSceneFilter() *task.Filter {
+	return &task.Filter{
+		Name:     "oneInScene",
+		Prompt:   task.MustPrompt("<table><tr><td><img src='%s'><td>Is exactly one person in this scene?</table>", "img"),
+		YesText:  "Yes",
+		NoText:   "No",
+		Combiner: "MajorityVote",
+	}
+}
+
+// QualityTask is the §5 subjective sort template.
+func QualityTask() *task.Rank {
+	return &task.Rank{
+		Name:               "quality",
+		SingularName:       "scene",
+		PluralName:         "scenes",
+		OrderDimensionName: "how flattering the scene is",
+		LeastName:          "least flattering",
+		MostName:           "most flattering",
+		HTML:               task.MustPrompt("<img src='%s' class=lgImg>", "img"),
+		Combiner:           "MajorityVote",
+	}
+}

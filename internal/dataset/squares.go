@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"fmt"
+
+	"qurk/internal/crowd"
+	"qurk/internal/relation"
+	"qurk/internal/task"
+)
+
+// Squares is the paper's synthetic square-sort dataset (§4.2.1): "Each
+// square is n×n pixels, and the smallest is 20×20. A dataset of size N
+// contains squares of sizes {(20+3i)×(20+3i) | i ∈ [0,N)}." The sort
+// metric (area) is crisply defined, so Compare should reach τ = 1.0
+// while Rate lands near 0.78 (§4.2.2).
+type Squares struct {
+	Rel *relation.Relation
+	// sides[i] is square i's side length in pixels.
+	sides []int
+	byURL map[string]int
+	// Sigma is the side-by-side comparison noise (range fraction);
+	// tiny because square area is unambiguous. Default 0.012.
+	Sigma float64
+}
+
+// NewSquares generates an N-square dataset.
+func NewSquares(n int) *Squares {
+	s := &Squares{
+		byURL: make(map[string]int, n),
+		Sigma: 0.012,
+	}
+	schema := relation.MustSchema(
+		relation.Column{Name: "label", Kind: relation.KindText},
+		relation.Column{Name: "img", Kind: relation.KindURL},
+	)
+	s.Rel = relation.New("squares", schema)
+	for i := 0; i < n; i++ {
+		side := 20 + 3*i
+		url := fmt.Sprintf("http://squares.example/sq%03d.png", i)
+		s.byURL[url] = i
+		s.sides = append(s.sides, side)
+		_ = s.Rel.AppendValues(relation.Text(fmt.Sprintf("square-%dpx", side)), relation.URL(url))
+	}
+	return s
+}
+
+// Side returns square i's side length.
+func (s *Squares) Side(i int) int { return s.sides[i] }
+
+// TrueOrder returns the ascending-area order (identity, by construction).
+func (s *Squares) TrueOrder() []int {
+	out := make([]int, len(s.sides))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TrueScores returns each row's area, for τ computations.
+func (s *Squares) TrueScores() []float64 {
+	out := make([]float64, len(s.sides))
+	for i, side := range s.sides {
+		out[i] = float64(side * side)
+	}
+	return out
+}
+
+// Oracle returns the simulator oracle.
+func (s *Squares) Oracle() crowd.Oracle { return (*squaresOracle)(s) }
+
+type squaresOracle Squares
+
+func (o *squaresOracle) idx(t relation.Tuple) int {
+	img, ok := t.Get("img")
+	if !ok {
+		return -1
+	}
+	i, ok := o.byURL[img.Text()]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// JoinMatch implements crowd.Oracle (unused for squares).
+func (o *squaresOracle) JoinMatch(relation.Tuple, relation.Tuple) (bool, float64) { return false, 0 }
+
+// FilterTruth implements crowd.Oracle (unused for squares).
+func (o *squaresOracle) FilterTruth(string, relation.Tuple) (bool, float64) { return false, 0.5 }
+
+// FieldValue implements crowd.Oracle (unused for squares).
+func (o *squaresOracle) FieldValue(string, string, relation.Tuple) (string, float64, []string) {
+	return "", 0, nil
+}
+
+// Score implements crowd.Oracle: workers perceive side length (area and
+// side induce the same order).
+func (o *squaresOracle) Score(taskName string, t relation.Tuple) (float64, float64) {
+	i := o.idx(t)
+	if i < 0 {
+		return 0, 0
+	}
+	return float64(o.sides[i]), o.Sigma
+}
+
+// ScoreRange implements crowd.Oracle.
+func (o *squaresOracle) ScoreRange(string) (float64, float64) {
+	if len(o.sides) == 0 {
+		return 0, 1
+	}
+	return float64(o.sides[0]), float64(o.sides[len(o.sides)-1])
+}
+
+// SquareSorterTask is the paper's squareSorter Rank template (§2.3).
+func SquareSorterTask() *task.Rank {
+	return &task.Rank{
+		Name:               "squareSorter",
+		SingularName:       "square",
+		PluralName:         "squares",
+		OrderDimensionName: "area",
+		LeastName:          "smallest",
+		MostName:           "largest",
+		HTML:               task.MustPrompt("<img src='%s' class=lgImg>", "img"),
+		Combiner:           "MajorityVote",
+	}
+}

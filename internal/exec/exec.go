@@ -1,0 +1,718 @@
+// Package exec runs logical plans over a core.Engine. Mirroring the
+// paper's architecture (Fig. 1), every operator executes in its own
+// goroutine and passes results downstream through channels; crowd
+// operators post HIT groups to the marketplace and block on completion
+// (they are natural barriers: batching needs the full input). HIT
+// spending is accounted to the engine's ledger per operator.
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"qurk/internal/core"
+	"qurk/internal/join"
+	"qurk/internal/plan"
+	"qurk/internal/query"
+	"qurk/internal/relation"
+	"qurk/internal/sortop"
+)
+
+// OpStat records one operator's crowd spending.
+type OpStat struct {
+	Label       string
+	HITs        int
+	Assignments int
+	Makespan    float64
+}
+
+// Stats aggregates a query run.
+type Stats struct {
+	mu         sync.Mutex
+	Operators  []OpStat
+	Incomplete []string
+}
+
+func (s *Stats) add(st OpStat, incomplete ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Operators = append(s.Operators, st)
+	s.Incomplete = append(s.Incomplete, incomplete...)
+}
+
+// TotalHITs sums HITs across operators — the paper's cost metric.
+func (s *Stats) TotalHITs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, o := range s.Operators {
+		n += o.HITs
+	}
+	return n
+}
+
+// Run parses nothing: it plans and executes an already-parsed statement.
+func Run(e *core.Engine, stmt *query.SelectStmt) (*relation.Relation, *Stats, error) {
+	node, err := plan.Build(stmt, e.Library)
+	if err != nil {
+		return nil, nil, err
+	}
+	return RunPlan(e, node)
+}
+
+// RunQuery parses, plans, and executes one query string.
+func RunQuery(e *core.Engine, src string) (*relation.Relation, *Stats, error) {
+	stmt, err := query.ParseQuery(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Run(e, stmt)
+}
+
+// result travels between operator goroutines.
+type result struct {
+	rel *relation.Relation
+	err error
+}
+
+// executor carries per-run state.
+type executor struct {
+	eng   *core.Engine
+	stats *Stats
+	mu    sync.Mutex
+	seq   int
+}
+
+func (x *executor) groupID(label string) string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.seq++
+	return fmt.Sprintf("%s-%d", label, x.seq)
+}
+
+// RunPlan executes a plan tree.
+func RunPlan(e *core.Engine, node plan.Node) (*relation.Relation, *Stats, error) {
+	x := &executor{eng: e, stats: &Stats{}}
+	out := x.start(node)
+	r := <-out
+	if r.err != nil {
+		return nil, x.stats, r.err
+	}
+	return r.rel, x.stats, nil
+}
+
+// start launches the operator goroutine for node and returns its output
+// channel.
+func (x *executor) start(node plan.Node) <-chan result {
+	out := make(chan result, 1)
+	go func() {
+		rel, err := x.exec(node)
+		out <- result{rel, err}
+	}()
+	return out
+}
+
+func (x *executor) exec(node plan.Node) (*relation.Relation, error) {
+	switch n := node.(type) {
+	case *plan.Scan:
+		return x.execScan(n)
+	case *plan.MachineFilter:
+		return x.execMachineFilter(n)
+	case *plan.CrowdFilter:
+		return x.execCrowdFilter(n)
+	case *plan.CrowdFilterOr:
+		return x.execCrowdFilterOr(n)
+	case *plan.UnaryPossibly:
+		return x.execUnaryPossibly(n)
+	case *plan.CrowdJoin:
+		return x.execCrowdJoin(n)
+	case *plan.Generate:
+		return x.execGenerate(n)
+	case *plan.CrowdOrderBy:
+		return x.execCrowdOrderBy(n)
+	case *plan.MachineOrderBy:
+		return x.execMachineOrderBy(n)
+	case *plan.Project:
+		return x.execProject(n)
+	case *plan.Limit:
+		return x.execLimit(n)
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", node)
+	}
+}
+
+// input runs the child subtree (its own goroutine chain).
+func (x *executor) input(child plan.Node) (*relation.Relation, error) {
+	r := <-x.start(child)
+	return r.rel, r.err
+}
+
+func (x *executor) execScan(n *plan.Scan) (*relation.Relation, error) {
+	rel, err := x.eng.Catalog.Table(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	return rel.Qualify(n.Binding()), nil
+}
+
+func (x *executor) execMachineFilter(n *plan.MachineFilter) (*relation.Relation, error) {
+	in, err := x.input(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(in.Name(), in.Schema())
+	for i := 0; i < in.Len(); i++ {
+		v, err := evalExpr(in.Row(i), n.Expr)
+		if err != nil {
+			return nil, err
+		}
+		if v.Bool() {
+			if err := out.Append(in.Row(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func (x *executor) execCrowdFilter(n *plan.CrowdFilter) (*relation.Relation, error) {
+	in, err := x.input(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	comb, err := x.eng.Combiner()
+	if err != nil {
+		return nil, err
+	}
+	opts := core.FilterOptions{
+		BatchSize:   x.eng.Options.FilterBatch,
+		Assignments: x.eng.Options.Assignments,
+		Combiner:    comb,
+		GroupID:     x.groupID("filter/" + n.Task.Name),
+		Negate:      n.Negate,
+		Cache:       x.eng.Cache,
+	}
+	res, err := core.RunFilter(in, n.Task, opts, x.eng.Market)
+	if err != nil {
+		return nil, err
+	}
+	x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours)
+	return res.Passed, nil
+}
+
+func (x *executor) execCrowdFilterOr(n *plan.CrowdFilterOr) (*relation.Relation, error) {
+	in, err := x.input(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	comb, err := x.eng.Combiner()
+	if err != nil {
+		return nil, err
+	}
+	// Disjuncts post in parallel (paper §2.5); a tuple passes if any
+	// branch accepts it.
+	type branchOut struct {
+		res *core.FilterResult
+		err error
+	}
+	outs := make([]chan branchOut, len(n.Branches))
+	for i := range n.Branches {
+		outs[i] = make(chan branchOut, 1)
+		go func(i int) {
+			opts := core.FilterOptions{
+				BatchSize:   x.eng.Options.FilterBatch,
+				Assignments: x.eng.Options.Assignments,
+				Combiner:    comb,
+				GroupID:     x.groupID("filter-or/" + n.Branches[i].Name),
+				Negate:      n.Negates[i],
+				Cache:       x.eng.Cache,
+			}
+			res, err := core.RunFilter(in, n.Branches[i], opts, x.eng.Market)
+			outs[i] <- branchOut{res, err}
+		}(i)
+	}
+	accepted := make([]bool, in.Len())
+	for i := range outs {
+		b := <-outs[i]
+		if b.err != nil {
+			return nil, b.err
+		}
+		x.account(fmt.Sprintf("%s[%d]", n.Label(), i), b.res.HITCount, b.res.AssignmentCount, b.res.MakespanHours)
+		for j, d := range b.res.Decisions {
+			if d {
+				accepted[j] = true
+			}
+		}
+	}
+	out := relation.New(in.Name(), in.Schema())
+	for i := 0; i < in.Len(); i++ {
+		if accepted[i] {
+			if err := out.Append(in.Row(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func (x *executor) execUnaryPossibly(n *plan.UnaryPossibly) (*relation.Relation, error) {
+	in, err := x.input(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunGenerative(in, n.Task, core.GenerativeOptions{
+		BatchSize:   x.eng.Options.ExtractBatch,
+		Assignments: x.eng.Options.Assignments,
+		GroupID:     x.groupID("possibly/" + n.Task.Name),
+		Fields:      []string{n.Field},
+	}, x.eng.Market)
+	if err != nil {
+		return nil, err
+	}
+	x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours)
+	out := relation.New(in.Name(), in.Schema())
+	for i := 0; i < in.Len(); i++ {
+		v := res.Values[i][n.Field]
+		pass, err := comparePossibly(v, n.Op, n.Value)
+		if err != nil {
+			return nil, err
+		}
+		if pass {
+			if err := out.Append(in.Row(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// comparePossibly evaluates extractedValue op literal with the paper's
+// UNKNOWN wildcard semantics (§2.4): UNKNOWN never prunes. Values parse
+// numerically when possible ("3+" → 3); otherwise "="/"<>" compare text.
+func comparePossibly(v, op, lit string) (bool, error) {
+	if strings.EqualFold(v, "UNKNOWN") || v == "" {
+		return true, nil
+	}
+	ln, lerr := parseLooseInt(lit)
+	vn, verr := parseLooseInt(v)
+	if lerr == nil && verr == nil {
+		switch op {
+		case "=":
+			return vn == ln, nil
+		case "<>", "!=":
+			return vn != ln, nil
+		case "<":
+			return vn < ln, nil
+		case "<=":
+			return vn <= ln, nil
+		case ">":
+			return vn > ln, nil
+		case ">=":
+			return vn >= ln, nil
+		}
+	}
+	switch op {
+	case "=":
+		return strings.EqualFold(v, lit), nil
+	case "<>", "!=":
+		return !strings.EqualFold(v, lit), nil
+	default:
+		return false, fmt.Errorf("exec: cannot compare %q %s %q", v, op, lit)
+	}
+}
+
+func parseLooseInt(s string) (int, error) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "+")
+	return strconv.Atoi(s)
+}
+
+func (x *executor) execCrowdJoin(n *plan.CrowdJoin) (*relation.Relation, error) {
+	// Left and right subtrees execute concurrently (paper §2.5's
+	// pipelined, left-deep execution).
+	leftCh := x.start(n.Left)
+	rightCh := x.start(n.Right)
+	lr := <-leftCh
+	if lr.err != nil {
+		return nil, lr.err
+	}
+	rr := <-rightCh
+	if rr.err != nil {
+		return nil, rr.err
+	}
+	left, right := lr.rel, rr.rel
+
+	comb, err := x.eng.Combiner()
+	if err != nil {
+		return nil, err
+	}
+	jopts := join.Options{
+		Algorithm:   x.eng.Options.JoinAlgorithm,
+		BatchSize:   x.eng.Options.JoinBatch,
+		GridRows:    x.eng.Options.GridRows,
+		GridCols:    x.eng.Options.GridCols,
+		Assignments: x.eng.Options.Assignments,
+		Combiner:    comb,
+		GroupID:     x.groupID("join/" + n.Task.Name),
+		Cache:       x.eng.Cache,
+	}
+	if len(n.LeftFeatures) == 0 {
+		res, err := join.RunCross(left, right, n.Task, jopts, x.eng.Market)
+		if err != nil {
+			return nil, err
+		}
+		x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
+		return res.Joined, nil
+	}
+	extOpts := join.ExtractOptions{
+		Combined:    x.eng.Options.ExtractCombined,
+		BatchSize:   x.eng.Options.ExtractBatch,
+		Assignments: x.eng.Options.Assignments,
+		Combiner:    comb,
+	}
+	lo := extOpts
+	lo.GroupID = x.groupID("extract-left/" + n.Task.Name)
+	le, err := join.Extract(left, n.LeftFeatures, lo, x.eng.Market)
+	if err != nil {
+		return nil, err
+	}
+	x.account("extract-left", le.HITCount, le.AssignmentCount, 0)
+	ro := extOpts
+	ro.GroupID = x.groupID("extract-right/" + n.Task.Name)
+	re, err := join.Extract(right, n.RightFeatures, ro, x.eng.Market)
+	if err != nil {
+		return nil, err
+	}
+	x.account("extract-right", re.HITCount, re.AssignmentCount, 0)
+
+	features := n.LeftFeatures
+	if x.eng.Options.AutoSelectFeatures {
+		kept, err := x.selectFeatures(n, left, right, le, re, jopts)
+		if err != nil {
+			return nil, err
+		}
+		features = kept
+	}
+	names := make([]string, len(features))
+	for i, f := range features {
+		names[i] = f.Field
+	}
+	pairs := join.FilteredPairs(left, right, le, re, names)
+	res, err := join.Run(pairs, n.Task, jopts, x.eng.Market)
+	if err != nil {
+		return nil, err
+	}
+	x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
+	return res.Joined, nil
+}
+
+// selectFeatures implements §3.2's automatic feature pruning inside the
+// declarative path: a crowd join over a sample of the cross product
+// supplies reference matches, and ChooseFeatures applies the paper's
+// three discard rules (κ ambiguity, result loss, selectivity).
+func (x *executor) selectFeatures(n *plan.CrowdJoin, left, right *relation.Relation,
+	le, re *join.Extraction, jopts join.Options) ([]join.Feature, error) {
+	cfg := x.eng.Options.FeatureSelection
+	if cfg.SampleFrac == 0 {
+		cfg.SampleFrac = 0.15
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = x.eng.Options.Seed + 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sample := join.SamplePairs(left, right, cfg.SampleFrac, rng)
+	sopts := jopts
+	sopts.GroupID = x.groupID("select-sample/" + n.Task.Name)
+	sres, err := join.Run(sample, n.Task, sopts, x.eng.Market)
+	if err != nil {
+		return nil, err
+	}
+	x.account("feature-selection sample join", sres.HITCount, sres.AssignmentCount, sres.MakespanHours)
+	var ref []join.Pair
+	for _, m := range sres.Matches {
+		ref = append(ref, m.Pair)
+	}
+	kept, verdicts, err := join.ChooseFeatures(left, right, le, re, n.LeftFeatures, ref, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range verdicts {
+		if !v.Kept {
+			x.stats.add(OpStat{Label: fmt.Sprintf("feature %q discarded: %s", v.Feature, v.Reason)})
+		}
+	}
+	return kept, nil
+}
+
+func (x *executor) execGenerate(n *plan.Generate) (*relation.Relation, error) {
+	in, err := x.input(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunGenerative(in, n.Task, core.GenerativeOptions{
+		BatchSize:   x.eng.Options.GenerativeBatch,
+		Assignments: x.eng.Options.Assignments,
+		GroupID:     x.groupID("generate/" + n.Task.Name),
+		Fields:      n.Fields,
+	}, x.eng.Market)
+	if err != nil {
+		return nil, err
+	}
+	x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours)
+	return res.Output, nil
+}
+
+func (x *executor) execCrowdOrderBy(n *plan.CrowdOrderBy) (*relation.Relation, error) {
+	in, err := x.input(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	// Group rows by the machine-sortable prefix columns.
+	type group struct {
+		key  string
+		rows []int
+	}
+	var groups []group
+	idx := map[string]int{}
+	for i := 0; i < in.Len(); i++ {
+		key := ""
+		for _, col := range n.GroupCols {
+			v, ok := in.Row(i).Get(col)
+			if !ok {
+				return nil, fmt.Errorf("exec: ORDER BY column %q not found in %s", col, in.Schema())
+			}
+			key += v.String() + "\x00"
+		}
+		gi, ok := idx[key]
+		if !ok {
+			gi = len(groups)
+			idx[key] = gi
+			groups = append(groups, group{key: key})
+		}
+		groups[gi].rows = append(groups[gi].rows, i)
+	}
+	sort.SliceStable(groups, func(a, b int) bool { return groups[a].key < groups[b].key })
+
+	out := relation.New(in.Name(), in.Schema())
+	for _, g := range groups {
+		sub := relation.New(in.Name(), in.Schema())
+		for _, ri := range g.rows {
+			if err := sub.Append(in.Row(ri)); err != nil {
+				return nil, err
+			}
+		}
+		order, err := x.crowdSort(sub, n)
+		if err != nil {
+			return nil, err
+		}
+		if n.Desc {
+			for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		for _, ri := range order {
+			if err := out.Append(sub.Row(ri)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// crowdSort orders one group's rows with the configured sort method.
+func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy) ([]int, error) {
+	if sub.Len() == 1 {
+		return []int{0}, nil
+	}
+	opts := x.eng.Options
+	switch opts.SortMethod {
+	case core.SortCompare:
+		res, err := sortop.Compare(sub, n.Task, sortop.CompareOptions{
+			GroupSize:   opts.CompareGroupSize,
+			Assignments: opts.Assignments,
+			GroupID:     x.groupID("sort-compare/" + n.Task.Name),
+			Seed:        opts.Seed,
+		}, x.eng.Market)
+		if err != nil {
+			return nil, err
+		}
+		x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
+		return res.Order, nil
+	case core.SortRate:
+		res, err := sortop.Rate(sub, n.Task, sortop.RateOptions{
+			BatchSize:   opts.RateBatch,
+			Assignments: opts.Assignments,
+			GroupID:     x.groupID("sort-rate/" + n.Task.Name),
+			Seed:        opts.Seed,
+		}, x.eng.Market)
+		if err != nil {
+			return nil, err
+		}
+		x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
+		return res.Order, nil
+	case core.SortHybrid:
+		res, err := sortop.Hybrid(sub, n.Task, sortop.HybridOptions{
+			Strategy:    sortop.SlidingWindow,
+			WindowSize:  opts.CompareGroupSize,
+			Step:        opts.HybridStep,
+			Iterations:  opts.HybridIterations,
+			Assignments: opts.Assignments,
+			Rate: sortop.RateOptions{
+				BatchSize:   opts.RateBatch,
+				Assignments: opts.Assignments,
+				Seed:        opts.Seed,
+			},
+			GroupID: x.groupID("sort-hybrid/" + n.Task.Name),
+			Seed:    opts.Seed,
+		}, x.eng.Market)
+		if err != nil {
+			return nil, err
+		}
+		x.account(n.Label(), res.TotalHITs(), 0, 0)
+		return res.Order, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown sort method %v", opts.SortMethod)
+	}
+}
+
+func (x *executor) execMachineOrderBy(n *plan.MachineOrderBy) (*relation.Relation, error) {
+	in, err := x.input(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	for _, col := range n.Cols {
+		if !in.Schema().Has(col) {
+			return nil, fmt.Errorf("exec: ORDER BY column %q not found", col)
+		}
+	}
+	return in.SortBy(func(a, b relation.Tuple) bool {
+		for i, col := range n.Cols {
+			cmp := a.MustGet(col).Compare(b.MustGet(col))
+			if cmp == 0 {
+				continue
+			}
+			if n.Desc[i] {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	}), nil
+}
+
+func (x *executor) execProject(n *plan.Project) (*relation.Relation, error) {
+	in, err := x.input(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	if n.Star || len(n.Columns) == 0 {
+		return in, nil
+	}
+	proj, err := in.Project(n.Columns...)
+	if err != nil {
+		return nil, err
+	}
+	// Rename to output aliases.
+	cols := proj.Schema().Columns()
+	for i := range cols {
+		if i < len(n.Aliases) && n.Aliases[i] != "" {
+			cols[i].Name = n.Aliases[i]
+		}
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(in.Name(), schema)
+	for i := 0; i < proj.Len(); i++ {
+		t, err := proj.Row(i).Rebind(schema)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (x *executor) execLimit(n *plan.Limit) (*relation.Relation, error) {
+	in, err := x.input(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	return in.Limit(n.N), nil
+}
+
+func (x *executor) account(label string, hits, assignments int, makespan float64, incomplete ...string) {
+	x.eng.Ledger.Add(label, hits, x.eng.Options.Assignments)
+	x.stats.add(OpStat{Label: label, HITs: hits, Assignments: assignments, Makespan: makespan}, incomplete...)
+}
+
+// evalExpr evaluates a machine expression over one tuple.
+func evalExpr(t relation.Tuple, e query.Expr) (relation.Value, error) {
+	switch n := e.(type) {
+	case *query.ColumnRef:
+		v, ok := t.Get(n.Name())
+		if !ok {
+			return relation.Null(), fmt.Errorf("exec: column %q not found in %s", n.Name(), t.Schema())
+		}
+		return v, nil
+	case *query.Literal:
+		if n.IsString {
+			return relation.Text(n.Text), nil
+		}
+		if strings.Contains(n.Text, ".") {
+			f, err := strconv.ParseFloat(n.Text, 64)
+			if err != nil {
+				return relation.Null(), err
+			}
+			return relation.Float(f), nil
+		}
+		i, err := strconv.ParseInt(n.Text, 10, 64)
+		if err != nil {
+			return relation.Null(), err
+		}
+		return relation.Int(i), nil
+	case *query.Not:
+		v, err := evalExpr(t, n.X)
+		if err != nil {
+			return relation.Null(), err
+		}
+		return relation.Bool(!v.Bool()), nil
+	case *query.Binary:
+		l, err := evalExpr(t, n.L)
+		if err != nil {
+			return relation.Null(), err
+		}
+		r, err := evalExpr(t, n.R)
+		if err != nil {
+			return relation.Null(), err
+		}
+		switch n.Op {
+		case "AND":
+			return relation.Bool(l.Bool() && r.Bool()), nil
+		case "OR":
+			return relation.Bool(l.Bool() || r.Bool()), nil
+		case "=":
+			return relation.Bool(l.Equal(r)), nil
+		case "<>", "!=":
+			return relation.Bool(!l.Equal(r)), nil
+		case "<":
+			return relation.Bool(l.Compare(r) < 0), nil
+		case "<=":
+			return relation.Bool(l.Compare(r) <= 0), nil
+		case ">":
+			return relation.Bool(l.Compare(r) > 0), nil
+		case ">=":
+			return relation.Bool(l.Compare(r) >= 0), nil
+		default:
+			return relation.Null(), fmt.Errorf("exec: unknown operator %q", n.Op)
+		}
+	default:
+		return relation.Null(), fmt.Errorf("exec: cannot evaluate %T", e)
+	}
+}

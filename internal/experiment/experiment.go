@@ -1,0 +1,102 @@
+// Package experiment reproduces every table and figure in the paper's
+// evaluation (§3.3, §4.2, §5). Each runner returns a typed result with a
+// Render method that prints rows shaped like the paper's, so
+// cmd/experiments can regenerate the full evaluation and EXPERIMENTS.md
+// can record paper-vs-measured values.
+//
+// Absolute numbers depend on the live crowd the paper used; the
+// simulator is calibrated so the *shape* holds — who wins, by what
+// rough factor, and where crossovers fall.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"qurk/internal/crowd"
+)
+
+// Scale trades runtime for fidelity in experiment sizes.
+type Scale uint8
+
+const (
+	// Full uses the paper's dataset sizes (celebrity 30×30, 40
+	// squares, 211 scenes).
+	Full Scale = iota
+	// Quick shrinks datasets ~2–3× for fast test/bench cycles while
+	// preserving every comparative claim.
+	Quick
+)
+
+// Config is shared by all experiment runners.
+type Config struct {
+	// Seed drives dataset generation and the first trial; trial k uses
+	// Seed+k so "morning" and "evening" runs differ as in the paper.
+	Seed int64
+	// Scale selects Full or Quick sizes.
+	Scale Scale
+}
+
+// trialMarketConfig returns the market config for trial t (0-based).
+// Odd trials run "in the evening" with lower throughput, reproducing the
+// paper's morning/evening latency variance (§3.3.2).
+func (c Config) trialMarketConfig(t int) crowd.Config {
+	mc := crowd.DefaultConfig(c.Seed + int64(t)*1000)
+	if t%2 == 1 {
+		mc.TimeOfDayFactor = 0.6
+	}
+	return mc
+}
+
+// table is a minimal fixed-width text table builder for Render methods.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table { return &table{header: cols} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...any) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }

@@ -1,0 +1,435 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick returns the fast configuration used by most tests; the full
+// paper-scale runs execute in TestFullScale* below.
+func quick() Config { return Config{Seed: 42, Scale: Quick} }
+
+func TestTable1BaselinesNearIdeal(t *testing.T) {
+	r, err := Table1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Paper Table 1: every implementation within 1 TP of ideal,
+		// near-perfect TN, with 10 merged assignments.
+		if row.TruePosQA < r.N-1 {
+			t.Errorf("%s: QA TP = %d/%d", row.Variant, row.TruePosQA, r.N)
+		}
+		if row.TrueNegMV < row.NonMatches-2 {
+			t.Errorf("%s: MV TN = %d/%d", row.Variant, row.TrueNegMV, row.NonMatches)
+		}
+	}
+	if !strings.Contains(r.Render(), "IDEAL") {
+		t.Error("render missing IDEAL row")
+	}
+}
+
+func TestFigure3BatchingShape(t *testing.T) {
+	r, err := Figure3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]JoinAccuracy{}
+	for _, row := range r.Rows {
+		byName[row.Variant] = row
+	}
+	// HIT counts follow the paper's arithmetic.
+	if byName["Naive 10"].HITs >= byName["Naive 3"].HITs {
+		t.Error("larger batches should need fewer HITs")
+	}
+	if byName["Smart 3x3"].HITs >= byName["Smart 2x2"].HITs {
+		t.Error("3x3 grids should need fewer HITs than 2x2")
+	}
+	for _, row := range r.Rows {
+		// True negatives stay near-perfect under batching (Fig. 3).
+		if float64(row.TrueNegQA)/float64(row.NonMatches) < 0.95 {
+			t.Errorf("%s: QA TN rate = %.3f", row.Variant, float64(row.TrueNegQA)/float64(row.NonMatches))
+		}
+		// QA ≥ MV on true positives (the paper's spammer-filtering
+		// result), allowing one-pair slack for vote noise.
+		if row.TruePosQA < row.TruePosMV-1 {
+			t.Errorf("%s: QA TP %d < MV TP %d", row.Variant, row.TruePosQA, row.TruePosMV)
+		}
+	}
+}
+
+func TestFigure4LatencyShape(t *testing.T) {
+	r, err := Figure4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]JoinAccuracy{}
+	for _, row := range r.Rows {
+		byName[row.Variant] = row
+	}
+	simple, naive10 := byName["Simple"], byName["Naive 10"]
+	if len(simple.TrialP100) == 0 || len(naive10.TrialP100) == 0 {
+		t.Fatal("missing latency data")
+	}
+	// Batching reduces latency (paper Fig. 4).
+	if naive10.TrialP100[0] >= simple.TrialP100[0] {
+		t.Errorf("naive-10 makespan %.3f ≥ simple %.3f", naive10.TrialP100[0], simple.TrialP100[0])
+	}
+	// Straggler tail: the last 5%% of work takes a disproportionate
+	// share of wall clock (P95 well under P100).
+	if simple.TrialP95[0]/simple.TrialP100[0] > 0.8 {
+		t.Errorf("no straggler tail: P95/P100 = %.2f", simple.TrialP95[0]/simple.TrialP100[0])
+	}
+	// Evening trial (trial 2) is slower than morning (time-of-day).
+	if len(simple.TrialP100) > 1 && simple.TrialP100[1] <= simple.TrialP100[0] {
+		t.Errorf("evening trial not slower: %.3f vs %.3f", simple.TrialP100[1], simple.TrialP100[0])
+	}
+}
+
+func TestWorkerRegressionNoStrongEffect(t *testing.T) {
+	r, err := WorkerAccuracyRegression(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §3.3.3: R² = 0.028 — work volume explains almost none of
+	// the accuracy variance.
+	if r.Fit.R2 > 0.25 {
+		t.Errorf("R2 = %.3f, want small (no strong effect)", r.Fit.R2)
+	}
+	if r.Workers < 10 {
+		t.Errorf("too few workers regressed: %d", r.Workers)
+	}
+}
+
+func TestTable2FeatureFiltering(t *testing.T) {
+	r, err := Table2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 interfaces × 2 trials)", len(r.Rows))
+	}
+	nonMatches := r.N*r.N - r.N
+	for _, row := range r.Rows {
+		// Feature filtering saves well over half the comparisons
+		// (paper: ~600/870) with only a few errors (paper: 1–5).
+		if float64(row.SavedComparisons)/float64(nonMatches) < 0.5 {
+			t.Errorf("trial %d combined=%v: saved only %d/%d", row.Trial, row.Combined, row.SavedComparisons, nonMatches)
+		}
+		if row.Errors > r.N/3 {
+			t.Errorf("trial %d combined=%v: %d errors", row.Trial, row.Combined, row.Errors)
+		}
+	}
+}
+
+func TestTable3HairCausesErrors(t *testing.T) {
+	r, err := Table3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errWithoutHair, errWithoutGender, savedWithoutGender, savedWithoutHair int
+	for _, row := range r.Rows {
+		switch row.Omitted {
+		case "hair":
+			errWithoutHair = row.Errors
+			savedWithoutHair = row.SavedComparisons
+		case "gender":
+			errWithoutGender = row.Errors
+			savedWithoutGender = row.SavedComparisons
+		}
+	}
+	// Paper Table 3: dropping hair removes the errors; dropping gender
+	// costs the most savings.
+	if errWithoutHair > errWithoutGender {
+		t.Errorf("omitting hair left %d errors vs %d omitting gender", errWithoutHair, errWithoutGender)
+	}
+	if savedWithoutGender >= savedWithoutHair {
+		t.Errorf("gender should be the most selective feature (saved %d w/o gender vs %d w/o hair)",
+			savedWithoutGender, savedWithoutHair)
+	}
+}
+
+func TestTable4KappaOrdering(t *testing.T) {
+	r, err := Table4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.SampleFrac != 1 {
+			continue
+		}
+		// Paper Table 4: gender agreement far exceeds hair agreement.
+		if row.Gender <= row.Hair {
+			t.Errorf("trial %d combined=%v: gender κ %.2f ≤ hair κ %.2f", row.Trial, row.Combined, row.Gender, row.Hair)
+		}
+	}
+	// Sampled κ tracks the full κ.
+	full := map[string]Table4Row{}
+	for _, row := range r.Rows {
+		key := sampleKey(row)
+		if row.SampleFrac == 1 {
+			full[key] = row
+		}
+	}
+	for _, row := range r.Rows {
+		if row.SampleFrac == 1 {
+			continue
+		}
+		f := full[sampleKey(row)]
+		if abs(row.Gender-f.Gender) > 0.25 {
+			t.Errorf("sampled gender κ %.2f far from full %.2f", row.Gender, f.Gender)
+		}
+	}
+}
+
+func sampleKey(r Table4Row) string {
+	if r.Combined {
+		return "c" + string(rune('0'+r.Trial))
+	}
+	return "s" + string(rune('0'+r.Trial))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestFeatureSelectionDropsHair(t *testing.T) {
+	r, err := FeatureSelection(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r.Verdicts {
+		switch v.Feature {
+		case "gender":
+			if !v.Kept {
+				t.Errorf("gender dropped: %+v", v)
+			}
+		case "hair":
+			if v.Kept {
+				t.Errorf("hair kept despite ambiguity/errors: %+v", v)
+			}
+		}
+	}
+}
+
+func TestCompareBatchingRefusal(t *testing.T) {
+	r, err := SquareCompareBatching(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byS := map[int]CompareBatchingRow{}
+	for _, row := range r.Rows {
+		byS[row.GroupSize] = row
+	}
+	if !byS[5].Completed || byS[5].Tau < 0.99 {
+		t.Errorf("S=5: %+v, want tau 1.0", byS[5])
+	}
+	if !byS[10].Completed || byS[10].Tau < 0.99 {
+		t.Errorf("S=10: %+v, want tau 1.0", byS[10])
+	}
+	// S=10 is slower than S=5 (paper: 0.3h vs >1h).
+	if byS[10].Makespan <= byS[5].Makespan {
+		t.Errorf("S=10 makespan %.3f ≤ S=5 %.3f", byS[10].Makespan, byS[5].Makespan)
+	}
+	if byS[20].Completed {
+		t.Error("S=20 should be refused (paper: never completed)")
+	}
+}
+
+func TestRateBatchingInsensitive(t *testing.T) {
+	r, err := SquareRateBatching(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong but imperfect correlation, insensitive to batch size.
+	if r.MeanTau < 0.6 || r.MeanTau > 0.98 {
+		t.Errorf("mean tau = %.3f, want paper-like 0.7–0.95 band", r.MeanTau)
+	}
+	for _, row := range r.Rows {
+		if row.Tau < r.MeanTau-0.25 {
+			t.Errorf("batch %d collapsed: tau %.3f vs mean %.3f", row.BatchSize, row.Tau, r.MeanTau)
+		}
+	}
+}
+
+func TestRateGranularityStable(t *testing.T) {
+	r, err := SquareRateGranularity(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StdTau > 0.1 {
+		t.Errorf("tau std = %.3f, want stable across dataset sizes", r.StdTau)
+	}
+}
+
+func TestFigure6Monotonicity(t *testing.T) {
+	r, err := Figure6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// κ falls monotonically Q1→Q5 (allow tiny slack between adjacent
+	// queries); τ falls from Q2→Q5.
+	for i := 1; i < 5; i++ {
+		if r.Rows[i].Kappa > r.Rows[i-1].Kappa+0.05 {
+			t.Errorf("κ not decreasing: %s %.3f -> %s %.3f",
+				r.Rows[i-1].Query, r.Rows[i-1].Kappa, r.Rows[i].Query, r.Rows[i].Kappa)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if r.Rows[i].Tau > r.Rows[i-1].Tau+0.05 {
+			t.Errorf("τ not decreasing: %s %.3f -> %s %.3f",
+				r.Rows[i-1].Query, r.Rows[i-1].Tau, r.Rows[i].Query, r.Rows[i].Tau)
+		}
+	}
+	// Q4 agreement beats Q5's random agreement (paper: "workers will
+	// apply and agree on some preconceived sort order").
+	if r.Rows[3].Kappa <= r.Rows[4].Kappa {
+		t.Errorf("Saturn κ %.3f ≤ random κ %.3f", r.Rows[3].Kappa, r.Rows[4].Kappa)
+	}
+	// Q5 is ≈ random.
+	if abs(r.Rows[4].Kappa) > 0.1 || abs(r.Rows[4].Tau) > 0.35 {
+		t.Errorf("random query not random: κ=%.3f τ=%.3f", r.Rows[4].Kappa, r.Rows[4].Tau)
+	}
+	// Samples track the full metrics.
+	for _, row := range r.Rows {
+		if abs(row.SampleKappa-row.Kappa) > 0.15 {
+			t.Errorf("%s: sample κ %.3f far from %.3f", row.Query, row.SampleKappa, row.Kappa)
+		}
+	}
+}
+
+func TestFigure7WindowWins(t *testing.T) {
+	r, err := Figure7(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare is perfect but expensive; Rate cheap but imperfect.
+	if r.CompareTau < 0.99 {
+		t.Errorf("compare tau = %.3f", r.CompareTau)
+	}
+	if r.RateTau >= r.CompareTau {
+		t.Errorf("rate tau %.3f should trail compare", r.RateTau)
+	}
+	if r.RateHITs >= r.CompareHITs {
+		t.Errorf("rate HITs %d ≥ compare HITs %d", r.RateHITs, r.CompareHITs)
+	}
+	// The offset window reaches high tau within the iteration budget
+	// and at less cost than Compare (paper: τ>0.95 in <30 HITs, τ=1 in
+	// half of Compare's HITs).
+	w6 := r.HITsToTau("Window 6", 0.95)
+	if w6 < 0 {
+		t.Fatalf("Window 6 never reached 0.95: %v", r.Series["Window 6"])
+	}
+	if r.RateHITs+w6 >= r.CompareHITs {
+		t.Errorf("Window 6 cost %d ≥ compare %d", r.RateHITs+w6, r.CompareHITs)
+	}
+	// Window 6 (offset) beats Window 5 (divisor) on this dataset size
+	// when t divides N.
+	if r.N%5 == 0 && r.FinalTau("Window 6") < r.FinalTau("Window 5")-0.01 {
+		t.Errorf("Window 6 final %.3f < Window 5 final %.3f", r.FinalTau("Window 6"), r.FinalTau("Window 5"))
+	}
+	// Every scheme improves on the rating-only start.
+	for name, series := range r.Series {
+		if len(series) > 0 && series[len(series)-1] < r.RateTau-0.02 {
+			t.Errorf("%s degraded below the rate seed: %.3f < %.3f", name, series[len(series)-1], r.RateTau)
+		}
+	}
+}
+
+func TestAnimalsHybridImproves(t *testing.T) {
+	r, err := AnimalsHybrid(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EndTau <= r.StartTau {
+		t.Errorf("hybrid did not improve: %.3f -> %.3f", r.StartTau, r.EndTau)
+	}
+	if r.EndTau < 0.88 {
+		t.Errorf("end tau = %.3f, want ≥0.88 (paper reaches 0.90)", r.EndTau)
+	}
+}
+
+func TestTable5Reduction(t *testing.T) {
+	r, err := Table5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reduction() < 4 {
+		t.Errorf("reduction = %.1fx, want ≥4x even at quick scale", r.Reduction())
+	}
+	// Filter selectivity ≈ 55%.
+	frac := float64(r.FilteredScenes) / float64(r.Scenes)
+	if frac < 0.4 || frac > 0.7 {
+		t.Errorf("filter selectivity = %.2f, want ≈0.55", frac)
+	}
+	byOpt := map[string]int{}
+	for _, row := range r.Rows {
+		byOpt[row.Optimization] = row.HITs
+	}
+	// Smart 5x5 cheapest filtered join; unfiltered Simple most
+	// expensive overall.
+	if byOpt["Filter + Smart 5x5"] >= byOpt["Filter + Naive"] {
+		t.Error("smart 5x5 should beat naive batching")
+	}
+	if byOpt["No Filter + Simple"] <= byOpt["Filter + Simple"] {
+		t.Error("filtering should cut simple join HITs")
+	}
+	if byOpt["Rate"] >= byOpt["Compare"] {
+		t.Error("rate should be cheaper than compare")
+	}
+}
+
+func TestCostNarrative(t *testing.T) {
+	r, err := CostNarrative(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r.UnfilteredDollars > r.FilteredDollars && r.FilteredDollars > r.BatchedDollars) {
+		t.Errorf("cost walk-down broken: %.2f -> %.2f -> %.2f",
+			r.UnfilteredDollars, r.FilteredDollars, r.BatchedDollars)
+	}
+	// Order-of-magnitude total reduction (paper: 67.50/2.70 = 25x).
+	if r.UnfilteredDollars/r.BatchedDollars < 8 {
+		t.Errorf("total reduction = %.1fx, want ≥8x", r.UnfilteredDollars/r.BatchedDollars)
+	}
+}
+
+// TestFullScaleTable5 runs the paper-scale end-to-end pipeline; skipped
+// with -short.
+func TestFullScaleTable5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run")
+	}
+	r, err := Table5(Config{Seed: 42, Scale: Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reduction() < 10 {
+		t.Errorf("full-scale reduction = %.1fx, want ≥10x (paper 14.5x)", r.Reduction())
+	}
+	t.Logf("full-scale Table 5: %d unoptimized vs %d optimized (%.1fx)",
+		r.TotalUnoptimized, r.TotalOptimized, r.Reduction())
+}
+
+// TestFullScaleRateTau verifies the headline Rate calibration.
+func TestFullScaleRateTau(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run")
+	}
+	r, err := SquareRateBatching(Config{Seed: 42, Scale: Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanTau < 0.7 || r.MeanTau > 0.86 {
+		t.Errorf("full-scale rate tau = %.3f, want ≈0.78 (paper)", r.MeanTau)
+	}
+}

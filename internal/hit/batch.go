@@ -1,0 +1,184 @@
+package hit
+
+import (
+	"fmt"
+)
+
+// This file implements the paper's two batching optimizations (§2.6):
+//
+//   - merging: one HIT applies a given task to multiple tuples
+//     ("we generate a single HIT that applies a given task (operator)
+//     to multiple tuples")
+//   - combining: one HIT applies several tasks to the same tuple
+//     ("generally only filters and generative tasks")
+//
+// plus the join- and sort-specific batch layouts from §3.1 and §4.1.
+
+// Builder mints HITs with sequential IDs inside one group.
+type Builder struct {
+	groupID     string
+	assignments int
+	rewardCents float64
+	nextHIT     int
+	nextQ       int
+}
+
+// NewBuilder creates a builder for one HIT group. assignments is the
+// number of workers per HIT (paper default 5); rewardCents the pay per
+// assignment (paper: 1¢).
+func NewBuilder(groupID string, assignments int, rewardCents float64) *Builder {
+	return &Builder{groupID: groupID, assignments: assignments, rewardCents: rewardCents}
+}
+
+// newHIT allocates an empty HIT of the given kind.
+func (b *Builder) newHIT(kind Kind) *HIT {
+	b.nextHIT++
+	return &HIT{
+		ID:          fmt.Sprintf("%s/hit%04d", b.groupID, b.nextHIT),
+		GroupID:     b.groupID,
+		Kind:        kind,
+		Assignments: b.assignments,
+		RewardCents: b.rewardCents,
+	}
+}
+
+// QuestionID mints a fresh question ID. Exposed so operators can create
+// stable IDs tied to their own bookkeeping.
+func (b *Builder) QuestionID() string {
+	b.nextQ++
+	return fmt.Sprintf("%s/q%05d", b.groupID, b.nextQ)
+}
+
+// Merge batches a flat list of single-subject questions (FilterQ,
+// GenerativeQ, RateQ, JoinPairQ, CompareQ) into HITs of at most
+// batchSize questions each — the paper's merging optimization. A
+// batchSize ≤ 1 yields one question per HIT (the unbatched interfaces).
+func (b *Builder) Merge(questions []Question, batchSize int) ([]*HIT, error) {
+	if len(questions) == 0 {
+		return nil, nil
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	kind := questions[0].Kind
+	var hits []*HIT
+	for start := 0; start < len(questions); start += batchSize {
+		end := start + batchSize
+		if end > len(questions) {
+			end = len(questions)
+		}
+		h := b.newHIT(kind)
+		for _, q := range questions[start:end] {
+			if q.Kind != kind {
+				return nil, fmt.Errorf("hit: cannot merge %s question into %s HIT", q.Kind, kind)
+			}
+			if q.ID == "" {
+				q.ID = b.QuestionID()
+			}
+			h.Questions = append(h.Questions, q)
+		}
+		if err := h.Validate(); err != nil {
+			return nil, err
+		}
+		hits = append(hits, h)
+	}
+	return hits, nil
+}
+
+// Combine batches several tasks over the *same* tuple into one composite
+// generative question per tuple — the paper's combining optimization used
+// by feature extraction ("we asked workers to provide all three features
+// at once", §3.3.4). questionsPerTuple[i] lists each task's question for
+// tuple i; all must be GenerativeQ over the same tuple. The composite
+// question carries the union of fields; its Task is the concatenation of
+// task names, and per-field answers are routed back by field name.
+func (b *Builder) Combine(questionsPerTuple [][]Question, mergeBatch int) ([]*HIT, error) {
+	var combined []Question
+	for i, qs := range questionsPerTuple {
+		if len(qs) == 0 {
+			return nil, fmt.Errorf("hit: tuple %d has no questions to combine", i)
+		}
+		first := qs[0]
+		comp := Question{
+			ID:    b.QuestionID(),
+			Kind:  GenerativeQ,
+			Tuple: first.Tuple,
+		}
+		names := make([]string, 0, len(qs))
+		seen := map[string]bool{}
+		for _, q := range qs {
+			if q.Kind != GenerativeQ {
+				return nil, fmt.Errorf("hit: combining supports generative tasks only, got %s", q.Kind)
+			}
+			if q.Tuple.Schema() == nil || first.Tuple.Schema() == nil || q.Tuple.Key() != first.Tuple.Key() {
+				return nil, fmt.Errorf("hit: combined questions must target the same tuple")
+			}
+			names = append(names, q.Task)
+			for _, f := range q.Fields {
+				if seen[f] {
+					return nil, fmt.Errorf("hit: combined tasks share field %q", f)
+				}
+				seen[f] = true
+				comp.Fields = append(comp.Fields, f)
+			}
+		}
+		comp.Task = joinNames(names)
+		combined = append(combined, comp)
+	}
+	return b.Merge(combined, mergeBatch)
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "+"
+		}
+		out += n
+	}
+	return out
+}
+
+// GridHITs lays out a smart-batch join: left items in columns of r, right
+// items in columns of s, one HIT per (r-chunk × s-chunk) — paper §3.1.3:
+// "For r images in the first column and s in the second column, we must
+// evaluate |R||S|/(rs) HITs."
+func (b *Builder) GridHITs(left, right []Question, r, s int) ([]*HIT, error) {
+	if r < 1 || s < 1 {
+		return nil, fmt.Errorf("hit: grid dimensions must be ≥1 (got %d×%d)", r, s)
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return nil, nil
+	}
+	var hits []*HIT
+	for l := 0; l < len(left); l += r {
+		lend := l + r
+		if lend > len(left) {
+			lend = len(left)
+		}
+		for g := 0; g < len(right); g += s {
+			gend := g + s
+			if gend > len(right) {
+				gend = len(right)
+			}
+			h := b.newHIT(JoinGridQ)
+			q := Question{
+				ID:   b.QuestionID(),
+				Kind: JoinGridQ,
+				Task: left[l].Task,
+			}
+			for _, lq := range left[l:lend] {
+				q.LeftItems = append(q.LeftItems, lq.Tuple)
+			}
+			for _, rq := range right[g:gend] {
+				q.RightItems = append(q.RightItems, rq.Tuple)
+			}
+			h.Questions = []Question{q}
+			if err := h.Validate(); err != nil {
+				return nil, err
+			}
+			hits = append(hits, h)
+		}
+	}
+	return hits, nil
+}

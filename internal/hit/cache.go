@@ -1,0 +1,69 @@
+package hit
+
+import (
+	"sync"
+)
+
+// Cache memoizes completed question results so re-running a query (or a
+// later operator re-asking an identical question) does not re-post work
+// to the crowd — the "Task Cache" box in the paper's architecture
+// (Fig. 1), in the spirit of TurKit's crash-and-rerun caching.
+//
+// The cache is keyed by Question.CacheKey (task + kind + input tuples)
+// and stores the raw per-worker answers so combiners can still be
+// swapped after the fact.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[uint64][]CachedAnswer
+	hits    int
+	misses  int
+}
+
+// CachedAnswer is one worker's answer to a cached question.
+type CachedAnswer struct {
+	WorkerID string
+	Answer   Answer
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[uint64][]CachedAnswer)}
+}
+
+// Lookup returns the cached answers for a question, if present.
+func (c *Cache) Lookup(q *Question) ([]CachedAnswer, bool) {
+	key := q.CacheKey()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	got, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return got, ok
+}
+
+// Store records answers for a question, replacing any prior entry.
+func (c *Cache) Store(q *Question, answers []CachedAnswer) {
+	key := q.CacheKey()
+	cp := make([]CachedAnswer, len(answers))
+	copy(cp, answers)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = cp
+}
+
+// Stats reports lookup hits and misses since creation.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached questions.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -1,0 +1,269 @@
+package hit
+
+import (
+	"fmt"
+	"html/template"
+	"strings"
+
+	"qurk/internal/task"
+)
+
+// Compiler renders HITs to the HTML forms a live marketplace would host —
+// the "HIT Compiler" box in the paper's architecture (Fig. 1). The
+// simulated crowd never parses this HTML (it answers from the Question
+// structs), but compiling it keeps the pipeline honest: every interface
+// the paper screenshots (Figs. 2 and 5) has a renderer, and tests golden-
+// check the structure.
+type Compiler struct {
+	reg *task.Registry
+}
+
+// NewCompiler creates a compiler resolving task names against reg.
+func NewCompiler(reg *task.Registry) *Compiler { return &Compiler{reg: reg} }
+
+var page = template.Must(template.New("page").Parse(
+	`<html><body><form action="/submit" method="POST">
+{{range .Blocks}}<div class="question">{{.}}</div>
+{{end}}<input type="submit" value="Submit">
+</form></body></html>
+`))
+
+// Compile renders the HIT's form. Prompts from task templates are trusted
+// HTML (they come from the workflow developer, as in the paper); worker-
+// facing labels are escaped.
+func (c *Compiler) Compile(h *HIT) (string, error) {
+	blocks := make([]template.HTML, 0, len(h.Questions))
+	for i := range h.Questions {
+		q := &h.Questions[i]
+		blk, err := c.compileQuestion(q)
+		if err != nil {
+			return "", fmt.Errorf("hit %s question %s: %w", h.ID, q.ID, err)
+		}
+		blocks = append(blocks, template.HTML(blk))
+	}
+	var b strings.Builder
+	if err := page.Execute(&b, struct{ Blocks []template.HTML }{blocks}); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func (c *Compiler) compileQuestion(q *Question) (string, error) {
+	switch q.Kind {
+	case FilterQ:
+		return c.compileFilter(q)
+	case GenerativeQ:
+		return c.compileGenerative(q)
+	case JoinPairQ:
+		return c.compileJoinPair(q)
+	case JoinGridQ:
+		return c.compileJoinGrid(q)
+	case CompareQ:
+		return c.compileCompare(q)
+	case RateQ:
+		return c.compileRate(q)
+	default:
+		return "", fmt.Errorf("hit: no renderer for kind %s", q.Kind)
+	}
+}
+
+func (c *Compiler) lookup(name string) (task.Task, error) {
+	if c.reg == nil {
+		return nil, fmt.Errorf("hit: compiler has no task registry")
+	}
+	return c.reg.Lookup(name)
+}
+
+func (c *Compiler) compileFilter(q *Question) (string, error) {
+	t, err := c.lookup(q.Task)
+	if err != nil {
+		return "", err
+	}
+	f, ok := t.(*task.Filter)
+	if !ok {
+		return "", fmt.Errorf("hit: task %s is %s, want Filter", q.Task, t.TaskType())
+	}
+	body, err := f.Prompt.Render(q.Tuple)
+	if err != nil {
+		return "", err
+	}
+	yes, no := f.YesText, f.NoText
+	if yes == "" {
+		yes = "Yes"
+	}
+	if no == "" {
+		no = "No"
+	}
+	return fmt.Sprintf(`%s<br><label><input type="radio" name=%q value="yes">%s</label> <label><input type="radio" name=%q value="no">%s</label>`,
+		body, q.ID, template.HTMLEscapeString(yes), q.ID, template.HTMLEscapeString(no)), nil
+}
+
+func (c *Compiler) compileGenerative(q *Question) (string, error) {
+	// A combined question names its tasks "a+b+c"; render each task's
+	// prompt and the requested fields in order.
+	var b strings.Builder
+	for _, name := range strings.Split(q.Task, "+") {
+		t, err := c.lookup(name)
+		if err != nil {
+			return "", err
+		}
+		g, ok := t.(*task.Generative)
+		if !ok {
+			return "", fmt.Errorf("hit: task %s is %s, want Generative", name, t.TaskType())
+		}
+		body, err := g.Prompt.Render(q.Tuple)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(body)
+		b.WriteString("<br>")
+		for _, f := range g.Fields {
+			if len(q.Fields) > 0 && !containsField(q.Fields, f.Name) {
+				continue
+			}
+			switch f.Response.Kind {
+			case task.TextResponse:
+				fmt.Fprintf(&b, `<label>%s <input type="text" name="%s.%s"></label><br>`,
+					template.HTMLEscapeString(f.Response.Label), q.ID, f.Name)
+			case task.RadioResponse:
+				fmt.Fprintf(&b, `%s: `, template.HTMLEscapeString(f.Response.Label))
+				for _, opt := range f.Response.Options {
+					fmt.Fprintf(&b, `<label><input type="radio" name="%s.%s" value=%q>%s</label> `,
+						q.ID, f.Name, opt, template.HTMLEscapeString(opt))
+				}
+				b.WriteString("<br>")
+			}
+		}
+	}
+	return b.String(), nil
+}
+
+func containsField(fields []string, name string) bool {
+	for _, f := range fields {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Compiler) equiJoin(name string) (*task.EquiJoin, error) {
+	t, err := c.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := t.(*task.EquiJoin)
+	if !ok {
+		return nil, fmt.Errorf("hit: task %s is %s, want EquiJoin", name, t.TaskType())
+	}
+	return e, nil
+}
+
+func (c *Compiler) compileJoinPair(q *Question) (string, error) {
+	e, err := c.equiJoin(q.Task)
+	if err != nil {
+		return "", err
+	}
+	left, err := e.LeftNormal.Render(q.Left)
+	if err != nil {
+		return "", err
+	}
+	right, err := e.RightNormal.Render(q.Right)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(`%s<br><table><tr><td>%s</td><td>%s</td></tr></table><label><input type="radio" name=%q value="yes">Yes</label> <label><input type="radio" name=%q value="no">No</label>`,
+		template.HTMLEscapeString(e.PairQuestion()), left, right, q.ID, q.ID), nil
+}
+
+func (c *Compiler) compileJoinGrid(q *Question) (string, error) {
+	e, err := c.equiJoin(q.Task)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `Click on pairs of %s that match.<br><table><tr><td class="leftcol">`,
+		template.HTMLEscapeString(e.PluralName))
+	for i, t := range q.LeftItems {
+		prev, err := e.LeftPreview.Render(t)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, `<div class="cell" data-side="l" data-idx="%d">%s</div>`, i, prev)
+	}
+	b.WriteString(`</td><td class="rightcol">`)
+	for i, t := range q.RightItems {
+		prev, err := e.RightPreview.Render(t)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, `<div class="cell" data-side="r" data-idx="%d">%s</div>`, i, prev)
+	}
+	fmt.Fprintf(&b, `</td></tr></table><label><input type="checkbox" name="%s.none">No matches</label>`, q.ID)
+	return b.String(), nil
+}
+
+func (c *Compiler) rank(name string) (*task.Rank, error) {
+	t, err := c.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := t.(*task.Rank)
+	if !ok {
+		return nil, fmt.Errorf("hit: task %s is %s, want Rank", name, t.TaskType())
+	}
+	return r, nil
+}
+
+func (c *Compiler) compileCompare(q *Question) (string, error) {
+	r, err := c.rank(q.Task)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(template.HTMLEscapeString(r.CompareQuestion()))
+	b.WriteString("<br>")
+	for i, t := range q.Items {
+		body, err := r.HTML.Render(t)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, `<div class="item">%s <select name="%s.rank%d">`, body, q.ID, i)
+		for pos := 1; pos <= len(q.Items); pos++ {
+			fmt.Fprintf(&b, `<option value="%d">%d</option>`, pos, pos)
+		}
+		b.WriteString(`</select></div>`)
+	}
+	return b.String(), nil
+}
+
+func (c *Compiler) compileRate(q *Question) (string, error) {
+	r, err := c.rank(q.Task)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if len(q.Context) > 0 {
+		b.WriteString(`<div class="context">`)
+		for _, t := range q.Context {
+			body, err := r.HTML.Render(t)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(body)
+		}
+		b.WriteString(`</div>`)
+	}
+	b.WriteString(template.HTMLEscapeString(r.RateQuestion(q.Scale)))
+	b.WriteString("<br>")
+	body, err := r.HTML.Render(q.Tuple)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(body)
+	b.WriteString("<br>")
+	for v := 1; v <= q.Scale; v++ {
+		fmt.Fprintf(&b, `<label><input type="radio" name=%q value="%d">%d</label> `, q.ID, v, v)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,372 @@
+// Package join implements Qurk's crowd-powered join operator (paper §3):
+// a block nested loop join whose predicate evaluations are HITs, with the
+// paper's three interfaces — SimpleJoin, NaiveBatch, and SmartBatch — and
+// the feature-filtering optimization that prunes the cross product with a
+// linear pass of categorical feature extractions (§3.2).
+package join
+
+import (
+	"fmt"
+
+	"qurk/internal/combine"
+	"qurk/internal/crowd"
+	"qurk/internal/hit"
+	"qurk/internal/relation"
+	"qurk/internal/task"
+)
+
+// Algorithm selects the join HIT interface.
+type Algorithm uint8
+
+const (
+	// Simple posts one candidate pair per HIT (paper §3.1.1): |R||S|
+	// HITs for a full cross product.
+	Simple Algorithm = iota
+	// Naive batches b pairs vertically per HIT (§3.1.2): |R||S|/b HITs.
+	Naive
+	// Smart shows an r×s grid per HIT and asks the worker to click
+	// matching pairs (§3.1.3): |R||S|/(r·s) HITs.
+	Smart
+)
+
+// String names the algorithm as the paper does.
+func (a Algorithm) String() string {
+	switch a {
+	case Simple:
+		return "Simple"
+	case Naive:
+		return "NaiveBatch"
+	case Smart:
+		return "SmartBatch"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// Options configures one join run.
+type Options struct {
+	// Algorithm is the interface (default Simple).
+	Algorithm Algorithm
+	// BatchSize is pairs-per-HIT for Naive (default 5).
+	BatchSize int
+	// GridRows × GridCols is the Smart grid (default 3×3).
+	GridRows, GridCols int
+	// Assignments is workers per HIT (default 5).
+	Assignments int
+	// Combiner merges votes (default MajorityVote). For QualityAdjust
+	// pass a configured *combine.QualityAdjust.
+	Combiner combine.Combiner
+	// GroupID labels the HIT group (default "join").
+	GroupID string
+	// Cache, if non-nil, memoizes pair questions across runs.
+	Cache *hit.Cache
+}
+
+func (o *Options) fillDefaults() {
+	if o.BatchSize == 0 {
+		o.BatchSize = 5
+	}
+	if o.GridRows == 0 {
+		o.GridRows = 3
+	}
+	if o.GridCols == 0 {
+		o.GridCols = 3
+	}
+	if o.Assignments == 0 {
+		o.Assignments = 5
+	}
+	if o.Combiner == nil {
+		o.Combiner = combine.MajorityVote{}
+	}
+	if o.GroupID == "" {
+		o.GroupID = "join"
+	}
+}
+
+// Pair is one candidate (left row, right row) pair.
+type Pair struct {
+	LeftIndex, RightIndex int
+	Left, Right           relation.Tuple
+}
+
+// Key identifies the pair for vote bookkeeping, stable across interfaces
+// so MajorityVote and QualityAdjust see the same question IDs.
+func (p Pair) Key() string {
+	return fmt.Sprintf("pair:%x|%x", p.Left.Key(), p.Right.Key())
+}
+
+// Result is the outcome of a crowd join.
+type Result struct {
+	// Matches are the pairs the combiner accepted.
+	Matches []Match
+	// Joined is the relational join result (left ⋈ right schemas).
+	Joined *relation.Relation
+	// HITCount is the number of HITs posted (the paper's cost unit).
+	HITCount int
+	// AssignmentCount is total assignments completed.
+	AssignmentCount int
+	// Candidates is the number of pairs evaluated (≠ |R||S| when
+	// feature filtering pruned the cross product).
+	Candidates int
+	// Votes holds the raw per-pair votes so callers can re-combine
+	// (e.g., merge two trials, or compare MV vs QA on one corpus).
+	Votes []combine.Vote
+	// Assignments carries completion metadata for latency analysis.
+	Assignments []hit.Assignment
+	// MakespanHours is the group completion time.
+	MakespanHours float64
+	// Incomplete lists refused HITs (batch too large).
+	Incomplete []string
+}
+
+// Match is an accepted pair with the combiner's confidence.
+type Match struct {
+	Pair       Pair
+	Confidence float64
+	Votes      int
+}
+
+// CrossPairs enumerates the full cross product of candidate pairs — the
+// block nested loop the paper describes (§3.1: "Qurk implements a block
+// nested loop join").
+func CrossPairs(left, right *relation.Relation) []Pair {
+	pairs := make([]Pair, 0, left.Len()*right.Len())
+	for i := 0; i < left.Len(); i++ {
+		for j := 0; j < right.Len(); j++ {
+			pairs = append(pairs, Pair{LeftIndex: i, RightIndex: j, Left: left.Row(i), Right: right.Row(j)})
+		}
+	}
+	return pairs
+}
+
+// Run executes the crowd join over an explicit candidate pair list.
+// Most callers use RunCross (full cross product) or feature filtering's
+// RunFiltered.
+func Run(candidates []Pair, jt *task.EquiJoin, opts Options, market crowd.Marketplace) (*Result, error) {
+	opts.fillDefaults()
+	if err := jt.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Candidates: len(candidates)}
+	if len(candidates) == 0 {
+		res.Joined = relation.New("join", nil)
+		return res, nil
+	}
+
+	// Build HITs per algorithm.
+	b := hit.NewBuilder(opts.GroupID, opts.Assignments, 1)
+	var hits []*hit.HIT
+	var err error
+	switch opts.Algorithm {
+	case Simple, Naive:
+		batch := 1
+		if opts.Algorithm == Naive {
+			batch = opts.BatchSize
+		}
+		qs := make([]hit.Question, len(candidates))
+		for i, p := range candidates {
+			qs[i] = hit.Question{
+				ID:   p.Key(),
+				Kind: hit.JoinPairQ,
+				Task: jt.Name,
+				Left: p.Left, Right: p.Right,
+			}
+		}
+		hits, err = b.Merge(qs, batch)
+	case Smart:
+		hits, err = smartHITs(b, candidates, jt.Name, opts.GridRows, opts.GridCols)
+	default:
+		return nil, fmt.Errorf("join: unknown algorithm %v", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.HITCount = len(hits)
+
+	// Post to the marketplace.
+	run, err := market.Run(&hit.Group{ID: opts.GroupID, HITs: hits})
+	if err != nil {
+		return nil, err
+	}
+	res.AssignmentCount = run.TotalAssignments
+	res.MakespanHours = run.MakespanHours
+	res.Incomplete = run.Incomplete
+	res.Assignments = run.Assignments
+
+	// Collect votes per pair.
+	res.Votes = collectVotes(hits, run.Assignments)
+
+	// Combine and keep accepted pairs.
+	decisions, err := opts.Combiner.Combine(res.Votes)
+	if err != nil {
+		return nil, err
+	}
+	byKey := make(map[string]Pair, len(candidates))
+	order := make([]string, 0, len(candidates))
+	for _, p := range candidates {
+		k := p.Key()
+		if _, dup := byKey[k]; !dup {
+			order = append(order, k)
+		}
+		byKey[k] = p
+	}
+	var joined *relation.Relation
+	for _, key := range order {
+		d, ok := decisions[key]
+		if !ok || d.Value != "yes" {
+			continue
+		}
+		p := byKey[key]
+		res.Matches = append(res.Matches, Match{Pair: p, Confidence: d.Confidence, Votes: d.Votes})
+		if joined == nil {
+			schema, err := p.Left.Schema().Concat(p.Right.Schema())
+			if err != nil {
+				return nil, fmt.Errorf("join: %w", err)
+			}
+			joined = relation.New("join", schema)
+		}
+		if err := joined.Append(p.Left.Concat(p.Right, joined.Schema())); err != nil {
+			return nil, err
+		}
+	}
+	if joined == nil {
+		joined = relation.New("join", nil)
+	}
+	res.Joined = joined
+	return res, nil
+}
+
+// RunCross joins the full cross product of two relations.
+func RunCross(left, right *relation.Relation, jt *task.EquiJoin, opts Options, market crowd.Marketplace) (*Result, error) {
+	return Run(CrossPairs(left, right), jt, opts, market)
+}
+
+// smartHITs lays candidate pairs out as r×s grids. Candidates are grouped
+// into maximal complete bipartite blocks: we collect the distinct left
+// and right tuples (in first-appearance order), chunk them r and s at a
+// time, and emit a grid HIT per chunk pair that contains at least one
+// candidate. With a full cross product every chunk pair qualifies and the
+// count matches the paper's |R||S|/(rs); with feature-filtered candidates
+// sparse blocks are skipped.
+func smartHITs(b *hit.Builder, candidates []Pair, taskName string, r, s int) ([]*hit.HIT, error) {
+	if r < 1 || s < 1 {
+		return nil, fmt.Errorf("join: smart grid must be ≥1×1, got %d×%d", r, s)
+	}
+	// Index distinct sides.
+	var lefts, rights []relation.Tuple
+	lIdx := map[uint64]int{}
+	rIdx := map[uint64]int{}
+	type cell struct{ l, r int }
+	want := map[cell]bool{}
+	for _, p := range candidates {
+		lk, rk := p.Left.Key(), p.Right.Key()
+		li, ok := lIdx[lk]
+		if !ok {
+			li = len(lefts)
+			lIdx[lk] = li
+			lefts = append(lefts, p.Left)
+		}
+		ri, ok := rIdx[rk]
+		if !ok {
+			ri = len(rights)
+			rIdx[rk] = ri
+			rights = append(rights, p.Right)
+		}
+		want[cell{li, ri}] = true
+	}
+	var hits []*hit.HIT
+	for l := 0; l < len(lefts); l += r {
+		lend := min(l+r, len(lefts))
+		for g := 0; g < len(rights); g += s {
+			gend := min(g+s, len(rights))
+			// Skip blocks containing no candidate pair (sparse
+			// candidate sets from feature filtering).
+			any := false
+			for li := l; li < lend && !any; li++ {
+				for ri := g; ri < gend; ri++ {
+					if want[cell{li, ri}] {
+						any = true
+						break
+					}
+				}
+			}
+			if !any {
+				continue
+			}
+			q := hit.Question{
+				ID:   b.QuestionID(),
+				Kind: hit.JoinGridQ,
+				Task: taskName,
+			}
+			q.LeftItems = append(q.LeftItems, lefts[l:lend]...)
+			q.RightItems = append(q.RightItems, rights[g:gend]...)
+			gh, err := b.Merge([]hit.Question{q}, 1)
+			if err != nil {
+				return nil, err
+			}
+			hits = append(hits, gh...)
+		}
+	}
+	return hits, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// collectVotes turns assignments into per-pair yes/no votes. Grid
+// answers expand to votes over every cell: selected cells vote yes,
+// unselected cells vote no.
+func collectVotes(hits []*hit.HIT, assignments []hit.Assignment) []combine.Vote {
+	qByHIT := make(map[string]*hit.HIT, len(hits))
+	for _, h := range hits {
+		qByHIT[h.ID] = h
+	}
+	var votes []combine.Vote
+	for _, a := range assignments {
+		h := qByHIT[a.HITID]
+		if h == nil {
+			continue
+		}
+		for i, ans := range a.Answers {
+			if i >= len(h.Questions) {
+				break
+			}
+			q := &h.Questions[i]
+			switch q.Kind {
+			case hit.JoinPairQ:
+				votes = append(votes, combine.Vote{
+					Question: q.ID,
+					Worker:   a.WorkerID,
+					Value:    boolToVote(ans.Bool),
+				})
+			case hit.JoinGridQ:
+				selected := make(map[[2]int]bool, len(ans.Pairs))
+				for _, p := range ans.Pairs {
+					selected[p] = true
+				}
+				for li, lt := range q.LeftItems {
+					for ri, rt := range q.RightItems {
+						key := Pair{Left: lt, Right: rt}.Key()
+						votes = append(votes, combine.Vote{
+							Question: key,
+							Worker:   a.WorkerID,
+							Value:    boolToVote(selected[[2]int{li, ri}]),
+						})
+					}
+				}
+			}
+		}
+	}
+	return votes
+}
+
+func boolToVote(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,263 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"qurk/internal/dataset"
+	"qurk/internal/query"
+	"qurk/internal/task"
+)
+
+// lib is a minimal TaskSource for planner tests.
+type lib map[string]struct {
+	t      task.Task
+	params []string
+}
+
+func (l lib) Resolve(name string) (task.Task, []string, error) {
+	e, ok := l[strings.ToLower(name)]
+	if !ok {
+		return nil, nil, errUnknown(name)
+	}
+	return e.t, e.params, nil
+}
+
+type errUnknown string
+
+func (e errUnknown) Error() string { return "unknown task " + string(e) }
+
+func testLib() lib {
+	return lib{
+		"isfemale":   {t: dataset.IsFemaleTask()},
+		"sameperson": {t: dataset.SamePersonTask()},
+		"gender":     {t: dataset.GenderTask()},
+		"haircolor":  {t: dataset.HairColorTask()},
+		"skincolor":  {t: dataset.SkinColorTask()},
+		"numinscene": {t: dataset.NumInSceneTask()},
+		"inscene":    {t: dataset.InSceneTask()},
+		"quality":    {t: dataset.QualityTask()},
+		"sorter":     {t: dataset.SquareSorterTask()},
+		"animalinfo": {t: dataset.AnimalInfoTask()},
+	}
+}
+
+func mustPlan(t *testing.T, src string) Node {
+	t.Helper()
+	stmt, err := query.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := Build(stmt, testLib())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node
+}
+
+func TestPlanFilterQuery(t *testing.T) {
+	node := mustPlan(t, `SELECT name FROM celeb c WHERE isFemale(c.img)`)
+	proj, ok := node.(*Project)
+	if !ok {
+		t.Fatalf("root = %T", node)
+	}
+	cf, ok := proj.Input.(*CrowdFilter)
+	if !ok {
+		t.Fatalf("child = %T", proj.Input)
+	}
+	if cf.Task.Name != "isFemale" {
+		t.Errorf("task = %s", cf.Task.Name)
+	}
+	if _, ok := cf.Input.(*Scan); !ok {
+		t.Errorf("filter input = %T", cf.Input)
+	}
+}
+
+func TestPlanMachinePushdown(t *testing.T) {
+	// The machine predicate (id > 3) must sit BELOW the crowd filter
+	// even though it appears after it in the query (paper §2.5).
+	node := mustPlan(t, `SELECT name FROM celeb c WHERE isFemale(c.img) AND c.id > 3`)
+	proj := node.(*Project)
+	cf, ok := proj.Input.(*CrowdFilter)
+	if !ok {
+		t.Fatalf("expected crowd filter above machine filter, got %T", proj.Input)
+	}
+	if _, ok := cf.Input.(*MachineFilter); !ok {
+		t.Fatalf("expected machine filter below, got %T", cf.Input)
+	}
+}
+
+func TestPlanOrFilters(t *testing.T) {
+	node := mustPlan(t, `SELECT name FROM celeb c WHERE isFemale(c.img) OR NOT isFemale(c.img)`)
+	proj := node.(*Project)
+	or, ok := proj.Input.(*CrowdFilterOr)
+	if !ok {
+		t.Fatalf("expected CrowdFilterOr, got %T", proj.Input)
+	}
+	if len(or.Branches) != 2 || or.Negates[0] || !or.Negates[1] {
+		t.Errorf("branches = %d negates = %v", len(or.Branches), or.Negates)
+	}
+}
+
+func TestPlanJoinWithFeatures(t *testing.T) {
+	node := mustPlan(t, `
+SELECT c.name FROM celeb c JOIN photos p
+ON samePerson(c.img, p.img)
+AND POSSIBLY gender(c.img) = gender(p.img)
+AND POSSIBLY hairColor(c.img) = hairColor(p.img)`)
+	proj := node.(*Project)
+	cj, ok := proj.Input.(*CrowdJoin)
+	if !ok {
+		t.Fatalf("expected CrowdJoin, got %T", proj.Input)
+	}
+	if cj.Task.Name != "samePerson" {
+		t.Errorf("join task = %s", cj.Task.Name)
+	}
+	if len(cj.LeftFeatures) != 2 || len(cj.RightFeatures) != 2 {
+		t.Fatalf("features = %d/%d", len(cj.LeftFeatures), len(cj.RightFeatures))
+	}
+	if cj.LeftFeatures[0].Field != "gender" || cj.LeftFeatures[1].Field != "hair" {
+		t.Errorf("feature fields = %s, %s", cj.LeftFeatures[0].Field, cj.LeftFeatures[1].Field)
+	}
+}
+
+func TestPlanUnaryPossibly(t *testing.T) {
+	node := mustPlan(t, `
+SELECT name, scenes.img FROM actors JOIN scenes
+ON inScene(actors.img, scenes.img)
+AND POSSIBLY numInScene(scenes.img) = 1
+ORDER BY name, quality(scenes.img)`)
+	// Root: Project > CrowdOrderBy > CrowdJoin(left=Scan(actors),
+	// right=UnaryPossibly(Scan(scenes))).
+	proj := node.(*Project)
+	ob, ok := proj.Input.(*CrowdOrderBy)
+	if !ok {
+		t.Fatalf("expected CrowdOrderBy, got %T", proj.Input)
+	}
+	if len(ob.GroupCols) != 1 || ob.GroupCols[0] != "name" {
+		t.Errorf("group cols = %v", ob.GroupCols)
+	}
+	cj := ob.Input.(*CrowdJoin)
+	up, ok := cj.Right.(*UnaryPossibly)
+	if !ok {
+		t.Fatalf("join right = %T, want UnaryPossibly", cj.Right)
+	}
+	if up.Task.Name != "numInScene" || up.Op != "=" || up.Value != "1" {
+		t.Errorf("unary possibly = %+v", up)
+	}
+	if _, ok := cj.Left.(*Scan); !ok {
+		t.Errorf("join left = %T", cj.Left)
+	}
+}
+
+func TestPlanOrderByColumnsOnly(t *testing.T) {
+	node := mustPlan(t, `SELECT name FROM celeb c ORDER BY c.name DESC`)
+	proj := node.(*Project)
+	ob, ok := proj.Input.(*MachineOrderBy)
+	if !ok {
+		t.Fatalf("expected MachineOrderBy, got %T", proj.Input)
+	}
+	if len(ob.Cols) != 1 || !ob.Desc[0] {
+		t.Errorf("order = %+v", ob)
+	}
+}
+
+func TestPlanGenerativeSelect(t *testing.T) {
+	node := mustPlan(t, `SELECT name, animalInfo(img).common FROM animals a`)
+	proj := node.(*Project)
+	gen, ok := proj.Input.(*Generate)
+	if !ok {
+		t.Fatalf("expected Generate, got %T", proj.Input)
+	}
+	if gen.Task.Name != "animalInfo" || gen.Fields[0] != "common" {
+		t.Errorf("generate = %+v", gen)
+	}
+	if proj.Columns[1] != "animalInfo.common" {
+		t.Errorf("projected column = %q", proj.Columns[1])
+	}
+}
+
+func TestPlanLimit(t *testing.T) {
+	node := mustPlan(t, `SELECT label FROM squares ORDER BY sorter(img) LIMIT 5`)
+	lim, ok := node.(*Limit)
+	if !ok {
+		t.Fatalf("root = %T", node)
+	}
+	if lim.N != 5 {
+		t.Errorf("limit = %d", lim.N)
+	}
+	if _, ok := lim.Input.(*Project); !ok {
+		t.Errorf("limit input = %T", lim.Input)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	cases := []string{
+		`SELECT name FROM t WHERE unknownTask(x)`,
+		`SELECT name FROM t WHERE isFemale(x) AND samePerson(a, b)`,                           // join task in WHERE
+		`SELECT name FROM t JOIN u ON isFemale(x)`,                                            // filter task in ON
+		`SELECT name FROM t JOIN u ON samePerson(a, b) AND POSSIBLY gender(a) < gender(b)`,    // non-equality
+		`SELECT name FROM t JOIN u ON samePerson(a, b) AND POSSIBLY gender(a) = hairColor(b)`, // task mismatch
+		`SELECT name FROM t ORDER BY quality(img), name`,                                      // UDF not last
+		`SELECT name FROM t ORDER BY isFemale(img)`,                                           // filter as rank
+	}
+	for _, src := range cases {
+		stmt, err := query.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Build(stmt, testLib()); err == nil {
+			t.Errorf("planned invalid query %q", src)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	node := mustPlan(t, `
+SELECT c.name FROM celeb c JOIN photos p
+ON samePerson(c.img, p.img)
+AND POSSIBLY gender(c.img) = gender(p.img)
+WHERE isFemale(c.img)
+ORDER BY quality(p.img)`)
+	out := Explain(node)
+	for _, want := range []string{"Project", "CrowdOrderBy(quality)", "CrowdJoin(samePerson, features: gender)", "CrowdFilter(isFemale)", "Scan(celeb AS c)", "Scan(photos AS p)", "☺"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBindingThroughDSLParams(t *testing.T) {
+	// A DSL task with formal params gets its prompt bound to the
+	// call-site columns.
+	src := `
+TASK isFemale(field) TYPE Filter:
+	Prompt: "<img src='%s'>", tuple[field]
+	Combiner: MajorityVote
+`
+	script, err := query.ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := query.BuildTask(script.Tasks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := lib{"isfemale": {t: built, params: script.Tasks[0].Params}}
+	stmt, err := query.ParseQuery(`SELECT name FROM celeb c WHERE isFemale(c.img)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := Build(stmt, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := node.(*Project).Input.(*CrowdFilter)
+	if cf.Task.Prompt.Fields[0] != "c.img" {
+		t.Errorf("bound prompt field = %q, want c.img", cf.Task.Prompt.Fields[0])
+	}
+	// The library's original task is untouched.
+	if built.(*task.Filter).Prompt.Fields[0] != "field" {
+		t.Error("planner mutated the library task")
+	}
+}

@@ -1,0 +1,256 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SelectStmt is a parsed Qurk query.
+type SelectStmt struct {
+	// Select is the projection list.
+	Select []SelectItem
+	// From is the driving table.
+	From TableRef
+	// Joins are JOIN ... ON udf(...) [AND POSSIBLY ...] clauses,
+	// executed left-deep in order (paper §2.5).
+	Joins []JoinClause
+	// Where is the optional filter expression.
+	Where Expr
+	// OrderBy lists ordering expressions (columns or Rank UDFs).
+	OrderBy []OrderItem
+	// Limit is the LIMIT value, or -1 when absent.
+	Limit int
+}
+
+// SelectItem is one projection: a column, a star, or a UDF call
+// (optionally with a field selector: animalInfo(img).common).
+type SelectItem struct {
+	// Star is true for '*'.
+	Star bool
+	// Expr is the projected expression (nil when Star).
+	Expr Expr
+	// Alias is the optional AS name.
+	Alias string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Binding returns the name the table is referenced by downstream.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// JoinClause is one JOIN table ON udf(...) with optional POSSIBLY
+// feature filters (paper §2.4).
+type JoinClause struct {
+	Table    TableRef
+	On       *UDFCall
+	Possibly []PossiblyClause
+}
+
+// PossiblyClause is one POSSIBLY filter: either an equality between two
+// feature extractions — POSSIBLY gender(c.img) = gender(p.img) — or a
+// unary predicate — POSSIBLY numInScene(scenes.img) = 1.
+type PossiblyClause struct {
+	Left  *UDFCall
+	Op    string // "=", "<", ">", "<=", ">=", "<>"
+	Right Expr   // *UDFCall or *Literal
+}
+
+// OrderItem is one ORDER BY expression.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a query expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColumnRef references a (possibly alias-qualified) column.
+type ColumnRef struct {
+	Qualifier string // "" when unqualified
+	Column    string
+}
+
+func (c *ColumnRef) exprNode() {}
+
+// Name returns the reference as written ("c.img" or "img").
+func (c *ColumnRef) Name() string {
+	if c.Qualifier == "" {
+		return c.Column
+	}
+	return c.Qualifier + "." + c.Column
+}
+
+func (c *ColumnRef) String() string { return c.Name() }
+
+// Literal is a string, number, or boolean constant.
+type Literal struct {
+	// Text is the raw literal text; IsString marks quoted literals.
+	Text     string
+	IsString bool
+}
+
+func (l *Literal) exprNode() {}
+
+func (l *Literal) String() string {
+	if l.IsString {
+		return fmt.Sprintf("%q", l.Text)
+	}
+	return l.Text
+}
+
+// UDFCall invokes a crowd task: isFemale(c), samePerson(c.img, p.img),
+// animalInfo(img).common.
+type UDFCall struct {
+	Name string
+	Args []Expr
+	// Field selects one output field of a generative UDF ("" if none).
+	Field string
+}
+
+func (u *UDFCall) exprNode() {}
+
+func (u *UDFCall) String() string {
+	args := make([]string, len(u.Args))
+	for i, a := range u.Args {
+		args[i] = a.String()
+	}
+	s := fmt.Sprintf("%s(%s)", u.Name, strings.Join(args, ", "))
+	if u.Field != "" {
+		s += "." + u.Field
+	}
+	return s
+}
+
+// Binary is a boolean or comparison combination.
+type Binary struct {
+	Op   string // AND, OR, =, <, >, <=, >=, <>
+	L, R Expr
+}
+
+func (b *Binary) exprNode() {}
+
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Not negates an expression.
+type Not struct{ X Expr }
+
+func (n *Not) exprNode() {}
+
+func (n *Not) String() string { return "NOT " + n.X.String() }
+
+// String renders the statement approximately as written.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteByte('*')
+		} else {
+			b.WriteString(it.Expr.String())
+		}
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	fmt.Fprintf(&b, " FROM %s", s.From.Table)
+	if s.From.Alias != "" {
+		b.WriteString(" " + s.From.Alias)
+	}
+	for _, j := range s.Joins {
+		fmt.Fprintf(&b, " JOIN %s", j.Table.Table)
+		if j.Table.Alias != "" {
+			b.WriteString(" " + j.Table.Alias)
+		}
+		fmt.Fprintf(&b, " ON %s", j.On)
+		for _, p := range j.Possibly {
+			fmt.Fprintf(&b, " AND POSSIBLY %s %s %s", p.Left, p.Op, p.Right)
+		}
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// TaskDef is a parsed TASK template before conversion to a task.Task.
+type TaskDef struct {
+	// Name and Params come from "TASK name(param, ...)".
+	Name   string
+	Params []string
+	// Type is the template kind: Filter, Generative, Rank, EquiJoin.
+	Type string
+	// Props holds the top-level key: value pairs.
+	Props map[string]PropValue
+	// PropOrder preserves declaration order for deterministic output.
+	PropOrder []string
+}
+
+// PropValue is one DSL property value.
+type PropValue struct {
+	// Str is a string literal value ("" if not a string).
+	Str string
+	// IsStr marks Str as meaningful.
+	IsStr bool
+	// Args are trailing tuple[field] / tuple1[f] / tuple2[f] references
+	// after a string ("...", tuple[field]).
+	Args []TupleRef
+	// Ident is a bare identifier value (e.g. MajorityVote).
+	Ident string
+	// Call is a constructor value (e.g. Text("Common name"),
+	// Radio("Gender", ["Male","Female",UNKNOWN])).
+	Call *CallValue
+	// Map is a nested { key: value } block (e.g. Fields).
+	Map map[string]PropValue
+	// MapOrder preserves nested key order.
+	MapOrder []string
+}
+
+// TupleRef is a tuple[field] reference in a prompt: Var is "tuple",
+// "tuple1", or "tuple2"; Field the bracketed field name.
+type TupleRef struct {
+	Var   string
+	Field string
+}
+
+// CallValue is a constructor like Text("label") or
+// Radio("label", ["a", "b", UNKNOWN]).
+type CallValue struct {
+	Name string
+	// StrArgs are the string-literal arguments, in order.
+	StrArgs []string
+	// ListArg holds the bracketed option list, when present; bare
+	// identifiers (UNKNOWN) arrive as their text.
+	ListArg []string
+}

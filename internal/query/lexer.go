@@ -1,0 +1,239 @@
+// Package query implements Qurk's declarative surface (paper §2.1–§2.4):
+// a lexer and recursive-descent parser for the SQL dialect —
+//
+//	SELECT c.name FROM celeb c JOIN photos p
+//	ON samePerson(c.img, p.img)
+//	AND POSSIBLY gender(c.img) = gender(p.img)
+//	ORDER BY quality(p.img) LIMIT 10
+//
+// — and for the TASK template DSL —
+//
+//	TASK isFemale(field) TYPE Filter:
+//	  Prompt: "<img src='%s'>", tuple[field]
+//	  YesText: "Yes"
+//	  Combiner: MajorityVote
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind uint8
+
+const (
+	// EOF marks the end of input.
+	EOF TokenKind = iota
+	// Ident is a bare identifier or keyword.
+	Ident
+	// String is a double-quoted string literal (unquoted value).
+	String
+	// Number is an integer or decimal literal.
+	Number
+	// Punct is single/double-rune punctuation: ( ) [ ] { } , : . = < >
+	// <= >= <> * ; %.
+	Punct
+)
+
+// Token is one lexeme with position info for error messages.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case String:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// Is reports whether the token is the given punctuation.
+func (t Token) Is(p string) bool { return t.Kind == Punct && t.Text == p }
+
+// IsKeyword reports case-insensitive identifier equality.
+func (t Token) IsKeyword(kw string) bool {
+	return t.Kind == Ident && strings.EqualFold(t.Text, kw)
+}
+
+// Lexer turns source text into tokens.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Tokens lexes the whole input.
+func Tokens(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("query: line %d col %d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	// Skip whitespace, line comments (-- and //), and the paper's
+	// string-continuation backslash at end of line.
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			l.skipLine()
+		case r == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		case r == '#':
+			l.skipLine()
+		default:
+			goto lex
+		}
+	}
+lex:
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Line: l.line, Col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	r := l.peek()
+	switch {
+	case r == '"':
+		s, err := l.lexString()
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: String, Text: s, Line: line, Col: col}, nil
+	case unicode.IsDigit(r):
+		return Token{Kind: Number, Text: l.lexNumber(), Line: line, Col: col}, nil
+	case unicode.IsLetter(r) || r == '_':
+		return Token{Kind: Ident, Text: l.lexIdent(), Line: line, Col: col}, nil
+	default:
+		return l.lexPunct(line, col)
+	}
+}
+
+func (l *Lexer) skipLine() {
+	for l.pos < len(l.src) && l.peek() != '\n' {
+		l.advance()
+	}
+}
+
+func (l *Lexer) lexString() (string, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return "", l.errf("unterminated string")
+		}
+		r := l.advance()
+		switch r {
+		case '"':
+			return b.String(), nil
+		case '\\':
+			if l.pos >= len(l.src) {
+				return "", l.errf("unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\', '\'':
+				b.WriteRune(e)
+			case '\n':
+				// Paper-style line continuation inside prompts:
+				// swallow the newline and following indent.
+				for l.pos < len(l.src) && (l.peek() == ' ' || l.peek() == '\t') {
+					l.advance()
+				}
+			default:
+				b.WriteByte('\\')
+				b.WriteRune(e)
+			}
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func (l *Lexer) lexNumber() string {
+	var b strings.Builder
+	for l.pos < len(l.src) && (unicode.IsDigit(l.peek()) || l.peek() == '.') {
+		b.WriteRune(l.advance())
+	}
+	return b.String()
+}
+
+func (l *Lexer) lexIdent() string {
+	var b strings.Builder
+	for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+		b.WriteRune(l.advance())
+	}
+	return b.String()
+}
+
+var twoRune = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true}
+
+func (l *Lexer) lexPunct(line, col int) (Token, error) {
+	r := l.advance()
+	one := string(r)
+	if l.pos < len(l.src) {
+		two := one + string(l.peek())
+		if twoRune[two] {
+			l.advance()
+			return Token{Kind: Punct, Text: two, Line: line, Col: col}, nil
+		}
+	}
+	switch r {
+	case '(', ')', '[', ']', '{', '}', ',', ':', '.', '=', '<', '>', '*', ';', '%', '+':
+		return Token{Kind: Punct, Text: one, Line: line, Col: col}, nil
+	default:
+		return Token{}, fmt.Errorf("query: line %d col %d: unexpected character %q", line, col, r)
+	}
+}

@@ -1,0 +1,437 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// NewParser tokenizes src and returns a parser.
+func NewParser(src string) (*Parser, error) {
+	toks, err := Tokens(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{toks: toks}, nil
+}
+
+// ParseQuery parses a single SELECT statement.
+func ParseQuery(src string) (*SelectStmt, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.at(EOF) {
+		return nil, p.errf("trailing input after query: %s", p.cur())
+	}
+	return stmt, nil
+}
+
+// Script is a parsed task-and-query file: TASK definitions followed by
+// (or interleaved with) SELECT statements.
+type Script struct {
+	Tasks   []*TaskDef
+	Queries []*SelectStmt
+}
+
+// ParseScript parses a file of TASK definitions and queries.
+func ParseScript(src string) (*Script, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	out := &Script{}
+	for !p.at(EOF) {
+		switch {
+		case p.cur().IsKeyword("TASK"):
+			td, err := p.parseTask()
+			if err != nil {
+				return nil, err
+			}
+			out.Tasks = append(out.Tasks, td)
+		case p.cur().IsKeyword("SELECT"):
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			out.Queries = append(out.Queries, q)
+			p.accept(";")
+		default:
+			return nil, p.errf("expected TASK or SELECT, got %s", p.cur())
+		}
+	}
+	return out, nil
+}
+
+// --- token helpers ---
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+func (p *Parser) at(k TokenKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(punct string) bool {
+	if p.cur().Is(punct) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.cur().IsKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(punct string) error {
+	if !p.accept(punct) {
+		return p.errf("expected %q, got %s", punct, p.cur())
+	}
+	return nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %s", kw, p.cur())
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	if !p.at(Ident) {
+		return "", p.errf("expected identifier, got %s", p.cur())
+	}
+	return p.next().Text, nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("query: line %d col %d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+var reservedAfterTable = map[string]bool{
+	"join": true, "on": true, "where": true, "order": true, "limit": true,
+	"and": true, "or": true, "as": true, "select": true, "task": true,
+}
+
+// --- SELECT ---
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = append(stmt.Select, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	for p.cur().IsKeyword("JOIN") {
+		p.next()
+		jc, err := p.parseJoinClause()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, jc)
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.cur().IsKeyword("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parsePrimaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		if !p.at(Number) {
+			return nil, p.errf("expected LIMIT count, got %s", p.cur())
+		}
+		n, err := strconv.Atoi(p.next().Text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT value")
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.accept("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parsePrimaryExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	}
+	return item, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a
+	} else if p.at(Ident) && !reservedAfterTable[strings.ToLower(p.cur().Text)] {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+func (p *Parser) parseJoinClause() (JoinClause, error) {
+	table, err := p.parseTableRef()
+	if err != nil {
+		return JoinClause{}, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return JoinClause{}, err
+	}
+	on, err := p.parseUDFCall()
+	if err != nil {
+		return JoinClause{}, err
+	}
+	jc := JoinClause{Table: table, On: on}
+	for {
+		// "AND POSSIBLY ..." continues the clause; a bare AND belongs
+		// to WHERE-style filters and is not valid here.
+		save := p.pos
+		if !p.acceptKeyword("AND") {
+			break
+		}
+		if !p.acceptKeyword("POSSIBLY") {
+			p.pos = save
+			break
+		}
+		pc, err := p.parsePossibly()
+		if err != nil {
+			return JoinClause{}, err
+		}
+		jc.Possibly = append(jc.Possibly, pc)
+	}
+	return jc, nil
+}
+
+var cmpOps = map[string]bool{"=": true, "<": true, ">": true, "<=": true, ">=": true, "<>": true, "!=": true}
+
+func (p *Parser) parsePossibly() (PossiblyClause, error) {
+	left, err := p.parseUDFCall()
+	if err != nil {
+		return PossiblyClause{}, err
+	}
+	if p.cur().Kind != Punct || !cmpOps[p.cur().Text] {
+		return PossiblyClause{}, p.errf("expected comparison in POSSIBLY clause, got %s", p.cur())
+	}
+	op := p.next().Text
+	right, err := p.parsePrimaryExpr()
+	if err != nil {
+		return PossiblyClause{}, err
+	}
+	return PossiblyClause{Left: left, Op: op, Right: right}, nil
+}
+
+// --- expressions ---
+
+func (p *Parser) parseOrExpr() (Expr, error) {
+	l, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().IsKeyword("OR") {
+		p.next()
+		r, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAndExpr() (Expr, error) {
+	l, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().IsKeyword("AND") {
+		p.next()
+		r, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	l, err := p.parsePrimaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == Punct && cmpOps[p.cur().Text] {
+		op := p.next().Text
+		r, err := p.parsePrimaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parsePrimaryExpr() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Is("("):
+		p.next()
+		e, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == String:
+		p.next()
+		return &Literal{Text: t.Text, IsString: true}, nil
+	case t.Kind == Number:
+		p.next()
+		return &Literal{Text: t.Text}, nil
+	case t.Kind == Ident:
+		return p.parseRefOrCall()
+	default:
+		return nil, p.errf("unexpected %s in expression", t)
+	}
+}
+
+// parseRefOrCall parses ident, ident.ident, ident(args)[.field].
+func (p *Parser) parseRefOrCall() (Expr, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("(") {
+		call := &UDFCall{Name: name}
+		if !p.accept(")") {
+			for {
+				arg, err := p.parsePrimaryExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept(".") {
+			f, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			call.Field = f
+		}
+		return call, nil
+	}
+	if p.accept(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnRef{Qualifier: name, Column: col}, nil
+	}
+	return &ColumnRef{Column: name}, nil
+}
+
+// parseUDFCall parses a mandatory UDF invocation.
+func (p *Parser) parseUDFCall() (*UDFCall, error) {
+	e, err := p.parseRefOrCall()
+	if err != nil {
+		return nil, err
+	}
+	call, ok := e.(*UDFCall)
+	if !ok {
+		return nil, p.errf("expected UDF call, got %s", e)
+	}
+	return call, nil
+}

@@ -1,0 +1,92 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the lexer and parser never panic on arbitrary printable
+// input — they return errors instead.
+func TestParserNeverPanicsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	alphabet := []rune(`SELECT FROM WHERE JOIN ON ORDER BY abc().,"=<>*{}[]:0123456789 ` + "\n\t\\")
+	prop := func(_ uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		n := rng.Intn(80)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteRune(alphabet[rng.Intn(len(alphabet))])
+		}
+		src := b.String()
+		_, _ = ParseQuery(src)
+		_, _ = ParseScript(src)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: String() of a parsed query reparses to the same String() —
+// rendering is a fixed point after one round trip.
+func TestQueryStringFixedPointProperty(t *testing.T) {
+	sources := []string{
+		`SELECT a FROM t`,
+		`SELECT a, b FROM t u WHERE f(u.a)`,
+		`SELECT a FROM t WHERE f(a) AND g(b) OR NOT h(c)`,
+		`SELECT a FROM t JOIN s ON j(t.a, s.b) AND POSSIBLY p(t.a) = p(s.b)`,
+		`SELECT a FROM t JOIN s ON j(t.a, s.b) AND POSSIBLY n(s.b) > 2`,
+		`SELECT a FROM t ORDER BY a DESC, r(b) LIMIT 7`,
+		`SELECT id, info(img).common FROM animals a`,
+		`SELECT * FROM t WHERE x = 3 AND y <> "z"`,
+	}
+	for _, src := range sources {
+		s1, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		once := s1.String()
+		s2, err := ParseQuery(once)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", once, err)
+		}
+		if s2.String() != once {
+			t.Errorf("not a fixed point:\n1: %s\n2: %s", once, s2.String())
+		}
+	}
+}
+
+// Property: lexing then concatenating token texts loses no identifiers
+// or numbers (whitespace-insensitivity of the token stream).
+func TestLexerTokenCompletenessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	words := []string{"SELECT", "foo", "bar9", "x_y", "42", "7"}
+	prop := func(_ uint8) bool {
+		n := 1 + rng.Intn(10)
+		var parts []string
+		for i := 0; i < n; i++ {
+			parts = append(parts, words[rng.Intn(len(words))])
+		}
+		src := strings.Join(parts, " ")
+		toks, err := Tokens(src)
+		if err != nil {
+			return false
+		}
+		var got []string
+		for _, tk := range toks {
+			if tk.Kind == Ident || tk.Kind == Number {
+				got = append(got, tk.Text)
+			}
+		}
+		return strings.Join(got, " ") == src
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

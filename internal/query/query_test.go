@@ -1,0 +1,478 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"qurk/internal/task"
+)
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Tokens(`SELECT c.name, 42 "str" <= >= <> ( ) -- comment
+next`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"SELECT", "c", ".", "name", ",", "42", "str", "<=", ">=", "<>", "(", ")", "next", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[5] != Number || kinds[6] != String {
+		t.Error("kinds wrong")
+	}
+}
+
+func TestLexerStringEscapes(t *testing.T) {
+	toks, err := Tokens(`"a\"b\\c\nd"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a\"b\\c\nd" {
+		t.Errorf("escaped string = %q", toks[0].Text)
+	}
+	// Paper-style continuation: backslash-newline inside a string.
+	toks, err = Tokens("\"<table> \\\n   <tr>\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "<table> <tr>" {
+		t.Errorf("continuation string = %q", toks[0].Text)
+	}
+	if _, err := Tokens(`"unterminated`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := Tokens("@"); err == nil {
+		t.Error("bad rune accepted")
+	}
+}
+
+func TestParseSimpleFilterQuery(t *testing.T) {
+	stmt, err := ParseQuery(`SELECT c.name FROM celeb AS c WHERE isFemale(c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Select) != 1 || stmt.Select[0].Expr.String() != "c.name" {
+		t.Errorf("select = %+v", stmt.Select)
+	}
+	if stmt.From.Table != "celeb" || stmt.From.Alias != "c" {
+		t.Errorf("from = %+v", stmt.From)
+	}
+	call, ok := stmt.Where.(*UDFCall)
+	if !ok || call.Name != "isFemale" || len(call.Args) != 1 {
+		t.Errorf("where = %v", stmt.Where)
+	}
+	if stmt.Limit != -1 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestParseJoinWithPossibly(t *testing.T) {
+	src := `
+SELECT c.name
+FROM celeb c JOIN photos p
+ON samePerson(c.img, p.img)
+AND POSSIBLY gender(c.img) = gender(p.img)
+AND POSSIBLY hairColor(c.img) = hairColor(p.img)
+AND POSSIBLY skinColor(c.img) = skinColor(p.img)`
+	stmt, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Joins) != 1 {
+		t.Fatalf("joins = %d", len(stmt.Joins))
+	}
+	j := stmt.Joins[0]
+	if j.Table.Table != "photos" || j.Table.Alias != "p" {
+		t.Errorf("join table = %+v", j.Table)
+	}
+	if j.On.Name != "samePerson" || len(j.On.Args) != 2 {
+		t.Errorf("on = %v", j.On)
+	}
+	if len(j.Possibly) != 3 {
+		t.Fatalf("possibly = %d", len(j.Possibly))
+	}
+	if j.Possibly[0].Left.Name != "gender" || j.Possibly[0].Op != "=" {
+		t.Errorf("possibly[0] = %+v", j.Possibly[0])
+	}
+	if _, ok := j.Possibly[1].Right.(*UDFCall); !ok {
+		t.Error("possibly right should be a UDF call")
+	}
+}
+
+func TestParseEndToEndQuery(t *testing.T) {
+	src := `
+SELECT name, scenes.img
+FROM actors JOIN scenes
+ON inScene(actors.img, scenes.img)
+AND POSSIBLY numInScene(scenes.img) > 1
+ORDER BY name, quality(scenes.img)`
+	stmt, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := stmt.Joins[0].Possibly[0]
+	if p.Op != ">" {
+		t.Errorf("op = %q", p.Op)
+	}
+	lit, ok := p.Right.(*Literal)
+	if !ok || lit.Text != "1" {
+		t.Errorf("right = %v", p.Right)
+	}
+	if len(stmt.OrderBy) != 2 {
+		t.Fatalf("order by = %d", len(stmt.OrderBy))
+	}
+	if _, ok := stmt.OrderBy[0].Expr.(*ColumnRef); !ok {
+		t.Error("first order item should be a column")
+	}
+	if call, ok := stmt.OrderBy[1].Expr.(*UDFCall); !ok || call.Name != "quality" {
+		t.Error("second order item should be quality(...)")
+	}
+}
+
+func TestParseOrderLimitDesc(t *testing.T) {
+	stmt, err := ParseQuery(`SELECT label FROM squares ORDER BY squareSorter(img) DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.OrderBy[0].Desc {
+		t.Error("DESC not parsed")
+	}
+	if stmt.Limit != 5 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestParseWhereBooleans(t *testing.T) {
+	stmt, err := ParseQuery(`SELECT a FROM t WHERE f(a) AND (g(a) OR NOT h(a))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := stmt.Where.(*Binary)
+	if !ok || b.Op != "AND" {
+		t.Fatalf("where = %v", stmt.Where)
+	}
+	or, ok := b.R.(*Binary)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("rhs = %v", b.R)
+	}
+	if _, ok := or.R.(*Not); !ok {
+		t.Errorf("NOT missing: %v", or.R)
+	}
+}
+
+func TestParseGenerativeFieldAccess(t *testing.T) {
+	stmt, err := ParseQuery(`SELECT id, animalInfo(img).common, animalInfo(img).species FROM animals AS a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, ok := stmt.Select[1].Expr.(*UDFCall)
+	if !ok || call.Field != "common" {
+		t.Errorf("field access = %v", stmt.Select[1].Expr)
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	stmt, err := ParseQuery(`SELECT c.name FROM celeb c JOIN photos p ON same(c.img, p.img)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.From.Alias != "c" || stmt.Joins[0].Table.Alias != "p" {
+		t.Errorf("aliases: %+v, %+v", stmt.From, stmt.Joins[0].Table)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t JOIN",
+		"SELECT a FROM t JOIN u",
+		"SELECT a FROM t JOIN u ON",
+		"SELECT a FROM t JOIN u ON x", // not a call
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t ORDER",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t extra garbage(",
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestStatementRoundTripString(t *testing.T) {
+	src := `SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img) AND POSSIBLY gender(c.img) = gender(p.img) ORDER BY quality(p.img) LIMIT 3`
+	stmt, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stmt.String()
+	re, err := ParseQuery(out)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", out, err)
+	}
+	if re.String() != out {
+		t.Errorf("round trip unstable:\n1: %s\n2: %s", out, re.String())
+	}
+}
+
+const paperFilterTask = `
+TASK isFemale(field) TYPE Filter:
+	Prompt: "<table><tr> \
+	<td><img src='%s'></td> \
+	<td>Is the person in the image a woman?</td> \
+	</tr></table>", tuple[field]
+	YesText: "Yes"
+	NoText: "No"
+	Combiner: MajorityVote
+`
+
+func TestParsePaperFilterTask(t *testing.T) {
+	script, err := ParseScript(paperFilterTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.Tasks) != 1 {
+		t.Fatalf("tasks = %d", len(script.Tasks))
+	}
+	td := script.Tasks[0]
+	if td.Name != "isFemale" || td.Type != "Filter" || len(td.Params) != 1 || td.Params[0] != "field" {
+		t.Errorf("header = %+v", td)
+	}
+	built, err := BuildTask(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := built.(*task.Filter)
+	if !ok {
+		t.Fatalf("built %T", built)
+	}
+	if f.YesText != "Yes" || f.NoText != "No" || f.Combiner != "MajorityVote" {
+		t.Errorf("filter = %+v", f)
+	}
+	if !strings.Contains(f.Prompt.Format, "woman?") || len(f.Prompt.Fields) != 1 || f.Prompt.Fields[0] != "field" {
+		t.Errorf("prompt = %+v", f.Prompt)
+	}
+	if err := f.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+const paperGenerativeTask = `
+TASK animalInfo(field) TYPE Generative:
+	Prompt: "<table><tr> \
+	<td><img src='%s'> \
+	<td>What is the common name \
+	and species of this animal? \
+	</table>", tuple[field]
+	Fields: {
+		common: { Response: Text("Common name")
+			Combiner: MajorityVote,
+			Normalizer: LowercaseSingleSpace },
+		species: { Response: Text("Species"),
+			Combiner: MajorityVote,
+			Normalizer: LowercaseSingleSpace }
+	}
+`
+
+func TestParsePaperGenerativeTask(t *testing.T) {
+	script, err := ParseScript(paperGenerativeTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildTask(script.Tasks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := built.(*task.Generative)
+	if !ok {
+		t.Fatalf("built %T", built)
+	}
+	if len(g.Fields) != 2 || g.Fields[0].Name != "common" || g.Fields[1].Name != "species" {
+		t.Fatalf("fields = %+v", g.Fields)
+	}
+	if g.Fields[0].Normalizer != "LowercaseSingleSpace" {
+		t.Errorf("normalizer = %q", g.Fields[0].Normalizer)
+	}
+	if g.Fields[0].Response.Kind != task.TextResponse || g.Fields[0].Response.Label != "Common name" {
+		t.Errorf("response = %+v", g.Fields[0].Response)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+const paperGenderTask = `
+TASK gender(field) TYPE Generative:
+	Prompt: "<table><tr> \
+	<td><img src='%s'> \
+	<td>What this person's gender? \
+	</table>", tuple[field]
+	Response: Radio("Gender", ["Male","Female",UNKNOWN])
+	Combiner: MajorityVote
+`
+
+func TestParsePaperGenderTask(t *testing.T) {
+	script, err := ParseScript(paperGenderTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildTask(script.Tasks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := built.(*task.Generative)
+	if len(g.Fields) != 1 || g.Fields[0].Name != "gender" {
+		t.Fatalf("fields = %+v", g.Fields)
+	}
+	r := g.Fields[0].Response
+	if r.Kind != task.RadioResponse || len(r.Options) != 3 || !r.AllowsUnknown() {
+		t.Errorf("response = %+v", r)
+	}
+	if !g.IsCategorical() {
+		t.Error("gender task should be categorical")
+	}
+}
+
+const paperRankTask = `
+TASK squareSorter(field) TYPE Rank:
+	SingularName: "square"
+	PluralName: "squares"
+	OrderDimensionName: "area"
+	LeastName: "smallest"
+	MostName: "largest"
+	Html: "<img src='%s' class=lgImg>", tuple[field]
+`
+
+func TestParsePaperRankTask(t *testing.T) {
+	script, err := ParseScript(paperRankTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildTask(script.Tasks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := built.(*task.Rank)
+	if r.SingularName != "square" || r.MostName != "largest" {
+		t.Errorf("rank = %+v", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+const paperEquiJoinTask = `
+TASK samePerson(f1, f2) TYPE EquiJoin:
+	SingluarName: "celebrity"
+	PluralName: "celebrities"
+	LeftPreview: "<img src='%s' class=smImg>", tuple1[f1]
+	LeftNormal: "<img src='%s' class=lgImg>", tuple1[f1]
+	RightPreview: "<img src='%s' class=smImg>", tuple2[f2]
+	RightNormal: "<img src='%s' class=lgImg>", tuple2[f2]
+	Combiner: MajorityVote
+`
+
+func TestParsePaperEquiJoinTask(t *testing.T) {
+	// Note: the paper's own example misspells "SingluarName"; the
+	// parser accepts both spellings.
+	script, err := ParseScript(paperEquiJoinTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := script.Tasks[0]
+	if len(td.Params) != 2 {
+		t.Fatalf("params = %v", td.Params)
+	}
+	built, err := BuildTask(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := built.(*task.EquiJoin)
+	if e.SingularName != "celebrity" {
+		t.Errorf("singular = %q", e.SingularName)
+	}
+	if e.LeftNormal.Fields[0] != "f1" || e.RightNormal.Fields[0] != "f2" {
+		t.Errorf("prompt fields: %v / %v", e.LeftNormal.Fields, e.RightNormal.Fields)
+	}
+	if err := e.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseScriptTasksAndQuery(t *testing.T) {
+	src := paperFilterTask + "\nSELECT c.name FROM celeb AS c WHERE isFemale(c);\n" + paperRankTask
+	script, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.Tasks) != 2 || len(script.Queries) != 1 {
+		t.Fatalf("script = %d tasks, %d queries", len(script.Tasks), len(script.Queries))
+	}
+}
+
+func TestBuildTaskErrors(t *testing.T) {
+	cases := []string{
+		"TASK t(f) TYPE Nonsense:\n Prompt: \"x\"",
+		"TASK t(f) TYPE Filter:\n YesText: \"y\"",           // missing prompt
+		"TASK t(f) TYPE Generative:\n Prompt: \"x\"",        // no fields/response
+		"TASK t(f) TYPE Rank:\n SingularName: \"s\"",        // missing html
+		"TASK t(f1, f2) TYPE EquiJoin:\n PluralName: \"p\"", // missing prompts
+	}
+	for _, src := range cases {
+		script, err := ParseScript(src)
+		if err != nil {
+			continue // parse-level rejection is fine too
+		}
+		if _, err := BuildTask(script.Tasks[0]); err == nil {
+			t.Errorf("accepted bad task: %s", src)
+		}
+	}
+}
+
+func TestTaskBindMapping(t *testing.T) {
+	script, err := ParseScript(paperFilterTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildTask(script.Tasks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := task.Bind(built, map[string]string{"field": "c.img"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := bound.(*task.Filter)
+	if f.Prompt.Fields[0] != "c.img" {
+		t.Errorf("bound field = %q", f.Prompt.Fields[0])
+	}
+	// Original untouched.
+	if built.(*task.Filter).Prompt.Fields[0] != "field" {
+		t.Error("bind mutated the original")
+	}
+}
+
+func TestDuplicatePropertyRejected(t *testing.T) {
+	src := "TASK t(f) TYPE Filter:\n Prompt: \"a\"\n Prompt: \"b\""
+	if _, err := ParseScript(src); err == nil {
+		t.Error("duplicate property accepted")
+	}
+}

@@ -1,0 +1,398 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"qurk/internal/task"
+)
+
+// parseTask parses one TASK template definition:
+//
+//	TASK isFemale(field) TYPE Filter:
+//	    Prompt: "<img src='%s'>", tuple[field]
+//	    YesText: "Yes"
+//	    NoText: "No"
+//	    Combiner: MajorityVote
+//
+// Properties end at the next TASK/SELECT keyword or EOF. Keys are
+// identifiers followed by ':'.
+func (p *Parser) parseTask() (*TaskDef, error) {
+	if err := p.expectKeyword("TASK"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	td := &TaskDef{Name: name, Props: map[string]PropValue{}}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		for {
+			param, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			td.Params = append(td.Params, param)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("TYPE"); err != nil {
+		return nil, err
+	}
+	td.Type, err = p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	for p.at(Ident) && !p.cur().IsKeyword("TASK") && !p.cur().IsKeyword("SELECT") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		val, err := p.parsePropValue()
+		if err != nil {
+			return nil, err
+		}
+		lk := strings.ToLower(key)
+		if _, dup := td.Props[lk]; dup {
+			return nil, p.errf("duplicate property %q in task %s", key, name)
+		}
+		td.Props[lk] = val
+		td.PropOrder = append(td.PropOrder, lk)
+		p.accept(",") // trailing comma between properties is tolerated
+	}
+	return td, nil
+}
+
+// parsePropValue parses one property value: a string with optional
+// tuple references, a bare identifier, a constructor call, or a nested
+// map block.
+func (p *Parser) parsePropValue() (PropValue, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == String:
+		p.next()
+		v := PropValue{Str: t.Text, IsStr: true}
+		for p.accept(",") {
+			// A tuple reference follows; but a comma may also separate
+			// this property from the next in a map context — only
+			// consume if a tuple ref actually follows.
+			if !p.at(Ident) || !strings.HasPrefix(strings.ToLower(p.cur().Text), "tuple") {
+				p.pos-- // give the comma back
+				break
+			}
+			ref, err := p.parseTupleRef()
+			if err != nil {
+				return PropValue{}, err
+			}
+			v.Args = append(v.Args, ref)
+		}
+		return v, nil
+	case t.Is("{"):
+		return p.parsePropMap()
+	case t.Kind == Number:
+		p.next()
+		return PropValue{Ident: t.Text}, nil
+	case t.Kind == Ident:
+		name := p.next().Text
+		if p.cur().Is("(") {
+			call, err := p.parseCallValue(name)
+			if err != nil {
+				return PropValue{}, err
+			}
+			return PropValue{Call: call}, nil
+		}
+		return PropValue{Ident: name}, nil
+	default:
+		return PropValue{}, p.errf("unexpected %s as property value", t)
+	}
+}
+
+// parseTupleRef parses tuple[field] / tuple1[f1] / tuple2[f2].
+func (p *Parser) parseTupleRef() (TupleRef, error) {
+	v, err := p.expectIdent()
+	if err != nil {
+		return TupleRef{}, err
+	}
+	lv := strings.ToLower(v)
+	if lv != "tuple" && lv != "tuple1" && lv != "tuple2" {
+		return TupleRef{}, p.errf("expected tuple/tuple1/tuple2, got %q", v)
+	}
+	if err := p.expect("["); err != nil {
+		return TupleRef{}, err
+	}
+	field, err := p.expectIdent()
+	if err != nil {
+		return TupleRef{}, err
+	}
+	if err := p.expect("]"); err != nil {
+		return TupleRef{}, err
+	}
+	return TupleRef{Var: lv, Field: field}, nil
+}
+
+// parseCallValue parses Text("label"), Radio("label", ["a", UNKNOWN]).
+func (p *Parser) parseCallValue(name string) (*CallValue, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	call := &CallValue{Name: name}
+	for !p.cur().Is(")") {
+		t := p.cur()
+		switch {
+		case t.Kind == String:
+			p.next()
+			call.StrArgs = append(call.StrArgs, t.Text)
+		case t.Is("["):
+			p.next()
+			for !p.cur().Is("]") {
+				el := p.cur()
+				switch el.Kind {
+				case String, Ident, Number:
+					p.next()
+					call.ListArg = append(call.ListArg, el.Text)
+				default:
+					return nil, p.errf("unexpected %s in option list", el)
+				}
+				p.accept(",")
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		case t.Kind == Ident:
+			p.next()
+			call.ListArg = append(call.ListArg, t.Text)
+		default:
+			return nil, p.errf("unexpected %s in %s(...)", t, name)
+		}
+		p.accept(",")
+	}
+	return call, p.expect(")")
+}
+
+// parsePropMap parses { key: value, ... }.
+func (p *Parser) parsePropMap() (PropValue, error) {
+	if err := p.expect("{"); err != nil {
+		return PropValue{}, err
+	}
+	v := PropValue{Map: map[string]PropValue{}}
+	for !p.cur().Is("}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return PropValue{}, err
+		}
+		if err := p.expect(":"); err != nil {
+			return PropValue{}, err
+		}
+		val, err := p.parsePropValue()
+		if err != nil {
+			return PropValue{}, err
+		}
+		lk := strings.ToLower(key)
+		if _, dup := v.Map[lk]; dup {
+			return PropValue{}, p.errf("duplicate key %q", key)
+		}
+		v.Map[lk] = val
+		v.MapOrder = append(v.MapOrder, lk)
+		p.accept(",")
+	}
+	return v, p.expect("}")
+}
+
+// BuildTask converts a parsed TaskDef into a task.Task. Parameters bind
+// prompt tuple references: the DSL's tuple[field] resolves `field`
+// through the UDF call's arguments at planning time; here the formal
+// parameter name is kept so the planner can substitute actual columns.
+func BuildTask(td *TaskDef) (task.Task, error) {
+	switch strings.ToLower(td.Type) {
+	case "filter":
+		return buildFilter(td)
+	case "generative":
+		return buildGenerative(td)
+	case "rank":
+		return buildRank(td)
+	case "equijoin":
+		return buildEquiJoin(td)
+	default:
+		return nil, fmt.Errorf("query: task %s has unknown TYPE %q", td.Name, td.Type)
+	}
+}
+
+func (td *TaskDef) str(key string) string {
+	if v, ok := td.Props[strings.ToLower(key)]; ok {
+		if v.IsStr {
+			return v.Str
+		}
+		return v.Ident
+	}
+	return ""
+}
+
+func (td *TaskDef) prompt(key string) (task.Prompt, error) {
+	v, ok := td.Props[strings.ToLower(key)]
+	if !ok {
+		return task.Prompt{}, fmt.Errorf("query: task %s missing %s", td.Name, key)
+	}
+	if !v.IsStr {
+		return task.Prompt{}, fmt.Errorf("query: task %s: %s must be a string", td.Name, key)
+	}
+	fields := make([]string, len(v.Args))
+	for i, a := range v.Args {
+		fields[i] = a.Field
+	}
+	return task.NewPrompt(v.Str, fields...)
+}
+
+func buildFilter(td *TaskDef) (task.Task, error) {
+	prompt, err := td.prompt("Prompt")
+	if err != nil {
+		return nil, err
+	}
+	return &task.Filter{
+		Name:     td.Name,
+		Prompt:   prompt,
+		YesText:  td.str("YesText"),
+		NoText:   td.str("NoText"),
+		Combiner: td.str("Combiner"),
+	}, nil
+}
+
+func buildResponse(v PropValue) (task.Response, error) {
+	if v.Call == nil {
+		return task.Response{}, fmt.Errorf("query: Response must be Text(...) or Radio(...)")
+	}
+	label := ""
+	if len(v.Call.StrArgs) > 0 {
+		label = v.Call.StrArgs[0]
+	}
+	switch strings.ToLower(v.Call.Name) {
+	case "text":
+		return task.TextInput(label), nil
+	case "radio":
+		opts := append([]string(nil), v.Call.StrArgs...)
+		if len(opts) > 0 {
+			opts = opts[1:] // first string arg is the label
+		}
+		opts = append(opts, v.Call.ListArg...)
+		return task.Radio(label, opts...), nil
+	default:
+		return task.Response{}, fmt.Errorf("query: unknown response type %q", v.Call.Name)
+	}
+}
+
+func buildGenerative(td *TaskDef) (task.Task, error) {
+	prompt, err := td.prompt("Prompt")
+	if err != nil {
+		return nil, err
+	}
+	g := &task.Generative{Name: td.Name, Prompt: prompt}
+	if fieldsVal, ok := td.Props["fields"]; ok {
+		if fieldsVal.Map == nil {
+			return nil, fmt.Errorf("query: task %s: Fields must be a map", td.Name)
+		}
+		for _, fname := range fieldsVal.MapOrder {
+			spec := fieldsVal.Map[fname]
+			if spec.Map == nil {
+				return nil, fmt.Errorf("query: task %s field %s: expected a map", td.Name, fname)
+			}
+			f := task.Field{Name: fname}
+			if rv, ok := spec.Map["response"]; ok {
+				resp, err := buildResponse(rv)
+				if err != nil {
+					return nil, fmt.Errorf("query: task %s field %s: %w", td.Name, fname, err)
+				}
+				f.Response = resp
+			} else {
+				f.Response = task.TextInput(fname)
+			}
+			if cv, ok := spec.Map["combiner"]; ok {
+				f.Combiner = cv.Ident
+			}
+			if nv, ok := spec.Map["normalizer"]; ok {
+				f.Normalizer = nv.Ident
+			}
+			g.Fields = append(g.Fields, f)
+		}
+	} else if rv, ok := td.Props["response"]; ok {
+		// Single-field shorthand (the paper's gender task, §2.4): the
+		// field takes the task's own name.
+		resp, err := buildResponse(rv)
+		if err != nil {
+			return nil, fmt.Errorf("query: task %s: %w", td.Name, err)
+		}
+		g.Fields = []task.Field{{
+			Name:       td.Name,
+			Response:   resp,
+			Combiner:   td.str("Combiner"),
+			Normalizer: td.str("Normalizer"),
+		}}
+	} else {
+		return nil, fmt.Errorf("query: task %s: generative needs Fields or Response", td.Name)
+	}
+	return g, nil
+}
+
+func buildRank(td *TaskDef) (task.Task, error) {
+	html, err := td.prompt("Html")
+	if err != nil {
+		return nil, err
+	}
+	return &task.Rank{
+		Name:               td.Name,
+		SingularName:       td.str("SingularName"),
+		PluralName:         td.str("PluralName"),
+		OrderDimensionName: td.str("OrderDimensionName"),
+		LeastName:          td.str("LeastName"),
+		MostName:           td.str("MostName"),
+		HTML:               html,
+		Combiner:           td.str("Combiner"),
+	}, nil
+}
+
+func buildEquiJoin(td *TaskDef) (task.Task, error) {
+	get := func(key string) (task.Prompt, error) { return td.prompt(key) }
+	lp, err := get("LeftPreview")
+	if err != nil {
+		return nil, err
+	}
+	ln, err := get("LeftNormal")
+	if err != nil {
+		return nil, err
+	}
+	rp, err := get("RightPreview")
+	if err != nil {
+		return nil, err
+	}
+	rn, err := get("RightNormal")
+	if err != nil {
+		return nil, err
+	}
+	// The paper's own example misspells "SingluarName"; accept both.
+	singular := td.str("SingularName")
+	if singular == "" {
+		singular = td.str("SingluarName")
+	}
+	return &task.EquiJoin{
+		Name:         td.Name,
+		SingularName: singular,
+		PluralName:   td.str("PluralName"),
+		LeftPreview:  lp,
+		LeftNormal:   ln,
+		RightPreview: rp,
+		RightNormal:  rn,
+		Combiner:     td.str("Combiner"),
+	}, nil
+}

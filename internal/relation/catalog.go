@@ -1,0 +1,69 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Catalog is a named collection of relations — the "Input Data" box in the
+// paper's architecture diagram (Fig. 1). It is safe for concurrent use;
+// the executor's operator goroutines read tables while results stream in.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Relation
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Relation)}
+}
+
+// Register adds or replaces a table under its own name.
+func (c *Catalog) Register(r *Relation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[strings.ToLower(r.Name())] = r
+}
+
+// RegisterAs adds or replaces a table under an explicit name.
+func (c *Catalog) RegisterAs(name string, r *Relation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[strings.ToLower(name)] = r
+}
+
+// Table looks up a table by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Relation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("relation: unknown table %q (have: %s)", name, strings.Join(c.names(), ", "))
+	}
+	return r, nil
+}
+
+// Drop removes a table; it is not an error if the table is absent.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tables, strings.ToLower(name))
+}
+
+// Names returns the sorted list of table names.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.names()
+}
+
+func (c *Catalog) names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,132 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Qurk is implemented as a workflow engine "with several types of input
+// including relational databases and tab-delimited text files" (paper
+// §2.6). This file provides the tab/comma-delimited loaders.
+
+// LoadOptions controls delimited-text loading.
+type LoadOptions struct {
+	// Comma is the field delimiter; 0 means infer from the file
+	// extension (.tsv → tab, otherwise comma).
+	Comma rune
+	// Header reports whether the first record carries column names.
+	// When false, columns are named col0, col1, ...
+	Header bool
+	// Kinds optionally forces column kinds; when nil every column is
+	// loaded as text and values are coerced lazily by operators.
+	Kinds []Kind
+}
+
+// ReadDelimited parses delimited text into a relation.
+func ReadDelimited(name string, r io.Reader, opt LoadOptions) (*Relation, error) {
+	cr := csv.NewReader(r)
+	if opt.Comma != 0 {
+		cr.Comma = opt.Comma
+	}
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: %s is empty", name)
+	}
+	var header []string
+	body := records
+	if opt.Header {
+		header = records[0]
+		body = records[1:]
+	} else {
+		header = make([]string, len(records[0]))
+		for i := range header {
+			header[i] = fmt.Sprintf("col%d", i)
+		}
+	}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		kind := KindText
+		if opt.Kinds != nil && i < len(opt.Kinds) {
+			kind = opt.Kinds[i]
+		}
+		cols[i] = Column{Name: strings.TrimSpace(h), Kind: kind}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	rel := New(name, schema)
+	for lineNo, rec := range body {
+		if len(rec) != len(cols) {
+			return nil, fmt.Errorf("relation: %s row %d has %d fields, want %d", name, lineNo+1, len(rec), len(cols))
+		}
+		vals := make([]Value, len(rec))
+		for i, field := range rec {
+			v := Text(field)
+			cv, err := v.Coerce(cols[i].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("relation: %s row %d column %s: %w", name, lineNo+1, cols[i].Name, err)
+			}
+			vals[i] = cv
+		}
+		if err := rel.AppendValues(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// LoadFile loads a .csv or .tsv file; the table name is the file's base
+// name without extension.
+func LoadFile(path string, opt LoadOptions) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if opt.Comma == 0 {
+		if strings.EqualFold(filepath.Ext(path), ".tsv") {
+			opt.Comma = '\t'
+		} else {
+			opt.Comma = ','
+		}
+	}
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	return ReadDelimited(name, f, opt)
+}
+
+// WriteDelimited writes the relation as delimited text with a header row.
+func WriteDelimited(r *Relation, w io.Writer, comma rune) error {
+	cw := csv.NewWriter(w)
+	if comma != 0 {
+		cw.Comma = comma
+	}
+	header := make([]string, r.Schema().Len())
+	for i := range header {
+		header[i] = r.Schema().Column(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < r.Len(); i++ {
+		t := r.Row(i)
+		rec := make([]string, t.Len())
+		for j := 0; j < t.Len(); j++ {
+			rec[j] = t.At(j).String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,110 @@
+package relation
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadFileCSVAndTSV(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "celeb.csv")
+	if err := os.WriteFile(csvPath, []byte("name,img\nBrad,http://x/b.jpg\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadFile(csvPath, LoadOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "celeb" || r.Len() != 1 {
+		t.Errorf("csv load: %v", r)
+	}
+
+	tsvPath := filepath.Join(dir, "photos.tsv")
+	if err := os.WriteFile(tsvPath, []byte("id\timg\n1\thttp://x/p.jpg\n2\thttp://x/q.jpg\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err = LoadFile(tsvPath, LoadOptions{Header: true, Kinds: []Kind{KindInt, KindURL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Row(1).MustGet("id").Int() != 2 {
+		t.Errorf("tsv load: %v", r)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.csv"), LoadOptions{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSchemaProjectErrors(t *testing.T) {
+	s := MustSchema(Column{Name: "a", Kind: KindText}, Column{Name: "b", Kind: KindInt})
+	if _, _, err := s.Project("a", "zzz"); err == nil {
+		t.Error("projecting missing column accepted")
+	}
+	out, ords, err := s.Project("b", "a")
+	if err != nil || out.Len() != 2 || ords[0] != 1 || ords[1] != 0 {
+		t.Errorf("reorder projection: %v %v %v", out, ords, err)
+	}
+}
+
+func TestRelationCloneAndColumn(t *testing.T) {
+	s := MustSchema(Column{Name: "n", Kind: KindInt})
+	r := New("t", s)
+	for i := int64(0); i < 4; i++ {
+		_ = r.AppendValues(Int(i))
+	}
+	c := r.Clone()
+	_ = c.AppendValues(Int(99))
+	if r.Len() != 4 || c.Len() != 5 {
+		t.Errorf("clone aliasing: %d vs %d", r.Len(), c.Len())
+	}
+	col, err := r.Column("n")
+	if err != nil || len(col) != 4 || col[3].Int() != 3 {
+		t.Errorf("column extraction: %v %v", col, err)
+	}
+	if _, err := r.Column("zzz"); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestTupleConcatAndFromTuples(t *testing.T) {
+	a := MustSchema(Column{Name: "x", Kind: KindInt})
+	b := MustSchema(Column{Name: "y", Kind: KindText})
+	joint, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta := MustTuple(a, Int(1))
+	tb := MustTuple(b, Text("q"))
+	tc := ta.Concat(tb, joint)
+	if tc.Len() != 2 || tc.MustGet("y").Text() != "q" {
+		t.Errorf("concat tuple: %v", tc)
+	}
+	rel, err := FromTuples("t", joint, []Tuple{tc})
+	if err != nil || rel.Len() != 1 {
+		t.Errorf("FromTuples: %v %v", rel, err)
+	}
+	if _, err := FromTuples("t", a, []Tuple{tc}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestSortByColumnMissing(t *testing.T) {
+	s := MustSchema(Column{Name: "a", Kind: KindInt})
+	r := New("t", s)
+	if _, err := r.SortByColumn("zzz"); err == nil {
+		t.Error("missing sort column accepted")
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	s1 := MustSchema(Column{Name: "a", Kind: KindInt})
+	s2 := MustSchema(Column{Name: "a", Kind: KindInt}, Column{Name: "b", Kind: KindInt})
+	r := New("t", s1)
+	if err := r.Append(MustTuple(s2, Int(1), Int(2))); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := r.AppendValues(Int(1), Int(2)); err == nil {
+		t.Error("value arity mismatch accepted")
+	}
+}

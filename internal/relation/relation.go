@@ -1,0 +1,187 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is an in-memory table: a schema plus an ordered list of tuples.
+// Order matters because crowd sorts produce ordered results.
+type Relation struct {
+	name   string
+	schema *Schema
+	rows   []Tuple
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema *Schema) *Relation {
+	return &Relation{name: name, schema: schema}
+}
+
+// FromTuples creates a relation from existing tuples, validating that each
+// tuple's schema matches.
+func FromTuples(name string, schema *Schema, rows []Tuple) (*Relation, error) {
+	r := New(name, schema)
+	for i, t := range rows {
+		if t.Len() != schema.Len() {
+			return nil, fmt.Errorf("relation: row %d arity %d != schema arity %d", i, t.Len(), schema.Len())
+		}
+		rt, err := t.Rebind(schema)
+		if err != nil {
+			return nil, err
+		}
+		r.rows = append(r.rows, rt)
+	}
+	return r, nil
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Row returns the i'th tuple.
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Rows returns a copy of the row slice (tuples themselves are immutable).
+func (r *Relation) Rows() []Tuple {
+	out := make([]Tuple, len(r.rows))
+	copy(out, r.rows)
+	return out
+}
+
+// Append adds a row, validating arity.
+func (r *Relation) Append(t Tuple) error {
+	if t.Len() != r.schema.Len() {
+		return fmt.Errorf("relation: append arity %d != schema arity %d", t.Len(), r.schema.Len())
+	}
+	rt, err := t.Rebind(r.schema)
+	if err != nil {
+		return err
+	}
+	r.rows = append(r.rows, rt)
+	return nil
+}
+
+// AppendValues builds a tuple from vals and appends it.
+func (r *Relation) AppendValues(vals ...Value) error {
+	t, err := NewTuple(r.schema, vals...)
+	if err != nil {
+		return err
+	}
+	r.rows = append(r.rows, t)
+	return nil
+}
+
+// Select returns a new relation with only the rows where pred is true.
+// This is the machine-side (non-HIT) selection used by the planner's
+// pushdown rule (paper §2.5).
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := New(r.name, r.schema)
+	for _, t := range r.rows {
+		if pred(t) {
+			out.rows = append(out.rows, t)
+		}
+	}
+	return out
+}
+
+// Project returns a new relation containing only the named columns.
+func (r *Relation) Project(names ...string) (*Relation, error) {
+	schema, ords, err := r.schema.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := New(r.name, schema)
+	for _, t := range r.rows {
+		out.rows = append(out.rows, t.Project(schema, ords))
+	}
+	return out, nil
+}
+
+// Qualify returns the same rows under an alias-qualified schema.
+func (r *Relation) Qualify(alias string) *Relation {
+	schema := r.schema.Qualify(alias)
+	out := New(alias, schema)
+	for _, t := range r.rows {
+		rt, _ := t.Rebind(schema)
+		out.rows = append(out.rows, rt)
+	}
+	return out
+}
+
+// SortBy returns a new relation sorted by the given less function
+// (machine-side sort; crowd sorts live in internal/sortop).
+func (r *Relation) SortBy(less func(a, b Tuple) bool) *Relation {
+	out := New(r.name, r.schema)
+	out.rows = r.Rows()
+	sort.SliceStable(out.rows, func(i, j int) bool { return less(out.rows[i], out.rows[j]) })
+	return out
+}
+
+// SortByColumn sorts ascending by one column using Value.Compare.
+func (r *Relation) SortByColumn(name string) (*Relation, error) {
+	if !r.schema.Has(name) {
+		return nil, fmt.Errorf("relation: no column %q in %s", name, r.schema)
+	}
+	return r.SortBy(func(a, b Tuple) bool {
+		return a.MustGet(name).Compare(b.MustGet(name)) < 0
+	}), nil
+}
+
+// Limit returns the first n rows (or all rows if n exceeds Len).
+func (r *Relation) Limit(n int) *Relation {
+	if n < 0 || n > len(r.rows) {
+		n = len(r.rows)
+	}
+	out := New(r.name, r.schema)
+	out.rows = append(out.rows, r.rows[:n]...)
+	return out
+}
+
+// CrossProduct returns the Cartesian product of r and o under a combined
+// schema. The crowd join prunes this with feature filters; the relational
+// cross product is the correctness baseline tests compare against.
+func (r *Relation) CrossProduct(o *Relation) (*Relation, error) {
+	schema, err := r.schema.Concat(o.schema)
+	if err != nil {
+		return nil, err
+	}
+	out := New(r.name+"_x_"+o.name, schema)
+	for _, a := range r.rows {
+		for _, b := range o.rows {
+			out.rows = append(out.rows, a.Concat(b, schema))
+		}
+	}
+	return out, nil
+}
+
+// Clone returns a deep-enough copy (tuples are immutable, so sharing them
+// is safe; the row slice is copied).
+func (r *Relation) Clone() *Relation {
+	out := New(r.name, r.schema)
+	out.rows = r.Rows()
+	return out
+}
+
+// Column extracts a single column as a value slice.
+func (r *Relation) Column(name string) ([]Value, error) {
+	i := r.schema.Ordinal(name)
+	if i < 0 {
+		return nil, fmt.Errorf("relation: no column %q in %s", name, r.schema)
+	}
+	out := make([]Value, len(r.rows))
+	for j, t := range r.rows {
+		out[j] = t.At(i)
+	}
+	return out, nil
+}
+
+// String renders a compact description, e.g. "celeb(name text, img url)[20 rows]".
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s%s[%d rows]", r.name, r.schema, len(r.rows))
+}

@@ -1,0 +1,325 @@
+// Package relation implements the relational substrate Qurk executes over:
+// typed values, schemas, tuples, in-memory relations, and a catalog.
+//
+// Qurk's data model is relational with crowd-powered UDFs layered on top
+// (paper §2.1). This package is purely mechanical — nothing in it touches
+// the crowd — so the crowd operators in internal/join and internal/sortop
+// can be tested against exact relational semantics.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value types Qurk relations can hold.
+type Kind uint8
+
+const (
+	// KindNull is the zero Kind; it marks an absent value.
+	KindNull Kind = iota
+	// KindText holds a UTF-8 string.
+	KindText
+	// KindInt holds a 64-bit signed integer.
+	KindInt
+	// KindFloat holds a 64-bit float.
+	KindFloat
+	// KindBool holds a boolean.
+	KindBool
+	// KindURL holds a URL rendered into HIT HTML (images, audio, ...).
+	KindURL
+	// KindUnknown is the special UNKNOWN value produced by feature
+	// extraction when a worker cannot determine a feature (paper §2.4).
+	// UNKNOWN compares equal to every value so that it never removes
+	// join candidates.
+	KindUnknown
+)
+
+// String returns the lowercase name of the kind, e.g. "text".
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindText:
+		return "text"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindURL:
+		return "url"
+	case KindUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a type name from the query language ("text", "int",
+// "float", "bool", "url") into a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "text", "string", "varchar":
+		return KindText, nil
+	case "int", "integer", "bigint":
+		return KindInt, nil
+	case "float", "double", "real":
+		return KindFloat, nil
+	case "bool", "boolean":
+		return KindBool, nil
+	case "url":
+		return KindURL, nil
+	default:
+		return KindNull, fmt.Errorf("relation: unknown type %q", s)
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is NULL.
+//
+// Value is a small tagged union rather than an interface so tuples can be
+// stored in flat slices without per-field allocation.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Text returns a text value.
+func Text(s string) Value { return Value{kind: KindText, s: s} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// URL returns a URL value.
+func URL(u string) Value { return Value{kind: KindURL, s: u} }
+
+// Unknown returns the UNKNOWN feature value (paper §2.4): it joins with
+// everything.
+func Unknown() Value { return Value{kind: KindUnknown} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsUnknown reports whether the value is the crowd UNKNOWN sentinel.
+func (v Value) IsUnknown() bool { return v.kind == KindUnknown }
+
+// Text returns the string payload for text and URL values, and a rendered
+// form for other kinds.
+func (v Value) Text() string {
+	switch v.kind {
+	case KindText, KindURL:
+		return v.s
+	default:
+		return v.String()
+	}
+}
+
+// Int returns the integer payload. Float values are truncated; text values
+// are parsed; anything else yields 0.
+func (v Value) Int() int64 {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return int64(v.f)
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindText:
+		n, _ := strconv.ParseInt(v.s, 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+// Float returns the float payload, widening integers and parsing text.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindText:
+		f, _ := strconv.ParseFloat(v.s, 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// Bool returns the boolean payload; non-bool kinds report "truthiness"
+// (non-zero, non-empty).
+func (v Value) Bool() bool {
+	switch v.kind {
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindText, KindURL:
+		return v.s != ""
+	default:
+		return false
+	}
+}
+
+// String renders the value for display and for HIT HTML substitution.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindText, KindURL:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindUnknown:
+		return "UNKNOWN"
+	default:
+		return fmt.Sprintf("<%s>", v.kind)
+	}
+}
+
+// Equal reports value equality with the paper's UNKNOWN semantics:
+// UNKNOWN is equal to any other value (paper §2.4), NULL equals only NULL,
+// and numeric kinds compare by numeric value.
+func (v Value) Equal(o Value) bool {
+	if v.kind == KindUnknown || o.kind == KindUnknown {
+		return true
+	}
+	if v.kind == KindNull || o.kind == KindNull {
+		return v.kind == o.kind
+	}
+	if (v.kind == KindInt || v.kind == KindFloat) && (o.kind == KindInt || o.kind == KindFloat) {
+		return v.Float() == o.Float()
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindText, KindURL:
+		return v.s == o.s
+	case KindBool:
+		return v.b == o.b
+	default:
+		return true
+	}
+}
+
+// StrictEqual reports equality without the UNKNOWN wildcard rule. Used by
+// tests and by combiners that must distinguish UNKNOWN votes.
+func (v Value) StrictEqual(o Value) bool {
+	if v.kind == KindUnknown || o.kind == KindUnknown {
+		return v.kind == o.kind
+	}
+	return v.Equal(o)
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// NULL and UNKNOWN sort before everything else. Mixed numeric kinds
+// compare numerically; otherwise values compare within a kind.
+func (v Value) Compare(o Value) int {
+	vn := v.kind == KindNull || v.kind == KindUnknown
+	on := o.kind == KindNull || o.kind == KindUnknown
+	switch {
+	case vn && on:
+		return 0
+	case vn:
+		return -1
+	case on:
+		return 1
+	}
+	num := func(k Kind) bool { return k == KindInt || k == KindFloat || k == KindBool }
+	if num(v.kind) && num(o.kind) {
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(v.Text(), o.Text())
+}
+
+// Coerce converts the value to the target kind, parsing text as needed.
+func (v Value) Coerce(k Kind) (Value, error) {
+	if v.kind == k || v.kind == KindNull || v.kind == KindUnknown {
+		if v.kind != k && v.kind == KindNull {
+			return v, nil
+		}
+		if v.kind == KindUnknown {
+			return v, nil
+		}
+		return v, nil
+	}
+	switch k {
+	case KindText:
+		return Text(v.String()), nil
+	case KindURL:
+		return URL(v.Text()), nil
+	case KindInt:
+		if v.kind == KindText {
+			n, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+			if err != nil {
+				return Null(), fmt.Errorf("relation: cannot coerce %q to int: %w", v.s, err)
+			}
+			return Int(n), nil
+		}
+		return Int(v.Int()), nil
+	case KindFloat:
+		if v.kind == KindText {
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if err != nil {
+				return Null(), fmt.Errorf("relation: cannot coerce %q to float: %w", v.s, err)
+			}
+			return Float(f), nil
+		}
+		return Float(v.Float()), nil
+	case KindBool:
+		if v.kind == KindText {
+			b, err := strconv.ParseBool(strings.ToLower(strings.TrimSpace(v.s)))
+			if err != nil {
+				return Null(), fmt.Errorf("relation: cannot coerce %q to bool: %w", v.s, err)
+			}
+			return Bool(b), nil
+		}
+		return Bool(v.Bool()), nil
+	default:
+		return Null(), fmt.Errorf("relation: cannot coerce %s to %s", v.kind, k)
+	}
+}

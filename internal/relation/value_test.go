@@ -1,0 +1,220 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "NULL"},
+		{Text("abc"), KindText, "abc"},
+		{Int(42), KindInt, "42"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{URL("http://x/y.jpg"), KindURL, "http://x/y.jpg"},
+		{Unknown(), KindUnknown, "UNKNOWN"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("%v: String() = %q, want %q", c.v, c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueNumericAccessors(t *testing.T) {
+	if got := Int(7).Float(); got != 7.0 {
+		t.Errorf("Int(7).Float() = %v", got)
+	}
+	if got := Float(7.9).Int(); got != 7 {
+		t.Errorf("Float(7.9).Int() = %v", got)
+	}
+	if got := Text("12").Int(); got != 12 {
+		t.Errorf("Text(12).Int() = %v", got)
+	}
+	if got := Text("3.5").Float(); got != 3.5 {
+		t.Errorf("Text(3.5).Float() = %v", got)
+	}
+	if !Bool(true).Bool() || Bool(false).Bool() {
+		t.Error("Bool accessor broken")
+	}
+	if !Int(1).Bool() || Int(0).Bool() {
+		t.Error("Int truthiness broken")
+	}
+}
+
+func TestUnknownEqualsEverything(t *testing.T) {
+	// Paper §2.4: UNKNOWN "is equal to any other value, so that an
+	// UNKNOWN value does not remove potential join candidates."
+	others := []Value{Text("x"), Int(1), Float(2.5), Bool(false), URL("u"), Unknown()}
+	for _, o := range others {
+		if !Unknown().Equal(o) {
+			t.Errorf("Unknown().Equal(%v) = false, want true", o)
+		}
+		if !o.Equal(Unknown()) {
+			t.Errorf("%v.Equal(Unknown()) = false, want true", o)
+		}
+	}
+	// Null is not a wildcard.
+	if Null().Equal(Text("x")) {
+		t.Error("Null().Equal(Text) = true, want false")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("Null().Equal(Null) = false, want true")
+	}
+}
+
+func TestStrictEqualDistinguishesUnknown(t *testing.T) {
+	if Unknown().StrictEqual(Text("x")) {
+		t.Error("StrictEqual: UNKNOWN == text, want false")
+	}
+	if !Unknown().StrictEqual(Unknown()) {
+		t.Error("StrictEqual: UNKNOWN != UNKNOWN, want true")
+	}
+}
+
+func TestValueEqualMixedNumeric(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("Int(3) != Float(3.0)")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("Int(3) == Float(3.5)")
+	}
+	if Int(3).Equal(Text("3")) {
+		t.Error("Int(3) == Text(3): kinds differ, want false")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Int(2), -1},
+		{Text("a"), Text("b"), -1},
+		{Null(), Int(1), -1},
+		{Unknown(), Int(1), -1},
+		{Null(), Unknown(), 0},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCoerce(t *testing.T) {
+	v, err := Text("42").Coerce(KindInt)
+	if err != nil || v.Int() != 42 {
+		t.Errorf("coerce text->int: %v, %v", v, err)
+	}
+	v, err = Text("2.5").Coerce(KindFloat)
+	if err != nil || v.Float() != 2.5 {
+		t.Errorf("coerce text->float: %v, %v", v, err)
+	}
+	v, err = Text("true").Coerce(KindBool)
+	if err != nil || !v.Bool() {
+		t.Errorf("coerce text->bool: %v, %v", v, err)
+	}
+	v, err = Int(7).Coerce(KindText)
+	if err != nil || v.Text() != "7" {
+		t.Errorf("coerce int->text: %v, %v", v, err)
+	}
+	if _, err = Text("nope").Coerce(KindInt); err == nil {
+		t.Error("coerce bad text->int: want error")
+	}
+	// NULL and UNKNOWN pass through coercion untouched.
+	v, err = Null().Coerce(KindInt)
+	if err != nil || !v.IsNull() {
+		t.Errorf("coerce null: %v, %v", v, err)
+	}
+	v, err = Unknown().Coerce(KindInt)
+	if err != nil || !v.IsUnknown() {
+		t.Errorf("coerce unknown: %v, %v", v, err)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for in, want := range map[string]Kind{
+		"text": KindText, "TEXT": KindText, "varchar": KindText,
+		"int": KindInt, "integer": KindInt,
+		"float": KindFloat, "double": KindFloat,
+		"bool": KindBool, "url": KindURL,
+	} {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind(blob): want error")
+	}
+}
+
+// Property: Equal is symmetric and Compare is antisymmetric for random
+// int/float/text values.
+func TestValueProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() Value {
+		switch rng.Intn(4) {
+		case 0:
+			return Int(int64(rng.Intn(100) - 50))
+		case 1:
+			return Float(rng.NormFloat64())
+		case 2:
+			return Text(string(rune('a' + rng.Intn(26))))
+		default:
+			return Bool(rng.Intn(2) == 0)
+		}
+	}
+	symmetric := func(_ uint8) bool {
+		a, b := gen(), gen()
+		if a.Equal(b) != b.Equal(a) {
+			return false
+		}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(symmetric, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	reflexive := func(_ uint8) bool {
+		a := gen()
+		return a.Equal(a) && a.Compare(a) == 0
+	}
+	if err := quick.Check(reflexive, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gen := func() Value {
+		if rng.Intn(2) == 0 {
+			return Int(int64(rng.Intn(20)))
+		}
+		return Float(float64(rng.Intn(20)) / 2)
+	}
+	trans := func(_ uint8) bool {
+		a, b, c := gen(), gen(), gen()
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(trans, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func fill(t *testing.T, m *RatingMatrix, rows [][]int) {
+	t.Helper()
+	for i, row := range rows {
+		for cat, n := range row {
+			for r := 0; r < n; r++ {
+				if err := m.Add(i, cat); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestFleissKappaPerfectAgreement(t *testing.T) {
+	m, _ := NewRatingMatrix(4, 2)
+	fill(t, m, [][]int{{5, 0}, {0, 5}, {5, 0}, {0, 5}})
+	k, err := m.FleissKappa()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(k, 1, 1e-12) {
+		t.Errorf("kappa = %v, want 1", k)
+	}
+}
+
+func TestFleissKappaWikipediaExample(t *testing.T) {
+	// The canonical worked example from Fleiss (1971) / Wikipedia:
+	// 10 subjects, 5 categories, 14 raters, κ ≈ 0.210.
+	rows := [][]int{
+		{0, 0, 0, 0, 14},
+		{0, 2, 6, 4, 2},
+		{0, 0, 3, 5, 6},
+		{0, 3, 9, 2, 0},
+		{2, 2, 8, 1, 1},
+		{7, 7, 0, 0, 0},
+		{3, 2, 6, 3, 0},
+		{2, 5, 3, 2, 2},
+		{6, 5, 2, 1, 0},
+		{0, 2, 2, 3, 7},
+	}
+	m, _ := NewRatingMatrix(10, 5)
+	fill(t, m, rows)
+	k, err := m.FleissKappa()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(k, 0.20993, 1e-4) {
+		t.Errorf("kappa = %v, want ≈0.210", k)
+	}
+}
+
+func TestFleissKappaRandomNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, _ := NewRatingMatrix(300, 2)
+	for i := 0; i < 300; i++ {
+		for r := 0; r < 5; r++ {
+			_ = m.Add(i, rng.Intn(2))
+		}
+	}
+	k, err := m.FleissKappa()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k) > 0.08 {
+		t.Errorf("random kappa = %v, want ≈0", k)
+	}
+}
+
+func TestModifiedKappaSkewResistance(t *testing.T) {
+	// With heavily skewed labels and perfect agreement, classic κ is
+	// still 1 here, but with *near*-perfect agreement classic κ
+	// collapses while modified κ stays high — the failure mode the
+	// paper's footnote 4 describes for correlated comparator data.
+	m, _ := NewRatingMatrix(20, 2)
+	for i := 0; i < 20; i++ {
+		for r := 0; r < 5; r++ {
+			cat := 0
+			// One dissent on one subject; labels are 99% category 0.
+			if i == 0 && r == 0 {
+				cat = 1
+			}
+			_ = m.Add(i, cat)
+		}
+	}
+	classic, err := m.FleissKappa()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := m.ModifiedKappa()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod <= classic {
+		t.Errorf("modified κ (%v) should exceed classic κ (%v) on skewed data", mod, classic)
+	}
+	if mod < 0.9 {
+		t.Errorf("modified κ = %v, want ≈1 for near-perfect agreement", mod)
+	}
+}
+
+func TestModifiedKappaRandomNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, _ := NewRatingMatrix(400, 2)
+	for i := 0; i < 400; i++ {
+		for r := 0; r < 5; r++ {
+			_ = m.Add(i, rng.Intn(2))
+		}
+	}
+	k, err := m.ModifiedKappa()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k) > 0.08 {
+		t.Errorf("random modified kappa = %v, want ≈0", k)
+	}
+}
+
+func TestKappaValidation(t *testing.T) {
+	if _, err := NewRatingMatrix(0, 2); err == nil {
+		t.Error("0 subjects accepted")
+	}
+	if _, err := NewRatingMatrix(3, 1); err == nil {
+		t.Error("1 category accepted")
+	}
+	m, _ := NewRatingMatrix(2, 2)
+	if err := m.Add(5, 0); err == nil {
+		t.Error("bad subject accepted")
+	}
+	if err := m.Add(0, 9); err == nil {
+		t.Error("bad category accepted")
+	}
+	if _, err := m.FleissKappa(); err == nil {
+		t.Error("empty matrix should error")
+	}
+}
+
+func TestKappaSubjectWithOneRatingSkipped(t *testing.T) {
+	m, _ := NewRatingMatrix(3, 2)
+	fill(t, m, [][]int{{5, 0}, {0, 5}, {1, 0}}) // third subject has 1 rating
+	k, err := m.FleissKappa()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(k, 1, 1e-9) {
+		t.Errorf("kappa = %v, want 1 (single-rating subject skipped)", k)
+	}
+}
+
+func TestKappaSampler(t *testing.T) {
+	// High-agreement matrix: samples should estimate κ near the full
+	// value with modest variance (paper Table 4's point).
+	rng := rand.New(rand.NewSource(5))
+	m, _ := NewRatingMatrix(60, 2)
+	for i := 0; i < 60; i++ {
+		truth := i % 2
+		for r := 0; r < 5; r++ {
+			cat := truth
+			if rng.Float64() < 0.05 {
+				cat = 1 - truth
+			}
+			_ = m.Add(i, cat)
+		}
+	}
+	full, err := m.FleissKappa()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, std, err := m.KappaSampler(50, 0.25, false, rng.Intn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-full) > 0.12 {
+		t.Errorf("sampled κ mean %v too far from full κ %v", mean, full)
+	}
+	if std < 0 || std > 0.3 {
+		t.Errorf("sampled κ std = %v out of plausible range", std)
+	}
+	if _, _, err := m.KappaSampler(0, 0.25, false, rng.Intn); err == nil {
+		t.Error("0 samples accepted")
+	}
+	if _, _, err := m.KappaSampler(10, 1.5, false, rng.Intn); err == nil {
+		t.Error("bad fraction accepted")
+	}
+}
+
+func TestSubsetErrors(t *testing.T) {
+	m, _ := NewRatingMatrix(3, 2)
+	if _, err := m.Subset(nil); err == nil {
+		t.Error("empty subset accepted")
+	}
+	if _, err := m.Subset([]int{7}); err == nil {
+		t.Error("out-of-range subset accepted")
+	}
+}

@@ -1,0 +1,164 @@
+// Package stats implements the statistical machinery the paper relies on:
+// Kendall's τ-b rank correlation (§4.2), Fleiss' κ inter-rater reliability
+// plus the paper's modified κ for comparison data (§3.2, footnote 4),
+// linear regression with R² and p-values (§3.3.3), percentiles (Fig. 4),
+// and sample-based estimators (Tables 4, Fig. 6).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KendallTauB computes the τ-b rank correlation between two equal-length
+// score slices. τ-b is the variant the paper uses because it "allows two
+// items to have the same rank order" (§4.2): tied pairs are handled by the
+// n1/n2 correction terms.
+//
+// Returns a value in [-1, 1]: -1 inverse correlation, 0 none, 1 perfect.
+func KendallTauB(a, b []float64) (float64, error) {
+	n := len(a)
+	if n != len(b) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", n, len(b))
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 items, got %d", n)
+	}
+	var concordant, discordant float64
+	var tiesA, tiesB float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := sign(a[j] - a[i])
+			db := sign(b[j] - b[i])
+			switch {
+			case da == 0 && db == 0:
+				// Tied in both: contributes to neither numerator nor
+				// either tie-correction term (joint ties cancel).
+			case da == 0:
+				tiesA++
+			case db == 0:
+				tiesB++
+			case da == db:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	n0 := float64(n*(n-1)) / 2
+	denomA := n0 - jointTies(a)
+	denomB := n0 - jointTies(b)
+	if denomA <= 0 || denomB <= 0 {
+		return 0, fmt.Errorf("stats: degenerate ranking (all values tied)")
+	}
+	return (concordant - discordant) / math.Sqrt(denomA*denomB), nil
+}
+
+// jointTies returns n1 = Σ t_i(t_i-1)/2 over groups of tied values.
+func jointTies(x []float64) float64 {
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	var total float64
+	run := 1
+	for i := 1; i <= len(s); i++ {
+		if i < len(s) && s[i] == s[i-1] {
+			run++
+			continue
+		}
+		total += float64(run*(run-1)) / 2
+		run = 1
+	}
+	return total
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// TauBetweenOrders computes τ-b between two orderings expressed as item
+// sequences (e.g., the Compare order vs the Rate order). Both slices must
+// be permutations of the same item set.
+func TauBetweenOrders[T comparable](order1, order2 []T) (float64, error) {
+	if len(order1) != len(order2) {
+		return 0, fmt.Errorf("stats: order length mismatch %d vs %d", len(order1), len(order2))
+	}
+	pos := make(map[T]int, len(order2))
+	for i, item := range order2 {
+		pos[item] = i
+	}
+	if len(pos) != len(order2) {
+		return 0, fmt.Errorf("stats: order2 contains duplicates")
+	}
+	a := make([]float64, len(order1))
+	b := make([]float64, len(order1))
+	for i, item := range order1 {
+		j, ok := pos[item]
+		if !ok {
+			return 0, fmt.Errorf("stats: item %v missing from order2", item)
+		}
+		a[i] = float64(i)
+		b[i] = float64(j)
+	}
+	return KendallTauB(a, b)
+}
+
+// Percentile returns the p'th percentile (0 ≤ p ≤ 100) of xs using
+// nearest-rank on a sorted copy, matching the paper's 50th/95th/100th
+// percentile completion-time reporting (Fig. 4).
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of range", p)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p == 0 {
+		return s[0], nil
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1], nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MeanStd returns both the mean and population standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	return Mean(xs), StdDev(xs)
+}

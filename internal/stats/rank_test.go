@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestKendallTauPerfect(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	tau, err := KendallTauB(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(tau, 1, 1e-12) {
+		t.Errorf("tau = %v, want 1", tau)
+	}
+}
+
+func TestKendallTauInverse(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{5, 4, 3, 2, 1}
+	tau, err := KendallTauB(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(tau, -1, 1e-12) {
+		t.Errorf("tau = %v, want -1", tau)
+	}
+}
+
+func TestKendallTauKnownValue(t *testing.T) {
+	// Hand-computed: a = 1,2,3,4; b = 1,3,2,4.
+	// Pairs: 6 total; discordant only (2,3)-(3,2): C=5, D=1.
+	// tau = (5-1)/6 = 0.6667.
+	tau, err := KendallTauB([]float64{1, 2, 3, 4}, []float64{1, 3, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(tau, 2.0/3.0, 1e-12) {
+		t.Errorf("tau = %v, want 2/3", tau)
+	}
+}
+
+func TestKendallTauWithTies(t *testing.T) {
+	// b has a tie. a = 1,2,3; b = 1,1,2.
+	// Pairs: (1,2): a diff, b tied -> tiesB. (1,3): C. (2,3): C.
+	// n0 = 3, n1(a)=0, n2(b)=1 -> tau = 2/sqrt(3*2) = 0.8165.
+	tau, err := KendallTauB([]float64{1, 2, 3}, []float64{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 / math.Sqrt(6)
+	if !almostEqual(tau, want, 1e-12) {
+		t.Errorf("tau = %v, want %v", tau, want)
+	}
+}
+
+func TestKendallTauErrors(t *testing.T) {
+	if _, err := KendallTauB([]float64{1}, []float64{1}); err == nil {
+		t.Error("n=1 should error")
+	}
+	if _, err := KendallTauB([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := KendallTauB([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("all-tied input should error")
+	}
+}
+
+func TestTauBetweenOrders(t *testing.T) {
+	o1 := []string{"ant", "bee", "cat", "dog"}
+	o2 := []string{"ant", "bee", "cat", "dog"}
+	tau, err := TauBetweenOrders(o1, o2)
+	if err != nil || !almostEqual(tau, 1, 1e-12) {
+		t.Errorf("identical orders: tau=%v err=%v", tau, err)
+	}
+	rev := []string{"dog", "cat", "bee", "ant"}
+	tau, err = TauBetweenOrders(o1, rev)
+	if err != nil || !almostEqual(tau, -1, 1e-12) {
+		t.Errorf("reversed orders: tau=%v err=%v", tau, err)
+	}
+	if _, err := TauBetweenOrders(o1, []string{"ant", "bee", "cat", "EEL"}); err == nil {
+		t.Error("mismatched item sets should error")
+	}
+	if _, err := TauBetweenOrders(o1, []string{"ant", "ant", "cat", "dog"}); err == nil {
+		t.Error("duplicate items should error")
+	}
+}
+
+// Property: tau is symmetric and invariant to monotone transforms.
+func TestKendallTauProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func(_ uint8) bool {
+		n := 3 + rng.Intn(10)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(rng.Intn(8))
+			b[i] = float64(rng.Intn(8))
+		}
+		t1, err1 := KendallTauB(a, b)
+		t2, err2 := KendallTauB(b, a)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if !almostEqual(t1, t2, 1e-9) {
+			return false
+		}
+		// Monotone transform of a must not change tau.
+		a2 := make([]float64, n)
+		for i := range a {
+			a2[i] = 3*a[i] + 10
+		}
+		t3, err := KendallTauB(a2, b)
+		return err == nil && almostEqual(t1, t3, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	for _, c := range []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {20, 1}, {50, 3}, {95, 5}, {100, 5}} {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty percentile should error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("out-of-range percentile should error")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(m, 5, 1e-12) || !almostEqual(s, 2, 1e-12) {
+		t.Errorf("mean=%v std=%v, want 5, 2", m, s)
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate inputs should be 0")
+	}
+}

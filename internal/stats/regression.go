@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Regression holds simple least-squares linear regression results.
+// The paper regresses per-worker accuracy on tasks-completed (§3.3.3)
+// and reports β > 0, R² = 0.028, p < .05 ⇒ "no strong effect".
+type Regression struct {
+	// Slope is β, the fitted slope.
+	Slope float64
+	// Intercept is the fitted intercept.
+	Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// PValue is the two-sided p-value for H0: β = 0, from the t
+	// statistic using a normal approximation (adequate for the paper's
+	// sample sizes; exact Student-t needs the incomplete beta, which
+	// stdlib lacks).
+	PValue float64
+	// N is the number of points fitted.
+	N int
+}
+
+// LinearRegression fits y = a + b·x by ordinary least squares.
+func LinearRegression(x, y []float64) (Regression, error) {
+	n := len(x)
+	if n != len(y) {
+		return Regression{}, fmt.Errorf("stats: regression length mismatch %d vs %d", n, len(y))
+	}
+	if n < 3 {
+		return Regression{}, fmt.Errorf("stats: regression needs ≥3 points, got %d", n)
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Regression{}, fmt.Errorf("stats: regression x has zero variance")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	var r2 float64
+	if syy > 0 {
+		r2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		r2 = 1 // all y identical and perfectly "explained"
+	}
+	// t statistic for the slope.
+	var p float64 = 1
+	sse := syy - b*sxy
+	if sse < 0 {
+		sse = 0
+	}
+	if n > 2 {
+		se2 := sse / float64(n-2) / sxx
+		if se2 > 0 {
+			t := b / math.Sqrt(se2)
+			p = 2 * (1 - normalCDF(math.Abs(t)))
+		} else {
+			p = 0
+		}
+	}
+	return Regression{Slope: b, Intercept: a, R2: r2, PValue: p, N: n}, nil
+}
+
+// normalCDF is the standard normal CDF via math.Erf.
+func normalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// Selectivity estimates the probability that two tables agree on a
+// categorical feature (paper §3.2):
+//
+//	σ = Σ_j ρ_Rj · ρ_Sj
+//
+// where ρ_Xj is the relative frequency of feature value j in table X.
+// UNKNOWN values must be excluded by the caller (they match everything,
+// so they contribute their full mass to every j; see JoinSelectivity).
+func Selectivity(freqR, freqS map[string]float64) float64 {
+	var sigma float64
+	for v, pr := range freqR {
+		sigma += pr * freqS[v]
+	}
+	return sigma
+}
+
+// CombinedSelectivity multiplies per-feature selectivities under the
+// paper's independence assumption: Sel = Π σ_i.
+func CombinedSelectivity(sigmas []float64) float64 {
+	sel := 1.0
+	for _, s := range sigmas {
+		sel *= s
+	}
+	return sel
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearRegressionExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	r, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.Slope, 2, 1e-12) || !almostEqual(r.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", r)
+	}
+	if !almostEqual(r.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", r.R2)
+	}
+	if r.PValue > 1e-6 {
+		t.Errorf("p = %v, want ≈0 for exact fit", r.PValue)
+	}
+}
+
+func TestLinearRegressionNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 0.5 + 0.03*x[i] + rng.NormFloat64()*2
+	}
+	r, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Slope-0.03) > 0.01 {
+		t.Errorf("slope = %v, want ≈0.03", r.Slope)
+	}
+	if r.PValue > 0.05 {
+		t.Errorf("p = %v, want significant", r.PValue)
+	}
+}
+
+func TestLinearRegressionWeakEffect(t *testing.T) {
+	// Shape of the paper's §3.3.3 finding: a significant but tiny
+	// slope with R² well under 0.1.
+	rng := rand.New(rand.NewSource(12))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 300
+		y[i] = 0.78 + 0.0001*x[i] + rng.NormFloat64()*0.05
+	}
+	r, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Slope <= 0 {
+		t.Errorf("slope = %v, want positive", r.Slope)
+	}
+	if r.R2 > 0.2 {
+		t.Errorf("R2 = %v, want small", r.R2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("n<3 accepted")
+	}
+	if _, err := LinearRegression([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LinearRegression([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero-variance x accepted")
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	// Paper §3.2 example shape: gender 50/50 in both tables →
+	// σ = 0.5·0.5 + 0.5·0.5 = 0.5.
+	r := map[string]float64{"male": 0.5, "female": 0.5}
+	s := map[string]float64{"male": 0.5, "female": 0.5}
+	if got := Selectivity(r, s); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("sigma = %v, want 0.5", got)
+	}
+	// Completely disjoint values → 0.
+	if got := Selectivity(map[string]float64{"a": 1}, map[string]float64{"b": 1}); got != 0 {
+		t.Errorf("disjoint sigma = %v, want 0", got)
+	}
+	// Combined selectivity multiplies.
+	if got := CombinedSelectivity([]float64{0.5, 0.5, 0.8}); !almostEqual(got, 0.2, 1e-12) {
+		t.Errorf("combined = %v, want 0.2", got)
+	}
+	if got := CombinedSelectivity(nil); got != 1 {
+		t.Errorf("empty combined = %v, want 1", got)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if !almostEqual(normalCDF(0), 0.5, 1e-12) {
+		t.Error("Phi(0) != 0.5")
+	}
+	if !almostEqual(normalCDF(1.96), 0.975, 1e-3) {
+		t.Error("Phi(1.96) != 0.975")
+	}
+}

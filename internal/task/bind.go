@@ -1,0 +1,49 @@
+package task
+
+import "fmt"
+
+// Bind rebinds a prompt's field references through a formal-parameter →
+// actual-column mapping. The TASK DSL writes prompts against formal
+// parameters — Prompt: "<img src='%s'>", tuple[field] — and the query
+// supplies actual columns at call sites — isFemale(c.img) — so the
+// planner binds `field` → `c.img` before HIT generation.
+// Fields absent from the mapping pass through unchanged.
+func (p Prompt) Bind(mapping map[string]string) Prompt {
+	out := Prompt{Format: p.Format, Fields: make([]string, len(p.Fields))}
+	for i, f := range p.Fields {
+		if actual, ok := mapping[f]; ok {
+			out.Fields[i] = actual
+		} else {
+			out.Fields[i] = f
+		}
+	}
+	return out
+}
+
+// Bind clones a task with every prompt rebound through the mapping.
+func Bind(t Task, mapping map[string]string) (Task, error) {
+	switch tt := t.(type) {
+	case *Filter:
+		c := *tt
+		c.Prompt = c.Prompt.Bind(mapping)
+		return &c, nil
+	case *Generative:
+		c := *tt
+		c.Prompt = c.Prompt.Bind(mapping)
+		c.Fields = append([]Field(nil), tt.Fields...)
+		return &c, nil
+	case *Rank:
+		c := *tt
+		c.HTML = c.HTML.Bind(mapping)
+		return &c, nil
+	case *EquiJoin:
+		c := *tt
+		c.LeftPreview = c.LeftPreview.Bind(mapping)
+		c.LeftNormal = c.LeftNormal.Bind(mapping)
+		c.RightPreview = c.RightPreview.Bind(mapping)
+		c.RightNormal = c.RightNormal.Bind(mapping)
+		return &c, nil
+	default:
+		return nil, fmt.Errorf("task: cannot bind task type %T", t)
+	}
+}

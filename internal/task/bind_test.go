@@ -1,0 +1,102 @@
+package task
+
+import "testing"
+
+func TestBindAllTaskTypes(t *testing.T) {
+	mapping := map[string]string{"f": "c.img", "f2": "p.img"}
+
+	f := &Filter{Name: "x", Prompt: MustPrompt("<img src='%s'>", "f")}
+	bf, err := Bind(f, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.(*Filter).Prompt.Fields[0] != "c.img" || f.Prompt.Fields[0] != "f" {
+		t.Error("filter bind wrong or mutated original")
+	}
+
+	g := &Generative{
+		Name:   "x",
+		Prompt: MustPrompt("<img src='%s'>", "f"),
+		Fields: []Field{{Name: "v", Response: Radio("V", "a", "b")}},
+	}
+	bg, err := Bind(g, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.(*Generative).Prompt.Fields[0] != "c.img" {
+		t.Error("generative bind wrong")
+	}
+	// Field slice must be copied, not aliased.
+	bg.(*Generative).Fields[0].Name = "mutated"
+	if g.Fields[0].Name != "v" {
+		t.Error("bind aliased field slice")
+	}
+
+	r := &Rank{
+		Name: "x", SingularName: "s", PluralName: "p", OrderDimensionName: "d",
+		HTML: MustPrompt("<img src='%s'>", "f"),
+	}
+	br, err := Bind(r, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.(*Rank).HTML.Fields[0] != "c.img" {
+		t.Error("rank bind wrong")
+	}
+
+	e := &EquiJoin{
+		Name:         "x",
+		LeftPreview:  MustPrompt("<img src='%s'>", "f"),
+		LeftNormal:   MustPrompt("<img src='%s'>", "f"),
+		RightPreview: MustPrompt("<img src='%s'>", "f2"),
+		RightNormal:  MustPrompt("<img src='%s'>", "f2"),
+	}
+	be, err := Bind(e, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ej := be.(*EquiJoin)
+	if ej.LeftNormal.Fields[0] != "c.img" || ej.RightNormal.Fields[0] != "p.img" {
+		t.Errorf("equijoin bind: %v / %v", ej.LeftNormal.Fields, ej.RightNormal.Fields)
+	}
+
+	// Unmapped fields pass through.
+	pp := MustPrompt("<img src='%s'>", "other").Bind(mapping)
+	if pp.Fields[0] != "other" {
+		t.Error("unmapped field changed")
+	}
+
+	// Unknown task type errors.
+	if _, err := Bind(badTask{}, mapping); err == nil {
+		t.Error("unknown task type accepted")
+	}
+}
+
+type badTask struct{}
+
+func (badTask) TaskName() string { return "bad" }
+func (badTask) TaskType() Type   { return Type(99) }
+func (badTask) Validate() error  { return nil }
+
+func TestTypeStrings(t *testing.T) {
+	for typ, want := range map[Type]string{
+		FilterType:     "Filter",
+		GenerativeType: "Generative",
+		RankType:       "Rank",
+		EquiJoinType:   "EquiJoin",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q", typ, typ.String())
+		}
+	}
+	if Type(200).String() == "" {
+		t.Error("unknown type should still render")
+	}
+}
+
+func TestPairQuestionDefault(t *testing.T) {
+	e := &EquiJoin{}
+	if got := e.PairQuestion(); got != "Are these two images the same item?" {
+		t.Errorf("default pair question = %q", got)
+	}
+}

@@ -1,0 +1,44 @@
+package task
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Normalizer canonicalizes free-text worker responses before combination
+// so that e.g. "Grey  Wolf" and "grey wolf" count as the same answer
+// (paper §2.2: "which makes the combiner more effective at aggregating
+// responses").
+type Normalizer func(string) string
+
+// LowercaseSingleSpace is the paper's normalizer: lower-case the text and
+// collapse runs of whitespace to single spaces, trimming the ends.
+func LowercaseSingleSpace(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// TrimSpace trims leading and trailing whitespace only.
+func TrimSpace(s string) string { return strings.TrimSpace(s) }
+
+// Identity returns the input unchanged.
+func Identity(s string) string { return s }
+
+// normalizers is the registry of named normalizers referenced from task
+// definitions and from the TASK DSL.
+var normalizers = map[string]Normalizer{
+	"":                      Identity,
+	"identity":              Identity,
+	"none":                  Identity,
+	"trim":                  TrimSpace,
+	"lowercasesinglespace":  LowercaseSingleSpace,
+	"lowercase_singlespace": LowercaseSingleSpace,
+}
+
+// LookupNormalizer resolves a normalizer by name (case-insensitive).
+func LookupNormalizer(name string) (Normalizer, error) {
+	n, ok := normalizers[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("task: unknown normalizer %q", name)
+	}
+	return n, nil
+}

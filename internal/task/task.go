@@ -1,0 +1,391 @@
+// Package task implements Qurk's Task templates (paper §2.1–§2.4): the
+// pre-defined UDF kinds — Filter, Generative, Rank, EquiJoin — that a
+// query references, together with prompt rendering and response
+// normalization. A task describes *how to ask the crowd* about tuples;
+// HIT compilation and batching live in internal/hit.
+package task
+
+import (
+	"fmt"
+	"strings"
+
+	"qurk/internal/relation"
+)
+
+// Type identifies a task template kind.
+type Type uint8
+
+const (
+	// FilterType is a yes/no question per tuple (paper §2.1).
+	FilterType Type = iota
+	// GenerativeType asks workers to produce field values (paper §2.2),
+	// either free text or a constrained Radio choice (feature
+	// extraction, §2.4).
+	GenerativeType
+	// RankType supplies the labels for sort interfaces (paper §2.3).
+	RankType
+	// EquiJoinType supplies the labels and previews for join interfaces
+	// (paper §2.4).
+	EquiJoinType
+)
+
+// String returns the paper's name for the type.
+func (t Type) String() string {
+	switch t {
+	case FilterType:
+		return "Filter"
+	case GenerativeType:
+		return "Generative"
+	case RankType:
+		return "Rank"
+	case EquiJoinType:
+		return "EquiJoin"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Task is the common interface over the four template kinds.
+type Task interface {
+	// TaskName is the UDF name referenced in queries (e.g. "isFemale").
+	TaskName() string
+	// TaskType reports the template kind.
+	TaskType() Type
+	// Validate checks the template for structural problems.
+	Validate() error
+}
+
+// Prompt is an HTML snippet with positional %s verbs substituted from
+// tuple fields, mirroring the paper's
+//
+//	Prompt: "<img src='%s'>", tuple[field]
+//
+// syntax. Fields are tuple column names resolved at render time.
+type Prompt struct {
+	// Format is the HTML with %s placeholders.
+	Format string
+	// Fields are the tuple columns substituted, in order.
+	Fields []string
+}
+
+// NewPrompt validates that the number of %s verbs matches fields.
+func NewPrompt(format string, fields ...string) (Prompt, error) {
+	p := Prompt{Format: format, Fields: fields}
+	if err := p.Validate(); err != nil {
+		return Prompt{}, err
+	}
+	return p, nil
+}
+
+// MustPrompt is NewPrompt that panics on error, for literals in tests
+// and examples.
+func MustPrompt(format string, fields ...string) Prompt {
+	p, err := NewPrompt(format, fields...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Validate checks that the placeholder count matches the field count.
+func (p Prompt) Validate() error {
+	n := strings.Count(p.Format, "%s")
+	if n != len(p.Fields) {
+		return fmt.Errorf("task: prompt has %d %%s placeholders but %d fields", n, len(p.Fields))
+	}
+	return nil
+}
+
+// Render substitutes the tuple's field values into the format.
+func (p Prompt) Render(t relation.Tuple) (string, error) {
+	args := make([]any, len(p.Fields))
+	for i, f := range p.Fields {
+		v, ok := t.Get(f)
+		if !ok {
+			return "", fmt.Errorf("task: prompt field %q not in tuple schema %s", f, t.Schema())
+		}
+		args[i] = v.Text()
+	}
+	return fmt.Sprintf(p.Format, args...), nil
+}
+
+// Filter is the paper's Filter task: a Prompt plus Yes/No button labels
+// and a combiner that merges multiple worker responses.
+type Filter struct {
+	Name     string
+	Prompt   Prompt
+	YesText  string
+	NoText   string
+	Combiner string // combiner name, e.g. "MajorityVote" or "QualityAdjust"
+}
+
+// TaskName implements Task.
+func (f *Filter) TaskName() string { return f.Name }
+
+// TaskType implements Task.
+func (f *Filter) TaskType() Type { return FilterType }
+
+// Validate implements Task.
+func (f *Filter) Validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("task: filter needs a name")
+	}
+	if err := f.Prompt.Validate(); err != nil {
+		return fmt.Errorf("task %s: %w", f.Name, err)
+	}
+	return nil
+}
+
+// ResponseKind distinguishes free-text from constrained responses in
+// generative tasks.
+type ResponseKind uint8
+
+const (
+	// TextResponse is a free-text input requiring a Normalizer.
+	TextResponse ResponseKind = iota
+	// RadioResponse is a constrained categorical choice; it may include
+	// UNKNOWN (paper §2.4 feature extraction).
+	RadioResponse
+)
+
+// Response describes how a generative field collects input.
+type Response struct {
+	Kind ResponseKind
+	// Label is the input's on-screen label (e.g. "Common name").
+	Label string
+	// Options are the radio choices; only for RadioResponse. The
+	// special option "UNKNOWN" enables the wildcard value.
+	Options []string
+}
+
+// TextInput builds a free-text response.
+func TextInput(label string) Response { return Response{Kind: TextResponse, Label: label} }
+
+// Radio builds a constrained categorical response.
+func Radio(label string, options ...string) Response {
+	return Response{Kind: RadioResponse, Label: label, Options: options}
+}
+
+// AllowsUnknown reports whether UNKNOWN is among the radio options.
+func (r Response) AllowsUnknown() bool {
+	for _, o := range r.Options {
+		if strings.EqualFold(o, "UNKNOWN") {
+			return true
+		}
+	}
+	return false
+}
+
+// Field is one output field of a generative task.
+type Field struct {
+	Name       string
+	Response   Response
+	Combiner   string
+	Normalizer string // normalizer name; "" means none
+}
+
+// Generative is the paper's Generative task: a prompt plus one or more
+// output fields, each with its own response type, combiner, and
+// normalizer.
+type Generative struct {
+	Name   string
+	Prompt Prompt
+	Fields []Field
+}
+
+// TaskName implements Task.
+func (g *Generative) TaskName() string { return g.Name }
+
+// TaskType implements Task.
+func (g *Generative) TaskType() Type { return GenerativeType }
+
+// Validate implements Task.
+func (g *Generative) Validate() error {
+	if g.Name == "" {
+		return fmt.Errorf("task: generative needs a name")
+	}
+	if err := g.Prompt.Validate(); err != nil {
+		return fmt.Errorf("task %s: %w", g.Name, err)
+	}
+	if len(g.Fields) == 0 {
+		return fmt.Errorf("task %s: generative needs at least one field", g.Name)
+	}
+	seen := map[string]bool{}
+	for _, f := range g.Fields {
+		if f.Name == "" {
+			return fmt.Errorf("task %s: field with empty name", g.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("task %s: duplicate field %q", g.Name, f.Name)
+		}
+		seen[f.Name] = true
+		if f.Response.Kind == RadioResponse && len(f.Response.Options) < 2 {
+			return fmt.Errorf("task %s field %s: radio needs ≥2 options", g.Name, f.Name)
+		}
+	}
+	return nil
+}
+
+// Field returns the named field spec.
+func (g *Generative) Field(name string) (Field, bool) {
+	for _, f := range g.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// IsCategorical reports whether every field is a radio response — a
+// requirement for κ-based ambiguity detection (paper §3.2: "Qurk
+// currently only supports detecting ambiguity for categorical features").
+func (g *Generative) IsCategorical() bool {
+	for _, f := range g.Fields {
+		if f.Response.Kind != RadioResponse {
+			return false
+		}
+	}
+	return true
+}
+
+// Rank is the paper's Rank task (§2.3): the label set that populates
+// both the comparison and the rating interfaces for ORDER BY.
+type Rank struct {
+	Name               string
+	SingularName       string // "square"
+	PluralName         string // "squares"
+	OrderDimensionName string // "area"
+	LeastName          string // "smallest"
+	MostName           string // "largest"
+	HTML               Prompt // per-item rendering
+	Combiner           string
+}
+
+// TaskName implements Task.
+func (r *Rank) TaskName() string { return r.Name }
+
+// TaskType implements Task.
+func (r *Rank) TaskType() Type { return RankType }
+
+// Validate implements Task.
+func (r *Rank) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("task: rank needs a name")
+	}
+	if r.SingularName == "" || r.PluralName == "" || r.OrderDimensionName == "" {
+		return fmt.Errorf("task %s: rank needs singular/plural/dimension names", r.Name)
+	}
+	if err := r.HTML.Validate(); err != nil {
+		return fmt.Errorf("task %s: %w", r.Name, err)
+	}
+	return nil
+}
+
+// CompareQuestion renders the comparison-interface question text, e.g.
+// "Order these squares from smallest area to largest area."
+func (r *Rank) CompareQuestion() string {
+	return fmt.Sprintf("Order these %s from %s %s to %s %s.",
+		r.PluralName, r.LeastName, r.OrderDimensionName, r.MostName, r.OrderDimensionName)
+}
+
+// RateQuestion renders the rating-interface question text, e.g.
+// "Rate this square by area on a scale of 1 (smallest) to 7 (largest)."
+func (r *Rank) RateQuestion(scale int) string {
+	return fmt.Sprintf("Rate this %s by %s on a scale of 1 (%s) to %d (%s).",
+		r.SingularName, r.OrderDimensionName, r.LeastName, scale, r.MostName)
+}
+
+// EquiJoin is the paper's EquiJoin task (§2.4): labels plus preview and
+// full-size renderings for the two sides of a join comparison.
+type EquiJoin struct {
+	Name         string
+	SingularName string
+	PluralName   string
+	LeftPreview  Prompt // small rendering (smart batch grid)
+	LeftNormal   Prompt // full-size rendering (simple/naive, hover)
+	RightPreview Prompt
+	RightNormal  Prompt
+	Combiner     string
+}
+
+// TaskName implements Task.
+func (e *EquiJoin) TaskName() string { return e.Name }
+
+// TaskType implements Task.
+func (e *EquiJoin) TaskType() Type { return EquiJoinType }
+
+// Validate implements Task.
+func (e *EquiJoin) Validate() error {
+	if e.Name == "" {
+		return fmt.Errorf("task: equijoin needs a name")
+	}
+	for _, p := range []struct {
+		n string
+		p Prompt
+	}{
+		{"LeftPreview", e.LeftPreview}, {"LeftNormal", e.LeftNormal},
+		{"RightPreview", e.RightPreview}, {"RightNormal", e.RightNormal},
+	} {
+		if err := p.p.Validate(); err != nil {
+			return fmt.Errorf("task %s %s: %w", e.Name, p.n, err)
+		}
+	}
+	return nil
+}
+
+// PairQuestion renders the simple/naive join question, e.g.
+// "Are these two images the same celebrity?"
+func (e *EquiJoin) PairQuestion() string {
+	single := e.SingularName
+	if single == "" {
+		single = "item"
+	}
+	return fmt.Sprintf("Are these two images the same %s?", single)
+}
+
+// Registry maps task names to definitions; a query's UDF references are
+// resolved against it during planning.
+type Registry struct {
+	tasks map[string]Task
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{tasks: make(map[string]Task)} }
+
+// Register validates and adds a task; duplicate names are an error.
+func (r *Registry) Register(t Task) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	key := strings.ToLower(t.TaskName())
+	if _, dup := r.tasks[key]; dup {
+		return fmt.Errorf("task: duplicate task %q", t.TaskName())
+	}
+	r.tasks[key] = t
+	return nil
+}
+
+// MustRegister panics on error; for examples.
+func (r *Registry) MustRegister(t Task) {
+	if err := r.Register(t); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds a task by name (case-insensitive).
+func (r *Registry) Lookup(name string) (Task, error) {
+	t, ok := r.tasks[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("task: unknown task %q", name)
+	}
+	return t, nil
+}
+
+// Names returns registered task names (unsorted).
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.tasks))
+	for n := range r.tasks {
+		out = append(out, n)
+	}
+	return out
+}

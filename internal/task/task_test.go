@@ -1,0 +1,210 @@
+package task
+
+import (
+	"strings"
+	"testing"
+
+	"qurk/internal/relation"
+)
+
+func celebTuple(t *testing.T) relation.Tuple {
+	t.Helper()
+	s := relation.MustSchema(
+		relation.Column{Name: "name", Kind: relation.KindText},
+		relation.Column{Name: "img", Kind: relation.KindURL},
+	)
+	return relation.MustTuple(s, relation.Text("Brad"), relation.URL("http://x/brad.jpg"))
+}
+
+func TestPromptRender(t *testing.T) {
+	p, err := NewPrompt("<img src='%s'> Is %s a woman?", "img", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Render(celebTuple(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<img src='http://x/brad.jpg'> Is Brad a woman?"
+	if out != want {
+		t.Errorf("Render = %q, want %q", out, want)
+	}
+}
+
+func TestPromptValidation(t *testing.T) {
+	if _, err := NewPrompt("%s %s", "img"); err == nil {
+		t.Error("placeholder/field mismatch accepted")
+	}
+	if _, err := NewPrompt("no placeholders"); err != nil {
+		t.Errorf("zero-placeholder prompt rejected: %v", err)
+	}
+	p := MustPrompt("<img src='%s'>", "missing")
+	if _, err := p.Render(celebTuple(t)); err == nil {
+		t.Error("render with missing field should error")
+	}
+}
+
+func TestFilterTaskValidate(t *testing.T) {
+	f := &Filter{
+		Name:     "isFemale",
+		Prompt:   MustPrompt("<img src='%s'> Is the person a woman?", "img"),
+		YesText:  "Yes",
+		NoText:   "No",
+		Combiner: "MajorityVote",
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.TaskType() != FilterType || f.TaskName() != "isFemale" {
+		t.Error("metadata wrong")
+	}
+	bad := &Filter{Prompt: MustPrompt("x")}
+	if err := bad.Validate(); err == nil {
+		t.Error("unnamed filter accepted")
+	}
+}
+
+func TestGenerativeTaskValidate(t *testing.T) {
+	g := &Generative{
+		Name:   "animalInfo",
+		Prompt: MustPrompt("<img src='%s'> What is the common name and species?", "img"),
+		Fields: []Field{
+			{Name: "common", Response: TextInput("Common name"), Combiner: "MajorityVote", Normalizer: "LowercaseSingleSpace"},
+			{Name: "species", Response: TextInput("Species"), Combiner: "MajorityVote", Normalizer: "LowercaseSingleSpace"},
+		},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.IsCategorical() {
+		t.Error("text fields reported as categorical")
+	}
+	if _, ok := g.Field("common"); !ok {
+		t.Error("Field lookup failed")
+	}
+	if _, ok := g.Field("nope"); ok {
+		t.Error("missing field found")
+	}
+
+	gender := &Generative{
+		Name:   "gender",
+		Prompt: MustPrompt("<img src='%s'> What is this person's gender?", "img"),
+		Fields: []Field{
+			{Name: "gender", Response: Radio("Gender", "Male", "Female", "UNKNOWN"), Combiner: "MajorityVote"},
+		},
+	}
+	if err := gender.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !gender.IsCategorical() {
+		t.Error("radio-only task not categorical")
+	}
+	if !gender.Fields[0].Response.AllowsUnknown() {
+		t.Error("UNKNOWN option not detected")
+	}
+
+	for _, bad := range []*Generative{
+		{Name: "x", Prompt: MustPrompt("p")},                                                          // no fields
+		{Name: "x", Prompt: MustPrompt("p"), Fields: []Field{{Name: ""}}},                             // empty field name
+		{Name: "x", Prompt: MustPrompt("p"), Fields: []Field{{Name: "a"}, {Name: "a"}}},               // dup
+		{Name: "x", Prompt: MustPrompt("p"), Fields: []Field{{Name: "a", Response: Radio("r")}}},      // radio no options
+		{Name: "x", Prompt: MustPrompt("p"), Fields: []Field{{Name: "a", Response: Radio("r", "o")}}}, // radio 1 option
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid generative accepted: %+v", bad)
+		}
+	}
+}
+
+func TestRankTaskQuestions(t *testing.T) {
+	r := &Rank{
+		Name:               "squareSorter",
+		SingularName:       "square",
+		PluralName:         "squares",
+		OrderDimensionName: "area",
+		LeastName:          "smallest",
+		MostName:           "largest",
+		HTML:               MustPrompt("<img src='%s' class=lgImg>", "img"),
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CompareQuestion(); !strings.Contains(got, "smallest area") || !strings.Contains(got, "largest area") {
+		t.Errorf("CompareQuestion = %q", got)
+	}
+	if got := r.RateQuestion(7); !strings.Contains(got, "1 (smallest)") || !strings.Contains(got, "7 (largest)") {
+		t.Errorf("RateQuestion = %q", got)
+	}
+	bad := &Rank{Name: "x", HTML: MustPrompt("p")}
+	if err := bad.Validate(); err == nil {
+		t.Error("rank without names accepted")
+	}
+}
+
+func TestEquiJoinTaskValidate(t *testing.T) {
+	e := &EquiJoin{
+		Name:         "samePerson",
+		SingularName: "celebrity",
+		PluralName:   "celebrities",
+		LeftPreview:  MustPrompt("<img src='%s' class=smImg>", "img"),
+		LeftNormal:   MustPrompt("<img src='%s' class=lgImg>", "img"),
+		RightPreview: MustPrompt("<img src='%s' class=smImg>", "img"),
+		RightNormal:  MustPrompt("<img src='%s' class=lgImg>", "img"),
+		Combiner:     "MajorityVote",
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.PairQuestion(), "celebrity") {
+		t.Errorf("PairQuestion = %q", e.PairQuestion())
+	}
+	bad := &EquiJoin{Name: "x", LeftPreview: Prompt{Format: "%s"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad equijoin accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	f := &Filter{Name: "isFemale", Prompt: MustPrompt("q")}
+	if err := r.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(&Filter{Name: "ISFEMALE", Prompt: MustPrompt("q")}); err == nil {
+		t.Error("case-insensitive duplicate accepted")
+	}
+	got, err := r.Lookup("isfemale")
+	if err != nil || got.TaskName() != "isFemale" {
+		t.Errorf("Lookup = %v, %v", got, err)
+	}
+	if _, err := r.Lookup("nope"); err == nil {
+		t.Error("missing lookup should error")
+	}
+	if err := r.Register(&Filter{Name: "", Prompt: MustPrompt("q")}); err == nil {
+		t.Error("invalid task registered")
+	}
+	if len(r.Names()) != 1 {
+		t.Errorf("Names = %v", r.Names())
+	}
+}
+
+func TestNormalizers(t *testing.T) {
+	n, err := LookupNormalizer("LowercaseSingleSpace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n("  Grey \t Wolf  "); got != "grey wolf" {
+		t.Errorf("normalize = %q", got)
+	}
+	trim, _ := LookupNormalizer("trim")
+	if got := trim("  A B  "); got != "A B" {
+		t.Errorf("trim = %q", got)
+	}
+	id, _ := LookupNormalizer("")
+	if got := id(" X "); got != " X " {
+		t.Errorf("identity = %q", got)
+	}
+	if _, err := LookupNormalizer("bogus"); err == nil {
+		t.Error("bogus normalizer accepted")
+	}
+}

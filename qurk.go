@@ -1,0 +1,393 @@
+// Package qurk is a Go implementation of Qurk, the crowd-powered
+// declarative query processor from "Human-powered Sorts and Joins"
+// (Marcus, Wu, Karger, Madden, Miller — PVLDB 5(1), 2011).
+//
+// Qurk runs SQL-like queries whose filter, join, and sort operators are
+// executed by a crowd marketplace. This package is the public facade: it
+// re-exports the pieces a downstream user needs — the engine, the task
+// templates, the simulated marketplace, the crowd operators, and the
+// paper's datasets — while the implementations live in internal/
+// packages.
+//
+// # Quick start
+//
+//	d := qurk.NewCelebrities(qurk.CelebrityConfig{N: 30, Seed: 1})
+//	market := qurk.NewSimMarket(qurk.DefaultMarketConfig(1), d.Oracle())
+//	eng := qurk.NewEngine(market, qurk.Options{})
+//	eng.Catalog.Register(d.Celeb)
+//	eng.Library.MustRegister(qurk.IsFemaleTask())
+//	out, stats, err := qurk.RunQuery(eng,
+//	    `SELECT c.name FROM celeb AS c WHERE isFemale(c.img)`)
+//
+// Queries support the paper's dialect: crowd UDFs in WHERE (Filter
+// tasks), JOIN ... ON (EquiJoin tasks) with POSSIBLY feature filters
+// (Generative tasks), and ORDER BY (Rank tasks, executed by comparison,
+// rating, or the hybrid algorithm). TASK templates can also be written
+// in the paper's DSL and parsed with ParseScript.
+package qurk
+
+import (
+	"qurk/internal/adaptive"
+	"qurk/internal/combine"
+	"qurk/internal/core"
+	"qurk/internal/cost"
+	"qurk/internal/crowd"
+	"qurk/internal/dataset"
+	"qurk/internal/exec"
+	"qurk/internal/hit"
+	"qurk/internal/join"
+	"qurk/internal/plan"
+	"qurk/internal/query"
+	"qurk/internal/relation"
+	"qurk/internal/sortop"
+	"qurk/internal/stats"
+	"qurk/internal/task"
+)
+
+// --- Relational substrate ---
+
+type (
+	// Relation is an in-memory table.
+	Relation = relation.Relation
+	// Schema describes a relation's columns.
+	Schema = relation.Schema
+	// Column is one schema attribute.
+	Column = relation.Column
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Value is a dynamically typed scalar.
+	Value = relation.Value
+	// Catalog is a named table collection.
+	Catalog = relation.Catalog
+	// LoadOptions controls CSV/TSV loading.
+	LoadOptions = relation.LoadOptions
+)
+
+// Value and schema constructors.
+var (
+	NewSchema   = relation.NewSchema
+	MustSchema  = relation.MustSchema
+	NewRelation = relation.New
+	NewTuple    = relation.NewTuple
+	Text        = relation.Text
+	Int         = relation.Int
+	Float       = relation.Float
+	Bool        = relation.Bool
+	URL         = relation.URL
+	Unknown     = relation.Unknown
+	LoadFile    = relation.LoadFile
+)
+
+// Column kinds.
+const (
+	KindText  = relation.KindText
+	KindInt   = relation.KindInt
+	KindFloat = relation.KindFloat
+	KindBool  = relation.KindBool
+	KindURL   = relation.KindURL
+)
+
+// --- Task templates (paper §2.1–§2.4) ---
+
+type (
+	// Task is the common template interface.
+	Task = task.Task
+	// FilterTask is a yes/no question per tuple.
+	FilterTask = task.Filter
+	// GenerativeTask produces field values per tuple.
+	GenerativeTask = task.Generative
+	// RankTask labels the sort interfaces.
+	RankTask = task.Rank
+	// EquiJoinTask labels the join interfaces.
+	EquiJoinTask = task.EquiJoin
+	// TaskField is one generative output field.
+	TaskField = task.Field
+	// Prompt is an HTML snippet with tuple substitutions.
+	Prompt = task.Prompt
+)
+
+// Prompt and response constructors.
+var (
+	NewPrompt  = task.NewPrompt
+	MustPrompt = task.MustPrompt
+	TextInput  = task.TextInput
+	Radio      = task.Radio
+)
+
+// --- Crowd marketplace ---
+
+type (
+	// Marketplace abstracts the crowd backend.
+	Marketplace = crowd.Marketplace
+	// SimMarket is the deterministic marketplace simulator.
+	SimMarket = crowd.SimMarket
+	// MarketConfig parametrizes the simulator.
+	MarketConfig = crowd.Config
+	// Oracle supplies ground truth to the simulator.
+	Oracle = crowd.Oracle
+	// Worker is one simulated Turker.
+	Worker = crowd.Worker
+	// HIT is one posted unit of crowd work.
+	HIT = hit.HIT
+	// Assignment is one worker's completed HIT pass.
+	Assignment = hit.Assignment
+)
+
+var (
+	// NewSimMarket builds a simulated marketplace over an oracle.
+	NewSimMarket = crowd.NewSimMarket
+	// DefaultMarketConfig returns the calibrated simulator defaults.
+	DefaultMarketConfig = crowd.DefaultConfig
+)
+
+// --- Engine and query execution ---
+
+type (
+	// Engine bundles catalog, task library, marketplace, cache, and
+	// cost ledger.
+	Engine = core.Engine
+	// Options are the engine-wide execution knobs.
+	Options = core.Options
+	// Library resolves UDF names to task templates.
+	Library = core.Library
+	// ExecStats aggregates a query run's crowd spending.
+	ExecStats = exec.Stats
+	// SortMethod selects the ORDER BY implementation.
+	SortMethod = core.SortMethod
+	// Ledger accounts HIT spending in dollars.
+	Ledger = cost.Ledger
+)
+
+// Sort method constants.
+const (
+	SortCompare = core.SortCompare
+	SortRate    = core.SortRate
+	SortHybrid  = core.SortHybrid
+)
+
+var (
+	// NewEngine creates an engine over a marketplace.
+	NewEngine = core.NewEngine
+	// RunQuery parses, plans, and executes one query string.
+	RunQuery = exec.RunQuery
+	// ParseQuery parses a query without executing it.
+	ParseQuery = query.ParseQuery
+	// ParseScript parses TASK definitions plus queries.
+	ParseScript = query.ParseScript
+	// BuildPlan compiles a statement against a task library.
+	BuildPlan = plan.Build
+	// ExplainPlan renders a plan tree.
+	ExplainPlan = plan.Explain
+)
+
+// Explain parses a query and renders its plan against the engine's
+// library, like a SQL EXPLAIN (the paper's §6 "iterative debugging").
+func Explain(e *Engine, src string) (string, error) {
+	stmt, err := query.ParseQuery(src)
+	if err != nil {
+		return "", err
+	}
+	node, err := plan.Build(stmt, e.Library)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(node), nil
+}
+
+// --- Direct operator access (paper §3 and §4) ---
+
+type (
+	// JoinOptions configures a crowd join run.
+	JoinOptions = join.Options
+	// JoinAlgorithm selects Simple/Naive/Smart.
+	JoinAlgorithm = join.Algorithm
+	// JoinResult is a crowd join outcome.
+	JoinResult = join.Result
+	// JoinPair is one candidate pair.
+	JoinPair = join.Pair
+	// JoinMatch is one accepted pair with confidence.
+	JoinMatch = join.Match
+	// Feature is one POSSIBLY feature filter.
+	Feature = join.Feature
+	// ExtractOptions configures a feature-extraction pass.
+	ExtractOptions = join.ExtractOptions
+	// Extraction holds combined feature values for one relation.
+	Extraction = join.Extraction
+	// SelectionConfig holds the feature-pruning thresholds (§3.2).
+	SelectionConfig = join.SelectionConfig
+	// FeatureVerdict explains one feature's selection decision.
+	FeatureVerdict = join.FeatureVerdict
+	// FilteredJoinResult is a filtered join with extraction costs.
+	FilteredJoinResult = join.FilteredResult
+	// CompareOptions configures a comparison sort.
+	CompareOptions = sortop.CompareOptions
+	// RateOptions configures a rating sort.
+	RateOptions = sortop.RateOptions
+	// HybridOptions configures the hybrid sort.
+	HybridOptions = sortop.HybridOptions
+	// MaxOptions configures the MAX/MIN tournament.
+	MaxOptions = sortop.MaxOptions
+	// CompareResult is a comparison sort outcome.
+	CompareResult = sortop.CompareResult
+	// RateResult is a rating sort outcome.
+	RateResult = sortop.RateResult
+	// HybridResult is a hybrid sort outcome.
+	HybridResult = sortop.HybridResult
+	// WindowStrategy selects the hybrid window scheme.
+	WindowStrategy = sortop.WindowStrategy
+	// FilterOptions configures a crowd filter pass.
+	FilterOptions = core.FilterOptions
+	// Combiner merges multiple worker votes.
+	Combiner = combine.Combiner
+	// MajorityVote is the paper's default combiner.
+	MajorityVote = combine.MajorityVote
+	// QualityAdjust is the Ipeirotis et al. EM combiner.
+	QualityAdjust = combine.QualityAdjust
+)
+
+// Join algorithms.
+const (
+	SimpleJoin = join.Simple
+	NaiveJoin  = join.Naive
+	SmartJoin  = join.Smart
+)
+
+// Hybrid window strategies.
+const (
+	RandomWindow     = sortop.RandomWindow
+	ConfidenceWindow = sortop.ConfidenceWindow
+	SlidingWindow    = sortop.SlidingWindow
+)
+
+var (
+	// RunJoin executes a crowd join over explicit candidate pairs.
+	RunJoin = join.Run
+	// RunCrossJoin joins the full cross product.
+	RunCrossJoin = join.RunCross
+	// RunFilteredJoin extracts features and joins the survivors.
+	RunFilteredJoin = join.RunFiltered
+	// ExtractFeatures runs the feature-extraction linear pass.
+	ExtractFeatures = join.Extract
+	// ChooseFeatures applies the paper's three feature-pruning rules.
+	ChooseFeatures = join.ChooseFeatures
+	// FilteredPairs prunes a cross product to feature-compatible pairs.
+	FilteredPairs = join.FilteredPairs
+	// Compare runs the comparison-based sort.
+	Compare = sortop.Compare
+	// Rate runs the rating-based sort.
+	Rate = sortop.Rate
+	// Hybrid runs the rating-seeded, comparison-refined sort.
+	Hybrid = sortop.Hybrid
+	// Max runs the MAX/MIN tournament.
+	Max = sortop.Max
+	// TopK sorts and keeps the K greatest items.
+	TopK = sortop.TopK
+	// RunFilter executes a crowd filter over a relation.
+	RunFilter = core.RunFilter
+	// RunGenerative executes a generative task over a relation.
+	RunGenerative = core.RunGenerative
+	// NewQualityAdjust builds a configured QA combiner.
+	NewQualityAdjust = combine.NewQualityAdjust
+	// DefaultQAConfig is the paper's QA parametrization.
+	DefaultQAConfig = combine.DefaultQAConfig
+)
+
+// --- Metrics (paper §3.2, §4.2) ---
+
+var (
+	// KendallTauB is the τ-b rank correlation.
+	KendallTauB = stats.KendallTauB
+	// TauBetweenOrders compares two item orderings.
+	TauBetweenOrders = stats.TauBetweenOrders[int]
+	// LinearRegression fits y = a + bx with R² and p-value.
+	LinearRegression = stats.LinearRegression
+)
+
+// RatingMatrix holds categorical votes for Fleiss' κ.
+type RatingMatrix = stats.RatingMatrix
+
+// NewRatingMatrix creates an empty κ matrix.
+var NewRatingMatrix = stats.NewRatingMatrix
+
+// --- Datasets (paper §3.3.1, §4.2.1, §5) ---
+
+type (
+	// Celebrities is the celebrity join dataset.
+	Celebrities = dataset.Celebrities
+	// CelebrityConfig controls its generation.
+	CelebrityConfig = dataset.CelebrityConfig
+	// Squares is the synthetic square-sort dataset.
+	Squares = dataset.Squares
+	// Animals is the 27-item animal sort dataset.
+	Animals = dataset.Animals
+	// Movie is the end-to-end query dataset.
+	Movie = dataset.Movie
+	// MovieConfig controls its generation.
+	MovieConfig = dataset.MovieConfig
+)
+
+var (
+	NewCelebrities = dataset.NewCelebrities
+	NewSquares     = dataset.NewSquares
+	NewAnimals     = dataset.NewAnimals
+	NewMovie       = dataset.NewMovie
+
+	// The paper's task templates, ready to register.
+	IsFemaleTask     = dataset.IsFemaleTask
+	SamePersonTask   = dataset.SamePersonTask
+	GenderTask       = dataset.GenderTask
+	HairColorTask    = dataset.HairColorTask
+	SkinColorTask    = dataset.SkinColorTask
+	SquareSorterTask = dataset.SquareSorterTask
+	AnimalSizeTask   = dataset.AnimalSizeTask
+	DangerousTask    = dataset.DangerousTask
+	SaturnTask       = dataset.SaturnTask
+	AnimalInfoTask   = dataset.AnimalInfoTask
+	InSceneTask      = dataset.InSceneTask
+	NumInSceneTask   = dataset.NumInSceneTask
+	QualityTask      = dataset.QualityTask
+	// CelebrityFeatures returns the gender/hair/skin POSSIBLY filters.
+	CelebrityFeatures = dataset.CelebrityFeatures
+)
+
+// DollarCost returns the dollar cost of posting HITs at the paper's
+// pricing ($0.015 per assignment).
+func DollarCost(hits, assignmentsPerHIT int) float64 {
+	return cost.Dollars(hits, assignmentsPerHIT)
+}
+
+// --- Adaptive mechanisms (paper §6 future work, implemented) ---
+
+type (
+	// VoteConfig controls sequential per-question vote allocation.
+	VoteConfig = adaptive.VoteConfig
+	// AdaptiveFilterResult reports an adaptive filter run.
+	AdaptiveFilterResult = adaptive.AdaptiveFilterResult
+	// BatchTuneConfig bounds the batch-size binary search.
+	BatchTuneConfig = adaptive.BatchTuneConfig
+	// ProbeResult is one batch-size trial's outcome.
+	ProbeResult = adaptive.ProbeResult
+	// BudgetStage is one operator's spending options.
+	BudgetStage = adaptive.BudgetStage
+	// BudgetPlan is the whole-plan budget allocator's decision.
+	BudgetPlan = adaptive.BudgetPlan
+	// GoldScreen bans workers who fail planted gold questions.
+	GoldScreen = combine.GoldScreen
+)
+
+var (
+	// RunAdaptiveFilter spends votes only where the posterior is
+	// uncertain (§2.1, §6).
+	RunAdaptiveFilter = adaptive.RunAdaptiveFilter
+	// PosteriorMajority is P(majority answer | votes) under a uniform
+	// prior.
+	PosteriorMajority = adaptive.PosteriorMajority
+	// TuneBatchSize binary-searches the largest workable batch (§6).
+	TuneBatchSize = adaptive.TuneBatchSize
+	// FilterProbe builds a marketplace-backed probe for TuneBatchSize.
+	FilterProbe = adaptive.FilterProbe
+	// AllocateBudget fits assignment levels to a dollar budget (§6).
+	AllocateBudget = adaptive.AllocateBudget
+	// NewGoldScreen wraps a combiner with gold-standard screening (§7).
+	NewGoldScreen = combine.NewGoldScreen
+)
