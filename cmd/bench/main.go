@@ -1,0 +1,179 @@
+// Command bench runs the repository's Benchmark* suite at 1 CPU and at
+// full width, parses the results, and writes BENCH_results.json so the
+// performance trajectory (ns/op per benchmark, multi-core speedups, and
+// the paper-metric custom outputs) is tracked across changes.
+//
+// Usage:
+//
+//	go run ./cmd/bench                       # full suite → BENCH_results.json
+//	go run ./cmd/bench -bench Parallel       # only the scaling benchmarks
+//	go run ./cmd/bench -benchtime 5x -cpu 1,4,8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement at one GOMAXPROCS setting.
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Speedup compares one benchmark across its lowest and highest
+// measured CPU widths.
+type Speedup struct {
+	Name      string  `json:"name"`
+	BaseProcs int     `json:"base_procs"`
+	BaseNs    float64 `json:"base_ns_per_op"`
+	WideProcs int     `json:"wide_procs"`
+	WideNs    float64 `json:"wide_ns_per_op"`
+	Speedup   float64 `json:"speedup_x"`
+}
+
+// Report is the BENCH_results.json schema.
+type Report struct {
+	GeneratedAt string    `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	NumCPU      int       `json:"num_cpu"`
+	BenchRegex  string    `json:"bench_regex"`
+	BenchTime   string    `json:"bench_time"`
+	CPUs        string    `json:"cpus"`
+	Notes       string    `json:"notes,omitempty"`
+	Results     []Result  `json:"results"`
+	Speedups    []Speedup `json:"speedups,omitempty"`
+}
+
+// benchLine matches `BenchmarkName-8   10   123456 ns/op   1.5 metric ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+func main() {
+	benchRe := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchTime := flag.String("benchtime", "2x", "go test -benchtime value")
+	cpus := flag.String("cpu", "", "go test -cpu list (default \"1,<NumCPU>\")")
+	out := flag.String("out", "BENCH_results.json", "output JSON path")
+	notes := flag.String("notes", "", "free-form provenance note recorded in the report")
+	flag.Parse()
+	if *cpus == "" {
+		*cpus = "1"
+		// On multi-core hosts, also measure at full width so the
+		// report captures the parallel simulator's scaling.
+		if n := runtime.NumCPU(); n > 1 {
+			*cpus = "1," + strconv.Itoa(n)
+		}
+	}
+
+	// Target the root package by import path so the harness works from
+	// any directory inside the module (the Benchmark* suite lives at
+	// the module root).
+	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchtime", *benchTime, "-cpu", *cpus, "qurk"}
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: go test failed: %v\n%s\n", err, raw)
+		os.Exit(1)
+	}
+
+	report := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		BenchRegex:  *benchRe,
+		BenchTime:   *benchTime,
+		CPUs:        *cpus,
+		Notes:       *notes,
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		procs := 1
+		if m[2] != "" {
+			procs, _ = strconv.Atoi(m[2])
+		}
+		iters, _ := strconv.Atoi(m[3])
+		ns, _ := strconv.ParseFloat(m[4], 64)
+		r := Result{Name: m[1], Procs: procs, Iterations: iters, NsPerOp: ns}
+		// Custom metrics come in "<value> <unit>" pairs.
+		fields := strings.Fields(m[5])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, verr := strconv.ParseFloat(fields[i], 64)
+			if verr != nil {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		report.Results = append(report.Results, r)
+	}
+	if len(report.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	// Derive speedups: lowest vs highest CPU width per benchmark.
+	byName := map[string][]Result{}
+	var names []string
+	for _, r := range report.Results {
+		if _, seen := byName[r.Name]; !seen {
+			names = append(names, r.Name)
+		}
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	for _, name := range names {
+		rs := byName[name]
+		base, wide := rs[0], rs[0]
+		for _, r := range rs[1:] {
+			if r.Procs < base.Procs {
+				base = r
+			}
+			if r.Procs > wide.Procs {
+				wide = r
+			}
+		}
+		if wide.Procs == base.Procs || wide.NsPerOp == 0 {
+			continue
+		}
+		report.Speedups = append(report.Speedups, Speedup{
+			Name:      name,
+			BaseProcs: base.Procs,
+			BaseNs:    base.NsPerOp,
+			WideProcs: wide.Procs,
+			WideNs:    wide.NsPerOp,
+			Speedup:   base.NsPerOp / wide.NsPerOp,
+		})
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	for _, s := range report.Speedups {
+		fmt.Printf("%-40s %7.2fms @%dcpu → %7.2fms @%dcpu   %.2fx\n",
+			s.Name, s.BaseNs/1e6, s.BaseProcs, s.WideNs/1e6, s.WideProcs, s.Speedup)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *out, len(report.Results))
+}

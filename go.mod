@@ -1,0 +1,3 @@
+module qurk
+
+go 1.22

@@ -11,6 +11,7 @@ package adaptive
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"qurk/internal/combine"
 	"qurk/internal/cost"
@@ -32,6 +33,19 @@ type VoteConfig struct {
 	// 0.9): stop once P(majority answer is the popular one | votes)
 	// exceeds it under a uniform prior over the yes-rate.
 	Confidence float64
+	// Shards splits the relation into independently pipelined vote
+	// loops (default 4): while one shard combines its last round and
+	// posts the next probe, the other shards' rounds are still in
+	// flight, so marketplace latency overlaps instead of stacking.
+	// The shard count is part of the configuration — never derived
+	// from the machine — so results are identical on any core count.
+	Shards int
+	// GroupPrefix namespaces the HIT groups this run posts (default
+	// "adapt"). Per-HIT randomness derives from the group and HIT
+	// IDs, so two runs with the same prefix against one simulated
+	// market draw identical streams; give repeated runs distinct
+	// prefixes to decorrelate them.
+	GroupPrefix string
 }
 
 func (c *VoteConfig) fillDefaults() {
@@ -46,6 +60,12 @@ func (c *VoteConfig) fillDefaults() {
 	}
 	if c.Confidence == 0 {
 		c.Confidence = 0.9
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.GroupPrefix == "" {
+		c.GroupPrefix = "adapt"
 	}
 }
 
@@ -104,7 +124,9 @@ type AdaptiveFilterResult struct {
 	Decisions  []bool
 	Confidence []float64
 	VotesUsed  []int
-	// Rounds is the number of marketplace round trips.
+	// Rounds is the pipeline depth: the largest number of sequential
+	// marketplace round trips any one shard needed (shards overlap,
+	// so total posts across shards can be up to Shards× this).
 	Rounds int
 	// TotalAssignments is the spend; compare against
 	// rows × MaxVotes for the savings.
@@ -118,6 +140,14 @@ type AdaptiveFilterResult struct {
 // posterior stays below Confidence get more votes, Step at a time, up
 // to MaxVotes. Easy tuples settle cheaply; ambiguous ones get the
 // budget (the fixed-vote baseline spends MaxVotes everywhere).
+//
+// The relation is split into cfg.Shards independent vote loops running
+// concurrently: each shard issues its next probe round as soon as it
+// finishes combining its last, so one shard's round trip overlaps the
+// others' in-flight work. Within a round, votes tally via the streaming
+// path as individual HITs complete. Shard membership, group IDs, and
+// per-HIT seeds depend only on tuple index and configuration, so the
+// result is deterministic regardless of scheduling.
 func RunAdaptiveFilter(rel *relation.Relation, ft *task.Filter, cfg VoteConfig, market crowd.Marketplace) (*AdaptiveFilterResult, error) {
 	cfg.fillDefaults()
 	if err := ft.Validate(); err != nil {
@@ -133,22 +163,85 @@ func RunAdaptiveFilter(rel *relation.Relation, ft *task.Filter, cfg VoteConfig, 
 	if n == 0 {
 		return res, nil
 	}
-	yes := make([]int, n)
-	no := make([]int, n)
-	pending := make([]int, n)
-	for i := range pending {
-		pending[i] = i
-	}
-	qid := func(i int) string { return fmt.Sprintf("adapt/t%05d", i) }
 
-	round := 0
-	for len(pending) > 0 {
-		round++
+	shards := cfg.Shards
+	if shards > n {
+		shards = n
+	}
+	type shardOut struct {
+		rounds, hits, assignments int
+		err                       error
+	}
+	// cancelled stops the other shards from posting further rounds
+	// once any shard fails — against a live marketplace those rounds
+	// are real money whose results would be discarded.
+	var cancelled atomic.Bool
+	outs := make([]chan shardOut, shards)
+	for s := 0; s < shards; s++ {
+		outs[s] = make(chan shardOut, 1)
+		// Contiguous index blocks keep each shard's HIT batches as
+		// dense as the unsharded layout.
+		lo, hi := s*n/shards, (s+1)*n/shards
+		go func(s, lo, hi int) {
+			rounds, hits, assignments, err := runVoteLoop(rel, ft, cfg, market, s, lo, hi, res, &cancelled)
+			if err != nil {
+				cancelled.Store(true)
+			}
+			outs[s] <- shardOut{rounds, hits, assignments, err}
+		}(s, lo, hi)
+	}
+	// Drain every shard before returning so no goroutine is still
+	// posting when the caller sees the error.
+	var firstErr error
+	for s := 0; s < shards; s++ {
+		o := <-outs[s]
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		if o.rounds > res.Rounds {
+			res.Rounds = o.rounds
+		}
+		res.HITCount += o.hits
+		res.TotalAssignments += o.assignments
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := 0; i < n; i++ {
+		if res.Decisions[i] {
+			if err := res.Passed.Append(rel.Row(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// runVoteLoop runs the sequential vote-allocation rounds for tuple
+// indices [lo, hi). It writes only its own slice entries of res
+// (Decisions/Confidence/VotesUsed are indexed per tuple), so shards
+// never contend.
+func runVoteLoop(rel *relation.Relation, ft *task.Filter, cfg VoteConfig, market crowd.Marketplace,
+	shard, lo, hi int, res *AdaptiveFilterResult, cancelled *atomic.Bool) (rounds, hitCount, assignments int, err error) {
+	yes := make(map[int]int, hi-lo)
+	no := make(map[int]int, hi-lo)
+	pending := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		pending = append(pending, i)
+	}
+	qid := func(i int) string { return fmt.Sprintf("%s/t%05d", cfg.GroupPrefix, i) }
+
+	for len(pending) > 0 && !cancelled.Load() {
+		rounds++
 		votesThisRound := cfg.Step
-		if round == 1 {
+		if rounds == 1 {
 			votesThisRound = cfg.MinVotes
 		}
-		b := hit.NewBuilder(fmt.Sprintf("adapt/r%d", round), votesThisRound, 1)
+		groupID := fmt.Sprintf("%s/s%d/r%d", cfg.GroupPrefix, shard, rounds)
+		b := hit.NewBuilder(groupID, votesThisRound, 1)
 		questions := make([]hit.Question, 0, len(pending))
 		for _, i := range pending {
 			questions = append(questions, hit.Question{
@@ -158,34 +251,44 @@ func RunAdaptiveFilter(rel *relation.Relation, ft *task.Filter, cfg VoteConfig, 
 				Tuple: rel.Row(i),
 			})
 		}
-		hits, err := b.Merge(questions, 5)
-		if err != nil {
-			return nil, err
+		hits, merr := b.Merge(questions, 5)
+		if merr != nil {
+			return rounds, hitCount, assignments, merr
 		}
-		run, err := market.Run(&hit.Group{ID: fmt.Sprintf("adapt/r%d", round), HITs: hits})
-		if err != nil {
-			return nil, err
-		}
-		res.HITCount += len(hits)
-		res.TotalAssignments += run.TotalAssignments
-
-		byQ := map[string][]bool{}
 		qByHIT := map[string]*hit.HIT{}
 		for _, h := range hits {
 			qByHIT[h.ID] = h
 		}
-		for _, a := range run.Assignments {
-			h := qByHIT[a.HITID]
+		// Combine incrementally: vote counters update as each HIT's
+		// simulation lands, not after the whole round returns.
+		byQ := map[string][]bool{}
+		run, rerr := crowd.Stream(market, &hit.Group{ID: groupID, HITs: hits}, func(hitID string, as []hit.Assignment) {
+			h := qByHIT[hitID]
 			if h == nil {
-				continue
+				return
 			}
-			for qi, ans := range a.Answers {
-				if qi >= len(h.Questions) {
-					break
+			for _, a := range as {
+				for qi, ans := range a.Answers {
+					if qi >= len(h.Questions) {
+						break
+					}
+					byQ[h.Questions[qi].ID] = append(byQ[h.Questions[qi].ID], ans.Bool)
 				}
-				byQ[h.Questions[qi].ID] = append(byQ[h.Questions[qi].ID], ans.Bool)
 			}
+		})
+		if rerr != nil {
+			return rounds, hitCount, assignments, rerr
 		}
+		hitCount += len(hits)
+		assignments += run.TotalAssignments
+		// A round that produced no votes (e.g. the marketplace refused
+		// every HIT) will never settle its tuples — re-posting the same
+		// batch forever would hang, so surface it instead.
+		if len(byQ) == 0 {
+			return rounds, hitCount, assignments,
+				fmt.Errorf("adaptive: no votes in round %d (%d HITs refused); tuples %d..%d cannot settle", rounds, len(run.Incomplete), lo, hi-1)
+		}
+
 		var still []int
 		for _, i := range pending {
 			for _, v := range byQ[qid(i)] {
@@ -207,15 +310,7 @@ func RunAdaptiveFilter(rel *relation.Relation, ft *task.Filter, cfg VoteConfig, 
 		}
 		pending = still
 	}
-	res.Rounds = round
-	for i := 0; i < n; i++ {
-		if res.Decisions[i] {
-			if err := res.Passed.Append(rel.Row(i)); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return res, nil
+	return rounds, hitCount, assignments, nil
 }
 
 // --- Batch-size binary search (§6 "Choosing Batch Size") ---

@@ -41,6 +41,16 @@ type Combiner interface {
 	Name() string
 }
 
+// Cloner is implemented by combiners that can mint an independent
+// instance for use by a concurrent consumer. Stateful combiners
+// (QualityAdjust, GoldScreen) mutate per-Combine state, so operators
+// that overlap phases clone them instead of sharing one instance.
+type Cloner interface {
+	// CloneCombiner returns a combiner with the same configuration and
+	// no shared mutable state.
+	CloneCombiner() Combiner
+}
+
 // groupByQuestion buckets votes preserving insertion order of questions.
 func groupByQuestion(votes []Vote) (order []string, byQ map[string][]Vote) {
 	byQ = make(map[string][]Vote)
@@ -56,6 +66,9 @@ func groupByQuestion(votes []Vote) (order []string, byQ map[string][]Vote) {
 // MajorityVote returns the most popular answer per question (paper §2.1).
 // Ties break lexicographically smallest-first for determinism.
 type MajorityVote struct{}
+
+// CloneCombiner implements Cloner (MajorityVote is stateless).
+func (MajorityVote) CloneCombiner() Combiner { return MajorityVote{} }
 
 // Name implements Combiner.
 func (MajorityVote) Name() string { return "MajorityVote" }

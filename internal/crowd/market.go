@@ -2,9 +2,13 @@ package crowd
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"qurk/internal/hit"
 )
@@ -12,10 +16,81 @@ import (
 // Marketplace is the abstraction Qurk's operators post work to. The
 // simulator below implements it; a live MTurk client would too (the
 // paper's "declarative interface enables platform independence", §1).
+//
+// Concurrency contract: implementations must be safe for concurrent
+// calls from multiple operator goroutines — the executor overlaps
+// independent phases (extract-left ∥ extract-right, OR-filter branches,
+// adaptive shards) by posting groups in parallel. A conforming
+// implementation must produce results for a group that depend only on
+// the group's content (and, for the simulator, the configured seed),
+// never on the interleaving of concurrent Run calls.
 type Marketplace interface {
 	// Run posts one HIT group and blocks until every assignment
 	// completes or is refused.
 	Run(group *hit.Group) (*RunResult, error)
+	// RunAsync posts one HIT group without blocking. The returned
+	// channel is buffered and receives exactly one outcome when the
+	// group completes. Implementations that have no native async path
+	// can wrap Run with GoRun.
+	RunAsync(group *hit.Group) <-chan Async
+}
+
+// Async is the outcome RunAsync delivers.
+type Async struct {
+	Result *RunResult
+	Err    error
+}
+
+// GoRun adapts a blocking run function into the RunAsync shape; useful
+// for Marketplace implementations without a native async path.
+func GoRun(run func() (*RunResult, error)) <-chan Async {
+	ch := make(chan Async, 1)
+	go func() {
+		r, err := run()
+		ch <- Async{Result: r, Err: err}
+	}()
+	return ch
+}
+
+// StreamMarketplace is an optional extension: marketplaces that can
+// deliver per-HIT assignment batches as they complete, so callers can
+// overlap vote aggregation with in-flight simulation. deliver is called
+// serially (never concurrently with itself), possibly out of HIT order,
+// once per HIT that produced assignments. The final RunResult is
+// identical to what Run would return.
+type StreamMarketplace interface {
+	Marketplace
+	RunStream(group *hit.Group, deliver func(hitID string, as []hit.Assignment)) (*RunResult, error)
+}
+
+// Stream posts a group and feeds per-HIT results to deliver as they
+// complete, using the native streaming path when the marketplace has
+// one and falling back to a blocking Run followed by sequential
+// delivery otherwise.
+func Stream(m Marketplace, group *hit.Group, deliver func(hitID string, as []hit.Assignment)) (*RunResult, error) {
+	if sm, ok := m.(StreamMarketplace); ok {
+		return sm.RunStream(group, deliver)
+	}
+	res, err := m.Run(group)
+	if err != nil {
+		return nil, err
+	}
+	if deliver != nil {
+		// Group by HIT (without assuming the implementation returned
+		// assignments sorted) so deliver fires exactly once per HIT.
+		byHIT := map[string][]hit.Assignment{}
+		var order []string
+		for _, a := range res.Assignments {
+			if _, seen := byHIT[a.HITID]; !seen {
+				order = append(order, a.HITID)
+			}
+			byHIT[a.HITID] = append(byHIT[a.HITID], a)
+		}
+		for _, id := range order {
+			deliver(id, byHIT[id])
+		}
+	}
+	return res, nil
 }
 
 // RunResult is the outcome of posting a HIT group.
@@ -31,6 +106,16 @@ type RunResult struct {
 	MakespanHours float64
 	// TotalAssignments counts completed assignments.
 	TotalAssignments int
+}
+
+// merge appends r's outcome to out.
+func (out *RunResult) merge(r *RunResult) {
+	out.Assignments = append(out.Assignments, r.Assignments...)
+	out.Incomplete = append(out.Incomplete, r.Incomplete...)
+	out.TotalAssignments += r.TotalAssignments
+	if r.MakespanHours > out.MakespanHours {
+		out.MakespanHours = r.MakespanHours
+	}
 }
 
 // Config parametrizes the simulated marketplace.
@@ -81,6 +166,10 @@ type Config struct {
 	// GroupRampAssignments softens throughput for small groups: tiny
 	// groups are less attractive to Turkers (default 20).
 	GroupRampAssignments float64
+	// Parallelism bounds the simulation worker pool per Run (default
+	// GOMAXPROCS). Results are bit-identical at any setting; 1 forces
+	// fully sequential simulation.
+	Parallelism int
 }
 
 // DefaultConfig returns the calibrated defaults described above.
@@ -142,26 +231,34 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// SimMarket is the simulated marketplace. It is safe for concurrent Run
-// calls (a mutex serializes them so the RNG stream stays deterministic
-// given a fixed call order).
+// SimMarket is the simulated marketplace. Run, RunAsync, RunStream, and
+// RunAll are all safe for concurrent use: every HIT draws its answers
+// and latencies from a private RNG seeded by hash(Seed, groupID, hitID),
+// so results are bit-identical for a fixed seed regardless of core
+// count, scheduling order, or how many groups are in flight at once.
 type SimMarket struct {
-	mu     sync.Mutex
 	cfg    Config
 	oracle Oracle
 	pop    *Population
-	rng    *rand.Rand
+	// sem bounds concurrent HIT simulations across ALL in-flight Run
+	// calls on this market, so overlapped operator phases cannot
+	// oversubscribe the CPU to phases × GOMAXPROCS goroutines.
+	sem chan struct{}
 }
 
 // NewSimMarket builds a marketplace over the oracle's ground truth.
 func NewSimMarket(cfg Config, oracle Oracle) *SimMarket {
 	cfg.fillDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	return &SimMarket{
 		cfg:    cfg,
 		oracle: oracle,
 		pop:    NewPopulation(cfg.Population, rng),
-		rng:    rng,
+		sem:    make(chan struct{}, par),
 	}
 }
 
@@ -196,23 +293,89 @@ func effort(h *hit.HIT) float64 {
 	return e
 }
 
+// seedSalt decorrelates the per-HIT streams from the population
+// stream; the value is arbitrary (it was fixed once, when the
+// simulator's statistical calibration was validated against the
+// paper's bands).
+const seedSalt = 0
+
+// hitSeed derives the per-HIT RNG seed. Mixing through a splitmix64
+// finalizer decorrelates nearby (group, hit) pairs so adjacent HITs do
+// not share low-bit structure.
+func hitSeed(seed int64, groupID, hitID string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, groupID)
+	h.Write([]byte{0xff, seedSalt})
+	io.WriteString(h, hitID)
+	return mix64(h.Sum64() ^ uint64(seed)*0x9e3779b97f4a7c15)
+}
+
+// mix64 is the splitmix64 finalizer, shared by hitSeed and the
+// splitmix source so the two stay in lockstep.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// splitmix is a rand.Source64 over the splitmix64 generator. Seeding
+// costs one assignment — math/rand's default source burns ~10µs
+// initializing a 607-word table, which dominated the per-HIT hot path
+// when every HIT gets a private stream.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return mix64(s.state)
+}
+
+func (s *splitmix) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmix) Seed(seed int64) { s.state = uint64(seed) }
+
+// hitRNG returns the HIT's private RNG stream.
+func hitRNG(seed int64, groupID, hitID string) *rand.Rand {
+	return rand.New(&splitmix{state: hitSeed(seed, groupID, hitID)})
+}
+
+// posting is one accepted HIT with its precomputed simulation inputs.
+type posting struct {
+	h        *hit.HIT
+	slowdown float64
+	// idBase is the serial of this HIT's first assignment, fixed ahead
+	// of simulation (from the same min(assignments, available) rule
+	// SampleDistinct applies) so assignment IDs are stable under
+	// parallelism.
+	idBase int
+}
+
 // Run implements Marketplace.
 func (m *SimMarket) Run(group *hit.Group) (*RunResult, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	return m.RunStream(group, nil)
+}
+
+// RunAsync implements Marketplace.
+func (m *SimMarket) RunAsync(group *hit.Group) <-chan Async {
+	return GoRun(func() (*RunResult, error) { return m.Run(group) })
+}
+
+// RunStream implements StreamMarketplace: HITs simulate concurrently on
+// a pool bounded by Config.Parallelism (default GOMAXPROCS) and deliver
+// fires serially as each HIT completes.
+func (m *SimMarket) RunStream(group *hit.Group, deliver func(hitID string, as []hit.Assignment)) (*RunResult, error) {
 	if group == nil || len(group.HITs) == 0 {
 		return &RunResult{}, nil
 	}
 	res := &RunResult{}
 
-	// Pass 1: refusal check and total completable assignments.
-	type posting struct {
-		h        *hit.HIT
-		effort   float64
-		slowdown float64
-	}
+	// Pass 1 (sequential, cheap): refusal check, slowdowns, and the
+	// assignment-serial layout that keeps IDs stable under parallelism.
+	// Serials advance by the availability-capped per-HIT count (the
+	// exact number SampleDistinct will return); throughput uses the
+	// requested count, matching the original calibration.
+	avail := m.pop.AvailableCount()
 	var postings []posting
-	totalAssignments := 0
+	completable := 0
+	requested := 0
 	for _, h := range group.HITs {
 		if err := h.Validate(); err != nil {
 			return nil, fmt.Errorf("crowd: %w", err)
@@ -227,85 +390,162 @@ func (m *SimMarket) Run(group *hit.Group) (*RunResult, error) {
 			r := m.cfg.SlowdownEffort / e
 			slow = r * r
 		}
-		postings = append(postings, posting{h: h, effort: e, slowdown: slow})
-		totalAssignments += h.Assignments
+		workers := h.Assignments
+		if workers > avail {
+			workers = avail
+		}
+		postings = append(postings, posting{h: h, slowdown: slow, idBase: completable})
+		completable += workers
+		requested += h.Assignments
 	}
-	if totalAssignments == 0 {
+	if requested == 0 || completable == 0 {
 		return res, nil
 	}
 
 	// Group throughput: base rate scaled by time of day and by group
 	// attractiveness (small groups draw fewer Turkers, §2.6).
-	a := float64(totalAssignments)
+	a := float64(requested)
 	ramp := a / (a + m.cfg.GroupRampAssignments)
 	rate := m.cfg.AssignmentsPerHour * m.cfg.TimeOfDayFactor * ramp
 	baseMakespan := a / rate
 
-	// Pass 2: assign workers and generate answers + latencies.
 	rcfg := respondConfig{
 		ratingNoise:             m.cfg.RatingNoise,
 		rateExtraSigma:          m.cfg.RateExtraSigma,
 		combinedConfusionFactor: m.cfg.CombinedConfusionFactor,
 		unknownShare:            m.cfg.UnknownShare,
 	}
-	aid := 0
-	for _, p := range postings {
-		units := p.h.Units()
-		affinity := 1 + m.cfg.SpamBatchAffinityPerUnit*float64(units-1)
-		if affinity < 1 {
-			affinity = 1
+
+	// Pass 2 (parallel): each HIT simulates on its own RNG stream.
+	// The market-wide semaphore bounds total concurrent simulations
+	// even when several Run calls are in flight at once.
+	workers := cap(m.sem)
+	if workers > len(postings) {
+		workers = len(postings)
+	}
+	perHIT := make([][]hit.Assignment, len(postings))
+	if workers <= 1 {
+		for i := range postings {
+			m.sem <- struct{}{}
+			perHIT[i] = m.simulateHIT(group.ID, &postings[i], baseMakespan, rcfg)
+			<-m.sem
+			if deliver != nil && len(perHIT[i]) > 0 {
+				deliver(postings[i].h.ID, perHIT[i])
+			}
 		}
-		workers := m.pop.SampleDistinct(p.h.Assignments, affinity, m.rng)
-		for _, w := range workers {
-			aid++
-			asn := hit.Assignment{
-				ID:       fmt.Sprintf("%s/a%06d", group.ID, aid),
-				HITID:    p.h.ID,
-				WorkerID: w.ID,
-			}
-			for qi := range p.h.Questions {
-				q := &p.h.Questions[qi]
-				asn.Answers = append(asn.Answers, respond(w, q, m.oracle, rcfg, units, m.rng))
-				w.TasksDone++
-			}
-			// Completion time: position u on the group's completion
-			// curve, stretched through the straggler tail, divided by
-			// this HIT's slowdown.
-			u := m.rng.Float64()
-			pos := u
-			if u > 1-m.cfg.StragglerFrac {
-				pos = (1 - m.cfg.StragglerFrac) + (u-(1-m.cfg.StragglerFrac))*m.cfg.StragglerSlowdown
-			}
-			t := baseMakespan * pos / p.slowdown
-			// Small per-assignment jitter.
-			t *= 1 + 0.1*m.rng.Float64()
-			asn.SubmitHours = t
-			if t > res.MakespanHours {
-				res.MakespanHours = t
-			}
-			res.Assignments = append(res.Assignments, asn)
+	} else {
+		var next atomic.Int64
+		var deliverMu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(postings) {
+						return
+					}
+					m.sem <- struct{}{}
+					as := m.simulateHIT(group.ID, &postings[i], baseMakespan, rcfg)
+					<-m.sem
+					perHIT[i] = as
+					if deliver != nil && len(as) > 0 {
+						deliverMu.Lock()
+						deliver(postings[i].h.ID, as)
+						deliverMu.Unlock()
+					}
+				}
+			}()
 		}
+		wg.Wait()
+	}
+
+	// Assemble in posting order; max and concatenation are both
+	// independent of completion order.
+	for _, as := range perHIT {
+		for i := range as {
+			if as[i].SubmitHours > res.MakespanHours {
+				res.MakespanHours = as[i].SubmitHours
+			}
+		}
+		res.Assignments = append(res.Assignments, as...)
 	}
 	res.TotalAssignments = len(res.Assignments)
 	hit.SortAssignments(res.Assignments)
 	return res, nil
 }
 
-// RunAll posts several groups in sequence and concatenates results; a
-// convenience for operators that stage multiple phases.
+// simulateHIT generates one HIT's assignments: worker pickup, answers,
+// and completion times, all drawn from the HIT's private RNG stream.
+func (m *SimMarket) simulateHIT(groupID string, p *posting, baseMakespan float64, rcfg respondConfig) []hit.Assignment {
+	rng := hitRNG(m.cfg.Seed, groupID, p.h.ID)
+	units := p.h.Units()
+	affinity := 1 + m.cfg.SpamBatchAffinityPerUnit*float64(units-1)
+	if affinity < 1 {
+		affinity = 1
+	}
+	workers := m.pop.SampleDistinct(p.h.Assignments, affinity, rng)
+	out := make([]hit.Assignment, 0, len(workers))
+	for k, w := range workers {
+		asn := hit.Assignment{
+			ID:       fmt.Sprintf("%s/a%06d", groupID, p.idBase+k+1),
+			HITID:    p.h.ID,
+			WorkerID: w.ID,
+		}
+		for qi := range p.h.Questions {
+			q := &p.h.Questions[qi]
+			asn.Answers = append(asn.Answers, respond(w, q, m.oracle, rcfg, units, rng))
+		}
+		// One add per assignment (as documented on the field), not per
+		// question — popular Zipfian workers are sampled by many HITs
+		// at once, and per-question RMWs ping-pong their cache line
+		// across the pool.
+		atomic.AddInt64(&w.TasksDone, 1)
+		// Completion time: position u on the group's completion curve,
+		// stretched through the straggler tail, divided by this HIT's
+		// slowdown.
+		u := rng.Float64()
+		pos := u
+		if u > 1-m.cfg.StragglerFrac {
+			pos = (1 - m.cfg.StragglerFrac) + (u-(1-m.cfg.StragglerFrac))*m.cfg.StragglerSlowdown
+		}
+		t := baseMakespan * pos / p.slowdown
+		// Small per-assignment jitter.
+		t *= 1 + 0.1*rng.Float64()
+		asn.SubmitHours = t
+		out = append(out, asn)
+	}
+	return out
+}
+
+// RunAll posts several groups concurrently and concatenates results in
+// argument order; a convenience for operators that stage multiple
+// phases. Because each HIT's randomness derives only from (seed, group
+// ID, HIT ID), the concurrent execution is bit-identical to the old
+// sequential loop posting one group at a time.
 func (m *SimMarket) RunAll(groups ...*hit.Group) (*RunResult, error) {
+	if len(groups) == 1 {
+		return m.Run(groups[0])
+	}
+	chans := make([]<-chan Async, len(groups))
+	for i, g := range groups {
+		chans[i] = m.RunAsync(g)
+	}
 	out := &RunResult{}
-	for _, g := range groups {
-		r, err := m.Run(g)
-		if err != nil {
-			return nil, err
+	var firstErr error
+	for _, ch := range chans {
+		a := <-ch
+		if a.Err != nil {
+			if firstErr == nil {
+				firstErr = a.Err
+			}
+			continue
 		}
-		out.Assignments = append(out.Assignments, r.Assignments...)
-		out.Incomplete = append(out.Incomplete, r.Incomplete...)
-		out.TotalAssignments += r.TotalAssignments
-		if r.MakespanHours > out.MakespanHours {
-			out.MakespanHours = r.MakespanHours
-		}
+		out.merge(a.Result)
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

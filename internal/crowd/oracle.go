@@ -17,6 +17,12 @@ import (
 
 // Oracle supplies the latent ground truth the simulated workers perceive
 // (imperfectly). Each dataset in internal/dataset implements it.
+//
+// Concurrency contract: SimMarket simulates HITs on a worker pool, so
+// every Oracle method may be called from multiple goroutines at once.
+// Implementations must be safe for concurrent reads — immutable state
+// (the internal/dataset oracles precompute everything at construction)
+// satisfies this trivially; lazy memoization needs its own locking.
 type Oracle interface {
 	// JoinMatch reports whether two tuples denote the same entity and
 	// a difficulty in [0,1]: 0 = trivially distinguishable, 1 = workers

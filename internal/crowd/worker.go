@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 )
 
 // SpamStrategy is how a spammer minimizes effort (paper §2.1: workers
@@ -48,8 +50,9 @@ type Worker struct {
 	// fraction of the work" (§3.3.3).
 	PickupWeight float64
 	// TasksDone counts assignments completed in this simulation; used
-	// for the §3.3.3 accuracy-vs-work regression.
-	TasksDone int
+	// for the §3.3.3 accuracy-vs-work regression. Incremented
+	// atomically — HITs simulate in parallel.
+	TasksDone int64
 }
 
 // effectiveAccuracy is the worker's per-judgment accuracy on a HIT whose
@@ -80,11 +83,24 @@ func clamp01(x float64) float64 {
 	return x
 }
 
-// Population is the simulated worker pool.
+// Population is the simulated worker pool. Sampling is read-only and
+// safe for concurrent use from parallel HIT simulations: cumulative
+// pickup-weight tables are computed per (affinity, ban-version) and
+// cached, never mutated in place, so concurrent SampleDistinct calls
+// share nothing but immutable snapshots.
 type Population struct {
 	Workers []*Worker
-	cum     []float64 // cumulative pickup weights for sampling
-	banned  map[string]bool
+
+	mu     sync.RWMutex
+	banned map[string]bool
+	banVer uint64   // bumped on every Ban; invalidates cached tables
+	cums   sync.Map // cumKey → []float64, immutable once stored
+}
+
+// cumKey identifies one cached cumulative-weight table.
+type cumKey struct {
+	affinity float64
+	version  uint64
 }
 
 // PopulationConfig controls worker generation.
@@ -172,17 +188,20 @@ func NewPopulation(cfg PopulationConfig, rng *rand.Rand) *Population {
 		}
 		p.Workers[i] = w
 	}
-	p.rebuildCum(1)
 	return p
 }
 
-// rebuildCum recomputes the cumulative sampling weights. spamAffinity ≥ 1
-// multiplies spammer weights — batched HIT groups attract minimal-effort
-// workers (paper §3.3.2: "these larger, batched schemes are more
-// attractive to workers that quickly and inaccurately complete tasks").
-// Banned workers get zero weight.
-func (p *Population) rebuildCum(spamAffinity float64) {
-	p.cum = make([]float64, len(p.Workers))
+// cumFor returns the cumulative sampling-weight table for the given
+// spammer affinity (≥ 1 multiplies spammer weights — batched HIT groups
+// attract minimal-effort workers, §3.3.2). Banned workers get zero
+// weight. Tables are immutable and cached per (affinity, ban-version).
+// Caller must hold p.mu at least for reading.
+func (p *Population) cumFor(spamAffinity float64) []float64 {
+	key := cumKey{affinity: spamAffinity, version: p.banVer}
+	if v, ok := p.cums.Load(key); ok {
+		return v.([]float64)
+	}
+	cum := make([]float64, len(p.Workers))
 	total := 0.0
 	for i, w := range p.Workers {
 		weight := w.PickupWeight
@@ -193,30 +212,64 @@ func (p *Population) rebuildCum(spamAffinity float64) {
 			weight = 0
 		}
 		total += weight
-		p.cum[i] = total
+		cum[i] = total
 	}
+	p.cums.Store(key, cum)
+	return cum
 }
 
 // Ban excludes a worker from future task pickup — the paper's §6
 // suggestion to "use the output of the QA algorithm to ban Turkers found
 // to produce poor results, reducing future costs".
 func (p *Population) Ban(workerID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.banned == nil {
 		p.banned = map[string]bool{}
 	}
-	p.banned[workerID] = true
+	if !p.banned[workerID] {
+		p.banned[workerID] = true
+		p.banVer++
+		// Tables for older ban-versions are unreachable now; evict
+		// them so repeated bans don't grow the cache without bound.
+		p.cums.Range(func(k, _ any) bool {
+			if k.(cumKey).version != p.banVer {
+				p.cums.Delete(k)
+			}
+			return true
+		})
+	}
 }
 
 // Banned reports whether a worker is banned.
-func (p *Population) Banned(workerID string) bool { return p.banned[workerID] }
+func (p *Population) Banned(workerID string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.banned[workerID]
+}
 
 // BannedCount returns how many workers are banned.
-func (p *Population) BannedCount() int { return len(p.banned) }
+func (p *Population) BannedCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.banned)
+}
+
+// AvailableCount returns how many workers are eligible for pickup.
+func (p *Population) AvailableCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.Workers) - len(p.banned)
+}
 
 // SampleDistinct draws n distinct workers weighted by pickup propensity,
 // with the given spammer affinity. Banned workers are never drawn. If n
 // exceeds the available population, every unbanned worker is returned.
+// The call mutates nothing shared — concurrent samples with independent
+// RNGs are deterministic per caller.
 func (p *Population) SampleDistinct(n int, spamAffinity float64, rng *rand.Rand) []*Worker {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if n >= len(p.Workers)-len(p.banned) {
 		out := make([]*Worker, 0, len(p.Workers))
 		for _, w := range p.Workers {
@@ -226,13 +279,13 @@ func (p *Population) SampleDistinct(n int, spamAffinity float64, rng *rand.Rand)
 		}
 		return out
 	}
-	p.rebuildCum(spamAffinity)
+	cum := p.cumFor(spamAffinity)
 	chosen := make(map[int]bool, n)
 	out := make([]*Worker, 0, n)
-	total := p.cum[len(p.cum)-1]
+	total := cum[len(cum)-1]
 	for len(out) < n {
 		x := rng.Float64() * total
-		i := searchCum(p.cum, x)
+		i := searchCum(cum, x)
 		if chosen[i] || p.banned[p.Workers[i].ID] {
 			// Linear probe to the next eligible worker keeps sampling
 			// O(n) without rebuilding weights after each draw.
@@ -263,6 +316,6 @@ func searchCum(cum []float64, x float64) int {
 // experiments.
 func (p *Population) ResetTaskCounts() {
 	for _, w := range p.Workers {
-		w.TasksDone = 0
+		atomic.StoreInt64(&w.TasksDone, 0)
 	}
 }

@@ -83,21 +83,37 @@ type result struct {
 type executor struct {
 	eng   *core.Engine
 	stats *Stats
-	mu    sync.Mutex
-	seq   int
 }
 
-func (x *executor) groupID(label string) string {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	x.seq++
-	return fmt.Sprintf("%s-%d", label, x.seq)
+// groupID derives a HIT-group ID from the operator label and the plan
+// path of the operator that posts it. Plan paths are assigned
+// deterministically while walking the tree, never from a shared
+// counter, so concurrently executing operators mint identical IDs on
+// every run — a prerequisite for the simulator's per-HIT seeding to be
+// reproducible when phases overlap.
+func (x *executor) groupID(label, path string) string {
+	return fmt.Sprintf("%s@%s", label, path)
 }
 
 // RunPlan executes a plan tree.
+//
+// Against a simulated marketplace, crowd randomness derives from the
+// market seed plus content-stable HIT-group IDs, so re-running the same
+// plan on the same market reproduces the same answers (useful for
+// debugging). To sample independent crowd draws — e.g. to estimate
+// result variance — run each trial against a market with a different
+// seed.
+//
+// One caveat for hand-built plans: the engine's task cache is keyed by
+// question content, so if two concurrently executing operators pose the
+// *identical* question (same task, same tuples), which one hits the
+// other's cached answers depends on scheduling. Planner-built plans
+// never duplicate a question across concurrent operators (duplicate OR
+// disjuncts are deduplicated here); for strict determinism in API-built
+// plans that do, set Engine.Cache to nil.
 func RunPlan(e *core.Engine, node plan.Node) (*relation.Relation, *Stats, error) {
 	x := &executor{eng: e, stats: &Stats{}}
-	out := x.start(node)
+	out := x.start(node, "q")
 	r := <-out
 	if r.err != nil {
 		return nil, x.stats, r.err
@@ -105,49 +121,50 @@ func RunPlan(e *core.Engine, node plan.Node) (*relation.Relation, *Stats, error)
 	return r.rel, x.stats, nil
 }
 
-// start launches the operator goroutine for node and returns its output
-// channel.
-func (x *executor) start(node plan.Node) <-chan result {
+// start launches the operator goroutine for node at the given plan path
+// and returns its output channel.
+func (x *executor) start(node plan.Node, path string) <-chan result {
 	out := make(chan result, 1)
 	go func() {
-		rel, err := x.exec(node)
+		rel, err := x.exec(node, path)
 		out <- result{rel, err}
 	}()
 	return out
 }
 
-func (x *executor) exec(node plan.Node) (*relation.Relation, error) {
+func (x *executor) exec(node plan.Node, path string) (*relation.Relation, error) {
 	switch n := node.(type) {
 	case *plan.Scan:
 		return x.execScan(n)
 	case *plan.MachineFilter:
-		return x.execMachineFilter(n)
+		return x.execMachineFilter(n, path)
 	case *plan.CrowdFilter:
-		return x.execCrowdFilter(n)
+		return x.execCrowdFilter(n, path)
 	case *plan.CrowdFilterOr:
-		return x.execCrowdFilterOr(n)
+		return x.execCrowdFilterOr(n, path)
 	case *plan.UnaryPossibly:
-		return x.execUnaryPossibly(n)
+		return x.execUnaryPossibly(n, path)
 	case *plan.CrowdJoin:
-		return x.execCrowdJoin(n)
+		return x.execCrowdJoin(n, path)
 	case *plan.Generate:
-		return x.execGenerate(n)
+		return x.execGenerate(n, path)
 	case *plan.CrowdOrderBy:
-		return x.execCrowdOrderBy(n)
+		return x.execCrowdOrderBy(n, path)
 	case *plan.MachineOrderBy:
-		return x.execMachineOrderBy(n)
+		return x.execMachineOrderBy(n, path)
 	case *plan.Project:
-		return x.execProject(n)
+		return x.execProject(n, path)
 	case *plan.Limit:
-		return x.execLimit(n)
+		return x.execLimit(n, path)
 	default:
 		return nil, fmt.Errorf("exec: unknown plan node %T", node)
 	}
 }
 
-// input runs the child subtree (its own goroutine chain).
-func (x *executor) input(child plan.Node) (*relation.Relation, error) {
-	r := <-x.start(child)
+// input runs the child subtree (its own goroutine chain) one path
+// segment below the caller.
+func (x *executor) input(child plan.Node, path string) (*relation.Relation, error) {
+	r := <-x.start(child, path+".i")
 	return r.rel, r.err
 }
 
@@ -159,8 +176,8 @@ func (x *executor) execScan(n *plan.Scan) (*relation.Relation, error) {
 	return rel.Qualify(n.Binding()), nil
 }
 
-func (x *executor) execMachineFilter(n *plan.MachineFilter) (*relation.Relation, error) {
-	in, err := x.input(n.Input)
+func (x *executor) execMachineFilter(n *plan.MachineFilter, path string) (*relation.Relation, error) {
+	in, err := x.input(n.Input, path)
 	if err != nil {
 		return nil, err
 	}
@@ -179,8 +196,8 @@ func (x *executor) execMachineFilter(n *plan.MachineFilter) (*relation.Relation,
 	return out, nil
 }
 
-func (x *executor) execCrowdFilter(n *plan.CrowdFilter) (*relation.Relation, error) {
-	in, err := x.input(n.Input)
+func (x *executor) execCrowdFilter(n *plan.CrowdFilter, path string) (*relation.Relation, error) {
+	in, err := x.input(n.Input, path)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +209,7 @@ func (x *executor) execCrowdFilter(n *plan.CrowdFilter) (*relation.Relation, err
 		BatchSize:   x.eng.Options.FilterBatch,
 		Assignments: x.eng.Options.Assignments,
 		Combiner:    comb,
-		GroupID:     x.groupID("filter/" + n.Task.Name),
+		GroupID:     x.groupID("filter/"+n.Task.Name, path),
 		Negate:      n.Negate,
 		Cache:       x.eng.Cache,
 	}
@@ -204,45 +221,72 @@ func (x *executor) execCrowdFilter(n *plan.CrowdFilter) (*relation.Relation, err
 	return res.Passed, nil
 }
 
-func (x *executor) execCrowdFilterOr(n *plan.CrowdFilterOr) (*relation.Relation, error) {
-	in, err := x.input(n.Input)
-	if err != nil {
-		return nil, err
-	}
-	comb, err := x.eng.Combiner()
+func (x *executor) execCrowdFilterOr(n *plan.CrowdFilterOr, path string) (*relation.Relation, error) {
+	in, err := x.input(n.Input, path)
 	if err != nil {
 		return nil, err
 	}
 	// Disjuncts post in parallel (paper §2.5); a tuple passes if any
-	// branch accepts it.
+	// branch accepts it. Group IDs are fixed before launch so the
+	// branches' HIT seeds do not depend on goroutine scheduling, and
+	// each branch gets its own combiner instance — QualityAdjust is
+	// stateful and must not be shared across concurrent Combine calls.
+	// Duplicate disjuncts (same task, same negation) run once and
+	// share the result: concurrent identical branches would otherwise
+	// race on the task cache, making reruns timing-dependent.
 	type branchOut struct {
 		res *core.FilterResult
 		err error
 	}
+	firstOf := map[string]int{}
+	dupOf := make([]int, len(n.Branches))
 	outs := make([]chan branchOut, len(n.Branches))
 	for i := range n.Branches {
+		sig := fmt.Sprintf("%s|%v", n.Branches[i].Name, n.Negates[i])
+		if first, dup := firstOf[sig]; dup {
+			dupOf[i] = first
+			continue
+		}
+		firstOf[sig] = i
+		dupOf[i] = i
+		comb, err := x.eng.Combiner()
+		if err != nil {
+			return nil, err
+		}
+		opts := core.FilterOptions{
+			BatchSize:   x.eng.Options.FilterBatch,
+			Assignments: x.eng.Options.Assignments,
+			Combiner:    comb,
+			GroupID:     x.groupID("filter-or/"+n.Branches[i].Name, fmt.Sprintf("%s.b%d", path, i)),
+			Negate:      n.Negates[i],
+			Cache:       x.eng.Cache,
+		}
 		outs[i] = make(chan branchOut, 1)
-		go func(i int) {
-			opts := core.FilterOptions{
-				BatchSize:   x.eng.Options.FilterBatch,
-				Assignments: x.eng.Options.Assignments,
-				Combiner:    comb,
-				GroupID:     x.groupID("filter-or/" + n.Branches[i].Name),
-				Negate:      n.Negates[i],
-				Cache:       x.eng.Cache,
-			}
+		go func(i int, opts core.FilterOptions) {
 			res, err := core.RunFilter(in, n.Branches[i], opts, x.eng.Market)
 			outs[i] <- branchOut{res, err}
-		}(i)
+		}(i, opts)
 	}
 	accepted := make([]bool, in.Len())
+	results := make([]*core.FilterResult, len(n.Branches))
 	for i := range outs {
+		if dupOf[i] != i {
+			continue
+		}
 		b := <-outs[i]
 		if b.err != nil {
 			return nil, b.err
 		}
-		x.account(fmt.Sprintf("%s[%d]", n.Label(), i), b.res.HITCount, b.res.AssignmentCount, b.res.MakespanHours)
-		for j, d := range b.res.Decisions {
+		results[i] = b.res
+	}
+	for i := range n.Branches {
+		b := results[dupOf[i]]
+		if dupOf[i] != i {
+			x.stats.add(OpStat{Label: fmt.Sprintf("%s[%d] = [%d] (duplicate disjunct)", n.Label(), i, dupOf[i])})
+			continue
+		}
+		x.account(fmt.Sprintf("%s[%d]", n.Label(), i), b.HITCount, b.AssignmentCount, b.MakespanHours)
+		for j, d := range b.Decisions {
 			if d {
 				accepted[j] = true
 			}
@@ -259,15 +303,15 @@ func (x *executor) execCrowdFilterOr(n *plan.CrowdFilterOr) (*relation.Relation,
 	return out, nil
 }
 
-func (x *executor) execUnaryPossibly(n *plan.UnaryPossibly) (*relation.Relation, error) {
-	in, err := x.input(n.Input)
+func (x *executor) execUnaryPossibly(n *plan.UnaryPossibly, path string) (*relation.Relation, error) {
+	in, err := x.input(n.Input, path)
 	if err != nil {
 		return nil, err
 	}
 	res, err := core.RunGenerative(in, n.Task, core.GenerativeOptions{
 		BatchSize:   x.eng.Options.ExtractBatch,
 		Assignments: x.eng.Options.Assignments,
-		GroupID:     x.groupID("possibly/" + n.Task.Name),
+		GroupID:     x.groupID("possibly/"+n.Task.Name, path),
 		Fields:      []string{n.Field},
 	}, x.eng.Market)
 	if err != nil {
@@ -330,11 +374,11 @@ func parseLooseInt(s string) (int, error) {
 	return strconv.Atoi(s)
 }
 
-func (x *executor) execCrowdJoin(n *plan.CrowdJoin) (*relation.Relation, error) {
+func (x *executor) execCrowdJoin(n *plan.CrowdJoin, path string) (*relation.Relation, error) {
 	// Left and right subtrees execute concurrently (paper §2.5's
 	// pipelined, left-deep execution).
-	leftCh := x.start(n.Left)
-	rightCh := x.start(n.Right)
+	leftCh := x.start(n.Left, path+".l")
+	rightCh := x.start(n.Right, path+".r")
 	lr := <-leftCh
 	if lr.err != nil {
 		return nil, lr.err
@@ -356,7 +400,7 @@ func (x *executor) execCrowdJoin(n *plan.CrowdJoin) (*relation.Relation, error) 
 		GridCols:    x.eng.Options.GridCols,
 		Assignments: x.eng.Options.Assignments,
 		Combiner:    comb,
-		GroupID:     x.groupID("join/" + n.Task.Name),
+		GroupID:     x.groupID("join/"+n.Task.Name, path),
 		Cache:       x.eng.Cache,
 	}
 	if len(n.LeftFeatures) == 0 {
@@ -367,30 +411,46 @@ func (x *executor) execCrowdJoin(n *plan.CrowdJoin) (*relation.Relation, error) 
 		x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
 		return res.Joined, nil
 	}
+	// The two extraction passes are independent linear scans; they post
+	// concurrently and their spending is accounted left-then-right once
+	// both complete, so Stats stay deterministic. Each side gets its
+	// own combiner instance — QualityAdjust is stateful and must not
+	// be shared across the concurrent Combine calls.
+	lcomb, err := x.eng.Combiner()
+	if err != nil {
+		return nil, err
+	}
+	rcomb, err := x.eng.Combiner()
+	if err != nil {
+		return nil, err
+	}
 	extOpts := join.ExtractOptions{
 		Combined:    x.eng.Options.ExtractCombined,
 		BatchSize:   x.eng.Options.ExtractBatch,
 		Assignments: x.eng.Options.Assignments,
-		Combiner:    comb,
 	}
 	lo := extOpts
-	lo.GroupID = x.groupID("extract-left/" + n.Task.Name)
-	le, err := join.Extract(left, n.LeftFeatures, lo, x.eng.Market)
-	if err != nil {
-		return nil, err
-	}
-	x.account("extract-left", le.HITCount, le.AssignmentCount, 0)
+	lo.Combiner = lcomb
+	lo.GroupID = x.groupID("extract-left/"+n.Task.Name, path+".xl")
 	ro := extOpts
-	ro.GroupID = x.groupID("extract-right/" + n.Task.Name)
-	re, err := join.Extract(right, n.RightFeatures, ro, x.eng.Market)
+	ro.Combiner = rcomb
+	ro.GroupID = x.groupID("extract-right/"+n.Task.Name, path+".xr")
+	le, re, err := join.ExtractBoth(left, right, n.LeftFeatures, n.RightFeatures, lo, ro, x.eng.Market)
+	// Account whichever sides completed even when the other failed —
+	// those HITs were spent regardless.
+	if le != nil {
+		x.account("extract-left", le.HITCount, le.AssignmentCount, 0)
+	}
+	if re != nil {
+		x.account("extract-right", re.HITCount, re.AssignmentCount, 0)
+	}
 	if err != nil {
 		return nil, err
 	}
-	x.account("extract-right", re.HITCount, re.AssignmentCount, 0)
 
 	features := n.LeftFeatures
 	if x.eng.Options.AutoSelectFeatures {
-		kept, err := x.selectFeatures(n, left, right, le, re, jopts)
+		kept, err := x.selectFeatures(n, left, right, le, re, jopts, path)
 		if err != nil {
 			return nil, err
 		}
@@ -400,8 +460,7 @@ func (x *executor) execCrowdJoin(n *plan.CrowdJoin) (*relation.Relation, error) 
 	for i, f := range features {
 		names[i] = f.Field
 	}
-	pairs := join.FilteredPairs(left, right, le, re, names)
-	res, err := join.Run(pairs, n.Task, jopts, x.eng.Market)
+	res, err := join.RunSeq(join.FilteredSeq(left, right, le, re, names), n.Task, jopts, x.eng.Market)
 	if err != nil {
 		return nil, err
 	}
@@ -414,7 +473,7 @@ func (x *executor) execCrowdJoin(n *plan.CrowdJoin) (*relation.Relation, error) 
 // supplies reference matches, and ChooseFeatures applies the paper's
 // three discard rules (κ ambiguity, result loss, selectivity).
 func (x *executor) selectFeatures(n *plan.CrowdJoin, left, right *relation.Relation,
-	le, re *join.Extraction, jopts join.Options) ([]join.Feature, error) {
+	le, re *join.Extraction, jopts join.Options, path string) ([]join.Feature, error) {
 	cfg := x.eng.Options.FeatureSelection
 	if cfg.SampleFrac == 0 {
 		cfg.SampleFrac = 0.15
@@ -425,7 +484,7 @@ func (x *executor) selectFeatures(n *plan.CrowdJoin, left, right *relation.Relat
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sample := join.SamplePairs(left, right, cfg.SampleFrac, rng)
 	sopts := jopts
-	sopts.GroupID = x.groupID("select-sample/" + n.Task.Name)
+	sopts.GroupID = x.groupID("select-sample/"+n.Task.Name, path+".fs")
 	sres, err := join.Run(sample, n.Task, sopts, x.eng.Market)
 	if err != nil {
 		return nil, err
@@ -447,15 +506,15 @@ func (x *executor) selectFeatures(n *plan.CrowdJoin, left, right *relation.Relat
 	return kept, nil
 }
 
-func (x *executor) execGenerate(n *plan.Generate) (*relation.Relation, error) {
-	in, err := x.input(n.Input)
+func (x *executor) execGenerate(n *plan.Generate, path string) (*relation.Relation, error) {
+	in, err := x.input(n.Input, path)
 	if err != nil {
 		return nil, err
 	}
 	res, err := core.RunGenerative(in, n.Task, core.GenerativeOptions{
 		BatchSize:   x.eng.Options.GenerativeBatch,
 		Assignments: x.eng.Options.Assignments,
-		GroupID:     x.groupID("generate/" + n.Task.Name),
+		GroupID:     x.groupID("generate/"+n.Task.Name, path),
 		Fields:      n.Fields,
 	}, x.eng.Market)
 	if err != nil {
@@ -465,8 +524,8 @@ func (x *executor) execGenerate(n *plan.Generate) (*relation.Relation, error) {
 	return res.Output, nil
 }
 
-func (x *executor) execCrowdOrderBy(n *plan.CrowdOrderBy) (*relation.Relation, error) {
-	in, err := x.input(n.Input)
+func (x *executor) execCrowdOrderBy(n *plan.CrowdOrderBy, path string) (*relation.Relation, error) {
+	in, err := x.input(n.Input, path)
 	if err != nil {
 		return nil, err
 	}
@@ -497,14 +556,14 @@ func (x *executor) execCrowdOrderBy(n *plan.CrowdOrderBy) (*relation.Relation, e
 	sort.SliceStable(groups, func(a, b int) bool { return groups[a].key < groups[b].key })
 
 	out := relation.New(in.Name(), in.Schema())
-	for _, g := range groups {
+	for gi, g := range groups {
 		sub := relation.New(in.Name(), in.Schema())
 		for _, ri := range g.rows {
 			if err := sub.Append(in.Row(ri)); err != nil {
 				return nil, err
 			}
 		}
-		order, err := x.crowdSort(sub, n)
+		order, err := x.crowdSort(sub, n, fmt.Sprintf("%s.g%d", path, gi))
 		if err != nil {
 			return nil, err
 		}
@@ -523,7 +582,7 @@ func (x *executor) execCrowdOrderBy(n *plan.CrowdOrderBy) (*relation.Relation, e
 }
 
 // crowdSort orders one group's rows with the configured sort method.
-func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy) ([]int, error) {
+func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy, path string) ([]int, error) {
 	if sub.Len() == 1 {
 		return []int{0}, nil
 	}
@@ -533,7 +592,7 @@ func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy) ([]in
 		res, err := sortop.Compare(sub, n.Task, sortop.CompareOptions{
 			GroupSize:   opts.CompareGroupSize,
 			Assignments: opts.Assignments,
-			GroupID:     x.groupID("sort-compare/" + n.Task.Name),
+			GroupID:     x.groupID("sort-compare/"+n.Task.Name, path),
 			Seed:        opts.Seed,
 		}, x.eng.Market)
 		if err != nil {
@@ -545,7 +604,7 @@ func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy) ([]in
 		res, err := sortop.Rate(sub, n.Task, sortop.RateOptions{
 			BatchSize:   opts.RateBatch,
 			Assignments: opts.Assignments,
-			GroupID:     x.groupID("sort-rate/" + n.Task.Name),
+			GroupID:     x.groupID("sort-rate/"+n.Task.Name, path),
 			Seed:        opts.Seed,
 		}, x.eng.Market)
 		if err != nil {
@@ -565,7 +624,7 @@ func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy) ([]in
 				Assignments: opts.Assignments,
 				Seed:        opts.Seed,
 			},
-			GroupID: x.groupID("sort-hybrid/" + n.Task.Name),
+			GroupID: x.groupID("sort-hybrid/"+n.Task.Name, path),
 			Seed:    opts.Seed,
 		}, x.eng.Market)
 		if err != nil {
@@ -578,8 +637,8 @@ func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy) ([]in
 	}
 }
 
-func (x *executor) execMachineOrderBy(n *plan.MachineOrderBy) (*relation.Relation, error) {
-	in, err := x.input(n.Input)
+func (x *executor) execMachineOrderBy(n *plan.MachineOrderBy, path string) (*relation.Relation, error) {
+	in, err := x.input(n.Input, path)
 	if err != nil {
 		return nil, err
 	}
@@ -603,8 +662,8 @@ func (x *executor) execMachineOrderBy(n *plan.MachineOrderBy) (*relation.Relatio
 	}), nil
 }
 
-func (x *executor) execProject(n *plan.Project) (*relation.Relation, error) {
-	in, err := x.input(n.Input)
+func (x *executor) execProject(n *plan.Project, path string) (*relation.Relation, error) {
+	in, err := x.input(n.Input, path)
 	if err != nil {
 		return nil, err
 	}
@@ -639,8 +698,8 @@ func (x *executor) execProject(n *plan.Project) (*relation.Relation, error) {
 	return out, nil
 }
 
-func (x *executor) execLimit(n *plan.Limit) (*relation.Relation, error) {
-	in, err := x.input(n.Input)
+func (x *executor) execLimit(n *plan.Limit, path string) (*relation.Relation, error) {
+	in, err := x.input(n.Input, path)
 	if err != nil {
 		return nil, err
 	}

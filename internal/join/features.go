@@ -3,6 +3,7 @@ package join
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 
 	"qurk/internal/combine"
@@ -290,17 +291,27 @@ func PairPasses(le, re *Extraction, left, right relation.Tuple, features []strin
 	return true
 }
 
-// FilteredPairs prunes the cross product to feature-compatible pairs.
-func FilteredPairs(left, right *relation.Relation, le, re *Extraction, features []string) []Pair {
-	var pairs []Pair
-	for i := 0; i < left.Len(); i++ {
-		for j := 0; j < right.Len(); j++ {
-			if PairPasses(le, re, left.Row(i), right.Row(j), features) {
-				pairs = append(pairs, Pair{LeftIndex: i, RightIndex: j, Left: left.Row(i), Right: right.Row(j)})
+// FilteredSeq streams the feature-compatible subset of the cross
+// product in row-major order, without materializing the O(|R|·|S|)
+// candidate slice — survivors flow straight into HIT batching.
+func FilteredSeq(left, right *relation.Relation, le, re *Extraction, features []string) PairSeq {
+	return func(yield func(Pair) bool) {
+		for i := 0; i < left.Len(); i++ {
+			for j := 0; j < right.Len(); j++ {
+				if PairPasses(le, re, left.Row(i), right.Row(j), features) {
+					if !yield(Pair{LeftIndex: i, RightIndex: j, Left: left.Row(i), Right: right.Row(j)}) {
+						return
+					}
+				}
 			}
 		}
 	}
-	return pairs
+}
+
+// FilteredPairs prunes the cross product to feature-compatible pairs.
+// Prefer FilteredSeq for large inputs; this materializes the slice.
+func FilteredPairs(left, right *relation.Relation, le, re *Extraction, features []string) []Pair {
+	return CollectPairs(FilteredSeq(left, right, le, re, features))
 }
 
 // EmpiricalSelectivity returns the fraction of cross-product pairs that
@@ -311,7 +322,12 @@ func EmpiricalSelectivity(left, right *relation.Relation, le, re *Extraction, fe
 	if total == 0 {
 		return 0
 	}
-	return float64(len(FilteredPairs(left, right, le, re, features))) / float64(total)
+	survivors := 0
+	FilteredSeq(left, right, le, re, features)(func(Pair) bool {
+		survivors++
+		return true
+	})
+	return float64(survivors) / float64(total)
 }
 
 // SelectionConfig holds the thresholds for automatic feature selection
@@ -428,18 +444,32 @@ func ChooseFeatures(left, right *relation.Relation, le, re *Extraction,
 
 // SamplePairs draws a uniform sample of the cross product for selection
 // estimates (paper §3.2 runs filters "on a small sample of the data
-// set").
+// set"). Reservoir sampling over the streamed cross product keeps
+// memory at O(sample) instead of O(|R|·|S|).
 func SamplePairs(left, right *relation.Relation, frac float64, rng *rand.Rand) []Pair {
-	all := CrossPairs(left, right)
-	if frac >= 1 {
-		return all
+	total := left.Len() * right.Len()
+	if total == 0 {
+		return nil
 	}
-	n := int(frac * float64(len(all)))
+	if frac >= 1 {
+		return CrossPairs(left, right)
+	}
+	n := int(frac * float64(total))
 	if n < 1 {
 		n = 1
 	}
-	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
-	return all[:n]
+	reservoir := make([]Pair, 0, n)
+	seen := 0
+	CrossSeq(left, right)(func(p Pair) bool {
+		if len(reservoir) < n {
+			reservoir = append(reservoir, p)
+		} else if j := rng.Intn(seen + 1); j < n {
+			reservoir[j] = p
+		}
+		seen++
+		return true
+	})
+	return reservoir
 }
 
 // FilteredResult reports a filtered join run with its extraction costs.
@@ -459,20 +489,77 @@ type FilteredResult struct {
 // Table 2 and Table 5.
 func (r *FilteredResult) TotalHITs() int { return r.ExtractionHITs + r.Result.HITCount }
 
-// RunFiltered extracts features on both tables, prunes the cross product,
-// and runs the join on the survivors (paper §3.2's full pipeline).
+// ExtractBoth runs the feature-extraction linear passes for the two
+// sides of a join concurrently — they are independent HIT groups, so
+// overlapping them halves the extraction phase's wall clock (§2.5's
+// pipelined execution). If both sides were handed the same combiner
+// instance, the right side gets a clone (combine.Cloner); a shared
+// stateful combiner that cannot be cloned forces the passes to run
+// sequentially rather than race on its state.
+func ExtractBoth(left, right *relation.Relation, leftFeatures, rightFeatures []Feature,
+	lo, ro ExtractOptions, market crowd.Marketplace) (*Extraction, *Extraction, error) {
+	if sameCombinerInstance(lo.Combiner, ro.Combiner) {
+		if c, ok := lo.Combiner.(combine.Cloner); ok {
+			ro.Combiner = c.CloneCombiner()
+		} else {
+			le, lerr := Extract(left, leftFeatures, lo, market)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			re, rerr := Extract(right, rightFeatures, ro, market)
+			// Keep the completed left side alongside the error so its
+			// spend is still accountable, matching the concurrent path.
+			return le, re, rerr
+		}
+	}
+	type out struct {
+		ext *Extraction
+		err error
+	}
+	lch := make(chan out, 1)
+	go func() {
+		ext, err := Extract(left, leftFeatures, lo, market)
+		lch <- out{ext, err}
+	}()
+	re, rerr := Extract(right, rightFeatures, ro, market)
+	l := <-lch
+	// On error, the side that completed is still returned alongside
+	// the error so callers can account the HITs it already spent.
+	err := l.err
+	if err == nil {
+		err = rerr
+	}
+	return l.ext, re, err
+}
+
+// sameCombinerInstance reports whether a and b are one shared mutable
+// combiner. Only pointer-shaped combiners can share state; value
+// combiners (MajorityVote) are stateless copies by construction.
+func sameCombinerInstance(a, b combine.Combiner) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	va := reflect.ValueOf(a)
+	if va.Kind() != reflect.Pointer {
+		return false
+	}
+	vb := reflect.ValueOf(b)
+	return vb.Kind() == reflect.Pointer && va.Pointer() == vb.Pointer()
+}
+
+// RunFiltered extracts features on both tables (concurrently), prunes
+// the cross product, and runs the join on the streamed survivors
+// (paper §3.2's full pipeline). A single stateful extOpts.Combiner is
+// safe: ExtractBoth clones it per side (or serializes the passes when
+// it cannot be cloned).
 func RunFiltered(left, right *relation.Relation, jt *task.EquiJoin,
 	features []Feature, extOpts ExtractOptions, joinOpts Options,
 	market crowd.Marketplace) (*FilteredResult, error) {
 	lo := extOpts
 	lo.GroupID = joinOpts.GroupID + "/extract-left"
-	le, err := Extract(left, features, lo, market)
-	if err != nil {
-		return nil, err
-	}
 	ro := extOpts
 	ro.GroupID = joinOpts.GroupID + "/extract-right"
-	re, err := Extract(right, features, ro, market)
+	le, re, err := ExtractBoth(left, right, features, features, lo, ro, market)
 	if err != nil {
 		return nil, err
 	}
@@ -480,15 +567,14 @@ func RunFiltered(left, right *relation.Relation, jt *task.EquiJoin,
 	for i, f := range features {
 		names[i] = f.Field
 	}
-	pairs := FilteredPairs(left, right, le, re, names)
-	res, err := Run(pairs, jt, joinOpts, market)
+	res, err := RunSeq(FilteredSeq(left, right, le, re, names), jt, joinOpts, market)
 	if err != nil {
 		return nil, err
 	}
 	return &FilteredResult{
 		Result:           res,
 		ExtractionHITs:   le.HITCount + re.HITCount,
-		SavedComparisons: left.Len()*right.Len() - len(pairs),
+		SavedComparisons: left.Len()*right.Len() - res.Candidates,
 		FeaturesUsed:     names,
 		LeftExtraction:   le,
 		RightExtraction:  re,

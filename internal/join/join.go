@@ -95,6 +95,48 @@ func (p Pair) Key() string {
 	return fmt.Sprintf("pair:%x|%x", p.Left.Key(), p.Right.Key())
 }
 
+// PairSeq streams candidate pairs to a consumer: it calls yield for each
+// pair in a deterministic order and stops early if yield returns false.
+// Sequences let the join batch HITs straight off pair generation instead
+// of materializing O(|R|·|S|) slices first.
+type PairSeq func(yield func(Pair) bool)
+
+// SliceSeq adapts an explicit pair list to a PairSeq.
+func SliceSeq(pairs []Pair) PairSeq {
+	return func(yield func(Pair) bool) {
+		for _, p := range pairs {
+			if !yield(p) {
+				return
+			}
+		}
+	}
+}
+
+// CollectPairs materializes a sequence (tests and small inputs).
+func CollectPairs(seq PairSeq) []Pair {
+	var out []Pair
+	seq(func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// CrossSeq streams the full cross product in row-major order — the
+// block nested loop the paper describes (§3.1) without the O(|R|·|S|)
+// slice.
+func CrossSeq(left, right *relation.Relation) PairSeq {
+	return func(yield func(Pair) bool) {
+		for i := 0; i < left.Len(); i++ {
+			for j := 0; j < right.Len(); j++ {
+				if !yield(Pair{LeftIndex: i, RightIndex: j, Left: left.Row(i), Right: right.Row(j)}) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // Result is the outcome of a crowd join.
 type Result struct {
 	// Matches are the pairs the combiner accepted.
@@ -126,60 +168,101 @@ type Match struct {
 	Votes      int
 }
 
-// CrossPairs enumerates the full cross product of candidate pairs — the
-// block nested loop the paper describes (§3.1: "Qurk implements a block
-// nested loop join").
+// CrossPairs enumerates the full cross product of candidate pairs.
+// Prefer CrossSeq for large inputs; this materializes the slice.
 func CrossPairs(left, right *relation.Relation) []Pair {
 	pairs := make([]Pair, 0, left.Len()*right.Len())
-	for i := 0; i < left.Len(); i++ {
-		for j := 0; j < right.Len(); j++ {
-			pairs = append(pairs, Pair{LeftIndex: i, RightIndex: j, Left: left.Row(i), Right: right.Row(j)})
-		}
-	}
+	CrossSeq(left, right)(func(p Pair) bool {
+		pairs = append(pairs, p)
+		return true
+	})
 	return pairs
 }
 
 // Run executes the crowd join over an explicit candidate pair list.
-// Most callers use RunCross (full cross product) or feature filtering's
-// RunFiltered.
+// Most callers use RunCross (full cross product), RunSeq (streamed
+// candidates), or feature filtering's RunFiltered.
 func Run(candidates []Pair, jt *task.EquiJoin, opts Options, market crowd.Marketplace) (*Result, error) {
+	return RunSeq(SliceSeq(candidates), jt, opts, market)
+}
+
+// RunSeq executes the crowd join over a streamed candidate sequence,
+// batching questions into HITs as pairs arrive so the candidate set is
+// never materialized as a separate slice before HIT generation.
+func RunSeq(candidates PairSeq, jt *task.EquiJoin, opts Options, market crowd.Marketplace) (*Result, error) {
 	opts.fillDefaults()
 	if err := jt.Validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{Candidates: len(candidates)}
-	if len(candidates) == 0 {
-		res.Joined = relation.New("join", nil)
-		return res, nil
+	res := &Result{}
+
+	// byKey/order dedup pairs for the decision mapping, filled while
+	// streaming candidates into HIT batches. Key strings dominate this
+	// bookkeeping's footprint and are needed for dedup regardless;
+	// retaining the Pair alongside avoids re-generating the whole
+	// sequence (a second full PairPasses sweep for filtered joins)
+	// after the marketplace round trip.
+	byKey := map[string]Pair{}
+	var order []string
+	note := func(p Pair) {
+		res.Candidates++
+		k := p.Key()
+		if _, dup := byKey[k]; !dup {
+			order = append(order, k)
+		}
+		byKey[k] = p
 	}
 
-	// Build HITs per algorithm.
+	// Build HITs per algorithm, streaming off the sequence.
 	b := hit.NewBuilder(opts.GroupID, opts.Assignments, 1)
 	var hits []*hit.HIT
 	var err error
 	switch opts.Algorithm {
 	case Simple, Naive:
 		batch := 1
-		if opts.Algorithm == Naive {
+		if opts.Algorithm == Naive && opts.BatchSize > 1 {
 			batch = opts.BatchSize
 		}
-		qs := make([]hit.Question, len(candidates))
-		for i, p := range candidates {
-			qs[i] = hit.Question{
+		chunk := make([]hit.Question, 0, batch)
+		flush := func() error {
+			if len(chunk) == 0 {
+				return nil
+			}
+			hs, merr := b.Merge(chunk, batch)
+			if merr != nil {
+				return merr
+			}
+			hits = append(hits, hs...)
+			chunk = chunk[:0]
+			return nil
+		}
+		candidates(func(p Pair) bool {
+			note(p)
+			chunk = append(chunk, hit.Question{
 				ID:   p.Key(),
 				Kind: hit.JoinPairQ,
 				Task: jt.Name,
 				Left: p.Left, Right: p.Right,
+			})
+			if len(chunk) == batch {
+				err = flush()
 			}
+			return err == nil
+		})
+		if err == nil {
+			err = flush()
 		}
-		hits, err = b.Merge(qs, batch)
 	case Smart:
-		hits, err = smartHITs(b, candidates, jt.Name, opts.GridRows, opts.GridCols)
+		hits, err = smartHITs(b, candidates, note, jt.Name, opts.GridRows, opts.GridCols)
 	default:
 		return nil, fmt.Errorf("join: unknown algorithm %v", opts.Algorithm)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if res.Candidates == 0 {
+		res.Joined = relation.New("join", nil)
+		return res, nil
 	}
 	res.HITCount = len(hits)
 
@@ -196,19 +279,10 @@ func Run(candidates []Pair, jt *task.EquiJoin, opts Options, market crowd.Market
 	// Collect votes per pair.
 	res.Votes = collectVotes(hits, run.Assignments)
 
-	// Combine and keep accepted pairs.
+	// Combine and keep accepted pairs in first-appearance order.
 	decisions, err := opts.Combiner.Combine(res.Votes)
 	if err != nil {
 		return nil, err
-	}
-	byKey := make(map[string]Pair, len(candidates))
-	order := make([]string, 0, len(candidates))
-	for _, p := range candidates {
-		k := p.Key()
-		if _, dup := byKey[k]; !dup {
-			order = append(order, k)
-		}
-		byKey[k] = p
 	}
 	var joined *relation.Relation
 	for _, key := range order {
@@ -219,9 +293,9 @@ func Run(candidates []Pair, jt *task.EquiJoin, opts Options, market crowd.Market
 		p := byKey[key]
 		res.Matches = append(res.Matches, Match{Pair: p, Confidence: d.Confidence, Votes: d.Votes})
 		if joined == nil {
-			schema, err := p.Left.Schema().Concat(p.Right.Schema())
-			if err != nil {
-				return nil, fmt.Errorf("join: %w", err)
+			schema, cerr := p.Left.Schema().Concat(p.Right.Schema())
+			if cerr != nil {
+				return nil, fmt.Errorf("join: %w", cerr)
 			}
 			joined = relation.New("join", schema)
 		}
@@ -238,7 +312,7 @@ func Run(candidates []Pair, jt *task.EquiJoin, opts Options, market crowd.Market
 
 // RunCross joins the full cross product of two relations.
 func RunCross(left, right *relation.Relation, jt *task.EquiJoin, opts Options, market crowd.Marketplace) (*Result, error) {
-	return Run(CrossPairs(left, right), jt, opts, market)
+	return RunSeq(CrossSeq(left, right), jt, opts, market)
 }
 
 // smartHITs lays candidate pairs out as r×s grids. Candidates are grouped
@@ -247,8 +321,9 @@ func RunCross(left, right *relation.Relation, jt *task.EquiJoin, opts Options, m
 // time, and emit a grid HIT per chunk pair that contains at least one
 // candidate. With a full cross product every chunk pair qualifies and the
 // count matches the paper's |R||S|/(rs); with feature-filtered candidates
-// sparse blocks are skipped.
-func smartHITs(b *hit.Builder, candidates []Pair, taskName string, r, s int) ([]*hit.HIT, error) {
+// sparse blocks are skipped. note is invoked once per streamed candidate
+// for the caller's bookkeeping.
+func smartHITs(b *hit.Builder, candidates PairSeq, note func(Pair), taskName string, r, s int) ([]*hit.HIT, error) {
 	if r < 1 || s < 1 {
 		return nil, fmt.Errorf("join: smart grid must be ≥1×1, got %d×%d", r, s)
 	}
@@ -258,7 +333,8 @@ func smartHITs(b *hit.Builder, candidates []Pair, taskName string, r, s int) ([]
 	rIdx := map[uint64]int{}
 	type cell struct{ l, r int }
 	want := map[cell]bool{}
-	for _, p := range candidates {
+	candidates(func(p Pair) bool {
+		note(p)
 		lk, rk := p.Left.Key(), p.Right.Key()
 		li, ok := lIdx[lk]
 		if !ok {
@@ -273,7 +349,8 @@ func smartHITs(b *hit.Builder, candidates []Pair, taskName string, r, s int) ([]
 			rights = append(rights, p.Right)
 		}
 		want[cell{li, ri}] = true
-	}
+		return true
+	})
 	var hits []*hit.HIT
 	for l := 0; l < len(lefts); l += r {
 		lend := min(l+r, len(lefts))

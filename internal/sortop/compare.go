@@ -188,18 +188,11 @@ func Compare(items *relation.Relation, rt *task.Rank, opts CompareOptions, marke
 	if err != nil {
 		return nil, err
 	}
-	run, err := market.Run(&hit.Group{ID: opts.GroupID, HITs: hits})
-	if err != nil {
-		return nil, err
-	}
 
 	res := &CompareResult{
-		Pairs:           make(map[[2]int]*PairVotes),
-		HITCount:        len(hits),
-		AssignmentCount: run.TotalAssignments,
-		MakespanHours:   run.MakespanHours,
-		Incomplete:      run.Incomplete,
-		Groups:          groups,
+		Pairs:    make(map[[2]int]*PairVotes),
+		HITCount: len(hits),
+		Groups:   groups,
 	}
 
 	// Map question ID → group (global item indices).
@@ -211,29 +204,43 @@ func Compare(items *relation.Relation, rt *task.Rank, opts CompareOptions, marke
 	for _, h := range hits {
 		qByHIT[h.ID] = h
 	}
-	for _, a := range run.Assignments {
-		h := qByHIT[a.HITID]
+	// Votes tally as each comparison batch completes, overlapping
+	// aggregation with HITs still in flight (the marketplace calls
+	// deliver serially). Tallies are commutative, so the out-of-order
+	// delivery cannot change the result.
+	tally := func(hitID string, as []hit.Assignment) {
+		h := qByHIT[hitID]
 		if h == nil {
-			continue
+			return
 		}
-		for i, ans := range a.Answers {
-			if i >= len(h.Questions) {
-				break
-			}
-			g := groupByQ[h.Questions[i].ID]
-			if g == nil || len(ans.Order) != len(g) {
-				continue
-			}
-			// ans.Order is a permutation of local indices, least→most.
-			// Expand to pairwise votes over global indices.
-			for x := 0; x < len(ans.Order); x++ {
-				for y := x + 1; y < len(ans.Order); y++ {
-					lo, hi := g[ans.Order[x]], g[ans.Order[y]] // hi ranked above lo
-					res.addVote(hi, lo)
+		for _, a := range as {
+			for i, ans := range a.Answers {
+				if i >= len(h.Questions) {
+					break
+				}
+				g := groupByQ[h.Questions[i].ID]
+				if g == nil || len(ans.Order) != len(g) {
+					continue
+				}
+				// ans.Order is a permutation of local indices,
+				// least→most. Expand to pairwise votes over global
+				// indices.
+				for x := 0; x < len(ans.Order); x++ {
+					for y := x + 1; y < len(ans.Order); y++ {
+						lo, hi := g[ans.Order[x]], g[ans.Order[y]] // hi ranked above lo
+						res.addVote(hi, lo)
+					}
 				}
 			}
 		}
 	}
+	run, err := crowd.Stream(market, &hit.Group{ID: opts.GroupID, HITs: hits}, tally)
+	if err != nil {
+		return nil, err
+	}
+	res.AssignmentCount = run.TotalAssignments
+	res.MakespanHours = run.MakespanHours
+	res.Incomplete = run.Incomplete
 	res.finalize(n)
 	return res, nil
 }

@@ -117,9 +117,15 @@ var (
 // --- Crowd marketplace ---
 
 type (
-	// Marketplace abstracts the crowd backend.
+	// Marketplace abstracts the crowd backend (sync + async posting).
 	Marketplace = crowd.Marketplace
-	// SimMarket is the deterministic marketplace simulator.
+	// StreamMarketplace additionally delivers per-HIT results as they
+	// complete, so callers can overlap vote aggregation with HITs
+	// still in flight.
+	StreamMarketplace = crowd.StreamMarketplace
+	// MarketAsync is the outcome RunAsync delivers.
+	MarketAsync = crowd.Async
+	// SimMarket is the parallel deterministic marketplace simulator.
 	SimMarket = crowd.SimMarket
 	// MarketConfig parametrizes the simulator.
 	MarketConfig = crowd.Config
@@ -138,6 +144,9 @@ var (
 	NewSimMarket = crowd.NewSimMarket
 	// DefaultMarketConfig returns the calibrated simulator defaults.
 	DefaultMarketConfig = crowd.DefaultConfig
+	// StreamRun posts a group and feeds per-HIT results to a callback
+	// as they complete, on any Marketplace.
+	StreamRun = crowd.Stream
 )
 
 // --- Engine and query execution ---
@@ -205,6 +214,9 @@ type (
 	JoinResult = join.Result
 	// JoinPair is one candidate pair.
 	JoinPair = join.Pair
+	// JoinPairSeq streams candidate pairs into HIT batching without
+	// materializing the cross product.
+	JoinPairSeq = join.PairSeq
 	// JoinMatch is one accepted pair with confidence.
 	JoinMatch = join.Match
 	// Feature is one POSSIBLY feature filter.
@@ -262,16 +274,24 @@ const (
 var (
 	// RunJoin executes a crowd join over explicit candidate pairs.
 	RunJoin = join.Run
+	// RunJoinSeq executes a crowd join over streamed candidates.
+	RunJoinSeq = join.RunSeq
 	// RunCrossJoin joins the full cross product.
 	RunCrossJoin = join.RunCross
 	// RunFilteredJoin extracts features and joins the survivors.
 	RunFilteredJoin = join.RunFiltered
 	// ExtractFeatures runs the feature-extraction linear pass.
 	ExtractFeatures = join.Extract
+	// ExtractFeaturesBoth runs both sides' passes concurrently.
+	ExtractFeaturesBoth = join.ExtractBoth
 	// ChooseFeatures applies the paper's three feature-pruning rules.
 	ChooseFeatures = join.ChooseFeatures
 	// FilteredPairs prunes a cross product to feature-compatible pairs.
 	FilteredPairs = join.FilteredPairs
+	// FilteredPairSeq streams feature-compatible pairs.
+	FilteredPairSeq = join.FilteredSeq
+	// CrossPairSeq streams the full cross product.
+	CrossPairSeq = join.CrossSeq
 	// Compare runs the comparison-based sort.
 	Compare = sortop.Compare
 	// Rate runs the rating-based sort.
