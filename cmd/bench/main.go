@@ -3,14 +3,21 @@
 // performance trajectory (ns/op per benchmark, multi-core speedups, and
 // the paper-metric custom outputs) is tracked across changes.
 //
+// With -compare it also gates regressions: each (benchmark, procs)
+// measurement is checked against a committed baseline report and the
+// process exits nonzero when any ns/op regresses beyond -threshold
+// (use -warn-only on noisy runners to report without failing).
+//
 // Usage:
 //
 //	go run ./cmd/bench                       # full suite → BENCH_results.json
 //	go run ./cmd/bench -bench Parallel       # only the scaling benchmarks
 //	go run ./cmd/bench -benchtime 5x -cpu 1,4,8
+//	go run ./cmd/bench -compare BENCH_baseline.json -threshold 0.20
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -59,12 +66,28 @@ type Report struct {
 // benchLine matches `BenchmarkName-8   10   123456 ns/op   1.5 metric ...`.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
 
+// bufOut is the buffered stdout writer, flushed before any fatal exit
+// so already-printed report lines are not silently dropped.
+var bufOut *bufio.Writer
+
+// fatalf prints to stderr and exits nonzero.
+func fatalf(format string, args ...any) {
+	if bufOut != nil {
+		bufOut.Flush()
+	}
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	benchRe := flag.String("bench", ".", "benchmark regex passed to go test -bench")
 	benchTime := flag.String("benchtime", "2x", "go test -benchtime value")
 	cpus := flag.String("cpu", "", "go test -cpu list (default \"1,<NumCPU>\")")
 	out := flag.String("out", "BENCH_results.json", "output JSON path")
 	notes := flag.String("notes", "", "free-form provenance note recorded in the report")
+	compare := flag.String("compare", "", "baseline report to gate regressions against")
+	threshold := flag.Float64("threshold", 0.20, "fractional ns/op regression allowed before the gate fails")
+	warnOnly := flag.Bool("warn-only", false, "report regressions but exit 0 (noisy runners)")
 	flag.Parse()
 	if *cpus == "" {
 		*cpus = "1"
@@ -75,6 +98,16 @@ func main() {
 		}
 	}
 
+	// Buffer stdout so a failed write (closed pipe, full disk) is
+	// detected at Flush instead of silently dropping report lines.
+	stdout := bufio.NewWriter(os.Stdout)
+	bufOut = stdout
+	defer func() {
+		if err := stdout.Flush(); err != nil {
+			fatalf("writing stdout: %v", err)
+		}
+	}()
+
 	// Target the root package by import path so the harness works from
 	// any directory inside the module (the Benchmark* suite lives at
 	// the module root).
@@ -84,8 +117,7 @@ func main() {
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bench: go test failed: %v\n%s\n", err, raw)
-		os.Exit(1)
+		fatalf("go test failed: %v\n%s", err, raw)
 	}
 
 	report := Report{
@@ -124,8 +156,7 @@ func main() {
 		report.Results = append(report.Results, r)
 	}
 	if len(report.Results) == 0 {
-		fmt.Fprintln(os.Stderr, "bench: no benchmark lines parsed")
-		os.Exit(1)
+		fatalf("no benchmark lines parsed")
 	}
 
 	// Derive speedups: lowest vs highest CPU width per benchmark.
@@ -163,17 +194,67 @@ func main() {
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatalf("writing %s: %v", *out, err)
 	}
 	for _, s := range report.Speedups {
-		fmt.Printf("%-40s %7.2fms @%dcpu → %7.2fms @%dcpu   %.2fx\n",
+		fmt.Fprintf(stdout, "%-40s %7.2fms @%dcpu → %7.2fms @%dcpu   %.2fx\n",
 			s.Name, s.BaseNs/1e6, s.BaseProcs, s.WideNs/1e6, s.WideProcs, s.Speedup)
 	}
-	fmt.Printf("wrote %s (%d results)\n", *out, len(report.Results))
+	fmt.Fprintf(stdout, "wrote %s (%d results)\n", *out, len(report.Results))
+
+	if *compare != "" {
+		regressed := compareBaseline(stdout, &report, *compare, *threshold)
+		if regressed > 0 && !*warnOnly {
+			if err := stdout.Flush(); err != nil {
+				fatalf("writing stdout: %v", err)
+			}
+			fatalf("%d benchmark(s) regressed beyond %.0f%% — see report above", regressed, *threshold*100)
+		}
+	}
+}
+
+// compareBaseline checks every (name, procs) measurement against the
+// baseline report and prints a regression/improvement table. Entries
+// missing from either side are skipped (benchmarks come and go); the
+// count of regressions beyond threshold is returned.
+func compareBaseline(w *bufio.Writer, cur *Report, path string, threshold float64) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("reading baseline %s: %v", path, err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parsing baseline %s: %v", path, err)
+	}
+	key := func(r Result) string { return fmt.Sprintf("%s@%d", r.Name, r.Procs) }
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[key(r)] = r
+	}
+	regressed, compared, skipped := 0, 0, 0
+	fmt.Fprintf(w, "\ncompare vs %s (threshold %.0f%%):\n", path, threshold*100)
+	for _, r := range cur.Results {
+		b, ok := baseBy[key(r)]
+		if !ok || b.NsPerOp == 0 {
+			skipped++
+			continue
+		}
+		compared++
+		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		switch {
+		case delta > threshold:
+			regressed++
+			fmt.Fprintf(w, "  REGRESSION  %-44s %9.2fms → %9.2fms  (%+.1f%%)\n",
+				key(r), b.NsPerOp/1e6, r.NsPerOp/1e6, delta*100)
+		case delta < -threshold:
+			fmt.Fprintf(w, "  improvement %-44s %9.2fms → %9.2fms  (%+.1f%%)\n",
+				key(r), b.NsPerOp/1e6, r.NsPerOp/1e6, delta*100)
+		}
+	}
+	fmt.Fprintf(w, "  %d compared, %d regressed, %d not in baseline\n", compared, regressed, skipped)
+	return regressed
 }

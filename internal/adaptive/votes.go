@@ -9,6 +9,7 @@
 package adaptive
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -149,6 +150,17 @@ type AdaptiveFilterResult struct {
 // per-HIT seeds depend only on tuple index and configuration, so the
 // result is deterministic regardless of scheduling.
 func RunAdaptiveFilter(rel *relation.Relation, ft *task.Filter, cfg VoteConfig, market crowd.Marketplace) (*AdaptiveFilterResult, error) {
+	return RunAdaptiveFilterContext(context.Background(), rel, ft, cfg, market)
+}
+
+// RunAdaptiveFilterContext is RunAdaptiveFilter with cooperative
+// cancellation: the filter is a pipeline breaker (it needs every
+// tuple's posterior settled before emitting), but between probe rounds
+// each shard checks ctx and stops posting further rounds once the
+// context is done. Rounds already in flight complete — posted crowd
+// work cannot be recalled — and their spend is reported in the error
+// path's counters.
+func RunAdaptiveFilterContext(ctx context.Context, rel *relation.Relation, ft *task.Filter, cfg VoteConfig, market crowd.Marketplace) (*AdaptiveFilterResult, error) {
 	cfg.fillDefaults()
 	if err := ft.Validate(); err != nil {
 		return nil, err
@@ -183,7 +195,7 @@ func RunAdaptiveFilter(rel *relation.Relation, ft *task.Filter, cfg VoteConfig, 
 		// dense as the unsharded layout.
 		lo, hi := s*n/shards, (s+1)*n/shards
 		go func(s, lo, hi int) {
-			rounds, hits, assignments, err := runVoteLoop(rel, ft, cfg, market, s, lo, hi, res, &cancelled)
+			rounds, hits, assignments, err := runVoteLoop(ctx, rel, ft, cfg, market, s, lo, hi, res, &cancelled)
 			if err != nil {
 				cancelled.Store(true)
 			}
@@ -224,7 +236,7 @@ func RunAdaptiveFilter(rel *relation.Relation, ft *task.Filter, cfg VoteConfig, 
 // indices [lo, hi). It writes only its own slice entries of res
 // (Decisions/Confidence/VotesUsed are indexed per tuple), so shards
 // never contend.
-func runVoteLoop(rel *relation.Relation, ft *task.Filter, cfg VoteConfig, market crowd.Marketplace,
+func runVoteLoop(ctx context.Context, rel *relation.Relation, ft *task.Filter, cfg VoteConfig, market crowd.Marketplace,
 	shard, lo, hi int, res *AdaptiveFilterResult, cancelled *atomic.Bool) (rounds, hitCount, assignments int, err error) {
 	yes := make(map[int]int, hi-lo)
 	no := make(map[int]int, hi-lo)
@@ -235,6 +247,9 @@ func runVoteLoop(rel *relation.Relation, ft *task.Filter, cfg VoteConfig, market
 	qid := func(i int) string { return fmt.Sprintf("%s/t%05d", cfg.GroupPrefix, i) }
 
 	for len(pending) > 0 && !cancelled.Load() {
+		if cerr := ctx.Err(); cerr != nil {
+			return rounds, hitCount, assignments, cerr
+		}
 		rounds++
 		votesThisRound := cfg.Step
 		if rounds == 1 {

@@ -51,6 +51,25 @@ type Cloner interface {
 	CloneCombiner() Combiner
 }
 
+// PerQuestion marks combiners whose decision for a question depends
+// only on that question's own votes. Streaming operators may hand such
+// combiners votes one HIT at a time and merge the partial decision maps
+// — the result is identical to one Combine call over all votes.
+// MajorityVote qualifies; QualityAdjust (EM over the full vote matrix)
+// and GoldScreen (ban state spans questions) do not, so operators using
+// them must buffer every vote and combine once at end of stream.
+type PerQuestion interface {
+	// CombinesPerQuestion is a marker method.
+	CombinesPerQuestion()
+}
+
+// IsPerQuestion reports whether c may be applied incrementally, one
+// disjoint vote subset at a time.
+func IsPerQuestion(c Combiner) bool {
+	_, ok := c.(PerQuestion)
+	return ok
+}
+
 // groupByQuestion buckets votes preserving insertion order of questions.
 func groupByQuestion(votes []Vote) (order []string, byQ map[string][]Vote) {
 	byQ = make(map[string][]Vote)
@@ -69,6 +88,10 @@ type MajorityVote struct{}
 
 // CloneCombiner implements Cloner (MajorityVote is stateless).
 func (MajorityVote) CloneCombiner() Combiner { return MajorityVote{} }
+
+// CombinesPerQuestion implements PerQuestion: each question's majority
+// is computed from that question's votes alone.
+func (MajorityVote) CombinesPerQuestion() {}
 
 // Name implements Combiner.
 func (MajorityVote) Name() string { return "MajorityVote" }
@@ -103,6 +126,17 @@ func (MajorityVote) Combine(votes []Vote) (map[string]Decision, error) {
 		}
 	}
 	return out, nil
+}
+
+// BoolVote maps a boolean answer onto the categorical yes/no vote
+// vocabulary the combiners above consume. Shared by the operators so
+// the mapping cannot drift between execution paths that feed the same
+// task cache.
+func BoolVote(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
 }
 
 // WeightedMajority resolves a yes/no question with asymmetric vote

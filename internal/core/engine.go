@@ -151,6 +151,22 @@ type Options struct {
 	// Seed drives operator-internal randomness (group covers, context
 	// samples).
 	Seed int64
+	// ExecBatch is the number of tuples per batch flowing between
+	// streaming executor operators (default 32). Query results are
+	// bit-identical at any setting; it only tunes scheduling
+	// granularity and per-batch overhead.
+	ExecBatch int
+	// StreamChunkHITs is how many HITs a streaming crowd operator
+	// accumulates before posting them to the marketplace as one
+	// sub-group (default 8). Crowd answers are bit-identical at any
+	// setting — HIT identity and content never depend on it — but
+	// latency modeling does: smaller chunks start sooner and overlap
+	// more, larger chunks ramp marketplace throughput better.
+	StreamChunkHITs int
+	// StreamLookahead bounds how many posted-but-uncollected sub-groups
+	// a streaming crowd operator keeps in flight (default 2). It caps
+	// the HITs wasted when a downstream LIMIT stops pulling.
+	StreamLookahead int
 }
 
 func (o *Options) fillDefaults() {
@@ -189,6 +205,18 @@ func (o *Options) fillDefaults() {
 	}
 	if o.Combiner == "" {
 		o.Combiner = "MajorityVote"
+	}
+	// Non-positive values are configuration errors (a zero-lookahead
+	// pipeline can never post); clamp to defaults rather than panic or
+	// silently return empty results.
+	if o.ExecBatch <= 0 {
+		o.ExecBatch = 32
+	}
+	if o.StreamChunkHITs <= 0 {
+		o.StreamChunkHITs = 8
+	}
+	if o.StreamLookahead <= 0 {
+		o.StreamLookahead = 2
 	}
 }
 

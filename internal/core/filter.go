@@ -93,7 +93,7 @@ func RunFilter(rel *relation.Relation, ft *task.Filter, opts FilterOptions, mark
 			if cached, ok := opts.Cache.Lookup(&q); ok {
 				for _, ca := range cached {
 					res.Votes = append(res.Votes, combine.Vote{
-						Question: q.ID, Worker: ca.WorkerID, Value: boolVote(ca.Answer.Bool),
+						Question: q.ID, Worker: ca.WorkerID, Value: combine.BoolVote(ca.Answer.Bool),
 					})
 				}
 				res.CacheHits++
@@ -118,27 +118,13 @@ func RunFilter(rel *relation.Relation, ft *task.Filter, opts FilterOptions, mark
 		res.AssignmentCount = run.TotalAssignments
 		res.MakespanHours = run.MakespanHours
 
-		qByHIT := make(map[string]*hit.HIT, len(hits))
-		for _, h := range hits {
-			qByHIT[h.ID] = h
-		}
 		perQuestion := map[string][]hit.CachedAnswer{}
-		for _, a := range run.Assignments {
-			h := qByHIT[a.HITID]
-			if h == nil {
-				continue
-			}
-			for i, ans := range a.Answers {
-				if i >= len(h.Questions) {
-					break
-				}
-				q := &h.Questions[i]
-				res.Votes = append(res.Votes, combine.Vote{
-					Question: q.ID, Worker: a.WorkerID, Value: boolVote(ans.Bool),
-				})
-				perQuestion[q.ID] = append(perQuestion[q.ID], hit.CachedAnswer{WorkerID: a.WorkerID, Answer: ans})
-			}
-		}
+		hit.ForEachAnswer(hits, run.Assignments, func(q *hit.Question, worker string, ans hit.Answer) {
+			res.Votes = append(res.Votes, combine.Vote{
+				Question: q.ID, Worker: worker, Value: combine.BoolVote(ans.Bool),
+			})
+			perQuestion[q.ID] = append(perQuestion[q.ID], hit.CachedAnswer{WorkerID: worker, Answer: ans})
+		})
 		if opts.Cache != nil {
 			for qi := range questions {
 				q := &questions[qi]
@@ -167,11 +153,4 @@ func RunFilter(rel *relation.Relation, ft *task.Filter, opts FilterOptions, mark
 		}
 	}
 	return res, nil
-}
-
-func boolVote(b bool) string {
-	if b {
-		return "yes"
-	}
-	return "no"
 }

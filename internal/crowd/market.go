@@ -1,6 +1,7 @@
 package crowd
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -39,6 +40,19 @@ type Marketplace interface {
 type Async struct {
 	Result *RunResult
 	Err    error
+}
+
+// Await blocks on an async outcome or on context cancellation,
+// whichever comes first. The posted HITs are not recalled on
+// cancellation — crowd work, once posted, is spent — but the caller
+// stops waiting for it.
+func Await(ctx context.Context, ch <-chan Async) (*RunResult, error) {
+	select {
+	case a := <-ch:
+		return a.Result, a.Err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // GoRun adapts a blocking run function into the RunAsync shape; useful

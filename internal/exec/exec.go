@@ -1,25 +1,35 @@
-// Package exec runs logical plans over a core.Engine. Mirroring the
-// paper's architecture (Fig. 1), every operator executes in its own
-// goroutine and passes results downstream through channels; crowd
-// operators post HIT groups to the marketplace and block on completion
-// (they are natural barriers: batching needs the full input). HIT
-// spending is accounted to the engine's ledger per operator.
+// Package exec runs logical plans over a core.Engine with a streaming
+// Volcano-model executor: every plan node compiles to an Operator that
+// yields bounded tuple batches through Next(ctx), so crowd operators
+// overlap HIT posting and collection across batch boundaries instead
+// of materializing a full relation at every node. LIMIT propagates
+// cancellation upstream (fewer HITs posted), sorts and stateful
+// combiners are explicit pipeline breakers, and HIT spending is
+// accounted to the engine's ledger per operator.
+//
+// Determinism: group IDs derive from plan paths, question IDs from
+// input ordinals, and chunk boundaries from counts — never timing —
+// so results are bit-identical at any batch size, chunk size, or core
+// count (see volcano.go for the full contract).
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
+	"qurk/internal/combine"
 	"qurk/internal/core"
+	"qurk/internal/hit"
 	"qurk/internal/join"
 	"qurk/internal/plan"
 	"qurk/internal/query"
 	"qurk/internal/relation"
 	"qurk/internal/sortop"
+	"qurk/internal/task"
 )
 
 // OpStat records one operator's crowd spending.
@@ -35,12 +45,38 @@ type Stats struct {
 	mu         sync.Mutex
 	Operators  []OpStat
 	Incomplete []string
+	// PipelineMakespanHours is the end-to-end crowd makespan on the
+	// streaming executor's virtual clock: each batch is stamped with
+	// the time its rows became available, crowd chunks advance the
+	// stamp by their group makespans, and overlapped phases overlap on
+	// the clock. Compare with SerialMakespanHours.
+	PipelineMakespanHours float64
 }
 
 func (s *Stats) add(st OpStat, incomplete ...string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.Operators = append(s.Operators, st)
+	s.Incomplete = append(s.Incomplete, incomplete...)
+}
+
+// registerOp reserves a Stats slot at plan-compile time so operator
+// order in Stats is the deterministic plan order, not completion order.
+func (s *Stats) registerOp(label string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Operators = append(s.Operators, OpStat{Label: label})
+	return len(s.Operators) - 1
+}
+
+// setSlot overwrites a registered slot's running totals.
+func (s *Stats) setSlot(slot, hits, assignments int, makespan float64, incomplete []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &s.Operators[slot]
+	st.HITs = hits
+	st.Assignments = assignments
+	st.Makespan = makespan
 	s.Incomplete = append(s.Incomplete, incomplete...)
 }
 
@@ -55,28 +91,53 @@ func (s *Stats) TotalHITs() int {
 	return n
 }
 
+// SerialMakespanHours sums per-operator makespans: the latency
+// estimate if every crowd phase ran back to back with no overlap — the
+// materializing executor's behavior. The streaming pipeline's
+// PipelineMakespanHours is at most this, and lower whenever phases
+// overlapped.
+func (s *Stats) SerialMakespanHours() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := 0.0
+	for _, o := range s.Operators {
+		t += o.Makespan
+	}
+	return t
+}
+
 // Run parses nothing: it plans and executes an already-parsed statement.
 func Run(e *core.Engine, stmt *query.SelectStmt) (*relation.Relation, *Stats, error) {
+	return RunContext(context.Background(), e, stmt)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is done,
+// streaming operators stop posting HITs and the pipeline unwinds.
+// Chunks already on the marketplace complete (posted crowd work cannot
+// be recalled) but are no longer waited for. Pipeline breakers that
+// post through blocking marketplace calls (crowd sorts, join feature
+// extraction) observe cancellation at their next phase boundary, not
+// mid-phase.
+func RunContext(ctx context.Context, e *core.Engine, stmt *query.SelectStmt) (*relation.Relation, *Stats, error) {
 	node, err := plan.Build(stmt, e.Library)
 	if err != nil {
 		return nil, nil, err
 	}
-	return RunPlan(e, node)
+	return RunPlanContext(ctx, e, node)
 }
 
 // RunQuery parses, plans, and executes one query string.
 func RunQuery(e *core.Engine, src string) (*relation.Relation, *Stats, error) {
+	return RunQueryContext(context.Background(), e, src)
+}
+
+// RunQueryContext is RunQuery with cooperative cancellation.
+func RunQueryContext(ctx context.Context, e *core.Engine, src string) (*relation.Relation, *Stats, error) {
 	stmt, err := query.ParseQuery(src)
 	if err != nil {
 		return nil, nil, err
 	}
-	return Run(e, stmt)
-}
-
-// result travels between operator goroutines.
-type result struct {
-	rel *relation.Relation
-	err error
+	return RunContext(ctx, e, stmt)
 }
 
 // executor carries per-run state.
@@ -112,360 +173,362 @@ func (x *executor) groupID(label, path string) string {
 // disjuncts are deduplicated here); for strict determinism in API-built
 // plans that do, set Engine.Cache to nil.
 func RunPlan(e *core.Engine, node plan.Node) (*relation.Relation, *Stats, error) {
+	return RunPlanContext(context.Background(), e, node)
+}
+
+// RunPlanContext compiles the plan to a streaming operator tree and
+// drains it.
+func RunPlanContext(ctx context.Context, e *core.Engine, node plan.Node) (*relation.Relation, *Stats, error) {
 	x := &executor{eng: e, stats: &Stats{}}
-	out := x.start(node, "q")
-	r := <-out
-	if r.err != nil {
-		return nil, x.stats, r.err
+	root, err := x.build(node, "q")
+	if err != nil {
+		return nil, x.stats, err
 	}
-	return r.rel, x.stats, nil
+	defer root.Close()
+	out := relation.New(root.Name(), root.Schema())
+	for {
+		b, err := root.Next(ctx)
+		if err != nil {
+			return nil, x.stats, err
+		}
+		if b == nil {
+			break
+		}
+		for _, t := range b.Tuples {
+			if err := out.Append(t); err != nil {
+				return nil, x.stats, err
+			}
+		}
+		if b.Ready > x.stats.PipelineMakespanHours {
+			x.stats.PipelineMakespanHours = b.Ready
+		}
+	}
+	// Rejected tail tuples never reach the root as batches, but the
+	// crowd time spent deciding them still bounds the query.
+	if cr := readyOf(root); cr > x.stats.PipelineMakespanHours {
+		x.stats.PipelineMakespanHours = cr
+	}
+	return out, x.stats, nil
 }
 
-// start launches the operator goroutine for node at the given plan path
-// and returns its output channel.
-func (x *executor) start(node plan.Node, path string) <-chan result {
-	out := make(chan result, 1)
-	go func() {
-		rel, err := x.exec(node, path)
-		out <- result{rel, err}
-	}()
-	return out
+// Compile builds the streaming operator tree for a plan without
+// executing it; Describe renders it. Close the returned operator if it
+// is not drained.
+func Compile(e *core.Engine, node plan.Node) (Operator, error) {
+	x := &executor{eng: e, stats: &Stats{}}
+	return x.build(node, "q")
 }
 
-func (x *executor) exec(node plan.Node, path string) (*relation.Relation, error) {
+// build compiles one plan node (and its subtree) at the given plan
+// path into an Operator.
+func (x *executor) build(node plan.Node, path string) (Operator, error) {
+	opts := &x.eng.Options
 	switch n := node.(type) {
 	case *plan.Scan:
-		return x.execScan(n)
+		rel, err := x.eng.Catalog.Table(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		return newScanOp(rel.Qualify(n.Binding()), opts.ExecBatch), nil
+
 	case *plan.MachineFilter:
-		return x.execMachineFilter(n, path)
+		child, err := x.build(n.Input, path+".i")
+		if err != nil {
+			return nil, err
+		}
+		return &machineFilterOp{
+			child: child,
+			label: n.Label(),
+			pred: func(t relation.Tuple) (bool, error) {
+				v, err := evalExpr(t, n.Expr)
+				if err != nil {
+					return false, err
+				}
+				return v.Bool(), nil
+			},
+		}, nil
+
 	case *plan.CrowdFilter:
-		return x.execCrowdFilter(n, path)
+		child, err := x.build(n.Input, path+".i")
+		if err != nil {
+			return nil, err
+		}
+		return x.buildFilter(child, n.Label(), path,
+			[]*filterSpec{{ft: n.Task, negate: n.Negate, groupID: x.groupID("filter/"+n.Task.Name, path), label: n.Label()}},
+			opts.FilterBatch)
+
 	case *plan.CrowdFilterOr:
-		return x.execCrowdFilterOr(n, path)
+		child, err := x.build(n.Input, path+".i")
+		if err != nil {
+			return nil, err
+		}
+		specs := make([]*filterSpec, len(n.Branches))
+		firstOf := map[string]int{}
+		for i := range n.Branches {
+			specs[i] = &filterSpec{
+				ft:      n.Branches[i],
+				negate:  n.Negates[i],
+				groupID: x.groupID("filter-or/"+n.Branches[i].Name, fmt.Sprintf("%s.b%d", path, i)),
+				label:   fmt.Sprintf("%s[%d]", n.Label(), i),
+				dupOf:   i,
+			}
+			sig := fmt.Sprintf("%s|%v", n.Branches[i].Name, n.Negates[i])
+			if first, dup := firstOf[sig]; dup {
+				specs[i].dupOf = first
+			} else {
+				firstOf[sig] = i
+			}
+		}
+		return x.buildFilter(child, n.Label(), path, specs, opts.FilterBatch)
+
 	case *plan.UnaryPossibly:
-		return x.execUnaryPossibly(n, path)
-	case *plan.CrowdJoin:
-		return x.execCrowdJoin(n, path)
+		child, err := x.build(n.Input, path+".i")
+		if err != nil {
+			return nil, err
+		}
+		g, err := x.buildGenerative(child, n.Label(), x.groupID("possibly/"+n.Task.Name, path),
+			n.Task, []string{n.Field}, opts.ExtractBatch)
+		if err != nil {
+			return nil, err
+		}
+		g.possiblyField, g.possiblyOp, g.possiblyValue = n.Field, n.Op, n.Value
+		return g, nil
+
 	case *plan.Generate:
-		return x.execGenerate(n, path)
+		child, err := x.build(n.Input, path+".i")
+		if err != nil {
+			return nil, err
+		}
+		g, err := x.buildGenerative(child, n.Label(), x.groupID("generate/"+n.Task.Name, path),
+			n.Task, n.Fields, opts.GenerativeBatch)
+		if err != nil {
+			return nil, err
+		}
+		// Output schema: input columns + one text column per field.
+		cols := child.Schema().Columns()
+		for _, fname := range g.fields {
+			cols = append(cols, relation.Column{Name: n.Task.Name + "." + fname, Kind: relation.KindText})
+		}
+		schema, err := relation.NewSchema(cols...)
+		if err != nil {
+			return nil, err
+		}
+		g.schemaOut = schema
+		return g, nil
+
+	case *plan.CrowdJoin:
+		left, err := x.build(n.Left, path+".l")
+		if err != nil {
+			return nil, err
+		}
+		right, err := x.build(n.Right, path+".r")
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Task.Validate(); err != nil {
+			return nil, err
+		}
+		schema, err := left.Schema().Concat(right.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("join: %w", err)
+		}
+		comb, err := x.eng.Combiner()
+		if err != nil {
+			return nil, err
+		}
+		groupID := x.groupID("join/"+n.Task.Name, path)
+		j := &crowdJoinOp{
+			x:    x,
+			node: n,
+			path: path,
+			// Exchange-wrap the probe subtree so it makes crowd progress
+			// while the build side materializes (paper §2.5's pipelined,
+			// left-deep execution); start() primes it. The build side is
+			// drained directly (with its own goroutine in the
+			// both-materialized path), so wrapping it would only add a
+			// buffer layer.
+			left:    newConcurrentOp(left, 4),
+			right:   right,
+			schema:  schema,
+			label:   n.Label(),
+			comb:    comb,
+			perQ:    combine.IsPerQuestion(comb),
+			builder: hit.NewBuilder(groupID, x.eng.Options.Assignments, 1),
+			slotOf:  map[string]int{},
+		}
+		j.acct = &opAcct{x: x, label: n.Label(), slot: x.stats.registerOp(n.Label())}
+		j.post = x.newPoster(groupID, &j.seq)
+		j.post.acct = j.acct
+		j.emit.size = opts.ExecBatch
+		return j, nil
+
 	case *plan.CrowdOrderBy:
-		return x.execCrowdOrderBy(n, path)
+		child, err := x.build(n.Input, path+".i")
+		if err != nil {
+			return nil, err
+		}
+		return &crowdOrderByOp{x: x, node: n, path: path, child: child, size: opts.ExecBatch}, nil
+
 	case *plan.MachineOrderBy:
-		return x.execMachineOrderBy(n, path)
+		child, err := x.build(n.Input, path+".i")
+		if err != nil {
+			return nil, err
+		}
+		return &machineOrderByOp{node: n, child: child, size: opts.ExecBatch}, nil
+
 	case *plan.Project:
-		return x.execProject(n, path)
+		child, err := x.build(n.Input, path+".i")
+		if err != nil {
+			return nil, err
+		}
+		if n.Star || len(n.Columns) == 0 {
+			return child, nil
+		}
+		schema, ords, err := child.Schema().Project(n.Columns...)
+		if err != nil {
+			return nil, err
+		}
+		// Rename to output aliases.
+		cols := schema.Columns()
+		for i := range cols {
+			if i < len(n.Aliases) && n.Aliases[i] != "" {
+				cols[i].Name = n.Aliases[i]
+			}
+		}
+		schema, err = relation.NewSchema(cols...)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{child: child, schema: schema, ords: ords, name: child.Name()}, nil
+
 	case *plan.Limit:
-		return x.execLimit(n, path)
+		child, err := x.build(n.Input, path+".i")
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{child: child, n: n.N}, nil
+
 	default:
 		return nil, fmt.Errorf("exec: unknown plan node %T", node)
 	}
 }
 
-// input runs the child subtree (its own goroutine chain) one path
-// segment below the caller.
-func (x *executor) input(child plan.Node, path string) (*relation.Relation, error) {
-	r := <-x.start(child, path+".i")
-	return r.rel, r.err
+// filterSpec is build-time input for one filter branch.
+type filterSpec struct {
+	ft      *task.Filter
+	negate  bool
+	groupID string
+	label   string
+	dupOf   int
 }
 
-func (x *executor) execScan(n *plan.Scan) (*relation.Relation, error) {
-	rel, err := x.eng.Catalog.Table(n.Table)
-	if err != nil {
-		return nil, err
+// newPoster builds a chunk poster over the engine's marketplace.
+func (x *executor) newPoster(groupID string, seq *int) *poster {
+	return &poster{
+		market:    x.eng.Market,
+		groupID:   groupID,
+		chunkHITs: x.eng.Options.StreamChunkHITs,
+		lookahead: x.eng.Options.StreamLookahead,
+		seq:       seq,
 	}
-	return rel.Qualify(n.Binding()), nil
 }
 
-func (x *executor) execMachineFilter(n *plan.MachineFilter, path string) (*relation.Relation, error) {
-	in, err := x.input(n.Input, path)
-	if err != nil {
-		return nil, err
+// buildFilter assembles the streaming filter over one or more branch
+// specs (a plain CrowdFilter is the one-branch case).
+func (x *executor) buildFilter(child Operator, label, path string, specs []*filterSpec, hitSize int) (Operator, error) {
+	f := &crowdFilterOp{
+		x:       x,
+		child:   child,
+		label:   label,
+		hitSize: hitSize,
+		slotOf:  map[string]int{},
 	}
-	out := relation.New(in.Name(), in.Schema())
-	for i := 0; i < in.Len(); i++ {
-		v, err := evalExpr(in.Row(i), n.Expr)
-		if err != nil {
+	f.emit.size = x.eng.Options.ExecBatch
+	for i, sp := range specs {
+		if err := sp.ft.Validate(); err != nil {
 			return nil, err
 		}
-		if v.Bool() {
-			if err := out.Append(in.Row(i)); err != nil {
-				return nil, err
-			}
+		br := &filterBranch{
+			idx:     i,
+			ft:      sp.ft,
+			negate:  sp.negate,
+			groupID: sp.groupID,
+			dupOf:   sp.dupOf,
+			asked:   map[uint64]bool{},
 		}
-	}
-	return out, nil
-}
-
-func (x *executor) execCrowdFilter(n *plan.CrowdFilter, path string) (*relation.Relation, error) {
-	in, err := x.input(n.Input, path)
-	if err != nil {
-		return nil, err
-	}
-	comb, err := x.eng.Combiner()
-	if err != nil {
-		return nil, err
-	}
-	opts := core.FilterOptions{
-		BatchSize:   x.eng.Options.FilterBatch,
-		Assignments: x.eng.Options.Assignments,
-		Combiner:    comb,
-		GroupID:     x.groupID("filter/"+n.Task.Name, path),
-		Negate:      n.Negate,
-		Cache:       x.eng.Cache,
-	}
-	res, err := core.RunFilter(in, n.Task, opts, x.eng.Market)
-	if err != nil {
-		return nil, err
-	}
-	x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours)
-	return res.Passed, nil
-}
-
-func (x *executor) execCrowdFilterOr(n *plan.CrowdFilterOr, path string) (*relation.Relation, error) {
-	in, err := x.input(n.Input, path)
-	if err != nil {
-		return nil, err
-	}
-	// Disjuncts post in parallel (paper §2.5); a tuple passes if any
-	// branch accepts it. Group IDs are fixed before launch so the
-	// branches' HIT seeds do not depend on goroutine scheduling, and
-	// each branch gets its own combiner instance — QualityAdjust is
-	// stateful and must not be shared across concurrent Combine calls.
-	// Duplicate disjuncts (same task, same negation) run once and
-	// share the result: concurrent identical branches would otherwise
-	// race on the task cache, making reruns timing-dependent.
-	type branchOut struct {
-		res *core.FilterResult
-		err error
-	}
-	firstOf := map[string]int{}
-	dupOf := make([]int, len(n.Branches))
-	outs := make([]chan branchOut, len(n.Branches))
-	for i := range n.Branches {
-		sig := fmt.Sprintf("%s|%v", n.Branches[i].Name, n.Negates[i])
-		if first, dup := firstOf[sig]; dup {
-			dupOf[i] = first
+		if sp.dupOf != i {
+			// Duplicate disjuncts run once and share the result:
+			// concurrent identical branches would otherwise race on the
+			// task cache, making reruns timing-dependent.
+			x.stats.add(OpStat{Label: fmt.Sprintf("%s = [%d] (duplicate disjunct)", sp.label, sp.dupOf)})
+			f.branch = append(f.branch, br)
 			continue
 		}
-		firstOf[sig] = i
-		dupOf[i] = i
 		comb, err := x.eng.Combiner()
 		if err != nil {
 			return nil, err
 		}
-		opts := core.FilterOptions{
-			BatchSize:   x.eng.Options.FilterBatch,
-			Assignments: x.eng.Options.Assignments,
-			Combiner:    comb,
-			GroupID:     x.groupID("filter-or/"+n.Branches[i].Name, fmt.Sprintf("%s.b%d", path, i)),
-			Negate:      n.Negates[i],
-			Cache:       x.eng.Cache,
-		}
-		outs[i] = make(chan branchOut, 1)
-		go func(i int, opts core.FilterOptions) {
-			res, err := core.RunFilter(in, n.Branches[i], opts, x.eng.Market)
-			outs[i] <- branchOut{res, err}
-		}(i, opts)
+		br.comb = comb
+		br.perQ = combine.IsPerQuestion(comb)
+		br.builder = hit.NewBuilder(sp.groupID, x.eng.Options.Assignments, 1)
+		br.post = x.newPoster(sp.groupID, &f.seq)
+		br.acct = &opAcct{x: x, label: sp.label, slot: x.stats.registerOp(sp.label)}
+		br.post.acct = br.acct
+		f.branch = append(f.branch, br)
+		f.uniq = append(f.uniq, br)
 	}
-	accepted := make([]bool, in.Len())
-	results := make([]*core.FilterResult, len(n.Branches))
-	for i := range outs {
-		if dupOf[i] != i {
-			continue
-		}
-		b := <-outs[i]
-		if b.err != nil {
-			return nil, b.err
-		}
-		results[i] = b.res
-	}
-	for i := range n.Branches {
-		b := results[dupOf[i]]
-		if dupOf[i] != i {
-			x.stats.add(OpStat{Label: fmt.Sprintf("%s[%d] = [%d] (duplicate disjunct)", n.Label(), i, dupOf[i])})
-			continue
-		}
-		x.account(fmt.Sprintf("%s[%d]", n.Label(), i), b.HITCount, b.AssignmentCount, b.MakespanHours)
-		for j, d := range b.Decisions {
-			if d {
-				accepted[j] = true
-			}
-		}
-	}
-	out := relation.New(in.Name(), in.Schema())
-	for i := 0; i < in.Len(); i++ {
-		if accepted[i] {
-			if err := out.Append(in.Row(i)); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
+	return f, nil
 }
 
-func (x *executor) execUnaryPossibly(n *plan.UnaryPossibly, path string) (*relation.Relation, error) {
-	in, err := x.input(n.Input, path)
-	if err != nil {
+// buildGenerative assembles the shared generative streaming core.
+func (x *executor) buildGenerative(child Operator, label, groupID string, gt *task.Generative, fields []string, hitSize int) (*generativeOp, error) {
+	if err := gt.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := core.RunGenerative(in, n.Task, core.GenerativeOptions{
-		BatchSize:   x.eng.Options.ExtractBatch,
-		Assignments: x.eng.Options.Assignments,
-		GroupID:     x.groupID("possibly/"+n.Task.Name, path),
-		Fields:      []string{n.Field},
-	}, x.eng.Market)
-	if err != nil {
-		return nil, err
+	if len(fields) == 0 {
+		for _, f := range gt.Fields {
+			fields = append(fields, f.Name)
+		}
 	}
-	x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours)
-	out := relation.New(in.Name(), in.Schema())
-	for i := 0; i < in.Len(); i++ {
-		v := res.Values[i][n.Field]
-		pass, err := comparePossibly(v, n.Op, n.Value)
+	g := &generativeOp{
+		x:       x,
+		child:   child,
+		label:   label,
+		groupID: groupID,
+		gt:      gt,
+		fields:  fields,
+		norm:    map[string]task.Normalizer{},
+		comb:    map[string]combine.Combiner{},
+		perQ:    true,
+		hitSize: hitSize,
+		builder: hit.NewBuilder(groupID, x.eng.Options.Assignments, 1),
+		slotOf:  map[string]int{},
+	}
+	g.emit.size = x.eng.Options.ExecBatch
+	g.post = x.newPoster(groupID, &g.seq)
+	g.eosVotes = map[string][]combine.Vote{}
+	for _, fname := range fields {
+		spec, ok := gt.Field(fname)
+		if !ok {
+			return nil, fmt.Errorf("exec: task %s has no field %q", gt.Name, fname)
+		}
+		norm, err := task.LookupNormalizer(spec.Normalizer)
 		if err != nil {
 			return nil, err
 		}
-		if pass {
-			if err := out.Append(in.Row(i)); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
-}
-
-// comparePossibly evaluates extractedValue op literal with the paper's
-// UNKNOWN wildcard semantics (§2.4): UNKNOWN never prunes. Values parse
-// numerically when possible ("3+" → 3); otherwise "="/"<>" compare text.
-func comparePossibly(v, op, lit string) (bool, error) {
-	if strings.EqualFold(v, "UNKNOWN") || v == "" {
-		return true, nil
-	}
-	ln, lerr := parseLooseInt(lit)
-	vn, verr := parseLooseInt(v)
-	if lerr == nil && verr == nil {
-		switch op {
-		case "=":
-			return vn == ln, nil
-		case "<>", "!=":
-			return vn != ln, nil
-		case "<":
-			return vn < ln, nil
-		case "<=":
-			return vn <= ln, nil
-		case ">":
-			return vn > ln, nil
-		case ">=":
-			return vn >= ln, nil
-		}
-	}
-	switch op {
-	case "=":
-		return strings.EqualFold(v, lit), nil
-	case "<>", "!=":
-		return !strings.EqualFold(v, lit), nil
-	default:
-		return false, fmt.Errorf("exec: cannot compare %q %s %q", v, op, lit)
-	}
-}
-
-func parseLooseInt(s string) (int, error) {
-	s = strings.TrimSuffix(strings.TrimSpace(s), "+")
-	return strconv.Atoi(s)
-}
-
-func (x *executor) execCrowdJoin(n *plan.CrowdJoin, path string) (*relation.Relation, error) {
-	// Left and right subtrees execute concurrently (paper §2.5's
-	// pipelined, left-deep execution).
-	leftCh := x.start(n.Left, path+".l")
-	rightCh := x.start(n.Right, path+".r")
-	lr := <-leftCh
-	if lr.err != nil {
-		return nil, lr.err
-	}
-	rr := <-rightCh
-	if rr.err != nil {
-		return nil, rr.err
-	}
-	left, right := lr.rel, rr.rel
-
-	comb, err := x.eng.Combiner()
-	if err != nil {
-		return nil, err
-	}
-	jopts := join.Options{
-		Algorithm:   x.eng.Options.JoinAlgorithm,
-		BatchSize:   x.eng.Options.JoinBatch,
-		GridRows:    x.eng.Options.GridRows,
-		GridCols:    x.eng.Options.GridCols,
-		Assignments: x.eng.Options.Assignments,
-		Combiner:    comb,
-		GroupID:     x.groupID("join/"+n.Task.Name, path),
-		Cache:       x.eng.Cache,
-	}
-	if len(n.LeftFeatures) == 0 {
-		res, err := join.RunCross(left, right, n.Task, jopts, x.eng.Market)
+		g.norm[fname] = norm
+		comb, err := combine.Lookup(spec.Combiner)
 		if err != nil {
 			return nil, err
 		}
-		x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
-		return res.Joined, nil
-	}
-	// The two extraction passes are independent linear scans; they post
-	// concurrently and their spending is accounted left-then-right once
-	// both complete, so Stats stay deterministic. Each side gets its
-	// own combiner instance — QualityAdjust is stateful and must not
-	// be shared across the concurrent Combine calls.
-	lcomb, err := x.eng.Combiner()
-	if err != nil {
-		return nil, err
-	}
-	rcomb, err := x.eng.Combiner()
-	if err != nil {
-		return nil, err
-	}
-	extOpts := join.ExtractOptions{
-		Combined:    x.eng.Options.ExtractCombined,
-		BatchSize:   x.eng.Options.ExtractBatch,
-		Assignments: x.eng.Options.Assignments,
-	}
-	lo := extOpts
-	lo.Combiner = lcomb
-	lo.GroupID = x.groupID("extract-left/"+n.Task.Name, path+".xl")
-	ro := extOpts
-	ro.Combiner = rcomb
-	ro.GroupID = x.groupID("extract-right/"+n.Task.Name, path+".xr")
-	le, re, err := join.ExtractBoth(left, right, n.LeftFeatures, n.RightFeatures, lo, ro, x.eng.Market)
-	// Account whichever sides completed even when the other failed —
-	// those HITs were spent regardless.
-	if le != nil {
-		x.account("extract-left", le.HITCount, le.AssignmentCount, 0)
-	}
-	if re != nil {
-		x.account("extract-right", re.HITCount, re.AssignmentCount, 0)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	features := n.LeftFeatures
-	if x.eng.Options.AutoSelectFeatures {
-		kept, err := x.selectFeatures(n, left, right, le, re, jopts, path)
-		if err != nil {
-			return nil, err
+		g.comb[fname] = comb
+		if !combine.IsPerQuestion(comb) {
+			g.perQ = false
 		}
-		features = kept
 	}
-	names := make([]string, len(features))
-	for i, f := range features {
-		names[i] = f.Field
-	}
-	res, err := join.RunSeq(join.FilteredSeq(left, right, le, re, names), n.Task, jopts, x.eng.Market)
-	if err != nil {
-		return nil, err
-	}
-	x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
-	return res.Joined, nil
+	g.acct = &opAcct{x: x, label: label, slot: x.stats.registerOp(label)}
+	g.post.acct = g.acct
+	return g, nil
 }
 
 // selectFeatures implements §3.2's automatic feature pruning inside the
@@ -506,85 +569,12 @@ func (x *executor) selectFeatures(n *plan.CrowdJoin, left, right *relation.Relat
 	return kept, nil
 }
 
-func (x *executor) execGenerate(n *plan.Generate, path string) (*relation.Relation, error) {
-	in, err := x.input(n.Input, path)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.RunGenerative(in, n.Task, core.GenerativeOptions{
-		BatchSize:   x.eng.Options.GenerativeBatch,
-		Assignments: x.eng.Options.Assignments,
-		GroupID:     x.groupID("generate/"+n.Task.Name, path),
-		Fields:      n.Fields,
-	}, x.eng.Market)
-	if err != nil {
-		return nil, err
-	}
-	x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours)
-	return res.Output, nil
-}
-
-func (x *executor) execCrowdOrderBy(n *plan.CrowdOrderBy, path string) (*relation.Relation, error) {
-	in, err := x.input(n.Input, path)
-	if err != nil {
-		return nil, err
-	}
-	// Group rows by the machine-sortable prefix columns.
-	type group struct {
-		key  string
-		rows []int
-	}
-	var groups []group
-	idx := map[string]int{}
-	for i := 0; i < in.Len(); i++ {
-		key := ""
-		for _, col := range n.GroupCols {
-			v, ok := in.Row(i).Get(col)
-			if !ok {
-				return nil, fmt.Errorf("exec: ORDER BY column %q not found in %s", col, in.Schema())
-			}
-			key += v.String() + "\x00"
-		}
-		gi, ok := idx[key]
-		if !ok {
-			gi = len(groups)
-			idx[key] = gi
-			groups = append(groups, group{key: key})
-		}
-		groups[gi].rows = append(groups[gi].rows, i)
-	}
-	sort.SliceStable(groups, func(a, b int) bool { return groups[a].key < groups[b].key })
-
-	out := relation.New(in.Name(), in.Schema())
-	for gi, g := range groups {
-		sub := relation.New(in.Name(), in.Schema())
-		for _, ri := range g.rows {
-			if err := sub.Append(in.Row(ri)); err != nil {
-				return nil, err
-			}
-		}
-		order, err := x.crowdSort(sub, n, fmt.Sprintf("%s.g%d", path, gi))
-		if err != nil {
-			return nil, err
-		}
-		if n.Desc {
-			for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-				order[i], order[j] = order[j], order[i]
-			}
-		}
-		for _, ri := range order {
-			if err := out.Append(sub.Row(ri)); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return out, nil
-}
-
-// crowdSort orders one group's rows with the configured sort method.
-func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy, path string) ([]int, error) {
+// crowdSort orders one group's rows with the configured sort method,
+// accounting its spending, and returns the order plus the group's
+// crowd makespan for the virtual clock.
+func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy, path string) ([]int, float64, error) {
 	if sub.Len() == 1 {
-		return []int{0}, nil
+		return []int{0}, 0, nil
 	}
 	opts := x.eng.Options
 	switch opts.SortMethod {
@@ -596,10 +586,10 @@ func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy, path 
 			Seed:        opts.Seed,
 		}, x.eng.Market)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
-		return res.Order, nil
+		return res.Order, res.MakespanHours, nil
 	case core.SortRate:
 		res, err := sortop.Rate(sub, n.Task, sortop.RateOptions{
 			BatchSize:   opts.RateBatch,
@@ -608,10 +598,10 @@ func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy, path 
 			Seed:        opts.Seed,
 		}, x.eng.Market)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
-		return res.Order, nil
+		return res.Order, res.MakespanHours, nil
 	case core.SortHybrid:
 		res, err := sortop.Hybrid(sub, n.Task, sortop.HybridOptions{
 			Strategy:    sortop.SlidingWindow,
@@ -628,87 +618,58 @@ func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy, path 
 			Seed:    opts.Seed,
 		}, x.eng.Market)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		x.account(n.Label(), res.TotalHITs(), 0, 0)
-		return res.Order, nil
+		return res.Order, 0, nil
 	default:
-		return nil, fmt.Errorf("exec: unknown sort method %v", opts.SortMethod)
+		return nil, 0, fmt.Errorf("exec: unknown sort method %v", opts.SortMethod)
 	}
-}
-
-func (x *executor) execMachineOrderBy(n *plan.MachineOrderBy, path string) (*relation.Relation, error) {
-	in, err := x.input(n.Input, path)
-	if err != nil {
-		return nil, err
-	}
-	for _, col := range n.Cols {
-		if !in.Schema().Has(col) {
-			return nil, fmt.Errorf("exec: ORDER BY column %q not found", col)
-		}
-	}
-	return in.SortBy(func(a, b relation.Tuple) bool {
-		for i, col := range n.Cols {
-			cmp := a.MustGet(col).Compare(b.MustGet(col))
-			if cmp == 0 {
-				continue
-			}
-			if n.Desc[i] {
-				return cmp > 0
-			}
-			return cmp < 0
-		}
-		return false
-	}), nil
-}
-
-func (x *executor) execProject(n *plan.Project, path string) (*relation.Relation, error) {
-	in, err := x.input(n.Input, path)
-	if err != nil {
-		return nil, err
-	}
-	if n.Star || len(n.Columns) == 0 {
-		return in, nil
-	}
-	proj, err := in.Project(n.Columns...)
-	if err != nil {
-		return nil, err
-	}
-	// Rename to output aliases.
-	cols := proj.Schema().Columns()
-	for i := range cols {
-		if i < len(n.Aliases) && n.Aliases[i] != "" {
-			cols[i].Name = n.Aliases[i]
-		}
-	}
-	schema, err := relation.NewSchema(cols...)
-	if err != nil {
-		return nil, err
-	}
-	out := relation.New(in.Name(), schema)
-	for i := 0; i < proj.Len(); i++ {
-		t, err := proj.Row(i).Rebind(schema)
-		if err != nil {
-			return nil, err
-		}
-		if err := out.Append(t); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
-func (x *executor) execLimit(n *plan.Limit, path string) (*relation.Relation, error) {
-	in, err := x.input(n.Input, path)
-	if err != nil {
-		return nil, err
-	}
-	return in.Limit(n.N), nil
 }
 
 func (x *executor) account(label string, hits, assignments int, makespan float64, incomplete ...string) {
 	x.eng.Ledger.Add(label, hits, x.eng.Options.Assignments)
 	x.stats.add(OpStat{Label: label, HITs: hits, Assignments: assignments, Makespan: makespan}, incomplete...)
+}
+
+// comparePossibly evaluates extractedValue op literal with the paper's
+// UNKNOWN wildcard semantics (§2.4): UNKNOWN never prunes. Values parse
+// numerically when possible ("3+" → 3); otherwise "="/"<>" compare text.
+func comparePossibly(v, op, lit string) (bool, error) {
+	if strings.EqualFold(v, "UNKNOWN") || v == "" {
+		return true, nil
+	}
+	ln, lerr := parseLooseInt(lit)
+	vn, verr := parseLooseInt(v)
+	if lerr == nil && verr == nil {
+		switch op {
+		case "=":
+			return vn == ln, nil
+		case "<>", "!=":
+			return vn != ln, nil
+		case "<":
+			return vn < ln, nil
+		case "<=":
+			return vn <= ln, nil
+		case ">":
+			return vn > ln, nil
+		case ">=":
+			return vn >= ln, nil
+		}
+	}
+	switch op {
+	case "=":
+		return strings.EqualFold(v, lit), nil
+	case "<>", "!=":
+		return !strings.EqualFold(v, lit), nil
+	default:
+		return false, fmt.Errorf("exec: cannot compare %q %s %q", v, op, lit)
+	}
+}
+
+func parseLooseInt(s string) (int, error) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "+")
+	return strconv.Atoi(s)
 }
 
 // evalExpr evaluates a machine expression over one tuple.

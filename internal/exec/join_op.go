@@ -1,0 +1,518 @@
+// Streaming crowd join. The build (right) side is always materialized
+// — a block nested loop needs one full side, memory O(|S|) tuples.
+// Without feature filters and with a per-pair interface
+// (Simple/NaiveBatch) the probe (left) side streams: candidate pairs
+// are generated batch by batch off the left input and batched into
+// join HITs, so the join posts its first HITs while an upstream crowd
+// filter is still draining. Feature filtering (§3.2), SmartBatch grid
+// layout, and automatic feature selection all need a global view of
+// the candidates, so those paths materialize the left side too
+// (memory O(|R|+|S|)); posting and collection stay chunked and
+// incremental either way, which is what lets LIMIT stop the spend.
+package exec
+
+import (
+	"context"
+
+	"qurk/internal/combine"
+	"qurk/internal/hit"
+	"qurk/internal/join"
+	"qurk/internal/plan"
+	"qurk/internal/relation"
+)
+
+// jslot tracks one distinct candidate pair: votes accumulate across
+// the questions that reference it (duplicate rows can repeat a pair),
+// and the pair resolves once every such question's chunk completed.
+type jslot struct {
+	pair     join.Pair
+	votes    []combine.Vote
+	pending  int
+	decided  bool
+	accepted bool
+	ready    float64
+}
+
+type crowdJoinOp struct {
+	x     *executor
+	node  *plan.CrowdJoin
+	path  string
+	left  Operator
+	right Operator
+
+	schema *relation.Schema
+	label  string
+
+	comb    combine.Combiner
+	perQ    bool
+	builder *hit.Builder
+	post    *poster
+	acct    *opAcct
+	seq     int
+
+	started  bool
+	rightRel *relation.Relation
+	// streaming-left state (nil iter means left streams)
+	iter      join.PairIter
+	leftBuf   []relation.Tuple
+	leftEOS   bool
+	rightIdx  int
+	pairsDone bool
+
+	qbuf     []hit.Question
+	slots    []*jslot
+	slotOf   map[string]int
+	eosVotes []combine.Vote
+	emit     emitQueue
+	emitAt   int
+	clock    float64
+	closed   bool
+	done     bool
+	final    bool
+}
+
+func (j *crowdJoinOp) Schema() *relation.Schema { return j.schema }
+func (j *crowdJoinOp) Name() string             { return "join" }
+func (j *crowdJoinOp) OpLabel() string          { return j.label }
+func (j *crowdJoinOp) Inputs() []Operator       { return []Operator{j.left, j.right} }
+
+// BreakerNote implements Breaker: the build side always materializes;
+// features/SmartBatch/auto-selection also materialize the probe side.
+func (j *crowdJoinOp) BreakerNote() string {
+	if j.materializesLeft() {
+		return "materializes both inputs (features/grid layout need global candidates; O(|R|+|S|))"
+	}
+	return "materializes build side only (O(|S|)); probe side streams"
+}
+
+func (j *crowdJoinOp) materializesLeft() bool {
+	return len(j.node.LeftFeatures) > 0 || j.x.eng.Options.JoinAlgorithm == join.Smart
+}
+
+// finalReady includes rejected candidate pairs' decision times.
+func (j *crowdJoinOp) finalReady() float64 {
+	r := j.emit.ready
+	for _, in := range []Operator{j.left, j.right} {
+		if cr := readyOf(in); cr > r {
+			r = cr
+		}
+	}
+	return r
+}
+
+func (j *crowdJoinOp) Close() {
+	if !j.closed {
+		j.closed = true
+		j.left.Close()
+		j.right.Close()
+	}
+}
+
+func (j *crowdJoinOp) Next(ctx context.Context) (*Batch, error) {
+	if !j.started {
+		if err := j.start(ctx); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		for j.emitAt < len(j.slots) && j.slots[j.emitAt].decided {
+			s := j.slots[j.emitAt]
+			if s.accepted {
+				j.emit.push(s.pair.Left.Concat(s.pair.Right, j.schema), s.ready)
+			} else {
+				j.emit.advance(s.ready)
+			}
+			// Release the pair's tuples and votes; the slot struct stays
+			// (duplicate rows can re-yield the pair key later — those
+			// occurrences keep the already-decided verdict).
+			s.pair = join.Pair{}
+			s.votes = nil
+			j.emitAt++
+		}
+		if !j.emit.empty() {
+			return j.emit.pop(), nil
+		}
+		if j.done {
+			return nil, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := j.step(ctx); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// start materializes the build side (and, when the candidate layout
+// needs it, the probe side plus extractions) before any pair HIT is
+// posted. Both subtrees are exchange-wrapped, so they execute
+// concurrently — the paper's §2.5 pipelined left-deep execution.
+func (j *crowdJoinOp) start(ctx context.Context) error {
+	j.started = true
+	opts := &j.x.eng.Options
+	if !j.materializesLeft() {
+		// Prime the probe-side exchange so its subtree posts crowd work
+		// while the build side drains here.
+		if c, ok := j.left.(*concurrentOp); ok {
+			c.start(ctx)
+		}
+		right, rReady, err := drainRelation(ctx, j.right)
+		if err != nil {
+			return err
+		}
+		j.rightRel = right
+		j.clock = rReady
+		return nil
+	}
+
+	// Drain both sides concurrently.
+	type side struct {
+		rel   *relation.Relation
+		ready float64
+		err   error
+	}
+	lch := make(chan side, 1)
+	go func() {
+		rel, ready, err := drainRelation(ctx, j.left)
+		lch <- side{rel, ready, err}
+	}()
+	right, rReady, rerr := drainRelation(ctx, j.right)
+	l := <-lch
+	if l.err != nil {
+		return l.err
+	}
+	if rerr != nil {
+		return rerr
+	}
+	j.rightRel = right
+	j.clock = l.ready
+	if rReady > j.clock {
+		j.clock = rReady
+	}
+
+	var le, re *join.Extraction
+	features := j.node.LeftFeatures
+	var names []string
+	if len(features) > 0 {
+		// Extraction and the feature-selection sample join post via
+		// blocking market calls; honor cancellation at the phase
+		// boundary at least.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lcomb, err := j.x.eng.Combiner()
+		if err != nil {
+			return err
+		}
+		rcomb, err := j.x.eng.Combiner()
+		if err != nil {
+			return err
+		}
+		extOpts := join.ExtractOptions{
+			Combined:    opts.ExtractCombined,
+			BatchSize:   opts.ExtractBatch,
+			Assignments: opts.Assignments,
+		}
+		lo := extOpts
+		lo.Combiner = lcomb
+		lo.GroupID = j.x.groupID("extract-left/"+j.node.Task.Name, j.path+".xl")
+		ro := extOpts
+		ro.Combiner = rcomb
+		ro.GroupID = j.x.groupID("extract-right/"+j.node.Task.Name, j.path+".xr")
+		var xerr error
+		le, re, xerr = join.ExtractBoth(l.rel, right, j.node.LeftFeatures, j.node.RightFeatures, lo, ro, j.x.eng.Market)
+		// Account whichever sides completed even when the other failed —
+		// those HITs were spent regardless.
+		if le != nil {
+			j.x.account("extract-left", le.HITCount, le.AssignmentCount, 0)
+		}
+		if re != nil {
+			j.x.account("extract-right", re.HITCount, re.AssignmentCount, 0)
+		}
+		if xerr != nil {
+			return xerr
+		}
+		if opts.AutoSelectFeatures {
+			kept, err := j.x.selectFeatures(j.node, l.rel, right, le, re, j.joinOptions(), j.path)
+			if err != nil {
+				return err
+			}
+			features = kept
+		}
+		names = make([]string, len(features))
+		for i, f := range features {
+			names[i] = f.Field
+		}
+	}
+
+	if opts.JoinAlgorithm == join.Smart {
+		return j.layoutGrids(l.rel, right, le, re, names)
+	}
+	j.iter = join.NewPairIter(l.rel, right, le, re, names)
+	return nil
+}
+
+// joinOptions mirrors the materializing executor's join.Options for
+// the feature-selection sample join.
+func (j *crowdJoinOp) joinOptions() join.Options {
+	opts := &j.x.eng.Options
+	comb, _ := j.x.eng.Combiner()
+	return join.Options{
+		Algorithm:   opts.JoinAlgorithm,
+		BatchSize:   opts.JoinBatch,
+		GridRows:    opts.GridRows,
+		GridCols:    opts.GridCols,
+		Assignments: opts.Assignments,
+		Combiner:    comb,
+		GroupID:     j.x.groupID("join/"+j.node.Task.Name, j.path),
+		Cache:       j.x.eng.Cache,
+	}
+}
+
+// layoutGrids builds every SmartBatch grid HIT up front (the layout
+// needs the full candidate set) and queues them for chunked posting.
+func (j *crowdJoinOp) layoutGrids(left, right *relation.Relation, le, re *join.Extraction, names []string) error {
+	opts := &j.x.eng.Options
+	var seq join.PairSeq
+	if len(names) > 0 {
+		seq = join.FilteredSeq(left, right, le, re, names)
+	} else {
+		seq = join.CrossSeq(left, right)
+	}
+	hits, err := join.SmartGridHITs(j.builder, seq, func(p join.Pair) { j.noteSlot(p) },
+		j.node.Task.Name, opts.GridRows, opts.GridCols)
+	if err != nil {
+		return err
+	}
+	// A candidate's cell lives in exactly one grid HIT.
+	for _, h := range hits {
+		for qi := range h.Questions {
+			q := &h.Questions[qi]
+			for _, lt := range q.LeftItems {
+				for _, rt := range q.RightItems {
+					key := join.Pair{Left: lt, Right: rt}.Key()
+					if idx, ok := j.slotOf[key]; ok {
+						j.slots[idx].pending++
+					}
+				}
+			}
+		}
+	}
+	j.post.enqueue(hits...)
+	j.pairsDone = true
+	return nil
+}
+
+// noteSlot registers a candidate pair, deduplicating by content key
+// (first appearance wins, fixing emission order).
+func (j *crowdJoinOp) noteSlot(p join.Pair) *jslot {
+	key := p.Key()
+	if idx, ok := j.slotOf[key]; ok {
+		return j.slots[idx]
+	}
+	s := &jslot{pair: p}
+	j.slotOf[key] = len(j.slots)
+	j.slots = append(j.slots, s)
+	return s
+}
+
+// nextPair produces the next candidate pair, pulling left batches on
+// demand in streaming mode.
+func (j *crowdJoinOp) nextPair(ctx context.Context) (join.Pair, bool, error) {
+	if j.iter != nil {
+		p, ok := j.iter.Next()
+		return p, ok, nil
+	}
+	for {
+		if len(j.leftBuf) > 0 {
+			if j.rightIdx < j.rightRel.Len() {
+				p := join.Pair{Left: j.leftBuf[0], Right: j.rightRel.Row(j.rightIdx)}
+				j.rightIdx++
+				return p, true, nil
+			}
+			j.leftBuf = j.leftBuf[1:]
+			j.rightIdx = 0
+			continue
+		}
+		if j.leftEOS {
+			return join.Pair{}, false, nil
+		}
+		in, err := j.left.Next(ctx)
+		if err != nil {
+			return join.Pair{}, false, err
+		}
+		if in == nil {
+			j.leftEOS = true
+			continue
+		}
+		if in.Ready > j.clock {
+			j.clock = in.Ready
+		}
+		j.leftBuf = in.Tuples
+		j.rightIdx = 0
+	}
+}
+
+// step: generate candidate questions until a chunk's worth of HITs is
+// queued, post, collect, finalize — all count-driven.
+func (j *crowdJoinOp) step(ctx context.Context) error {
+	opts := &j.x.eng.Options
+	batch := 1
+	if opts.JoinAlgorithm == join.Naive && opts.JoinBatch > 1 {
+		batch = opts.JoinBatch
+	}
+	for j.post.canPost() && j.post.hasChunk(j.pairsDone) {
+		j.post.postOne(j.clock)
+	}
+	if !j.pairsDone && !j.closed && !j.post.backlogged() {
+		// Fill one chunk's worth of HITs (bounded work per step).
+		want := j.post.chunkHITs * batch
+		for n := 0; n < want; n++ {
+			p, ok, err := j.nextPair(ctx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				j.pairsDone = true
+				return j.flushHIT(batch, true)
+			}
+			s := j.noteSlot(p)
+			s.pending++
+			j.qbuf = append(j.qbuf, hit.Question{
+				ID:   p.Key(),
+				Kind: hit.JoinPairQ,
+				Task: j.node.Task.Name,
+				Left: p.Left, Right: p.Right,
+			})
+			if err := j.flushHIT(batch, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if j.post.oldestSeq() >= 0 {
+		return j.collectChunk(ctx)
+	}
+	if (j.pairsDone || j.closed) && !j.final {
+		if err := j.finalize(); err != nil {
+			return err
+		}
+	}
+	j.done = true
+	return nil
+}
+
+func (j *crowdJoinOp) flushHIT(batch int, force bool) error {
+	return j.post.flushQuestions(j.builder, &j.qbuf, batch, force)
+}
+
+func (j *crowdJoinOp) collectChunk(ctx context.Context) error {
+	c, res, err := j.post.collect(ctx)
+	if err != nil {
+		return err
+	}
+	done := c.postedAt + res.MakespanHours
+	votes := join.CollectVotes(c.hits, res.Assignments)
+	if j.perQ {
+		// EOS-mode combiners read only eosVotes; buffering per slot too
+		// would double vote memory for nothing.
+		for _, v := range votes {
+			if idx, ok := j.slotOf[v.Question]; ok {
+				j.slots[idx].votes = append(j.slots[idx].votes, v)
+			}
+		}
+	}
+	// Resolve pending counts: one per question (pair interfaces) or one
+	// per candidate cell (grid interfaces).
+	var touchErr error
+	touch := func(key string) {
+		idx, ok := j.slotOf[key]
+		if !ok {
+			return
+		}
+		s := j.slots[idx]
+		s.pending--
+		if done > s.ready {
+			s.ready = done
+		}
+		if s.pending == 0 && !s.decided && j.perQ {
+			if err := j.decideSlot(s, key); err != nil && touchErr == nil {
+				touchErr = err
+			}
+			s.decided = true
+		}
+	}
+	for _, h := range c.hits {
+		for qi := range h.Questions {
+			q := &h.Questions[qi]
+			if q.Kind == hit.JoinGridQ {
+				for _, lt := range q.LeftItems {
+					for _, rt := range q.RightItems {
+						touch(join.Pair{Left: lt, Right: rt}.Key())
+					}
+				}
+				continue
+			}
+			touch(q.ID)
+		}
+	}
+	if touchErr != nil {
+		return touchErr
+	}
+	if !j.perQ {
+		j.eosVotes = append(j.eosVotes, votes...)
+	}
+	j.acct.collected(res.TotalAssignments, done, res.Incomplete)
+	return nil
+}
+
+// decideSlot resolves one pair from its own votes (PerQuestion path).
+// Combine errors fail the query, matching the materializing executor.
+func (j *crowdJoinOp) decideSlot(s *jslot, key string) error {
+	if len(s.votes) == 0 {
+		return nil
+	}
+	decisions, err := j.comb.Combine(s.votes)
+	if err != nil {
+		return err
+	}
+	if d, ok := decisions[key]; ok && d.Value == "yes" {
+		s.accepted = true
+	}
+	s.votes = nil
+	return nil
+}
+
+// finalize resolves every pair with one combine over all votes
+// (stateful-combiner path) and closes out undecided slots. Combine
+// errors fail the query, matching the materializing executor.
+func (j *crowdJoinOp) finalize() error {
+	j.final = true
+	if !j.perQ {
+		decisions, err := j.comb.Combine(j.eosVotes)
+		if err != nil {
+			return err
+		}
+		doneAt := j.clock
+		if j.acct.lastDone > doneAt {
+			doneAt = j.acct.lastDone
+		}
+		for _, s := range j.slots {
+			if d, ok := decisions[s.pair.Key()]; ok && d.Value == "yes" {
+				s.accepted = true
+			}
+			s.decided = true
+			if doneAt > s.ready {
+				s.ready = doneAt
+			}
+		}
+		return nil
+	}
+	for _, s := range j.slots {
+		if s.pending == 0 {
+			s.decided = true
+		}
+	}
+	return nil
+}

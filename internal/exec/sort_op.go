@@ -1,0 +1,210 @@
+// Sort operators. Both are explicit pipeline breakers: a sort cannot
+// emit its first row before seeing its last input row, so they drain
+// the child (memory O(input tuples)) before emitting. CrowdOrderBy
+// still streams its *output*: rows grouped by machine-sortable prefix
+// columns are emitted group by group, each as soon as its crowd sort
+// settles, so a downstream LIMIT over a grouped sort stops paying for
+// later groups.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"qurk/internal/plan"
+	"qurk/internal/relation"
+)
+
+type crowdOrderByOp struct {
+	x      *executor
+	node   *plan.CrowdOrderBy
+	path   string
+	child  Operator
+	closed bool
+
+	groups  []*relation.Relation
+	gi      int
+	pending []relation.Tuple
+	clock   float64
+	started bool
+	size    int
+}
+
+func (o *crowdOrderByOp) Schema() *relation.Schema { return o.child.Schema() }
+func (o *crowdOrderByOp) Name() string             { return o.child.Name() }
+func (o *crowdOrderByOp) OpLabel() string          { return o.node.Label() }
+func (o *crowdOrderByOp) Inputs() []Operator       { return []Operator{o.child} }
+
+// BreakerNote implements Breaker.
+func (o *crowdOrderByOp) BreakerNote() string {
+	return "materializes input before sorting (O(input)); emits group by group"
+}
+
+func (o *crowdOrderByOp) finalReady() float64 { return o.clock }
+
+func (o *crowdOrderByOp) Close() {
+	if !o.closed {
+		o.closed = true
+		o.child.Close()
+	}
+}
+
+// start drains the input and splits it into groups by the
+// machine-sortable prefix columns (paper §5's ORDER BY name,
+// quality(img)), ordered by group key.
+func (o *crowdOrderByOp) start(ctx context.Context) error {
+	o.started = true
+	in, ready, err := drainRelation(ctx, o.child)
+	if err != nil {
+		return err
+	}
+	o.clock = ready
+	type group struct {
+		key  string
+		rows []int
+	}
+	var groups []group
+	idx := map[string]int{}
+	for i := 0; i < in.Len(); i++ {
+		key := ""
+		for _, col := range o.node.GroupCols {
+			v, ok := in.Row(i).Get(col)
+			if !ok {
+				return fmt.Errorf("exec: ORDER BY column %q not found in %s", col, in.Schema())
+			}
+			key += v.String() + "\x00"
+		}
+		gi, ok := idx[key]
+		if !ok {
+			gi = len(groups)
+			idx[key] = gi
+			groups = append(groups, group{key: key})
+		}
+		groups[gi].rows = append(groups[gi].rows, i)
+	}
+	sort.SliceStable(groups, func(a, b int) bool { return groups[a].key < groups[b].key })
+	for _, g := range groups {
+		sub := relation.New(in.Name(), in.Schema())
+		for _, ri := range g.rows {
+			if err := sub.Append(in.Row(ri)); err != nil {
+				return err
+			}
+		}
+		o.groups = append(o.groups, sub)
+	}
+	return nil
+}
+
+func (o *crowdOrderByOp) Next(ctx context.Context) (*Batch, error) {
+	if !o.started {
+		if err := o.start(ctx); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		// Emit the current sorted group in bounded batches.
+		if len(o.pending) > 0 {
+			n := o.size
+			if n <= 0 || n > len(o.pending) {
+				n = len(o.pending)
+			}
+			b := &Batch{Tuples: o.pending[:n:n], Ready: o.clock}
+			o.pending = o.pending[n:]
+			return b, nil
+		}
+		if o.closed || o.gi >= len(o.groups) {
+			return nil, nil
+		}
+		// Checked before each group's blocking sort round; a sort
+		// already in flight runs to completion (sortop posts via the
+		// synchronous Marketplace.Run).
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sub := o.groups[o.gi]
+		path := fmt.Sprintf("%s.g%d", o.path, o.gi)
+		o.gi++
+		order, makespan, err := o.x.crowdSort(sub, o.node, path)
+		if err != nil {
+			return nil, err
+		}
+		o.clock += makespan
+		if o.node.Desc {
+			for i, k := 0, len(order)-1; i < k; i, k = i+1, k-1 {
+				order[i], order[k] = order[k], order[i]
+			}
+		}
+		o.pending = make([]relation.Tuple, 0, len(order))
+		for _, ri := range order {
+			o.pending = append(o.pending, sub.Row(ri))
+		}
+	}
+}
+
+type machineOrderByOp struct {
+	node    *plan.MachineOrderBy
+	child   Operator
+	size    int
+	closed  bool
+	started bool
+	out     *scanOp
+	ready   float64
+}
+
+func (o *machineOrderByOp) Schema() *relation.Schema { return o.child.Schema() }
+func (o *machineOrderByOp) Name() string             { return o.child.Name() }
+func (o *machineOrderByOp) OpLabel() string          { return o.node.Label() }
+func (o *machineOrderByOp) Inputs() []Operator       { return []Operator{o.child} }
+
+// BreakerNote implements Breaker.
+func (o *machineOrderByOp) BreakerNote() string {
+	return "materializes input before sorting (O(input))"
+}
+
+func (o *machineOrderByOp) finalReady() float64 { return o.ready }
+
+func (o *machineOrderByOp) Close() {
+	if !o.closed {
+		o.closed = true
+		o.child.Close()
+	}
+}
+
+func (o *machineOrderByOp) Next(ctx context.Context) (*Batch, error) {
+	if !o.started {
+		o.started = true
+		in, ready, err := drainRelation(ctx, o.child)
+		if err != nil {
+			return nil, err
+		}
+		for _, col := range o.node.Cols {
+			if !in.Schema().Has(col) {
+				return nil, fmt.Errorf("exec: ORDER BY column %q not found", col)
+			}
+		}
+		sorted := in.SortBy(func(a, b relation.Tuple) bool {
+			for i, col := range o.node.Cols {
+				cmp := a.MustGet(col).Compare(b.MustGet(col))
+				if cmp == 0 {
+					continue
+				}
+				if o.node.Desc[i] {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		o.out = newScanOp(sorted, o.size)
+		o.ready = ready
+	}
+	if o.closed {
+		return nil, nil
+	}
+	b, err := o.out.Next(ctx)
+	if b != nil {
+		b.Ready = o.ready
+	}
+	return b, err
+}

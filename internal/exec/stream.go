@@ -1,0 +1,538 @@
+// This file implements the streaming crowd filter operators plus the
+// chunked HIT posting pipeline (poster) shared by every streaming
+// crowd operator. The shape is:
+//
+//	pull input batch → mint questions (stable ordinal IDs) → fill
+//	fixed-size HITs → post fixed-size HIT chunks asynchronously with
+//	bounded lookahead → as chunks complete, combine votes and release
+//	decided tuples downstream in input order.
+//
+// Determinism: the HIT a question lands in depends only on its input
+// ordinal and the configured batch size, and the sub-group a HIT is
+// posted in depends only on its index and Options.StreamChunkHITs —
+// never on arrival timing. All sub-groups of one operator share its
+// plan-path group ID, so the simulator's hash(seed, groupID, hitID)
+// answer streams are identical no matter how the posting is sliced.
+// Combiners marked combine.PerQuestion are applied chunk-by-chunk
+// (provably equivalent to one combine over all votes); any other
+// combiner turns the operator into a pipeline breaker that buffers all
+// votes — O(input) memory — and decides at end of stream.
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"qurk/internal/combine"
+	"qurk/internal/crowd"
+	"qurk/internal/hit"
+	"qurk/internal/relation"
+	"qurk/internal/task"
+)
+
+// postedChunk is one sub-group of HITs in flight on the marketplace.
+type postedChunk struct {
+	hits     []*hit.HIT
+	ch       <-chan crowd.Async
+	postedAt float64 // virtual-clock hours when its inputs were ready
+	seq      int     // global post order, for deterministic collection
+}
+
+// poster slices one logical HIT group into fixed-size runs and posts
+// each run as its own marketplace call, keeping at most `lookahead`
+// runs in flight. Collection is FIFO per poster.
+type poster struct {
+	market    crowd.Marketplace
+	groupID   string
+	chunkHITs int
+	lookahead int
+	seq       *int
+	acct      *opAcct
+	queued    []*hit.HIT
+	inflight  []postedChunk
+}
+
+func (p *poster) enqueue(hs ...*hit.HIT) { p.queued = append(p.queued, hs...) }
+
+// hasChunk reports whether a full chunk is ready (or, when forcing at
+// end of stream, any queued HITs remain).
+func (p *poster) hasChunk(force bool) bool {
+	return len(p.queued) >= p.chunkHITs || (force && len(p.queued) > 0)
+}
+
+func (p *poster) canPost() bool { return len(p.inflight) < p.lookahead }
+
+// backlogged means the poster cannot accept more work until a collect.
+func (p *poster) backlogged() bool { return len(p.queued) >= p.chunkHITs && !p.canPost() }
+
+// postOne posts the next chunk at the given virtual-clock time.
+func (p *poster) postOne(clock float64) {
+	n := p.chunkHITs
+	if n > len(p.queued) {
+		n = len(p.queued)
+	}
+	chunk := p.queued[:n:n]
+	p.queued = p.queued[n:]
+	*p.seq++
+	p.inflight = append(p.inflight, postedChunk{
+		hits:     chunk,
+		ch:       p.market.RunAsync(&hit.Group{ID: p.groupID, HITs: chunk}),
+		postedAt: clock,
+		seq:      *p.seq,
+	})
+	if p.acct != nil {
+		p.acct.posted(len(chunk), clock)
+	}
+}
+
+// oldestSeq returns the post sequence of the oldest in-flight chunk,
+// or -1 when nothing is in flight.
+func (p *poster) oldestSeq() int {
+	if len(p.inflight) == 0 {
+		return -1
+	}
+	return p.inflight[0].seq
+}
+
+// collect awaits the oldest in-flight chunk.
+func (p *poster) collect(ctx context.Context) (postedChunk, *crowd.RunResult, error) {
+	c := p.inflight[0]
+	p.inflight = p.inflight[1:]
+	res, err := crowd.Await(ctx, c.ch)
+	if err != nil {
+		return c, nil, err
+	}
+	return c, res, nil
+}
+
+// flushQuestions merges buffered questions into HITs of exactly `size`
+// (plus one final partial when forcing at end of input) and queues
+// them on the poster. Shared by every streaming crowd operator so the
+// HIT sizes match what a single materialized Merge would produce.
+func (p *poster) flushQuestions(b *hit.Builder, qbuf *[]hit.Question, size int, force bool) error {
+	for len(*qbuf) >= size || (force && len(*qbuf) > 0) {
+		n := size
+		if n > len(*qbuf) {
+			n = len(*qbuf)
+		}
+		hs, err := b.Merge((*qbuf)[:n:n], n)
+		if err != nil {
+			return err
+		}
+		p.enqueue(hs...)
+		*qbuf = append((*qbuf)[:0], (*qbuf)[n:]...)
+	}
+	return nil
+}
+
+// opAcct accumulates one operator's chunked spending into its
+// pre-registered Stats slot and the engine ledger. HITs and dollars
+// are accounted when a chunk is POSTED — posted crowd work is spent
+// whether or not anyone waits for it, so a LIMIT short-circuit or a
+// cancellation that abandons in-flight chunks still shows their cost
+// in TotalHITs and the ledger. Assignments and makespan arrive at
+// collection. Makespan is the operator's span on the virtual clock:
+// last chunk completion minus first chunk post (equal to the single
+// group makespan when the whole operator fit in one chunk — the
+// materializing executor's number).
+type opAcct struct {
+	x          *executor
+	label      string
+	slot       int
+	started    bool
+	firstPost  float64
+	lastDone   float64
+	hits, asns int
+}
+
+// posted accounts a chunk the moment it goes to the marketplace.
+func (a *opAcct) posted(hits int, postedAt float64) {
+	if !a.started || postedAt < a.firstPost {
+		a.firstPost = postedAt
+		a.started = true
+	}
+	a.hits += hits
+	a.x.eng.Ledger.Add(a.label, hits, a.x.eng.Options.Assignments)
+	a.x.stats.setSlot(a.slot, a.hits, a.asns, a.span(), nil)
+}
+
+// collected folds in a completed chunk's assignment count and timing.
+func (a *opAcct) collected(assignments int, done float64, incomplete []string) {
+	if done > a.lastDone {
+		a.lastDone = done
+	}
+	a.asns += assignments
+	a.x.stats.setSlot(a.slot, a.hits, a.asns, a.span(), incomplete)
+}
+
+// span is the operator's virtual-clock busy span so far; zero until a
+// chunk completes (posted-but-uncollected chunks have spent HITs but
+// no observable makespan yet).
+func (a *opAcct) span() float64 {
+	if s := a.lastDone - a.firstPost; s > 0 {
+		return s
+	}
+	return 0
+}
+
+// qVotes is one question's resolved votes, kept in question order so
+// end-of-stream combiners see a deterministic vote sequence.
+type qVotes struct {
+	slot  int
+	qid   string
+	votes []combine.Vote
+}
+
+// --- Crowd filter (single task and OR of tasks) ---
+
+// fslot tracks one input tuple through the filter: how many unique
+// branches have yet to rule on it, whether any branch accepted it, and
+// when its decision completed on the virtual clock.
+type fslot struct {
+	tuple    relation.Tuple
+	pending  int
+	accepted bool
+	ready    float64
+}
+
+// filterBranch is one disjunct: its own HIT group, builder, combiner,
+// and posting pipeline over the shared input ordinals.
+type filterBranch struct {
+	idx     int
+	ft      *task.Filter
+	negate  bool
+	groupID string
+	comb    combine.Combiner
+	perQ    bool
+	builder *hit.Builder
+	post    *poster
+	acct    *opAcct
+	dupOf   int // branch index this one mirrors; == idx when unique
+	// asked tracks question content this branch has already posted in
+	// THIS run. Later duplicate rows post independently instead of
+	// replaying whatever the earlier chunk may (or may not yet) have
+	// stored in the task cache — cache-hit behavior must not depend on
+	// chunk collection timing, or results would vary with
+	// StreamChunkHITs. Matches the materializing executor, which did
+	// all lookups before any store.
+	asked map[uint64]bool
+	qbuf  []hit.Question
+	// eosVotes/eosSlots buffer votes for non-PerQuestion combiners,
+	// which need the full vote matrix in one Combine call.
+	eosVotes []combine.Vote
+	eosSlots []qVotes
+}
+
+func (br *filterBranch) accepts(d combine.Decision, ok bool) bool {
+	if !ok {
+		return false
+	}
+	if br.negate {
+		return d.Value == "no"
+	}
+	return d.Value == "yes"
+}
+
+// crowdFilterOp streams a crowd filter: a plain CrowdFilter is the
+// one-branch case, CrowdFilterOr the general case with branch HIT
+// groups posted in parallel (paper §2.5: disjuncts run concurrently).
+// A tuple is released downstream once every unique branch has ruled,
+// accepted if any branch (after per-branch negation) said yes.
+// Duplicate disjuncts (same task, same negation) post once and share
+// the verdict.
+type crowdFilterOp struct {
+	x       *executor
+	child   Operator
+	label   string
+	branch  []*filterBranch
+	uniq    []*filterBranch // branches that actually post (dupOf == idx)
+	hitSize int
+	seq     int
+	slots   []*fslot
+	slotOf  map[string]int // question ID → slot index (all branches)
+	emit    emitQueue
+	emitAt  int
+	clock   float64 // max input Ready ingested so far
+	eos     bool
+	closed  bool
+	done    bool
+	final   bool
+}
+
+func (f *crowdFilterOp) Schema() *relation.Schema { return f.child.Schema() }
+func (f *crowdFilterOp) Name() string             { return f.child.Name() }
+func (f *crowdFilterOp) OpLabel() string          { return f.label }
+func (f *crowdFilterOp) Inputs() []Operator       { return []Operator{f.child} }
+
+// BreakerNote implements Breaker when a stateful combiner forces
+// buffering; Describe skips the empty note otherwise.
+func (f *crowdFilterOp) BreakerNote() string {
+	for _, br := range f.uniq {
+		if !br.perQ {
+			return fmt.Sprintf("buffers all votes for %s (O(input) memory)", br.comb.Name())
+		}
+	}
+	return ""
+}
+
+// finalReady includes rejected tuples' decision times (emitQueue
+// tracks them via advance) and anything the child decided upstream.
+func (f *crowdFilterOp) finalReady() float64 {
+	r := f.emit.ready
+	if cr := readyOf(f.child); cr > r {
+		r = cr
+	}
+	return r
+}
+
+func (f *crowdFilterOp) Close() {
+	if !f.closed {
+		f.closed = true
+		f.child.Close()
+	}
+}
+
+func (f *crowdFilterOp) Next(ctx context.Context) (*Batch, error) {
+	for {
+		// Release the longest decided prefix in input order.
+		for f.emitAt < len(f.slots) && f.slots[f.emitAt].pending == 0 {
+			s := f.slots[f.emitAt]
+			if s.accepted {
+				f.emit.push(s.tuple, s.ready)
+			} else {
+				f.emit.advance(s.ready)
+			}
+			f.slots[f.emitAt] = nil
+			f.emitAt++
+		}
+		if !f.emit.empty() {
+			return f.emit.pop(), nil
+		}
+		if f.done {
+			return nil, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := f.step(ctx); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// step advances the pipeline by one action: post anything postable,
+// then either ingest another input batch or collect the oldest
+// in-flight chunk. Every choice is driven by counts, never timing.
+func (f *crowdFilterOp) step(ctx context.Context) error {
+	uniq := f.uniq
+	backlogged := false
+	for _, br := range uniq {
+		for br.post.canPost() && br.post.hasChunk(f.eos) {
+			br.post.postOne(f.clock)
+		}
+		if br.post.backlogged() {
+			backlogged = true
+		}
+	}
+	// Ingest unless a branch needs a collect to drain its backlog.
+	if !f.eos && !f.closed && !backlogged {
+		in, err := f.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			f.eos = true
+			for _, br := range uniq {
+				if err := br.flushHIT(f.hitSize, true); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if in.Ready > f.clock {
+			f.clock = in.Ready
+		}
+		return f.ingest(in)
+	}
+	// Collect the globally oldest in-flight chunk.
+	var oldest *filterBranch
+	for _, br := range uniq {
+		if s := br.post.oldestSeq(); s >= 0 && (oldest == nil || s < oldest.post.oldestSeq()) {
+			oldest = br
+		}
+	}
+	if oldest != nil {
+		return f.collectChunk(ctx, oldest)
+	}
+	// Nothing in flight, nothing left to ingest: finalize and finish.
+	if (f.eos || f.closed) && !f.final {
+		if err := f.finalize(); err != nil {
+			return err
+		}
+	}
+	f.done = true
+	return nil
+}
+
+// flushHIT merges the branch's buffered questions into HITs once full
+// (or unconditionally at end of input).
+func (br *filterBranch) flushHIT(size int, force bool) error {
+	return br.post.flushQuestions(br.builder, &br.qbuf, size, force)
+}
+
+// ingest mints one question per tuple per unique branch, answering
+// from the task cache where possible.
+func (f *crowdFilterOp) ingest(in *Batch) error {
+	for _, t := range in.Tuples {
+		slotIdx := len(f.slots)
+		s := &fslot{tuple: t, ready: in.Ready}
+		f.slots = append(f.slots, s)
+		for _, br := range f.branch {
+			if br.dupOf != br.idx {
+				continue
+			}
+			s.pending++
+			q := hit.Question{
+				ID:    fmt.Sprintf("%s/t%05d", br.groupID, slotIdx),
+				Kind:  hit.FilterQ,
+				Task:  br.ft.Name,
+				Tuple: t,
+			}
+			if f.x.eng.Cache != nil && !br.asked[q.CacheKey()] {
+				if cached, ok := f.x.eng.Cache.Lookup(&q); ok {
+					votes := make([]combine.Vote, 0, len(cached))
+					for _, ca := range cached {
+						votes = append(votes, combine.Vote{Question: q.ID, Worker: ca.WorkerID, Value: combine.BoolVote(ca.Answer.Bool)})
+					}
+					if err := f.applyBranchVotes(br, []qVotes{{slot: slotIdx, qid: q.ID, votes: votes}}, in.Ready); err != nil {
+						return err
+					}
+					continue
+				}
+			}
+			f.slotOf[q.ID] = slotIdx
+			br.asked[q.CacheKey()] = true
+			br.qbuf = append(br.qbuf, q)
+			if err := br.flushHIT(f.hitSize, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyBranchVotes resolves one branch's verdicts for a run of
+// questions (PerQuestion path) or defers them to finalize (EOS path).
+// Combine errors fail the query, as they did under the materializing
+// executor — an empty decision map would silently reject everything.
+func (f *crowdFilterOp) applyBranchVotes(br *filterBranch, list []qVotes, done float64) error {
+	if !br.perQ {
+		for _, qv := range list {
+			br.eosVotes = append(br.eosVotes, qv.votes...)
+			br.eosSlots = append(br.eosSlots, qVotes{slot: qv.slot, qid: qv.qid})
+		}
+		return nil
+	}
+	for _, qv := range list {
+		s := f.slots[qv.slot]
+		if len(qv.votes) > 0 {
+			decisions, err := br.comb.Combine(qv.votes)
+			if err != nil {
+				return err
+			}
+			d, ok := decisions[qv.qid]
+			if br.accepts(d, ok) {
+				s.accepted = true
+			}
+		}
+		s.pending--
+		if done > s.ready {
+			s.ready = done
+		}
+	}
+	return nil
+}
+
+// collectChunk awaits a branch's oldest chunk and applies its votes.
+func (f *crowdFilterOp) collectChunk(ctx context.Context, br *filterBranch) error {
+	c, res, err := br.post.collect(ctx)
+	if err != nil {
+		return err
+	}
+	done := c.postedAt + res.MakespanHours
+	list, answers := chunkVotes(c.hits, res.Assignments, f.slotOf)
+	if f.x.eng.Cache != nil {
+		for _, h := range c.hits {
+			for qi := range h.Questions {
+				q := &h.Questions[qi]
+				f.x.eng.Cache.Store(q, answers[q.ID])
+			}
+		}
+	}
+	if err := f.applyBranchVotes(br, list, done); err != nil {
+		return err
+	}
+	br.acct.collected(res.TotalAssignments, done, res.Incomplete)
+	return nil
+}
+
+// chunkVotes resolves a chunk's assignments into per-question vote
+// runs, ordered by HIT then question position so downstream combining
+// is deterministic. Every question in the chunk appears in the result
+// — questions in refused HITs resolve with zero votes (and reject).
+func chunkVotes(hits []*hit.HIT, assignments []hit.Assignment, slotOf map[string]int) ([]qVotes, map[string][]hit.CachedAnswer) {
+	byQ := map[string][]combine.Vote{}
+	answers := map[string][]hit.CachedAnswer{}
+	hit.ForEachAnswer(hits, assignments, func(q *hit.Question, worker string, ans hit.Answer) {
+		byQ[q.ID] = append(byQ[q.ID], combine.Vote{Question: q.ID, Worker: worker, Value: combine.BoolVote(ans.Bool)})
+		answers[q.ID] = append(answers[q.ID], hit.CachedAnswer{WorkerID: worker, Answer: ans})
+	})
+	var list []qVotes
+	for _, h := range hits {
+		for qi := range h.Questions {
+			q := &h.Questions[qi]
+			list = append(list, qVotes{slot: slotOf[q.ID], qid: q.ID, votes: byQ[q.ID]})
+		}
+	}
+	return list, answers
+}
+
+// finalize resolves EOS-mode branches with one combine over all their
+// votes, then finishes any slots they still owe.
+func (f *crowdFilterOp) finalize() error {
+	f.final = true
+	doneAt := f.clockDone()
+	for _, br := range f.branch {
+		if br.dupOf != br.idx || br.perQ {
+			continue
+		}
+		decisions, err := br.comb.Combine(br.eosVotes)
+		if err != nil {
+			return err
+		}
+		for _, qv := range br.eosSlots {
+			s := f.slots[qv.slot]
+			d, ok := decisions[qv.qid]
+			if br.accepts(d, ok) {
+				s.accepted = true
+			}
+			s.pending--
+			if doneAt > s.ready {
+				s.ready = doneAt
+			}
+		}
+	}
+	return nil
+}
+
+// clockDone is the operator's last chunk completion time: EOS-mode
+// decisions become available only once every chunk is collected.
+func (f *crowdFilterOp) clockDone() float64 {
+	t := f.clock
+	for _, br := range f.branch {
+		if br.dupOf == br.idx && br.acct.lastDone > t {
+			t = br.acct.lastDone
+		}
+	}
+	return t
+}

@@ -244,3 +244,29 @@ func SortAssignments(as []Assignment) {
 		return as[i].WorkerID < as[j].WorkerID
 	})
 }
+
+// ForEachAnswer routes every completed assignment's answers back to
+// their questions: visit is called once per (question, worker, answer)
+// triple, in assignment order, skipping assignments for unknown HITs
+// and answers beyond a HIT's question count. Four operators collect
+// votes from assignments; sharing the routing loop keeps their
+// truncation and unknown-HIT handling from drifting apart.
+func ForEachAnswer(hits []*HIT, assignments []Assignment, visit func(q *Question, workerID string, ans Answer)) {
+	qByHIT := make(map[string]*HIT, len(hits))
+	for _, h := range hits {
+		qByHIT[h.ID] = h
+	}
+	for ai := range assignments {
+		a := &assignments[ai]
+		h := qByHIT[a.HITID]
+		if h == nil {
+			continue
+		}
+		for i := range a.Answers {
+			if i >= len(h.Questions) {
+				break
+			}
+			visit(&h.Questions[i], a.WorkerID, a.Answers[i])
+		}
+	}
+}

@@ -122,6 +122,52 @@ func CollectPairs(seq PairSeq) []Pair {
 	return out
 }
 
+// PairIter is the pull-side dual of PairSeq: a resumable candidate-pair
+// iterator for consumers that interleave pair generation with other
+// work (the streaming executor batches pairs into HITs a chunk at a
+// time, posting each chunk before generating the next). Next returns
+// false when the sequence is exhausted.
+type PairIter interface {
+	Next() (Pair, bool)
+}
+
+// crossIter walks left×right in row-major order, optionally pruned by
+// feature extractions (PairPasses), without materializing anything.
+type crossIter struct {
+	left, right *relation.Relation
+	le, re      *Extraction
+	features    []string
+	i, j        int
+}
+
+// NewPairIter returns a pull iterator over the candidate pairs of
+// left ⋈ right in row-major order. With non-nil extractions and a
+// feature list it yields only feature-compatible pairs (the §3.2
+// pruned candidate set, same order as FilteredSeq); with nil
+// extractions it yields the full cross product (same order as
+// CrossSeq).
+func NewPairIter(left, right *relation.Relation, le, re *Extraction, features []string) PairIter {
+	return &crossIter{left: left, right: right, le: le, re: re, features: features}
+}
+
+// Next implements PairIter.
+func (it *crossIter) Next() (Pair, bool) {
+	for ; it.i < it.left.Len(); it.i++ {
+		lt := it.left.Row(it.i)
+		for ; it.j < it.right.Len(); it.j++ {
+			rt := it.right.Row(it.j)
+			if it.le != nil && it.re != nil && !PairPasses(it.le, it.re, lt, rt, it.features) {
+				continue
+			}
+			p := Pair{LeftIndex: it.i, RightIndex: it.j, Left: lt, Right: rt}
+			it.j++
+			return p, true
+		}
+		it.j = 0
+	}
+	return Pair{}, false
+}
+
 // CrossSeq streams the full cross product in row-major order — the
 // block nested loop the paper describes (§3.1) without the O(|R|·|S|)
 // slice.
@@ -253,7 +299,7 @@ func RunSeq(candidates PairSeq, jt *task.EquiJoin, opts Options, market crowd.Ma
 			err = flush()
 		}
 	case Smart:
-		hits, err = smartHITs(b, candidates, note, jt.Name, opts.GridRows, opts.GridCols)
+		hits, err = SmartGridHITs(b, candidates, note, jt.Name, opts.GridRows, opts.GridCols)
 	default:
 		return nil, fmt.Errorf("join: unknown algorithm %v", opts.Algorithm)
 	}
@@ -277,7 +323,7 @@ func RunSeq(candidates PairSeq, jt *task.EquiJoin, opts Options, market crowd.Ma
 	res.Assignments = run.Assignments
 
 	// Collect votes per pair.
-	res.Votes = collectVotes(hits, run.Assignments)
+	res.Votes = CollectVotes(hits, run.Assignments)
 
 	// Combine and keep accepted pairs in first-appearance order.
 	decisions, err := opts.Combiner.Combine(res.Votes)
@@ -315,15 +361,16 @@ func RunCross(left, right *relation.Relation, jt *task.EquiJoin, opts Options, m
 	return RunSeq(CrossSeq(left, right), jt, opts, market)
 }
 
-// smartHITs lays candidate pairs out as r×s grids. Candidates are grouped
+// SmartGridHITs lays candidate pairs out as r×s grids. Candidates are grouped
 // into maximal complete bipartite blocks: we collect the distinct left
 // and right tuples (in first-appearance order), chunk them r and s at a
 // time, and emit a grid HIT per chunk pair that contains at least one
 // candidate. With a full cross product every chunk pair qualifies and the
 // count matches the paper's |R||S|/(rs); with feature-filtered candidates
 // sparse blocks are skipped. note is invoked once per streamed candidate
-// for the caller's bookkeeping.
-func smartHITs(b *hit.Builder, candidates PairSeq, note func(Pair), taskName string, r, s int) ([]*hit.HIT, error) {
+// for the caller's bookkeeping. Exported so the streaming executor can
+// lay out grids itself and post them chunk by chunk.
+func SmartGridHITs(b *hit.Builder, candidates PairSeq, note func(Pair), taskName string, r, s int) ([]*hit.HIT, error) {
 	if r < 1 || s < 1 {
 		return nil, fmt.Errorf("join: smart grid must be ≥1×1, got %d×%d", r, s)
 	}
@@ -394,50 +441,37 @@ func min(a, b int) int {
 	return b
 }
 
-// collectVotes turns assignments into per-pair yes/no votes. Grid
+// CollectVotes turns assignments into per-pair yes/no votes. Grid
 // answers expand to votes over every cell: selected cells vote yes,
-// unselected cells vote no.
-func collectVotes(hits []*hit.HIT, assignments []hit.Assignment) []combine.Vote {
-	qByHIT := make(map[string]*hit.HIT, len(hits))
-	for _, h := range hits {
-		qByHIT[h.ID] = h
-	}
+// unselected cells vote no. Exported for the streaming executor, which
+// collects chunk by chunk.
+func CollectVotes(hits []*hit.HIT, assignments []hit.Assignment) []combine.Vote {
 	var votes []combine.Vote
-	for _, a := range assignments {
-		h := qByHIT[a.HITID]
-		if h == nil {
-			continue
-		}
-		for i, ans := range a.Answers {
-			if i >= len(h.Questions) {
-				break
+	hit.ForEachAnswer(hits, assignments, func(q *hit.Question, worker string, ans hit.Answer) {
+		switch q.Kind {
+		case hit.JoinPairQ:
+			votes = append(votes, combine.Vote{
+				Question: q.ID,
+				Worker:   worker,
+				Value:    boolToVote(ans.Bool),
+			})
+		case hit.JoinGridQ:
+			selected := make(map[[2]int]bool, len(ans.Pairs))
+			for _, p := range ans.Pairs {
+				selected[p] = true
 			}
-			q := &h.Questions[i]
-			switch q.Kind {
-			case hit.JoinPairQ:
-				votes = append(votes, combine.Vote{
-					Question: q.ID,
-					Worker:   a.WorkerID,
-					Value:    boolToVote(ans.Bool),
-				})
-			case hit.JoinGridQ:
-				selected := make(map[[2]int]bool, len(ans.Pairs))
-				for _, p := range ans.Pairs {
-					selected[p] = true
-				}
-				for li, lt := range q.LeftItems {
-					for ri, rt := range q.RightItems {
-						key := Pair{Left: lt, Right: rt}.Key()
-						votes = append(votes, combine.Vote{
-							Question: key,
-							Worker:   a.WorkerID,
-							Value:    boolToVote(selected[[2]int{li, ri}]),
-						})
-					}
+			for li, lt := range q.LeftItems {
+				for ri, rt := range q.RightItems {
+					key := Pair{Left: lt, Right: rt}.Key()
+					votes = append(votes, combine.Vote{
+						Question: key,
+						Worker:   worker,
+						Value:    boolToVote(selected[[2]int{li, ri}]),
+					})
 				}
 			}
 		}
-	}
+	})
 	return votes
 }
 

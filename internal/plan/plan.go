@@ -236,14 +236,20 @@ func Explain(n Node) string {
 	return b.String()
 }
 
-func explain(b *strings.Builder, n Node, depth int) {
-	crowdOp := false
+// IsCrowd reports whether the node posts HITs when executed; Explain
+// marks such nodes ☺, and it lets tools reason about a plan's crowd
+// cost without enumerating node types themselves.
+func IsCrowd(n Node) bool {
 	switch n.(type) {
 	case *CrowdFilter, *CrowdFilterOr, *CrowdJoin, *CrowdOrderBy, *Generate, *UnaryPossibly:
-		crowdOp = true
+		return true
 	}
+	return false
+}
+
+func explain(b *strings.Builder, n Node, depth int) {
 	b.WriteString(strings.Repeat("  ", depth))
-	if crowdOp {
+	if IsCrowd(n) {
 		b.WriteString("☺ ")
 	} else {
 		b.WriteString("- ")

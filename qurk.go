@@ -159,8 +159,15 @@ type (
 	Options = core.Options
 	// Library resolves UDF names to task templates.
 	Library = core.Library
-	// ExecStats aggregates a query run's crowd spending.
+	// ExecStats aggregates a query run's crowd spending, including the
+	// pipelined end-to-end makespan on the virtual crowd clock.
 	ExecStats = exec.Stats
+	// StreamOperator is one node of the streaming Volcano executor: a
+	// pull-based iterator over tuple batches.
+	StreamOperator = exec.Operator
+	// StreamBatch is a bounded run of tuples stamped with the simulated
+	// crowd clock at which its rows became available.
+	StreamBatch = exec.Batch
 	// SortMethod selects the ORDER BY implementation.
 	SortMethod = core.SortMethod
 	// Ledger accounts HIT spending in dollars.
@@ -177,8 +184,21 @@ const (
 var (
 	// NewEngine creates an engine over a marketplace.
 	NewEngine = core.NewEngine
-	// RunQuery parses, plans, and executes one query string.
+	// RunQuery parses, plans, and executes one query string on the
+	// streaming Volcano executor.
 	RunQuery = exec.RunQuery
+	// RunQueryContext is RunQuery with cooperative cancellation: when
+	// ctx is done, operators stop posting HITs and unwind promptly.
+	RunQueryContext = exec.RunQueryContext
+	// RunPlan executes an already-built plan tree.
+	RunPlan = exec.RunPlan
+	// RunPlanContext is RunPlan with cooperative cancellation.
+	RunPlanContext = exec.RunPlanContext
+	// CompilePlan builds the streaming operator tree without executing
+	// it; DescribePipeline renders it with pipeline breakers marked.
+	CompilePlan = exec.Compile
+	// DescribePipeline renders a compiled operator tree.
+	DescribePipeline = exec.Describe
 	// ParseQuery parses a query without executing it.
 	ParseQuery = query.ParseQuery
 	// ParseScript parses TASK definitions plus queries.
@@ -399,6 +419,9 @@ var (
 	// RunAdaptiveFilter spends votes only where the posterior is
 	// uncertain (§2.1, §6).
 	RunAdaptiveFilter = adaptive.RunAdaptiveFilter
+	// RunAdaptiveFilterContext stops posting further probe rounds once
+	// ctx is done (the adaptive filter is a pipeline breaker).
+	RunAdaptiveFilterContext = adaptive.RunAdaptiveFilterContext
 	// PosteriorMajority is P(majority answer | votes) under a uniform
 	// prior.
 	PosteriorMajority = adaptive.PosteriorMajority
