@@ -101,7 +101,7 @@ func main() {
 		fmt.Printf("\n%d HITs posted, cost $%.2f\n", stats.TotalHITs(),
 			qurk.DollarCost(stats.TotalHITs(), *assignments))
 		if len(stats.Incomplete) > 0 {
-			fmt.Printf("WARNING: %d HITs were refused by workers (batch too large for the price)\n", len(stats.Incomplete))
+			fmt.Printf("WARNING: %d crowd tasks went unanswered after workers refused their HITs (batch too large for the price, retries exhausted)\n", len(stats.Incomplete))
 		}
 		fmt.Println()
 	}

@@ -167,6 +167,13 @@ type Options struct {
 	// a streaming crowd operator keeps in flight (default 2). It caps
 	// the HITs wasted when a downstream LIMIT stops pulling.
 	StreamLookahead int
+	// RefusedRetries bounds how many times a streaming crowd operator
+	// re-posts the questions of a refused HIT (batch too effortful for
+	// the price) at half the batch size before giving up (default 2;
+	// -1 disables). Questions that exhaust the budget resolve with zero
+	// votes and are reported in Stats.Incomplete — previously ALL
+	// refused questions were silently rejected.
+	RefusedRetries int
 }
 
 func (o *Options) fillDefaults() {
@@ -217,6 +224,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.StreamLookahead <= 0 {
 		o.StreamLookahead = 2
+	}
+	if o.RefusedRetries == 0 {
+		o.RefusedRetries = 2
 	}
 }
 

@@ -1,0 +1,284 @@
+// This file grows the package from pure accounting into the planner's
+// estimator: closed-form HIT counts for every crowd interface, a
+// per-interface answer-quality model calibrated to the paper's
+// experiments, and a group-makespan model mirroring the simulator's
+// throughput curve. The optimizer (internal/plan) uses these to choose
+// join and sort interfaces from cardinality and budget (§2.6: "the
+// objective is to minimize the total number of HITs").
+//
+// All functions here are pure math over ints and floats — no crowd,
+// relation, or operator dependencies — so every layer (planner,
+// executor, benchmarks, tests) can share one source of truth.
+package cost
+
+import "math"
+
+// CeilDiv returns ⌈n/d⌉ for positive d (0 when n ≤ 0).
+func CeilDiv(n, d int) int {
+	if n <= 0 {
+		return 0
+	}
+	if d < 1 {
+		d = 1
+	}
+	return (n + d - 1) / d
+}
+
+// BatchHITs is the merged-interface HIT count for n single-subject
+// questions at batchSize questions per HIT (filters, generatives,
+// ratings, feature extraction — the paper's merging optimization, §2.6).
+func BatchHITs(n, batchSize int) int { return CeilDiv(n, batchSize) }
+
+// JoinPairs estimates the candidate-pair count of an nl×nr join after
+// applying pass fraction f in (0,1] (1 = full cross product).
+func JoinPairs(nl, nr int, f float64) int {
+	if nl <= 0 || nr <= 0 {
+		return 0
+	}
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	p := int(math.Ceil(float64(nl) * float64(nr) * f))
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// SimpleJoinHITs is one HIT per candidate pair (§3.1.1).
+func SimpleJoinHITs(pairs int) int { return pairs }
+
+// NaiveJoinHITs batches b pairs vertically per HIT (§3.1.2).
+func NaiveJoinHITs(pairs, b int) int { return CeilDiv(pairs, b) }
+
+// SmartJoinHITs is the r×s grid interface (§3.1.3): ⌈nl/r⌉·⌈ns/s⌉
+// blocks for a full cross product. With feature filtering only blocks
+// containing at least one surviving candidate are posted; under a
+// uniform pass fraction f the expected occupied share of a block of
+// r·s cells is 1−(1−f)^(r·s).
+func SmartJoinHITs(nl, nr, r, s int, f float64) int {
+	if nl <= 0 || nr <= 0 {
+		return 0
+	}
+	blocks := CeilDiv(nl, r) * CeilDiv(nr, s)
+	if f <= 0 || f >= 1 {
+		return blocks
+	}
+	occupied := 1 - math.Pow(1-f, float64(r*s))
+	est := int(math.Ceil(float64(blocks) * occupied))
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// DefaultUnknownRate is the estimator's per-tuple chance a feature
+// extraction resolves to UNKNOWN (mirroring the simulator's calibrated
+// UnknownShare); UNKNOWN is a wildcard that never prunes (§2.4), so it
+// inflates the surviving pair count substantially.
+const DefaultUnknownRate = 0.15
+
+// FeaturePassFraction estimates the probability one POSSIBLY feature
+// of domain size k lets a candidate pair through: both sides extracted
+// to known values that collide (uniform 1/k), or either side UNKNOWN.
+func FeaturePassFraction(k int, unknownRate float64) float64 {
+	if k < 1 {
+		k = 1
+	}
+	known := (1 - unknownRate) * (1 - unknownRate)
+	return known/float64(k) + (1 - known)
+}
+
+// RateSortHITs is the linear rating interface (§4.1.2).
+func RateSortHITs(n, batch int) int { return CeilDiv(n, batch) }
+
+// HybridSortHITs is the rating seed plus one comparison HIT per
+// refinement iteration (§4.1.3).
+func HybridSortHITs(n, rateBatch, iterations int) int {
+	return RateSortHITs(n, rateBatch) + iterations
+}
+
+// CompareSortHITs approximates the group-cover size of the comparison
+// interface: every pair must appear in some group of S items, so the
+// count approaches n(n−1)/(S(S−1)) (§4.1.1). The greedy cover the
+// executor actually builds (sortop.CoverGroups) runs slightly over this
+// bound; planners that know n exactly should prefer the exact cover
+// size and use this only as a closed form.
+func CompareSortHITs(n, groupSize int) int {
+	if n < 2 {
+		return 0
+	}
+	if groupSize >= n {
+		return 1
+	}
+	if groupSize < 2 {
+		groupSize = 2
+	}
+	return CeilDiv(n*(n-1), groupSize*(groupSize-1))
+}
+
+// --- Effort (single-judgment equivalents, mirroring crowd.effort) ---
+
+// PairEffort is the effort of a HIT holding `batch` pair judgments.
+func PairEffort(batch int) float64 { return float64(batch) }
+
+// GridEffort is the effort of one r×s grid HIT — cheaper per cell than
+// standalone judgments (clicking matches in context).
+func GridEffort(r, s int) float64 { return 0.35 * float64(r*s) }
+
+// GenerativeEffort is the effort of a HIT with `batch` generative
+// questions of `fields` fields each.
+func GenerativeEffort(fields, batch int) float64 {
+	return (0.5 + 0.5*float64(fields)) * float64(batch)
+}
+
+// CompareEffort is the effort of ranking a group of S items:
+// S·log₂(S)/2 — ranking needs more than S looks.
+func CompareEffort(groupSize int) float64 {
+	s := float64(groupSize)
+	if s < 2 {
+		return 1
+	}
+	return s * math.Log2(s) / 2
+}
+
+// Marketplace behavior constants, matching crowd.DefaultConfig. The
+// estimator deliberately restates them (rather than importing the
+// simulator) so a live-MTurk backend can keep the same planner.
+const (
+	// RefusalEffort is the per-HIT effort beyond which workers refuse
+	// the task at the paper's price (the stalled group-size-20 sort).
+	RefusalEffort = 30.0
+	// slowdownEffort is the effort at which pickup starts slowing;
+	// beyond it throughput falls quadratically.
+	slowdownEffort = 8.0
+	// assignmentsPerHour is the base marketplace throughput.
+	assignmentsPerHour = 2500.0
+	// groupRamp softens throughput for small groups (less attractive).
+	groupRamp = 20.0
+	// stragglerStretch is the expected last-assignment position on the
+	// completion curve: the final 5% of assignments stretched ~20× plus
+	// per-assignment jitter (Fig. 4's long tail).
+	stragglerStretch = 2.0
+)
+
+// Refused reports whether workers would decline a HIT of this effort.
+func Refused(effort float64) bool { return effort > RefusalEffort }
+
+// GroupMakespanHours estimates the completion time of a HIT group:
+// assignments divided by ramped throughput, stretched by the straggler
+// tail, and slowed quadratically for high-effort HITs — the simulator's
+// curve in closed form.
+func GroupMakespanHours(hits, assignmentsPerHIT int, effortPerHIT float64) float64 {
+	if hits <= 0 || assignmentsPerHIT <= 0 {
+		return 0
+	}
+	a := float64(hits * assignmentsPerHIT)
+	base := (a + groupRamp) / assignmentsPerHour
+	slow := 1.0
+	if effortPerHIT > slowdownEffort {
+		r := slowdownEffort / effortPerHIT
+		slow = r * r
+	}
+	return base * stragglerStretch / slow
+}
+
+// --- Answer quality model ---
+//
+// Quality is the estimated per-question accuracy of one assignment's
+// answer under the given interface, in [0,1]. The constants are
+// calibrated to the paper's findings: unbatched interfaces are most
+// accurate; vertical batching loses accuracy roughly linearly (§3.3.2
+// shows NaiveBatch 10 visibly below NaiveBatch 5); grids lose a little
+// per cell and a lot once multiple true matches share one grid (workers
+// miss matches in dense grids, §3.1.3); comparison sorts are near-exact
+// while ratings plateau at τ ≈ 0.78 (§4.2.2); hybrid quality grows with
+// refinement passes (§4.2.4, Fig. 7).
+
+// QualitySimplePair is the unbatched join interface's accuracy.
+const QualitySimplePair = 0.95
+
+// PairQuality estimates per-answer accuracy of a b-pair vertical batch.
+func PairQuality(b int) float64 {
+	return clampQ(QualitySimplePair - 0.012*float64(b-1))
+}
+
+// GridQuality estimates per-cell accuracy of an r×s grid given the
+// expected number of true matches per grid (density penalty: every
+// match beyond the first costs accuracy, as workers skim).
+func GridQuality(r, s int, matchesPerGrid float64) float64 {
+	q := QualitySimplePair - 0.004*float64(r*s-1)
+	if matchesPerGrid > 1 {
+		q -= 0.07 * (matchesPerGrid - 1)
+	}
+	return clampQ(q)
+}
+
+// FilterQuality estimates per-answer accuracy of a b-question filter or
+// generative batch.
+func FilterQuality(b int) float64 {
+	return clampQ(0.95 - 0.008*float64(b-1))
+}
+
+// Sort-interface accuracies (§4.2.2).
+const (
+	QualityCompareSort = 0.95
+	QualityRateSort    = 0.78
+)
+
+// HybridQuality estimates hybrid-sort accuracy from refinement
+// coverage: iterations·step/n is the number of full window passes over
+// the list; quality saturates at three passes (Fig. 7's plateaus).
+func HybridQuality(n, iterations, step int) float64 {
+	if n < 2 {
+		return QualityCompareSort
+	}
+	passes := float64(iterations*step) / float64(n)
+	frac := passes / 3
+	if frac > 1 {
+		frac = 1
+	}
+	return clampQ(0.80 + 0.12*frac)
+}
+
+// MajorityQuality is the probability a k-vote majority is correct when
+// each vote is independently correct with probability q. Even k counts
+// half of the tie mass (a tie resolves by, in effect, a coin flip).
+func MajorityQuality(q float64, k int) float64 {
+	if k <= 1 {
+		return clampQ(q)
+	}
+	var p float64
+	for i := 0; i <= k; i++ {
+		w := binom(k, i) * math.Pow(q, float64(i)) * math.Pow(1-q, float64(k-i))
+		switch {
+		case 2*i > k:
+			p += w
+		case 2*i == k:
+			p += w / 2
+		}
+	}
+	return clampQ(p)
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	return math.Round(math.Exp(lgammaE(float64(n+1)) - lgammaE(float64(k+1)) - lgammaE(float64(n-k+1))))
+}
+
+func lgammaE(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func clampQ(q float64) float64 {
+	if q < 0.5 {
+		return 0.5
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}

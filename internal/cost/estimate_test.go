@@ -1,0 +1,155 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCeilDivAndBatchHITs(t *testing.T) {
+	cases := []struct{ n, d, want int }{
+		{0, 5, 0}, {-3, 5, 0}, {1, 5, 1}, {5, 5, 1}, {6, 5, 2}, {30, 4, 8}, {7, 0, 7},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.n, c.d); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.n, c.d, got, c.want)
+		}
+	}
+	if BatchHITs(23, 5) != 5 {
+		t.Errorf("BatchHITs(23,5) = %d", BatchHITs(23, 5))
+	}
+}
+
+func TestJoinHITFormulas(t *testing.T) {
+	// Paper §3.1: |R||S| simple, /b naive, /(rs) smart.
+	if p := JoinPairs(30, 30, 1); p != 900 {
+		t.Fatalf("pairs = %d", p)
+	}
+	if h := SimpleJoinHITs(900); h != 900 {
+		t.Errorf("simple = %d", h)
+	}
+	if h := NaiveJoinHITs(900, 5); h != 180 {
+		t.Errorf("naive = %d", h)
+	}
+	if h := SmartJoinHITs(30, 30, 5, 5, 1); h != 36 {
+		t.Errorf("smart 5×5 = %d", h)
+	}
+	if h := SmartJoinHITs(30, 30, 3, 3, 1); h != 100 {
+		t.Errorf("smart 3×3 = %d", h)
+	}
+	// A 50% pass fraction barely empties any 25-cell block...
+	if h := SmartJoinHITs(30, 30, 5, 5, 0.5); h != 36 {
+		t.Errorf("smart at f=0.5 = %d, want 36 (blocks stay occupied)", h)
+	}
+	// ...while a strong prune empties many.
+	strong := SmartJoinHITs(60, 60, 5, 5, 1.0/24)
+	if strong >= 144 || strong < 1 {
+		t.Errorf("smart at f=1/24 over 60×60 = %d, want < 144", strong)
+	}
+	// Pair estimates under a pass fraction round up and never zero out.
+	if p := JoinPairs(4, 4, 1.0/24); p != 1 {
+		t.Errorf("tiny filtered pairs = %d", p)
+	}
+}
+
+func TestSortHITFormulas(t *testing.T) {
+	if h := RateSortHITs(40, 5); h != 8 {
+		t.Errorf("rate = %d", h)
+	}
+	if h := HybridSortHITs(40, 5, 20); h != 28 {
+		t.Errorf("hybrid = %d", h)
+	}
+	// §4.1.1: cover approaches n(n−1)/(S(S−1)).
+	if h := CompareSortHITs(40, 5); h != 78 {
+		t.Errorf("compare(40,5) = %d", h)
+	}
+	if h := CompareSortHITs(5, 5); h != 1 {
+		t.Errorf("compare(5,5) = %d", h)
+	}
+	if h := CompareSortHITs(1, 5); h != 0 {
+		t.Errorf("compare(1,5) = %d", h)
+	}
+}
+
+func TestEffortAndRefusal(t *testing.T) {
+	// The paper's stalled group-size-20 comparison exceeds the refusal
+	// threshold; the default group of 5 does not.
+	if !Refused(CompareEffort(20)) {
+		t.Error("group-size-20 comparison should be refused")
+	}
+	if Refused(CompareEffort(5)) {
+		t.Error("group-size-5 comparison should be accepted")
+	}
+	if Refused(GridEffort(5, 5)) {
+		t.Error("5×5 grid should be accepted")
+	}
+	if Refused(PairEffort(10)) {
+		t.Error("10-pair batch should be accepted")
+	}
+	if GenerativeEffort(3, 4) <= GenerativeEffort(1, 4) {
+		t.Error("more fields must cost more effort")
+	}
+}
+
+func TestGroupMakespanMonotonic(t *testing.T) {
+	if GroupMakespanHours(0, 5, 1) != 0 {
+		t.Error("empty group should take no time")
+	}
+	small := GroupMakespanHours(10, 5, 1)
+	large := GroupMakespanHours(100, 5, 1)
+	if small <= 0 || large <= small {
+		t.Errorf("makespan not monotone: %v vs %v", small, large)
+	}
+	// High-effort HITs slow the group quadratically.
+	slow := GroupMakespanHours(10, 5, 16)
+	if slow <= small {
+		t.Errorf("effortful group %v should be slower than %v", slow, small)
+	}
+}
+
+func TestQualityModel(t *testing.T) {
+	// Batching loses accuracy monotonically (§3.3.2).
+	if !(PairQuality(1) > PairQuality(5) && PairQuality(5) > PairQuality(10)) {
+		t.Error("pair quality must fall with batch size")
+	}
+	if PairQuality(1) != QualitySimplePair {
+		t.Error("unbatched pairs are the baseline")
+	}
+	// Dense grids are the grid interface's failure mode (§3.1.3).
+	sparse := GridQuality(5, 5, 0.8)
+	dense := GridQuality(5, 5, 6.0)
+	if dense >= sparse {
+		t.Errorf("dense grid %v should score below sparse %v", dense, sparse)
+	}
+	// Sort interfaces: Compare > Hybrid > Rate at moderate refinement.
+	h := HybridQuality(40, 20, 6)
+	if !(QualityCompareSort > h && h > QualityRateSort) {
+		t.Errorf("hybrid quality %v out of order", h)
+	}
+	// Hybrid quality grows with iterations and degrades with n.
+	if HybridQuality(200, 20, 6) >= HybridQuality(200, 200, 6) {
+		t.Error("more iterations must not lower hybrid quality")
+	}
+	if FilterQuality(1) <= FilterQuality(10) {
+		t.Error("filter quality must fall with batch size")
+	}
+}
+
+func TestMajorityQuality(t *testing.T) {
+	// One vote is the raw accuracy; more votes boost it (for q > 0.5).
+	if got := MajorityQuality(0.9, 1); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("k=1: %v", got)
+	}
+	q3 := MajorityQuality(0.9, 3)
+	q5 := MajorityQuality(0.9, 5)
+	if !(q3 > 0.9 && q5 > q3) {
+		t.Errorf("majority boost broken: %v %v", q3, q5)
+	}
+	// Exact binomial check: P(≥2 of 3 | 0.9) = 0.972.
+	if math.Abs(q3-0.972) > 1e-9 {
+		t.Errorf("k=3 exact: %v", q3)
+	}
+	// Even k counts half the tie mass: k=2 equals k=1 in expectation.
+	if got := MajorityQuality(0.9, 2); math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("k=2: %v", got)
+	}
+}

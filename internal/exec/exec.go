@@ -253,9 +253,10 @@ func (x *executor) build(node plan.Node, path string) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
+		batch, asn := batchPhys(n.Phys, opts.FilterBatch, opts.Assignments)
 		return x.buildFilter(child, n.Label(), path,
 			[]*filterSpec{{ft: n.Task, negate: n.Negate, groupID: x.groupID("filter/"+n.Task.Name, path), label: n.Label()}},
-			opts.FilterBatch)
+			batch, asn)
 
 	case *plan.CrowdFilterOr:
 		child, err := x.build(n.Input, path+".i")
@@ -279,15 +280,17 @@ func (x *executor) build(node plan.Node, path string) (Operator, error) {
 				firstOf[sig] = i
 			}
 		}
-		return x.buildFilter(child, n.Label(), path, specs, opts.FilterBatch)
+		batch, asn := batchPhys(n.Phys, opts.FilterBatch, opts.Assignments)
+		return x.buildFilter(child, n.Label(), path, specs, batch, asn)
 
 	case *plan.UnaryPossibly:
 		child, err := x.build(n.Input, path+".i")
 		if err != nil {
 			return nil, err
 		}
+		batch, asn := batchPhys(n.Phys, opts.ExtractBatch, opts.Assignments)
 		g, err := x.buildGenerative(child, n.Label(), x.groupID("possibly/"+n.Task.Name, path),
-			n.Task, []string{n.Field}, opts.ExtractBatch)
+			n.Task, []string{n.Field}, batch, asn)
 		if err != nil {
 			return nil, err
 		}
@@ -299,8 +302,9 @@ func (x *executor) build(node plan.Node, path string) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
+		batch, asn := batchPhys(n.Phys, opts.GenerativeBatch, opts.Assignments)
 		g, err := x.buildGenerative(child, n.Label(), x.groupID("generate/"+n.Task.Name, path),
-			n.Task, n.Fields, opts.GenerativeBatch)
+			n.Task, n.Fields, batch, asn)
 		if err != nil {
 			return nil, err
 		}
@@ -337,9 +341,11 @@ func (x *executor) build(node plan.Node, path string) (Operator, error) {
 			return nil, err
 		}
 		groupID := x.groupID("join/"+n.Task.Name, path)
+		jp := joinPhysOf(n, opts)
 		j := &crowdJoinOp{
 			x:    x,
 			node: n,
+			phys: jp,
 			path: path,
 			// Exchange-wrap the probe subtree so it makes crowd progress
 			// while the build side materializes (paper §2.5's pipelined,
@@ -353,10 +359,10 @@ func (x *executor) build(node plan.Node, path string) (Operator, error) {
 			label:   n.Label(),
 			comb:    comb,
 			perQ:    combine.IsPerQuestion(comb),
-			builder: hit.NewBuilder(groupID, x.eng.Options.Assignments, 1),
+			builder: hit.NewBuilder(groupID, jp.Assignments, 1),
 			slotOf:  map[string]int{},
 		}
-		j.acct = &opAcct{x: x, label: n.Label(), slot: x.stats.registerOp(n.Label())}
+		j.acct = &opAcct{x: x, label: n.Label(), asn: jp.Assignments, slot: x.stats.registerOp(n.Label())}
 		j.post = x.newPoster(groupID, &j.seq)
 		j.post.acct = j.acct
 		j.emit.size = opts.ExecBatch
@@ -367,7 +373,7 @@ func (x *executor) build(node plan.Node, path string) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &crowdOrderByOp{x: x, node: n, path: path, child: child, size: opts.ExecBatch}, nil
+		return &crowdOrderByOp{x: x, node: n, phys: sortPhysOf(n, opts), path: path, child: child, size: opts.ExecBatch}, nil
 
 	case *plan.MachineOrderBy:
 		child, err := x.build(n.Input, path+".i")
@@ -422,20 +428,104 @@ type filterSpec struct {
 	dupOf   int
 }
 
+// batchPhys resolves an operator's batching annotation against the
+// engine defaults (nil or zero fields fall back).
+func batchPhys(p *plan.BatchPhys, batch, assignments int) (int, int) {
+	if p != nil {
+		if p.Batch > 0 {
+			batch = p.Batch
+		}
+		if p.Assignments > 0 {
+			assignments = p.Assignments
+		}
+	}
+	return batch, assignments
+}
+
+// joinPhysOf resolves a join's physical choice: the optimizer's
+// annotation when present, else the engine-wide Options (which apply
+// POSSIBLY features whenever the node has them — the pre-optimizer
+// behavior).
+func joinPhysOf(n *plan.CrowdJoin, opts *core.Options) plan.JoinPhys {
+	p := plan.JoinPhys{
+		Algorithm:   opts.JoinAlgorithm,
+		BatchSize:   opts.JoinBatch,
+		GridRows:    opts.GridRows,
+		GridCols:    opts.GridCols,
+		UseFeatures: true,
+		Assignments: opts.Assignments,
+	}
+	if n.Phys != nil {
+		p.Algorithm = n.Phys.Algorithm
+		p.UseFeatures = n.Phys.UseFeatures
+		if n.Phys.BatchSize > 0 {
+			p.BatchSize = n.Phys.BatchSize
+		}
+		if n.Phys.GridRows > 0 {
+			p.GridRows = n.Phys.GridRows
+		}
+		if n.Phys.GridCols > 0 {
+			p.GridCols = n.Phys.GridCols
+		}
+		if n.Phys.Assignments > 0 {
+			p.Assignments = n.Phys.Assignments
+		}
+	}
+	return p
+}
+
+// sortPhysOf resolves a sort's physical choice the same way.
+func sortPhysOf(n *plan.CrowdOrderBy, opts *core.Options) plan.SortPhys {
+	p := plan.SortPhys{
+		Method:      opts.SortMethod,
+		GroupSize:   opts.CompareGroupSize,
+		RateBatch:   opts.RateBatch,
+		Iterations:  opts.HybridIterations,
+		Step:        opts.HybridStep,
+		Strategy:    sortop.SlidingWindow,
+		Assignments: opts.Assignments,
+	}
+	if n.Phys != nil {
+		p.Method = n.Phys.Method
+		p.Strategy = n.Phys.Strategy
+		if n.Phys.GroupSize > 0 {
+			p.GroupSize = n.Phys.GroupSize
+		}
+		if n.Phys.RateBatch > 0 {
+			p.RateBatch = n.Phys.RateBatch
+		}
+		if n.Phys.Iterations > 0 {
+			p.Iterations = n.Phys.Iterations
+		}
+		if n.Phys.Step > 0 {
+			p.Step = n.Phys.Step
+		}
+		if n.Phys.Assignments > 0 {
+			p.Assignments = n.Phys.Assignments
+		}
+	}
+	return p
+}
+
 // newPoster builds a chunk poster over the engine's marketplace.
 func (x *executor) newPoster(groupID string, seq *int) *poster {
+	mr := x.eng.Options.RefusedRetries
+	if mr < 0 {
+		mr = 0
+	}
 	return &poster{
-		market:    x.eng.Market,
-		groupID:   groupID,
-		chunkHITs: x.eng.Options.StreamChunkHITs,
-		lookahead: x.eng.Options.StreamLookahead,
-		seq:       seq,
+		market:     x.eng.Market,
+		groupID:    groupID,
+		chunkHITs:  x.eng.Options.StreamChunkHITs,
+		lookahead:  x.eng.Options.StreamLookahead,
+		seq:        seq,
+		maxRetries: mr,
 	}
 }
 
 // buildFilter assembles the streaming filter over one or more branch
 // specs (a plain CrowdFilter is the one-branch case).
-func (x *executor) buildFilter(child Operator, label, path string, specs []*filterSpec, hitSize int) (Operator, error) {
+func (x *executor) buildFilter(child Operator, label, path string, specs []*filterSpec, hitSize, assignments int) (Operator, error) {
 	f := &crowdFilterOp{
 		x:       x,
 		child:   child,
@@ -470,9 +560,9 @@ func (x *executor) buildFilter(child Operator, label, path string, specs []*filt
 		}
 		br.comb = comb
 		br.perQ = combine.IsPerQuestion(comb)
-		br.builder = hit.NewBuilder(sp.groupID, x.eng.Options.Assignments, 1)
+		br.builder = hit.NewBuilder(sp.groupID, assignments, 1)
 		br.post = x.newPoster(sp.groupID, &f.seq)
-		br.acct = &opAcct{x: x, label: sp.label, slot: x.stats.registerOp(sp.label)}
+		br.acct = &opAcct{x: x, label: sp.label, asn: assignments, slot: x.stats.registerOp(sp.label)}
 		br.post.acct = br.acct
 		f.branch = append(f.branch, br)
 		f.uniq = append(f.uniq, br)
@@ -481,7 +571,7 @@ func (x *executor) buildFilter(child Operator, label, path string, specs []*filt
 }
 
 // buildGenerative assembles the shared generative streaming core.
-func (x *executor) buildGenerative(child Operator, label, groupID string, gt *task.Generative, fields []string, hitSize int) (*generativeOp, error) {
+func (x *executor) buildGenerative(child Operator, label, groupID string, gt *task.Generative, fields []string, hitSize, assignments int) (*generativeOp, error) {
 	if err := gt.Validate(); err != nil {
 		return nil, err
 	}
@@ -501,7 +591,7 @@ func (x *executor) buildGenerative(child Operator, label, groupID string, gt *ta
 		comb:    map[string]combine.Combiner{},
 		perQ:    true,
 		hitSize: hitSize,
-		builder: hit.NewBuilder(groupID, x.eng.Options.Assignments, 1),
+		builder: hit.NewBuilder(groupID, assignments, 1),
 		slotOf:  map[string]int{},
 	}
 	g.emit.size = x.eng.Options.ExecBatch
@@ -526,7 +616,7 @@ func (x *executor) buildGenerative(child Operator, label, groupID string, gt *ta
 			g.perQ = false
 		}
 	}
-	g.acct = &opAcct{x: x, label: label, slot: x.stats.registerOp(label)}
+	g.acct = &opAcct{x: x, label: label, asn: assignments, slot: x.stats.registerOp(label)}
 	g.post.acct = g.acct
 	return g, nil
 }
@@ -552,7 +642,7 @@ func (x *executor) selectFeatures(n *plan.CrowdJoin, left, right *relation.Relat
 	if err != nil {
 		return nil, err
 	}
-	x.account("feature-selection sample join", sres.HITCount, sres.AssignmentCount, sres.MakespanHours)
+	x.account("feature-selection sample join", sopts.Assignments, sres.HITCount, sres.AssignmentCount, sres.MakespanHours)
 	var ref []join.Pair
 	for _, m := range sres.Matches {
 		ref = append(ref, m.Pair)
@@ -569,49 +659,50 @@ func (x *executor) selectFeatures(n *plan.CrowdJoin, left, right *relation.Relat
 	return kept, nil
 }
 
-// crowdSort orders one group's rows with the configured sort method,
-// accounting its spending, and returns the order plus the group's
-// crowd makespan for the virtual clock.
-func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy, path string) ([]int, float64, error) {
+// crowdSort orders one group's rows with the node's chosen sort
+// interface (engine defaults when un-annotated), accounting its
+// spending, and returns the order plus the group's crowd makespan for
+// the virtual clock.
+func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy, sp plan.SortPhys, path string) ([]int, float64, error) {
 	if sub.Len() == 1 {
 		return []int{0}, 0, nil
 	}
 	opts := x.eng.Options
-	switch opts.SortMethod {
+	switch sp.Method {
 	case core.SortCompare:
 		res, err := sortop.Compare(sub, n.Task, sortop.CompareOptions{
-			GroupSize:   opts.CompareGroupSize,
-			Assignments: opts.Assignments,
+			GroupSize:   sp.GroupSize,
+			Assignments: sp.Assignments,
 			GroupID:     x.groupID("sort-compare/"+n.Task.Name, path),
 			Seed:        opts.Seed,
 		}, x.eng.Market)
 		if err != nil {
 			return nil, 0, err
 		}
-		x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
+		x.account(n.Label(), sp.Assignments, res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
 		return res.Order, res.MakespanHours, nil
 	case core.SortRate:
 		res, err := sortop.Rate(sub, n.Task, sortop.RateOptions{
-			BatchSize:   opts.RateBatch,
-			Assignments: opts.Assignments,
+			BatchSize:   sp.RateBatch,
+			Assignments: sp.Assignments,
 			GroupID:     x.groupID("sort-rate/"+n.Task.Name, path),
 			Seed:        opts.Seed,
 		}, x.eng.Market)
 		if err != nil {
 			return nil, 0, err
 		}
-		x.account(n.Label(), res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
+		x.account(n.Label(), sp.Assignments, res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
 		return res.Order, res.MakespanHours, nil
 	case core.SortHybrid:
 		res, err := sortop.Hybrid(sub, n.Task, sortop.HybridOptions{
-			Strategy:    sortop.SlidingWindow,
-			WindowSize:  opts.CompareGroupSize,
-			Step:        opts.HybridStep,
-			Iterations:  opts.HybridIterations,
-			Assignments: opts.Assignments,
+			Strategy:    sp.Strategy,
+			WindowSize:  sp.GroupSize,
+			Step:        sp.Step,
+			Iterations:  sp.Iterations,
+			Assignments: sp.Assignments,
 			Rate: sortop.RateOptions{
-				BatchSize:   opts.RateBatch,
-				Assignments: opts.Assignments,
+				BatchSize:   sp.RateBatch,
+				Assignments: sp.Assignments,
 				Seed:        opts.Seed,
 			},
 			GroupID: x.groupID("sort-hybrid/"+n.Task.Name, path),
@@ -620,15 +711,15 @@ func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy, path 
 		if err != nil {
 			return nil, 0, err
 		}
-		x.account(n.Label(), res.TotalHITs(), 0, 0)
+		x.account(n.Label(), sp.Assignments, res.TotalHITs(), 0, 0)
 		return res.Order, 0, nil
 	default:
-		return nil, 0, fmt.Errorf("exec: unknown sort method %v", opts.SortMethod)
+		return nil, 0, fmt.Errorf("exec: unknown sort method %v", sp.Method)
 	}
 }
 
-func (x *executor) account(label string, hits, assignments int, makespan float64, incomplete ...string) {
-	x.eng.Ledger.Add(label, hits, x.eng.Options.Assignments)
+func (x *executor) account(label string, asnPerHIT, hits, assignments int, makespan float64, incomplete ...string) {
+	x.eng.Ledger.Add(label, hits, asnPerHIT)
 	x.stats.add(OpStat{Label: label, HITs: hits, Assignments: assignments, Makespan: makespan}, incomplete...)
 }
 

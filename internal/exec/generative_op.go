@@ -213,6 +213,10 @@ func (g *generativeOp) collectChunk(ctx context.Context) error {
 		return err
 	}
 	done := c.postedAt + res.MakespanHours
+	retrying, exhausted, err := g.post.retryRefused(c, res.Incomplete, done)
+	if err != nil {
+		return err
+	}
 	// Bucket votes per (question, field) with normalization, in
 	// assignment order (deterministic: assignments arrive sorted).
 	byQF := map[string]map[string][]combine.Vote{}
@@ -230,10 +234,15 @@ func (g *generativeOp) collectChunk(ctx context.Context) error {
 			})
 		}
 	})
-	// Resolve each question in the chunk, in HIT order.
+	// Resolve each question in the chunk, in HIT order; questions being
+	// retried after a refusal stay pending for a later chunk.
 	for _, h := range c.hits {
 		for qi := range h.Questions {
 			q := &h.Questions[qi]
+			if retrying[q.ID] > 0 {
+				retrying[q.ID]--
+				continue
+			}
 			s := g.slots[g.slotOf[q.ID]]
 			if !g.perQ {
 				for _, fname := range g.fields {
@@ -259,7 +268,7 @@ func (g *generativeOp) collectChunk(ctx context.Context) error {
 			}
 		}
 	}
-	g.acct.collected(res.TotalAssignments, done, res.Incomplete)
+	g.acct.collected(res.TotalAssignments, done, exhausted)
 	return nil
 }
 

@@ -36,6 +36,7 @@ type jslot struct {
 type crowdJoinOp struct {
 	x     *executor
 	node  *plan.CrowdJoin
+	phys  plan.JoinPhys
 	path  string
 	left  Operator
 	right Operator
@@ -73,7 +74,7 @@ type crowdJoinOp struct {
 
 func (j *crowdJoinOp) Schema() *relation.Schema { return j.schema }
 func (j *crowdJoinOp) Name() string             { return "join" }
-func (j *crowdJoinOp) OpLabel() string          { return j.label }
+func (j *crowdJoinOp) OpLabel() string          { return j.label + " [" + j.phys.String() + "]" }
 func (j *crowdJoinOp) Inputs() []Operator       { return []Operator{j.left, j.right} }
 
 // BreakerNote implements Breaker: the build side always materializes;
@@ -85,8 +86,18 @@ func (j *crowdJoinOp) BreakerNote() string {
 	return "materializes build side only (O(|S|)); probe side streams"
 }
 
+// features returns the POSSIBLY features the physical plan actually
+// applies — nil when the optimizer decided pre-filtering does not pay.
+func (j *crowdJoinOp) features() ([]join.Feature, []join.Feature) {
+	if !j.phys.UseFeatures {
+		return nil, nil
+	}
+	return j.node.LeftFeatures, j.node.RightFeatures
+}
+
 func (j *crowdJoinOp) materializesLeft() bool {
-	return len(j.node.LeftFeatures) > 0 || j.x.eng.Options.JoinAlgorithm == join.Smart
+	lf, _ := j.features()
+	return len(lf) > 0 || j.phys.Algorithm == join.Smart
 }
 
 // finalReady includes rejected candidate pairs' decision times.
@@ -192,7 +203,7 @@ func (j *crowdJoinOp) start(ctx context.Context) error {
 	}
 
 	var le, re *join.Extraction
-	features := j.node.LeftFeatures
+	features, rightFeatures := j.features()
 	var names []string
 	if len(features) > 0 {
 		// Extraction and the feature-selection sample join post via
@@ -212,7 +223,7 @@ func (j *crowdJoinOp) start(ctx context.Context) error {
 		extOpts := join.ExtractOptions{
 			Combined:    opts.ExtractCombined,
 			BatchSize:   opts.ExtractBatch,
-			Assignments: opts.Assignments,
+			Assignments: j.phys.Assignments,
 		}
 		lo := extOpts
 		lo.Combiner = lcomb
@@ -221,14 +232,14 @@ func (j *crowdJoinOp) start(ctx context.Context) error {
 		ro.Combiner = rcomb
 		ro.GroupID = j.x.groupID("extract-right/"+j.node.Task.Name, j.path+".xr")
 		var xerr error
-		le, re, xerr = join.ExtractBoth(l.rel, right, j.node.LeftFeatures, j.node.RightFeatures, lo, ro, j.x.eng.Market)
+		le, re, xerr = join.ExtractBoth(l.rel, right, features, rightFeatures, lo, ro, j.x.eng.Market)
 		// Account whichever sides completed even when the other failed —
 		// those HITs were spent regardless.
 		if le != nil {
-			j.x.account("extract-left", le.HITCount, le.AssignmentCount, 0)
+			j.x.account("extract-left", j.phys.Assignments, le.HITCount, le.AssignmentCount, 0)
 		}
 		if re != nil {
-			j.x.account("extract-right", re.HITCount, re.AssignmentCount, 0)
+			j.x.account("extract-right", j.phys.Assignments, re.HITCount, re.AssignmentCount, 0)
 		}
 		if xerr != nil {
 			return xerr
@@ -246,7 +257,7 @@ func (j *crowdJoinOp) start(ctx context.Context) error {
 		}
 	}
 
-	if opts.JoinAlgorithm == join.Smart {
+	if j.phys.Algorithm == join.Smart {
 		return j.layoutGrids(l.rel, right, le, re, names)
 	}
 	j.iter = join.NewPairIter(l.rel, right, le, re, names)
@@ -256,14 +267,13 @@ func (j *crowdJoinOp) start(ctx context.Context) error {
 // joinOptions mirrors the materializing executor's join.Options for
 // the feature-selection sample join.
 func (j *crowdJoinOp) joinOptions() join.Options {
-	opts := &j.x.eng.Options
 	comb, _ := j.x.eng.Combiner()
 	return join.Options{
-		Algorithm:   opts.JoinAlgorithm,
-		BatchSize:   opts.JoinBatch,
-		GridRows:    opts.GridRows,
-		GridCols:    opts.GridCols,
-		Assignments: opts.Assignments,
+		Algorithm:   j.phys.Algorithm,
+		BatchSize:   j.phys.BatchSize,
+		GridRows:    j.phys.GridRows,
+		GridCols:    j.phys.GridCols,
+		Assignments: j.phys.Assignments,
 		Combiner:    comb,
 		GroupID:     j.x.groupID("join/"+j.node.Task.Name, j.path),
 		Cache:       j.x.eng.Cache,
@@ -273,7 +283,6 @@ func (j *crowdJoinOp) joinOptions() join.Options {
 // layoutGrids builds every SmartBatch grid HIT up front (the layout
 // needs the full candidate set) and queues them for chunked posting.
 func (j *crowdJoinOp) layoutGrids(left, right *relation.Relation, le, re *join.Extraction, names []string) error {
-	opts := &j.x.eng.Options
 	var seq join.PairSeq
 	if len(names) > 0 {
 		seq = join.FilteredSeq(left, right, le, re, names)
@@ -281,7 +290,7 @@ func (j *crowdJoinOp) layoutGrids(left, right *relation.Relation, le, re *join.E
 		seq = join.CrossSeq(left, right)
 	}
 	hits, err := join.SmartGridHITs(j.builder, seq, func(p join.Pair) { j.noteSlot(p) },
-		j.node.Task.Name, opts.GridRows, opts.GridCols)
+		j.node.Task.Name, j.phys.GridRows, j.phys.GridCols)
 	if err != nil {
 		return err
 	}
@@ -357,10 +366,9 @@ func (j *crowdJoinOp) nextPair(ctx context.Context) (join.Pair, bool, error) {
 // step: generate candidate questions until a chunk's worth of HITs is
 // queued, post, collect, finalize — all count-driven.
 func (j *crowdJoinOp) step(ctx context.Context) error {
-	opts := &j.x.eng.Options
 	batch := 1
-	if opts.JoinAlgorithm == join.Naive && opts.JoinBatch > 1 {
-		batch = opts.JoinBatch
+	if j.phys.Algorithm == join.Naive && j.phys.BatchSize > 1 {
+		batch = j.phys.BatchSize
 	}
 	for j.post.canPost() && j.post.hasChunk(j.pairsDone) {
 		j.post.postOne(j.clock)
@@ -413,6 +421,10 @@ func (j *crowdJoinOp) collectChunk(ctx context.Context) error {
 		return err
 	}
 	done := c.postedAt + res.MakespanHours
+	retrying, exhausted, err := j.post.retryRefused(c, res.Incomplete, done)
+	if err != nil {
+		return err
+	}
 	votes := join.CollectVotes(c.hits, res.Assignments)
 	if j.perQ {
 		// EOS-mode combiners read only eosVotes; buffering per slot too
@@ -454,6 +466,12 @@ func (j *crowdJoinOp) collectChunk(ctx context.Context) error {
 				}
 				continue
 			}
+			// Pair questions being retried after a refusal stay pending;
+			// their verdicts arrive with a later chunk.
+			if retrying[q.ID] > 0 {
+				retrying[q.ID]--
+				continue
+			}
 			touch(q.ID)
 		}
 	}
@@ -463,7 +481,7 @@ func (j *crowdJoinOp) collectChunk(ctx context.Context) error {
 	if !j.perQ {
 		j.eosVotes = append(j.eosVotes, votes...)
 	}
-	j.acct.collected(res.TotalAssignments, done, res.Incomplete)
+	j.acct.collected(res.TotalAssignments, done, exhausted)
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 type crowdOrderByOp struct {
 	x      *executor
 	node   *plan.CrowdOrderBy
+	phys   plan.SortPhys
 	path   string
 	child  Operator
 	closed bool
@@ -33,7 +34,7 @@ type crowdOrderByOp struct {
 
 func (o *crowdOrderByOp) Schema() *relation.Schema { return o.child.Schema() }
 func (o *crowdOrderByOp) Name() string             { return o.child.Name() }
-func (o *crowdOrderByOp) OpLabel() string          { return o.node.Label() }
+func (o *crowdOrderByOp) OpLabel() string          { return o.node.Label() + " [" + o.phys.String() + "]" }
 func (o *crowdOrderByOp) Inputs() []Operator       { return []Operator{o.child} }
 
 // BreakerNote implements Breaker.
@@ -125,7 +126,7 @@ func (o *crowdOrderByOp) Next(ctx context.Context) (*Batch, error) {
 		sub := o.groups[o.gi]
 		path := fmt.Sprintf("%s.g%d", o.path, o.gi)
 		o.gi++
-		order, makespan, err := o.x.crowdSort(sub, o.node, path)
+		order, makespan, err := o.x.crowdSort(sub, o.node, o.phys, path)
 		if err != nil {
 			return nil, err
 		}

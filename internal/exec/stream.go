@@ -50,6 +50,14 @@ type poster struct {
 	acct      *opAcct
 	queued    []*hit.HIT
 	inflight  []postedChunk
+	// maxRetries bounds how deep a refused HIT's re-posting lineage may
+	// go; retries maps a re-minted HIT's ID to its depth.
+	maxRetries int
+	retries    map[string]int
+	// minClock floors the postedAt stamp of subsequent chunks: a chunk
+	// holding retried HITs cannot be posted before the refusal that
+	// spawned them was observed on the virtual clock.
+	minClock float64
 }
 
 func (p *poster) enqueue(hs ...*hit.HIT) { p.queued = append(p.queued, hs...) }
@@ -67,6 +75,9 @@ func (p *poster) backlogged() bool { return len(p.queued) >= p.chunkHITs && !p.c
 
 // postOne posts the next chunk at the given virtual-clock time.
 func (p *poster) postOne(clock float64) {
+	if p.minClock > clock {
+		clock = p.minClock
+	}
 	n := p.chunkHITs
 	if n > len(p.queued) {
 		n = len(p.queued)
@@ -105,6 +116,79 @@ func (p *poster) collect(ctx context.Context) (postedChunk, *crowd.RunResult, er
 	return c, res, nil
 }
 
+// retryRefused implements the operator-level retry policy for refused
+// HITs (batch too effortful for the price — the paper's stalled
+// group-size experiments, §4.2.2/§6): each refused HIT's questions are
+// re-minted into HITs of half the batch size and queued for
+// re-posting, down a lineage at most maxRetries deep. Re-minted HIT
+// IDs derive from the refused HIT's ID — never from the shared
+// builder — so the retry stream (and the simulator's per-HIT answer
+// draws) is bit-identical at any StreamChunkHITs/lookahead setting,
+// preserving the executor's invariance contract.
+//
+// It returns how many occurrences of each question ID are now being
+// retried — the caller must skip resolving exactly that many
+// occurrences in this chunk (join pair keys can repeat across HITs) —
+// and the exhausted questions' IDs, which resolve with zero votes
+// (the only case that still rejects, now surfaced via
+// Stats.Incomplete instead of silently). Single-question HITs
+// (including SmartBatch grids) cannot shrink and exhaust immediately.
+// observedAt is the virtual-clock time the refusal was learned; later
+// chunks cannot be posted before it.
+func (p *poster) retryRefused(c postedChunk, incomplete []string, observedAt float64) (map[string]int, []string, error) {
+	if len(incomplete) == 0 {
+		return nil, nil, nil
+	}
+	refused := make(map[string]bool, len(incomplete))
+	for _, id := range incomplete {
+		refused[id] = true
+	}
+	var retrying map[string]int
+	var exhausted []string
+	for _, h := range c.hits {
+		if !refused[h.ID] {
+			continue
+		}
+		depth := p.retries[h.ID]
+		if p.maxRetries <= 0 || len(h.Questions) <= 1 || depth >= p.maxRetries {
+			for qi := range h.Questions {
+				exhausted = append(exhausted, h.Questions[qi].ID)
+			}
+			continue
+		}
+		n := len(h.Questions) / 2
+		for start, child := 0, 0; start < len(h.Questions); start, child = start+n, child+1 {
+			end := min(start+n, len(h.Questions))
+			nh := &hit.HIT{
+				ID:          fmt.Sprintf("%s/r%d", h.ID, child),
+				GroupID:     h.GroupID,
+				Kind:        h.Kind,
+				Assignments: h.Assignments,
+				RewardCents: h.RewardCents,
+				Questions:   append([]hit.Question(nil), h.Questions[start:end]...),
+			}
+			if err := nh.Validate(); err != nil {
+				return nil, nil, err
+			}
+			if p.retries == nil {
+				p.retries = map[string]int{}
+			}
+			p.retries[nh.ID] = depth + 1
+			p.enqueue(nh)
+		}
+		if retrying == nil {
+			retrying = map[string]int{}
+		}
+		for qi := range h.Questions {
+			retrying[h.Questions[qi].ID]++
+		}
+	}
+	if retrying != nil && observedAt > p.minClock {
+		p.minClock = observedAt
+	}
+	return retrying, exhausted, nil
+}
+
 // flushQuestions merges buffered questions into HITs of exactly `size`
 // (plus one final partial when forcing at end of input) and queues
 // them on the poster. Shared by every streaming crowd operator so the
@@ -136,8 +220,11 @@ func (p *poster) flushQuestions(b *hit.Builder, qbuf *[]hit.Question, size int, 
 // group makespan when the whole operator fit in one chunk — the
 // materializing executor's number).
 type opAcct struct {
-	x          *executor
-	label      string
+	x     *executor
+	label string
+	// asn is this operator's workers-per-HIT (the physical plan may set
+	// it per operator; the ledger prices dollars with it).
+	asn        int
 	slot       int
 	started    bool
 	firstPost  float64
@@ -152,7 +239,7 @@ func (a *opAcct) posted(hits int, postedAt float64) {
 		a.started = true
 	}
 	a.hits += hits
-	a.x.eng.Ledger.Add(a.label, hits, a.x.eng.Options.Assignments)
+	a.x.eng.Ledger.Add(a.label, hits, a.asn)
 	a.x.stats.setSlot(a.slot, a.hits, a.asns, a.span(), nil)
 }
 
@@ -453,34 +540,46 @@ func (f *crowdFilterOp) applyBranchVotes(br *filterBranch, list []qVotes, done f
 	return nil
 }
 
-// collectChunk awaits a branch's oldest chunk and applies its votes.
+// collectChunk awaits a branch's oldest chunk, re-posts refused HITs'
+// questions within the retry budget, and applies the resolved votes.
 func (f *crowdFilterOp) collectChunk(ctx context.Context, br *filterBranch) error {
 	c, res, err := br.post.collect(ctx)
 	if err != nil {
 		return err
 	}
 	done := c.postedAt + res.MakespanHours
-	list, answers := chunkVotes(c.hits, res.Assignments, f.slotOf)
+	retrying, exhausted, err := br.post.retryRefused(c, res.Incomplete, done)
+	if err != nil {
+		return err
+	}
+	list, answers := chunkVotes(c.hits, res.Assignments, f.slotOf, retrying)
 	if f.x.eng.Cache != nil {
 		for _, h := range c.hits {
 			for qi := range h.Questions {
 				q := &h.Questions[qi]
-				f.x.eng.Cache.Store(q, answers[q.ID])
+				// Voteless questions (refused HITs) must not poison the
+				// cache: a stored empty entry would make every later
+				// identical question resolve to rejection without ever
+				// reaching the crowd.
+				if len(answers[q.ID]) > 0 {
+					f.x.eng.Cache.Store(q, answers[q.ID])
+				}
 			}
 		}
 	}
 	if err := f.applyBranchVotes(br, list, done); err != nil {
 		return err
 	}
-	br.acct.collected(res.TotalAssignments, done, res.Incomplete)
+	br.acct.collected(res.TotalAssignments, done, exhausted)
 	return nil
 }
 
 // chunkVotes resolves a chunk's assignments into per-question vote
 // runs, ordered by HIT then question position so downstream combining
 // is deterministic. Every question in the chunk appears in the result
-// — questions in refused HITs resolve with zero votes (and reject).
-func chunkVotes(hits []*hit.HIT, assignments []hit.Assignment, slotOf map[string]int) ([]qVotes, map[string][]hit.CachedAnswer) {
+// except those being retried after a refusal — questions whose retries
+// are exhausted resolve with zero votes (and reject).
+func chunkVotes(hits []*hit.HIT, assignments []hit.Assignment, slotOf map[string]int, retrying map[string]int) ([]qVotes, map[string][]hit.CachedAnswer) {
 	byQ := map[string][]combine.Vote{}
 	answers := map[string][]hit.CachedAnswer{}
 	hit.ForEachAnswer(hits, assignments, func(q *hit.Question, worker string, ans hit.Answer) {
@@ -491,6 +590,10 @@ func chunkVotes(hits []*hit.HIT, assignments []hit.Assignment, slotOf map[string
 	for _, h := range hits {
 		for qi := range h.Questions {
 			q := &h.Questions[qi]
+			if retrying[q.ID] > 0 {
+				retrying[q.ID]--
+				continue
+			}
 			list = append(list, qVotes{slot: slotOf[q.ID], qid: q.ID, votes: byQ[q.ID]})
 		}
 	}

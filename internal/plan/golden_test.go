@@ -1,0 +1,272 @@
+package plan
+
+// Golden-plan harness: ~12 representative queries are optimized against
+// fixed cardinalities and budgets, and the rendered costed plan is
+// snapshotted under testdata/. Regenerate with:
+//
+//	go test ./internal/plan -run Golden -update
+//
+// Beyond the snapshots, TestOptimizerCrossovers pins the paper's
+// crossover points programmatically: the join interface, the sort
+// method, and the POSSIBLY pre-filter each flip as cardinality or
+// budget changes.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qurk/internal/core"
+	"qurk/internal/dataset"
+	"qurk/internal/join"
+	"qurk/internal/query"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenLibrary registers every task the golden queries use.
+func goldenLibrary(t *testing.T) *core.Library {
+	t.Helper()
+	lib := core.NewLibrary()
+	lib.MustRegister(dataset.IsFemaleTask())
+	lib.MustRegister(dataset.SamePersonTask())
+	lib.MustRegister(dataset.GenderTask())
+	lib.MustRegister(dataset.HairColorTask())
+	lib.MustRegister(dataset.SkinColorTask())
+	lib.MustRegister(dataset.SquareSorterTask())
+	lib.MustRegister(dataset.InSceneTask())
+	lib.MustRegister(dataset.NumInSceneTask())
+	lib.MustRegister(dataset.QualityTask())
+	return lib
+}
+
+type goldenCase struct {
+	name   string
+	src    string
+	cards  CardMap
+	budget float64
+}
+
+var goldenCases = []goldenCase{
+	{
+		name:  "filter_tiny",
+		src:   `SELECT c.name FROM celeb c WHERE isFemale(c.img)`,
+		cards: CardMap{"celeb": 10},
+	},
+	{
+		name:   "filter_budget_tight",
+		src:    `SELECT c.name FROM celeb c WHERE isFemale(c.img)`,
+		cards:  CardMap{"celeb": 200},
+		budget: 2.00,
+	},
+	{
+		name:  "join_celebrity_scale",
+		src:   `SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img)`,
+		cards: CardMap{"celeb": 30, "photos": 30},
+	},
+	{
+		name:  "join_tiny_dense",
+		src:   `SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img)`,
+		cards: CardMap{"celeb": 4, "photos": 4},
+	},
+	{
+		name:   "join_budget_tight",
+		src:    `SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img)`,
+		cards:  CardMap{"celeb": 30, "photos": 30},
+		budget: 1.00,
+	},
+	{
+		// Three features (pass fraction ≈ 0.15 after the UNKNOWN
+		// wildcard share): extraction's linear passes beat the
+		// quadratic join savings only at scale.
+		name: "join_features_large",
+		src: `SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img)
+AND POSSIBLY gender(c.img) = gender(p.img)
+AND POSSIBLY hairColor(c.img) = hairColor(p.img)
+AND POSSIBLY skinColor(c.img) = skinColor(p.img)`,
+		cards: CardMap{"celeb": 80, "photos": 80},
+	},
+	{
+		name: "join_features_small",
+		src: `SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img)
+AND POSSIBLY gender(c.img) = gender(p.img)
+AND POSSIBLY hairColor(c.img) = hairColor(p.img)
+AND POSSIBLY skinColor(c.img) = skinColor(p.img)`,
+		cards: CardMap{"celeb": 30, "photos": 30},
+	},
+	{
+		// Two weak features never out-prune a SmartBatch grid at
+		// celebrity scale — pre-filtering stays off.
+		name: "join_features_weak",
+		src: `SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img)
+AND POSSIBLY gender(c.img) = gender(p.img)
+AND POSSIBLY hairColor(c.img) = hairColor(p.img)`,
+		cards: CardMap{"celeb": 40, "photos": 40},
+	},
+	{
+		name:  "sort_small",
+		src:   `SELECT label FROM squares ORDER BY squareSorter(img)`,
+		cards: CardMap{"squares": 10},
+	},
+	{
+		name:  "sort_large",
+		src:   `SELECT label FROM squares ORDER BY squareSorter(img)`,
+		cards: CardMap{"squares": 40},
+	},
+	{
+		name:   "sort_budget_tight",
+		src:    `SELECT label FROM squares ORDER BY squareSorter(img)`,
+		cards:  CardMap{"squares": 40},
+		budget: 0.30,
+	},
+	{
+		name: "possibly_unary_join",
+		src: `SELECT s.img FROM scenes s JOIN actors a ON inScene(a.img, s.img)
+AND POSSIBLY numInScene(s.img) = 1`,
+		cards: CardMap{"scenes": 40, "actors": 10},
+	},
+	{
+		name: "filtered_join_sorted",
+		src: `SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img)
+WHERE isFemale(c.img) ORDER BY quality(c.img)`,
+		cards: CardMap{"celeb": 30, "photos": 30},
+	},
+	{
+		name:  "or_filter_limit",
+		src:   `SELECT c.name FROM celeb c WHERE isFemale(c.img) OR NOT isFemale(c.img) LIMIT 3`,
+		cards: CardMap{"celeb": 25},
+	},
+}
+
+// optimizeCase builds and optimizes one golden query.
+func optimizeCase(t *testing.T, lib *core.Library, gc goldenCase) *CostedPlan {
+	t.Helper()
+	stmt, err := query.ParseQuery(gc.src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", gc.name, err)
+	}
+	node, err := Build(stmt, lib)
+	if err != nil {
+		t.Fatalf("%s: build: %v", gc.name, err)
+	}
+	cp, err := Optimize(node, gc.cards, OptimizeOptions{BudgetDollars: gc.budget})
+	if err != nil {
+		t.Fatalf("%s: optimize: %v", gc.name, err)
+	}
+	return cp
+}
+
+func TestGoldenPlans(t *testing.T) {
+	lib := goldenLibrary(t)
+	for _, gc := range goldenCases {
+		t.Run(gc.name, func(t *testing.T) {
+			got := optimizeCase(t, lib, gc).Render()
+			path := filepath.Join("testdata", gc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("costed plan drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// findJoin / findSort pull the annotated nodes out of a costed plan.
+func findJoin(cp *CostedPlan) *CrowdJoin {
+	for _, op := range cp.Ops {
+		if j, ok := op.Node.(*CrowdJoin); ok {
+			return j
+		}
+	}
+	return nil
+}
+
+func findSort(cp *CostedPlan) *CrowdOrderBy {
+	for _, op := range cp.Ops {
+		if s, ok := op.Node.(*CrowdOrderBy); ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// TestOptimizerCrossovers pins the paper's crossover points: each of
+// the three interface decisions flips as cardinality or budget moves.
+func TestOptimizerCrossovers(t *testing.T) {
+	lib := goldenLibrary(t)
+	byName := map[string]goldenCase{}
+	for _, gc := range goldenCases {
+		byName[gc.name] = gc
+	}
+	opt := func(name string) *CostedPlan { return optimizeCase(t, lib, byName[name]) }
+
+	// Join algorithm: SmartBatch 5×5 wins at celebrity-join scale
+	// (fewest HITs at acceptable quality, §3.1.3)...
+	j := findJoin(opt("join_celebrity_scale"))
+	if j.Phys == nil || j.Phys.Algorithm != join.Smart || j.Phys.GridRows != 5 || j.Phys.GridCols != 5 {
+		t.Errorf("celebrity-scale join chose %v, want SmartBatch 5×5", j.Phys)
+	}
+	// ...but a tiny dense join floods grids with matches, flipping the
+	// choice to NaiveBatch.
+	j = findJoin(opt("join_tiny_dense"))
+	if j.Phys == nil || j.Phys.Algorithm != join.Naive {
+		t.Errorf("tiny dense join chose %v, want NaiveBatch", j.Phys)
+	}
+
+	// POSSIBLY pre-filter: with three features the linear extraction
+	// passes pay for themselves at 80×80 but not at 30×30 (§3.2) —
+	// the on/off decision flips on cardinality alone.
+	j = findJoin(opt("join_features_large"))
+	if j.Phys == nil || !j.Phys.UseFeatures {
+		t.Errorf("80×80 featured join should pre-filter, got %v", j.Phys)
+	}
+	j = findJoin(opt("join_features_small"))
+	if j.Phys == nil || j.Phys.UseFeatures {
+		t.Errorf("30×30 featured join should skip pre-filtering, got %v", j.Phys)
+	}
+	// Two weak features never pay at celebrity scale.
+	j = findJoin(opt("join_features_weak"))
+	if j.Phys == nil || j.Phys.UseFeatures {
+		t.Errorf("weakly-featured 40×40 join should skip pre-filtering, got %v", j.Phys)
+	}
+
+	// Sort method: Compare at 10 items, Hybrid overtakes at 40 (§4.2),
+	// and a tight budget degrades to Rate.
+	s := findSort(opt("sort_small"))
+	if s.Phys == nil || s.Phys.Method != core.SortCompare {
+		t.Errorf("10-item sort chose %v, want Compare", s.Phys)
+	}
+	s = findSort(opt("sort_large"))
+	if s.Phys == nil || s.Phys.Method != core.SortHybrid {
+		t.Errorf("40-item sort chose %v, want Hybrid", s.Phys)
+	}
+	cp := opt("sort_budget_tight")
+	s = findSort(cp)
+	if s.Phys == nil || s.Phys.Method != core.SortRate {
+		t.Errorf("budget-tight sort chose %v, want Rate", s.Phys)
+	}
+	if cp.OverBudget {
+		t.Error("rate sort fits $0.30, should not be over budget")
+	}
+	if cp.TotalDollars > 0.30+1e-9 {
+		t.Errorf("budget-tight sort spends $%.2f > $0.30", cp.TotalDollars)
+	}
+
+	// Budget compliance on the tight join case.
+	cp = opt("join_budget_tight")
+	if !cp.OverBudget && cp.TotalDollars > 1.00+1e-9 {
+		t.Errorf("budget-tight join spends $%.2f > $1.00", cp.TotalDollars)
+	}
+}

@@ -1,0 +1,94 @@
+package plan
+
+import (
+	"fmt"
+
+	"qurk/internal/core"
+	"qurk/internal/join"
+	"qurk/internal/sortop"
+)
+
+// Physical annotations. The optimizer (Optimize) decorates logical plan
+// nodes with the interface it chose for each crowd operator; the
+// streaming executor reads the annotation and falls back to the
+// engine-wide Options when a node carries none, so hand-built and
+// un-optimized plans behave exactly as before.
+
+// JoinPhys is the chosen join interface for one CrowdJoin.
+type JoinPhys struct {
+	// Algorithm is Simple, Naive, or Smart (§3.1).
+	Algorithm join.Algorithm
+	// BatchSize is pairs per HIT for Naive.
+	BatchSize int
+	// GridRows×GridCols is the Smart grid shape.
+	GridRows, GridCols int
+	// UseFeatures applies the POSSIBLY feature pre-filter (§3.2) when
+	// the node has features; false joins the full cross product even
+	// then (the optimizer found extraction not worth its HITs).
+	UseFeatures bool
+	// Assignments is workers per HIT for this operator (0 = engine
+	// default) — the budget allocator's per-stage vote level.
+	Assignments int
+}
+
+// String renders the choice as the paper names it.
+func (p *JoinPhys) String() string {
+	var s string
+	switch p.Algorithm {
+	case join.Naive:
+		s = fmt.Sprintf("NaiveBatch b=%d", p.BatchSize)
+	case join.Smart:
+		s = fmt.Sprintf("SmartBatch %d×%d", p.GridRows, p.GridCols)
+	default:
+		s = "Simple"
+	}
+	if p.UseFeatures {
+		s += " + prefilter"
+	}
+	return s
+}
+
+// SortPhys is the chosen sort interface for one CrowdOrderBy.
+type SortPhys struct {
+	// Method is Compare, Rate, or Hybrid (§4.1).
+	Method core.SortMethod
+	// GroupSize is S, items per comparison group (Compare and Hybrid
+	// windows).
+	GroupSize int
+	// RateBatch is items per rating HIT (Rate and the Hybrid seed).
+	RateBatch int
+	// Iterations and Step parametrize Hybrid refinement.
+	Iterations, Step int
+	// Strategy is the Hybrid window scheme. It is honored verbatim —
+	// the zero value is sortop.RandomWindow, not the engine default
+	// SlidingWindow — so hand-built annotations should set it
+	// explicitly (the optimizer always does).
+	Strategy sortop.WindowStrategy
+	// Assignments is workers per HIT (0 = engine default).
+	Assignments int
+}
+
+// String renders the choice as the paper's figures label it.
+func (p *SortPhys) String() string {
+	switch p.Method {
+	case core.SortRate:
+		return fmt.Sprintf("Rate b=%d", p.RateBatch)
+	case core.SortHybrid:
+		return fmt.Sprintf("Hybrid/%s S=%d t=%d i=%d", p.Strategy, p.GroupSize, p.Step, p.Iterations)
+	default:
+		return fmt.Sprintf("Compare S=%d", p.GroupSize)
+	}
+}
+
+// BatchPhys is the chosen batching for a filter, generative, or
+// POSSIBLY-extraction operator (no interface alternatives, but the
+// budget allocator still sets its vote level).
+type BatchPhys struct {
+	// Batch is questions per HIT.
+	Batch int
+	// Assignments is workers per HIT (0 = engine default).
+	Assignments int
+}
+
+// String renders the choice.
+func (p *BatchPhys) String() string { return fmt.Sprintf("batch %d", p.Batch) }

@@ -64,6 +64,8 @@ type CrowdFilter struct {
 	Input  Node
 	Task   *task.Filter
 	Negate bool
+	// Phys is the optimizer's batching choice (nil = engine defaults).
+	Phys *BatchPhys
 }
 
 // Label implements Node.
@@ -83,6 +85,8 @@ type CrowdFilterOr struct {
 	Input    Node
 	Branches []*task.Filter
 	Negates  []bool
+	// Phys is the optimizer's batching choice (nil = engine defaults).
+	Phys *BatchPhys
 }
 
 // Label implements Node.
@@ -109,6 +113,8 @@ type UnaryPossibly struct {
 	Field string
 	Op    string
 	Value string
+	// Phys is the optimizer's batching choice (nil = engine defaults).
+	Phys *BatchPhys
 }
 
 // Label implements Node.
@@ -127,6 +133,8 @@ type CrowdJoin struct {
 	Task          *task.EquiJoin
 	LeftFeatures  []join.Feature
 	RightFeatures []join.Feature
+	// Phys is the optimizer's interface choice (nil = engine defaults).
+	Phys *JoinPhys
 }
 
 // Label implements Node.
@@ -150,6 +158,8 @@ type Generate struct {
 	Input  Node
 	Task   *task.Generative
 	Fields []string
+	// Phys is the optimizer's batching choice (nil = engine defaults).
+	Phys *BatchPhys
 }
 
 // Label implements Node.
@@ -168,6 +178,8 @@ type CrowdOrderBy struct {
 	GroupCols []string
 	Task      *task.Rank
 	Desc      bool
+	// Phys is the optimizer's interface choice (nil = engine defaults).
+	Phys *SortPhys
 }
 
 // Label implements Node.

@@ -1,0 +1,141 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"qurk/internal/core"
+	"qurk/internal/dataset"
+	"qurk/internal/join"
+	"qurk/internal/sortop"
+)
+
+// TestRenderWithActual: executed operator labels fold onto costed ops
+// (exact labels, OR-branch suffixes, extraction credited to the
+// pre-filtered join) and render as est-vs-actual lines.
+func TestRenderWithActual(t *testing.T) {
+	cj := &CrowdJoin{
+		Left:  &Scan{Table: "celeb"},
+		Right: &Scan{Table: "photos"},
+		Task:  dataset.SamePersonTask(),
+		LeftFeatures: []join.Feature{
+			{Task: dataset.GenderTask(), Field: "gender"},
+			{Task: dataset.HairColorTask(), Field: "hair"},
+			{Task: dataset.SkinColorTask(), Field: "skin"},
+		},
+		RightFeatures: []join.Feature{
+			{Task: dataset.GenderTask(), Field: "gender"},
+			{Task: dataset.HairColorTask(), Field: "hair"},
+			{Task: dataset.SkinColorTask(), Field: "skin"},
+		},
+	}
+	root := &Project{Input: cj, Star: true}
+	cp, err := Optimize(root, CardMap{"celeb": 80, "photos": 80}, OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cj.Phys == nil || !cj.Phys.UseFeatures {
+		t.Fatalf("80×80 three-feature join should pre-filter, got %v", cj.Phys)
+	}
+	out := cp.RenderWithActual([]OpActual{
+		{Label: cj.Label(), HITs: 300},
+		{Label: "extract-left", HITs: 20},
+		{Label: "extract-right", HITs: 20},
+		{Label: "unrelated op", HITs: 999},
+	})
+	if !strings.Contains(out, "actual 340 HITs") {
+		t.Errorf("extraction not folded into the join's actual:\n%s", out)
+	}
+	if strings.Contains(out, "999") {
+		t.Errorf("unmatched labels must be ignored:\n%s", out)
+	}
+}
+
+// TestRenderOverBudget: an impossible budget is flagged, never hidden.
+func TestRenderOverBudget(t *testing.T) {
+	cp, err := Optimize(joinPlan(), CardMap{"celeb": 50, "photos": 50}, OptimizeOptions{BudgetDollars: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.OverBudget {
+		t.Fatal("$0.01 cannot cover any 50×50 join")
+	}
+	if !strings.Contains(cp.Render(), "OVER BUDGET") {
+		t.Errorf("over-budget plan not flagged:\n%s", cp.Render())
+	}
+	// Over budget degrades to minimum spend: one assignment everywhere.
+	for _, op := range cp.Ops {
+		if op.Assignments != 1 {
+			t.Errorf("%s at %d assignments, want the 1-assignment floor", op.Label, op.Assignments)
+		}
+	}
+}
+
+// TestPhysStrings pins the EXPLAIN vocabulary to the paper's names.
+func TestPhysStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{(&JoinPhys{Algorithm: join.Simple}).String(), "Simple"},
+		{(&JoinPhys{Algorithm: join.Naive, BatchSize: 5}).String(), "NaiveBatch b=5"},
+		{(&JoinPhys{Algorithm: join.Smart, GridRows: 5, GridCols: 5, UseFeatures: true}).String(), "SmartBatch 5×5 + prefilter"},
+		{(&SortPhys{Method: core.SortCompare, GroupSize: 5}).String(), "Compare S=5"},
+		{(&SortPhys{Method: core.SortRate, RateBatch: 5}).String(), "Rate b=5"},
+		{(&SortPhys{Method: core.SortHybrid, GroupSize: 5, Step: 6, Iterations: 20, Strategy: sortop.SlidingWindow}).String(), "Hybrid/Window S=5 t=6 i=20"},
+		{(&BatchPhys{Batch: 4}).String(), "batch 4"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+// TestCardMapAndUnknownTables: unknown cardinalities fall back to
+// DefaultRows with a note instead of failing.
+func TestCardMapAndUnknownTables(t *testing.T) {
+	if n, ok := (CardMap{"celeb": 7}).Cardinality("CELEB"); !ok || n != 7 {
+		t.Errorf("CardMap lookup is case-insensitive: got %d %v", n, ok)
+	}
+	cp, err := Optimize(joinPlan(), CardMap{}, OptimizeOptions{DefaultRows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range cp.Notes {
+		if strings.Contains(n, "unknown") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing cardinality note: %v", cp.Notes)
+	}
+	if cp.Ops[0].InRows != 100 {
+		t.Errorf("pairs = %d, want 10×10", cp.Ops[0].InRows)
+	}
+}
+
+// TestOptimizeMachineNodes: machine filters, machine sorts, unary
+// POSSIBLY, and generative SELECTs flow through the estimator.
+func TestOptimizeMachineNodes(t *testing.T) {
+	scan := &Scan{Table: "scenes"}
+	mf := &MachineFilter{Input: scan}
+	up := &UnaryPossibly{Input: mf, Task: dataset.NumInSceneTask(), Field: "count", Op: "=", Value: "1"}
+	g := &Generate{Input: up, Task: dataset.NumInSceneTask(), Fields: []string{"count"}}
+	mo := &MachineOrderBy{Input: g, Cols: []string{"img"}, Desc: []bool{false}}
+	root := &Limit{Input: &Project{Input: mo, Star: true}, N: 3}
+	cp, err := Optimize(root, CardMap{"scenes": 40}, OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Ops) != 2 {
+		t.Fatalf("%d costed ops, want possibly + generate", len(cp.Ops))
+	}
+	// 40 rows → machine filter (0.5) → 20 → possibly ⌈20/4⌉ = 5 HITs.
+	if cp.Ops[0].HITs != 5 {
+		t.Errorf("possibly est = %d HITs, want 5", cp.Ops[0].HITs)
+	}
+	if up.Phys == nil || g.Phys == nil {
+		t.Error("batch operators not annotated")
+	}
+}

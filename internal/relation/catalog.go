@@ -45,6 +45,18 @@ func (c *Catalog) Table(name string) (*Relation, error) {
 	return r, nil
 }
 
+// Cardinality reports a registered table's row count — the planner's
+// CardSource contract (exact cardinalities for base relations).
+func (c *Catalog) Cardinality(name string) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return 0, false
+	}
+	return r.Len(), true
+}
+
 // Drop removes a table; it is not an error if the table is absent.
 func (c *Catalog) Drop(name string) {
 	c.mu.Lock()

@@ -205,22 +205,85 @@ var (
 	ParseScript = query.ParseScript
 	// BuildPlan compiles a statement against a task library.
 	BuildPlan = plan.Build
-	// ExplainPlan renders a plan tree.
+	// ExplainPlan renders a plan tree (logical only; Explain adds the
+	// optimizer's costed choices).
 	ExplainPlan = plan.Explain
+	// OptimizePlan runs cost-based operator selection over a built plan
+	// tree with explicit cardinalities and options.
+	OptimizePlan = plan.Optimize
+	// OptimizeOptionsFrom seeds optimizer options from engine options.
+	OptimizeOptionsFrom = plan.OptimizeOptionsFrom
 )
 
-// Explain parses a query and renders its plan against the engine's
-// library, like a SQL EXPLAIN (the paper's §6 "iterative debugging").
-func Explain(e *Engine, src string) (string, error) {
-	stmt, err := query.ParseQuery(src)
+// Cost-based optimizer types (paper §2.6's minimize-HITs objective over
+// the §3/§4 interface choices).
+type (
+	// CostedPlan is the optimizer's annotated plan plus estimates.
+	CostedPlan = plan.CostedPlan
+	// OpCost is one crowd operator's costed choice.
+	OpCost = plan.OpCost
+	// OptimizeOptions parametrizes the optimizer pass.
+	OptimizeOptions = plan.OptimizeOptions
+	// CardSource supplies base-table cardinalities (Catalog implements it).
+	CardSource = plan.CardSource
+	// CardMap is a literal CardSource.
+	CardMap = plan.CardMap
+	// JoinPhys, SortPhys, and BatchPhys are per-node physical choices.
+	JoinPhys  = plan.JoinPhys
+	SortPhys  = plan.SortPhys
+	BatchPhys = plan.BatchPhys
+)
+
+// ExplainOptions configures Explain's cost-based pass.
+type ExplainOptions struct {
+	// BudgetDollars constrains the optimizer's total crowd spend
+	// (0 = unconstrained).
+	BudgetDollars float64
+	// Actual, when set, renders each crowd operator's actual posted
+	// HITs from an executed run next to its estimate — the paper's §6
+	// iterative-debugging loop (estimate, run, compare, recalibrate).
+	Actual *ExecStats
+}
+
+// Explain parses a query, runs the cost-based optimizer against the
+// engine's catalog cardinalities and options, and renders the costed
+// physical plan: each crowd operator's chosen interface (join
+// Simple/NaiveBatch/SmartBatch, POSSIBLY pre-filter on/off, sort
+// Compare/Rate/Hybrid), its estimated HITs, dollars, and quality, and
+// the plan totals against the budget — a SQL EXPLAIN for crowd queries.
+func Explain(e *Engine, src string, opts ...ExplainOptions) (string, error) {
+	var eo ExplainOptions
+	if len(opts) > 0 {
+		eo = opts[0]
+	}
+	cp, err := Optimize(e, src, eo.BudgetDollars)
 	if err != nil {
 		return "", err
+	}
+	if eo.Actual == nil {
+		return cp.Render(), nil
+	}
+	var actual []plan.OpActual
+	for _, op := range eo.Actual.Operators {
+		actual = append(actual, plan.OpActual{Label: op.Label, HITs: op.HITs})
+	}
+	return cp.RenderWithActual(actual), nil
+}
+
+// Optimize parses and plans a query, then runs the cost-based operator
+// selection pass against the engine's catalog cardinalities: the
+// returned CostedPlan's Root carries the chosen physical interfaces
+// and executes them via RunPlan. budgetDollars 0 means unconstrained.
+func Optimize(e *Engine, src string, budgetDollars float64) (*CostedPlan, error) {
+	stmt, err := query.ParseQuery(src)
+	if err != nil {
+		return nil, err
 	}
 	node, err := plan.Build(stmt, e.Library)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	return plan.Explain(node), nil
+	return plan.Optimize(node, e.Catalog, plan.OptimizeOptionsFrom(e.Options, budgetDollars))
 }
 
 // --- Direct operator access (paper §3 and §4) ---
