@@ -1,17 +1,20 @@
 // Command qurk is a CLI for the Qurk crowd-powered query processor. It
-// executes queries (and TASK DSL scripts) over the built-in datasets
-// with the simulated crowd, printing results, the logical plan, and the
-// HIT cost ledger.
+// executes queries (and TASK DSL scripts) over the built-in datasets,
+// printing results, the logical plan, and the HIT cost ledger.
 //
-// The simulator needs ground truth to generate worker answers, so the
-// CLI runs against the paper's datasets; a production deployment would
-// implement the Marketplace interface against a live crowd instead.
+// The crowd backend is selectable: the default simulated marketplace
+// answers from each dataset's ground-truth oracle; -backend
+// mturk-sandbox (or mturk for the real-money marketplace) posts the
+// same HITs to Mechanical Turk through the REST client, with
+// credentials from the standard AWS environment variables. See
+// docs/BACKENDS.md for the sandbox quickstart.
 //
 // Usage:
 //
 //	qurk -dataset celebrities -query "SELECT c.name FROM celeb AS c WHERE isFemale(c.img)"
 //	qurk -dataset movie -file query.qurk -sort rate -join smart5x5
 //	qurk -dataset squares -n 20 -query "SELECT label FROM squares ORDER BY squareSorter(img)"
+//	qurk -backend mturk-sandbox -dataset celebrities -n 4 -query "..."
 package main
 
 import (
@@ -35,6 +38,10 @@ func main() {
 		sortMethod  = flag.String("sort", "compare", "sort interface: compare, rate, hybrid")
 		assignments = flag.Int("assignments", 5, "workers per HIT")
 		combiner    = flag.String("combiner", "MajorityVote", "vote combiner: MajorityVote or QualityAdjust")
+		backend     = flag.String("backend", "sim", "crowd backend: sim (oracle-driven simulator), mturk-sandbox, or mturk (REAL MONEY)")
+		endpoint    = flag.String("mturk-endpoint", "", "override the MTurk endpoint URL (e.g. an in-process fake)")
+		pollSecs    = flag.Float64("mturk-poll", 15, "seconds between assignment polls on live backends")
+		asnDuration = flag.Int("mturk-deadline", 600, "assignment deadline in seconds before it counts as expired")
 	)
 	flag.Parse()
 
@@ -52,8 +59,17 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown sort method %q", *sortMethod))
 	}
+	opts.MTurk = qurk.MTurkOptions{
+		Endpoint:                  *endpoint,
+		PollIntervalSeconds:       *pollSecs,
+		AssignmentDurationSeconds: *asnDuration,
+	}
 
-	eng, err := buildEngine(*datasetName, *n, *seed, opts)
+	market, err := buildMarket(*backend, &opts)
+	if err != nil {
+		fail(err)
+	}
+	eng, err := buildEngine(*datasetName, *n, *seed, opts, market)
 	if err != nil {
 		fail(err)
 	}
@@ -100,8 +116,11 @@ func main() {
 		printRelation(out)
 		fmt.Printf("\n%d HITs posted, cost $%.2f\n", stats.TotalHITs(),
 			qurk.DollarCost(stats.TotalHITs(), *assignments))
+		if n := stats.TotalExpired(); n > 0 {
+			fmt.Printf("note: %d assignments were accepted but never submitted (expired at the deadline and re-posted within the retry budget)\n", n)
+		}
 		if len(stats.Incomplete) > 0 {
-			fmt.Printf("WARNING: %d crowd tasks went unanswered after workers refused their HITs (batch too large for the price, retries exhausted)\n", len(stats.Incomplete))
+			fmt.Printf("WARNING: %d crowd tasks went unanswered after workers refused or abandoned their HITs and the retry budget ran out\n", len(stats.Incomplete))
 		}
 		fmt.Println()
 	}
@@ -111,12 +130,53 @@ func main() {
 	}
 }
 
-// buildEngine wires a dataset's tables, tasks, and oracle into an engine.
-func buildEngine(name string, n int, seed int64, opts qurk.Options) (*qurk.Engine, error) {
+// buildMarket resolves the -backend flag. nil means "use the dataset's
+// simulator" (the sim backend needs the dataset oracle, so buildEngine
+// constructs it).
+func buildMarket(backend string, opts *qurk.Options) (qurk.Marketplace, error) {
+	switch strings.ToLower(backend) {
+	case "sim", "":
+		return nil, nil
+	case "mturk-sandbox", "mturk":
+		if strings.EqualFold(backend, "mturk") {
+			opts.MTurk.Endpoint = firstNonEmpty(opts.MTurk.Endpoint, qurk.MTurkProductionEndpoint)
+			fmt.Fprintln(os.Stderr, "WARNING: -backend mturk posts HITs that cost REAL dollars and reach real workers.")
+		}
+		client, err := qurk.NewMTurkClient(qurk.MTurkFromOptions(opts.MTurk))
+		if err != nil {
+			return nil, err
+		}
+		if balance, err := client.CheckBalance(); err != nil {
+			return nil, fmt.Errorf("MTurk credential check failed: %w", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "MTurk endpoint %s, available balance $%s\n", client.Endpoint(), balance)
+		}
+		return client, nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want sim, mturk-sandbox, or mturk)", backend)
+	}
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+// buildEngine wires a dataset's tables and tasks into an engine over
+// the given marketplace (nil = the dataset's ground-truth simulator).
+func buildEngine(name string, n int, seed int64, opts qurk.Options, market qurk.Marketplace) (*qurk.Engine, error) {
+	sim := func(oracle qurk.Oracle) qurk.Marketplace {
+		if market != nil {
+			return market
+		}
+		return qurk.NewSimMarket(qurk.DefaultMarketConfig(seed), oracle)
+	}
 	switch strings.ToLower(name) {
 	case "celebrities", "celebs", "celeb":
 		d := qurk.NewCelebrities(qurk.CelebrityConfig{N: n, Seed: seed})
-		eng := qurk.NewEngine(qurk.NewSimMarket(qurk.DefaultMarketConfig(seed), d.Oracle()), opts)
+		eng := qurk.NewEngine(sim(d.Oracle()), opts)
 		eng.Catalog.Register(d.Celeb)
 		eng.Catalog.Register(d.Photos)
 		eng.Library.MustRegister(qurk.IsFemaleTask())
@@ -127,13 +187,13 @@ func buildEngine(name string, n int, seed int64, opts qurk.Options) (*qurk.Engin
 		return eng, nil
 	case "squares":
 		s := qurk.NewSquares(n)
-		eng := qurk.NewEngine(qurk.NewSimMarket(qurk.DefaultMarketConfig(seed), s.Oracle()), opts)
+		eng := qurk.NewEngine(sim(s.Oracle()), opts)
 		eng.Catalog.Register(s.Rel)
 		eng.Library.MustRegister(qurk.SquareSorterTask())
 		return eng, nil
 	case "animals":
 		a := qurk.NewAnimals()
-		eng := qurk.NewEngine(qurk.NewSimMarket(qurk.DefaultMarketConfig(seed), a.Oracle()), opts)
+		eng := qurk.NewEngine(sim(a.Oracle()), opts)
 		eng.Catalog.Register(a.Rel)
 		eng.Library.MustRegister(qurk.AnimalSizeTask())
 		eng.Library.MustRegister(qurk.DangerousTask())
@@ -142,7 +202,7 @@ func buildEngine(name string, n int, seed int64, opts qurk.Options) (*qurk.Engin
 		return eng, nil
 	case "movie":
 		m := qurk.NewMovie(qurk.MovieConfig{Seed: seed})
-		eng := qurk.NewEngine(qurk.NewSimMarket(qurk.DefaultMarketConfig(seed), m.Oracle()), opts)
+		eng := qurk.NewEngine(sim(m.Oracle()), opts)
 		eng.Catalog.Register(m.Actors)
 		eng.Catalog.Register(m.Scenes)
 		eng.Library.MustRegister(qurk.InSceneTask())

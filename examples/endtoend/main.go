@@ -1,7 +1,9 @@
 // Command endtoend runs the paper's §5 query — join movie stills with
 // actor headshots, keep one-person scenes, and order each actor's scenes
-// by how flattering they are — twice: once naively and once with every
-// optimization on, reporting the HIT reduction (paper: 14.5×).
+// by how flattering they are — twice: once with deliberately naive
+// interface choices, and once letting the cost-based optimizer pick the
+// physical plan (the paper's 14.5× HIT reduction came from exactly
+// these choices: POSSIBLY pre-filter, smart batching, rating sort).
 package main
 
 import (
@@ -25,32 +27,28 @@ func main() {
 	fmt.Println(queryText)
 	fmt.Println()
 
-	// Unoptimized: simple join (1 pair/HIT), comparison sort, and no
-	// POSSIBLY pre-filter (strip it from the query).
+	// Unoptimized baseline: simple join (1 pair/HIT), comparison sort,
+	// and no POSSIBLY pre-filter (strip it from the query). This is the
+	// one case where picking interfaces by hand still makes sense — to
+	// show what the optimizer saves.
 	naiveQuery := `
 SELECT name, scenes.img
 FROM actors JOIN scenes
 ON inScene(actors.img, scenes.img)
 ORDER BY name, quality(scenes.img)`
-	naiveHITs := run("UNOPTIMIZED (Simple join, Compare sort, no filter)", movie, naiveQuery, qurk.Options{
-		JoinAlgorithm: qurk.SimpleJoin,
-		SortMethod:    qurk.SortCompare,
-	})
+	naiveHITs := runNaive(movie, naiveQuery)
 
-	// Optimized: numInScene pre-filter, 5×5 smart-batched join,
-	// rating-based sort.
-	optHITs := run("OPTIMIZED (filter, Smart 5x5 join, Rate sort)", movie, queryText, qurk.Options{
-		JoinAlgorithm: qurk.SmartJoin,
-		GridRows:      5,
-		GridCols:      5,
-		SortMethod:    qurk.SortRate,
-	})
+	// Optimizer-first flow: build an engine with DEFAULT options, let
+	// plan.Optimize choose join/sort interfaces and batch shapes from
+	// catalog cardinalities, and execute the annotated plan.
+	optHITs := runOptimized(movie)
 
 	fmt.Printf("HIT reduction: %d -> %d (%.1fx; paper reports 14.5x)\n",
 		naiveHITs, optHITs, float64(naiveHITs)/float64(optHITs))
 }
 
-func run(label string, movie *qurk.Movie, src string, opts qurk.Options) int {
+// newEngine wires the movie dataset over a fresh simulated crowd.
+func newEngine(movie *qurk.Movie, opts qurk.Options) *qurk.Engine {
 	market := qurk.NewSimMarket(qurk.DefaultMarketConfig(5), movie.Oracle())
 	eng := qurk.NewEngine(market, opts)
 	eng.Catalog.Register(movie.Actors)
@@ -58,18 +56,43 @@ func run(label string, movie *qurk.Movie, src string, opts qurk.Options) int {
 	eng.Library.MustRegister(qurk.InSceneTask())
 	eng.Library.MustRegister(qurk.NumInSceneTask())
 	eng.Library.MustRegister(qurk.QualityTask())
+	return eng
+}
 
-	planText, err := qurk.Explain(eng, src)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("---", label)
-	fmt.Println(planText)
-
+func runNaive(movie *qurk.Movie, src string) int {
+	eng := newEngine(movie, qurk.Options{
+		JoinAlgorithm: qurk.SimpleJoin,
+		SortMethod:    qurk.SortCompare,
+	})
+	fmt.Println("--- UNOPTIMIZED (hand-picked: Simple join, Compare sort, no filter)")
 	out, stats, err := qurk.RunQuery(eng, src)
 	if err != nil {
 		log.Fatal(err)
 	}
+	report(movie, eng, out, stats)
+	return stats.TotalHITs()
+}
+
+func runOptimized(movie *qurk.Movie) int {
+	eng := newEngine(movie, qurk.Options{})
+	// Optimize renders the costed plan — interface per operator,
+	// estimated HITs and dollars — and returns the annotated tree that
+	// RunPlan executes as-is.
+	cp, err := qurk.Optimize(eng, queryText, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- OPTIMIZED (cost-based operator selection)")
+	fmt.Println(cp.Render())
+	out, stats, err := qurk.RunPlan(eng, cp.Root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(movie, eng, out, stats)
+	return stats.TotalHITs()
+}
+
+func report(movie *qurk.Movie, eng *qurk.Engine, out *qurk.Relation, stats *qurk.ExecStats) {
 	// Score result rows against ground truth.
 	correct := 0
 	for i := 0; i < out.Len(); i++ {
@@ -95,5 +118,4 @@ func run(label string, movie *qurk.Movie, src string, opts qurk.Options) int {
 	// end-to-end makespan beats the serial no-overlap estimate.
 	fmt.Printf("makespan: %.2fh pipelined vs %.2fh serial estimate\n\n",
 		stats.PipelineMakespanHours, stats.SerialMakespanHours())
-	return stats.TotalHITs()
 }

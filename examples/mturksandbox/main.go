@@ -1,0 +1,88 @@
+// Command mturksandbox runs the same declarative query on two crowd
+// backends: the deterministic simulator, and — when sandbox credentials
+// are present in the environment — the Mechanical Turk requester
+// sandbox through the live REST client. Without credentials the sandbox
+// half is skipped, so the example always runs offline.
+//
+// To run the sandbox half:
+//
+//	export AWS_ACCESS_KEY_ID=...      # an IAM user with MTurk access
+//	export AWS_SECRET_ACCESS_KEY=...
+//	go run ./examples/mturksandbox
+//
+// Sandbox HITs are free, but you must answer them yourself: open
+// https://workersandbox.mturk.com, search for the HIT group, and submit
+// assignments while this program polls. Keep N small — a real
+// marketplace round trip is minutes, not microseconds. Pointing this
+// example at the production endpoint instead would cost real dollars;
+// it deliberately hard-codes the sandbox.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"qurk"
+)
+
+const queryText = `SELECT c.name FROM celeb AS c WHERE isFemale(c.img)`
+
+func main() {
+	// Tiny dataset: 4 tuples × 5 assignments = 4 HITs at batch 5 — a
+	// sandbox session a single human can answer in a few minutes.
+	celebs := qurk.NewCelebrities(qurk.CelebrityConfig{N: 4, Seed: 1})
+
+	fmt.Println("Query:", queryText)
+	fmt.Println("\n=== SimMarket (deterministic simulator) ===")
+	runOn(qurk.NewSimMarket(qurk.DefaultMarketConfig(1), celebs.Oracle()), celebs)
+
+	if os.Getenv("AWS_ACCESS_KEY_ID") == "" || os.Getenv("AWS_SECRET_ACCESS_KEY") == "" {
+		fmt.Println("\n=== MTurk sandbox: SKIPPED ===")
+		fmt.Println("set AWS_ACCESS_KEY_ID / AWS_SECRET_ACCESS_KEY to post the same HITs to the requester sandbox")
+		return
+	}
+
+	fmt.Println("\n=== MTurk sandbox (live REST client) ===")
+	client, err := qurk.NewMTurkClient(qurk.MTurkConfig{
+		Endpoint:           qurk.MTurkSandboxEndpoint,
+		PollInterval:       20 * time.Second,
+		AssignmentDuration: 15 * time.Minute,
+		Title:              "Is the person in the image a woman?",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	balance, err := client.CheckBalance()
+	if err != nil {
+		log.Fatalf("credential check failed: %v", err)
+	}
+	fmt.Printf("sandbox balance: $%s (sandbox money — nothing real is spent)\n", balance)
+	fmt.Println("posting HITs; answer them at https://workersandbox.mturk.com while this polls…")
+	runOn(client, celebs)
+}
+
+// runOn executes the query over the given marketplace and reports
+// rows, HITs, expirations, and makespan.
+func runOn(market qurk.Marketplace, celebs *qurk.Celebrities) {
+	eng := qurk.NewEngine(market, qurk.Options{})
+	eng.Catalog.Register(celebs.Celeb)
+	eng.Library.MustRegister(qurk.IsFemaleTask())
+
+	out, stats, err := qurk.RunQuery(eng, queryText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rows: %d of %d\n", out.Len(), celebs.Celeb.Len())
+	for i := 0; i < out.Len(); i++ {
+		fmt.Println("  -", out.Row(i).MustGet("name").Text())
+	}
+	fmt.Printf("%d HITs, cost $%.2f, makespan %.2fh\n",
+		stats.TotalHITs(),
+		qurk.DollarCost(stats.TotalHITs(), eng.Options.Assignments),
+		stats.PipelineMakespanHours)
+	if n := stats.TotalExpired(); n > 0 {
+		fmt.Printf("%d assignments expired (accepted but never submitted) and were re-posted\n", n)
+	}
+}

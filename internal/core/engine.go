@@ -174,6 +174,60 @@ type Options struct {
 	// votes and are reported in Stats.Incomplete — previously ALL
 	// refused questions were silently rejected.
 	RefusedRetries int
+	// ExpiredRetries bounds how many times a streaming crowd operator
+	// re-posts a HIT some of whose assignments expired — accepted by a
+	// worker but never submitted before the assignment deadline
+	// (default 2; -1 disables). The re-posted HIT carries the same
+	// questions but requests only the missing assignments, and its ID
+	// derives from the expired HIT's lineage so results stay
+	// bit-identical at any StreamChunkHITs/lookahead setting. Votes
+	// already collected before the expiry are kept and merged with the
+	// retry's. Questions that exhaust the budget resolve with whatever
+	// votes arrived; those left with zero votes are reported in
+	// Stats.Incomplete.
+	ExpiredRetries int
+	// MTurk configures the live Mechanical Turk marketplace backend
+	// (internal/mturk) for deployments that post real HITs instead of
+	// simulating them. SimMarket runs ignore it.
+	MTurk MTurkOptions
+}
+
+// MTurkOptions are the knobs a live MTurk deployment needs; the zero
+// value targets the requester sandbox with credentials from the
+// standard AWS environment variables. internal/mturk consumes these via
+// mturk.FromOptions.
+type MTurkOptions struct {
+	// Endpoint is the MTurk REST endpoint base URL. Empty selects the
+	// sandbox (mturk-requester-sandbox.us-east-1.amazonaws.com); any
+	// compatible endpoint — including an in-process fake for tests —
+	// works.
+	Endpoint string
+	// Region is the AWS region used for request signing (default
+	// us-east-1, the only region MTurk serves).
+	Region string
+	// AccessKey and SecretKey are the AWS credentials the requests are
+	// signed with. Empty falls back to AWS_ACCESS_KEY_ID /
+	// AWS_SECRET_ACCESS_KEY.
+	AccessKey, SecretKey string
+	// SessionToken is the optional STS session token for temporary
+	// credentials (AWS_SESSION_TOKEN when empty).
+	SessionToken string
+	// PollIntervalSeconds is how long the client waits between
+	// ListAssignmentsForHIT sweeps (default 15).
+	PollIntervalSeconds float64
+	// AssignmentDurationSeconds is how long an accepted assignment may
+	// stay unsubmitted before it expires (default 600). Together with
+	// ExpiredRetries this is the timeout policy: assignments still
+	// missing at the deadline are reported expired and their HIT's
+	// questions re-posted.
+	AssignmentDurationSeconds int
+	// LifetimeSeconds is how long a posted HIT stays visible on the
+	// marketplace (default 3600).
+	LifetimeSeconds int
+	// SkipApprove leaves submitted assignments unapproved instead of
+	// auto-approving them on collection (default false: approve, so
+	// workers are paid promptly as the paper's experiments did).
+	SkipApprove bool
 }
 
 func (o *Options) fillDefaults() {
@@ -227,6 +281,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.RefusedRetries == 0 {
 		o.RefusedRetries = 2
+	}
+	if o.ExpiredRetries == 0 {
+		o.ExpiredRetries = 2
 	}
 }
 

@@ -28,9 +28,12 @@ func Dollars(hits, assignmentsPerHIT int) float64 {
 
 // Entry is one labelled line of spending.
 type Entry struct {
-	Label       string
-	HITs        int
-	Assignments int // per HIT
+	// Label names the operator that spent.
+	Label string
+	// HITs is the number of HITs posted.
+	HITs int
+	// Assignments is the workers-per-HIT level the HITs were posted at.
+	Assignments int
 }
 
 // Dollars returns the entry's cost.

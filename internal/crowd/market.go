@@ -27,7 +27,8 @@ import (
 // never on the interleaving of concurrent Run calls.
 type Marketplace interface {
 	// Run posts one HIT group and blocks until every assignment
-	// completes or is refused.
+	// completes, is refused, or expires (accepted by a worker but never
+	// submitted within the assignment deadline).
 	Run(group *hit.Group) (*RunResult, error)
 	// RunAsync posts one HIT group without blocking. The returned
 	// channel is buffered and receives exactly one outcome when the
@@ -38,8 +39,10 @@ type Marketplace interface {
 
 // Async is the outcome RunAsync delivers.
 type Async struct {
+	// Result is the completed group's outcome when Err is nil.
 	Result *RunResult
-	Err    error
+	// Err is the posting failure, if any.
+	Err error
 }
 
 // Await blocks on an async outcome or on context cancellation,
@@ -74,6 +77,9 @@ func GoRun(run func() (*RunResult, error)) <-chan Async {
 // identical to what Run would return.
 type StreamMarketplace interface {
 	Marketplace
+	// RunStream posts one group and calls deliver once per HIT that
+	// produced assignments, as results become available; it returns the
+	// same RunResult Run would.
 	RunStream(group *hit.Group, deliver func(hitID string, as []hit.Assignment)) (*RunResult, error)
 }
 
@@ -116,16 +122,40 @@ type RunResult struct {
 	// §6 "we found batch sizes at which workers refused to perform
 	// tasks").
 	Incomplete []string
-	// MakespanHours is the time the last assignment completed.
+	// Expired maps HIT IDs to how many of their assignments were
+	// accepted by a worker but never submitted before the assignment
+	// deadline. The HIT's completed assignments (if any) are still in
+	// Assignments; callers that want the missing votes re-post the HIT's
+	// questions (the streaming executor's expiry retry policy does this
+	// with lineage-derived HIT IDs, bounded by Options.ExpiredRetries).
+	Expired map[string]int
+	// MakespanHours is the time the last assignment completed, or — when
+	// any assignment expired — the time the expiry was detected, since a
+	// caller cannot know an assignment is never coming until its
+	// deadline passes.
 	MakespanHours float64
 	// TotalAssignments counts completed assignments.
 	TotalAssignments int
+}
+
+// addExpired records n expired assignments against a HIT.
+func (out *RunResult) addExpired(hitID string, n int) {
+	if n <= 0 {
+		return
+	}
+	if out.Expired == nil {
+		out.Expired = map[string]int{}
+	}
+	out.Expired[hitID] += n
 }
 
 // merge appends r's outcome to out.
 func (out *RunResult) merge(r *RunResult) {
 	out.Assignments = append(out.Assignments, r.Assignments...)
 	out.Incomplete = append(out.Incomplete, r.Incomplete...)
+	for id, n := range r.Expired {
+		out.addExpired(id, n)
+	}
 	out.TotalAssignments += r.TotalAssignments
 	if r.MakespanHours > out.MakespanHours {
 		out.MakespanHours = r.MakespanHours
@@ -180,6 +210,21 @@ type Config struct {
 	// GroupRampAssignments softens throughput for small groups: tiny
 	// groups are less attractive to Turkers (default 20).
 	GroupRampAssignments float64
+	// AbandonProb is the per-assignment probability that a sampled
+	// worker accepts the HIT but never submits it, so the assignment
+	// expires at AssignmentDurationHours (default 0 — no abandonment,
+	// preserving pre-timeout-policy behavior bit for bit). Abandonment
+	// is drawn from the HIT's private RNG stream, so which assignments
+	// expire depends only on (seed, groupID, hitID) — never on chunking
+	// or scheduling.
+	AbandonProb float64
+	// AssignmentDurationHours is the deadline an accepted assignment
+	// must be submitted by; abandoned assignments are detected as
+	// expired at this time after the group is posted (default 2).
+	// Expiry therefore dominates a group's makespan, mirroring the real
+	// marketplace, where an abandoned assignment blocks completion until
+	// its AssignmentDurationInSeconds elapses.
+	AssignmentDurationHours float64
 	// Parallelism bounds the simulation worker pool per Run (default
 	// GOMAXPROCS). Results are bit-identical at any setting; 1 forces
 	// fully sequential simulation.
@@ -202,6 +247,7 @@ func DefaultConfig(seed int64) Config {
 		RateExtraSigma:           0.28,
 		UnknownShare:             0.15,
 		GroupRampAssignments:     20,
+		AssignmentDurationHours:  2,
 	}
 }
 
@@ -242,6 +288,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.GroupRampAssignments == 0 {
 		c.GroupRampAssignments = d.GroupRampAssignments
+	}
+	if c.AssignmentDurationHours == 0 {
+		c.AssignmentDurationHours = d.AssignmentDurationHours
 	}
 }
 
@@ -338,12 +387,16 @@ func mix64(z uint64) uint64 {
 // when every HIT gets a private stream.
 type splitmix struct{ state uint64 }
 
+// Uint64 implements rand.Source64.
 func (s *splitmix) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15
 	return mix64(s.state)
 }
 
-func (s *splitmix) Int63() int64    { return int64(s.Uint64() >> 1) }
+// Int63 implements rand.Source.
+func (s *splitmix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source.
 func (s *splitmix) Seed(seed int64) { s.state = uint64(seed) }
 
 // hitRNG returns the HIT's private RNG stream.
@@ -438,10 +491,11 @@ func (m *SimMarket) RunStream(group *hit.Group, deliver func(hitID string, as []
 		workers = len(postings)
 	}
 	perHIT := make([][]hit.Assignment, len(postings))
+	perExpired := make([]int, len(postings))
 	if workers <= 1 {
 		for i := range postings {
 			m.sem <- struct{}{}
-			perHIT[i] = m.simulateHIT(group.ID, &postings[i], baseMakespan, rcfg)
+			perHIT[i], perExpired[i] = m.simulateHIT(group.ID, &postings[i], baseMakespan, rcfg)
 			<-m.sem
 			if deliver != nil && len(perHIT[i]) > 0 {
 				deliver(postings[i].h.ID, perHIT[i])
@@ -461,9 +515,10 @@ func (m *SimMarket) RunStream(group *hit.Group, deliver func(hitID string, as []
 						return
 					}
 					m.sem <- struct{}{}
-					as := m.simulateHIT(group.ID, &postings[i], baseMakespan, rcfg)
+					as, exp := m.simulateHIT(group.ID, &postings[i], baseMakespan, rcfg)
 					<-m.sem
 					perHIT[i] = as
+					perExpired[i] = exp
 					if deliver != nil && len(as) > 0 {
 						deliverMu.Lock()
 						deliver(postings[i].h.ID, as)
@@ -477,13 +532,19 @@ func (m *SimMarket) RunStream(group *hit.Group, deliver func(hitID string, as []
 
 	// Assemble in posting order; max and concatenation are both
 	// independent of completion order.
-	for _, as := range perHIT {
-		for i := range as {
-			if as[i].SubmitHours > res.MakespanHours {
-				res.MakespanHours = as[i].SubmitHours
+	for i, as := range perHIT {
+		for j := range as {
+			if as[j].SubmitHours > res.MakespanHours {
+				res.MakespanHours = as[j].SubmitHours
 			}
 		}
 		res.Assignments = append(res.Assignments, as...)
+		res.addExpired(postings[i].h.ID, perExpired[i])
+	}
+	if len(res.Expired) > 0 && res.MakespanHours < m.cfg.AssignmentDurationHours {
+		// Abandoned assignments are only known to be gone once the
+		// assignment deadline passes.
+		res.MakespanHours = m.cfg.AssignmentDurationHours
 	}
 	res.TotalAssignments = len(res.Assignments)
 	hit.SortAssignments(res.Assignments)
@@ -491,8 +552,11 @@ func (m *SimMarket) RunStream(group *hit.Group, deliver func(hitID string, as []
 }
 
 // simulateHIT generates one HIT's assignments: worker pickup, answers,
-// and completion times, all drawn from the HIT's private RNG stream.
-func (m *SimMarket) simulateHIT(groupID string, p *posting, baseMakespan float64, rcfg respondConfig) []hit.Assignment {
+// and completion times, all drawn from the HIT's private RNG stream. It
+// also reports how many sampled workers abandoned the HIT (accepted it
+// but never submitted — Config.AbandonProb), whose assignments expire
+// instead of completing.
+func (m *SimMarket) simulateHIT(groupID string, p *posting, baseMakespan float64, rcfg respondConfig) ([]hit.Assignment, int) {
 	rng := hitRNG(m.cfg.Seed, groupID, p.h.ID)
 	units := p.h.Units()
 	affinity := 1 + m.cfg.SpamBatchAffinityPerUnit*float64(units-1)
@@ -501,7 +565,15 @@ func (m *SimMarket) simulateHIT(groupID string, p *posting, baseMakespan float64
 	}
 	workers := m.pop.SampleDistinct(p.h.Assignments, affinity, rng)
 	out := make([]hit.Assignment, 0, len(workers))
+	expired := 0
 	for k, w := range workers {
+		// The abandonment draw happens only when the knob is on, so an
+		// AbandonProb of zero leaves the legacy RNG stream — and every
+		// calibrated simulation result — untouched.
+		if m.cfg.AbandonProb > 0 && rng.Float64() < m.cfg.AbandonProb {
+			expired++
+			continue
+		}
 		asn := hit.Assignment{
 			ID:       fmt.Sprintf("%s/a%06d", groupID, p.idBase+k+1),
 			HITID:    p.h.ID,
@@ -530,7 +602,7 @@ func (m *SimMarket) simulateHIT(groupID string, p *posting, baseMakespan float64
 		asn.SubmitHours = t
 		out = append(out, asn)
 	}
-	return out
+	return out, expired
 }
 
 // RunAll posts several groups concurrently and concatenates results in

@@ -89,6 +89,7 @@ func clamp01(x float64) float64 {
 // cached, never mutated in place, so concurrent SampleDistinct calls
 // share nothing but immutable snapshots.
 type Population struct {
+	// Workers is the full pool, in generation order.
 	Workers []*Worker
 
 	mu     sync.RWMutex

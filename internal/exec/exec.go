@@ -34,10 +34,20 @@ import (
 
 // OpStat records one operator's crowd spending.
 type OpStat struct {
-	Label       string
-	HITs        int
+	// Label names the operator (plan label plus interface choice).
+	Label string
+	// HITs counts HITs posted by the operator, including refusal and
+	// expiry re-posts.
+	HITs int
+	// Assignments counts completed (submitted) assignments.
 	Assignments int
-	Makespan    float64
+	// Expired counts assignments that were accepted by a worker but
+	// never submitted before the assignment deadline. Each expired
+	// assignment was re-posted up to Options.ExpiredRetries times; the
+	// re-posts are included in HITs.
+	Expired int
+	// Makespan is the operator's busy span on the virtual crowd clock.
+	Makespan float64
 }
 
 // Stats aggregates a query run.
@@ -70,14 +80,29 @@ func (s *Stats) registerOp(label string) int {
 }
 
 // setSlot overwrites a registered slot's running totals.
-func (s *Stats) setSlot(slot, hits, assignments int, makespan float64, incomplete []string) {
+func (s *Stats) setSlot(slot, hits, assignments, expired int, makespan float64, incomplete []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := &s.Operators[slot]
 	st.HITs = hits
 	st.Assignments = assignments
+	st.Expired = expired
 	st.Makespan = makespan
 	s.Incomplete = append(s.Incomplete, incomplete...)
+}
+
+// TotalExpired sums assignments that expired (accepted but never
+// submitted) across operators — each one cost the query an assignment
+// deadline on the clock and, within Options.ExpiredRetries, a re-posted
+// HIT in the ledger.
+func (s *Stats) TotalExpired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, o := range s.Operators {
+		n += o.Expired
+	}
+	return n
 }
 
 // TotalHITs sums HITs across operators — the paper's cost metric.
@@ -513,6 +538,10 @@ func (x *executor) newPoster(groupID string, seq *int) *poster {
 	if mr < 0 {
 		mr = 0
 	}
+	mx := x.eng.Options.ExpiredRetries
+	if mx < 0 {
+		mx = 0
+	}
 	return &poster{
 		market:     x.eng.Market,
 		groupID:    groupID,
@@ -520,6 +549,7 @@ func (x *executor) newPoster(groupID string, seq *int) *poster {
 		lookahead:  x.eng.Options.StreamLookahead,
 		seq:        seq,
 		maxRetries: mr,
+		maxExpired: mx,
 	}
 }
 

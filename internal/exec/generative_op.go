@@ -217,41 +217,41 @@ func (g *generativeOp) collectChunk(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	// Bucket votes per (question, field) with normalization, in
-	// assignment order (deterministic: assignments arrive sorted).
-	byQF := map[string]map[string][]combine.Vote{}
+	xretrying, xincomplete, err := g.post.retryExpired(c, res, done)
+	if err != nil {
+		return err
+	}
+	retrying = mergeRetrying(retrying, xretrying)
+	// Raw answers per question, in assignment order (deterministic:
+	// assignments arrive sorted). Kept un-normalized so the partial
+	// answers of an expired HIT can be stashed and merged verbatim when
+	// its retry resolves.
+	answers := map[string][]hit.CachedAnswer{}
 	hit.ForEachAnswer(c.hits, res.Assignments, func(q *hit.Question, worker string, ans hit.Answer) {
-		for _, fname := range g.fields {
-			raw, ok := ans.Fields[fname]
-			if !ok {
-				continue
-			}
-			if byQF[q.ID] == nil {
-				byQF[q.ID] = map[string][]combine.Vote{}
-			}
-			byQF[q.ID][fname] = append(byQF[q.ID][fname], combine.Vote{
-				Question: q.ID, Worker: worker, Value: g.norm[fname](raw),
-			})
-		}
+		answers[q.ID] = append(answers[q.ID], hit.CachedAnswer{WorkerID: worker, Answer: ans})
 	})
 	// Resolve each question in the chunk, in HIT order; questions being
-	// retried after a refusal stay pending for a later chunk.
+	// retried after a refusal or expiry stay pending for a later chunk.
 	for _, h := range c.hits {
 		for qi := range h.Questions {
 			q := &h.Questions[qi]
 			if retrying[q.ID] > 0 {
 				retrying[q.ID]--
+				g.post.stashCarry(q.ID, answers[q.ID])
+				delete(answers, q.ID)
 				continue
 			}
+			merged := g.post.takeCarry(q.ID, answers[q.ID])
+			answers[q.ID] = merged
 			s := g.slots[g.slotOf[q.ID]]
 			if !g.perQ {
 				for _, fname := range g.fields {
-					g.eosVotes[fname] = append(g.eosVotes[fname], byQF[q.ID][fname]...)
+					g.eosVotes[fname] = append(g.eosVotes[fname], g.fieldVotes(q.ID, fname, merged)...)
 				}
 				continue
 			}
 			for _, fname := range g.fields {
-				vs := byQF[q.ID][fname]
+				vs := g.fieldVotes(q.ID, fname, merged)
 				val := ""
 				if len(vs) > 0 {
 					decisions, cerr := g.comb[fname].Combine(vs)
@@ -268,8 +268,23 @@ func (g *generativeOp) collectChunk(ctx context.Context) error {
 			}
 		}
 	}
-	g.acct.collected(res.TotalAssignments, done, exhausted)
+	exhausted = append(exhausted, xincomplete...)
+	g.acct.collected(res.TotalAssignments, expiredCount(res.Expired), done, exhausted)
 	return nil
+}
+
+// fieldVotes normalizes one field's answers out of a question's raw
+// assignment run.
+func (g *generativeOp) fieldVotes(qid, fname string, as []hit.CachedAnswer) []combine.Vote {
+	var vs []combine.Vote
+	for _, ca := range as {
+		raw, ok := ca.Answer.Fields[fname]
+		if !ok {
+			continue
+		}
+		vs = append(vs, combine.Vote{Question: qid, Worker: ca.WorkerID, Value: g.norm[fname](raw)})
+	}
+	return vs
 }
 
 // finalize resolves every slot with one combine per field over all

@@ -425,6 +425,12 @@ func (j *crowdJoinOp) collectChunk(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	xretrying, xincomplete, err := j.post.retryExpired(c, res, done)
+	if err != nil {
+		return err
+	}
+	retrying = mergeRetrying(retrying, xretrying)
+	exhausted = append(exhausted, xincomplete...)
 	votes := join.CollectVotes(c.hits, res.Assignments)
 	if j.perQ {
 		// EOS-mode combiners read only eosVotes; buffering per slot too
@@ -458,18 +464,21 @@ func (j *crowdJoinOp) collectChunk(ctx context.Context) error {
 	for _, h := range c.hits {
 		for qi := range h.Questions {
 			q := &h.Questions[qi]
+			// Questions being retried after a refusal or an expiry stay
+			// pending; their verdicts arrive with a later chunk. (The
+			// partial votes of an expired HIT were appended to their
+			// slots above — join slots accumulate votes across the
+			// lineage, so nothing needs the poster's carry here.)
+			if retrying[q.ID] > 0 {
+				retrying[q.ID]--
+				continue
+			}
 			if q.Kind == hit.JoinGridQ {
 				for _, lt := range q.LeftItems {
 					for _, rt := range q.RightItems {
 						touch(join.Pair{Left: lt, Right: rt}.Key())
 					}
 				}
-				continue
-			}
-			// Pair questions being retried after a refusal stay pending;
-			// their verdicts arrive with a later chunk.
-			if retrying[q.ID] > 0 {
-				retrying[q.ID]--
 				continue
 			}
 			touch(q.ID)
@@ -481,7 +490,7 @@ func (j *crowdJoinOp) collectChunk(ctx context.Context) error {
 	if !j.perQ {
 		j.eosVotes = append(j.eosVotes, votes...)
 	}
-	j.acct.collected(res.TotalAssignments, done, exhausted)
+	j.acct.collected(res.TotalAssignments, expiredCount(res.Expired), done, exhausted)
 	return nil
 }
 

@@ -54,9 +54,22 @@ type poster struct {
 	// go; retries maps a re-minted HIT's ID to its depth.
 	maxRetries int
 	retries    map[string]int
+	// maxExpired bounds how deep an expired HIT's re-posting lineage may
+	// go (assignment accepted but never submitted); xretries maps a
+	// re-minted HIT's ID to its expiry-lineage depth, and lineageAsns
+	// carries the completed-assignment count down a lineage so
+	// exhaustion can tell "partially answered" from "never answered".
+	maxExpired  int
+	xretries    map[string]int
+	lineageAsns map[string]int
+	// carry stashes the partial answers of questions whose HIT is being
+	// re-posted after an expiry, keyed by question ID, until the retry
+	// resolves and the vote sets merge. (Refusal retries have nothing to
+	// stash: a refused HIT produced zero assignments.)
+	carry map[string][]hit.CachedAnswer
 	// minClock floors the postedAt stamp of subsequent chunks: a chunk
-	// holding retried HITs cannot be posted before the refusal that
-	// spawned them was observed on the virtual clock.
+	// holding retried HITs cannot be posted before the refusal (or
+	// expiry) that spawned them was observed on the virtual clock.
 	minClock float64
 }
 
@@ -92,7 +105,7 @@ func (p *poster) postOne(clock float64) {
 		seq:      *p.seq,
 	})
 	if p.acct != nil {
-		p.acct.posted(len(chunk), clock)
+		p.acct.posted(chunk, clock)
 	}
 }
 
@@ -189,6 +202,123 @@ func (p *poster) retryRefused(c postedChunk, incomplete []string, observedAt flo
 	return retrying, exhausted, nil
 }
 
+// retryExpired implements the assignment-timeout policy for HITs whose
+// assignments were accepted but never submitted (the ROADMAP's
+// accepted-but-never-completed case, which a live marketplace surfaces
+// as assignment expiration): each such HIT is re-posted with the SAME
+// questions but only the missing assignment count, down a lineage at
+// most maxExpired deep. Re-minted HIT IDs derive from the expired HIT's
+// ID ("<id>/x<depth>") — never from the shared builder — so, exactly as
+// with refusal retries, the retry stream is bit-identical at any
+// StreamChunkHITs/lookahead setting.
+//
+// It returns how many occurrences of each question ID are deferred to
+// the retry (the caller stashes their partial votes via stashCarry and
+// skips resolving that many occurrences this chunk) plus the questions
+// that exhausted the expiry budget WITHOUT ever receiving a completed
+// assignment anywhere down their lineage — the only expiry outcome
+// that loses a question, reported via Stats.Incomplete. Exhausted
+// questions that do hold partial votes simply resolve with them.
+// observedAt is the virtual-clock time the expiry was detected (the
+// assignment deadline); later chunks cannot be posted before it.
+func (p *poster) retryExpired(c postedChunk, res *crowd.RunResult, observedAt float64) (map[string]int, []string, error) {
+	if len(res.Expired) == 0 {
+		return nil, nil, nil
+	}
+	completed := map[string]int{}
+	for i := range res.Assignments {
+		completed[res.Assignments[i].HITID]++
+	}
+	var retrying map[string]int
+	var incomplete []string
+	for _, h := range c.hits {
+		missing := res.Expired[h.ID]
+		if missing <= 0 {
+			continue
+		}
+		total := p.lineageAsns[h.ID] + completed[h.ID]
+		delete(p.lineageAsns, h.ID)
+		depth := p.xretries[h.ID]
+		if p.maxExpired <= 0 || depth >= p.maxExpired {
+			if total == 0 {
+				for qi := range h.Questions {
+					incomplete = append(incomplete, h.Questions[qi].ID)
+				}
+			}
+			continue
+		}
+		nh := &hit.HIT{
+			ID:          fmt.Sprintf("%s/x%d", h.ID, depth+1),
+			GroupID:     h.GroupID,
+			Kind:        h.Kind,
+			Assignments: missing,
+			RewardCents: h.RewardCents,
+			Questions:   append([]hit.Question(nil), h.Questions...),
+		}
+		if err := nh.Validate(); err != nil {
+			return nil, nil, err
+		}
+		if p.xretries == nil {
+			p.xretries = map[string]int{}
+		}
+		if p.lineageAsns == nil {
+			p.lineageAsns = map[string]int{}
+		}
+		p.xretries[nh.ID] = depth + 1
+		p.lineageAsns[nh.ID] = total
+		p.enqueue(nh)
+		if retrying == nil {
+			retrying = map[string]int{}
+		}
+		for qi := range h.Questions {
+			retrying[h.Questions[qi].ID]++
+		}
+	}
+	if retrying != nil && observedAt > p.minClock {
+		p.minClock = observedAt
+	}
+	return retrying, incomplete, nil
+}
+
+// mergeRetrying folds two per-question deferral counts (refusal and
+// expiry retries) into one; a HIT is never both refused and expired, so
+// the counts are disjoint by HIT but can share question IDs on the join
+// path, where pair keys repeat across HITs.
+func mergeRetrying(a, b map[string]int) map[string]int {
+	if len(b) == 0 {
+		return a
+	}
+	if a == nil {
+		return b
+	}
+	for qid, n := range b {
+		a[qid] += n
+	}
+	return a
+}
+
+// stashCarry saves a question's partial answers until its expiry retry
+// resolves; takeCarry prepends them back. Both are no-ops for questions
+// with nothing stashed.
+func (p *poster) stashCarry(qid string, as []hit.CachedAnswer) {
+	if len(as) == 0 {
+		return
+	}
+	if p.carry == nil {
+		p.carry = map[string][]hit.CachedAnswer{}
+	}
+	p.carry[qid] = append(p.carry[qid], as...)
+}
+
+func (p *poster) takeCarry(qid string, as []hit.CachedAnswer) []hit.CachedAnswer {
+	ca := p.carry[qid]
+	if len(ca) == 0 {
+		return as
+	}
+	delete(p.carry, qid)
+	return append(append([]hit.CachedAnswer(nil), ca...), as...)
+}
+
 // flushQuestions merges buffered questions into HITs of exactly `size`
 // (plus one final partial when forcing at end of input) and queues
 // them on the poster. Shared by every streaming crowd operator so the
@@ -230,26 +360,42 @@ type opAcct struct {
 	firstPost  float64
 	lastDone   float64
 	hits, asns int
+	expired    int
 }
 
-// posted accounts a chunk the moment it goes to the marketplace.
-func (a *opAcct) posted(hits int, postedAt float64) {
+// posted accounts a chunk the moment it goes to the marketplace. Each
+// HIT is billed at its OWN assignment count — an expiry re-post
+// requests only the missing assignments, so pricing it at the
+// operator's full level would overstate the ledger.
+func (a *opAcct) posted(chunk []*hit.HIT, postedAt float64) {
 	if !a.started || postedAt < a.firstPost {
 		a.firstPost = postedAt
 		a.started = true
 	}
-	a.hits += hits
-	a.x.eng.Ledger.Add(a.label, hits, a.asn)
-	a.x.stats.setSlot(a.slot, a.hits, a.asns, a.span(), nil)
+	a.hits += len(chunk)
+	atLevel := 0
+	for _, h := range chunk {
+		if h.Assignments == a.asn {
+			atLevel++
+		} else {
+			a.x.eng.Ledger.Add(a.label, 1, h.Assignments)
+		}
+	}
+	if atLevel > 0 {
+		a.x.eng.Ledger.Add(a.label, atLevel, a.asn)
+	}
+	a.x.stats.setSlot(a.slot, a.hits, a.asns, a.expired, a.span(), nil)
 }
 
-// collected folds in a completed chunk's assignment count and timing.
-func (a *opAcct) collected(assignments int, done float64, incomplete []string) {
+// collected folds in a completed chunk's assignment and expiry counts
+// and timing.
+func (a *opAcct) collected(assignments, expired int, done float64, incomplete []string) {
 	if done > a.lastDone {
 		a.lastDone = done
 	}
 	a.asns += assignments
-	a.x.stats.setSlot(a.slot, a.hits, a.asns, a.span(), incomplete)
+	a.expired += expired
+	a.x.stats.setSlot(a.slot, a.hits, a.asns, a.expired, a.span(), incomplete)
 }
 
 // span is the operator's virtual-clock busy span so far; zero until a
@@ -540,8 +686,9 @@ func (f *crowdFilterOp) applyBranchVotes(br *filterBranch, list []qVotes, done f
 	return nil
 }
 
-// collectChunk awaits a branch's oldest chunk, re-posts refused HITs'
-// questions within the retry budget, and applies the resolved votes.
+// collectChunk awaits a branch's oldest chunk, re-posts refused and
+// expired HITs' questions within their retry budgets, and applies the
+// resolved votes.
 func (f *crowdFilterOp) collectChunk(ctx context.Context, br *filterBranch) error {
 	c, res, err := br.post.collect(ctx)
 	if err != nil {
@@ -552,7 +699,12 @@ func (f *crowdFilterOp) collectChunk(ctx context.Context, br *filterBranch) erro
 	if err != nil {
 		return err
 	}
-	list, answers := chunkVotes(c.hits, res.Assignments, f.slotOf, retrying)
+	xretrying, xincomplete, err := br.post.retryExpired(c, res, done)
+	if err != nil {
+		return err
+	}
+	retrying = mergeRetrying(retrying, xretrying)
+	list, answers := chunkVotes(br.post, c.hits, res.Assignments, f.slotOf, retrying)
 	if f.x.eng.Cache != nil {
 		for _, h := range c.hits {
 			for qi := range h.Questions {
@@ -560,7 +712,9 @@ func (f *crowdFilterOp) collectChunk(ctx context.Context, br *filterBranch) erro
 				// Voteless questions (refused HITs) must not poison the
 				// cache: a stored empty entry would make every later
 				// identical question resolve to rejection without ever
-				// reaching the crowd.
+				// reaching the crowd. Questions deferred to an expiry
+				// retry are absent from answers here and store their
+				// merged vote set when the retry resolves.
 				if len(answers[q.ID]) > 0 {
 					f.x.eng.Cache.Store(q, answers[q.ID])
 				}
@@ -570,20 +724,34 @@ func (f *crowdFilterOp) collectChunk(ctx context.Context, br *filterBranch) erro
 	if err := f.applyBranchVotes(br, list, done); err != nil {
 		return err
 	}
-	br.acct.collected(res.TotalAssignments, done, exhausted)
+	// Refusal-exhausted questions never got a vote; expiry exhaustion
+	// reports only the questions whose whole lineage stayed voteless —
+	// the rest resolve with their partial votes.
+	exhausted = append(exhausted, xincomplete...)
+	br.acct.collected(res.TotalAssignments, expiredCount(res.Expired), done, exhausted)
 	return nil
+}
+
+// expiredCount totals a chunk's expired assignments for Stats.
+func expiredCount(expired map[string]int) int {
+	n := 0
+	for _, c := range expired {
+		n += c
+	}
+	return n
 }
 
 // chunkVotes resolves a chunk's assignments into per-question vote
 // runs, ordered by HIT then question position so downstream combining
 // is deterministic. Every question in the chunk appears in the result
-// except those being retried after a refusal — questions whose retries
-// are exhausted resolve with zero votes (and reject).
-func chunkVotes(hits []*hit.HIT, assignments []hit.Assignment, slotOf map[string]int, retrying map[string]int) ([]qVotes, map[string][]hit.CachedAnswer) {
-	byQ := map[string][]combine.Vote{}
+// except those being retried after a refusal or expiry — a refused
+// question's occurrence has no votes to defer, while an expired HIT's
+// partial votes are stashed on the poster and merged (in lineage
+// order) when the retry resolves. Questions whose refusal retries are
+// exhausted resolve with zero votes (and reject).
+func chunkVotes(p *poster, hits []*hit.HIT, assignments []hit.Assignment, slotOf map[string]int, retrying map[string]int) ([]qVotes, map[string][]hit.CachedAnswer) {
 	answers := map[string][]hit.CachedAnswer{}
 	hit.ForEachAnswer(hits, assignments, func(q *hit.Question, worker string, ans hit.Answer) {
-		byQ[q.ID] = append(byQ[q.ID], combine.Vote{Question: q.ID, Worker: worker, Value: combine.BoolVote(ans.Bool)})
 		answers[q.ID] = append(answers[q.ID], hit.CachedAnswer{WorkerID: worker, Answer: ans})
 	})
 	var list []qVotes
@@ -592,9 +760,16 @@ func chunkVotes(hits []*hit.HIT, assignments []hit.Assignment, slotOf map[string
 			q := &h.Questions[qi]
 			if retrying[q.ID] > 0 {
 				retrying[q.ID]--
+				p.stashCarry(q.ID, answers[q.ID])
+				delete(answers, q.ID)
 				continue
 			}
-			list = append(list, qVotes{slot: slotOf[q.ID], qid: q.ID, votes: byQ[q.ID]})
+			answers[q.ID] = p.takeCarry(q.ID, answers[q.ID])
+			votes := make([]combine.Vote, 0, len(answers[q.ID]))
+			for _, ca := range answers[q.ID] {
+				votes = append(votes, combine.Vote{Question: q.ID, Worker: ca.WorkerID, Value: combine.BoolVote(ca.Answer.Bool)})
+			}
+			list = append(list, qVotes{slot: slotOf[q.ID], qid: q.ID, votes: votes})
 		}
 	}
 	return list, answers

@@ -1,0 +1,182 @@
+package mturk
+
+// QuestionFormAnswers codec. MTurk returns each assignment's answers as
+// QuestionFormAnswers XML: a flat list of (QuestionIdentifier,
+// FreeText) pairs. This file fixes the FreeText conventions per
+// question kind — the contract between the posted form, the client's
+// decoder, and the FakeServer's encoder:
+//
+//	filter / join-pair   id          → "yes" | "no"
+//	generative           id.field    → the raw field value
+//	join-grid            id          → "l,r;l,r;…" matched cells ("" = none)
+//	compare              id          → comma-separated permutation, least→most
+//	rate                 id          → the Likert value, "1".."<scale>"
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qurk/internal/hit"
+)
+
+// questionFormAnswersXMLNS is the answer schema MTurk declares.
+const questionFormAnswersXMLNS = "http://mechanicalturk.amazonaws.com/AWSMechanicalTurkDataSchemas/2005-10-01/QuestionFormAnswers.xsd"
+
+// questionFormAnswers is the XML envelope.
+type questionFormAnswers struct {
+	XMLName xml.Name         `xml:"QuestionFormAnswers"`
+	XMLNS   string           `xml:"xmlns,attr"`
+	Answers []questionAnswer `xml:"Answer"`
+}
+
+// questionAnswer is one (identifier, value) pair.
+type questionAnswer struct {
+	QuestionIdentifier string `xml:"QuestionIdentifier"`
+	FreeText           string `xml:"FreeText"`
+}
+
+// encodeAnswers renders one worker's answers (one hit.Answer per
+// question, in HIT order) into QuestionFormAnswers XML. The FakeServer
+// uses it to fabricate submissions; round-trip tests pin it against
+// decodeAnswers.
+func encodeAnswers(h *hit.HIT, answers []hit.Answer) (string, error) {
+	if len(answers) != len(h.Questions) {
+		return "", fmt.Errorf("mturk: HIT %s has %d questions, got %d answers", h.ID, len(h.Questions), len(answers))
+	}
+	env := questionFormAnswers{XMLNS: questionFormAnswersXMLNS}
+	add := func(id, text string) {
+		env.Answers = append(env.Answers, questionAnswer{QuestionIdentifier: id, FreeText: text})
+	}
+	for i := range h.Questions {
+		q := &h.Questions[i]
+		a := &answers[i]
+		switch q.Kind {
+		case hit.FilterQ, hit.JoinPairQ:
+			add(q.ID, boolText(a.Bool))
+		case hit.GenerativeQ:
+			for _, f := range q.Fields {
+				add(q.ID+"."+f, a.Fields[f])
+			}
+		case hit.JoinGridQ:
+			cells := make([]string, 0, len(a.Pairs))
+			for _, p := range a.Pairs {
+				cells = append(cells, fmt.Sprintf("%d,%d", p[0], p[1]))
+			}
+			add(q.ID, strings.Join(cells, ";"))
+		case hit.CompareQ:
+			order := make([]string, 0, len(a.Order))
+			for _, idx := range a.Order {
+				order = append(order, strconv.Itoa(idx))
+			}
+			add(q.ID, strings.Join(order, ","))
+		case hit.RateQ:
+			add(q.ID, strconv.Itoa(a.Rating))
+		default:
+			return "", fmt.Errorf("mturk: no answer encoding for kind %s", q.Kind)
+		}
+	}
+	out, err := xml.Marshal(env)
+	if err != nil {
+		return "", err
+	}
+	return xml.Header + string(out), nil
+}
+
+func boolText(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// sortAnswers orders (identifier, value) pairs for stable XML output;
+// decoding is order-independent, so this only serves golden fixtures.
+func sortAnswers(as []questionAnswer) {
+	sort.Slice(as, func(i, j int) bool {
+		return as[i].QuestionIdentifier < as[j].QuestionIdentifier
+	})
+}
+
+// xmlMarshal renders an answers envelope with the XML header.
+func xmlMarshal(env questionFormAnswers) (string, error) {
+	out, err := xml.Marshal(env)
+	if err != nil {
+		return "", err
+	}
+	return xml.Header + string(out), nil
+}
+
+// decodeAnswers parses one submission's QuestionFormAnswers XML into
+// one hit.Answer per question, in HIT order. Identifiers the HIT does
+// not know are ignored (live forms add their own bookkeeping fields);
+// a question a worker skipped decodes to its zero answer, exactly how
+// the simulator models an unanswered radio group.
+func decodeAnswers(h *hit.HIT, answerXML string) ([]hit.Answer, error) {
+	var env questionFormAnswers
+	if err := xml.Unmarshal([]byte(answerXML), &env); err != nil {
+		return nil, fmt.Errorf("mturk: decoding answers for HIT %s: %w", h.ID, err)
+	}
+	byID := make(map[string]string, len(env.Answers))
+	for _, a := range env.Answers {
+		byID[a.QuestionIdentifier] = a.FreeText
+	}
+	out := make([]hit.Answer, len(h.Questions))
+	for i := range h.Questions {
+		q := &h.Questions[i]
+		ans := hit.Answer{QuestionID: q.ID}
+		switch q.Kind {
+		case hit.FilterQ, hit.JoinPairQ:
+			ans.Bool = strings.EqualFold(strings.TrimSpace(byID[q.ID]), "yes")
+		case hit.GenerativeQ:
+			ans.Fields = make(map[string]string, len(q.Fields))
+			for _, f := range q.Fields {
+				if v, ok := byID[q.ID+"."+f]; ok {
+					ans.Fields[f] = strings.TrimSpace(v)
+				}
+			}
+		case hit.JoinGridQ:
+			raw := strings.TrimSpace(byID[q.ID])
+			if raw != "" {
+				for _, cell := range strings.Split(raw, ";") {
+					var l, r int
+					if _, err := fmt.Sscanf(strings.TrimSpace(cell), "%d,%d", &l, &r); err != nil {
+						return nil, fmt.Errorf("mturk: HIT %s question %s: bad grid cell %q", h.ID, q.ID, cell)
+					}
+					if l < 0 || l >= len(q.LeftItems) || r < 0 || r >= len(q.RightItems) {
+						return nil, fmt.Errorf("mturk: HIT %s question %s: grid cell %q out of range", h.ID, q.ID, cell)
+					}
+					ans.Pairs = append(ans.Pairs, [2]int{l, r})
+				}
+			}
+		case hit.CompareQ:
+			raw := strings.TrimSpace(byID[q.ID])
+			if raw != "" {
+				seen := make(map[int]bool, len(q.Items))
+				for _, tok := range strings.Split(raw, ",") {
+					idx, err := strconv.Atoi(strings.TrimSpace(tok))
+					if err != nil || idx < 0 || idx >= len(q.Items) || seen[idx] {
+						return nil, fmt.Errorf("mturk: HIT %s question %s: bad order %q", h.ID, q.ID, raw)
+					}
+					seen[idx] = true
+					ans.Order = append(ans.Order, idx)
+				}
+				if len(ans.Order) != len(q.Items) {
+					return nil, fmt.Errorf("mturk: HIT %s question %s: order %q incomplete", h.ID, q.ID, raw)
+				}
+			}
+		case hit.RateQ:
+			if raw := strings.TrimSpace(byID[q.ID]); raw != "" {
+				r, err := strconv.Atoi(raw)
+				if err != nil || r < 1 || r > q.Scale {
+					return nil, fmt.Errorf("mturk: HIT %s question %s: bad rating %q", h.ID, q.ID, raw)
+				}
+				ans.Rating = r
+			}
+		}
+		out[i] = ans
+	}
+	return out, nil
+}

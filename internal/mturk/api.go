@@ -1,0 +1,220 @@
+package mturk
+
+// Wire types for the MTurkRequesterServiceV20170117 aws-json protocol:
+// one POST per operation, Content-Type application/x-amz-json-1.1, the
+// operation named by the X-Amz-Target header. Only the fields this
+// client (and the in-process fake) exchange are modeled; timestamps
+// travel as epoch seconds, the protocol's JSON encoding for them.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// targetPrefix is the X-Amz-Target service prefix shared by every
+// operation.
+const targetPrefix = "MTurkRequesterServiceV20170117."
+
+// Operation names the client issues (and the fake serves).
+const (
+	opCreateHIT              = "CreateHIT"
+	opGetHIT                 = "GetHIT"
+	opListAssignmentsForHIT  = "ListAssignmentsForHIT"
+	opApproveAssignment      = "ApproveAssignment"
+	opUpdateExpirationForHIT = "UpdateExpirationForHIT"
+	opGetAccountBalance      = "GetAccountBalance"
+)
+
+// contentTypeAWSJSON is the aws-json protocol content type.
+const contentTypeAWSJSON = "application/x-amz-json-1.1"
+
+// Assignment status values the client filters on.
+const (
+	assignmentStatusSubmitted = "Submitted"
+	assignmentStatusApproved  = "Approved"
+)
+
+// epoch is a timestamp serialized as (fractional) epoch seconds, the
+// aws-json encoding of MTurk's date fields.
+type epoch float64
+
+// Time converts the wire value back to a time.Time.
+func (e epoch) Time() time.Time {
+	sec := int64(e)
+	nsec := int64((float64(e) - float64(sec)) * 1e9)
+	return time.Unix(sec, nsec).UTC()
+}
+
+// epochOf converts a time.Time to the wire encoding.
+func epochOf(t time.Time) epoch { return epoch(float64(t.UnixNano()) / 1e9) }
+
+// createHITRequest is the CreateHIT payload.
+type createHITRequest struct {
+	Title                       string `json:"Title"`
+	Description                 string `json:"Description"`
+	Keywords                    string `json:"Keywords,omitempty"`
+	Question                    string `json:"Question"`
+	Reward                      string `json:"Reward"`
+	MaxAssignments              int    `json:"MaxAssignments"`
+	AssignmentDurationInSeconds int64  `json:"AssignmentDurationInSeconds"`
+	LifetimeInSeconds           int64  `json:"LifetimeInSeconds"`
+	UniqueRequestToken          string `json:"UniqueRequestToken,omitempty"`
+	RequesterAnnotation         string `json:"RequesterAnnotation,omitempty"`
+}
+
+// hitInfo is the HIT element of CreateHIT/GetHIT responses.
+type hitInfo struct {
+	HITId                        string `json:"HITId"`
+	HITStatus                    string `json:"HITStatus,omitempty"`
+	MaxAssignments               int    `json:"MaxAssignments,omitempty"`
+	CreationTime                 epoch  `json:"CreationTime,omitempty"`
+	Expiration                   epoch  `json:"Expiration,omitempty"`
+	NumberOfAssignmentsPending   int    `json:"NumberOfAssignmentsPending,omitempty"`
+	NumberOfAssignmentsAvailable int    `json:"NumberOfAssignmentsAvailable,omitempty"`
+	NumberOfAssignmentsCompleted int    `json:"NumberOfAssignmentsCompleted,omitempty"`
+}
+
+// createHITResponse wraps the created HIT.
+type createHITResponse struct {
+	HIT hitInfo `json:"HIT"`
+}
+
+// getHITRequest fetches one HIT's status counters.
+type getHITRequest struct {
+	HITId string `json:"HITId"`
+}
+
+// getHITResponse wraps the fetched HIT.
+type getHITResponse struct {
+	HIT hitInfo `json:"HIT"`
+}
+
+// listAssignmentsRequest is the ListAssignmentsForHIT payload.
+type listAssignmentsRequest struct {
+	HITId              string   `json:"HITId"`
+	AssignmentStatuses []string `json:"AssignmentStatuses,omitempty"`
+	MaxResults         int      `json:"MaxResults,omitempty"`
+	NextToken          string   `json:"NextToken,omitempty"`
+}
+
+// assignmentInfo is one worker's submission on the wire.
+type assignmentInfo struct {
+	AssignmentId     string `json:"AssignmentId"`
+	WorkerId         string `json:"WorkerId"`
+	HITId            string `json:"HITId"`
+	AssignmentStatus string `json:"AssignmentStatus"`
+	AcceptTime       epoch  `json:"AcceptTime,omitempty"`
+	SubmitTime       epoch  `json:"SubmitTime,omitempty"`
+	Answer           string `json:"Answer"`
+}
+
+// listAssignmentsResponse pages submitted assignments.
+type listAssignmentsResponse struct {
+	NextToken   string           `json:"NextToken,omitempty"`
+	NumResults  int              `json:"NumResults"`
+	Assignments []assignmentInfo `json:"Assignments"`
+}
+
+// approveAssignmentRequest is the ApproveAssignment payload.
+type approveAssignmentRequest struct {
+	AssignmentId      string `json:"AssignmentId"`
+	RequesterFeedback string `json:"RequesterFeedback,omitempty"`
+}
+
+// updateExpirationRequest force-expires a HIT (ExpireAt in the past
+// stops new workers from accepting it).
+type updateExpirationRequest struct {
+	HITId    string `json:"HITId"`
+	ExpireAt epoch  `json:"ExpireAt"`
+}
+
+// apiError is the aws-json error body.
+type apiError struct {
+	Type    string `json:"__type"`
+	Message string `json:"Message"`
+}
+
+// RequestError is a failed MTurk API call: the operation, the
+// endpoint's error code (the __type field, e.g.
+// "RequestError"/"ServiceFault"), and its message.
+type RequestError struct {
+	// Op is the API operation that failed (e.g. "CreateHIT").
+	Op string
+	// Status is the HTTP status code.
+	Status int
+	// Code is the endpoint's error type.
+	Code string
+	// Message is the endpoint's human-readable detail.
+	Message string
+}
+
+// Error implements error.
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("mturk: %s failed: %s (%d %s)", e.Op, e.Message, e.Status, e.Code)
+}
+
+// call issues one signed aws-json operation and decodes the response
+// into out (which may be nil for empty-result operations). Transient
+// failures (HTTP 5xx and throttles) are retried a bounded number of
+// times with the client's clock providing the backoff sleep.
+func (c *Client) call(op string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("mturk: encoding %s: %w", op, err)
+	}
+	const attempts = 3
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			c.cfg.Clock.Sleep(time.Duration(try) * 500 * time.Millisecond)
+		}
+		lastErr = c.callOnce(op, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		var re *RequestError
+		if !errors.As(lastErr, &re) || (re.Status < 500 && re.Code != "ThrottlingException") {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) callOnce(op string, body []byte, out any) error {
+	req, err := http.NewRequest(http.MethodPost, c.cfg.Endpoint, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("mturk: %s: %w", op, err)
+	}
+	req.Header.Set("Content-Type", contentTypeAWSJSON)
+	req.Header.Set("X-Amz-Target", targetPrefix+op)
+	signRequest(req, body, c.creds, c.cfg.Region, c.cfg.Clock.Now())
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("mturk: %s: %w", op, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("mturk: %s: reading response: %w", op, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		_ = json.Unmarshal(payload, &ae)
+		if ae.Message == "" {
+			ae.Message = string(payload)
+		}
+		return &RequestError{Op: op, Status: resp.StatusCode, Code: ae.Type, Message: ae.Message}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return fmt.Errorf("mturk: %s: decoding response: %w", op, err)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package mturk
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time so the polling client can be driven by a
+// fake in tests: recorded-HTTP runs sweep hour-long assignment
+// deadlines in microseconds, deterministically.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep pauses the caller for d (or advances fake time by d).
+	Sleep(d time.Duration)
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+// Now implements Clock.
+func (realClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a manually advancing clock: Sleep advances Now by the
+// requested duration instantly. It is safe for concurrent use — the
+// executor posts chunks from several operator goroutines, each of which
+// may be inside its own poll loop.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{t: start} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Sleep implements Clock by advancing the fake time.
+func (c *FakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}

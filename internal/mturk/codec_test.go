@@ -1,0 +1,212 @@
+package mturk
+
+// Round-trip and golden tests for the two XML codecs: HTMLQuestion
+// rendering (with the embedded manifest) and QuestionFormAnswers.
+// Golden files live in testdata/ and refresh with -update.
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"qurk/internal/hit"
+	"qurk/internal/relation"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var celebSchema = relation.MustSchema(
+	relation.Column{Name: "name", Kind: relation.KindText},
+	relation.Column{Name: "img", Kind: relation.KindURL},
+)
+
+func celebTuple(name string) relation.Tuple {
+	return relation.MustTuple(celebSchema, relation.Text(name), relation.URL("http://img/"+name+".jpg"))
+}
+
+// sampleHIT covers every question kind in one HIT-group worth of HITs.
+func sampleHITs() []*hit.HIT {
+	return []*hit.HIT{
+		{
+			ID: "g@q/hit0001", GroupID: "g@q", Kind: hit.FilterQ, Assignments: 3, RewardCents: 1,
+			Questions: []hit.Question{
+				{ID: "g@q/t00000", Kind: hit.FilterQ, Task: "isFemale", Tuple: celebTuple("alice")},
+				{ID: "g@q/t00001", Kind: hit.FilterQ, Task: "isFemale", Tuple: celebTuple("bob")},
+			},
+		},
+		{
+			ID: "g@q/hit0002", GroupID: "g@q", Kind: hit.GenerativeQ, Assignments: 2, RewardCents: 1,
+			Questions: []hit.Question{
+				{ID: "g@q/t00002", Kind: hit.GenerativeQ, Task: "features", Tuple: celebTuple("carol"), Fields: []string{"gender", "hair"}},
+			},
+		},
+		{
+			ID: "g@q/hit0003", GroupID: "g@q", Kind: hit.JoinGridQ, Assignments: 2, RewardCents: 1,
+			Questions: []hit.Question{
+				{ID: "g@q/t00003", Kind: hit.JoinGridQ, Task: "samePerson",
+					LeftItems:  []relation.Tuple{celebTuple("a"), celebTuple("b")},
+					RightItems: []relation.Tuple{celebTuple("c"), celebTuple("d")}},
+			},
+		},
+		{
+			ID: "g@q/hit0004", GroupID: "g@q", Kind: hit.CompareQ, Assignments: 2, RewardCents: 1,
+			Questions: []hit.Question{
+				{ID: "g@q/t00004", Kind: hit.CompareQ, Task: "sorter",
+					Items: []relation.Tuple{celebTuple("x"), celebTuple("y"), celebTuple("z")}},
+			},
+		},
+		{
+			ID: "g@q/hit0005", GroupID: "g@q", Kind: hit.RateQ, Assignments: 2, RewardCents: 1,
+			Questions: []hit.Question{
+				{ID: "g@q/t00005", Kind: hit.RateQ, Task: "sorter", Tuple: celebTuple("w"), Scale: 7},
+			},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden; run with -update and review the diff.\n--- got ---\n%s", name, got)
+	}
+}
+
+// TestQuestionXMLGolden pins the HTMLQuestion payload (envelope, form,
+// manifest) for the filter HIT.
+func TestQuestionXMLGolden(t *testing.T) {
+	xml, err := buildQuestionXML(sampleHITs()[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(xml, "<HTMLQuestion xmlns=") || !strings.Contains(xml, "<![CDATA[") {
+		t.Fatalf("not an HTMLQuestion envelope:\n%s", xml)
+	}
+	checkGolden(t, "question_filter.golden.xml", xml)
+}
+
+// TestManifestRoundTrip: every kind's manifest survives render → parse.
+func TestManifestRoundTrip(t *testing.T) {
+	for _, h := range sampleHITs() {
+		xml, err := buildQuestionXML(h, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", h.ID, err)
+		}
+		m, err := parseManifest(xml)
+		if err != nil {
+			t.Fatalf("%s: %v", h.ID, err)
+		}
+		if m.HIT != h.ID || m.Group != h.GroupID {
+			t.Errorf("%s: manifest ids %q/%q", h.ID, m.HIT, m.Group)
+		}
+		if len(m.Questions) != len(h.Questions) {
+			t.Fatalf("%s: %d manifest questions, want %d", h.ID, len(m.Questions), len(h.Questions))
+		}
+		for i, mq := range m.Questions {
+			q := &h.Questions[i]
+			if mq.ID != q.ID || mq.Kind != q.Kind.String() || mq.Task != q.Task {
+				t.Errorf("%s q%d: manifest %+v does not match question", h.ID, i, mq)
+			}
+		}
+	}
+}
+
+// TestManifestSurvivesCDATAHostileHTML: a custom renderer emitting
+// "]]>" cannot break the envelope.
+func TestManifestSurvivesCDATAHostileHTML(t *testing.T) {
+	h := sampleHITs()[0]
+	xml, err := buildQuestionXML(h, func(*hit.HIT) (string, error) {
+		return "<b>tricky ]]> content</b>", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.ReplaceAll(xml, "]]]]><![CDATA[>", ""), "tricky ]]> content<![CDATA[") {
+		t.Error("CDATA terminator not escaped")
+	}
+	if _, err := parseManifest(xml); err != nil {
+		t.Errorf("manifest unreadable after CDATA escaping: %v", err)
+	}
+}
+
+// TestAnswersRoundTrip: encode → decode is the identity for every
+// question kind.
+func TestAnswersRoundTrip(t *testing.T) {
+	answers := map[string][]hit.Answer{
+		"g@q/hit0001": {
+			{QuestionID: "g@q/t00000", Bool: true},
+			{QuestionID: "g@q/t00001", Bool: false},
+		},
+		"g@q/hit0002": {
+			{QuestionID: "g@q/t00002", Fields: map[string]string{"gender": "female", "hair": "brown"}},
+		},
+		"g@q/hit0003": {
+			{QuestionID: "g@q/t00003", Pairs: [][2]int{{0, 1}, {1, 0}}},
+		},
+		"g@q/hit0004": {
+			{QuestionID: "g@q/t00004", Order: []int{2, 0, 1}},
+		},
+		"g@q/hit0005": {
+			{QuestionID: "g@q/t00005", Rating: 5},
+		},
+	}
+	for _, h := range sampleHITs() {
+		in := answers[h.ID]
+		xml, err := encodeAnswers(h, in)
+		if err != nil {
+			t.Fatalf("%s: %v", h.ID, err)
+		}
+		out, err := decodeAnswers(h, xml)
+		if err != nil {
+			t.Fatalf("%s: %v", h.ID, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%s: round trip drifted:\n in  %+v\n out %+v", h.ID, in, out)
+		}
+	}
+}
+
+// TestAnswersGolden pins the QuestionFormAnswers wire format.
+func TestAnswersGolden(t *testing.T) {
+	h := sampleHITs()[0]
+	xml, err := encodeAnswers(h, []hit.Answer{
+		{QuestionID: "g@q/t00000", Bool: true},
+		{QuestionID: "g@q/t00001", Bool: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "answers_filter.golden.xml", xml)
+}
+
+// TestDecodeAnswersRejectsGarbage: malformed grid cells, orders, and
+// ratings fail loudly instead of resolving to silent zero votes.
+func TestDecodeAnswersRejectsGarbage(t *testing.T) {
+	grid := sampleHITs()[2]
+	bad := []string{
+		`<QuestionFormAnswers><Answer><QuestionIdentifier>g@q/t00003</QuestionIdentifier><FreeText>9,9</FreeText></Answer></QuestionFormAnswers>`,
+		`<QuestionFormAnswers><Answer><QuestionIdentifier>g@q/t00003</QuestionIdentifier><FreeText>zap</FreeText></Answer></QuestionFormAnswers>`,
+	}
+	for _, xml := range bad {
+		if _, err := decodeAnswers(grid, xml); err == nil {
+			t.Errorf("garbage accepted: %s", xml)
+		}
+	}
+	rate := sampleHITs()[4]
+	if _, err := decodeAnswers(rate, `<QuestionFormAnswers><Answer><QuestionIdentifier>g@q/t00005</QuestionIdentifier><FreeText>11</FreeText></Answer></QuestionFormAnswers>`); err == nil {
+		t.Error("out-of-scale rating accepted")
+	}
+}

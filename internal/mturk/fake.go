@@ -1,0 +1,529 @@
+package mturk
+
+// FakeServer is an in-process MTurk-compatible endpoint for
+// recorded-HTTP tests: it serves the same aws-json operations the real
+// requester API does, verifies every request's SigV4 signature against
+// its configured credentials, and fabricates deterministic worker
+// behavior — which workers pick up a HIT, what they answer, when they
+// submit, and who abandons — purely from hashes of the HIT's
+// UniqueRequestToken. Because that token is the engine's lineage-stable
+// HIT ID, fake runs are exactly as invariant across
+// StreamChunkHITs/lookahead settings as simulator runs, which is what
+// lets the executor's chunk-invariance contract be asserted against
+// the live-backend code path with zero network access.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FakeConfig parametrizes the fake marketplace.
+type FakeConfig struct {
+	// AccessKey/SecretKey are the credentials requests must be signed
+	// with (defaults "FAKEKEY"/"FAKESECRET").
+	AccessKey, SecretKey string
+	// Region verifies the signing scope (default us-east-1).
+	Region string
+	// Clock supplies CreationTime/SubmitTime and gates when fabricated
+	// submissions become visible to ListAssignmentsForHIT (default wall
+	// clock; tests share a FakeClock with the client).
+	Clock Clock
+	// SubmitDelay is the base delay before the first fabricated
+	// submission, with later workers arriving at multiples of it
+	// (default 30s).
+	SubmitDelay time.Duration
+	// AbandonPct is the percentage (0–100) of assignments that are
+	// accepted but never submitted, drawn per (HIT token, worker) hash —
+	// the knob that exercises the client's assignment-timeout policy.
+	AbandonPct int
+	// YesPct is the yes-rate (0–100) for filter/pair questions answered
+	// by the built-in policy, drawn per (token, question, worker) hash.
+	// Zero means the default 70; pass a negative value for all-no
+	// workers.
+	YesPct int
+	// Respond overrides the built-in answer policy: it receives the
+	// question's manifest entry and the worker ordinal and returns the
+	// FreeText convention of answers.go. Return ok=false to fall back.
+	Respond func(q ManifestQuestion, worker int) (string, bool)
+}
+
+// fakeAssignment is one fabricated worker pass.
+type fakeAssignment struct {
+	id        string
+	workerID  string
+	answerXML string
+	acceptAt  time.Time
+	submitAt  time.Time
+	abandoned bool
+	approved  bool
+}
+
+// fakeHIT is one posted HIT's state.
+type fakeHIT struct {
+	id       string
+	token    string
+	manifest *Manifest
+	max      int
+	created  time.Time
+	expireAt time.Time
+	asn      []fakeAssignment
+}
+
+// RecordedRequest is one API call the fake served, kept for golden
+// request/response fixture tests.
+type RecordedRequest struct {
+	// Op is the operation name from X-Amz-Target.
+	Op string
+	// Body is the raw JSON payload.
+	Body string
+}
+
+// FakeServer is the in-process endpoint. Create with NewFakeServer,
+// point a Client at URL(), and Close when done.
+type FakeServer struct {
+	cfg   FakeConfig
+	creds credentials
+	srv   *httptest.Server
+
+	mu       sync.Mutex
+	hits     map[string]*fakeHIT // by MTurk HIT ID
+	byToken  map[string]string   // UniqueRequestToken → MTurk HIT ID
+	requests []RecordedRequest
+}
+
+// NewFakeServer starts the fake endpoint.
+func NewFakeServer(cfg FakeConfig) *FakeServer {
+	if cfg.AccessKey == "" {
+		cfg.AccessKey = "FAKEKEY"
+	}
+	if cfg.SecretKey == "" {
+		cfg.SecretKey = "FAKESECRET"
+	}
+	if cfg.Region == "" {
+		cfg.Region = "us-east-1"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	if cfg.SubmitDelay <= 0 {
+		cfg.SubmitDelay = 30 * time.Second
+	}
+	if cfg.YesPct == 0 {
+		cfg.YesPct = 70
+	}
+	if cfg.YesPct < 0 {
+		cfg.YesPct = 0
+	}
+	f := &FakeServer{
+		cfg:     cfg,
+		creds:   credentials{accessKey: cfg.AccessKey, secretKey: cfg.SecretKey},
+		hits:    map[string]*fakeHIT{},
+		byToken: map[string]string{},
+	}
+	f.srv = httptest.NewServer(http.HandlerFunc(f.handle))
+	return f
+}
+
+// URL returns the endpoint base URL for Config.Endpoint.
+func (f *FakeServer) URL() string { return f.srv.URL }
+
+// Close shuts the server down.
+func (f *FakeServer) Close() { f.srv.Close() }
+
+// Requests returns a copy of every recorded API call so far.
+func (f *FakeServer) Requests() []RecordedRequest {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]RecordedRequest(nil), f.requests...)
+}
+
+// RequestCount counts recorded calls of one operation.
+func (f *FakeServer) RequestCount(op string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, r := range f.requests {
+		if r.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// CreatedHITs returns the UniqueRequestTokens of every HIT posted, in
+// no particular order.
+func (f *FakeServer) CreatedHITs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.byToken))
+	for tok := range f.byToken {
+		out = append(out, tok)
+	}
+	return out
+}
+
+// ApprovedCount counts approved assignments across all HITs.
+func (f *FakeServer) ApprovedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, h := range f.hits {
+		for i := range h.asn {
+			if h.asn[i].approved {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (f *FakeServer) fail(w http.ResponseWriter, status int, typ, msg string) {
+	w.Header().Set("Content-Type", contentTypeAWSJSON)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiError{Type: typ, Message: msg})
+}
+
+func (f *FakeServer) handle(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		f.fail(w, http.StatusBadRequest, "RequestError", err.Error())
+		return
+	}
+	target := r.Header.Get("X-Amz-Target")
+	op := strings.TrimPrefix(target, targetPrefix)
+	if op == target {
+		f.fail(w, http.StatusBadRequest, "UnknownOperationException", "bad X-Amz-Target "+target)
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != contentTypeAWSJSON {
+		f.fail(w, http.StatusBadRequest, "RequestError", "bad Content-Type "+ct)
+		return
+	}
+	if err := verifySignature(r, body, f.creds, f.cfg.Region); err != nil {
+		f.fail(w, http.StatusForbidden, "AccessDeniedException", err.Error())
+		return
+	}
+	f.mu.Lock()
+	f.requests = append(f.requests, RecordedRequest{Op: op, Body: string(body)})
+	f.mu.Unlock()
+
+	var out any
+	var opErr error
+	switch op {
+	case opCreateHIT:
+		out, opErr = f.createHIT(body)
+	case opGetHIT:
+		out, opErr = f.getHIT(body)
+	case opListAssignmentsForHIT:
+		out, opErr = f.listAssignments(body)
+	case opApproveAssignment:
+		out, opErr = f.approveAssignment(body)
+	case opUpdateExpirationForHIT:
+		out, opErr = f.updateExpiration(body)
+	case opGetAccountBalance:
+		out = map[string]string{"AvailableBalance": "10000.00"}
+	default:
+		f.fail(w, http.StatusBadRequest, "UnknownOperationException", op)
+		return
+	}
+	if opErr != nil {
+		f.fail(w, http.StatusBadRequest, "RequestError", opErr.Error())
+		return
+	}
+	w.Header().Set("Content-Type", contentTypeAWSJSON)
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// fakeHash gives the deterministic stream all worker behavior draws
+// from: everything depends only on the strings hashed, never on call
+// order.
+func fakeHash(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+func (f *FakeServer) createHIT(body []byte) (any, error) {
+	var req createHITRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if req.Question == "" || req.MaxAssignments <= 0 {
+		return nil, fmt.Errorf("CreateHIT: missing Question or MaxAssignments")
+	}
+	if req.Reward == "" {
+		return nil, fmt.Errorf("CreateHIT: missing Reward")
+	}
+	m, err := parseManifest(req.Question)
+	if err != nil {
+		return nil, err
+	}
+	token := req.UniqueRequestToken
+	if token == "" {
+		token = m.HIT
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if id, dup := f.byToken[token]; dup {
+		// MTurk's idempotency contract: the same token returns the
+		// existing HIT instead of double-posting.
+		return &createHITResponse{HIT: f.infoLocked(f.hits[id])}, nil
+	}
+	now := f.cfg.Clock.Now()
+	id := fmt.Sprintf("3FAKE%016X", fakeHash("hitid", token))
+	fh := &fakeHIT{
+		id:       id,
+		token:    token,
+		manifest: m,
+		max:      req.MaxAssignments,
+		created:  now,
+		expireAt: now.Add(time.Duration(req.LifetimeInSeconds) * time.Second),
+	}
+	// Fabricate every assignment up front, deterministically from the
+	// token: worker identity, abandonment, answers, and submit time.
+	for k := 0; k < fh.max; k++ {
+		worker := fmt.Sprintf("FW%08X", fakeHash("worker", token, fmt.Sprint(k))&0xffffffff)
+		abandoned := f.cfg.AbandonPct > 0 && int(fakeHash("abandon", token, fmt.Sprint(k))%100) < f.cfg.AbandonPct
+		jitter := time.Duration(fakeHash("delay", token, fmt.Sprint(k))%1000) * f.cfg.SubmitDelay / 1000
+		submitAt := now.Add(f.cfg.SubmitDelay*time.Duration(k+1) + jitter)
+		fa := fakeAssignment{
+			id:        fmt.Sprintf("3ASN%016X", fakeHash("asn", token, fmt.Sprint(k))),
+			workerID:  worker,
+			acceptAt:  submitAt.Add(-f.cfg.SubmitDelay / 2),
+			submitAt:  submitAt,
+			abandoned: abandoned,
+		}
+		if !abandoned {
+			xml, err := f.answerXML(m, token, k)
+			if err != nil {
+				return nil, err
+			}
+			fa.answerXML = xml
+		}
+		fh.asn = append(fh.asn, fa)
+	}
+	f.hits[id] = fh
+	f.byToken[token] = id
+	return &createHITResponse{HIT: f.infoLocked(fh)}, nil
+}
+
+func (f *FakeServer) infoLocked(fh *fakeHIT) hitInfo {
+	now := f.cfg.Clock.Now()
+	completed, pending := 0, 0
+	for i := range fh.asn {
+		a := &fh.asn[i]
+		if a.abandoned {
+			// Abandoned assignments count as returned: they occupy no
+			// accept window, matching a worker who grabbed the HIT and
+			// walked away.
+			continue
+		}
+		switch {
+		case !a.submitAt.After(now):
+			completed++
+		case !a.acceptAt.After(now) && !a.acceptAt.After(fh.expireAt):
+			pending++
+		}
+	}
+	return hitInfo{
+		HITId:                        fh.id,
+		HITStatus:                    "Assignable",
+		MaxAssignments:               fh.max,
+		CreationTime:                 epochOf(fh.created),
+		Expiration:                   epochOf(fh.expireAt),
+		NumberOfAssignmentsCompleted: completed,
+		NumberOfAssignmentsPending:   pending,
+		NumberOfAssignmentsAvailable: fh.max - completed - pending,
+	}
+}
+
+// answerXML fabricates one worker's submission from the manifest.
+func (f *FakeServer) answerXML(m *Manifest, token string, worker int) (string, error) {
+	env := questionFormAnswers{XMLNS: questionFormAnswersXMLNS}
+	for _, q := range m.Questions {
+		texts, err := f.answerTexts(q, token, worker)
+		if err != nil {
+			return "", err
+		}
+		for id, text := range texts {
+			env.Answers = append(env.Answers, questionAnswer{QuestionIdentifier: id, FreeText: text})
+		}
+	}
+	// Map iteration order is random; fix it for stable golden fixtures.
+	sortAnswers(env.Answers)
+	out, err := xmlMarshal(env)
+	if err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// answerTexts produces the FreeText payloads for one question.
+func (f *FakeServer) answerTexts(q ManifestQuestion, token string, worker int) (map[string]string, error) {
+	if f.cfg.Respond != nil {
+		if text, ok := f.cfg.Respond(q, worker); ok {
+			if q.Kind == "generative" {
+				// Convention: Respond returns "field=value|field=value".
+				out := map[string]string{}
+				for _, kv := range strings.Split(text, "|") {
+					name, val, found := strings.Cut(kv, "=")
+					if !found {
+						return nil, fmt.Errorf("fake Respond: bad generative payload %q", text)
+					}
+					out[q.ID+"."+name] = val
+				}
+				return out, nil
+			}
+			return map[string]string{q.ID: text}, nil
+		}
+	}
+	yes := func(salt string) bool {
+		return int(fakeHash("ans", token, q.ID, salt, fmt.Sprint(worker))%100) < f.cfg.YesPct
+	}
+	switch q.Kind {
+	case "filter", "join-pair":
+		return map[string]string{q.ID: boolText(yes(""))}, nil
+	case "generative":
+		out := map[string]string{}
+		for _, field := range q.Fields {
+			out[q.ID+"."+field] = fmt.Sprintf("v%d", fakeHash("gen", token, q.ID, field, fmt.Sprint(worker))%3)
+		}
+		return out, nil
+	case "join-grid":
+		var cells []string
+		for l := 0; l < q.Left; l++ {
+			for r := 0; r < q.Right; r++ {
+				if yes(fmt.Sprintf("%d,%d", l, r)) {
+					cells = append(cells, fmt.Sprintf("%d,%d", l, r))
+				}
+			}
+		}
+		return map[string]string{q.ID: strings.Join(cells, ";")}, nil
+	case "compare":
+		n := len(q.Subjects)
+		order := make([]string, n)
+		perm := permOf(fakeHash("cmp", token, q.ID, fmt.Sprint(worker)), n)
+		for i, idx := range perm {
+			order[i] = fmt.Sprint(idx)
+		}
+		return map[string]string{q.ID: strings.Join(order, ",")}, nil
+	case "rate":
+		scale := q.Scale
+		if scale < 2 {
+			scale = 7
+		}
+		return map[string]string{q.ID: fmt.Sprint(1 + fakeHash("rate", token, q.ID, fmt.Sprint(worker))%uint64(scale))}, nil
+	default:
+		return nil, fmt.Errorf("fake: no answer policy for kind %q", q.Kind)
+	}
+}
+
+// permOf derives a permutation of [0,n) from a hash seed (Fisher–Yates
+// over a splitmix-style stream).
+func permOf(seed uint64, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	s := seed
+	for i := n - 1; i > 0; i-- {
+		s = s*6364136223846793005 + 1442695040888963407
+		j := int((s >> 33) % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func (f *FakeServer) getHIT(body []byte) (any, error) {
+	var req getHITRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fh, ok := f.hits[req.HITId]
+	if !ok {
+		return nil, fmt.Errorf("GetHIT: unknown HIT %s", req.HITId)
+	}
+	return &getHITResponse{HIT: f.infoLocked(fh)}, nil
+}
+
+func (f *FakeServer) listAssignments(body []byte) (any, error) {
+	var req listAssignmentsRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fh, ok := f.hits[req.HITId]
+	if !ok {
+		return nil, fmt.Errorf("ListAssignmentsForHIT: unknown HIT %s", req.HITId)
+	}
+	now := f.cfg.Clock.Now()
+	resp := &listAssignmentsResponse{Assignments: []assignmentInfo{}}
+	for i := range fh.asn {
+		a := &fh.asn[i]
+		if a.abandoned || a.submitAt.After(now) || a.submitAt.After(fh.expireAt) {
+			continue
+		}
+		status := assignmentStatusSubmitted
+		if a.approved {
+			status = assignmentStatusApproved
+		}
+		resp.Assignments = append(resp.Assignments, assignmentInfo{
+			AssignmentId:     a.id,
+			WorkerId:         a.workerID,
+			HITId:            fh.id,
+			AssignmentStatus: status,
+			AcceptTime:       epochOf(a.acceptAt),
+			SubmitTime:       epochOf(a.submitAt),
+			Answer:           a.answerXML,
+		})
+	}
+	resp.NumResults = len(resp.Assignments)
+	return resp, nil
+}
+
+func (f *FakeServer) approveAssignment(body []byte) (any, error) {
+	var req approveAssignmentRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, fh := range f.hits {
+		for i := range fh.asn {
+			if fh.asn[i].id == req.AssignmentId {
+				fh.asn[i].approved = true
+				return map[string]any{}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("ApproveAssignment: unknown assignment %s", req.AssignmentId)
+}
+
+func (f *FakeServer) updateExpiration(body []byte) (any, error) {
+	var req updateExpirationRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fh, ok := f.hits[req.HITId]
+	if !ok {
+		return nil, fmt.Errorf("UpdateExpirationForHIT: unknown HIT %s", req.HITId)
+	}
+	fh.expireAt = req.ExpireAt.Time()
+	return map[string]any{}, nil
+}

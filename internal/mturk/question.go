@@ -1,0 +1,197 @@
+package mturk
+
+// HTMLQuestion rendering. Each engine HIT becomes one marketplace HIT
+// whose Question payload is HTMLQuestion XML: an HTML form workers fill
+// in, plus a machine-readable JSON manifest (a <script> block, the
+// pattern real HIT templates use for their own JS) describing every
+// question's ID, kind, and subjects. The manifest is what makes the
+// posted HIT self-describing: the in-process FakeServer answers from
+// it, and external submission tooling can render richer UIs without
+// re-parsing the form.
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"strings"
+
+	"qurk/internal/hit"
+	"qurk/internal/relation"
+)
+
+// htmlQuestionXMLNS is the schema the HTMLQuestion envelope declares.
+const htmlQuestionXMLNS = "http://mechanicalturk.amazonaws.com/AWSMechanicalTurkDataSchemas/2011-11-11/HTMLQuestion.xsd"
+
+// manifestID is the DOM id of the embedded manifest block.
+const manifestID = "qurk-manifest"
+
+// Manifest is the machine-readable description of a posted HIT,
+// embedded in its HTMLQuestion payload.
+type Manifest struct {
+	// Group is the engine's HIT-group ID.
+	Group string `json:"group"`
+	// HIT is the engine's HIT ID (also the CreateHIT UniqueRequestToken).
+	HIT string `json:"hit"`
+	// Questions lists the HIT's questions in form order.
+	Questions []ManifestQuestion `json:"questions"`
+}
+
+// ManifestQuestion describes one question inside a Manifest.
+type ManifestQuestion struct {
+	// ID is the engine question ID; answers key on it.
+	ID string `json:"id"`
+	// Kind is the interface name (hit.Kind.String()).
+	Kind string `json:"kind"`
+	// Task is the task (UDF) name the question instantiates.
+	Task string `json:"task"`
+	// Fields lists requested generative fields, if any.
+	Fields []string `json:"fields,omitempty"`
+	// Scale is the Likert scale size for rating questions.
+	Scale int `json:"scale,omitempty"`
+	// Left and Right are the grid dimensions for grid questions.
+	Left int `json:"left,omitempty"`
+	// Right is the grid's right-column length.
+	Right int `json:"right,omitempty"`
+	// Subjects renders the question's tuples ("col=value; …") in
+	// interface order: the single subject for filter/generative/rate,
+	// left then right for pairs and grids, the group for comparisons.
+	Subjects []string `json:"subjects,omitempty"`
+}
+
+// renderSubject flattens a tuple for the manifest.
+func renderSubject(t relation.Tuple) string {
+	if t.Schema() == nil {
+		return ""
+	}
+	parts := make([]string, 0, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		parts = append(parts, fmt.Sprintf("%s=%s", t.Schema().Column(i).Name, t.At(i).String()))
+	}
+	return strings.Join(parts, "; ")
+}
+
+func subjectsOf(q *hit.Question) []string {
+	var ts []relation.Tuple
+	switch q.Kind {
+	case hit.JoinPairQ:
+		ts = []relation.Tuple{q.Left, q.Right}
+	case hit.JoinGridQ:
+		ts = append(append(ts, q.LeftItems...), q.RightItems...)
+	case hit.CompareQ:
+		ts = q.Items
+	default:
+		ts = []relation.Tuple{q.Tuple}
+	}
+	out := make([]string, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, renderSubject(t))
+	}
+	return out
+}
+
+// manifestOf builds the manifest for one HIT.
+func manifestOf(h *hit.HIT) *Manifest {
+	m := &Manifest{Group: h.GroupID, HIT: h.ID}
+	for i := range h.Questions {
+		q := &h.Questions[i]
+		mq := ManifestQuestion{
+			ID:       q.ID,
+			Kind:     q.Kind.String(),
+			Task:     q.Task,
+			Fields:   q.Fields,
+			Scale:    q.Scale,
+			Subjects: subjectsOf(q),
+		}
+		if q.Kind == hit.JoinGridQ {
+			mq.Left, mq.Right = len(q.LeftItems), len(q.RightItems)
+		}
+		m.Questions = append(m.Questions, mq)
+	}
+	return m
+}
+
+// defaultHTML renders a plain worker-facing form for the HIT: one block
+// per question with the inputs the interface needs. Deployments that
+// want the paper's styled interfaces (Figs. 2 and 5) set Config.Render
+// to the hit.Compiler output; this fallback keeps the client usable
+// with zero task-registry wiring.
+func defaultHTML(h *hit.HIT) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><body><form name='mturk_form' method='post' action='/mturk/externalSubmit'>\n")
+	for i := range h.Questions {
+		q := &h.Questions[i]
+		fmt.Fprintf(&b, "<div class='question' data-qid=%q>\n", html.EscapeString(q.ID))
+		switch q.Kind {
+		case hit.FilterQ, hit.JoinPairQ:
+			fmt.Fprintf(&b, "<p>%s: %s</p>", html.EscapeString(q.Task), html.EscapeString(strings.Join(subjectsOf(q), " vs ")))
+			fmt.Fprintf(&b, "<label><input type='radio' name=%q value='yes'>Yes</label> <label><input type='radio' name=%q value='no'>No</label>\n",
+				html.EscapeString(q.ID), html.EscapeString(q.ID))
+		case hit.GenerativeQ:
+			fmt.Fprintf(&b, "<p>%s: %s</p>", html.EscapeString(q.Task), html.EscapeString(renderSubject(q.Tuple)))
+			for _, f := range q.Fields {
+				fmt.Fprintf(&b, "<label>%s <input type='text' name='%s.%s'></label><br>\n",
+					html.EscapeString(f), html.EscapeString(q.ID), html.EscapeString(f))
+			}
+		case hit.JoinGridQ:
+			fmt.Fprintf(&b, "<p>%s: click matching pairs</p>", html.EscapeString(q.Task))
+			fmt.Fprintf(&b, "<input type='hidden' name=%q value=''>\n", html.EscapeString(q.ID))
+		case hit.CompareQ:
+			fmt.Fprintf(&b, "<p>%s: order the items</p>", html.EscapeString(q.Task))
+			fmt.Fprintf(&b, "<input type='hidden' name=%q value=''>\n", html.EscapeString(q.ID))
+		case hit.RateQ:
+			fmt.Fprintf(&b, "<p>%s: %s</p>", html.EscapeString(q.Task), html.EscapeString(renderSubject(q.Tuple)))
+			for v := 1; v <= q.Scale; v++ {
+				fmt.Fprintf(&b, "<label><input type='radio' name=%q value='%d'>%d</label> ", html.EscapeString(q.ID), v, v)
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("</div>\n")
+	}
+	b.WriteString("<input type='submit' value='Submit'></form></body></html>")
+	return b.String()
+}
+
+// buildQuestionXML wraps the HIT's HTML (custom or default) plus its
+// manifest into the HTMLQuestion envelope CreateHIT expects.
+func buildQuestionXML(h *hit.HIT, render func(*hit.HIT) (string, error)) (string, error) {
+	body := ""
+	if render != nil {
+		custom, err := render(h)
+		if err != nil {
+			return "", fmt.Errorf("mturk: rendering HIT %s: %w", h.ID, err)
+		}
+		body = custom
+	} else {
+		body = defaultHTML(h)
+	}
+	mjson, err := json.Marshal(manifestOf(h))
+	if err != nil {
+		return "", fmt.Errorf("mturk: manifest for HIT %s: %w", h.ID, err)
+	}
+	content := fmt.Sprintf("%s\n<script type=\"application/json\" id=%q>%s</script>\n", body, manifestID, mjson)
+	// "]]>" inside CDATA must be split across sections.
+	content = strings.ReplaceAll(content, "]]>", "]]]]><![CDATA[>")
+	return fmt.Sprintf("<HTMLQuestion xmlns=%q><HTMLContent><![CDATA[%s]]></HTMLContent><FrameHeight>650</FrameHeight></HTMLQuestion>",
+		htmlQuestionXMLNS, content), nil
+}
+
+// parseManifest extracts the embedded manifest from a Question XML
+// payload — the FakeServer's (and any submission tooling's) view of
+// what was asked.
+func parseManifest(questionXML string) (*Manifest, error) {
+	marker := fmt.Sprintf("<script type=\"application/json\" id=%q>", manifestID)
+	start := strings.Index(questionXML, marker)
+	if start < 0 {
+		return nil, fmt.Errorf("mturk: question payload has no %s manifest", manifestID)
+	}
+	rest := questionXML[start+len(marker):]
+	end := strings.Index(rest, "</script>")
+	if end < 0 {
+		return nil, fmt.Errorf("mturk: unterminated manifest block")
+	}
+	var m Manifest
+	if err := json.Unmarshal([]byte(rest[:end]), &m); err != nil {
+		return nil, fmt.Errorf("mturk: decoding manifest: %w", err)
+	}
+	return &m, nil
+}

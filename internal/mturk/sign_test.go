@@ -1,0 +1,99 @@
+package mturk
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+var signTime = time.Date(2015, 8, 30, 12, 36, 0, 0, time.UTC)
+
+func signedReq(t *testing.T, body string, creds credentials) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "https://mturk-requester-sandbox.us-east-1.amazonaws.com", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentTypeAWSJSON)
+	req.Header.Set("X-Amz-Target", targetPrefix+opGetAccountBalance)
+	signRequest(req, []byte(body), creds, "us-east-1", signTime)
+	return req
+}
+
+// TestSignatureShape: the Authorization header carries the SigV4
+// algorithm, scope, signed-header list, and a 64-hex-digit signature.
+func TestSignatureShape(t *testing.T) {
+	req := signedReq(t, `{}`, credentials{accessKey: "AKIDEXAMPLE", secretKey: "SECRET"})
+	auth := req.Header.Get("Authorization")
+	for _, want := range []string{
+		"AWS4-HMAC-SHA256 Credential=AKIDEXAMPLE/20150830/us-east-1/mturk-requester/aws4_request",
+		"SignedHeaders=host;x-amz-date;x-amz-target",
+		"Signature=",
+	} {
+		if !strings.Contains(auth, want) {
+			t.Errorf("Authorization missing %q:\n%s", want, auth)
+		}
+	}
+	sig := auth[strings.Index(auth, "Signature=")+len("Signature="):]
+	if len(sig) != 64 {
+		t.Errorf("signature length = %d, want 64 hex chars", len(sig))
+	}
+	if req.Header.Get("X-Amz-Date") != "20150830T123600Z" {
+		t.Errorf("X-Amz-Date = %q", req.Header.Get("X-Amz-Date"))
+	}
+}
+
+// TestSignatureDeterministic: same inputs, same signature; different
+// secret, different signature.
+func TestSignatureDeterministic(t *testing.T) {
+	a := signedReq(t, `{"x":1}`, credentials{accessKey: "K", secretKey: "S1"})
+	b := signedReq(t, `{"x":1}`, credentials{accessKey: "K", secretKey: "S1"})
+	c := signedReq(t, `{"x":1}`, credentials{accessKey: "K", secretKey: "S2"})
+	if a.Header.Get("Authorization") != b.Header.Get("Authorization") {
+		t.Error("identical inputs signed differently")
+	}
+	if a.Header.Get("Authorization") == c.Header.Get("Authorization") {
+		t.Error("different secrets produced the same signature")
+	}
+}
+
+// TestVerifySignatureRoundTrip: the fake's verifier accepts what the
+// signer produces and rejects tampering.
+func TestVerifySignatureRoundTrip(t *testing.T) {
+	creds := credentials{accessKey: "K", secretKey: "S"}
+	req := signedReq(t, `{"op":"x"}`, creds)
+	if err := verifySignature(req, []byte(`{"op":"x"}`), creds, "us-east-1"); err != nil {
+		t.Fatalf("genuine request rejected: %v", err)
+	}
+	// Tampered body.
+	if err := verifySignature(req, []byte(`{"op":"y"}`), creds, "us-east-1"); err == nil {
+		t.Error("tampered body accepted")
+	}
+	// Wrong secret.
+	if err := verifySignature(req, []byte(`{"op":"x"}`), credentials{accessKey: "K", secretKey: "WRONG"}, "us-east-1"); err == nil {
+		t.Error("wrong secret accepted")
+	}
+	// Unsigned.
+	bare, _ := http.NewRequest(http.MethodPost, "https://x", bytes.NewReader(nil))
+	if err := verifySignature(bare, nil, creds, "us-east-1"); err == nil {
+		t.Error("unsigned request accepted")
+	}
+}
+
+// TestSessionTokenSigned: temporary credentials add the security-token
+// header to the signed set and still verify.
+func TestSessionTokenSigned(t *testing.T) {
+	creds := credentials{accessKey: "K", secretKey: "S", sessionToken: "TOK"}
+	req := signedReq(t, `{}`, creds)
+	if req.Header.Get("X-Amz-Security-Token") != "TOK" {
+		t.Fatal("session token header missing")
+	}
+	if !strings.Contains(req.Header.Get("Authorization"), "x-amz-security-token") {
+		t.Error("security token not in SignedHeaders")
+	}
+	if err := verifySignature(req, []byte(`{}`), creds, "us-east-1"); err != nil {
+		t.Errorf("session-token request rejected: %v", err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 // CardSource supplies base-relation cardinalities. relation.Catalog
 // implements it; tests use a map.
 type CardSource interface {
+	// Cardinality returns a base table's row count, false when unknown.
 	Cardinality(table string) (int, bool)
 }
 
@@ -163,27 +164,34 @@ type OpCost struct {
 // OpActual pairs an executed operator label with its posted HITs, for
 // estimated-vs-actual rendering.
 type OpActual struct {
+	// Label matches the OpStat label from the executed run.
 	Label string
-	HITs  int
+	// HITs is the operator's actually posted HIT count.
+	HITs int
 }
 
 // CostedPlan is the optimizer's result: the annotated tree plus the
 // estimates that justified each choice.
 type CostedPlan struct {
+	// Root is the annotated plan tree, executable via RunPlan.
 	Root Node
 	// Ops lists crowd operators in plan (post-) order.
 	Ops []OpCost
 	// TotalHITs, TotalDollars, MakespanHours sum the operator
 	// estimates (makespans add serially; pipelining runs faster).
-	TotalHITs     int
-	TotalDollars  float64
+	TotalHITs int
+	// TotalDollars prices TotalHITs at the chosen assignment levels.
+	TotalDollars float64
+	// MakespanHours is the serial crowd-time estimate.
 	MakespanHours float64
 	// Quality is the weakest operator's combined accuracy.
 	Quality float64
 	// BudgetDollars echoes the constraint; OverBudget reports that even
 	// the cheapest interfaces at one assignment exceed it.
 	BudgetDollars float64
-	OverBudget    bool
+	// OverBudget is set when no interface assignment satisfies the
+	// budget.
+	OverBudget bool
 	// Notes records estimation caveats and budget downgrades.
 	Notes []string
 }

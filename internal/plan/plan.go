@@ -24,7 +24,9 @@ type Node interface {
 
 // Scan reads a base table, optionally under an alias.
 type Scan struct {
+	// Table is the catalog table name.
 	Table string
+	// Alias is the optional binding name (FROM celeb AS c).
 	Alias string
 }
 
@@ -49,8 +51,10 @@ func (s *Scan) Binding() string {
 
 // MachineFilter evaluates a non-HIT predicate (pushed down, §2.5).
 type MachineFilter struct {
+	// Input is the child operator.
 	Input Node
-	Expr  query.Expr
+	// Expr is the machine-evaluable predicate.
+	Expr query.Expr
 }
 
 // Label implements Node.
@@ -61,8 +65,11 @@ func (f *MachineFilter) Children() []Node { return []Node{f.Input} }
 
 // CrowdFilter posts one Filter task per input tuple.
 type CrowdFilter struct {
-	Input  Node
-	Task   *task.Filter
+	// Input is the child operator.
+	Input Node
+	// Task is the Filter task template each tuple instantiates.
+	Task *task.Filter
+	// Negate keeps the tuples the crowd says NO to.
 	Negate bool
 	// Phys is the optimizer's batching choice (nil = engine defaults).
 	Phys *BatchPhys
@@ -82,9 +89,12 @@ func (f *CrowdFilter) Children() []Node { return []Node{f.Input} }
 // CrowdFilterOr keeps tuples any branch accepts; branches are posted in
 // parallel (paper §2.5: "disjuncts (ORs) are issued in parallel").
 type CrowdFilterOr struct {
-	Input    Node
+	// Input is the child operator.
+	Input Node
+	// Branches are the disjunct Filter tasks, posted concurrently.
 	Branches []*task.Filter
-	Negates  []bool
+	// Negates marks per-branch negation, parallel to Branches.
+	Negates []bool
 	// Phys is the optimizer's batching choice (nil = engine defaults).
 	Phys *BatchPhys
 }
@@ -108,10 +118,15 @@ func (f *CrowdFilterOr) Children() []Node { return []Node{f.Input} }
 // over the extracted value — the paper's POSSIBLY numInScene(scenes.img)
 // form (§5). UNKNOWN extractions always pass (§2.4).
 type UnaryPossibly struct {
+	// Input is the child operator.
 	Input Node
-	Task  *task.Generative
+	// Task is the Generative task that extracts the feature.
+	Task *task.Generative
+	// Field names the extracted field the predicate tests.
 	Field string
-	Op    string
+	// Op is the comparison operator ("=", "<", …).
+	Op string
+	// Value is the literal the extraction compares against.
 	Value string
 	// Phys is the optimizer's batching choice (nil = engine defaults).
 	Phys *BatchPhys
@@ -129,9 +144,13 @@ func (u *UnaryPossibly) Children() []Node { return []Node{u.Input} }
 // feature filters (POSSIBLY equalities, §3.2). LeftFeatures[i] and
 // RightFeatures[i] carry per-side bound prompts for the same feature.
 type CrowdJoin struct {
-	Left, Right   Node
-	Task          *task.EquiJoin
-	LeftFeatures  []join.Feature
+	// Left and Right are the probe and build inputs.
+	Left, Right Node
+	// Task is the EquiJoin task pairs instantiate.
+	Task *task.EquiJoin
+	// LeftFeatures holds the probe side's feature filters.
+	LeftFeatures []join.Feature
+	// RightFeatures holds the build side's feature filters.
 	RightFeatures []join.Feature
 	// Phys is the optimizer's interface choice (nil = engine defaults).
 	Phys *JoinPhys
@@ -155,8 +174,11 @@ func (j *CrowdJoin) Children() []Node { return []Node{j.Left, j.Right} }
 // Generate runs a generative task to materialize SELECTed fields
 // (SELECT animalInfo(img).common, §2.2).
 type Generate struct {
-	Input  Node
-	Task   *task.Generative
+	// Input is the child operator.
+	Input Node
+	// Task is the Generative task template.
+	Task *task.Generative
+	// Fields lists the requested output fields.
 	Fields []string
 	// Phys is the optimizer's batching choice (nil = engine defaults).
 	Phys *BatchPhys
@@ -174,10 +196,14 @@ func (g *Generate) Children() []Node { return []Node{g.Input} }
 // machine-sortable columns (ORDER BY name, quality(img) sorts scenes by
 // quality within each actor, §5).
 type CrowdOrderBy struct {
-	Input     Node
+	// Input is the child operator.
+	Input Node
+	// GroupCols are machine-sortable grouping columns sorted first.
 	GroupCols []string
-	Task      *task.Rank
-	Desc      bool
+	// Task is the Rank task the crowd sorts by.
+	Task *task.Rank
+	// Desc reverses the crowd order.
+	Desc bool
 	// Phys is the optimizer's interface choice (nil = engine defaults).
 	Phys *SortPhys
 }
@@ -195,9 +221,12 @@ func (o *CrowdOrderBy) Children() []Node { return []Node{o.Input} }
 
 // MachineOrderBy sorts by plain columns without the crowd.
 type MachineOrderBy struct {
+	// Input is the child operator.
 	Input Node
-	Cols  []string
-	Desc  []bool
+	// Cols are the sort columns, major first.
+	Cols []string
+	// Desc marks per-column descending order, parallel to Cols.
+	Desc []bool
 }
 
 // Label implements Node.
@@ -210,9 +239,11 @@ func (o *MachineOrderBy) Children() []Node { return []Node{o.Input} }
 
 // Project selects output columns.
 type Project struct {
+	// Input is the child operator.
 	Input Node
 	// Columns are resolved column names; Aliases the output names.
 	Columns []string
+	// Aliases renames Columns in the output, parallel to Columns.
 	Aliases []string
 	// Star passes everything through.
 	Star bool
@@ -231,8 +262,10 @@ func (p *Project) Children() []Node { return []Node{p.Input} }
 
 // Limit caps output rows.
 type Limit struct {
+	// Input is the child operator.
 	Input Node
-	N     int
+	// N is the row cap.
+	N int
 }
 
 // Label implements Node.

@@ -12,6 +12,8 @@ import (
 // TaskSource resolves UDF names to task templates plus their DSL formal
 // parameters; core.Library implements it.
 type TaskSource interface {
+	// Resolve returns the task registered under name and its formal
+	// parameters (empty for tasks bound to concrete columns).
 	Resolve(name string) (task.Task, []string, error)
 }
 

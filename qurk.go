@@ -36,6 +36,7 @@ import (
 	"qurk/internal/exec"
 	"qurk/internal/hit"
 	"qurk/internal/join"
+	"qurk/internal/mturk"
 	"qurk/internal/plan"
 	"qurk/internal/query"
 	"qurk/internal/relation"
@@ -147,6 +148,53 @@ var (
 	// StreamRun posts a group and feeds per-HIT results to a callback
 	// as they complete, on any Marketplace.
 	StreamRun = crowd.Stream
+)
+
+// --- Live MTurk backend (internal/mturk) ---
+
+type (
+	// MTurkClient posts HIT groups to a live MTurk-compatible REST
+	// endpoint; it implements Marketplace and StreamMarketplace, so an
+	// engine built over it runs the same queries as over SimMarket.
+	MTurkClient = mturk.Client
+	// MTurkConfig parametrizes the live client (endpoint, credentials,
+	// poll interval, assignment deadline).
+	MTurkConfig = mturk.Config
+	// MTurkOptions is the engine-level backend configuration embedded
+	// in Options (Options.MTurk); mturk.FromOptions turns it into a
+	// MTurkConfig.
+	MTurkOptions = core.MTurkOptions
+	// MTurkFakeServer is the in-process MTurk-compatible endpoint used
+	// for recorded-HTTP tests and offline demos.
+	MTurkFakeServer = mturk.FakeServer
+	// MTurkFakeConfig parametrizes the fake marketplace's deterministic
+	// worker behavior (answer policy, abandonment rate).
+	MTurkFakeConfig = mturk.FakeConfig
+	// MTurkClock abstracts wall time for the polling client.
+	MTurkClock = mturk.Clock
+	// MTurkFakeClock is a manually advancing clock for offline runs.
+	MTurkFakeClock = mturk.FakeClock
+	// MTurkRequestError is a failed MTurk API call.
+	MTurkRequestError = mturk.RequestError
+)
+
+// MTurk endpoint URLs.
+const (
+	// MTurkSandboxEndpoint is the free requester sandbox (the default).
+	MTurkSandboxEndpoint = mturk.SandboxEndpoint
+	// MTurkProductionEndpoint posts HITs that cost real dollars.
+	MTurkProductionEndpoint = mturk.ProductionEndpoint
+)
+
+var (
+	// NewMTurkClient builds the live backend client.
+	NewMTurkClient = mturk.New
+	// MTurkFromOptions derives a client config from engine options.
+	MTurkFromOptions = mturk.FromOptions
+	// NewMTurkFakeServer starts the in-process fake endpoint.
+	NewMTurkFakeServer = mturk.NewFakeServer
+	// NewMTurkFakeClock starts a manually advancing clock.
+	NewMTurkFakeClock = mturk.NewFakeClock
 )
 
 // --- Engine and query execution ---
@@ -429,26 +477,46 @@ type (
 	MovieConfig = dataset.MovieConfig
 )
 
+// Dataset constructors.
 var (
+	// NewCelebrities generates the celebrity join dataset.
 	NewCelebrities = dataset.NewCelebrities
-	NewSquares     = dataset.NewSquares
-	NewAnimals     = dataset.NewAnimals
-	NewMovie       = dataset.NewMovie
+	// NewSquares generates the synthetic square-sort dataset.
+	NewSquares = dataset.NewSquares
+	// NewAnimals returns the 27-item animal sort dataset.
+	NewAnimals = dataset.NewAnimals
+	// NewMovie generates the end-to-end movie dataset.
+	NewMovie = dataset.NewMovie
+)
 
-	// The paper's task templates, ready to register.
-	IsFemaleTask     = dataset.IsFemaleTask
-	SamePersonTask   = dataset.SamePersonTask
-	GenderTask       = dataset.GenderTask
-	HairColorTask    = dataset.HairColorTask
-	SkinColorTask    = dataset.SkinColorTask
+// The paper's task templates, ready to register.
+var (
+	// IsFemaleTask is the §2.1 celebrity gender filter.
+	IsFemaleTask = dataset.IsFemaleTask
+	// SamePersonTask is the §3 celebrity photo join.
+	SamePersonTask = dataset.SamePersonTask
+	// GenderTask extracts the gender POSSIBLY feature.
+	GenderTask = dataset.GenderTask
+	// HairColorTask extracts the hair-color POSSIBLY feature.
+	HairColorTask = dataset.HairColorTask
+	// SkinColorTask extracts the skin-color POSSIBLY feature.
+	SkinColorTask = dataset.SkinColorTask
+	// SquareSorterTask ranks squares by size (§4.2.1's Q1).
 	SquareSorterTask = dataset.SquareSorterTask
-	AnimalSizeTask   = dataset.AnimalSizeTask
-	DangerousTask    = dataset.DangerousTask
-	SaturnTask       = dataset.SaturnTask
-	AnimalInfoTask   = dataset.AnimalInfoTask
-	InSceneTask      = dataset.InSceneTask
-	NumInSceneTask   = dataset.NumInSceneTask
-	QualityTask      = dataset.QualityTask
+	// AnimalSizeTask ranks animals by size (Q2).
+	AnimalSizeTask = dataset.AnimalSizeTask
+	// DangerousTask ranks animals by dangerousness (Q3).
+	DangerousTask = dataset.DangerousTask
+	// SaturnTask ranks animals by Saturn-belonging (Q4, ambiguous).
+	SaturnTask = dataset.SaturnTask
+	// AnimalInfoTask generates animal facts (§2.2).
+	AnimalInfoTask = dataset.AnimalInfoTask
+	// InSceneTask joins actors with scenes (§5).
+	InSceneTask = dataset.InSceneTask
+	// NumInSceneTask extracts the scene's person count (§5 POSSIBLY).
+	NumInSceneTask = dataset.NumInSceneTask
+	// QualityTask ranks scenes by how flattering they are (§5).
+	QualityTask = dataset.QualityTask
 	// CelebrityFeatures returns the gender/hair/skin POSSIBLY filters.
 	CelebrityFeatures = dataset.CelebrityFeatures
 )
