@@ -32,11 +32,15 @@ import (
 
 // Result is one benchmark measurement at one GOMAXPROCS setting.
 type Result struct {
-	Name       string             `json:"name"`
-	Procs      int                `json:"procs"`
-	Iterations int                `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from -benchmem, so the memory
+	// side of an optimization is pinned alongside its speed.
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Speedup compares one benchmark across its lowest and highest
@@ -111,7 +115,7 @@ func main() {
 	// Target the root package by import path so the harness works from
 	// any directory inside the module (the Benchmark* suite lives at
 	// the module root).
-	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchtime", *benchTime, "-cpu", *cpus, "qurk"}
+	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchtime", *benchTime, "-benchmem", "-cpu", *cpus, "qurk"}
 	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -141,17 +145,25 @@ func main() {
 		iters, _ := strconv.Atoi(m[3])
 		ns, _ := strconv.ParseFloat(m[4], 64)
 		r := Result{Name: m[1], Procs: procs, Iterations: iters, NsPerOp: ns}
-		// Custom metrics come in "<value> <unit>" pairs.
+		// Custom metrics come in "<value> <unit>" pairs; -benchmem's
+		// B/op and allocs/op are promoted to dedicated fields.
 		fields := strings.Fields(m[5])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, verr := strconv.ParseFloat(fields[i], 64)
 			if verr != nil {
 				continue
 			}
-			if r.Metrics == nil {
-				r.Metrics = map[string]float64{}
+			switch fields[i+1] {
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[fields[i+1]] = v
 			}
-			r.Metrics[fields[i+1]] = v
 		}
 		report.Results = append(report.Results, r)
 	}
@@ -220,7 +232,10 @@ func main() {
 // compareBaseline checks every (name, procs) measurement against the
 // baseline report and prints a regression/improvement table. Entries
 // missing from either side are skipped (benchmarks come and go); the
-// count of regressions beyond threshold is returned.
+// count of ns/op regressions beyond threshold is returned. Allocation
+// regressions (allocs/op and B/op beyond the same threshold) are
+// reported but never counted toward the gate — warn-only until enough
+// baselines exist to trust the numbers on shared runners.
 func compareBaseline(w *bufio.Writer, cur *Report, path string, threshold float64) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -235,7 +250,7 @@ func compareBaseline(w *bufio.Writer, cur *Report, path string, threshold float6
 	for _, r := range base.Results {
 		baseBy[key(r)] = r
 	}
-	regressed, compared, skipped := 0, 0, 0
+	regressed, allocRegressed, compared, skipped := 0, 0, 0, 0
 	fmt.Fprintf(w, "\ncompare vs %s (threshold %.0f%%):\n", path, threshold*100)
 	for _, r := range cur.Results {
 		b, ok := baseBy[key(r)]
@@ -254,7 +269,24 @@ func compareBaseline(w *bufio.Writer, cur *Report, path string, threshold float6
 			fmt.Fprintf(w, "  improvement %-44s %9.2fms → %9.2fms  (%+.1f%%)\n",
 				key(r), b.NsPerOp/1e6, r.NsPerOp/1e6, delta*100)
 		}
+		// Allocation deltas: deterministic counts, so even small shifts
+		// are signal — but warn-only (never fails the gate).
+		if b.AllocsPerOp > 0 && r.AllocsPerOp > 0 {
+			if ad := (r.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp; ad > threshold {
+				allocRegressed++
+				fmt.Fprintf(w, "  ALLOC-WARN  %-44s %9.0f → %9.0f allocs/op  (%+.1f%%)\n",
+					key(r), b.AllocsPerOp, r.AllocsPerOp, ad*100)
+			}
+		}
+		if b.BytesPerOp > 0 && r.BytesPerOp > 0 {
+			if bd := (r.BytesPerOp - b.BytesPerOp) / b.BytesPerOp; bd > threshold {
+				allocRegressed++
+				fmt.Fprintf(w, "  ALLOC-WARN  %-44s %9.0f → %9.0f B/op  (%+.1f%%)\n",
+					key(r), b.BytesPerOp, r.BytesPerOp, bd*100)
+			}
+		}
 	}
-	fmt.Fprintf(w, "  %d compared, %d regressed, %d not in baseline\n", compared, regressed, skipped)
+	fmt.Fprintf(w, "  %d compared, %d regressed, %d alloc warnings (warn-only), %d not in baseline\n",
+		compared, regressed, allocRegressed, skipped)
 	return regressed
 }

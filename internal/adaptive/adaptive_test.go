@@ -287,3 +287,52 @@ func TestAdaptiveVsFixedCostComparison(t *testing.T) {
 }
 
 var _ = fmt.Sprintf
+
+// TestAdaptiveRefusalRetries: a probe round whose batch-5 HITs are all
+// refused used to fail with "no votes in round"; the chunked poster
+// now re-posts the questions at half batch, so the filter settles and
+// counts the re-posted HITs.
+func TestAdaptiveRefusalRetries(t *testing.T) {
+	d := dataset.NewCelebrities(dataset.CelebrityConfig{N: 20, Seed: 5})
+	mcfg := crowd.DefaultConfig(5)
+	mcfg.RefusalEffort = 3 // batch-5 round HITs exceed this; halves pass
+	m := crowd.NewSimMarket(mcfg, d.Oracle())
+	res, err := RunAdaptiveFilter(d.Celeb, dataset.IsFemaleTask(), VoteConfig{GroupPrefix: "adapt-refuse"}, m)
+	if err != nil {
+		t.Fatalf("refused rounds no longer settle: %v", err)
+	}
+	correct := 0
+	for i := 0; i < d.Celeb.Len(); i++ {
+		truth, _ := d.Oracle().FilterTruth("isFemale", d.Celeb.Row(i))
+		if res.Decisions[i] == truth {
+			correct++
+		}
+	}
+	if correct < 16 {
+		t.Errorf("accuracy under refusals = %d/20", correct)
+	}
+	if len(res.Incomplete) != 0 {
+		t.Errorf("retried questions should not be incomplete: %v", res.Incomplete)
+	}
+}
+
+// TestAdaptiveExpiryRetries: expired round assignments are re-posted
+// and surface in TotalExpired.
+func TestAdaptiveExpiryRetries(t *testing.T) {
+	d := dataset.NewCelebrities(dataset.CelebrityConfig{N: 20, Seed: 7})
+	mcfg := crowd.DefaultConfig(7)
+	mcfg.AbandonProb = 0.3
+	m := crowd.NewSimMarket(mcfg, d.Oracle())
+	res, err := RunAdaptiveFilter(d.Celeb, dataset.IsFemaleTask(), VoteConfig{GroupPrefix: "adapt-expire"}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalExpired == 0 {
+		t.Error("AbandonProb = 0.3 produced no expired count")
+	}
+	for i := range res.VotesUsed {
+		if res.VotesUsed[i] == 0 {
+			t.Fatalf("tuple %d settled with zero votes", i)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"qurk/internal/cost"
 	"qurk/internal/crowd"
 	"qurk/internal/hit"
+	"qurk/internal/poster"
 	"qurk/internal/relation"
 	"qurk/internal/task"
 )
@@ -47,6 +48,19 @@ type VoteConfig struct {
 	// market draw identical streams; give repeated runs distinct
 	// prefixes to decorrelate them.
 	GroupPrefix string
+	// StreamChunkHITs is how many of a probe round's HITs post per
+	// marketplace call (default 8): rounds go through the shared
+	// chunked poster, so posting overlaps collection within a round.
+	StreamChunkHITs int
+	// StreamLookahead bounds a round's in-flight chunks (default 2).
+	StreamLookahead int
+	// RefusedRetries bounds half-batch re-posts of refused round HITs
+	// (default 2; -1 disables). Before rounds went through the poster
+	// a refused HIT's tuples simply got no votes that round.
+	RefusedRetries int
+	// ExpiredRetries bounds re-posts of round HITs whose assignments
+	// were accepted but never submitted (default 2; -1 disables).
+	ExpiredRetries int
 }
 
 func (c *VoteConfig) fillDefaults() {
@@ -67,6 +81,18 @@ func (c *VoteConfig) fillDefaults() {
 	}
 	if c.GroupPrefix == "" {
 		c.GroupPrefix = "adapt"
+	}
+	if c.StreamChunkHITs <= 0 {
+		c.StreamChunkHITs = 8
+	}
+	if c.StreamLookahead <= 0 {
+		c.StreamLookahead = 2
+	}
+	if c.RefusedRetries == 0 {
+		c.RefusedRetries = 2
+	}
+	if c.ExpiredRetries == 0 {
+		c.ExpiredRetries = 2
 	}
 }
 
@@ -132,8 +158,15 @@ type AdaptiveFilterResult struct {
 	// TotalAssignments is the spend; compare against
 	// rows × MaxVotes for the savings.
 	TotalAssignments int
-	// HITCount counts HITs across rounds.
+	// HITCount counts HITs across rounds, including refusal and
+	// expiry re-posts.
 	HITCount int
+	// TotalExpired counts assignments accepted but never submitted
+	// before the deadline (each was re-posted up to ExpiredRetries).
+	TotalExpired int
+	// Incomplete lists question IDs whose retry budgets were
+	// exhausted with zero votes in some round.
+	Incomplete []string
 }
 
 // RunAdaptiveFilter executes a crowd filter with sequential vote
@@ -182,6 +215,8 @@ func RunAdaptiveFilterContext(ctx context.Context, rel *relation.Relation, ft *t
 	}
 	type shardOut struct {
 		rounds, hits, assignments int
+		expired                   int
+		incomplete                []string
 		err                       error
 	}
 	// cancelled stops the other shards from posting further rounds
@@ -195,11 +230,12 @@ func RunAdaptiveFilterContext(ctx context.Context, rel *relation.Relation, ft *t
 		// dense as the unsharded layout.
 		lo, hi := s*n/shards, (s+1)*n/shards
 		go func(s, lo, hi int) {
-			rounds, hits, assignments, err := runVoteLoop(ctx, rel, ft, cfg, market, s, lo, hi, res, &cancelled)
+			acct := &roundAcct{}
+			rounds, assignments, err := runVoteLoop(ctx, rel, ft, cfg, market, s, lo, hi, res, &cancelled, acct)
 			if err != nil {
 				cancelled.Store(true)
 			}
-			outs[s] <- shardOut{rounds, hits, assignments, err}
+			outs[s] <- shardOut{rounds, acct.hits, assignments, acct.expired, acct.incomplete, err}
 		}(s, lo, hi)
 	}
 	// Drain every shard before returning so no goroutine is still
@@ -218,6 +254,8 @@ func RunAdaptiveFilterContext(ctx context.Context, rel *relation.Relation, ft *t
 		}
 		res.HITCount += o.hits
 		res.TotalAssignments += o.assignments
+		res.TotalExpired += o.expired
+		res.Incomplete = append(res.Incomplete, o.incomplete...)
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -232,12 +270,35 @@ func RunAdaptiveFilterContext(ctx context.Context, rel *relation.Relation, ft *t
 	return res, nil
 }
 
+// roundAcct tallies a shard's poster spending; it implements
+// poster.Acct.
+type roundAcct struct {
+	hits       int
+	asns       int
+	expired    int
+	incomplete []string
+}
+
+// Posted counts a chunk's HITs at post time.
+func (a *roundAcct) Posted(chunk []*hit.HIT, _ float64) { a.hits += len(chunk) }
+
+// Collected folds in a chunk's assignment/expiry counts and exhausted
+// questions.
+func (a *roundAcct) Collected(assignments, expired int, _ float64, incomplete []string) {
+	a.asns += assignments
+	a.expired += expired
+	a.incomplete = append(a.incomplete, incomplete...)
+}
+
 // runVoteLoop runs the sequential vote-allocation rounds for tuple
 // indices [lo, hi). It writes only its own slice entries of res
 // (Decisions/Confidence/VotesUsed are indexed per tuple), so shards
-// never contend.
+// never contend. Each round's HITs post through the shared chunked
+// poster: chunks overlap collection within the round and refused or
+// expired HITs are re-posted with lineage IDs instead of silently
+// costing their tuples the round's votes.
 func runVoteLoop(ctx context.Context, rel *relation.Relation, ft *task.Filter, cfg VoteConfig, market crowd.Marketplace,
-	shard, lo, hi int, res *AdaptiveFilterResult, cancelled *atomic.Bool) (rounds, hitCount, assignments int, err error) {
+	shard, lo, hi int, res *AdaptiveFilterResult, cancelled *atomic.Bool, acct *roundAcct) (rounds, assignments int, err error) {
 	yes := make(map[int]int, hi-lo)
 	no := make(map[int]int, hi-lo)
 	pending := make([]int, 0, hi-lo)
@@ -245,10 +306,18 @@ func runVoteLoop(ctx context.Context, rel *relation.Relation, ft *task.Filter, c
 		pending = append(pending, i)
 	}
 	qid := func(i int) string { return fmt.Sprintf("%s/t%05d", cfg.GroupPrefix, i) }
+	rr := cfg.RefusedRetries
+	if rr < 0 {
+		rr = 0
+	}
+	xr := cfg.ExpiredRetries
+	if xr < 0 {
+		xr = 0
+	}
 
 	for len(pending) > 0 && !cancelled.Load() {
 		if cerr := ctx.Err(); cerr != nil {
-			return rounds, hitCount, assignments, cerr
+			return rounds, assignments, cerr
 		}
 		rounds++
 		votesThisRound := cfg.Step
@@ -266,42 +335,42 @@ func runVoteLoop(ctx context.Context, rel *relation.Relation, ft *task.Filter, c
 				Tuple: rel.Row(i),
 			})
 		}
-		hits, merr := b.Merge(questions, 5)
-		if merr != nil {
-			return rounds, hitCount, assignments, merr
-		}
-		qByHIT := map[string]*hit.HIT{}
-		for _, h := range hits {
-			qByHIT[h.ID] = h
-		}
-		// Combine incrementally: vote counters update as each HIT's
-		// simulation lands, not after the whole round returns.
-		byQ := map[string][]bool{}
-		run, rerr := crowd.Stream(market, &hit.Group{ID: groupID, HITs: hits}, func(hitID string, as []hit.Assignment) {
-			h := qByHIT[hitID]
-			if h == nil {
-				return
-			}
-			for _, a := range as {
-				for qi, ans := range a.Answers {
-					if qi >= len(h.Questions) {
-						break
-					}
-					byQ[h.Questions[qi].ID] = append(byQ[h.Questions[qi].ID], ans.Bool)
-				}
-			}
+		p := poster.New(poster.Config{
+			Market:         market,
+			GroupID:        groupID,
+			ChunkHITs:      cfg.StreamChunkHITs,
+			Lookahead:      cfg.StreamLookahead,
+			Acct:           acct,
+			RefusedRetries: rr,
+			ExpiredRetries: xr,
 		})
-		if rerr != nil {
-			return rounds, hitCount, assignments, rerr
+		if merr := p.FlushQuestions(b, &questions, 5, true); merr != nil {
+			return rounds, assignments, merr
 		}
-		hitCount += len(hits)
-		assignments += run.TotalAssignments
+		// Combine incrementally: vote counters update as each chunk
+		// lands, not after the whole round returns.
+		byQ := map[string][]bool{}
+		asnsBefore := acct.asns
+		if _, rerr := p.Drain(ctx, 0, func(q *hit.Question, as []hit.CachedAnswer, _ float64) error {
+			for _, ca := range as {
+				byQ[q.ID] = append(byQ[q.ID], ca.Answer.Bool)
+			}
+			return nil
+		}); rerr != nil {
+			return rounds, assignments, rerr
+		}
+		assignments += acct.asns - asnsBefore
 		// A round that produced no votes (e.g. the marketplace refused
-		// every HIT) will never settle its tuples — re-posting the same
-		// batch forever would hang, so surface it instead.
-		if len(byQ) == 0 {
-			return rounds, hitCount, assignments,
-				fmt.Errorf("adaptive: no votes in round %d (%d HITs refused); tuples %d..%d cannot settle", rounds, len(run.Incomplete), lo, hi-1)
+		// every HIT past the retry budget) will never settle its tuples
+		// — re-posting the same batch forever would hang, so surface it
+		// instead.
+		votes := 0
+		for _, vs := range byQ {
+			votes += len(vs)
+		}
+		if votes == 0 {
+			return rounds, assignments,
+				fmt.Errorf("adaptive: no votes in round %d (retry budgets exhausted); tuples %d..%d cannot settle", rounds, lo, hi-1)
 		}
 
 		var still []int
@@ -325,7 +394,7 @@ func runVoteLoop(ctx context.Context, rel *relation.Relation, ft *task.Filter, c
 		}
 		pending = still
 	}
-	return rounds, hitCount, assignments, nil
+	return rounds, assignments, nil
 }
 
 // --- Batch-size binary search (§6 "Choosing Batch Size") ---

@@ -174,6 +174,16 @@ type Options struct {
 	// votes and are reported in Stats.Incomplete — previously ALL
 	// refused questions were silently rejected.
 	RefusedRetries int
+	// BreakerMemTuples caps the tuples a pipeline breaker holds in
+	// memory (0 = unlimited). With a positive cap the machine sort
+	// becomes an external merge sort over spilled runs, the crowd sort
+	// externally partitions its input by group key, and the crowd
+	// join's build side spills to disk partitions — all via
+	// internal/spill's temp-dir run files, merged k-way with
+	// deterministic tie-breaks, so results are bit-identical at any
+	// cap. One crowd-sorted group (and the streaming operators' own
+	// in-flight bookkeeping) still materializes in memory.
+	BreakerMemTuples int
 	// ExpiredRetries bounds how many times a streaming crowd operator
 	// re-posts a HIT some of whose assignments expired — accepted by a
 	// worker but never submitted before the assignment deadline
@@ -215,6 +225,10 @@ type MTurkOptions struct {
 	// PollIntervalSeconds is how long the client waits between
 	// ListAssignmentsForHIT sweeps (default 15).
 	PollIntervalSeconds float64
+	// MaxPollIntervalSeconds caps the exponential backoff the poll
+	// loop applies while sweeps make no progress (default 8× the poll
+	// interval); any new assignment resets the cadence.
+	MaxPollIntervalSeconds float64
 	// AssignmentDurationSeconds is how long an accepted assignment may
 	// stay unsubmitted before it expires (default 600). Together with
 	// ExpiredRetries this is the timeout policy: assignments still

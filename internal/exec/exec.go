@@ -26,6 +26,7 @@ import (
 	"qurk/internal/hit"
 	"qurk/internal/join"
 	"qurk/internal/plan"
+	"qurk/internal/poster"
 	"qurk/internal/query"
 	"qurk/internal/relation"
 	"qurk/internal/sortop"
@@ -388,9 +389,11 @@ func (x *executor) build(node plan.Node, path string) (Operator, error) {
 			slotOf:  map[string]int{},
 		}
 		j.acct = &opAcct{x: x, label: n.Label(), asn: jp.Assignments, slot: x.stats.registerOp(n.Label())}
-		j.post = x.newPoster(groupID, &j.seq)
-		j.post.acct = j.acct
+		j.post = x.newPoster(groupID, &j.seq, j.acct)
 		j.emit.size = opts.ExecBatch
+		if err := j.initExtraction(); err != nil {
+			return nil, err
+		}
 		return j, nil
 
 	case *plan.CrowdOrderBy:
@@ -405,7 +408,7 @@ func (x *executor) build(node plan.Node, path string) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &machineOrderByOp{node: n, child: child, size: opts.ExecBatch}, nil
+		return &machineOrderByOp{node: n, child: child, size: opts.ExecBatch, cap: opts.BreakerMemTuples}, nil
 
 	case *plan.Project:
 		child, err := x.build(n.Input, path+".i")
@@ -532,8 +535,9 @@ func sortPhysOf(n *plan.CrowdOrderBy, opts *core.Options) plan.SortPhys {
 	return p
 }
 
-// newPoster builds a chunk poster over the engine's marketplace.
-func (x *executor) newPoster(groupID string, seq *int) *poster {
+// newPoster builds a chunk poster over the engine's marketplace,
+// wiring the operator's accounting and the engine-wide retry budgets.
+func (x *executor) newPoster(groupID string, seq *int, acct *opAcct) *poster.Poster {
 	mr := x.eng.Options.RefusedRetries
 	if mr < 0 {
 		mr = 0
@@ -542,15 +546,20 @@ func (x *executor) newPoster(groupID string, seq *int) *poster {
 	if mx < 0 {
 		mx = 0
 	}
-	return &poster{
-		market:     x.eng.Market,
-		groupID:    groupID,
-		chunkHITs:  x.eng.Options.StreamChunkHITs,
-		lookahead:  x.eng.Options.StreamLookahead,
-		seq:        seq,
-		maxRetries: mr,
-		maxExpired: mx,
+	var a poster.Acct
+	if acct != nil {
+		a = acct
 	}
+	return poster.New(poster.Config{
+		Market:         x.eng.Market,
+		GroupID:        groupID,
+		ChunkHITs:      x.eng.Options.StreamChunkHITs,
+		Lookahead:      x.eng.Options.StreamLookahead,
+		Seq:            seq,
+		Acct:           a,
+		RefusedRetries: mr,
+		ExpiredRetries: mx,
+	})
 }
 
 // buildFilter assembles the streaming filter over one or more branch
@@ -591,9 +600,8 @@ func (x *executor) buildFilter(child Operator, label, path string, specs []*filt
 		br.comb = comb
 		br.perQ = combine.IsPerQuestion(comb)
 		br.builder = hit.NewBuilder(sp.groupID, assignments, 1)
-		br.post = x.newPoster(sp.groupID, &f.seq)
 		br.acct = &opAcct{x: x, label: sp.label, asn: assignments, slot: x.stats.registerOp(sp.label)}
-		br.post.acct = br.acct
+		br.post = x.newPoster(sp.groupID, &f.seq, br.acct)
 		f.branch = append(f.branch, br)
 		f.uniq = append(f.uniq, br)
 	}
@@ -625,7 +633,6 @@ func (x *executor) buildGenerative(child Operator, label, groupID string, gt *ta
 		slotOf:  map[string]int{},
 	}
 	g.emit.size = x.eng.Options.ExecBatch
-	g.post = x.newPoster(groupID, &g.seq)
 	g.eosVotes = map[string][]combine.Vote{}
 	for _, fname := range fields {
 		spec, ok := gt.Field(fname)
@@ -647,7 +654,7 @@ func (x *executor) buildGenerative(child Operator, label, groupID string, gt *ta
 		}
 	}
 	g.acct = &opAcct{x: x, label: label, asn: assignments, slot: x.stats.registerOp(label)}
-	g.post.acct = g.acct
+	g.post = x.newPoster(groupID, &g.seq, g.acct)
 	return g, nil
 }
 
@@ -689,60 +696,119 @@ func (x *executor) selectFeatures(n *plan.CrowdJoin, left, right *relation.Relat
 	return kept, nil
 }
 
+// runSortQuestions posts one sort round's questions through the
+// chunked poster — fixed-size HITs, chunked sub-groups, bounded
+// lookahead, and the refusal/expiry retry policies (previously sorts
+// posted one blocking group and silently accepted partial votes) —
+// feeding every answer into add. It registers a Stats slot under
+// label, returns the round's completion time on the virtual clock, and
+// reports exhausted questions via Stats.Incomplete.
+func (x *executor) runSortQuestions(ctx context.Context, label, groupID string,
+	questions []hit.Question, perHIT, assignments int, clock float64,
+	add func(qid string, ans hit.Answer)) (float64, *opAcct, error) {
+	acct := &opAcct{x: x, label: label, asn: assignments, slot: x.stats.registerOp(label)}
+	p := x.newPoster(groupID, new(int), acct)
+	b := hit.NewBuilder(groupID, assignments, 1)
+	qbuf := questions
+	if err := p.FlushQuestions(b, &qbuf, perHIT, true); err != nil {
+		return clock, acct, err
+	}
+	done, err := p.Drain(ctx, clock, func(q *hit.Question, as []hit.CachedAnswer, done float64) error {
+		for _, ca := range as {
+			add(q.ID, ca.Answer)
+		}
+		return nil
+	})
+	return done, acct, err
+}
+
 // crowdSort orders one group's rows with the node's chosen sort
 // interface (engine defaults when un-annotated), accounting its
-// spending, and returns the order plus the group's crowd makespan for
-// the virtual clock.
-func (x *executor) crowdSort(sub *relation.Relation, n *plan.CrowdOrderBy, sp plan.SortPhys, path string) ([]int, float64, error) {
+// spending, and returns the order plus the time the sort settled on
+// the virtual clock. Comparison and rating rounds post through the
+// chunked poster; the hybrid algorithm's rating seed does too, with
+// only its inherently sequential comparison refinements still posting
+// one blocking single-question HIT per iteration.
+func (x *executor) crowdSort(ctx context.Context, sub *relation.Relation, n *plan.CrowdOrderBy, sp plan.SortPhys, path string, clock float64) ([]int, float64, error) {
 	if sub.Len() == 1 {
-		return []int{0}, 0, nil
+		return []int{0}, clock, nil
 	}
 	opts := x.eng.Options
 	switch sp.Method {
 	case core.SortCompare:
-		res, err := sortop.Compare(sub, n.Task, sortop.CompareOptions{
+		gid := x.groupID("sort-compare/"+n.Task.Name, path)
+		questions, tally, err := sortop.BuildCompare(sub, n.Task, sortop.CompareOptions{
 			GroupSize:   sp.GroupSize,
 			Assignments: sp.Assignments,
-			GroupID:     x.groupID("sort-compare/"+n.Task.Name, path),
+			GroupID:     gid,
 			Seed:        opts.Seed,
-		}, x.eng.Market)
+		})
 		if err != nil {
 			return nil, 0, err
 		}
-		x.account(n.Label(), sp.Assignments, res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
-		return res.Order, res.MakespanHours, nil
+		done, _, err := x.runSortQuestions(ctx, n.Label(), gid, questions, 1, sp.Assignments, clock, tally.Add)
+		if err != nil {
+			return nil, 0, err
+		}
+		return tally.Result().Order, done, nil
 	case core.SortRate:
-		res, err := sortop.Rate(sub, n.Task, sortop.RateOptions{
-			BatchSize:   sp.RateBatch,
+		gid := x.groupID("sort-rate/"+n.Task.Name, path)
+		batch := sp.RateBatch
+		if batch <= 0 {
+			batch = sortop.DefaultRateBatch
+		}
+		questions, tally, err := sortop.BuildRate(sub, n.Task, sortop.RateOptions{
+			BatchSize:   batch,
 			Assignments: sp.Assignments,
-			GroupID:     x.groupID("sort-rate/"+n.Task.Name, path),
+			GroupID:     gid,
 			Seed:        opts.Seed,
-		}, x.eng.Market)
+		})
 		if err != nil {
 			return nil, 0, err
 		}
-		x.account(n.Label(), sp.Assignments, res.HITCount, res.AssignmentCount, res.MakespanHours, res.Incomplete...)
-		return res.Order, res.MakespanHours, nil
+		done, _, err := x.runSortQuestions(ctx, n.Label(), gid, questions, batch, sp.Assignments, clock, tally.Add)
+		if err != nil {
+			return nil, 0, err
+		}
+		return tally.Result().Order, done, nil
 	case core.SortHybrid:
+		gid := x.groupID("sort-hybrid/"+n.Task.Name, path)
+		batch := sp.RateBatch
+		if batch <= 0 {
+			batch = sortop.DefaultRateBatch
+		}
+		// Rating seed through the poster (chunked, retried) …
+		questions, tally, err := sortop.BuildRate(sub, n.Task, sortop.RateOptions{
+			BatchSize:   batch,
+			Assignments: sp.Assignments,
+			GroupID:     gid + "/rate",
+			Seed:        opts.Seed,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		done, acct, err := x.runSortQuestions(ctx, n.Label()+" [rate seed]", gid+"/rate", questions, batch, sp.Assignments, clock, tally.Add)
+		if err != nil {
+			return nil, 0, err
+		}
+		rr := tally.Result()
+		rr.HITCount = acct.hits
+		// … then the sequential comparison refinements.
 		res, err := sortop.Hybrid(sub, n.Task, sortop.HybridOptions{
 			Strategy:    sp.Strategy,
 			WindowSize:  sp.GroupSize,
 			Step:        sp.Step,
 			Iterations:  sp.Iterations,
 			Assignments: sp.Assignments,
-			Rate: sortop.RateOptions{
-				BatchSize:   sp.RateBatch,
-				Assignments: sp.Assignments,
-				Seed:        opts.Seed,
-			},
-			GroupID: x.groupID("sort-hybrid/"+n.Task.Name, path),
-			Seed:    opts.Seed,
+			SeedRating:  rr,
+			GroupID:     gid,
+			Seed:        opts.Seed,
 		}, x.eng.Market)
 		if err != nil {
 			return nil, 0, err
 		}
-		x.account(n.Label(), sp.Assignments, res.TotalHITs(), 0, 0)
-		return res.Order, 0, nil
+		x.account(n.Label(), sp.Assignments, res.CompareHITs, 0, 0)
+		return res.Order, done, nil
 	default:
 		return nil, 0, fmt.Errorf("exec: unknown sort method %v", sp.Method)
 	}

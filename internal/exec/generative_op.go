@@ -11,6 +11,7 @@ import (
 
 	"qurk/internal/combine"
 	"qurk/internal/hit"
+	"qurk/internal/poster"
 	"qurk/internal/relation"
 	"qurk/internal/task"
 )
@@ -45,7 +46,7 @@ type generativeOp struct {
 	schemaOut                                *relation.Schema
 
 	builder *hit.Builder
-	post    *poster
+	post    *poster.Poster
 	acct    *opAcct
 	seq     int
 	qbuf    []hit.Question
@@ -73,13 +74,20 @@ func (g *generativeOp) Name() string       { return g.child.Name() }
 func (g *generativeOp) OpLabel() string    { return g.label }
 func (g *generativeOp) Inputs() []Operator { return []Operator{g.child} }
 
-// BreakerNote implements Breaker when any field combiner is stateful.
-func (g *generativeOp) BreakerNote() string {
+// Breakers implements BreakerDetail when any field combiner is
+// stateful; BreakerNote is the free-text rendering.
+func (g *generativeOp) Breakers() []BreakerInfo {
 	if !g.perQ {
-		return "buffers all field votes for a stateful combiner (O(input) memory)"
+		return []BreakerInfo{{
+			Kind: BreakerVoteBuffer,
+			Note: "buffers all field votes for a stateful combiner",
+		}}
 	}
-	return ""
+	return nil
 }
+
+// BreakerNote implements Breaker.
+func (g *generativeOp) BreakerNote() string { return breakerNote(g.Breakers()) }
 
 // finalReady includes tuples the POSSIBLY predicate rejected.
 func (g *generativeOp) finalReady() float64 {
@@ -158,10 +166,10 @@ func (g *generativeOp) release(s *gslot) error {
 }
 
 func (g *generativeOp) step(ctx context.Context) error {
-	for g.post.canPost() && g.post.hasChunk(g.eos) {
-		g.post.postOne(g.clock)
+	for g.post.CanPost() && g.post.HasChunk(g.eos) {
+		g.post.PostOne(g.clock)
 	}
-	if !g.eos && !g.closed && !g.post.backlogged() {
+	if !g.eos && !g.closed && !g.post.Backlogged() {
 		in, err := g.child.Next(ctx)
 		if err != nil {
 			return err
@@ -191,7 +199,7 @@ func (g *generativeOp) step(ctx context.Context) error {
 		}
 		return nil
 	}
-	if g.post.oldestSeq() >= 0 {
+	if g.post.OldestSeq() >= 0 {
 		return g.collectChunk(ctx)
 	}
 	if (g.eos || g.closed) && !g.final {
@@ -204,73 +212,42 @@ func (g *generativeOp) step(ctx context.Context) error {
 }
 
 func (g *generativeOp) flushHIT(force bool) error {
-	return g.post.flushQuestions(g.builder, &g.qbuf, g.hitSize, force)
+	return g.post.FlushQuestions(g.builder, &g.qbuf, g.hitSize, force)
 }
 
+// collectChunk awaits the oldest chunk and resolves each of its
+// questions; the poster re-posts refused and expired HITs within their
+// retry budgets and keeps those questions pending for a later chunk,
+// merging an expired HIT's partial answers (un-normalized, in lineage
+// order) when its retry resolves.
 func (g *generativeOp) collectChunk(ctx context.Context) error {
-	c, res, err := g.post.collect(ctx)
-	if err != nil {
-		return err
-	}
-	done := c.postedAt + res.MakespanHours
-	retrying, exhausted, err := g.post.retryRefused(c, res.Incomplete, done)
-	if err != nil {
-		return err
-	}
-	xretrying, xincomplete, err := g.post.retryExpired(c, res, done)
-	if err != nil {
-		return err
-	}
-	retrying = mergeRetrying(retrying, xretrying)
-	// Raw answers per question, in assignment order (deterministic:
-	// assignments arrive sorted). Kept un-normalized so the partial
-	// answers of an expired HIT can be stashed and merged verbatim when
-	// its retry resolves.
-	answers := map[string][]hit.CachedAnswer{}
-	hit.ForEachAnswer(c.hits, res.Assignments, func(q *hit.Question, worker string, ans hit.Answer) {
-		answers[q.ID] = append(answers[q.ID], hit.CachedAnswer{WorkerID: worker, Answer: ans})
-	})
-	// Resolve each question in the chunk, in HIT order; questions being
-	// retried after a refusal or expiry stay pending for a later chunk.
-	for _, h := range c.hits {
-		for qi := range h.Questions {
-			q := &h.Questions[qi]
-			if retrying[q.ID] > 0 {
-				retrying[q.ID]--
-				g.post.stashCarry(q.ID, answers[q.ID])
-				delete(answers, q.ID)
-				continue
-			}
-			merged := g.post.takeCarry(q.ID, answers[q.ID])
-			answers[q.ID] = merged
-			s := g.slots[g.slotOf[q.ID]]
-			if !g.perQ {
-				for _, fname := range g.fields {
-					g.eosVotes[fname] = append(g.eosVotes[fname], g.fieldVotes(q.ID, fname, merged)...)
-				}
-				continue
-			}
+	_, err := g.post.CollectOne(ctx, func(q *hit.Question, as []hit.CachedAnswer, done float64) error {
+		s := g.slots[g.slotOf[q.ID]]
+		if !g.perQ {
 			for _, fname := range g.fields {
-				vs := g.fieldVotes(q.ID, fname, merged)
-				val := ""
-				if len(vs) > 0 {
-					decisions, cerr := g.comb[fname].Combine(vs)
-					if cerr != nil {
-						return cerr
-					}
-					val = decisions[q.ID].Value
-				}
-				s.values[fname] = val
+				g.eosVotes[fname] = append(g.eosVotes[fname], g.fieldVotes(q.ID, fname, as)...)
 			}
-			s.done = true
-			if done > s.ready {
-				s.ready = done
-			}
+			return nil
 		}
-	}
-	exhausted = append(exhausted, xincomplete...)
-	g.acct.collected(res.TotalAssignments, expiredCount(res.Expired), done, exhausted)
-	return nil
+		for _, fname := range g.fields {
+			vs := g.fieldVotes(q.ID, fname, as)
+			val := ""
+			if len(vs) > 0 {
+				decisions, cerr := g.comb[fname].Combine(vs)
+				if cerr != nil {
+					return cerr
+				}
+				val = decisions[q.ID].Value
+			}
+			s.values[fname] = val
+		}
+		s.done = true
+		if done > s.ready {
+			s.ready = done
+		}
+		return nil
+	})
+	return err
 }
 
 // fieldVotes normalizes one field's answers out of a question's raw

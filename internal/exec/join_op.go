@@ -1,14 +1,18 @@
 // Streaming crowd join. The build (right) side is always materialized
-// — a block nested loop needs one full side, memory O(|S|) tuples.
-// Without feature filters and with a per-pair interface
-// (Simple/NaiveBatch) the probe (left) side streams: candidate pairs
-// are generated batch by batch off the left input and batched into
-// join HITs, so the join posts its first HITs while an upstream crowd
-// filter is still draining. Feature filtering (§3.2), SmartBatch grid
-// layout, and automatic feature selection all need a global view of
-// the candidates, so those paths materialize the left side too
-// (memory O(|R|+|S|)); posting and collection stay chunked and
-// incremental either way, which is what lets LIMIT stop the spend.
+// — a block nested loop needs one full side; under
+// Options.BreakerMemTuples it spills to disk partitions, bounding
+// memory at O(cap) tuples. With a per-pair interface (Simple/
+// NaiveBatch) the probe (left) side streams — including when POSSIBLY
+// features are present: the probe side's extraction HITs are minted
+// per arriving batch and posted through the chunked poster, the build
+// side's extraction posts through the same poster, and pair
+// generation consumes probe tuples as their feature votes resolve. A
+// filtered join therefore pipelines end to end, and extraction
+// inherits the refusal/expiry retry policies. SmartBatch grid layout
+// and automatic feature selection still need a global view of the
+// candidates, so those paths materialize the probe side too (memory
+// O(|R|+|S|)); posting and collection stay chunked and incremental
+// either way, which is what lets LIMIT stop the spend.
 package exec
 
 import (
@@ -18,6 +22,7 @@ import (
 	"qurk/internal/hit"
 	"qurk/internal/join"
 	"qurk/internal/plan"
+	"qurk/internal/poster"
 	"qurk/internal/relation"
 )
 
@@ -47,18 +52,31 @@ type crowdJoinOp struct {
 	comb    combine.Combiner
 	perQ    bool
 	builder *hit.Builder
-	post    *poster
+	post    *poster.Poster
 	acct    *opAcct
 	seq     int
 
 	started  bool
-	rightRel *relation.Relation
+	rightRel *buildTable
 	// streaming-left state (nil iter means left streams)
 	iter      join.PairIter
 	leftBuf   []relation.Tuple
 	leftEOS   bool
 	rightIdx  int
 	pairsDone bool
+
+	// streaming feature extraction (nil when the join has no features
+	// or must materialize the probe side): xl extracts the probe side
+	// per arriving batch, xr the build side — fed incrementally inside
+	// the step loop so its queued questions stay bounded even when the
+	// build side spilled to disk; pair generation consumes xl's
+	// resolved frontier.
+	xl, xr    *extStream
+	xrFed     int              // build rows handed to xr so far
+	leftRows  []relation.Tuple // probe tuples awaiting pair generation
+	genLeft   int              // next probe ordinal to pair
+	genRight  int              // next build row for genLeft
+	pairClock float64          // max resolve time of consumed tuples
 
 	qbuf     []hit.Question
 	slots    []*jslot
@@ -77,14 +95,43 @@ func (j *crowdJoinOp) Name() string             { return "join" }
 func (j *crowdJoinOp) OpLabel() string          { return j.label + " [" + j.phys.String() + "]" }
 func (j *crowdJoinOp) Inputs() []Operator       { return []Operator{j.left, j.right} }
 
-// BreakerNote implements Breaker: the build side always materializes;
-// features/SmartBatch/auto-selection also materialize the probe side.
-func (j *crowdJoinOp) BreakerNote() string {
+// Breakers implements BreakerDetail: the build side always
+// materializes (spilling past Options.BreakerMemTuples when set);
+// grid layout and automatic feature selection also materialize the
+// probe side; a stateful combiner additionally buffers all pair votes.
+func (j *crowdJoinOp) Breakers() []BreakerInfo {
+	cap := j.x.eng.Options.BreakerMemTuples
+	var infos []BreakerInfo
 	if j.materializesLeft() {
-		return "materializes both inputs (features/grid layout need global candidates; O(|R|+|S|))"
+		infos = append(infos, BreakerInfo{
+			Kind: BreakerJoinCandidates,
+			Note: "materializes both inputs (grid layout/feature selection need global candidates)",
+		})
+		if lf, _ := j.features(); len(lf) > 0 {
+			infos = append(infos, BreakerInfo{
+				Kind: BreakerExtraction,
+				Note: "feature extraction runs as a blocking pass over the materialized inputs",
+			})
+		}
+	} else {
+		infos = append(infos, BreakerInfo{
+			Kind:      BreakerJoinBuild,
+			MemTuples: cap,
+			Spills:    cap > 0,
+			Note:      "materializes build side only; probe side streams",
+		})
 	}
-	return "materializes build side only (O(|S|)); probe side streams"
+	if !j.perQ {
+		infos = append(infos, BreakerInfo{
+			Kind: BreakerVoteBuffer,
+			Note: "buffers all pair votes for " + j.comb.Name(),
+		})
+	}
+	return infos
 }
+
+// BreakerNote implements Breaker.
+func (j *crowdJoinOp) BreakerNote() string { return breakerNote(j.Breakers()) }
 
 // features returns the POSSIBLY features the physical plan actually
 // applies — nil when the optimizer decided pre-filtering does not pay.
@@ -95,9 +142,39 @@ func (j *crowdJoinOp) features() ([]join.Feature, []join.Feature) {
 	return j.node.LeftFeatures, j.node.RightFeatures
 }
 
+// materializesLeft reports whether the probe side must be drained
+// before pair layout: SmartBatch grids and §3.2 automatic feature
+// selection both need the global candidate set. Plain feature
+// filtering no longer does — the probe side's extraction streams.
 func (j *crowdJoinOp) materializesLeft() bool {
 	lf, _ := j.features()
-	return len(lf) > 0 || j.phys.Algorithm == join.Smart
+	return j.phys.Algorithm == join.Smart || (len(lf) > 0 && j.x.eng.Options.AutoSelectFeatures)
+}
+
+// streamsExtraction reports whether the probe side's features are
+// extracted on the fly through the chunked poster.
+func (j *crowdJoinOp) streamsExtraction() bool {
+	lf, _ := j.features()
+	return len(lf) > 0 && !j.materializesLeft()
+}
+
+// initExtraction sets up the streaming extraction state at build time
+// so the extract-left/extract-right Stats slots appear in
+// deterministic plan order.
+func (j *crowdJoinOp) initExtraction() error {
+	if !j.streamsExtraction() {
+		return nil
+	}
+	lf, rf := j.features()
+	var err error
+	j.xl, err = j.x.newExtStream("extract-left",
+		j.x.groupID("extract-left/"+j.node.Task.Name, j.path+".xl"), lf, j.phys.Assignments, &j.seq)
+	if err != nil {
+		return err
+	}
+	j.xr, err = j.x.newExtStream("extract-right",
+		j.x.groupID("extract-right/"+j.node.Task.Name, j.path+".xr"), rf, j.phys.Assignments, &j.seq)
+	return err
 }
 
 // finalReady includes rejected candidate pairs' decision times.
@@ -116,6 +193,9 @@ func (j *crowdJoinOp) Close() {
 		j.closed = true
 		j.left.Close()
 		j.right.Close()
+		if j.rightRel != nil {
+			j.rightRel.Close()
+		}
 	}
 }
 
@@ -158,7 +238,10 @@ func (j *crowdJoinOp) Next(ctx context.Context) (*Batch, error) {
 // start materializes the build side (and, when the candidate layout
 // needs it, the probe side plus extractions) before any pair HIT is
 // posted. Both subtrees are exchange-wrapped, so they execute
-// concurrently — the paper's §2.5 pipelined left-deep execution.
+// concurrently — the paper's §2.5 pipelined left-deep execution. On
+// the streaming-extraction path the build side's extraction questions
+// are minted here but posted and collected chunk by chunk inside
+// step(), interleaved with the probe side's extraction.
 func (j *crowdJoinOp) start(ctx context.Context) error {
 	j.started = true
 	opts := &j.x.eng.Options
@@ -168,12 +251,19 @@ func (j *crowdJoinOp) start(ctx context.Context) error {
 		if c, ok := j.left.(*concurrentOp); ok {
 			c.start(ctx)
 		}
-		right, rReady, err := drainRelation(ctx, j.right)
+		right, rReady, err := drainBuildTable(ctx, j.right, opts.BreakerMemTuples)
 		if err != nil {
 			return err
 		}
 		j.rightRel = right
 		j.clock = rReady
+		if j.xr != nil {
+			// The build side's extraction questions are fed to xr
+			// incrementally inside stepExtracting — minting them all here
+			// would pin O(|S|) tuples in queued HITs, defeating the spill
+			// the drain above may just have performed.
+			j.pairClock = rReady
+		}
 		return nil
 	}
 
@@ -196,7 +286,7 @@ func (j *crowdJoinOp) start(ctx context.Context) error {
 	if rerr != nil {
 		return rerr
 	}
-	j.rightRel = right
+	j.rightRel = memBuildTable(right)
 	j.clock = l.ready
 	if rReady > j.clock {
 		j.clock = rReady
@@ -308,7 +398,7 @@ func (j *crowdJoinOp) layoutGrids(left, right *relation.Relation, le, re *join.E
 			}
 		}
 	}
-	j.post.enqueue(hits...)
+	j.post.Enqueue(hits...)
 	j.pairsDone = true
 	return nil
 }
@@ -326,8 +416,8 @@ func (j *crowdJoinOp) noteSlot(p join.Pair) *jslot {
 	return s
 }
 
-// nextPair produces the next candidate pair, pulling left batches on
-// demand in streaming mode.
+// nextPair produces the next candidate pair on the featureless
+// streaming path, pulling left batches on demand.
 func (j *crowdJoinOp) nextPair(ctx context.Context) (join.Pair, bool, error) {
 	if j.iter != nil {
 		p, ok := j.iter.Next()
@@ -363,19 +453,36 @@ func (j *crowdJoinOp) nextPair(ctx context.Context) (join.Pair, bool, error) {
 	}
 }
 
-// step: generate candidate questions until a chunk's worth of HITs is
-// queued, post, collect, finalize — all count-driven.
-func (j *crowdJoinOp) step(ctx context.Context) error {
-	batch := 1
+// pairBatch is the questions-per-HIT of the chosen pair interface.
+func (j *crowdJoinOp) pairBatch() int {
 	if j.phys.Algorithm == join.Naive && j.phys.BatchSize > 1 {
-		batch = j.phys.BatchSize
+		return j.phys.BatchSize
 	}
-	for j.post.canPost() && j.post.hasChunk(j.pairsDone) {
-		j.post.postOne(j.clock)
+	return 1
+}
+
+// step: generate candidate questions until a chunk's worth of HITs is
+// queued, post, collect, finalize — all count-driven. On the
+// streaming-extraction path the step loop also schedules the two
+// extraction posters; the globally oldest in-flight chunk (across all
+// posters, by shared sequence number) is always collected first, so
+// interleaving is deterministic.
+func (j *crowdJoinOp) step(ctx context.Context) error {
+	if j.rightRel != nil {
+		if err := j.rightRel.Err(); err != nil {
+			return err
+		}
 	}
-	if !j.pairsDone && !j.closed && !j.post.backlogged() {
+	batch := j.pairBatch()
+	if j.streamsExtraction() {
+		return j.stepExtracting(ctx, batch)
+	}
+	for j.post.CanPost() && j.post.HasChunk(j.pairsDone) {
+		j.post.PostOne(j.clock)
+	}
+	if !j.pairsDone && !j.closed && !j.post.Backlogged() {
 		// Fill one chunk's worth of HITs (bounded work per step).
-		want := j.post.chunkHITs * batch
+		want := j.x.eng.Options.StreamChunkHITs * batch
 		for n := 0; n < want; n++ {
 			p, ok, err := j.nextPair(ctx)
 			if err != nil {
@@ -399,7 +506,7 @@ func (j *crowdJoinOp) step(ctx context.Context) error {
 		}
 		return nil
 	}
-	if j.post.oldestSeq() >= 0 {
+	if j.post.OldestSeq() >= 0 {
 		return j.collectChunk(ctx)
 	}
 	if (j.pairsDone || j.closed) && !j.final {
@@ -411,27 +518,220 @@ func (j *crowdJoinOp) step(ctx context.Context) error {
 	return nil
 }
 
+// stepExtracting advances the pipelined filtered join by one action:
+// post every poster with a ready chunk, ingest a probe batch (minting
+// its extraction questions), turn resolved probe tuples into pair
+// questions, or collect the globally oldest in-flight chunk.
+func (j *crowdJoinOp) stepExtracting(ctx context.Context, batch int) error {
+	// Feed the build side's extraction a bounded slice of rows: enough
+	// to keep its poster busy, never the whole (possibly spilled) side
+	// at once.
+	if j.xrFed < j.rightRel.Len() && !j.xr.post.Backlogged() {
+		want := j.x.eng.Options.StreamChunkHITs * j.xr.batch
+		for n := 0; n < want && j.xrFed < j.rightRel.Len(); n++ {
+			row := j.rightRel.Row(j.xrFed)
+			// Surface a spill read error before minting a question from
+			// the zero tuple it returned — posting it would spend real
+			// money on garbage.
+			if err := j.rightRel.Err(); err != nil {
+				return err
+			}
+			if err := j.xr.ingest(row); err != nil {
+				return err
+			}
+			j.xrFed++
+		}
+	}
+	if j.xrFed >= j.rightRel.Len() && !j.xr.eos {
+		if err := j.xr.finishInput(); err != nil {
+			return err
+		}
+	}
+	// Post.
+	for j.xr.post.CanPost() && j.xr.post.HasChunk(j.xr.eos) {
+		j.xr.post.PostOne(j.clock)
+	}
+	for j.xl.post.CanPost() && j.xl.post.HasChunk(j.xl.eos) {
+		j.xl.post.PostOne(j.clock)
+	}
+	for j.post.CanPost() && j.post.HasChunk(j.pairsDone) {
+		j.post.PostOne(j.pairClock)
+	}
+	// Ingest the probe side unless its extraction poster is backlogged
+	// or extraction has run far enough ahead of pair generation. The
+	// demand window keeps extraction busy without racing to the end of
+	// the input — so a LIMIT that closes the pipeline leaves the
+	// un-ingested tail's extraction HITs unposted (the streaming
+	// equivalent of the pair-phase short-circuit). Stateful combiners
+	// resolve only at end of stream, so they get no window: pair
+	// generation cannot start until the whole input is extracted.
+	opts := &j.x.eng.Options
+	window := opts.StreamLookahead * opts.StreamChunkHITs * j.xl.batch
+	if !j.xl.perQ {
+		window = 0
+	}
+	ahead := len(j.leftRows) - j.genLeft
+	if !j.leftEOS && !j.closed && !j.xl.post.Backlogged() && (window <= 0 || ahead < window) {
+		in, err := j.left.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			j.leftEOS = true
+			return j.xl.finishInput()
+		}
+		if in.Ready > j.clock {
+			j.clock = in.Ready
+		}
+		for _, t := range in.Tuples {
+			j.leftRows = append(j.leftRows, t)
+			if err := j.xl.ingest(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Generate pair questions from the resolved probe frontier. The
+	// build side's extraction must be fully resolved first: a pair can
+	// only be pruned (or kept) once both sides' values are known.
+	if !j.pairsDone && !j.closed && j.xr.done() && !j.post.Backlogged() {
+		progress, err := j.genPairs(batch)
+		if err == nil {
+			err = j.rightRel.Err()
+		}
+		if err != nil {
+			return err
+		}
+		if progress {
+			return nil
+		}
+	}
+	// Collect the globally oldest in-flight chunk across the three
+	// posters (shared sequence numbers fix the order).
+	oldest := -1
+	var collect func(context.Context) error
+	consider := func(seq int, fn func(context.Context) error) {
+		if seq >= 0 && (oldest < 0 || seq < oldest) {
+			oldest, collect = seq, fn
+		}
+	}
+	consider(j.xr.post.OldestSeq(), func(ctx context.Context) error {
+		_, err := j.xr.post.CollectOne(ctx, j.xr.resolveQ)
+		return err
+	})
+	consider(j.xl.post.OldestSeq(), func(ctx context.Context) error {
+		_, err := j.xl.post.CollectOne(ctx, j.xl.resolveQ)
+		return err
+	})
+	consider(j.post.OldestSeq(), j.collectChunk)
+	if collect != nil {
+		return collect(ctx)
+	}
+	// Stateful extraction combiners resolve once their stream is fully
+	// collected; pair generation then resumes above.
+	if j.xl.eos && j.xl.post.Idle() && !j.xl.final {
+		if err := j.xl.finalizeEOS(); err != nil {
+			return err
+		}
+		return nil
+	}
+	if j.xr.eos && j.xr.post.Idle() && !j.xr.final {
+		return j.xr.finalizeEOS()
+	}
+	if (j.pairsDone || j.closed) && !j.final {
+		if err := j.finalize(); err != nil {
+			return err
+		}
+	}
+	j.done = true
+	return nil
+}
+
+// genPairs turns resolved probe tuples into pair questions, bounded to
+// one chunk's worth of build-side visits per call. It reports whether
+// it made progress (generated questions or finished the pair stream).
+func (j *crowdJoinOp) genPairs(batch int) (bool, error) {
+	want := j.x.eng.Options.StreamChunkHITs * batch
+	visited := 0
+	for visited < want {
+		if j.genLeft >= j.xl.resolved {
+			break
+		}
+		if j.genRight == 0 {
+			// Consuming a new probe tuple: pairs derived from it cannot
+			// post before its features (or the build side's) resolved.
+			if r := j.xl.ready[j.genLeft]; r > j.pairClock {
+				j.pairClock = r
+			}
+			if j.xr.lastDone > j.pairClock {
+				j.pairClock = j.xr.lastDone
+			}
+		}
+		lt := j.leftRows[j.genLeft]
+		lv := j.xl.values[j.genLeft]
+		for j.genRight < j.rightRel.Len() && visited < want {
+			rt := j.rightRel.Row(j.genRight)
+			rv := j.xr.values[j.genRight]
+			ri := j.genRight
+			j.genRight++
+			visited++
+			if !featureMatch(lv, rv, j.xl.fields) {
+				continue
+			}
+			p := join.Pair{LeftIndex: j.genLeft, RightIndex: ri, Left: lt, Right: rt}
+			s := j.noteSlot(p)
+			s.pending++
+			j.qbuf = append(j.qbuf, hit.Question{
+				ID:   p.Key(),
+				Kind: hit.JoinPairQ,
+				Task: j.node.Task.Name,
+				Left: p.Left, Right: p.Right,
+			})
+			if err := j.flushHIT(batch, false); err != nil {
+				return false, err
+			}
+		}
+		if j.genRight >= j.rightRel.Len() {
+			j.genRight = 0
+			j.leftRows[j.genLeft] = relation.Tuple{} // release the buffered tuple
+			j.xl.values[j.genLeft] = nil
+			j.genLeft++
+		}
+	}
+	if j.leftEOS && j.xl.done() && j.genLeft >= len(j.leftRows) && !j.pairsDone {
+		j.pairsDone = true
+		if err := j.flushHIT(batch, true); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	// Advancing the scan cursor is progress even when every visited
+	// pair was pruned — otherwise a fully-filtered visit window would
+	// end the operator with candidates still unscanned.
+	return visited > 0, nil
+}
+
 func (j *crowdJoinOp) flushHIT(batch int, force bool) error {
-	return j.post.flushQuestions(j.builder, &j.qbuf, batch, force)
+	return j.post.FlushQuestions(j.builder, &j.qbuf, batch, force)
 }
 
 func (j *crowdJoinOp) collectChunk(ctx context.Context) error {
-	c, res, err := j.post.collect(ctx)
+	c, res, err := j.post.Collect(ctx)
 	if err != nil {
 		return err
 	}
-	done := c.postedAt + res.MakespanHours
-	retrying, exhausted, err := j.post.retryRefused(c, res.Incomplete, done)
+	done := c.PostedAt + res.MakespanHours
+	retrying, exhausted, err := j.post.RetryRefused(c, res.Incomplete, done)
 	if err != nil {
 		return err
 	}
-	xretrying, xincomplete, err := j.post.retryExpired(c, res, done)
+	xretrying, xincomplete, err := j.post.RetryExpired(c, res, done)
 	if err != nil {
 		return err
 	}
-	retrying = mergeRetrying(retrying, xretrying)
+	retrying = poster.MergeRetrying(retrying, xretrying)
 	exhausted = append(exhausted, xincomplete...)
-	votes := join.CollectVotes(c.hits, res.Assignments)
+	votes := join.CollectVotes(c.HITs, res.Assignments)
 	if j.perQ {
 		// EOS-mode combiners read only eosVotes; buffering per slot too
 		// would double vote memory for nothing.
@@ -461,7 +761,7 @@ func (j *crowdJoinOp) collectChunk(ctx context.Context) error {
 			s.decided = true
 		}
 	}
-	for _, h := range c.hits {
+	for _, h := range c.HITs {
 		for qi := range h.Questions {
 			q := &h.Questions[qi]
 			// Questions being retried after a refusal or an expiry stay
@@ -490,7 +790,7 @@ func (j *crowdJoinOp) collectChunk(ctx context.Context) error {
 	if !j.perQ {
 		j.eosVotes = append(j.eosVotes, votes...)
 	}
-	j.acct.collected(res.TotalAssignments, expiredCount(res.Expired), done, exhausted)
+	j.acct.Collected(res.TotalAssignments, poster.ExpiredCount(res.Expired), done, exhausted)
 	return nil
 }
 

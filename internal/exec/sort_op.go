@@ -1,10 +1,16 @@
-// Sort operators. Both are explicit pipeline breakers: a sort cannot
-// emit its first row before seeing its last input row, so they drain
-// the child (memory O(input tuples)) before emitting. CrowdOrderBy
-// still streams its *output*: rows grouped by machine-sortable prefix
-// columns are emitted group by group, each as soon as its crowd sort
-// settles, so a downstream LIMIT over a grouped sort stops paying for
-// later groups.
+// Sort operators. Both are pipeline breakers: a sort cannot emit its
+// first row before seeing its last input row. With
+// Options.BreakerMemTuples set they spill to disk — the machine sort
+// becomes an external merge sort and the crowd sort externally
+// partitions its input by the machine-sortable prefix columns — so
+// memory drops from O(input) to O(cap) tuples (one crowd-sorted group
+// still materializes while its HITs are in flight). CrowdOrderBy
+// streams its *output* either way: groups are emitted group by group,
+// each as soon as its crowd sort settles, so a downstream LIMIT over a
+// grouped sort stops paying for later groups. Crowd sort rounds post
+// through the chunked poster (exec.crowdSort), inheriting the
+// refusal/expiry retry policies and overlapping posting with vote
+// collection inside each group.
 package exec
 
 import (
@@ -14,6 +20,7 @@ import (
 
 	"qurk/internal/plan"
 	"qurk/internal/relation"
+	"qurk/internal/spill"
 )
 
 type crowdOrderByOp struct {
@@ -24,7 +31,17 @@ type crowdOrderByOp struct {
 	child  Operator
 	closed bool
 
-	groups  []*relation.Relation
+	// in-memory grouping (BreakerMemTuples unset)
+	groups []*relation.Relation
+	// spilled grouping: the input is externally sorted by group key —
+	// computed once per tuple and carried as a hidden leading column
+	// through the run files, so comparisons never rebuild it — and
+	// groups are cut from the merged stream one at a time.
+	sorter    *spill.Sorter
+	iter      *spill.Iter
+	keySchema *relation.Schema
+	peek      *relation.Tuple // held-back first (keyed) tuple of the next group
+
 	gi      int
 	pending []relation.Tuple
 	clock   float64
@@ -37,10 +54,18 @@ func (o *crowdOrderByOp) Name() string             { return o.child.Name() }
 func (o *crowdOrderByOp) OpLabel() string          { return o.node.Label() + " [" + o.phys.String() + "]" }
 func (o *crowdOrderByOp) Inputs() []Operator       { return []Operator{o.child} }
 
-// BreakerNote implements Breaker.
-func (o *crowdOrderByOp) BreakerNote() string {
-	return "materializes input before sorting (O(input)); emits group by group"
+// Breakers implements BreakerDetail.
+func (o *crowdOrderByOp) Breakers() []BreakerInfo {
+	cap := o.x.eng.Options.BreakerMemTuples
+	note := "materializes input before sorting; emits group by group"
+	if cap > 0 {
+		note = "partitions input into sorted runs by group key; one group in memory at a time"
+	}
+	return []BreakerInfo{{Kind: BreakerSortInput, MemTuples: cap, Spills: cap > 0, Note: note}}
 }
+
+// BreakerNote implements Breaker.
+func (o *crowdOrderByOp) BreakerNote() string { return breakerNote(o.Breakers()) }
 
 func (o *crowdOrderByOp) finalReady() float64 { return o.clock }
 
@@ -48,14 +73,101 @@ func (o *crowdOrderByOp) Close() {
 	if !o.closed {
 		o.closed = true
 		o.child.Close()
+		o.release()
 	}
 }
 
-// start drains the input and splits it into groups by the
-// machine-sortable prefix columns (paper §5's ORDER BY name,
-// quality(img)), ordered by group key.
+// release frees the spill resources.
+func (o *crowdOrderByOp) release() {
+	if o.iter != nil {
+		o.iter.Close()
+		o.iter = nil
+	}
+	if o.sorter != nil {
+		o.sorter.Close()
+		o.sorter = nil
+	}
+}
+
+// groupKey is the tuple's machine-sortable prefix key (paper §5's
+// ORDER BY name, quality(img)); empty GroupCols → one global group.
+func (o *crowdOrderByOp) groupKey(t relation.Tuple) (string, error) {
+	key := ""
+	for _, col := range o.node.GroupCols {
+		v, ok := t.Get(col)
+		if !ok {
+			return "", fmt.Errorf("exec: ORDER BY column %q not found in %s", col, t.Schema())
+		}
+		key += v.String() + "\x00"
+	}
+	return key, nil
+}
+
+// start drains the input and splits it into groups by the prefix
+// columns, ordered by group key. With a memory cap the split is an
+// external stable sort on the key: the merged stream yields the same
+// groups in the same order as the in-memory index, O(cap) at a time.
 func (o *crowdOrderByOp) start(ctx context.Context) error {
 	o.started = true
+	cap := o.x.eng.Options.BreakerMemTuples
+	if cap > 0 {
+		// Hidden leading key column: computed once per tuple at drain
+		// time, compared by payload during the external sort, stripped
+		// when groups are cut.
+		cols := append([]relation.Column{{Name: "\x00groupkey", Kind: relation.KindText}},
+			o.child.Schema().Columns()...)
+		keySchema, err := relation.NewSchema(cols...)
+		if err != nil {
+			return err
+		}
+		o.keySchema = keySchema
+		less := func(a, b relation.Tuple) bool { return a.At(0).Text() < b.At(0).Text() }
+		sorter, err := spill.NewSorter(keySchema, cap, less)
+		if err != nil {
+			return err
+		}
+		o.sorter = sorter
+		for {
+			b, err := o.child.Next(ctx)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			for _, t := range b.Tuples {
+				key, err := o.groupKey(t)
+				if err != nil {
+					return err
+				}
+				vals := make([]relation.Value, 0, t.Len()+1)
+				vals = append(vals, relation.Text(key))
+				for c := 0; c < t.Len(); c++ {
+					vals = append(vals, t.At(c))
+				}
+				kt, err := relation.NewTuple(keySchema, vals...)
+				if err != nil {
+					return err
+				}
+				if err := o.sorter.Add(kt); err != nil {
+					return err
+				}
+			}
+			if b.Ready > o.clock {
+				o.clock = b.Ready
+			}
+		}
+		if cr := readyOf(o.child); cr > o.clock {
+			o.clock = cr
+		}
+		it, err := o.sorter.Sort()
+		if err != nil {
+			return err
+		}
+		o.iter = it
+		return nil
+	}
+
 	in, ready, err := drainRelation(ctx, o.child)
 	if err != nil {
 		return err
@@ -68,13 +180,9 @@ func (o *crowdOrderByOp) start(ctx context.Context) error {
 	var groups []group
 	idx := map[string]int{}
 	for i := 0; i < in.Len(); i++ {
-		key := ""
-		for _, col := range o.node.GroupCols {
-			v, ok := in.Row(i).Get(col)
-			if !ok {
-				return fmt.Errorf("exec: ORDER BY column %q not found in %s", col, in.Schema())
-			}
-			key += v.String() + "\x00"
+		key, err := o.groupKey(in.Row(i))
+		if err != nil {
+			return err
 		}
 		gi, ok := idx[key]
 		if !ok {
@@ -97,6 +205,70 @@ func (o *crowdOrderByOp) start(ctx context.Context) error {
 	return nil
 }
 
+// nextGroup returns the next group to crowd-sort, or nil at the end.
+func (o *crowdOrderByOp) nextGroup() (*relation.Relation, error) {
+	if o.sorter == nil {
+		if o.gi >= len(o.groups) {
+			return nil, nil
+		}
+		g := o.groups[o.gi]
+		o.groups[o.gi] = nil
+		return g, nil
+	}
+	// Spilled path: cut the next run of equal keys from the merged
+	// stream, holding back the first tuple of the following group. The
+	// hidden key column (ordinal 0) is stripped as rows re-enter the
+	// child schema.
+	first := o.peek
+	o.peek = nil
+	if first == nil {
+		t, ok, err := o.iter.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		first = &t
+	}
+	key := first.At(0).Text()
+	sub := relation.New(o.child.Name(), o.child.Schema())
+	if err := sub.Append(o.stripKey(*first)); err != nil {
+		return nil, err
+	}
+	for {
+		t, ok, err := o.iter.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return sub, nil
+		}
+		if t.At(0).Text() != key {
+			o.peek = &t
+			return sub, nil
+		}
+		if err := sub.Append(o.stripKey(t)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// stripKey drops the hidden leading key column.
+func (o *crowdOrderByOp) stripKey(t relation.Tuple) relation.Tuple {
+	vals := make([]relation.Value, 0, t.Len()-1)
+	for c := 1; c < t.Len(); c++ {
+		vals = append(vals, t.At(c))
+	}
+	out, err := relation.NewTuple(o.child.Schema(), vals...)
+	if err != nil {
+		// The keyed tuple was built from this schema's values; a
+		// mismatch here is a programming error.
+		panic(err)
+	}
+	return out
+}
+
 func (o *crowdOrderByOp) Next(ctx context.Context) (*Batch, error) {
 	if !o.started {
 		if err := o.start(ctx); err != nil {
@@ -114,23 +286,26 @@ func (o *crowdOrderByOp) Next(ctx context.Context) (*Batch, error) {
 			o.pending = o.pending[n:]
 			return b, nil
 		}
-		if o.closed || o.gi >= len(o.groups) {
+		if o.closed {
 			return nil, nil
 		}
-		// Checked before each group's blocking sort round; a sort
-		// already in flight runs to completion (sortop posts via the
-		// synchronous Marketplace.Run).
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		sub := o.groups[o.gi]
-		path := fmt.Sprintf("%s.g%d", o.path, o.gi)
-		o.gi++
-		order, makespan, err := o.x.crowdSort(sub, o.node, o.phys, path)
+		sub, err := o.nextGroup()
 		if err != nil {
 			return nil, err
 		}
-		o.clock += makespan
+		if sub == nil {
+			o.release()
+			return nil, nil
+		}
+		path := fmt.Sprintf("%s.g%d", o.path, o.gi)
+		o.gi++
+		order, done, err := o.x.crowdSort(ctx, sub, o.node, o.phys, path, o.clock)
+		if err != nil {
+			return nil, err
+		}
+		if done > o.clock {
+			o.clock = done
+		}
 		if o.node.Desc {
 			for i, k := 0, len(order)-1; i < k; i, k = i+1, k-1 {
 				order[i], order[k] = order[k], order[i]
@@ -147,9 +322,12 @@ type machineOrderByOp struct {
 	node    *plan.MachineOrderBy
 	child   Operator
 	size    int
+	cap     int
 	closed  bool
 	started bool
 	out     *scanOp
+	spilled *spill.Iter
+	sorter  *spill.Sorter
 	ready   float64
 }
 
@@ -158,10 +336,17 @@ func (o *machineOrderByOp) Name() string             { return o.child.Name() }
 func (o *machineOrderByOp) OpLabel() string          { return o.node.Label() }
 func (o *machineOrderByOp) Inputs() []Operator       { return []Operator{o.child} }
 
-// BreakerNote implements Breaker.
-func (o *machineOrderByOp) BreakerNote() string {
-	return "materializes input before sorting (O(input))"
+// Breakers implements BreakerDetail.
+func (o *machineOrderByOp) Breakers() []BreakerInfo {
+	note := "materializes input before sorting"
+	if o.cap > 0 {
+		note = "external merge sort over spilled runs"
+	}
+	return []BreakerInfo{{Kind: BreakerSortInput, MemTuples: o.cap, Spills: o.cap > 0, Note: note}}
 }
+
+// BreakerNote implements Breaker.
+func (o *machineOrderByOp) BreakerNote() string { return breakerNote(o.Breakers()) }
 
 func (o *machineOrderByOp) finalReady() float64 { return o.ready }
 
@@ -169,39 +354,111 @@ func (o *machineOrderByOp) Close() {
 	if !o.closed {
 		o.closed = true
 		o.child.Close()
+		o.releaseSpill()
 	}
+}
+
+func (o *machineOrderByOp) releaseSpill() {
+	if o.spilled != nil {
+		o.spilled.Close()
+		o.spilled = nil
+	}
+	if o.sorter != nil {
+		o.sorter.Close()
+		o.sorter = nil
+	}
+}
+
+// less is the ORDER BY comparison over the machine columns.
+func (o *machineOrderByOp) less(a, b relation.Tuple) bool {
+	for i, col := range o.node.Cols {
+		cmp := a.MustGet(col).Compare(b.MustGet(col))
+		if cmp == 0 {
+			continue
+		}
+		if o.node.Desc[i] {
+			return cmp > 0
+		}
+		return cmp < 0
+	}
+	return false
 }
 
 func (o *machineOrderByOp) Next(ctx context.Context) (*Batch, error) {
 	if !o.started {
 		o.started = true
-		in, ready, err := drainRelation(ctx, o.child)
-		if err != nil {
-			return nil, err
-		}
 		for _, col := range o.node.Cols {
-			if !in.Schema().Has(col) {
+			if !o.child.Schema().Has(col) {
 				return nil, fmt.Errorf("exec: ORDER BY column %q not found", col)
 			}
 		}
-		sorted := in.SortBy(func(a, b relation.Tuple) bool {
-			for i, col := range o.node.Cols {
-				cmp := a.MustGet(col).Compare(b.MustGet(col))
-				if cmp == 0 {
-					continue
-				}
-				if o.node.Desc[i] {
-					return cmp > 0
-				}
-				return cmp < 0
+		if o.cap > 0 {
+			sorter, err := spill.NewSorter(o.child.Schema(), o.cap, o.less)
+			if err != nil {
+				return nil, err
 			}
-			return false
-		})
-		o.out = newScanOp(sorted, o.size)
-		o.ready = ready
+			o.sorter = sorter
+			for {
+				b, err := o.child.Next(ctx)
+				if err != nil {
+					return nil, err
+				}
+				if b == nil {
+					break
+				}
+				for _, t := range b.Tuples {
+					if err := o.sorter.Add(t); err != nil {
+						return nil, err
+					}
+				}
+				if b.Ready > o.ready {
+					o.ready = b.Ready
+				}
+			}
+			if cr := readyOf(o.child); cr > o.ready {
+				o.ready = cr
+			}
+			it, err := o.sorter.Sort()
+			if err != nil {
+				return nil, err
+			}
+			o.spilled = it
+		} else {
+			in, ready, err := drainRelation(ctx, o.child)
+			if err != nil {
+				return nil, err
+			}
+			o.out = newScanOp(in.SortBy(o.less), o.size)
+			o.ready = ready
+		}
 	}
 	if o.closed {
 		return nil, nil
+	}
+	if o.cap > 0 {
+		if o.spilled == nil {
+			return nil, nil
+		}
+		n := o.size
+		if n <= 0 {
+			n = 1 << 30
+		}
+		b := &Batch{Ready: o.ready}
+		for len(b.Tuples) < n {
+			t, ok, err := o.spilled.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				o.releaseSpill()
+				break
+			}
+			b.Tuples = append(b.Tuples, t)
+		}
+		if len(b.Tuples) == 0 {
+			return nil, nil
+		}
+		return b, nil
 	}
 	b, err := o.out.Next(ctx)
 	if b != nil {

@@ -1,0 +1,121 @@
+package exec
+
+// Tests for the bounded-memory breakers: with Options.BreakerMemTuples
+// set, the machine sort becomes an external merge sort, the crowd sort
+// externally partitions its input by group key, and the join's build
+// side spills to disk partitions — all bit-identical to the in-memory
+// paths at any cap.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"qurk/internal/core"
+	"qurk/internal/crowd"
+	"qurk/internal/dataset"
+	"qurk/internal/join"
+	"qurk/internal/plan"
+	"qurk/internal/query"
+)
+
+// mustPlan parses and plans one query against the engine's library.
+func mustPlan(t *testing.T, e *core.Engine, src string) plan.Node {
+	t.Helper()
+	stmt, err := query.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := plan.Build(stmt, e.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node
+}
+
+// TestExternalSortMatchesInMemory: machine and crowd ORDER BY produce
+// bit-identical rows and HIT counts with the spill cap forced low
+// enough to write many runs.
+func TestExternalSortMatchesInMemory(t *testing.T) {
+	runMachine := func(cap int) string {
+		d := dataset.NewCelebrities(dataset.CelebrityConfig{N: 57, Seed: 13})
+		m := crowd.NewSimMarket(crowd.DefaultConfig(13), d.Oracle())
+		e := core.NewEngine(m, core.Options{BreakerMemTuples: cap})
+		e.Catalog.Register(d.Celeb)
+		rows, _ := runRows(t, e, `SELECT c.name FROM celeb c ORDER BY c.name DESC`)
+		return rows
+	}
+	if mem, spilled := runMachine(0), runMachine(4); mem != spilled {
+		t.Errorf("machine external sort diverged:\n--- in-memory\n%s--- spilled\n%s", mem, spilled)
+	}
+
+	runCrowd := func(cap int) string {
+		mv := dataset.NewMovie(dataset.MovieConfig{Scenes: 18, Actors: 2, Seed: 17})
+		m := crowd.NewSimMarket(crowd.DefaultConfig(17), mv.Oracle())
+		e := core.NewEngine(m, core.Options{SortMethod: core.SortCompare, BreakerMemTuples: cap})
+		e.Catalog.Register(mv.Actors)
+		e.Catalog.Register(mv.Scenes)
+		e.Library.MustRegister(dataset.InSceneTask())
+		e.Library.MustRegister(dataset.QualityTask())
+		rows, stats := runRows(t, e, `
+SELECT name, scenes.img FROM actors JOIN scenes
+ON inScene(actors.img, scenes.img)
+ORDER BY name, quality(scenes.img)`)
+		return fmt.Sprintf("%s|hits=%d", rows, stats.TotalHITs())
+	}
+	mem := runCrowd(0)
+	if !strings.Contains(mem, "hits=") || strings.Contains(mem, "hits=0") {
+		t.Fatalf("crowd sort posted no HITs:\n%s", mem)
+	}
+	for _, cap := range []int{3, 7, 1000} {
+		if spilled := runCrowd(cap); spilled != mem {
+			t.Errorf("crowd sort with cap=%d diverged:\n--- in-memory\n%s--- spilled\n%s", cap, mem, spilled)
+		}
+	}
+}
+
+// TestJoinBuildSpillInvariance: the join's spilled build side (plain
+// and feature-filtered) yields bit-identical rows and HIT counts at
+// any cap.
+func TestJoinBuildSpillInvariance(t *testing.T) {
+	run := func(cap int, src string) string {
+		d := dataset.NewCelebrities(dataset.CelebrityConfig{N: 21, Seed: 19})
+		m := crowd.NewSimMarket(crowd.DefaultConfig(19), d.Oracle())
+		e := core.NewEngine(m, core.Options{JoinAlgorithm: join.Naive, JoinBatch: 5, BreakerMemTuples: cap})
+		e.Catalog.Register(d.Celeb)
+		e.Catalog.Register(d.Photos)
+		e.Library.MustRegister(dataset.SamePersonTask())
+		e.Library.MustRegister(dataset.GenderTask())
+		rows, stats := runRows(t, e, src)
+		return fmt.Sprintf("%s|hits=%d", rows, stats.TotalHITs())
+	}
+	plain := `SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img)`
+	for _, src := range []string{plain, featureJoinQuery} {
+		mem := run(0, src)
+		if !strings.Contains(mem, "Celebrity") {
+			t.Fatalf("join returned no rows:\n%s", mem)
+		}
+		for _, cap := range []int{5, 16} {
+			if spilled := run(cap, src); spilled != mem {
+				t.Errorf("join build cap=%d diverged on %q:\n--- in-memory\n%s--- spilled\n%s",
+					cap, src[:40], mem, spilled)
+			}
+		}
+	}
+}
+
+// TestDescribeShowsSpillBound: sort breakers render their spill cap.
+func TestDescribeShowsSpillBound(t *testing.T) {
+	d := dataset.NewCelebrities(dataset.CelebrityConfig{N: 8, Seed: 3})
+	m := crowd.NewSimMarket(crowd.DefaultConfig(3), d.Oracle())
+	e := core.NewEngine(m, core.Options{BreakerMemTuples: 4})
+	e.Catalog.Register(d.Celeb)
+	op, err := Compile(e, mustPlan(t, e, `SELECT c.name FROM celeb c ORDER BY c.name`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close()
+	if tree := Describe(op); !strings.Contains(tree, "spills at 4 tuples") {
+		t.Errorf("Describe missing spill bound:\n%s", tree)
+	}
+}

@@ -1,6 +1,7 @@
 // This file implements the streaming crowd filter operators plus the
-// chunked HIT posting pipeline (poster) shared by every streaming
-// crowd operator. The shape is:
+// per-operator accounting glue around the shared chunked posting
+// pipeline (internal/poster). The shape every streaming crowd operator
+// follows:
 //
 //	pull input batch → mint questions (stable ordinal IDs) → fill
 //	fixed-size HITs → post fixed-size HIT chunks asynchronously with
@@ -10,9 +11,7 @@
 // Determinism: the HIT a question lands in depends only on its input
 // ordinal and the configured batch size, and the sub-group a HIT is
 // posted in depends only on its index and Options.StreamChunkHITs —
-// never on arrival timing. All sub-groups of one operator share its
-// plan-path group ID, so the simulator's hash(seed, groupID, hitID)
-// answer streams are identical no matter how the posting is sliced.
+// never on arrival timing (see internal/poster for the full contract).
 // Combiners marked combine.PerQuestion are applied chunk-by-chunk
 // (provably equivalent to one combine over all votes); any other
 // combiner turns the operator into a pipeline breaker that buffers all
@@ -24,331 +23,22 @@ import (
 	"fmt"
 
 	"qurk/internal/combine"
-	"qurk/internal/crowd"
 	"qurk/internal/hit"
+	"qurk/internal/poster"
 	"qurk/internal/relation"
 	"qurk/internal/task"
 )
 
-// postedChunk is one sub-group of HITs in flight on the marketplace.
-type postedChunk struct {
-	hits     []*hit.HIT
-	ch       <-chan crowd.Async
-	postedAt float64 // virtual-clock hours when its inputs were ready
-	seq      int     // global post order, for deterministic collection
-}
-
-// poster slices one logical HIT group into fixed-size runs and posts
-// each run as its own marketplace call, keeping at most `lookahead`
-// runs in flight. Collection is FIFO per poster.
-type poster struct {
-	market    crowd.Marketplace
-	groupID   string
-	chunkHITs int
-	lookahead int
-	seq       *int
-	acct      *opAcct
-	queued    []*hit.HIT
-	inflight  []postedChunk
-	// maxRetries bounds how deep a refused HIT's re-posting lineage may
-	// go; retries maps a re-minted HIT's ID to its depth.
-	maxRetries int
-	retries    map[string]int
-	// maxExpired bounds how deep an expired HIT's re-posting lineage may
-	// go (assignment accepted but never submitted); xretries maps a
-	// re-minted HIT's ID to its expiry-lineage depth, and lineageAsns
-	// carries the completed-assignment count down a lineage so
-	// exhaustion can tell "partially answered" from "never answered".
-	maxExpired  int
-	xretries    map[string]int
-	lineageAsns map[string]int
-	// carry stashes the partial answers of questions whose HIT is being
-	// re-posted after an expiry, keyed by question ID, until the retry
-	// resolves and the vote sets merge. (Refusal retries have nothing to
-	// stash: a refused HIT produced zero assignments.)
-	carry map[string][]hit.CachedAnswer
-	// minClock floors the postedAt stamp of subsequent chunks: a chunk
-	// holding retried HITs cannot be posted before the refusal (or
-	// expiry) that spawned them was observed on the virtual clock.
-	minClock float64
-}
-
-func (p *poster) enqueue(hs ...*hit.HIT) { p.queued = append(p.queued, hs...) }
-
-// hasChunk reports whether a full chunk is ready (or, when forcing at
-// end of stream, any queued HITs remain).
-func (p *poster) hasChunk(force bool) bool {
-	return len(p.queued) >= p.chunkHITs || (force && len(p.queued) > 0)
-}
-
-func (p *poster) canPost() bool { return len(p.inflight) < p.lookahead }
-
-// backlogged means the poster cannot accept more work until a collect.
-func (p *poster) backlogged() bool { return len(p.queued) >= p.chunkHITs && !p.canPost() }
-
-// postOne posts the next chunk at the given virtual-clock time.
-func (p *poster) postOne(clock float64) {
-	if p.minClock > clock {
-		clock = p.minClock
-	}
-	n := p.chunkHITs
-	if n > len(p.queued) {
-		n = len(p.queued)
-	}
-	chunk := p.queued[:n:n]
-	p.queued = p.queued[n:]
-	*p.seq++
-	p.inflight = append(p.inflight, postedChunk{
-		hits:     chunk,
-		ch:       p.market.RunAsync(&hit.Group{ID: p.groupID, HITs: chunk}),
-		postedAt: clock,
-		seq:      *p.seq,
-	})
-	if p.acct != nil {
-		p.acct.posted(chunk, clock)
-	}
-}
-
-// oldestSeq returns the post sequence of the oldest in-flight chunk,
-// or -1 when nothing is in flight.
-func (p *poster) oldestSeq() int {
-	if len(p.inflight) == 0 {
-		return -1
-	}
-	return p.inflight[0].seq
-}
-
-// collect awaits the oldest in-flight chunk.
-func (p *poster) collect(ctx context.Context) (postedChunk, *crowd.RunResult, error) {
-	c := p.inflight[0]
-	p.inflight = p.inflight[1:]
-	res, err := crowd.Await(ctx, c.ch)
-	if err != nil {
-		return c, nil, err
-	}
-	return c, res, nil
-}
-
-// retryRefused implements the operator-level retry policy for refused
-// HITs (batch too effortful for the price — the paper's stalled
-// group-size experiments, §4.2.2/§6): each refused HIT's questions are
-// re-minted into HITs of half the batch size and queued for
-// re-posting, down a lineage at most maxRetries deep. Re-minted HIT
-// IDs derive from the refused HIT's ID — never from the shared
-// builder — so the retry stream (and the simulator's per-HIT answer
-// draws) is bit-identical at any StreamChunkHITs/lookahead setting,
-// preserving the executor's invariance contract.
-//
-// It returns how many occurrences of each question ID are now being
-// retried — the caller must skip resolving exactly that many
-// occurrences in this chunk (join pair keys can repeat across HITs) —
-// and the exhausted questions' IDs, which resolve with zero votes
-// (the only case that still rejects, now surfaced via
-// Stats.Incomplete instead of silently). Single-question HITs
-// (including SmartBatch grids) cannot shrink and exhaust immediately.
-// observedAt is the virtual-clock time the refusal was learned; later
-// chunks cannot be posted before it.
-func (p *poster) retryRefused(c postedChunk, incomplete []string, observedAt float64) (map[string]int, []string, error) {
-	if len(incomplete) == 0 {
-		return nil, nil, nil
-	}
-	refused := make(map[string]bool, len(incomplete))
-	for _, id := range incomplete {
-		refused[id] = true
-	}
-	var retrying map[string]int
-	var exhausted []string
-	for _, h := range c.hits {
-		if !refused[h.ID] {
-			continue
-		}
-		depth := p.retries[h.ID]
-		if p.maxRetries <= 0 || len(h.Questions) <= 1 || depth >= p.maxRetries {
-			for qi := range h.Questions {
-				exhausted = append(exhausted, h.Questions[qi].ID)
-			}
-			continue
-		}
-		n := len(h.Questions) / 2
-		for start, child := 0, 0; start < len(h.Questions); start, child = start+n, child+1 {
-			end := min(start+n, len(h.Questions))
-			nh := &hit.HIT{
-				ID:          fmt.Sprintf("%s/r%d", h.ID, child),
-				GroupID:     h.GroupID,
-				Kind:        h.Kind,
-				Assignments: h.Assignments,
-				RewardCents: h.RewardCents,
-				Questions:   append([]hit.Question(nil), h.Questions[start:end]...),
-			}
-			if err := nh.Validate(); err != nil {
-				return nil, nil, err
-			}
-			if p.retries == nil {
-				p.retries = map[string]int{}
-			}
-			p.retries[nh.ID] = depth + 1
-			p.enqueue(nh)
-		}
-		if retrying == nil {
-			retrying = map[string]int{}
-		}
-		for qi := range h.Questions {
-			retrying[h.Questions[qi].ID]++
-		}
-	}
-	if retrying != nil && observedAt > p.minClock {
-		p.minClock = observedAt
-	}
-	return retrying, exhausted, nil
-}
-
-// retryExpired implements the assignment-timeout policy for HITs whose
-// assignments were accepted but never submitted (the ROADMAP's
-// accepted-but-never-completed case, which a live marketplace surfaces
-// as assignment expiration): each such HIT is re-posted with the SAME
-// questions but only the missing assignment count, down a lineage at
-// most maxExpired deep. Re-minted HIT IDs derive from the expired HIT's
-// ID ("<id>/x<depth>") — never from the shared builder — so, exactly as
-// with refusal retries, the retry stream is bit-identical at any
-// StreamChunkHITs/lookahead setting.
-//
-// It returns how many occurrences of each question ID are deferred to
-// the retry (the caller stashes their partial votes via stashCarry and
-// skips resolving that many occurrences this chunk) plus the questions
-// that exhausted the expiry budget WITHOUT ever receiving a completed
-// assignment anywhere down their lineage — the only expiry outcome
-// that loses a question, reported via Stats.Incomplete. Exhausted
-// questions that do hold partial votes simply resolve with them.
-// observedAt is the virtual-clock time the expiry was detected (the
-// assignment deadline); later chunks cannot be posted before it.
-func (p *poster) retryExpired(c postedChunk, res *crowd.RunResult, observedAt float64) (map[string]int, []string, error) {
-	if len(res.Expired) == 0 {
-		return nil, nil, nil
-	}
-	completed := map[string]int{}
-	for i := range res.Assignments {
-		completed[res.Assignments[i].HITID]++
-	}
-	var retrying map[string]int
-	var incomplete []string
-	for _, h := range c.hits {
-		missing := res.Expired[h.ID]
-		if missing <= 0 {
-			continue
-		}
-		total := p.lineageAsns[h.ID] + completed[h.ID]
-		delete(p.lineageAsns, h.ID)
-		depth := p.xretries[h.ID]
-		if p.maxExpired <= 0 || depth >= p.maxExpired {
-			if total == 0 {
-				for qi := range h.Questions {
-					incomplete = append(incomplete, h.Questions[qi].ID)
-				}
-			}
-			continue
-		}
-		nh := &hit.HIT{
-			ID:          fmt.Sprintf("%s/x%d", h.ID, depth+1),
-			GroupID:     h.GroupID,
-			Kind:        h.Kind,
-			Assignments: missing,
-			RewardCents: h.RewardCents,
-			Questions:   append([]hit.Question(nil), h.Questions...),
-		}
-		if err := nh.Validate(); err != nil {
-			return nil, nil, err
-		}
-		if p.xretries == nil {
-			p.xretries = map[string]int{}
-		}
-		if p.lineageAsns == nil {
-			p.lineageAsns = map[string]int{}
-		}
-		p.xretries[nh.ID] = depth + 1
-		p.lineageAsns[nh.ID] = total
-		p.enqueue(nh)
-		if retrying == nil {
-			retrying = map[string]int{}
-		}
-		for qi := range h.Questions {
-			retrying[h.Questions[qi].ID]++
-		}
-	}
-	if retrying != nil && observedAt > p.minClock {
-		p.minClock = observedAt
-	}
-	return retrying, incomplete, nil
-}
-
-// mergeRetrying folds two per-question deferral counts (refusal and
-// expiry retries) into one; a HIT is never both refused and expired, so
-// the counts are disjoint by HIT but can share question IDs on the join
-// path, where pair keys repeat across HITs.
-func mergeRetrying(a, b map[string]int) map[string]int {
-	if len(b) == 0 {
-		return a
-	}
-	if a == nil {
-		return b
-	}
-	for qid, n := range b {
-		a[qid] += n
-	}
-	return a
-}
-
-// stashCarry saves a question's partial answers until its expiry retry
-// resolves; takeCarry prepends them back. Both are no-ops for questions
-// with nothing stashed.
-func (p *poster) stashCarry(qid string, as []hit.CachedAnswer) {
-	if len(as) == 0 {
-		return
-	}
-	if p.carry == nil {
-		p.carry = map[string][]hit.CachedAnswer{}
-	}
-	p.carry[qid] = append(p.carry[qid], as...)
-}
-
-func (p *poster) takeCarry(qid string, as []hit.CachedAnswer) []hit.CachedAnswer {
-	ca := p.carry[qid]
-	if len(ca) == 0 {
-		return as
-	}
-	delete(p.carry, qid)
-	return append(append([]hit.CachedAnswer(nil), ca...), as...)
-}
-
-// flushQuestions merges buffered questions into HITs of exactly `size`
-// (plus one final partial when forcing at end of input) and queues
-// them on the poster. Shared by every streaming crowd operator so the
-// HIT sizes match what a single materialized Merge would produce.
-func (p *poster) flushQuestions(b *hit.Builder, qbuf *[]hit.Question, size int, force bool) error {
-	for len(*qbuf) >= size || (force && len(*qbuf) > 0) {
-		n := size
-		if n > len(*qbuf) {
-			n = len(*qbuf)
-		}
-		hs, err := b.Merge((*qbuf)[:n:n], n)
-		if err != nil {
-			return err
-		}
-		p.enqueue(hs...)
-		*qbuf = append((*qbuf)[:0], (*qbuf)[n:]...)
-	}
-	return nil
-}
-
 // opAcct accumulates one operator's chunked spending into its
-// pre-registered Stats slot and the engine ledger. HITs and dollars
-// are accounted when a chunk is POSTED — posted crowd work is spent
-// whether or not anyone waits for it, so a LIMIT short-circuit or a
-// cancellation that abandons in-flight chunks still shows their cost
-// in TotalHITs and the ledger. Assignments and makespan arrive at
-// collection. Makespan is the operator's span on the virtual clock:
-// last chunk completion minus first chunk post (equal to the single
-// group makespan when the whole operator fit in one chunk — the
-// materializing executor's number).
+// pre-registered Stats slot and the engine ledger; it implements
+// poster.Acct. HITs and dollars are accounted when a chunk is POSTED —
+// posted crowd work is spent whether or not anyone waits for it, so a
+// LIMIT short-circuit or a cancellation that abandons in-flight chunks
+// still shows their cost in TotalHITs and the ledger. Assignments and
+// makespan arrive at collection. Makespan is the operator's span on
+// the virtual clock: last chunk completion minus first chunk post
+// (equal to the single group makespan when the whole operator fit in
+// one chunk — the materializing executor's number).
 type opAcct struct {
 	x     *executor
 	label string
@@ -363,11 +53,11 @@ type opAcct struct {
 	expired    int
 }
 
-// posted accounts a chunk the moment it goes to the marketplace. Each
+// Posted accounts a chunk the moment it goes to the marketplace. Each
 // HIT is billed at its OWN assignment count — an expiry re-post
 // requests only the missing assignments, so pricing it at the
 // operator's full level would overstate the ledger.
-func (a *opAcct) posted(chunk []*hit.HIT, postedAt float64) {
+func (a *opAcct) Posted(chunk []*hit.HIT, postedAt float64) {
 	if !a.started || postedAt < a.firstPost {
 		a.firstPost = postedAt
 		a.started = true
@@ -387,9 +77,9 @@ func (a *opAcct) posted(chunk []*hit.HIT, postedAt float64) {
 	a.x.stats.setSlot(a.slot, a.hits, a.asns, a.expired, a.span(), nil)
 }
 
-// collected folds in a completed chunk's assignment and expiry counts
+// Collected folds in a completed chunk's assignment and expiry counts
 // and timing.
-func (a *opAcct) collected(assignments, expired int, done float64, incomplete []string) {
+func (a *opAcct) Collected(assignments, expired int, done float64, incomplete []string) {
 	if done > a.lastDone {
 		a.lastDone = done
 	}
@@ -438,7 +128,7 @@ type filterBranch struct {
 	comb    combine.Combiner
 	perQ    bool
 	builder *hit.Builder
-	post    *poster
+	post    *poster.Poster
 	acct    *opAcct
 	dupOf   int // branch index this one mirrors; == idx when unique
 	// asked tracks question content this branch has already posted in
@@ -497,16 +187,22 @@ func (f *crowdFilterOp) Name() string             { return f.child.Name() }
 func (f *crowdFilterOp) OpLabel() string          { return f.label }
 func (f *crowdFilterOp) Inputs() []Operator       { return []Operator{f.child} }
 
-// BreakerNote implements Breaker when a stateful combiner forces
-// buffering; Describe skips the empty note otherwise.
-func (f *crowdFilterOp) BreakerNote() string {
+// Breakers implements BreakerDetail when a stateful combiner forces
+// buffering; Describe skips the operator otherwise.
+func (f *crowdFilterOp) Breakers() []BreakerInfo {
 	for _, br := range f.uniq {
 		if !br.perQ {
-			return fmt.Sprintf("buffers all votes for %s (O(input) memory)", br.comb.Name())
+			return []BreakerInfo{{
+				Kind: BreakerVoteBuffer,
+				Note: fmt.Sprintf("buffers all votes for %s", br.comb.Name()),
+			}}
 		}
 	}
-	return ""
+	return nil
 }
+
+// BreakerNote implements Breaker.
+func (f *crowdFilterOp) BreakerNote() string { return breakerNote(f.Breakers()) }
 
 // finalReady includes rejected tuples' decision times (emitQueue
 // tracks them via advance) and anything the child decided upstream.
@@ -560,10 +256,10 @@ func (f *crowdFilterOp) step(ctx context.Context) error {
 	uniq := f.uniq
 	backlogged := false
 	for _, br := range uniq {
-		for br.post.canPost() && br.post.hasChunk(f.eos) {
-			br.post.postOne(f.clock)
+		for br.post.CanPost() && br.post.HasChunk(f.eos) {
+			br.post.PostOne(f.clock)
 		}
-		if br.post.backlogged() {
+		if br.post.Backlogged() {
 			backlogged = true
 		}
 	}
@@ -590,7 +286,7 @@ func (f *crowdFilterOp) step(ctx context.Context) error {
 	// Collect the globally oldest in-flight chunk.
 	var oldest *filterBranch
 	for _, br := range uniq {
-		if s := br.post.oldestSeq(); s >= 0 && (oldest == nil || s < oldest.post.oldestSeq()) {
+		if s := br.post.OldestSeq(); s >= 0 && (oldest == nil || s < oldest.post.OldestSeq()) {
 			oldest = br
 		}
 	}
@@ -610,7 +306,7 @@ func (f *crowdFilterOp) step(ctx context.Context) error {
 // flushHIT merges the branch's buffered questions into HITs once full
 // (or unconditionally at end of input).
 func (br *filterBranch) flushHIT(size int, force bool) error {
-	return br.post.flushQuestions(br.builder, &br.qbuf, size, force)
+	return br.post.FlushQuestions(br.builder, &br.qbuf, size, force)
 }
 
 // ingest mints one question per tuple per unique branch, answering
@@ -690,89 +386,23 @@ func (f *crowdFilterOp) applyBranchVotes(br *filterBranch, list []qVotes, done f
 // expired HITs' questions within their retry budgets, and applies the
 // resolved votes.
 func (f *crowdFilterOp) collectChunk(ctx context.Context, br *filterBranch) error {
-	c, res, err := br.post.collect(ctx)
-	if err != nil {
-		return err
-	}
-	done := c.postedAt + res.MakespanHours
-	retrying, exhausted, err := br.post.retryRefused(c, res.Incomplete, done)
-	if err != nil {
-		return err
-	}
-	xretrying, xincomplete, err := br.post.retryExpired(c, res, done)
-	if err != nil {
-		return err
-	}
-	retrying = mergeRetrying(retrying, xretrying)
-	list, answers := chunkVotes(br.post, c.hits, res.Assignments, f.slotOf, retrying)
-	if f.x.eng.Cache != nil {
-		for _, h := range c.hits {
-			for qi := range h.Questions {
-				q := &h.Questions[qi]
-				// Voteless questions (refused HITs) must not poison the
-				// cache: a stored empty entry would make every later
-				// identical question resolve to rejection without ever
-				// reaching the crowd. Questions deferred to an expiry
-				// retry are absent from answers here and store their
-				// merged vote set when the retry resolves.
-				if len(answers[q.ID]) > 0 {
-					f.x.eng.Cache.Store(q, answers[q.ID])
-				}
-			}
+	_, err := br.post.CollectOne(ctx, func(q *hit.Question, as []hit.CachedAnswer, done float64) error {
+		if f.x.eng.Cache != nil && len(as) > 0 {
+			// Voteless questions (refused HITs) must not poison the
+			// cache: a stored empty entry would make every later
+			// identical question resolve to rejection without ever
+			// reaching the crowd. Questions deferred to an expiry retry
+			// never reach this callback and store their merged vote set
+			// when the retry resolves.
+			f.x.eng.Cache.Store(q, as)
 		}
-	}
-	if err := f.applyBranchVotes(br, list, done); err != nil {
-		return err
-	}
-	// Refusal-exhausted questions never got a vote; expiry exhaustion
-	// reports only the questions whose whole lineage stayed voteless —
-	// the rest resolve with their partial votes.
-	exhausted = append(exhausted, xincomplete...)
-	br.acct.collected(res.TotalAssignments, expiredCount(res.Expired), done, exhausted)
-	return nil
-}
-
-// expiredCount totals a chunk's expired assignments for Stats.
-func expiredCount(expired map[string]int) int {
-	n := 0
-	for _, c := range expired {
-		n += c
-	}
-	return n
-}
-
-// chunkVotes resolves a chunk's assignments into per-question vote
-// runs, ordered by HIT then question position so downstream combining
-// is deterministic. Every question in the chunk appears in the result
-// except those being retried after a refusal or expiry — a refused
-// question's occurrence has no votes to defer, while an expired HIT's
-// partial votes are stashed on the poster and merged (in lineage
-// order) when the retry resolves. Questions whose refusal retries are
-// exhausted resolve with zero votes (and reject).
-func chunkVotes(p *poster, hits []*hit.HIT, assignments []hit.Assignment, slotOf map[string]int, retrying map[string]int) ([]qVotes, map[string][]hit.CachedAnswer) {
-	answers := map[string][]hit.CachedAnswer{}
-	hit.ForEachAnswer(hits, assignments, func(q *hit.Question, worker string, ans hit.Answer) {
-		answers[q.ID] = append(answers[q.ID], hit.CachedAnswer{WorkerID: worker, Answer: ans})
+		votes := make([]combine.Vote, 0, len(as))
+		for _, ca := range as {
+			votes = append(votes, combine.Vote{Question: q.ID, Worker: ca.WorkerID, Value: combine.BoolVote(ca.Answer.Bool)})
+		}
+		return f.applyBranchVotes(br, []qVotes{{slot: f.slotOf[q.ID], qid: q.ID, votes: votes}}, done)
 	})
-	var list []qVotes
-	for _, h := range hits {
-		for qi := range h.Questions {
-			q := &h.Questions[qi]
-			if retrying[q.ID] > 0 {
-				retrying[q.ID]--
-				p.stashCarry(q.ID, answers[q.ID])
-				delete(answers, q.ID)
-				continue
-			}
-			answers[q.ID] = p.takeCarry(q.ID, answers[q.ID])
-			votes := make([]combine.Vote, 0, len(answers[q.ID]))
-			for _, ca := range answers[q.ID] {
-				votes = append(votes, combine.Vote{Question: q.ID, Worker: ca.WorkerID, Value: combine.BoolVote(ca.Answer.Bool)})
-			}
-			list = append(list, qVotes{slot: slotOf[q.ID], qid: q.ID, votes: votes})
-		}
-	}
-	return list, answers
+	return err
 }
 
 // finalize resolves EOS-mode branches with one combine over all their

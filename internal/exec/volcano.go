@@ -57,6 +57,99 @@ type Breaker interface {
 	BreakerNote() string
 }
 
+// BreakerKind classifies what a pipeline breaker buffers.
+type BreakerKind string
+
+// The breaker kinds the streaming executor produces.
+const (
+	// BreakerSortInput is a sort's materialized input.
+	BreakerSortInput BreakerKind = "sort-input"
+	// BreakerJoinBuild is a join's materialized build (right) side.
+	BreakerJoinBuild BreakerKind = "join-build"
+	// BreakerJoinCandidates is a join layout that needs the global
+	// candidate set (SmartBatch grids, automatic feature selection).
+	BreakerJoinCandidates BreakerKind = "join-candidates"
+	// BreakerVoteBuffer is the full vote matrix a stateful (non
+	// per-question) combiner needs in one Combine call.
+	BreakerVoteBuffer BreakerKind = "vote-buffer"
+	// BreakerExtraction is a feature-extraction pass over a
+	// materialized input.
+	BreakerExtraction BreakerKind = "extraction"
+)
+
+// BreakerInfo describes one pipeline-breaking buffer of an operator in
+// machine-readable form, so tools (qurk.Explain, dashboards) can render
+// "spills at N tuples" instead of parsing free text.
+type BreakerInfo struct {
+	// Kind classifies the buffered state.
+	Kind BreakerKind
+	// MemTuples is the in-memory tuple bound (Options.BreakerMemTuples
+	// when the operator honors it); 0 means unbounded — O(input).
+	MemTuples int
+	// Spills reports whether the operator spills to disk past
+	// MemTuples instead of growing without bound.
+	Spills bool
+	// Note is the human-readable description of what is buffered.
+	Note string
+}
+
+// String renders the breaker with its memory bound appended.
+func (bi BreakerInfo) String() string {
+	switch {
+	case bi.Spills && bi.MemTuples > 0:
+		return fmt.Sprintf("%s (spills at %d tuples)", bi.Note, bi.MemTuples)
+	case bi.Spills:
+		return bi.Note + " (spillable)"
+	default:
+		return bi.Note + " (O(input) memory)"
+	}
+}
+
+// BreakerDetail is the machine-readable companion to Breaker: the
+// operator's pipeline-breaking buffers, one BreakerInfo each. An empty
+// slice means the operator currently streams.
+type BreakerDetail interface {
+	Breakers() []BreakerInfo
+}
+
+// breakerNote renders a breaker list as the legacy free-text note.
+func breakerNote(infos []BreakerInfo) string {
+	var parts []string
+	for _, bi := range infos {
+		parts = append(parts, bi.String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+// PipelineBreakers walks a compiled operator tree and returns every
+// operator's breaker descriptions keyed by its display label, in
+// depth-first plan order. The runtime companion to plan.Explain for
+// memory budgeting.
+func PipelineBreakers(op Operator) []OpBreakers {
+	var out []OpBreakers
+	var walk func(Operator)
+	walk = func(o Operator) {
+		if bd, ok := o.(BreakerDetail); ok {
+			if infos := bd.Breakers(); len(infos) > 0 {
+				out = append(out, OpBreakers{Label: opLabel(o), Breakers: infos})
+			}
+		}
+		for _, in := range opInputs(o) {
+			walk(in)
+		}
+	}
+	walk(op)
+	return out
+}
+
+// OpBreakers pairs an operator's display label with its breakers.
+type OpBreakers struct {
+	// Label is the operator's display label (OpLabel).
+	Label string
+	// Breakers lists the operator's pipeline-breaking buffers.
+	Breakers []BreakerInfo
+}
+
 // finalClock reports the virtual-clock time at which an operator's
 // last decision completed. Rejected tuples never flow downstream, but
 // the crowd time spent deciding them is still part of the query's
@@ -446,33 +539,52 @@ type treeNode interface {
 	OpLabel() string
 }
 
+// opLabel is the display label shared by Describe and PipelineBreakers.
+func opLabel(op Operator) string {
+	if tn, ok := op.(treeNode); ok {
+		return tn.OpLabel()
+	}
+	switch o := op.(type) {
+	case *scanOp:
+		return fmt.Sprintf("Scan(%s)", o.Name())
+	case *machineFilterOp:
+		return o.label
+	case *projectOp:
+		return "Project"
+	case *limitOp:
+		return fmt.Sprintf("Limit(%d)", o.n)
+	case *concurrentOp:
+		return "Exchange"
+	}
+	return op.Name()
+}
+
+// opInputs is the child list shared by Describe and PipelineBreakers.
+func opInputs(op Operator) []Operator {
+	if tn, ok := op.(treeNode); ok {
+		return tn.Inputs()
+	}
+	switch o := op.(type) {
+	case *machineFilterOp:
+		return []Operator{o.child}
+	case *projectOp:
+		return []Operator{o.child}
+	case *limitOp:
+		return []Operator{o.child}
+	case *concurrentOp:
+		return []Operator{o.child}
+	}
+	return nil
+}
+
 func describe(b *strings.Builder, op Operator, depth int) {
 	b.WriteString(strings.Repeat("  ", depth))
-	label := op.Name()
-	var inputs []Operator
-	if tn, ok := op.(treeNode); ok {
-		label = tn.OpLabel()
-		inputs = tn.Inputs()
-	} else {
-		switch o := op.(type) {
-		case *scanOp:
-			label = fmt.Sprintf("Scan(%s)", o.Name())
-		case *machineFilterOp:
-			label, inputs = o.label, []Operator{o.child}
-		case *projectOp:
-			label, inputs = "Project", []Operator{o.child}
-		case *limitOp:
-			label, inputs = fmt.Sprintf("Limit(%d)", o.n), []Operator{o.child}
-		case *concurrentOp:
-			label, inputs = "Exchange", []Operator{o.child}
-		}
-	}
-	b.WriteString("- " + label)
+	b.WriteString("- " + opLabel(op))
 	if br, ok := op.(Breaker); ok && br.BreakerNote() != "" {
 		b.WriteString("  ⇥ " + br.BreakerNote())
 	}
 	b.WriteByte('\n')
-	for _, in := range inputs {
+	for _, in := range opInputs(op) {
 		describe(b, in, depth+1)
 	}
 }

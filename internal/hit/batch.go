@@ -85,44 +85,60 @@ func (b *Builder) Merge(questions []Question, batchSize int) ([]*HIT, error) {
 	return hits, nil
 }
 
+// CombinedQuestion folds several tasks' questions over the *same*
+// tuple into one composite generative question with the given ID — the
+// paper's combining optimization (§3.3.4). All inputs must be
+// GenerativeQ over one tuple; the composite carries the union of
+// fields and the concatenated task names, and per-field answers route
+// back by field name. Exported so streaming callers can mint composite
+// IDs tied to their own bookkeeping instead of the builder's counter.
+func CombinedQuestion(id string, qs []Question) (Question, error) {
+	if len(qs) == 0 {
+		return Question{}, fmt.Errorf("hit: no questions to combine")
+	}
+	first := qs[0]
+	comp := Question{
+		ID:    id,
+		Kind:  GenerativeQ,
+		Tuple: first.Tuple,
+	}
+	names := make([]string, 0, len(qs))
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if q.Kind != GenerativeQ {
+			return Question{}, fmt.Errorf("hit: combining supports generative tasks only, got %s", q.Kind)
+		}
+		if q.Tuple.Schema() == nil || first.Tuple.Schema() == nil || q.Tuple.Key() != first.Tuple.Key() {
+			return Question{}, fmt.Errorf("hit: combined questions must target the same tuple")
+		}
+		names = append(names, q.Task)
+		for _, f := range q.Fields {
+			if seen[f] {
+				return Question{}, fmt.Errorf("hit: combined tasks share field %q", f)
+			}
+			seen[f] = true
+			comp.Fields = append(comp.Fields, f)
+		}
+	}
+	comp.Task = joinNames(names)
+	return comp, nil
+}
+
 // Combine batches several tasks over the *same* tuple into one composite
 // generative question per tuple — the paper's combining optimization used
 // by feature extraction ("we asked workers to provide all three features
 // at once", §3.3.4). questionsPerTuple[i] lists each task's question for
-// tuple i; all must be GenerativeQ over the same tuple. The composite
-// question carries the union of fields; its Task is the concatenation of
-// task names, and per-field answers are routed back by field name.
+// tuple i; see CombinedQuestion for the composite's shape.
 func (b *Builder) Combine(questionsPerTuple [][]Question, mergeBatch int) ([]*HIT, error) {
 	var combined []Question
 	for i, qs := range questionsPerTuple {
 		if len(qs) == 0 {
 			return nil, fmt.Errorf("hit: tuple %d has no questions to combine", i)
 		}
-		first := qs[0]
-		comp := Question{
-			ID:    b.QuestionID(),
-			Kind:  GenerativeQ,
-			Tuple: first.Tuple,
+		comp, err := CombinedQuestion(b.QuestionID(), qs)
+		if err != nil {
+			return nil, err
 		}
-		names := make([]string, 0, len(qs))
-		seen := map[string]bool{}
-		for _, q := range qs {
-			if q.Kind != GenerativeQ {
-				return nil, fmt.Errorf("hit: combining supports generative tasks only, got %s", q.Kind)
-			}
-			if q.Tuple.Schema() == nil || first.Tuple.Schema() == nil || q.Tuple.Key() != first.Tuple.Key() {
-				return nil, fmt.Errorf("hit: combined questions must target the same tuple")
-			}
-			names = append(names, q.Task)
-			for _, f := range q.Fields {
-				if seen[f] {
-					return nil, fmt.Errorf("hit: combined tasks share field %q", f)
-				}
-				seen[f] = true
-				comp.Fields = append(comp.Fields, f)
-			}
-		}
-		comp.Task = joinNames(names)
 		combined = append(combined, comp)
 	}
 	return b.Merge(combined, mergeBatch)

@@ -27,7 +27,9 @@ type Feature struct {
 // Name returns the feature's display name (the field).
 func (f Feature) Name() string { return f.Field }
 
-func (f Feature) validate() error {
+// Validate checks the feature is a categorical extraction the §3.2
+// filter (and κ-based ambiguity detection) can use.
+func (f Feature) Validate() error {
 	if f.Task == nil {
 		return fmt.Errorf("join: feature %q has no task", f.Field)
 	}
@@ -129,7 +131,7 @@ func Extract(rel *relation.Relation, features []Feature, opts ExtractOptions, ma
 		return nil, fmt.Errorf("join: no features to extract")
 	}
 	for _, f := range features {
-		if err := f.validate(); err != nil {
+		if err := f.Validate(); err != nil {
 			return nil, err
 		}
 	}

@@ -488,14 +488,14 @@ func TestFeatureValidation(t *testing.T) {
 		},
 		Field: "desc",
 	}
-	if err := f.validate(); err == nil {
+	if err := f.Validate(); err == nil {
 		t.Error("free-text feature accepted")
 	}
 	if _, err := Extract(relation.New("x", testSchema), nil, ExtractOptions{}, market(1, &testOracle{})); err == nil {
 		t.Error("empty feature list accepted")
 	}
 	bad := Feature{Task: genderFeature().Task, Field: "missing"}
-	if err := bad.validate(); err == nil {
+	if err := bad.Validate(); err == nil {
 		t.Error("missing field accepted")
 	}
 }

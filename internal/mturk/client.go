@@ -44,6 +44,13 @@ type Config struct {
 	// PollInterval is the wait between ListAssignmentsForHIT sweeps
 	// (default 15s).
 	PollInterval time.Duration
+	// MaxPollInterval caps the capped exponential backoff the poll
+	// loop applies while sweeps make no progress (no new assignments,
+	// no completions): each idle sweep doubles the wait from
+	// PollInterval up to this cap, and any progress resets it —
+	// cutting request volume on long-deadline HITs without delaying
+	// active ones (default 8× PollInterval).
+	MaxPollInterval time.Duration
 	// AssignmentDuration is each accepted assignment's submission
 	// deadline (default 10m), counted from the worker's accept time.
 	// Once the HIT has been out this long the client starts checking
@@ -94,6 +101,12 @@ func (c *Config) fillDefaults() {
 	if c.PollInterval <= 0 {
 		c.PollInterval = 15 * time.Second
 	}
+	if c.MaxPollInterval <= 0 {
+		c.MaxPollInterval = 8 * c.PollInterval
+	}
+	if c.MaxPollInterval < c.PollInterval {
+		c.MaxPollInterval = c.PollInterval
+	}
 	if c.AssignmentDuration <= 0 {
 		c.AssignmentDuration = 10 * time.Minute
 	}
@@ -121,6 +134,7 @@ func FromOptions(o core.MTurkOptions) Config {
 		SecretKey:          o.SecretKey,
 		SessionToken:       o.SessionToken,
 		PollInterval:       time.Duration(o.PollIntervalSeconds * float64(time.Second)),
+		MaxPollInterval:    time.Duration(o.MaxPollIntervalSeconds * float64(time.Second)),
 		AssignmentDuration: time.Duration(o.AssignmentDurationSeconds) * time.Second,
 		Lifetime:           time.Duration(o.LifetimeSeconds) * time.Second,
 		SkipApprove:        o.SkipApprove,
@@ -197,13 +211,19 @@ func (c *Client) RunStream(group *hit.Group, deliver func(hitID string, as []hit
 	}
 
 	remaining := len(pending)
+	wait := c.cfg.PollInterval
 	for remaining > 0 {
+		progress := false
 		for _, p := range pending {
 			if p.done {
 				continue
 			}
+			got := len(p.got)
 			if err := c.pollHIT(start, p); err != nil {
 				return nil, err
+			}
+			if len(p.got) > got {
+				progress = true
 			}
 			if len(p.got) >= p.h.Assignments {
 				p.done = true
@@ -223,6 +243,7 @@ func (c *Client) RunStream(group *hit.Group, deliver func(hitID string, as []hit
 				}
 			}
 			if p.done {
+				progress = true
 				remaining--
 				if deliver != nil && len(p.got) > 0 {
 					deliver(p.h.ID, append([]hit.Assignment(nil), p.got...))
@@ -230,7 +251,36 @@ func (c *Client) RunStream(group *hit.Group, deliver func(hitID string, as []hit
 			}
 		}
 		if remaining > 0 {
-			c.cfg.Clock.Sleep(c.cfg.PollInterval)
+			// Capped exponential backoff while nothing moves: long
+			// deadlines otherwise cost O(HITs × lifetime/interval)
+			// ListAssignmentsForHIT requests. Any progress resets the
+			// cadence so active HITs keep the snappy interval.
+			if progress {
+				wait = c.cfg.PollInterval
+			} else if wait < c.cfg.MaxPollInterval {
+				wait *= 2
+				if wait > c.cfg.MaxPollInterval {
+					wait = c.cfg.MaxPollInterval
+				}
+			}
+			// Never sleep past a pending HIT's assignment deadline by
+			// more than the base interval: expiry detection (and the
+			// re-post policy it feeds) must stay as prompt as it was
+			// before backoff existed.
+			sleep := wait
+			now := c.cfg.Clock.Now()
+			for _, p := range pending {
+				if p.done {
+					continue
+				}
+				if until := p.postedAt.Add(c.cfg.AssignmentDuration).Sub(now); until > 0 && until < sleep {
+					sleep = until
+				}
+			}
+			if sleep < c.cfg.PollInterval {
+				sleep = c.cfg.PollInterval
+			}
+			c.cfg.Clock.Sleep(sleep)
 		}
 	}
 

@@ -158,20 +158,33 @@ func pairKey(a, b int) [2]int {
 	return [2]int{a, b}
 }
 
-// Compare runs the comparison-based sort over a relation's rows.
-func Compare(items *relation.Relation, rt *task.Rank, opts CompareOptions, market crowd.Marketplace) (*CompareResult, error) {
+// CompareTally folds comparison answers into pairwise votes for
+// callers that drive posting themselves — the streaming executor posts
+// the questions from BuildCompare through its chunked poster (so
+// refusal/expiry retries apply) and feeds every answer back through
+// Add. Tallies are commutative, so delivery order cannot change the
+// result.
+type CompareTally struct {
+	n        int
+	groupByQ map[string][]int
+	res      *CompareResult
+}
+
+// BuildCompare mints the comparison-group questions for a relation's
+// rows (one question per cover group, IDs "<group>/grpNNNN") plus the
+// tally that folds their answers. Compare is BuildCompare + a blocking
+// marketplace round.
+func BuildCompare(items *relation.Relation, rt *task.Rank, opts CompareOptions) ([]hit.Question, *CompareTally, error) {
 	opts.fillDefaults()
 	if err := rt.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n := items.Len()
 	if n < 2 {
-		return nil, fmt.Errorf("sortop: need ≥2 items to sort, got %d", n)
+		return nil, nil, fmt.Errorf("sortop: need ≥2 items to sort, got %d", n)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	groups := CoverGroups(n, opts.GroupSize, rng)
-
-	b := hit.NewBuilder(opts.GroupID, opts.Assignments, 1)
 	questions := make([]hit.Question, len(groups))
 	for gi, g := range groups {
 		q := hit.Question{
@@ -184,21 +197,55 @@ func Compare(items *relation.Relation, rt *task.Rank, opts CompareOptions, marke
 		}
 		questions[gi] = q
 	}
-	hits, err := b.Merge(questions, opts.BatchGroups)
+	tally := &CompareTally{
+		n:        n,
+		groupByQ: make(map[string][]int, len(groups)),
+		res: &CompareResult{
+			Pairs:  make(map[[2]int]*PairVotes),
+			Groups: groups,
+		},
+	}
+	for gi, g := range groups {
+		tally.groupByQ[questions[gi].ID] = g
+	}
+	return questions, tally, nil
+}
+
+// Add folds one worker's answer to one comparison question. ans.Order
+// is a permutation of local indices, least→most; it expands to
+// pairwise votes over global item indices.
+func (t *CompareTally) Add(qid string, ans hit.Answer) {
+	g := t.groupByQ[qid]
+	if g == nil || len(ans.Order) != len(g) {
+		return
+	}
+	for x := 0; x < len(ans.Order); x++ {
+		for y := x + 1; y < len(ans.Order); y++ {
+			lo, hi := g[ans.Order[x]], g[ans.Order[y]] // hi ranked above lo
+			t.res.addVote(hi, lo)
+		}
+	}
+}
+
+// Result finalizes the head-to-head order. Cost and latency fields
+// (HITCount, AssignmentCount, MakespanHours, Incomplete) are the
+// posting caller's to fill.
+func (t *CompareTally) Result() *CompareResult {
+	t.res.finalize(t.n)
+	return t.res
+}
+
+// Compare runs the comparison-based sort over a relation's rows.
+func Compare(items *relation.Relation, rt *task.Rank, opts CompareOptions, market crowd.Marketplace) (*CompareResult, error) {
+	opts.fillDefaults()
+	questions, tally, err := BuildCompare(items, rt, opts)
 	if err != nil {
 		return nil, err
 	}
-
-	res := &CompareResult{
-		Pairs:    make(map[[2]int]*PairVotes),
-		HITCount: len(hits),
-		Groups:   groups,
-	}
-
-	// Map question ID → group (global item indices).
-	groupByQ := make(map[string][]int, len(groups))
-	for gi, g := range groups {
-		groupByQ[questions[gi].ID] = g
+	b := hit.NewBuilder(opts.GroupID, opts.Assignments, 1)
+	hits, err := b.Merge(questions, opts.BatchGroups)
+	if err != nil {
+		return nil, err
 	}
 	qByHIT := make(map[string]*hit.HIT, len(hits))
 	for _, h := range hits {
@@ -206,9 +253,8 @@ func Compare(items *relation.Relation, rt *task.Rank, opts CompareOptions, marke
 	}
 	// Votes tally as each comparison batch completes, overlapping
 	// aggregation with HITs still in flight (the marketplace calls
-	// deliver serially). Tallies are commutative, so the out-of-order
-	// delivery cannot change the result.
-	tally := func(hitID string, as []hit.Assignment) {
+	// deliver serially).
+	run, err := crowd.Stream(market, &hit.Group{ID: opts.GroupID, HITs: hits}, func(hitID string, as []hit.Assignment) {
 		h := qByHIT[hitID]
 		if h == nil {
 			return
@@ -218,30 +264,18 @@ func Compare(items *relation.Relation, rt *task.Rank, opts CompareOptions, marke
 				if i >= len(h.Questions) {
 					break
 				}
-				g := groupByQ[h.Questions[i].ID]
-				if g == nil || len(ans.Order) != len(g) {
-					continue
-				}
-				// ans.Order is a permutation of local indices,
-				// least→most. Expand to pairwise votes over global
-				// indices.
-				for x := 0; x < len(ans.Order); x++ {
-					for y := x + 1; y < len(ans.Order); y++ {
-						lo, hi := g[ans.Order[x]], g[ans.Order[y]] // hi ranked above lo
-						res.addVote(hi, lo)
-					}
-				}
+				tally.Add(h.Questions[i].ID, ans)
 			}
 		}
-	}
-	run, err := crowd.Stream(market, &hit.Group{ID: opts.GroupID, HITs: hits}, tally)
+	})
 	if err != nil {
 		return nil, err
 	}
+	res := tally.Result()
+	res.HITCount = len(hits)
 	res.AssignmentCount = run.TotalAssignments
 	res.MakespanHours = run.MakespanHours
 	res.Incomplete = run.Incomplete
-	res.finalize(n)
 	return res, nil
 }
 

@@ -57,6 +57,12 @@ type HybridOptions struct {
 	Assignments int
 	// Rate configures the seeding rating pass.
 	Rate RateOptions
+	// SeedRating, when non-nil, is an already-computed rating pass to
+	// refine; the internal Rate round is skipped. The streaming
+	// executor uses this to run the seed through its chunked poster
+	// (refusal/expiry retries, overlapped posting) and hand only the
+	// sequential comparison refinement to Hybrid.
+	SeedRating *RateResult
 	// GroupID labels HIT groups.
 	GroupID string
 	// Seed drives window randomness.
@@ -106,11 +112,15 @@ func Hybrid(items *relation.Relation, rt *task.Rank, opts HybridOptions, market 
 	if opts.WindowSize > n {
 		opts.WindowSize = n
 	}
-	ro := opts.Rate
-	ro.GroupID = opts.GroupID + "/rate"
-	rr, err := Rate(items, rt, ro, market)
-	if err != nil {
-		return nil, err
+	rr := opts.SeedRating
+	if rr == nil {
+		ro := opts.Rate
+		ro.GroupID = opts.GroupID + "/rate"
+		var err error
+		rr, err = Rate(items, rt, ro, market)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res := &HybridResult{
 		InitialOrder: append([]int(nil), rr.Order...),

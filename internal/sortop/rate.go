@@ -12,9 +12,14 @@ import (
 	"qurk/internal/task"
 )
 
+// DefaultRateBatch is the rating interface's items-per-HIT default,
+// shared with callers that pack the HITs themselves (the streaming
+// executor) so layout and question minting cannot diverge.
+const DefaultRateBatch = 5
+
 // RateOptions configures a rating-based sort.
 type RateOptions struct {
-	// BatchSize is items per HIT (default 5).
+	// BatchSize is items per HIT (default DefaultRateBatch).
 	BatchSize int
 	// Assignments is ratings per item (default 5, paper §4.2).
 	Assignments int
@@ -31,7 +36,7 @@ type RateOptions struct {
 
 func (o *RateOptions) fillDefaults() {
 	if o.BatchSize == 0 {
-		o.BatchSize = 5
+		o.BatchSize = DefaultRateBatch
 	}
 	if o.Assignments == 0 {
 		o.Assignments = 5
@@ -61,16 +66,29 @@ type RateResult struct {
 	Incomplete []string
 }
 
-// Rate runs the rating-based sort over a relation's rows: O(N) HITs
-// versus Compare's O(N²) (paper §4.1.2).
-func Rate(items *relation.Relation, rt *task.Rank, opts RateOptions, market crowd.Marketplace) (*RateResult, error) {
+// RateTally accumulates Likert ratings for callers that drive posting
+// themselves — the streaming executor posts the questions from
+// BuildRate through its chunked poster (so refusal/expiry retries
+// apply) and feeds every answer back through Add.
+type RateTally struct {
+	qIDs []string
+	idx  map[string]int
+	// ratings maps question ID → collected ratings, in arrival order.
+	ratings map[string][]float64
+}
+
+// BuildRate mints one rating question per row (IDs "<group>/itemNNNN",
+// with the §4.1.2 random context sample fixed by opts.Seed) plus the
+// tally that folds their answers. Rate is BuildRate + a blocking
+// marketplace round.
+func BuildRate(items *relation.Relation, rt *task.Rank, opts RateOptions) ([]hit.Question, *RateTally, error) {
 	opts.fillDefaults()
 	if err := rt.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n := items.Len()
 	if n < 1 {
-		return nil, fmt.Errorf("sortop: nothing to rate")
+		return nil, nil, fmt.Errorf("sortop: nothing to rate")
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
@@ -88,8 +106,12 @@ func Rate(items *relation.Relation, rt *task.Rank, opts RateOptions, market crow
 		context = append(context, items.Row(idx))
 	}
 
-	b := hit.NewBuilder(opts.GroupID, opts.Assignments, 1)
 	questions := make([]hit.Question, n)
+	tally := &RateTally{
+		qIDs:    make([]string, n),
+		idx:     make(map[string]int, n),
+		ratings: make(map[string][]float64, n),
+	}
 	for i := 0; i < n; i++ {
 		questions[i] = hit.Question{
 			ID:      fmt.Sprintf("%s/item%04d", opts.GroupID, i),
@@ -99,7 +121,49 @@ func Rate(items *relation.Relation, rt *task.Rank, opts RateOptions, market crow
 			Context: context,
 			Scale:   opts.Scale,
 		}
+		tally.qIDs[i] = questions[i].ID
+		tally.idx[questions[i].ID] = i
 	}
+	return questions, tally, nil
+}
+
+// Add folds one worker's rating for one question.
+func (t *RateTally) Add(qid string, ans hit.Answer) {
+	if _, ok := t.idx[qid]; !ok {
+		return
+	}
+	t.ratings[qid] = append(t.ratings[qid], float64(ans.Rating))
+}
+
+// Result combines the ratings into per-item summaries and the
+// ascending-mean order. Cost and latency fields are the posting
+// caller's to fill.
+func (t *RateTally) Result() *RateResult {
+	n := len(t.qIDs)
+	combined := combine.CombineRatings(t.ratings)
+	res := &RateResult{Summaries: make([]combine.RatingSummary, n)}
+	for i := 0; i < n; i++ {
+		res.Summaries[i] = combined[t.qIDs[i]]
+	}
+	res.Order = make([]int, n)
+	for i := range res.Order {
+		res.Order[i] = i
+	}
+	sort.SliceStable(res.Order, func(a, b int) bool {
+		return res.Summaries[res.Order[a]].Mean < res.Summaries[res.Order[b]].Mean
+	})
+	return res
+}
+
+// Rate runs the rating-based sort over a relation's rows: O(N) HITs
+// versus Compare's O(N²) (paper §4.1.2).
+func Rate(items *relation.Relation, rt *task.Rank, opts RateOptions, market crowd.Marketplace) (*RateResult, error) {
+	opts.fillDefaults()
+	questions, tally, err := BuildRate(items, rt, opts)
+	if err != nil {
+		return nil, err
+	}
+	b := hit.NewBuilder(opts.GroupID, opts.Assignments, 1)
 	hits, err := b.Merge(questions, opts.BatchSize)
 	if err != nil {
 		return nil, err
@@ -108,8 +172,6 @@ func Rate(items *relation.Relation, rt *task.Rank, opts RateOptions, market crow
 	if err != nil {
 		return nil, err
 	}
-
-	ratings := make(map[string][]float64, n)
 	qByHIT := make(map[string]*hit.HIT, len(hits))
 	for _, h := range hits {
 		qByHIT[h.ID] = h
@@ -123,28 +185,13 @@ func Rate(items *relation.Relation, rt *task.Rank, opts RateOptions, market crow
 			if i >= len(h.Questions) {
 				break
 			}
-			qid := h.Questions[i].ID
-			ratings[qid] = append(ratings[qid], float64(ans.Rating))
+			tally.Add(h.Questions[i].ID, ans)
 		}
 	}
-	combined := combine.CombineRatings(ratings)
-
-	res := &RateResult{
-		Summaries:       make([]combine.RatingSummary, n),
-		HITCount:        len(hits),
-		AssignmentCount: run.TotalAssignments,
-		MakespanHours:   run.MakespanHours,
-		Incomplete:      run.Incomplete,
-	}
-	for i := 0; i < n; i++ {
-		res.Summaries[i] = combined[questions[i].ID]
-	}
-	res.Order = make([]int, n)
-	for i := range res.Order {
-		res.Order[i] = i
-	}
-	sort.SliceStable(res.Order, func(a, b int) bool {
-		return res.Summaries[res.Order[a]].Mean < res.Summaries[res.Order[b]].Mean
-	})
+	res := tally.Result()
+	res.HITCount = len(hits)
+	res.AssignmentCount = run.TotalAssignments
+	res.MakespanHours = run.MakespanHours
+	res.Incomplete = run.Incomplete
 	return res, nil
 }

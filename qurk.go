@@ -216,6 +216,13 @@ type (
 	// StreamBatch is a bounded run of tuples stamped with the simulated
 	// crowd clock at which its rows became available.
 	StreamBatch = exec.Batch
+	// BreakerInfo describes one pipeline-breaking buffer machine-
+	// readably: what it holds, its in-memory tuple bound, and whether
+	// it spills to disk past the bound.
+	BreakerInfo = exec.BreakerInfo
+	// OpBreakers pairs an operator's display label with its breakers,
+	// as returned by PipelineBreakers.
+	OpBreakers = exec.OpBreakers
 	// SortMethod selects the ORDER BY implementation.
 	SortMethod = core.SortMethod
 	// Ledger accounts HIT spending in dollars.
@@ -245,8 +252,14 @@ var (
 	// CompilePlan builds the streaming operator tree without executing
 	// it; DescribePipeline renders it with pipeline breakers marked.
 	CompilePlan = exec.Compile
-	// DescribePipeline renders a compiled operator tree.
+	// DescribePipeline renders a compiled operator tree, marking each
+	// pipeline breaker with its memory bound ("spills at N tuples"
+	// when Options.BreakerMemTuples is set).
 	DescribePipeline = exec.Describe
+	// PipelineBreakers lists a compiled operator tree's breakers
+	// machine-readably (kind, in-memory tuple bound, whether it
+	// spills) — the structured companion to DescribePipeline.
+	PipelineBreakers = exec.PipelineBreakers
 	// ParseQuery parses a query without executing it.
 	ParseQuery = query.ParseQuery
 	// ParseScript parses TASK definitions plus queries.
