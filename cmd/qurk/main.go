@@ -9,19 +9,30 @@
 // credentials from the standard AWS environment variables. See
 // docs/BACKENDS.md for the sandbox quickstart.
 //
+// With -journal the run is durable: every marketplace interaction is
+// recorded in a write-ahead journal, and after a crash or Ctrl-C the
+// same invocation plus -resume picks the query back up with zero
+// duplicate HIT posting. See docs/DURABILITY.md.
+//
 // Usage:
 //
 //	qurk -dataset celebrities -query "SELECT c.name FROM celeb AS c WHERE isFemale(c.img)"
 //	qurk -dataset movie -file query.qurk -sort rate -join smart5x5
 //	qurk -dataset squares -n 20 -query "SELECT label FROM squares ORDER BY squareSorter(img)"
 //	qurk -backend mturk-sandbox -dataset celebrities -n 4 -query "..."
+//	qurk -journal run.qjl -query "..."            # durable run
+//	qurk -journal run.qjl -resume -query "..."    # continue after a crash
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"qurk"
 )
@@ -42,8 +53,13 @@ func main() {
 		endpoint    = flag.String("mturk-endpoint", "", "override the MTurk endpoint URL (e.g. an in-process fake)")
 		pollSecs    = flag.Float64("mturk-poll", 15, "seconds between assignment polls on live backends")
 		asnDuration = flag.Int("mturk-deadline", 600, "assignment deadline in seconds before it counts as expired")
+		journalPath = flag.String("journal", "", "write-ahead journal path: run durably, resumable after a crash")
+		resume      = flag.Bool("resume", false, "resume an interrupted durable run from -journal instead of starting fresh")
 	)
 	flag.Parse()
+	if *resume && *journalPath == "" {
+		fail(fmt.Errorf("-resume requires -journal"))
+	}
 
 	opts := qurk.Options{Assignments: *assignments, Combiner: *combiner, Seed: *seed}
 	if err := parseJoin(*joinAlg, &opts); err != nil {
@@ -98,6 +114,15 @@ func main() {
 		fail(fmt.Errorf("nothing to run: pass -query or -file (tasks available: %s)",
 			strings.Join(eng.Library.Names(), ", ")))
 	}
+	if *journalPath != "" && len(queries) != 1 {
+		fail(fmt.Errorf("-journal records exactly one query per journal file, got %d", len(queries)))
+	}
+
+	// Ctrl-C / SIGTERM cancels the run cooperatively: in-flight HITs
+	// finish or fail fast, the journal (if any) seals consistently, and
+	// the partial results and ledger are printed before the nonzero exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	for _, q := range queries {
 		fmt.Println("query:", q)
@@ -109,8 +134,20 @@ func main() {
 		if *explainOnly {
 			continue
 		}
-		out, stats, err := qurk.RunQuery(eng, q)
+		var out *qurk.Relation
+		var stats *qurk.ExecStats
+		switch {
+		case *journalPath != "" && *resume:
+			out, stats, err = qurk.Resume(ctx, eng, q, *journalPath)
+		case *journalPath != "":
+			out, stats, err = qurk.RunQueryDurable(ctx, eng, q, *journalPath)
+		default:
+			out, stats, err = qurk.RunQueryContext(ctx, eng, q)
+		}
 		if err != nil {
+			if errors.Is(ctx.Err(), context.Canceled) {
+				reportInterrupted(eng, stats, *assignments, *journalPath)
+			}
 			fail(err)
 		}
 		printRelation(out)
@@ -127,6 +164,28 @@ func main() {
 	if !*explainOnly {
 		fmt.Println("cost ledger:")
 		fmt.Println(eng.Ledger.Report())
+	}
+}
+
+// reportInterrupted prints what an interrupted run already paid for —
+// the partial HIT and expiry counts plus the full cost ledger — and,
+// when the run was journaled, how to continue it. fail() then exits
+// nonzero.
+func reportInterrupted(eng *qurk.Engine, stats *qurk.ExecStats, assignments int, journalPath string) {
+	fmt.Fprintln(os.Stderr, "\ninterrupted: partial progress before shutdown:")
+	if stats != nil {
+		fmt.Fprintf(os.Stderr, "  %d HITs posted, cost $%.2f\n", stats.TotalHITs(),
+			qurk.DollarCost(stats.TotalHITs(), assignments))
+		if n := stats.TotalExpired(); n > 0 {
+			fmt.Fprintf(os.Stderr, "  %d assignments expired before the interrupt\n", n)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "cost ledger:")
+	fmt.Fprintln(os.Stderr, eng.Ledger.Report())
+	if journalPath != "" {
+		fmt.Fprintf(os.Stderr, "journal sealed; continue with -journal %s -resume\n", journalPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "run was not journaled; re-running restarts from scratch (use -journal to make runs resumable)")
 	}
 }
 

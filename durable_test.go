@@ -1,0 +1,330 @@
+package qurk
+
+// The acceptance bar for durability: kill the run at any posting
+// point, resume from the journal, and get bit-identical rows with zero
+// duplicate HITs — on the simulator (crash injection at every HIT
+// admission) and on the MTurk backend (endpoint faults exhausting the
+// retry budget, then UniqueRequestToken re-attach on resume).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"qurk/internal/crowd"
+)
+
+// rowsOf fingerprints a result relation by one column, in row order.
+func rowsOf(out *Relation, col string) string {
+	var b strings.Builder
+	for i := 0; i < out.Len(); i++ {
+		b.WriteString(out.Row(i).MustGet(col).String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedCopy(s []string) []string {
+	c := append([]string(nil), s...)
+	sort.Strings(c)
+	return c
+}
+
+// durableCase is one query under kill/resume test: newMarket builds a
+// fresh tracking simulator, newEngine an engine over any market.
+type durableCase struct {
+	col       string
+	query     string
+	newMarket func() *SimMarket
+	newEngine func(m Marketplace) *Engine
+}
+
+func filterCase() durableCase {
+	d := NewCelebrities(CelebrityConfig{N: 20, Seed: 1})
+	cfg := DefaultMarketConfig(1)
+	cfg.TrackPosts = true
+	return durableCase{
+		col:   "name",
+		query: `SELECT c.name FROM celeb AS c WHERE isFemale(c.img)`,
+		newMarket: func() *SimMarket {
+			return NewSimMarket(cfg, d.Oracle())
+		},
+		newEngine: func(m Marketplace) *Engine {
+			eng := NewEngine(m, Options{})
+			eng.Catalog.Register(d.Celeb)
+			eng.Library.MustRegister(IsFemaleTask())
+			return eng
+		},
+	}
+}
+
+func joinCase() durableCase {
+	d := NewCelebrities(CelebrityConfig{N: 6, Seed: 2})
+	cfg := DefaultMarketConfig(2)
+	cfg.TrackPosts = true
+	return durableCase{
+		col: "name",
+		query: `
+SELECT c.name FROM celeb c JOIN photos p
+ON samePerson(c.img, p.img)
+AND POSSIBLY gender(c.img) = gender(p.img)
+ORDER BY c.name`,
+		newMarket: func() *SimMarket {
+			return NewSimMarket(cfg, d.Oracle())
+		},
+		newEngine: func(m Marketplace) *Engine {
+			eng := NewEngine(m, Options{})
+			eng.Catalog.Register(d.Celeb)
+			eng.Catalog.Register(d.Photos)
+			eng.Library.MustRegister(SamePersonTask())
+			eng.Library.MustRegister(GenderTask())
+			return eng
+		},
+	}
+}
+
+func sortCase() durableCase {
+	sq := NewSquares(10)
+	cfg := DefaultMarketConfig(3)
+	cfg.TrackPosts = true
+	return durableCase{
+		col:   "label",
+		query: `SELECT label FROM squares ORDER BY squareSorter(img)`,
+		newMarket: func() *SimMarket {
+			return NewSimMarket(cfg, sq.Oracle())
+		},
+		newEngine: func(m Marketplace) *Engine {
+			eng := NewEngine(m, Options{})
+			eng.Catalog.Register(sq.Rel)
+			eng.Library.MustRegister(SquareSorterTask())
+			return eng
+		},
+	}
+}
+
+// killResumeEquivalence is the shared harness: a clean durable run
+// fixes the expected rows and posted-HIT log; then for each crash
+// point k the simulator fails the run at its k-th HIT admission, and a
+// resumed run over the same market must reproduce the baseline exactly
+// with no HIT posted twice.
+func killResumeEquivalence(t *testing.T, c durableCase, stride int) {
+	ctx := context.Background()
+	base := c.newMarket()
+	wantOut, _, err := RunQueryDurable(ctx, c.newEngine(base), c.query,
+		filepath.Join(t.TempDir(), "base.qjl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := rowsOf(wantOut, c.col)
+	wantPosted := sortedCopy(base.PostedHITs())
+	if len(wantPosted) == 0 {
+		t.Fatal("baseline posted no HITs; crash points exercise nothing")
+	}
+
+	// A plain (non-durable) run must agree too: journaling is a pure
+	// wrapper, not a semantics change.
+	plainOut, _, err := RunQuery(c.newEngine(c.newMarket()), c.query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsOf(plainOut, c.col) != wantRows {
+		t.Fatal("durable baseline differs from a plain run")
+	}
+
+	crashed := 0
+	for k := 0; k < len(wantPosted); k += stride {
+		m := c.newMarket()
+		m.InjectCrashAfter(k)
+		journal := filepath.Join(t.TempDir(), fmt.Sprintf("crash%d.qjl", k))
+		_, _, err := RunQueryDurable(ctx, c.newEngine(m), c.query, journal)
+		if err == nil {
+			// Chunk lookahead can complete the run before admission k;
+			// nothing to resume at this point.
+			continue
+		}
+		if !errors.Is(err, crowd.ErrInjectedCrash) {
+			t.Fatalf("crash point %d: run failed with %v, not the injected crash", k, err)
+		}
+		crashed++
+
+		m.InjectCrashAfter(-1)
+		out, _, err := Resume(ctx, c.newEngine(m), c.query, journal)
+		if err != nil {
+			t.Fatalf("crash point %d: resume failed: %v", k, err)
+		}
+		if got := rowsOf(out, c.col); got != wantRows {
+			t.Errorf("crash point %d: resumed rows diverge\ngot:\n%swant:\n%s", k, got, wantRows)
+		}
+		// The same market served both the crashed and the resumed run,
+		// so its posted-HIT log is the union — it must equal the
+		// uninterrupted run's log exactly: nothing missing, nothing
+		// extra, nothing posted twice.
+		if got := sortedCopy(m.PostedHITs()); fmt.Sprint(got) != fmt.Sprint(wantPosted) {
+			t.Errorf("crash point %d: posted HITs diverge\ngot:  %v\nwant: %v", k, got, wantPosted)
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("no crash point interrupted the run; harness exercises nothing")
+	}
+}
+
+func TestDurableFilterKillAnyPointResume(t *testing.T) {
+	killResumeEquivalence(t, filterCase(), 1)
+}
+
+func TestDurableJoinKillAnyPointResume(t *testing.T) {
+	killResumeEquivalence(t, joinCase(), 3)
+}
+
+func TestDurableSortKillAnyPointResume(t *testing.T) {
+	killResumeEquivalence(t, sortCase(), 1)
+}
+
+// TestResumeCompletedJournalReplaysWithoutPosting: resuming a journal
+// sealed "complete" replays the entire run from disk — zero
+// marketplace traffic — and returns the same rows.
+func TestResumeCompletedJournalReplaysWithoutPosting(t *testing.T) {
+	ctx := context.Background()
+	c := filterCase()
+	m := c.newMarket()
+	journal := filepath.Join(t.TempDir(), "run.qjl")
+	wantOut, _, err := RunQueryDurable(ctx, c.newEngine(m), c.query, journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := c.newMarket()
+	out, _, err := Resume(ctx, c.newEngine(fresh), c.query, journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsOf(out, c.col) != rowsOf(wantOut, c.col) {
+		t.Error("replayed rows differ from the original run")
+	}
+	if posted := fresh.PostedHITs(); len(posted) != 0 {
+		t.Errorf("full replay posted %d HITs, want 0", len(posted))
+	}
+}
+
+// TestResumeRefusesMismatchedFingerprint: a journal only resumes the
+// query and engine configuration that created it.
+func TestResumeRefusesMismatchedFingerprint(t *testing.T) {
+	ctx := context.Background()
+	c := filterCase()
+	journal := filepath.Join(t.TempDir(), "run.qjl")
+	if _, _, err := RunQueryDurable(ctx, c.newEngine(c.newMarket()), c.query, journal); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Resume(ctx, c.newEngine(c.newMarket()),
+		`SELECT c.img FROM celeb AS c WHERE isFemale(c.img)`, journal)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("resume with a different query = %v, want fingerprint refusal", err)
+	}
+	eng := c.newEngine(c.newMarket())
+	eng.Options.FilterBatch = 2
+	if _, _, err := Resume(ctx, eng, c.query, journal); err == nil {
+		t.Error("resume with different options must be refused")
+	}
+}
+
+// TestRunQueryDurableRefusesExistingJournal: starting a durable run
+// over a journal that already exists would silently fork its history.
+func TestRunQueryDurableRefusesExistingJournal(t *testing.T) {
+	ctx := context.Background()
+	c := filterCase()
+	journal := filepath.Join(t.TempDir(), "run.qjl")
+	if _, _, err := RunQueryDurable(ctx, c.newEngine(c.newMarket()), c.query, journal); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunQueryDurable(ctx, c.newEngine(c.newMarket()), c.query, journal); err == nil {
+		t.Error("second durable run over the same journal path must fail")
+	}
+	if _, _, err := Resume(ctx, c.newEngine(c.newMarket()), c.query,
+		filepath.Join(t.TempDir(), "missing.qjl")); err == nil {
+		t.Error("resume of a nonexistent journal must fail")
+	}
+}
+
+// TestDurableMTurkResumeReattaches: over the REST backend, a durable
+// run killed by endpoint faults resumes against the same endpoint —
+// the re-posted groups reuse their UniqueRequestTokens, so the
+// endpoint's created-HIT log matches an uninterrupted run exactly.
+func TestDurableMTurkResumeReattaches(t *testing.T) {
+	ctx := context.Background()
+	t0 := time.Date(2026, 1, 2, 9, 0, 0, 0, time.UTC)
+	const query = `SELECT c.name FROM celeb c WHERE isFemale(c.img)`
+
+	build := func(fcfg MTurkFakeConfig) (*Engine, *MTurkFakeServer, *MTurkFakeClock) {
+		clock := NewMTurkFakeClock(t0)
+		fcfg.Clock = clock
+		fcfg.SubmitDelay = 2 * time.Second
+		f := NewMTurkFakeServer(fcfg)
+		t.Cleanup(f.Close)
+		eng := mturkEngineOver(t, f, clock)
+		return eng, f, clock
+	}
+
+	// Baseline: clean endpoint, uninterrupted durable run.
+	baseEng, baseSrv, _ := build(MTurkFakeConfig{YesPct: 100})
+	wantOut, _, err := RunQueryDurable(ctx, baseEng, query, filepath.Join(t.TempDir(), "base.qjl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := rowsOf(wantOut, "name")
+	wantTokens := sortedCopy(baseSrv.CreatedHITs())
+	if len(wantTokens) == 0 {
+		t.Fatal("baseline created no HITs")
+	}
+
+	// Faulted endpoint: the first CreateHIT's whole retry budget is
+	// consumed by injected 500s, killing the durable run mid-pipeline.
+	eng, srv, clock := build(MTurkFakeConfig{
+		YesPct:    100,
+		FailFirst: map[string]int{"CreateHIT": 3},
+	})
+	journal := filepath.Join(t.TempDir(), "crash.qjl")
+	if _, _, err := RunQueryDurable(ctx, eng, query, journal); err == nil {
+		t.Fatal("durable run survived faults that exhaust the retry budget")
+	}
+
+	// Resume with a fresh engine over the SAME endpoint and clock: the
+	// faults are spent, the journaled intents re-post, and the token
+	// log converges on the baseline's.
+	out, _, err := Resume(ctx, mturkEngineOver(t, srv, clock), query, journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsOf(out, "name") != wantRows {
+		t.Error("resumed MTurk rows differ from the uninterrupted run")
+	}
+	if got := sortedCopy(srv.CreatedHITs()); fmt.Sprint(got) != fmt.Sprint(wantTokens) {
+		t.Errorf("created-HIT tokens diverge\ngot:  %v\nwant: %v", got, wantTokens)
+	}
+}
+
+// mturkEngineOver builds an engine whose marketplace is a fresh MTurk
+// client pointed at an existing fake endpoint, sharing its clock.
+func mturkEngineOver(t *testing.T, f *MTurkFakeServer, clock *MTurkFakeClock) *Engine {
+	t.Helper()
+	c, err := NewMTurkClient(MTurkConfig{
+		Endpoint:           f.URL(),
+		AccessKey:          "FAKEKEY",
+		SecretKey:          "FAKESECRET",
+		Clock:              clock,
+		PollInterval:       time.Second,
+		AssignmentDuration: 5 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewCelebrities(CelebrityConfig{N: 20, Seed: 3})
+	eng := NewEngine(c, Options{})
+	eng.Catalog.Register(d.Celeb)
+	eng.Library.MustRegister(IsFemaleTask())
+	return eng
+}

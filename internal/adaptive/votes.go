@@ -393,8 +393,48 @@ func runVoteLoop(ctx context.Context, rel *relation.Relation, ft *task.Filter, c
 			still = append(still, i)
 		}
 		pending = still
+		// Durable runs checkpoint the shard's round state — the vote
+		// counters and the unsettled set — so a resume that replays the
+		// round's HITs must land on the same posterior or fail loudly.
+		if ck, ok := market.(checkpointer); ok {
+			if cerr := ck.Checkpoint("adaptive-round", groupID, digestRound(yes, no, pending, lo, hi), 0); cerr != nil {
+				return rounds, assignments, cerr
+			}
+		}
 	}
 	return rounds, assignments, nil
+}
+
+// checkpointer is the optional durability hook a journaling
+// marketplace wrapper (internal/wal.Market) exposes alongside the
+// crowd.Marketplace interface; plain markets don't implement it and
+// the vote loop skips checkpointing.
+type checkpointer interface {
+	Checkpoint(kind, label string, digest uint64, clock float64) error
+}
+
+// digestRound fingerprints one shard's post-round vote state.
+func digestRound(yes, no map[int]int, pending []int, lo, hi int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	fold := func(dig, v uint64) uint64 {
+		for i := 0; i < 8; i++ {
+			dig ^= (v >> (8 * i)) & 0xff
+			dig *= prime64
+		}
+		return dig
+	}
+	dig := uint64(offset64)
+	for i := lo; i < hi; i++ {
+		dig = fold(dig, uint64(yes[i])<<32|uint64(no[i]))
+	}
+	dig = fold(dig, uint64(len(pending)))
+	for _, i := range pending {
+		dig = fold(dig, uint64(i))
+	}
+	return dig
 }
 
 // --- Batch-size binary search (§6 "Choosing Batch Size") ---

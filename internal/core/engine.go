@@ -301,6 +301,20 @@ func (o *Options) fillDefaults() {
 	}
 }
 
+// JournalSink receives breaker checkpoints from the executor: a digest
+// of a pipeline breaker's materialized state (sort-group order, join
+// build table, extraction carry, adaptive-filter round) that a durable
+// run appends to its write-ahead journal and a resumed run verifies
+// against it. internal/wal's Journal implements it; the field is nil
+// for non-durable runs and operators must treat it as optional.
+type JournalSink interface {
+	// Checkpoint records or verifies one breaker checkpoint. kind names
+	// the breaker class, label the operator instance (typically its plan
+	// path), digest its state fingerprint, and clock the crowd-hours
+	// watermark when it was reached.
+	Checkpoint(kind, label string, digest uint64, clock float64) error
+}
+
 // Engine bundles the services every operator needs (paper Fig. 1: query
 // optimizer → executor → task manager → HIT compiler → crowd).
 type Engine struct {
@@ -310,6 +324,9 @@ type Engine struct {
 	Ledger  *cost.Ledger
 	Cache   *hit.Cache
 	Options Options
+	// Journal, when non-nil, receives breaker checkpoints during
+	// execution (durable runs; see internal/wal and qurk.RunQueryDurable).
+	Journal JournalSink
 }
 
 // NewEngine builds an engine with fresh catalog/library/ledger/cache.

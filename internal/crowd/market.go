@@ -2,6 +2,7 @@ package crowd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -229,6 +230,13 @@ type Config struct {
 	// GOMAXPROCS). Results are bit-identical at any setting; 1 forces
 	// fully sequential simulation.
 	Parallelism int
+	// TrackPosts keeps a log of every HIT admitted to the market (see
+	// PostedHITs) and deduplicates re-posts of an already-admitted HIT,
+	// modeling the real marketplace's idempotent re-attach: a resumed
+	// run that re-posts a group whose HITs are already live creates
+	// nothing new. Off by default (zero overhead); crash-recovery tests
+	// turn it on to assert zero duplicate posting.
+	TrackPosts bool
 }
 
 // DefaultConfig returns the calibrated defaults described above.
@@ -307,7 +315,22 @@ type SimMarket struct {
 	// calls on this market, so overlapped operator phases cannot
 	// oversubscribe the CPU to phases × GOMAXPROCS goroutines.
 	sem chan struct{}
+
+	// Post admission state (Config.TrackPosts / InjectCrashAfter),
+	// guarded by its own mutex so the hot simulation path never
+	// contends on it.
+	postMu     sync.Mutex
+	posted     map[string]bool
+	postLog    []string
+	crashArmed bool
+	crashLeft  int
+	crashed    bool
 }
+
+// ErrInjectedCrash is the failure a SimMarket armed with
+// InjectCrashAfter returns from the posting path; crash-recovery tests
+// treat it as the process dying mid-post.
+var ErrInjectedCrash = errors.New("crowd: injected crash")
 
 // NewSimMarket builds a marketplace over the oracle's ground truth.
 func NewSimMarket(cfg Config, oracle Oracle) *SimMarket {
@@ -323,6 +346,80 @@ func NewSimMarket(cfg Config, oracle Oracle) *SimMarket {
 		pop:    NewPopulation(cfg.Population, rng),
 		sem:    make(chan struct{}, par),
 	}
+}
+
+// InjectCrashAfter arms a one-shot fault: the market admits n more new
+// HITs and then fails the posting call that tries to admit the next
+// one with ErrInjectedCrash — and keeps failing every posting call
+// after that, like a dead process. HITs of the failing group admitted
+// before the trip stay admitted (a torn post, exactly what a crash
+// between HIT creations leaves behind). A negative n disarms the fault
+// so a "restarted" run can proceed. Re-posts of already-admitted HITs
+// never count against n (they are re-attaches, not new work).
+func (m *SimMarket) InjectCrashAfter(n int) {
+	m.postMu.Lock()
+	defer m.postMu.Unlock()
+	if n < 0 {
+		m.crashArmed = false
+		m.crashed = false
+		return
+	}
+	m.crashArmed = true
+	m.crashLeft = n
+	m.crashed = false
+}
+
+// PostedHITs returns the admission log: one "groupID/hitID" entry per
+// distinct HIT ever admitted, in admission order. Requires
+// Config.TrackPosts; crash-recovery tests compare this log between an
+// interrupted-and-resumed run and an uninterrupted one to prove zero
+// duplicate posting.
+func (m *SimMarket) PostedHITs() []string {
+	m.postMu.Lock()
+	defer m.postMu.Unlock()
+	out := make([]string, len(m.postLog))
+	copy(out, m.postLog)
+	return out
+}
+
+// admit runs the posting gate: it logs and deduplicates new HITs when
+// TrackPosts is on and trips the armed crash fault on the (n+1)th new
+// HIT. Returns the error the posting call should fail with, or nil.
+func (m *SimMarket) admit(group *hit.Group) error {
+	if !m.cfg.TrackPosts && !m.crashArmedSnapshot() {
+		return nil
+	}
+	m.postMu.Lock()
+	defer m.postMu.Unlock()
+	for _, h := range group.HITs {
+		key := group.ID + "/" + h.ID
+		if m.posted[key] {
+			continue // already live: re-attach, never a new post
+		}
+		if m.crashed || (m.crashArmed && m.crashLeft == 0) {
+			m.crashed = true
+			return ErrInjectedCrash
+		}
+		if m.crashArmed {
+			m.crashLeft--
+		}
+		if m.cfg.TrackPosts {
+			if m.posted == nil {
+				m.posted = map[string]bool{}
+			}
+			m.posted[key] = true
+			m.postLog = append(m.postLog, key)
+		}
+	}
+	return nil
+}
+
+// crashArmedSnapshot reads the fault flag under the lock so admit can
+// fast-path out when neither tracking nor fault injection is on.
+func (m *SimMarket) crashArmedSnapshot() bool {
+	m.postMu.Lock()
+	defer m.postMu.Unlock()
+	return m.crashArmed || m.crashed
 }
 
 // Population exposes the worker pool (experiments regress accuracy
@@ -431,6 +528,9 @@ func (m *SimMarket) RunAsync(group *hit.Group) <-chan Async {
 func (m *SimMarket) RunStream(group *hit.Group, deliver func(hitID string, as []hit.Assignment)) (*RunResult, error) {
 	if group == nil || len(group.HITs) == 0 {
 		return &RunResult{}, nil
+	}
+	if err := m.admit(group); err != nil {
+		return nil, err
 	}
 	res := &RunResult{}
 

@@ -253,7 +253,9 @@ func (e *extStream) finalizeEOS() error {
 		}
 	}
 	e.resolved = len(e.values)
-	return nil
+	// Durable runs checkpoint the carry: every subject's resolved
+	// feature values at the end-of-stream combine.
+	return e.x.checkpoint(ckptExtraction, e.groupID, digestValues(e.values, e.fields), e.lastDone)
 }
 
 // qidFor is subject i's question ID for the given field: one composite

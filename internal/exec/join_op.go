@@ -255,6 +255,11 @@ func (j *crowdJoinOp) start(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+		// Durable runs checkpoint the materialized build side (spilled
+		// partitions keep a running digest, so this is free of re-reads).
+		if err := j.x.checkpoint(ckptJoinBuild, j.path+".b", right.digest(), rReady); err != nil {
+			return err
+		}
 		j.rightRel = right
 		j.clock = rReady
 		if j.xr != nil {
@@ -287,6 +292,9 @@ func (j *crowdJoinOp) start(ctx context.Context) error {
 		return rerr
 	}
 	j.rightRel = memBuildTable(right)
+	if err := j.x.checkpoint(ckptJoinBuild, j.path+".b", j.rightRel.digest(), rReady); err != nil {
+		return err
+	}
 	j.clock = l.ready
 	if rReady > j.clock {
 		j.clock = rReady

@@ -303,6 +303,11 @@ func (o *crowdOrderByOp) Next(ctx context.Context) (*Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Durable runs checkpoint each settled group: the breaker's
+		// materialized rows plus the crowd-resolved permutation.
+		if err := o.x.checkpoint(ckptSortGroup, path, digestSortGroup(order, sub), done); err != nil {
+			return nil, err
+		}
 		if done > o.clock {
 			o.clock = done
 		}

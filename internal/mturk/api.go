@@ -170,19 +170,41 @@ func (c *Client) call(op string, in, out any) error {
 	const attempts = 3
 	var lastErr error
 	for try := 0; try < attempts; try++ {
-		if try > 0 {
-			c.cfg.Clock.Sleep(time.Duration(try) * 500 * time.Millisecond)
-		}
 		lastErr = c.callOnce(op, body, out)
 		if lastErr == nil {
 			return nil
 		}
 		var re *RequestError
-		if !errors.As(lastErr, &re) || (re.Status < 500 && re.Code != "ThrottlingException") {
+		if !errors.As(lastErr, &re) || (re.Status < 500 && re.Code != throttlingCode) {
 			return lastErr
+		}
+		if try < attempts-1 {
+			c.cfg.Clock.Sleep(c.backoff(try, re.Code == throttlingCode))
 		}
 	}
 	return lastErr
+}
+
+// throttlingCode is the error type a rate-limited endpoint answers
+// with; it is retryable but warrants a longer cool-off than a 5xx.
+const throttlingCode = "ThrottlingException"
+
+// backoff is the sleep after failed attempt try (0-based): a linearly
+// growing base — 500ms steps for server faults, 2s steps for
+// throttling responses, which signal the endpoint needs breathing room
+// rather than a quick second chance — with full jitter drawn from
+// [base/2, base) so concurrent operators' retries don't synchronize
+// against a rate-limited endpoint.
+func (c *Client) backoff(try int, throttled bool) time.Duration {
+	step := 500 * time.Millisecond
+	if throttled {
+		step = 2 * time.Second
+	}
+	base := time.Duration(try+1) * step
+	half := base / 2
+	c.backoffMu.Lock()
+	defer c.backoffMu.Unlock()
+	return half + time.Duration(c.backoffRNG.Int63n(int64(half)))
 }
 
 func (c *Client) callOnce(op string, body []byte, out any) error {

@@ -2,8 +2,11 @@ package mturk
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"qurk/internal/core"
@@ -149,6 +152,12 @@ func FromOptions(o core.MTurkOptions) Config {
 type Client struct {
 	cfg   Config
 	creds credentials
+	// backoffRNG draws retry jitter (api.go's backoff); seeded
+	// deterministically from the credentials so offline fake-clock runs
+	// stay reproducible. Guarded by backoffMu — operators retry
+	// concurrently and rand.Rand is not thread-safe.
+	backoffMu  sync.Mutex
+	backoffRNG *rand.Rand
 }
 
 // New builds a client; it fails fast when no credentials are resolvable
@@ -158,9 +167,14 @@ func New(cfg Config) (*Client, error) {
 	if cfg.AccessKey == "" || cfg.SecretKey == "" {
 		return nil, fmt.Errorf("mturk: no credentials: set Config.AccessKey/SecretKey or AWS_ACCESS_KEY_ID/AWS_SECRET_ACCESS_KEY")
 	}
+	seed := fnv.New64a()
+	seed.Write([]byte(cfg.AccessKey))
+	seed.Write([]byte{0})
+	seed.Write([]byte(cfg.Endpoint))
 	return &Client{
-		cfg:   cfg,
-		creds: credentials{accessKey: cfg.AccessKey, secretKey: cfg.SecretKey, sessionToken: cfg.SessionToken},
+		cfg:        cfg,
+		creds:      credentials{accessKey: cfg.AccessKey, secretKey: cfg.SecretKey, sessionToken: cfg.SessionToken},
+		backoffRNG: rand.New(rand.NewSource(int64(seed.Sum64()))),
 	}, nil
 }
 

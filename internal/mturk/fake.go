@@ -52,6 +52,18 @@ type FakeConfig struct {
 	// question's manifest entry and the worker ordinal and returns the
 	// FreeText convention of answers.go. Return ok=false to fall back.
 	Respond func(q ManifestQuestion, worker int) (string, bool)
+	// FailFirst injects transient faults: the first N calls of each
+	// named operation (e.g. "CreateHIT") are answered with HTTP 500
+	// ServiceFault before the operation starts serving normally. The
+	// client's bounded retry should absorb counts below its attempt
+	// budget; larger counts surface as RequestError — both paths are
+	// what crash-recovery and retry tests exercise end to end.
+	FailFirst map[string]int
+	// ThrottleEveryN, when positive, answers every Nth API call
+	// (counted across all operations, after signature verification)
+	// with HTTP 400 ThrottlingException — the rate-limit signal the
+	// client backs off from with a longer cool-off.
+	ThrottleEveryN int
 }
 
 // fakeAssignment is one fabricated worker pass.
@@ -96,6 +108,8 @@ type FakeServer struct {
 	hits     map[string]*fakeHIT // by MTurk HIT ID
 	byToken  map[string]string   // UniqueRequestToken → MTurk HIT ID
 	requests []RecordedRequest
+	failLeft map[string]int // remaining FailFirst faults per op
+	callNum  int            // total calls served (ThrottleEveryN counter)
 }
 
 // NewFakeServer starts the fake endpoint.
@@ -122,10 +136,14 @@ func NewFakeServer(cfg FakeConfig) *FakeServer {
 		cfg.YesPct = 0
 	}
 	f := &FakeServer{
-		cfg:     cfg,
-		creds:   credentials{accessKey: cfg.AccessKey, secretKey: cfg.SecretKey},
-		hits:    map[string]*fakeHIT{},
-		byToken: map[string]string{},
+		cfg:      cfg,
+		creds:    credentials{accessKey: cfg.AccessKey, secretKey: cfg.SecretKey},
+		hits:     map[string]*fakeHIT{},
+		byToken:  map[string]string{},
+		failLeft: map[string]int{},
+	}
+	for op, n := range cfg.FailFirst {
+		f.failLeft[op] = n
 	}
 	f.srv = httptest.NewServer(http.HandlerFunc(f.handle))
 	return f
@@ -212,6 +230,22 @@ func (f *FakeServer) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	f.mu.Lock()
 	f.requests = append(f.requests, RecordedRequest{Op: op, Body: string(body)})
+	f.callNum++
+	// Injected transient faults (FakeConfig.FailFirst/ThrottleEveryN):
+	// decided after signature verification and request recording so
+	// faulted calls still show up in Requests(), like a real endpoint's
+	// access log would.
+	if left := f.failLeft[op]; left > 0 {
+		f.failLeft[op] = left - 1
+		f.mu.Unlock()
+		f.fail(w, http.StatusInternalServerError, "ServiceFault", fmt.Sprintf("injected fault: %s", op))
+		return
+	}
+	if n := f.cfg.ThrottleEveryN; n > 0 && f.callNum%n == 0 {
+		f.mu.Unlock()
+		f.fail(w, http.StatusBadRequest, "ThrottlingException", "injected throttle")
+		return
+	}
 	f.mu.Unlock()
 
 	var out any

@@ -143,6 +143,25 @@ func tempDir(current *string) (string, error) {
 	return dir, nil
 }
 
+// --- Digest: order-sensitive state fingerprint ---
+
+// digestMix folds one tuple key into a running order-sensitive
+// fingerprint (FNV-1a step over the key's bytes, conceptually). Both
+// Table and Sorter expose the running value so pipeline breakers can
+// checkpoint their materialized state into a write-ahead journal
+// without a second pass over spilled runs.
+func digestMix(dig, key uint64) uint64 {
+	const prime64 = 1099511628211
+	if dig == 0 {
+		dig = 14695981039346656037 // FNV offset basis
+	}
+	for i := 0; i < 8; i++ {
+		dig ^= (key >> (8 * i)) & 0xff
+		dig *= prime64
+	}
+	return dig
+}
+
 // --- Table: partitioned append-only store (join build side) ---
 
 // Table is an append-only tuple store holding at most cap tuples in
@@ -159,6 +178,7 @@ type Table struct {
 	total  int
 	loaded int // index of the cached partition; -1 = none
 	cache  []relation.Tuple
+	dig    uint64 // running append-order fingerprint
 }
 
 // NewTable builds a table spilling past cap tuples (cap must be > 0).
@@ -178,10 +198,15 @@ func (t *Table) Schema() *relation.Schema { return t.schema }
 // Len is the total tuple count (in memory and spilled).
 func (t *Table) Len() int { return t.total }
 
+// Digest is an order-sensitive fingerprint of every tuple appended so
+// far; durable runs checkpoint it at pipeline breakers.
+func (t *Table) Digest() uint64 { return t.dig }
+
 // Append adds one tuple, spilling the in-memory partition when full.
 func (t *Table) Append(tp relation.Tuple) error {
 	t.tail = append(t.tail, tp)
 	t.total++
+	t.dig = digestMix(t.dig, tp.Key())
 	if len(t.tail) < t.cap {
 		return nil
 	}
@@ -257,6 +282,7 @@ type Sorter struct {
 	runSeq int
 	mem    []relation.Tuple
 	total  int
+	dig    uint64 // running add-order fingerprint
 }
 
 // NewSorter builds an external sorter spilling past cap tuples
@@ -271,10 +297,15 @@ func NewSorter(schema *relation.Schema, cap int, less func(a, b relation.Tuple) 
 // Len is the total tuple count added so far.
 func (s *Sorter) Len() int { return s.total }
 
+// Digest is an order-sensitive fingerprint of every tuple added so
+// far; durable runs checkpoint it at pipeline breakers.
+func (s *Sorter) Digest() uint64 { return s.dig }
+
 // Add accepts one tuple in input order.
 func (s *Sorter) Add(t relation.Tuple) error {
 	s.mem = append(s.mem, t)
 	s.total++
+	s.dig = digestMix(s.dig, t.Key())
 	if len(s.mem) < s.cap {
 		return nil
 	}

@@ -1,0 +1,410 @@
+// Package wal is the durability layer for crowd queries: an
+// append-only, fsync-on-commit, length-prefixed record journal that the
+// engine writes at every marketplace boundary, plus the replay
+// machinery qurk.Resume uses to rebuild operator state after a crash.
+//
+// A crowd query spends real dollars per HIT and runs for hours; losing
+// in-flight state to a process crash must not re-pay for answers
+// already collected. The journal records an intent before each HIT
+// group is posted and a result after its votes are folded, so a
+// resumed run replays completed groups from disk (zero marketplace
+// calls, zero duplicate spend) and re-posts only groups whose result
+// never committed — which the backends absorb idempotently (MTurk via
+// UniqueRequestToken re-attach, the simulator by re-deriving the same
+// deterministic answers).
+//
+// Record framing (grown from internal/spill's run-file encoding, with
+// integrity added): a fixed 8-byte header — uint32 little-endian
+// payload length, then uint32 little-endian CRC-32 (IEEE) of the
+// payload — followed by the JSON payload. Every commit is fsynced
+// before the caller proceeds, so the journal never claims work that
+// was not durably recorded. A torn tail (partial header, short
+// payload, or CRC mismatch from a crash mid-write) is truncated on
+// Open, and recovery resumes from the last complete record.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"qurk/internal/crowd"
+)
+
+// Record types, stored in each record's "t" field.
+const (
+	recMeta       = "meta"
+	recIntent     = "intent"
+	recResult     = "result"
+	recCheckpoint = "checkpoint"
+	recSeal       = "seal"
+)
+
+// SealComplete is the seal reason written when a durable run finishes
+// normally; any other reason marks an interrupted-but-clean shutdown.
+const SealComplete = "complete"
+
+// maxRecordBytes bounds a single record; a length prefix beyond it is
+// treated as tail corruption rather than an allocation request.
+const maxRecordBytes = 1 << 28 // 256 MiB
+
+// Meta identifies the query a journal belongs to. Resume refuses a
+// journal whose fingerprint does not match the query and engine
+// configuration it was asked to resume, since replaying one query's
+// results into another would silently corrupt both.
+type Meta struct {
+	// Version is the journal format version.
+	Version int `json:"version"`
+	// Query is the DSL source text, kept for human inspection.
+	Query string `json:"query"`
+	// Backend names the marketplace implementation (e.g. "sim",
+	// "*mturk.Client").
+	Backend string `json:"backend"`
+	// Fingerprint hashes the query source, engine options, and backend
+	// so a journal can only resume the run that created it.
+	Fingerprint uint64 `json:"fingerprint"`
+}
+
+// record is the on-disk JSON payload; exactly one of the per-type
+// field groups is populated, keyed by T.
+type record struct {
+	T string `json:"t"`
+	// meta
+	Meta *Meta `json:"meta,omitempty"`
+	// intent + result
+	Key     uint64           `json:"key,omitempty"`
+	GroupID string           `json:"group,omitempty"`
+	HITIDs  []string         `json:"hits,omitempty"`
+	Result  *crowd.RunResult `json:"result,omitempty"`
+	// checkpoint
+	Kind   string  `json:"kind,omitempty"`
+	Label  string  `json:"label,omitempty"`
+	Digest uint64  `json:"digest,omitempty"`
+	Clock  float64 `json:"clock,omitempty"`
+	// seal
+	Reason string `json:"reason,omitempty"`
+}
+
+// checkpoint is one recorded breaker checkpoint awaiting verification
+// on replay.
+type checkpoint struct {
+	digest uint64
+	clock  float64
+}
+
+// ErrDiverged reports that a resumed run recomputed a breaker
+// checkpoint whose digest differs from the recorded one — the inputs
+// or configuration changed since the journal was written, and
+// continuing would mix two different runs' state.
+var ErrDiverged = errors.New("wal: resumed run diverged from journal")
+
+// Journal is an open write-ahead journal. All methods are safe for
+// concurrent use; every append is fsynced before it returns.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	meta Meta
+
+	// Replay state loaded by Open. Results queue FIFO per content key
+	// so even two identical groups (impossible today — group IDs are
+	// unique per plan path — but cheap to be safe about) replay in
+	// recording order.
+	results map[uint64][]*crowd.RunResult
+	pending map[uint64]int // intents without a matching result
+	cps     map[string][]checkpoint
+	sealed  bool
+	reason  string
+}
+
+// Create starts a fresh journal at path, failing if one already
+// exists, and durably writes the meta record.
+func Create(path string, meta Meta) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	if meta.Version == 0 {
+		meta.Version = 1
+	}
+	j := &Journal{
+		f:       f,
+		path:    path,
+		meta:    meta,
+		results: map[uint64][]*crowd.RunResult{},
+		pending: map[uint64]int{},
+		cps:     map[string][]checkpoint{},
+	}
+	if err := j.append(&record{T: recMeta, Meta: &meta}); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return j, nil
+}
+
+// Open reads an existing journal, truncates any torn tail record left
+// by a crash mid-write, loads the replay state, and positions the file
+// for appending new records.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	j := &Journal{
+		f:       f,
+		path:    path,
+		results: map[uint64][]*crowd.RunResult{},
+		pending: map[uint64]int{},
+		cps:     map[string][]checkpoint{},
+	}
+	if err := j.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// load scans every complete record, building replay state, and
+// truncates the file at the first torn or corrupt record.
+func (j *Journal) load() error {
+	var off int64
+	var hdr [8]byte
+	sawMeta := false
+	for {
+		_, err := io.ReadFull(j.f, hdr[:])
+		if err == io.EOF {
+			break
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Torn header: crash mid-write. Recover to the last
+			// complete record.
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("wal: read: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecordBytes {
+			break // corrupt length — treat as torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(j.f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // torn payload
+			}
+			return fmt.Errorf("wal: read: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt payload
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break // corrupt JSON despite CRC: treat as tail damage
+		}
+		if !sawMeta && rec.T != recMeta {
+			return fmt.Errorf("wal: %s: first record is %q, not meta", j.path, rec.T)
+		}
+		j.apply(&rec)
+		sawMeta = true
+		off += int64(8 + length)
+	}
+	if !sawMeta {
+		return fmt.Errorf("wal: %s: no complete meta record", j.path)
+	}
+	if err := j.f.Truncate(off); err != nil {
+		return fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := j.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	return nil
+}
+
+// apply folds one recovered record into the replay state.
+func (j *Journal) apply(rec *record) {
+	switch rec.T {
+	case recMeta:
+		j.meta = *rec.Meta
+	case recIntent:
+		j.pending[rec.Key]++
+	case recResult:
+		j.results[rec.Key] = append(j.results[rec.Key], rec.Result)
+		if j.pending[rec.Key] > 0 {
+			j.pending[rec.Key]--
+		}
+	case recCheckpoint:
+		k := cpKey(rec.Kind, rec.Label)
+		j.cps[k] = append(j.cps[k], checkpoint{digest: rec.Digest, clock: rec.Clock})
+	case recSeal:
+		j.sealed = true
+		j.reason = rec.Reason
+	}
+	if rec.T != recSeal {
+		// Any record after a seal reopens the journal: a resumed run
+		// appended past a clean-interrupt marker.
+		j.sealed = false
+	}
+}
+
+func cpKey(kind, label string) string { return kind + "\x00" + label }
+
+// append encodes, writes, and fsyncs one record. Caller holds no lock;
+// append takes it.
+func (j *Journal) append(rec *record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wal: encode: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("wal: record too large (%d bytes)", len(payload))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("wal: journal closed")
+	}
+	if _, err := j.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	if _, err := j.f.Write(payload); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Meta returns the journal's identifying meta record.
+func (j *Journal) Meta() Meta {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.meta
+}
+
+// Sealed reports whether the journal's last record is a seal, and its
+// reason. A sealed journal ended cleanly — SealComplete for a finished
+// run, anything else for a graceful interrupt.
+func (j *Journal) Sealed() (bool, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sealed, j.reason
+}
+
+// PendingIntents counts groups whose posting intent committed but
+// whose result never did — the groups a resumed run will re-post.
+func (j *Journal) PendingIntents() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, c := range j.pending {
+		n += c
+	}
+	return n
+}
+
+// ReplayableResults counts group results loaded from disk that have
+// not yet been consumed by Replay.
+func (j *Journal) ReplayableResults() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, q := range j.results {
+		n += len(q)
+	}
+	return n
+}
+
+// LogIntent durably records that a group is about to be posted.
+func (j *Journal) LogIntent(key uint64, groupID string, hitIDs []string) error {
+	return j.append(&record{T: recIntent, Key: key, GroupID: groupID, HITIDs: hitIDs})
+}
+
+// LogResult durably records a completed group's folded outcome.
+func (j *Journal) LogResult(key uint64, res *crowd.RunResult) error {
+	return j.append(&record{T: recResult, Key: key, Result: res})
+}
+
+// Replay pops the recorded result for a group key, or nil when the
+// journal holds none — the group must then be (re-)posted for real.
+func (j *Journal) Replay(key uint64) *crowd.RunResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	q := j.results[key]
+	if len(q) == 0 {
+		return nil
+	}
+	res := q[0]
+	if len(q) == 1 {
+		delete(j.results, key)
+	} else {
+		j.results[key] = q[1:]
+	}
+	return res
+}
+
+// Checkpoint implements core.JournalSink: it verifies a recomputed
+// breaker checkpoint against the journal when one was recorded
+// (failing loudly with ErrDiverged on mismatch) and durably appends it
+// otherwise. Each (kind, label) keeps its own FIFO so concurrent
+// operator phases cannot race each other's checkpoints.
+func (j *Journal) Checkpoint(kind, label string, digest uint64, clock float64) error {
+	j.mu.Lock()
+	k := cpKey(kind, label)
+	if q := j.cps[k]; len(q) > 0 {
+		rec := q[0]
+		if len(q) == 1 {
+			delete(j.cps, k)
+		} else {
+			j.cps[k] = q[1:]
+		}
+		j.mu.Unlock()
+		if rec.digest != digest {
+			return fmt.Errorf("%w: %s %q digest %#x, journal has %#x", ErrDiverged, kind, label, digest, rec.digest)
+		}
+		return nil
+	}
+	j.mu.Unlock()
+	return j.append(&record{T: recCheckpoint, Kind: kind, Label: label, Digest: digest, Clock: clock})
+}
+
+// Seal durably marks a clean end of the journal. Reason SealComplete
+// means the run finished; any other reason records why it stopped. A
+// sealed journal still resumes — resuming a complete one just replays
+// everything and returns the same result.
+func (j *Journal) Seal(reason string) error {
+	if err := j.append(&record{T: recSeal, Reason: reason}); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.sealed = true
+	j.reason = reason
+	j.mu.Unlock()
+	return nil
+}
+
+// Close releases the journal file. It does not seal; a journal closed
+// without sealing reads as crashed-but-consistent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }

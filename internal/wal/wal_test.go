@@ -1,0 +1,331 @@
+package wal
+
+// Journal-level tests: record roundtrips, torn-write recovery (the
+// crash cases Open must absorb — partial header, short payload, bad
+// CRC), checkpoint verify-or-append semantics, and seal/unseal rules.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qurk/internal/crowd"
+	"qurk/internal/hit"
+)
+
+func tempJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "run.qjl")
+}
+
+func sampleResult(hitID string) *crowd.RunResult {
+	return &crowd.RunResult{
+		Assignments: []hit.Assignment{{
+			ID:          hitID + "/a0",
+			HITID:       hitID,
+			WorkerID:    "w1",
+			Answers:     []hit.Answer{{QuestionID: "q0", Bool: true}},
+			SubmitHours: 0.25,
+		}},
+		MakespanHours:    0.25,
+		TotalAssignments: 1,
+	}
+}
+
+// mustCreate opens a fresh journal with a canonical meta record.
+func mustCreate(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := Create(path, Meta{Query: "SELECT 1", Backend: "sim", Fingerprint: 0xabcd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestRoundtripAcrossReopen(t *testing.T) {
+	path := tempJournal(t)
+	j := mustCreate(t, path)
+	if err := j.LogIntent(7, "filter@q.g0", []string{"h0", "h1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogResult(7, sampleResult("h0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogIntent(9, "filter@q.g1", []string{"h2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Checkpoint("sort-group", "q.g0", 0x1234, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if m := r.Meta(); m.Version != 1 || m.Query != "SELECT 1" || m.Fingerprint != 0xabcd {
+		t.Errorf("meta did not roundtrip: %+v", m)
+	}
+	if sealed, _ := r.Sealed(); sealed {
+		t.Error("unsealed journal read back as sealed")
+	}
+	if got := r.PendingIntents(); got != 1 {
+		t.Errorf("PendingIntents = %d, want 1 (group 9's result never committed)", got)
+	}
+	if got := r.ReplayableResults(); got != 1 {
+		t.Errorf("ReplayableResults = %d, want 1", got)
+	}
+	res := r.Replay(7)
+	if res == nil || res.TotalAssignments != 1 || res.Assignments[0].HITID != "h0" {
+		t.Fatalf("Replay(7) = %+v, want the recorded result", res)
+	}
+	if r.Replay(7) != nil {
+		t.Error("second Replay(7) must be nil — results pop FIFO")
+	}
+	if r.Replay(9) != nil {
+		t.Error("Replay(9) must be nil — intent committed without a result")
+	}
+	// Recorded checkpoint verifies on matching digest, diverges otherwise.
+	if err := r.Checkpoint("sort-group", "q.g0", 0x1234, 1.5); err != nil {
+		t.Errorf("matching checkpoint must verify: %v", err)
+	}
+	// Queue drained — the same call now appends rather than verifying.
+	if err := r.Checkpoint("sort-group", "q.g0", 0x9999, 2.0); err != nil {
+		t.Errorf("post-drain checkpoint must append: %v", err)
+	}
+}
+
+func TestReplayFIFOPerKey(t *testing.T) {
+	path := tempJournal(t)
+	j := mustCreate(t, path)
+	if err := j.LogResult(3, sampleResult("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogResult(3, sampleResult("second")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Replay(3).Assignments[0].HITID; got != "first" {
+		t.Errorf("first replay = %q, want recording order", got)
+	}
+	if got := r.Replay(3).Assignments[0].HITID; got != "second" {
+		t.Errorf("second replay = %q, want recording order", got)
+	}
+}
+
+func TestCheckpointDivergenceFailsLoudly(t *testing.T) {
+	path := tempJournal(t)
+	j := mustCreate(t, path)
+	if err := j.Checkpoint("join-build", "j0.b", 0x1111, 0); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	err = r.Checkpoint("join-build", "j0.b", 0x2222, 0)
+	if err == nil {
+		t.Fatal("mismatched checkpoint digest must fail")
+	}
+	if !strings.Contains(err.Error(), "diverged") {
+		t.Errorf("error %q does not wrap ErrDiverged", err)
+	}
+}
+
+func TestSealAndReopen(t *testing.T) {
+	path := tempJournal(t)
+	j := mustCreate(t, path)
+	if err := j.Seal(SealComplete); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed, reason := r.Sealed(); !sealed || reason != SealComplete {
+		t.Errorf("Sealed() = %v %q, want true %q", sealed, reason, SealComplete)
+	}
+	// Appending past the seal reopens the journal.
+	if err := r.LogIntent(1, "g", nil); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if sealed, _ := r2.Sealed(); sealed {
+		t.Error("record appended after seal must clear the sealed state")
+	}
+}
+
+func TestCreateRefusesExistingFile(t *testing.T) {
+	path := tempJournal(t)
+	j := mustCreate(t, path)
+	j.Close()
+	if _, err := Create(path, Meta{}); err == nil {
+		t.Fatal("Create over an existing journal must fail")
+	}
+}
+
+func TestClosedJournalRefusesAppends(t *testing.T) {
+	path := tempJournal(t)
+	j := mustCreate(t, path)
+	j.Close()
+	if err := j.LogIntent(1, "g", nil); err == nil {
+		t.Error("append after Close must fail")
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("double Close must be a no-op, got %v", err)
+	}
+}
+
+// --- Torn-write recovery (satellite: crash-mid-write cases) ---
+
+// writeAndSize produces a journal with two complete records (meta +
+// one intent) and returns its byte size after just the meta record and
+// the full size, so tests can slice precisely.
+func tornFixture(t *testing.T) (path string, metaOnly, full int64) {
+	t.Helper()
+	path = tempJournal(t)
+	j := mustCreate(t, path)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaOnly = st.Size()
+	if err := j.LogIntent(42, "filter@q.g0", []string{"h0"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	st, err = os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, metaOnly, st.Size()
+}
+
+// reopenAndCheck opens the journal and asserts the intent record
+// either survived or was truncated away, then verifies the journal is
+// appendable again (recovery repositions the write offset).
+func reopenAndCheck(t *testing.T, path string, wantPending int) {
+	t.Helper()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.PendingIntents(); got != wantPending {
+		t.Errorf("PendingIntents after recovery = %d, want %d", got, wantPending)
+	}
+	if err := r.LogIntent(43, "filter@q.g1", nil); err != nil {
+		t.Errorf("journal not appendable after recovery: %v", err)
+	}
+}
+
+func TestRecoveryTruncatesPartialHeader(t *testing.T) {
+	path, metaOnly, _ := tornFixture(t)
+	// Leave 3 of the intent record's 8 header bytes: torn header.
+	if err := os.Truncate(path, metaOnly+3); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck(t, path, 0)
+}
+
+func TestRecoveryTruncatesShortPayload(t *testing.T) {
+	path, metaOnly, full := tornFixture(t)
+	// Keep the full header but cut the payload short.
+	if err := os.Truncate(path, (metaOnly+8+full)/2); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck(t, path, 0)
+}
+
+func TestRecoveryDropsCorruptCRC(t *testing.T) {
+	path, metaOnly, full := tornFixture(t)
+	// Flip one payload byte of the intent record: CRC mismatch.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := metaOnly + 8 + (full-metaOnly-8)/2
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], pos); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], pos); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	reopenAndCheck(t, path, 0)
+}
+
+func TestRecoveryKeepsCompleteRecordsBeforeTear(t *testing.T) {
+	path, _, full := tornFixture(t)
+	// Append garbage past the last complete record: only it is dropped.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x01, 0x02, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	reopenAndCheck(t, path, 1)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() < full {
+		t.Errorf("recovery truncated complete records: size %d < %d", st.Size(), full)
+	}
+}
+
+func TestRecoveryRejectsOversizedLength(t *testing.T) {
+	path, metaOnly, _ := tornFixture(t)
+	// Rewrite the intent record's length prefix to an absurd value; Open
+	// must treat it as tail corruption, not an allocation request.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, metaOnly); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	reopenAndCheck(t, path, 0)
+}
+
+func TestOpenRejectsJournalWithoutMeta(t *testing.T) {
+	path := tempJournal(t)
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("empty journal must not open")
+	}
+	// A journal whose meta record itself is torn is unusable too.
+	if err := os.WriteFile(path, []byte{0x04, 0x00}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("journal with torn meta must not open")
+	}
+}

@@ -27,6 +27,11 @@
 package qurk
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
 	"qurk/internal/adaptive"
 	"qurk/internal/combine"
 	"qurk/internal/core"
@@ -43,6 +48,7 @@ import (
 	"qurk/internal/sortop"
 	"qurk/internal/stats"
 	"qurk/internal/task"
+	"qurk/internal/wal"
 )
 
 // --- Relational substrate ---
@@ -538,6 +544,117 @@ var (
 // pricing ($0.015 per assignment).
 func DollarCost(hits, assignmentsPerHIT int) float64 {
 	return cost.Dollars(hits, assignmentsPerHIT)
+}
+
+// --- Durable runs and crash recovery (internal/wal) ---
+
+type (
+	// Journal is the append-only, fsync-on-commit write-ahead journal a
+	// durable run records marketplace traffic and breaker checkpoints
+	// into; qurk.Resume replays it after a crash.
+	Journal = wal.Journal
+	// JournalMeta identifies the query a journal belongs to; Resume
+	// refuses a journal whose fingerprint does not match.
+	JournalMeta = wal.Meta
+	// DurableMarket is the journaling Marketplace wrapper durable runs
+	// post through: intent record before each group, result record
+	// after, replay-from-disk on resume.
+	DurableMarket = wal.Market
+)
+
+var (
+	// CreateJournal starts a fresh journal file (fails if it exists).
+	CreateJournal = wal.Create
+	// OpenJournal opens an existing journal, truncating any torn tail
+	// record left by a crash mid-write.
+	OpenJournal = wal.Open
+	// NewDurableMarket wraps a marketplace so every group posted
+	// through it is journaled (and replayed on resume).
+	NewDurableMarket = wal.NewMarket
+	// ErrJournalDiverged reports that a resumed run recomputed breaker
+	// state that no longer matches the journal.
+	ErrJournalDiverged = wal.ErrDiverged
+)
+
+// RunQueryDurable executes one query like RunQueryContext but records
+// every marketplace interaction and breaker checkpoint into a fresh
+// write-ahead journal at journalPath (which must not exist yet). If
+// the process crashes — or the context is cancelled — partway through,
+// Resume with the same engine configuration and query picks the run
+// back up with zero duplicate HIT posting: completed groups replay
+// from the journal, and groups whose intent committed but whose result
+// did not are re-posted, which both backends absorb idempotently
+// (MTurk re-attaches to still-live HITs by UniqueRequestToken; the
+// simulator re-derives the same deterministic answers). On success the
+// journal is sealed "complete"; on error it is sealed with the reason
+// and remains resumable.
+func RunQueryDurable(ctx context.Context, e *Engine, src, journalPath string) (*Relation, *ExecStats, error) {
+	j, err := wal.Create(journalPath, JournalMeta{
+		Query:       src,
+		Backend:     fmt.Sprintf("%T", e.Market),
+		Fingerprint: queryFingerprint(e, src),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return runJournaled(ctx, e, src, j)
+}
+
+// Resume re-executes a durable run from its journal: recorded group
+// results replay from disk without touching the marketplace, breaker
+// checkpoints are verified (ErrJournalDiverged on mismatch), and
+// execution continues live from the last consistent frontier. The
+// engine must be configured identically to the original run — same
+// query, options, and backend kind — or Resume refuses the journal.
+// Resuming a journal sealed "complete" simply replays the whole run
+// and returns the same result.
+func Resume(ctx context.Context, e *Engine, src, journalPath string) (*Relation, *ExecStats, error) {
+	j, err := wal.Open(journalPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if got, want := j.Meta().Fingerprint, queryFingerprint(e, src); got != want {
+		j.Close()
+		return nil, nil, fmt.Errorf("qurk: journal %s was written by a different query or engine configuration (fingerprint %#x, want %#x)", journalPath, got, want)
+	}
+	return runJournaled(ctx, e, src, j)
+}
+
+// runJournaled runs src on a shallow engine copy whose marketplace is
+// wrapped with the journal; the copy shares the caller's ledger and
+// cache so accounting lands where it always does.
+func runJournaled(ctx context.Context, e *Engine, src string, j *wal.Journal) (*Relation, *ExecStats, error) {
+	defer j.Close()
+	e2 := *e
+	e2.Market = wal.NewMarket(e.Market, j)
+	e2.Journal = j
+	out, st, err := exec.RunQueryContext(ctx, &e2, src)
+	if err != nil {
+		// Best effort: the journal is already consistent record by
+		// record; the seal only annotates why the run stopped.
+		_ = j.Seal("interrupted: " + err.Error())
+		return nil, st, err
+	}
+	if serr := j.Seal(wal.SealComplete); serr != nil {
+		return out, st, serr
+	}
+	return out, st, nil
+}
+
+// queryFingerprint hashes everything that must match for a journal to
+// be replayable into a run: the query text, the engine options (which
+// fix batch sizes, seeds, and retry budgets — all of which shape HIT
+// identity), and the backend's concrete type.
+func queryFingerprint(e *Engine, src string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	h.Write([]byte{0})
+	if b, err := json.Marshal(e.Options); err == nil {
+		h.Write(b)
+	}
+	h.Write([]byte{0})
+	h.Write([]byte(fmt.Sprintf("%T", e.Market)))
+	return h.Sum64()
 }
 
 // --- Adaptive mechanisms (paper §6 future work, implemented) ---
