@@ -1,0 +1,70 @@
+package qurk
+
+import (
+	"context"
+	"testing"
+
+	"qurk/internal/answerstore"
+	"qurk/internal/core"
+	"qurk/internal/cost"
+	"qurk/internal/crowd"
+	"qurk/internal/dataset"
+	"qurk/internal/relation"
+	"qurk/internal/service"
+)
+
+// BenchmarkAnswerStoreDedup measures the tentpole's economics: two
+// tenants submit the identical query to one service, and the shared
+// answer store serves the second entirely from storage. The metrics
+// record the HITs and dollars the second tenant did NOT spend — the
+// cross-query savings a multi-tenant deployment banks on.
+func BenchmarkAnswerStoreDedup(b *testing.B) {
+	const asn = 3
+	query := `SELECT c.name FROM celeb AS c WHERE isFemale(c.img)`
+	for i := 0; i < b.N; i++ {
+		d := dataset.NewCelebrities(dataset.CelebrityConfig{N: 24, Seed: 11})
+		mcfg := crowd.DefaultConfig(11)
+		mcfg.TrackPosts = true
+		market := crowd.NewSimMarket(mcfg, d.Oracle())
+		store, err := answerstore.Open("", answerstore.Policy{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cat := relation.NewCatalog()
+		cat.Register(d.Celeb)
+		lib := core.NewLibrary()
+		lib.MustRegister(dataset.IsFemaleTask())
+		svc, err := service.New(service.Config{
+			Backends: map[string]crowd.Marketplace{"sim": market},
+			Catalog:  cat,
+			Library:  lib,
+			Answers:  store,
+			Options:  core.Options{Assignments: asn, FilterBatch: 2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(tenant string) {
+			q, err := svc.Submit(service.SubmitRequest{Tenant: tenant, Query: query})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := q.StreamRows(context.Background(), 0,
+				func(int, relation.Tuple) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		run("alice")
+		firstHITs := len(market.PostedHITs())
+		run("bob")
+		secondHITs := len(market.PostedHITs()) - firstHITs
+		svc.Close()
+		if i == 0 {
+			b.ReportMetric(float64(firstHITs), "first_query_HITs")
+			b.ReportMetric(float64(secondHITs), "second_query_HITs")
+			savedHITs := firstHITs - secondHITs
+			b.ReportMetric(float64(savedHITs), "HITs_saved")
+			b.ReportMetric(cost.Dollars(savedHITs, asn), "dollars_saved")
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// The Client API: one configured handle for running crowd queries.
+//
+// Client replaces the loose RunQuery / RunQueryDurable / Resume
+// function family: construct it once over a marketplace with
+// functional options (engine knobs, a shared catalog and task
+// library, a write-ahead journal for durable runs, a dollar budget, a
+// shared cross-query answer store), then Run, RunStream, Resume,
+// Optimize, and Explain queries against it. The old functions remain
+// as thin wrappers for compatibility.
+package qurk
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"qurk/internal/answerstore"
+	"qurk/internal/core"
+	"qurk/internal/cost"
+	"qurk/internal/exec"
+	"qurk/internal/relation"
+	"qurk/internal/service"
+	"qurk/internal/wal"
+)
+
+// --- Shared cross-query answer store (internal/answerstore) ---
+
+type (
+	// AnswerStore is the interface engines consult before posting any
+	// crowd question: content already answered (by this query or an
+	// earlier one) is served from the store and never posted.
+	AnswerStore = core.AnswerStore
+	// SharedAnswerStore is the persistent, concurrency-safe store
+	// implementation shared across queries (and across qurkd tenants).
+	SharedAnswerStore = answerstore.Store
+	// AnswerStorePolicy gates what stored answers are servable
+	// (minimum agreement, maximum age).
+	AnswerStorePolicy = answerstore.Policy
+	// AnswerStoreStats counts store traffic.
+	AnswerStoreStats = answerstore.Stats
+)
+
+// OpenAnswerStore opens (or creates) a shared answer store; an empty
+// path keeps it in memory only.
+var OpenAnswerStore = answerstore.Open
+
+// Shared-structure constructors for clients that pool a catalog or
+// task library across engines.
+var (
+	// NewCatalog returns an empty table catalog.
+	NewCatalog = relation.NewCatalog
+	// NewLibrary returns an empty task library.
+	NewLibrary = core.NewLibrary
+)
+
+// StreamSink receives result batches as the executor produces them
+// (rows plus the virtual crowd clock at which they became available).
+type StreamSink = exec.Sink
+
+// ErrBudgetExceeded reports that a run hit its client (or tenant)
+// dollar budget; posting stops immediately.
+var ErrBudgetExceeded = service.ErrBudgetExceeded
+
+// Client is a configured query-running handle over one marketplace.
+// The zero value is not usable; construct with NewClient. A Client is
+// safe for concurrent queries (the engine's services all are), though
+// durable runs serialize on their journal file.
+type Client struct {
+	eng     *Engine
+	journal string
+	budget  *service.Tenant
+}
+
+// clientConfig accumulates functional options.
+type clientConfig struct {
+	opts      Options
+	catalog   *Catalog
+	library   *Library
+	answers   AnswerStore
+	journal   string
+	budget    float64
+	hasBudget bool
+}
+
+// ClientOption configures NewClient.
+type ClientOption func(*clientConfig)
+
+// WithOptions sets the engine execution knobs (batch sizes, join and
+// sort interfaces, combiner, seed, ...).
+func WithOptions(o Options) ClientOption {
+	return func(c *clientConfig) { c.opts = o }
+}
+
+// WithAssignments sets workers per HIT without replacing the rest of
+// the options.
+func WithAssignments(n int) ClientOption {
+	return func(c *clientConfig) { c.opts.Assignments = n }
+}
+
+// WithCatalog shares a table catalog (e.g. a dataset's, or one pooled
+// across clients) instead of starting empty.
+func WithCatalog(cat *Catalog) ClientOption {
+	return func(c *clientConfig) { c.catalog = cat }
+}
+
+// WithLibrary shares a task library instead of starting empty.
+func WithLibrary(lib *Library) ClientOption {
+	return func(c *clientConfig) { c.library = lib }
+}
+
+// WithDataset wires a built-in dataset's catalog and task library
+// (see OpenDataset).
+func WithDataset(d *DatasetBundle) ClientOption {
+	return func(c *clientConfig) { c.catalog, c.library = d.Catalog, d.Library }
+}
+
+// WithAnswerStore shares a cross-query answer store: questions with
+// servable stored answers are never posted, and fresh answers feed
+// the store for later queries.
+func WithAnswerStore(s AnswerStore) ClientOption {
+	return func(c *clientConfig) { c.answers = s }
+}
+
+// WithJournal makes runs durable: Run records every marketplace
+// interaction into a fresh write-ahead journal at path, and Resume
+// picks an interrupted run back up with zero duplicate HIT posting.
+func WithJournal(path string) ClientOption {
+	return func(c *clientConfig) { c.journal = path }
+}
+
+// WithBudget caps the client's total crowd spend in dollars across
+// all its runs; a run that would exceed it stops posting and fails
+// with ErrBudgetExceeded. 0 means unlimited.
+func WithBudget(dollars float64) ClientOption {
+	return func(c *clientConfig) { c.budget, c.hasBudget = dollars, true }
+}
+
+// WithStreamChunk sets the streaming executor's HIT chunk size and
+// posting lookahead.
+func WithStreamChunk(hits, lookahead int) ClientOption {
+	return func(c *clientConfig) {
+		c.opts.StreamChunkHITs = hits
+		c.opts.StreamLookahead = lookahead
+	}
+}
+
+// NewClient builds a client over a marketplace.
+func NewClient(market Marketplace, opts ...ClientOption) *Client {
+	var cfg clientConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Client{journal: cfg.journal}
+	m := market
+	if cfg.hasBudget && cfg.budget > 0 {
+		c.budget = &service.Tenant{ID: "client", BudgetDollars: cfg.budget, Ledger: cost.NewLedger()}
+		m = &service.BudgetGate{Tenant: c.budget, Label: "client", Inner: market}
+	}
+	c.eng = NewEngine(m, cfg.opts)
+	if cfg.catalog != nil {
+		c.eng.Catalog = cfg.catalog
+	}
+	if cfg.library != nil {
+		c.eng.Library = cfg.library
+	}
+	c.eng.Answers = cfg.answers
+	return c
+}
+
+// Engine exposes the underlying engine (catalog and library
+// registration, ledger access, option inspection).
+func (c *Client) Engine() *Engine { return c.eng }
+
+// Ledger is the client's cost ledger.
+func (c *Client) Ledger() *Ledger { return c.eng.Ledger }
+
+// SpentDollars is the budget-gated spend so far (0 when no budget was
+// configured — read Ledger for unbudgeted accounting).
+func (c *Client) SpentDollars() float64 {
+	if c.budget == nil {
+		return 0
+	}
+	return c.budget.SpentDollars()
+}
+
+// Run executes one query. With WithJournal the run is durable (see
+// RunQueryDurable); otherwise it is a plain cancellable run.
+func (c *Client) Run(ctx context.Context, src string) (*Relation, *ExecStats, error) {
+	if c.journal != "" {
+		return runDurable(ctx, c.eng, src, c.journal)
+	}
+	return exec.RunQueryContext(ctx, c.eng, src)
+}
+
+// RunStream executes one query, delivering result batches to sink as
+// the executor produces them; the materialized relation is still
+// returned. Durable journaling applies as in Run.
+func (c *Client) RunStream(ctx context.Context, src string, sink StreamSink) (*Relation, *ExecStats, error) {
+	if c.journal != "" {
+		j, err := wal.Create(c.journal, journalMeta(c.eng, src))
+		if err != nil {
+			return nil, nil, err
+		}
+		return runJournaledStream(ctx, c.eng, src, j, sink)
+	}
+	return exec.RunQueryStreamContext(ctx, c.eng, src, sink)
+}
+
+// Resume continues an interrupted durable run from the client's
+// journal; it requires WithJournal.
+func (c *Client) Resume(ctx context.Context, src string) (*Relation, *ExecStats, error) {
+	if c.journal == "" {
+		return nil, nil, fmt.Errorf("qurk: Resume needs a journal (configure the client with WithJournal)")
+	}
+	return resumeJournal(ctx, c.eng, src, c.journal)
+}
+
+// Optimize runs the cost-based operator-selection pass for one query
+// (budgetDollars 0 = unconstrained).
+func (c *Client) Optimize(src string, budgetDollars float64) (*CostedPlan, error) {
+	return Optimize(c.eng, src, budgetDollars)
+}
+
+// Explain renders the costed physical plan for one query.
+func (c *Client) Explain(src string, opts ...ExplainOptions) (string, error) {
+	return Explain(c.eng, src, opts...)
+}
+
+// --- Built-in dataset bundles ---
+
+// DatasetBundle packages one built-in dataset ready for a Client: its
+// tables in a catalog, its task templates in a library, and its
+// ground-truth oracle for the simulated marketplace.
+type DatasetBundle struct {
+	// Name is the canonical dataset name.
+	Name string
+	// Catalog holds the dataset's tables.
+	Catalog *Catalog
+	// Library holds the dataset's task templates.
+	Library *Library
+	// Oracle answers the dataset's questions with ground truth (feed
+	// it to NewSimMarket).
+	Oracle Oracle
+}
+
+// OpenDataset builds a built-in dataset by name (celebrities, squares,
+// animals, movie). n sizes the generated datasets (celebrity count,
+// square count); seed drives their generation.
+func OpenDataset(name string, n int, seed int64) (*DatasetBundle, error) {
+	b := &DatasetBundle{Catalog: NewCatalog(), Library: NewLibrary()}
+	switch strings.ToLower(name) {
+	case "celebrities", "celebs", "celeb":
+		b.Name = "celebrities"
+		d := NewCelebrities(CelebrityConfig{N: n, Seed: seed})
+		b.Oracle = d.Oracle()
+		b.Catalog.Register(d.Celeb)
+		b.Catalog.Register(d.Photos)
+		for _, t := range []Task{IsFemaleTask(), SamePersonTask(), GenderTask(), HairColorTask(), SkinColorTask()} {
+			b.Library.MustRegister(t)
+		}
+	case "squares":
+		b.Name = "squares"
+		s := NewSquares(n)
+		b.Oracle = s.Oracle()
+		b.Catalog.Register(s.Rel)
+		b.Library.MustRegister(SquareSorterTask())
+	case "animals":
+		b.Name = "animals"
+		a := NewAnimals()
+		b.Oracle = a.Oracle()
+		b.Catalog.Register(a.Rel)
+		for _, t := range []Task{AnimalSizeTask(), DangerousTask(), SaturnTask(), AnimalInfoTask()} {
+			b.Library.MustRegister(t)
+		}
+	case "movie":
+		b.Name = "movie"
+		m := NewMovie(MovieConfig{Seed: seed})
+		b.Oracle = m.Oracle()
+		b.Catalog.Register(m.Actors)
+		b.Catalog.Register(m.Scenes)
+		for _, t := range []Task{InSceneTask(), NumInSceneTask(), QualityTask()} {
+			b.Library.MustRegister(t)
+		}
+	default:
+		return nil, fmt.Errorf("qurk: unknown dataset %q (want celebrities, squares, animals, or movie)", name)
+	}
+	return b, nil
+}

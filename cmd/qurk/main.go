@@ -81,14 +81,22 @@ func main() {
 		AssignmentDurationSeconds: *asnDuration,
 	}
 
+	data, err := qurk.OpenDataset(*datasetName, *n, *seed)
+	if err != nil {
+		fail(err)
+	}
 	market, err := buildMarket(*backend, &opts)
 	if err != nil {
 		fail(err)
 	}
-	eng, err := buildEngine(*datasetName, *n, *seed, opts, market)
-	if err != nil {
-		fail(err)
+	if market == nil {
+		market = qurk.NewSimMarket(qurk.DefaultMarketConfig(*seed), data.Oracle)
 	}
+	clientOpts := []qurk.ClientOption{qurk.WithOptions(opts), qurk.WithDataset(data)}
+	if *journalPath != "" {
+		clientOpts = append(clientOpts, qurk.WithJournal(*journalPath))
+	}
+	client := qurk.NewClient(market, clientOpts...)
 
 	queries := []string{}
 	if *file != "" {
@@ -100,7 +108,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if err := eng.Library.LoadScript(script); err != nil {
+		if err := client.Engine().Library.LoadScript(script); err != nil {
 			fail(err)
 		}
 		for _, q := range script.Queries {
@@ -112,7 +120,7 @@ func main() {
 	}
 	if len(queries) == 0 {
 		fail(fmt.Errorf("nothing to run: pass -query or -file (tasks available: %s)",
-			strings.Join(eng.Library.Names(), ", ")))
+			strings.Join(client.Engine().Library.Names(), ", ")))
 	}
 	if *journalPath != "" && len(queries) != 1 {
 		fail(fmt.Errorf("-journal records exactly one query per journal file, got %d", len(queries)))
@@ -126,7 +134,7 @@ func main() {
 
 	for _, q := range queries {
 		fmt.Println("query:", q)
-		plan, err := qurk.Explain(eng, q)
+		plan, err := client.Explain(q)
 		if err != nil {
 			fail(err)
 		}
@@ -136,17 +144,14 @@ func main() {
 		}
 		var out *qurk.Relation
 		var stats *qurk.ExecStats
-		switch {
-		case *journalPath != "" && *resume:
-			out, stats, err = qurk.Resume(ctx, eng, q, *journalPath)
-		case *journalPath != "":
-			out, stats, err = qurk.RunQueryDurable(ctx, eng, q, *journalPath)
-		default:
-			out, stats, err = qurk.RunQueryContext(ctx, eng, q)
+		if *resume {
+			out, stats, err = client.Resume(ctx, q)
+		} else {
+			out, stats, err = client.Run(ctx, q)
 		}
 		if err != nil {
 			if errors.Is(ctx.Err(), context.Canceled) {
-				reportInterrupted(eng, stats, *assignments, *journalPath)
+				reportInterrupted(client.Ledger(), stats, *assignments, *journalPath)
 			}
 			fail(err)
 		}
@@ -163,7 +168,7 @@ func main() {
 	}
 	if !*explainOnly {
 		fmt.Println("cost ledger:")
-		fmt.Println(eng.Ledger.Report())
+		fmt.Println(client.Ledger().Report())
 	}
 }
 
@@ -171,7 +176,7 @@ func main() {
 // the partial HIT and expiry counts plus the full cost ledger — and,
 // when the run was journaled, how to continue it. fail() then exits
 // nonzero.
-func reportInterrupted(eng *qurk.Engine, stats *qurk.ExecStats, assignments int, journalPath string) {
+func reportInterrupted(ledger *qurk.Ledger, stats *qurk.ExecStats, assignments int, journalPath string) {
 	fmt.Fprintln(os.Stderr, "\ninterrupted: partial progress before shutdown:")
 	if stats != nil {
 		fmt.Fprintf(os.Stderr, "  %d HITs posted, cost $%.2f\n", stats.TotalHITs(),
@@ -181,7 +186,7 @@ func reportInterrupted(eng *qurk.Engine, stats *qurk.ExecStats, assignments int,
 		}
 	}
 	fmt.Fprintln(os.Stderr, "cost ledger:")
-	fmt.Fprintln(os.Stderr, eng.Ledger.Report())
+	fmt.Fprintln(os.Stderr, ledger.Report())
 	if journalPath != "" {
 		fmt.Fprintf(os.Stderr, "journal sealed; continue with -journal %s -resume\n", journalPath)
 	} else {
@@ -221,56 +226,6 @@ func firstNonEmpty(a, b string) string {
 		return a
 	}
 	return b
-}
-
-// buildEngine wires a dataset's tables and tasks into an engine over
-// the given marketplace (nil = the dataset's ground-truth simulator).
-func buildEngine(name string, n int, seed int64, opts qurk.Options, market qurk.Marketplace) (*qurk.Engine, error) {
-	sim := func(oracle qurk.Oracle) qurk.Marketplace {
-		if market != nil {
-			return market
-		}
-		return qurk.NewSimMarket(qurk.DefaultMarketConfig(seed), oracle)
-	}
-	switch strings.ToLower(name) {
-	case "celebrities", "celebs", "celeb":
-		d := qurk.NewCelebrities(qurk.CelebrityConfig{N: n, Seed: seed})
-		eng := qurk.NewEngine(sim(d.Oracle()), opts)
-		eng.Catalog.Register(d.Celeb)
-		eng.Catalog.Register(d.Photos)
-		eng.Library.MustRegister(qurk.IsFemaleTask())
-		eng.Library.MustRegister(qurk.SamePersonTask())
-		eng.Library.MustRegister(qurk.GenderTask())
-		eng.Library.MustRegister(qurk.HairColorTask())
-		eng.Library.MustRegister(qurk.SkinColorTask())
-		return eng, nil
-	case "squares":
-		s := qurk.NewSquares(n)
-		eng := qurk.NewEngine(sim(s.Oracle()), opts)
-		eng.Catalog.Register(s.Rel)
-		eng.Library.MustRegister(qurk.SquareSorterTask())
-		return eng, nil
-	case "animals":
-		a := qurk.NewAnimals()
-		eng := qurk.NewEngine(sim(a.Oracle()), opts)
-		eng.Catalog.Register(a.Rel)
-		eng.Library.MustRegister(qurk.AnimalSizeTask())
-		eng.Library.MustRegister(qurk.DangerousTask())
-		eng.Library.MustRegister(qurk.SaturnTask())
-		eng.Library.MustRegister(qurk.AnimalInfoTask())
-		return eng, nil
-	case "movie":
-		m := qurk.NewMovie(qurk.MovieConfig{Seed: seed})
-		eng := qurk.NewEngine(sim(m.Oracle()), opts)
-		eng.Catalog.Register(m.Actors)
-		eng.Catalog.Register(m.Scenes)
-		eng.Library.MustRegister(qurk.InSceneTask())
-		eng.Library.MustRegister(qurk.NumInSceneTask())
-		eng.Library.MustRegister(qurk.QualityTask())
-		return eng, nil
-	default:
-		return nil, fmt.Errorf("unknown dataset %q (want celebrities, squares, animals, or movie)", name)
-	}
 }
 
 // parseJoin decodes simple / naive<B> / smart<R>x<C>.

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,8 +39,8 @@ ON inScene(actors.img, scenes.img)
 ORDER BY name, quality(scenes.img)`
 	naiveHITs := runNaive(movie, naiveQuery)
 
-	// Optimizer-first flow: build an engine with DEFAULT options, let
-	// plan.Optimize choose join/sort interfaces and batch shapes from
+	// Optimizer-first flow: build a client with DEFAULT options, let
+	// Client.Optimize choose join/sort interfaces and batch shapes from
 	// catalog cardinalities, and execute the annotated plan.
 	optHITs := runOptimized(movie)
 
@@ -47,52 +48,53 @@ ORDER BY name, quality(scenes.img)`
 		naiveHITs, optHITs, float64(naiveHITs)/float64(optHITs))
 }
 
-// newEngine wires the movie dataset over a fresh simulated crowd.
-func newEngine(movie *qurk.Movie, opts qurk.Options) *qurk.Engine {
+// newClient wires the movie dataset over a fresh simulated crowd.
+func newClient(movie *qurk.Movie, opts qurk.Options) *qurk.Client {
 	market := qurk.NewSimMarket(qurk.DefaultMarketConfig(5), movie.Oracle())
-	eng := qurk.NewEngine(market, opts)
+	client := qurk.NewClient(market, qurk.WithOptions(opts))
+	eng := client.Engine()
 	eng.Catalog.Register(movie.Actors)
 	eng.Catalog.Register(movie.Scenes)
 	eng.Library.MustRegister(qurk.InSceneTask())
 	eng.Library.MustRegister(qurk.NumInSceneTask())
 	eng.Library.MustRegister(qurk.QualityTask())
-	return eng
+	return client
 }
 
 func runNaive(movie *qurk.Movie, src string) int {
-	eng := newEngine(movie, qurk.Options{
+	client := newClient(movie, qurk.Options{
 		JoinAlgorithm: qurk.SimpleJoin,
 		SortMethod:    qurk.SortCompare,
 	})
 	fmt.Println("--- UNOPTIMIZED (hand-picked: Simple join, Compare sort, no filter)")
-	out, stats, err := qurk.RunQuery(eng, src)
+	out, stats, err := client.Run(context.Background(), src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report(movie, eng, out, stats)
+	report(movie, client, out, stats)
 	return stats.TotalHITs()
 }
 
 func runOptimized(movie *qurk.Movie) int {
-	eng := newEngine(movie, qurk.Options{})
+	client := newClient(movie, qurk.Options{})
 	// Optimize renders the costed plan — interface per operator,
 	// estimated HITs and dollars — and returns the annotated tree that
 	// RunPlan executes as-is.
-	cp, err := qurk.Optimize(eng, queryText, 0)
+	cp, err := client.Optimize(queryText, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("--- OPTIMIZED (cost-based operator selection)")
 	fmt.Println(cp.Render())
-	out, stats, err := qurk.RunPlan(eng, cp.Root)
+	out, stats, err := qurk.RunPlan(client.Engine(), cp.Root)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report(movie, eng, out, stats)
+	report(movie, client, out, stats)
 	return stats.TotalHITs()
 }
 
-func report(movie *qurk.Movie, eng *qurk.Engine, out *qurk.Relation, stats *qurk.ExecStats) {
+func report(movie *qurk.Movie, client *qurk.Client, out *qurk.Relation, stats *qurk.ExecStats) {
 	// Score result rows against ground truth.
 	correct := 0
 	for i := 0; i < out.Len(); i++ {
@@ -112,7 +114,7 @@ func report(movie *qurk.Movie, eng *qurk.Engine, out *qurk.Relation, stats *qurk
 	}
 	fmt.Printf("result: %d rows (%d true inScene matches), %d HITs, cost $%.2f\n",
 		out.Len(), correct, stats.TotalHITs(),
-		qurk.DollarCost(stats.TotalHITs(), eng.Options.Assignments))
+		qurk.DollarCost(stats.TotalHITs(), client.Engine().Options.Assignments))
 	// The streaming executor overlaps crowd phases (filter HIT chunks
 	// feed the join while later chunks are still out), so the pipelined
 	// end-to-end makespan beats the serial no-overlap estimate.

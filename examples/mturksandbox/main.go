@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -66,11 +67,11 @@ func main() {
 // runOn executes the query over the given marketplace and reports
 // rows, HITs, expirations, and makespan.
 func runOn(market qurk.Marketplace, celebs *qurk.Celebrities) {
-	eng := qurk.NewEngine(market, qurk.Options{})
-	eng.Catalog.Register(celebs.Celeb)
-	eng.Library.MustRegister(qurk.IsFemaleTask())
+	c := qurk.NewClient(market)
+	c.Engine().Catalog.Register(celebs.Celeb)
+	c.Engine().Library.MustRegister(qurk.IsFemaleTask())
 
-	out, stats, err := qurk.RunQuery(eng, queryText)
+	out, stats, err := c.Run(context.Background(), queryText)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func runOn(market qurk.Marketplace, celebs *qurk.Celebrities) {
 	}
 	fmt.Printf("%d HITs, cost $%.2f, makespan %.2fh\n",
 		stats.TotalHITs(),
-		qurk.DollarCost(stats.TotalHITs(), eng.Options.Assignments),
+		qurk.DollarCost(stats.TotalHITs(), c.Engine().Options.Assignments),
 		stats.PipelineMakespanHours)
 	if n := stats.TotalExpired(); n > 0 {
 		fmt.Printf("%d assignments expired (accepted but never submitted) and were re-posted\n", n)

@@ -1,9 +1,11 @@
 // Command quickstart runs the paper's first example (§2.1): a crowd
 // filter finding the female celebrities in a table, written in the TASK
-// DSL, executed against the simulated marketplace.
+// DSL, executed against the simulated marketplace through the Client
+// API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,20 +31,21 @@ func main() {
 	celebs := qurk.NewCelebrities(qurk.CelebrityConfig{N: 30, Seed: 7})
 	market := qurk.NewSimMarket(qurk.DefaultMarketConfig(7), celebs.Oracle())
 
-	// Build an engine, register the table, and load the TASK DSL.
-	eng := qurk.NewEngine(market, qurk.Options{Assignments: 5, FilterBatch: 5})
-	eng.Catalog.Register(celebs.Celeb)
+	// Build a client, register the table, and load the TASK DSL.
+	client := qurk.NewClient(market,
+		qurk.WithOptions(qurk.Options{Assignments: 5, FilterBatch: 5}))
+	client.Engine().Catalog.Register(celebs.Celeb)
 	parsed, err := qurk.ParseScript(script)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.Library.LoadScript(parsed); err != nil {
+	if err := client.Engine().Library.LoadScript(parsed); err != nil {
 		log.Fatal(err)
 	}
 
 	// Show the logical plan, then run the query.
 	queryText := parsed.Queries[0].String()
-	planText, err := qurk.Explain(eng, queryText)
+	planText, err := client.Explain(queryText)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +53,7 @@ func main() {
 	fmt.Println("\nPlan (crowd operators marked with a smiley):")
 	fmt.Println(planText)
 
-	out, stats, err := qurk.RunQuery(eng, queryText)
+	out, stats, err := client.Run(context.Background(), queryText)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,9 +61,9 @@ func main() {
 	for i := 0; i < out.Len(); i++ {
 		fmt.Println("  -", out.Row(i).MustGet("name").Text())
 	}
+	asn := client.Engine().Options.Assignments
 	fmt.Printf("\nCost: %d HITs x %d assignments = $%.2f\n",
-		stats.TotalHITs(), eng.Options.Assignments,
-		qurk.DollarCost(stats.TotalHITs(), eng.Options.Assignments))
+		stats.TotalHITs(), asn, qurk.DollarCost(stats.TotalHITs(), asn))
 	fmt.Println("\nLedger:")
-	fmt.Println(eng.Ledger.Report())
+	fmt.Println(client.Ledger().Report())
 }

@@ -315,6 +315,20 @@ type JournalSink interface {
 	Checkpoint(kind, label string, digest uint64, clock float64) error
 }
 
+// AnswerStore is a content-addressed vote store consulted before a
+// crowd question is posted and fed after its votes fold. The per-run
+// hit.Cache satisfies it; internal/answerstore implements the
+// persistent, cross-query variant the multi-tenant service shares
+// between queries and tenants. Implementations must be safe for
+// concurrent use: one store serves many queries at once.
+type AnswerStore interface {
+	// Lookup returns stored votes for a question with identical content
+	// (Question.CacheKey), if the store's policy allows serving them.
+	Lookup(q *hit.Question) ([]hit.CachedAnswer, bool)
+	// Store records a completed question's votes for future lookups.
+	Store(q *hit.Question, answers []hit.CachedAnswer)
+}
+
 // Engine bundles the services every operator needs (paper Fig. 1: query
 // optimizer → executor → task manager → HIT compiler → crowd).
 type Engine struct {
@@ -327,6 +341,13 @@ type Engine struct {
 	// Journal, when non-nil, receives breaker checkpoints during
 	// execution (durable runs; see internal/wal and qurk.RunQueryDurable).
 	Journal JournalSink
+	// Answers, when non-nil, is the shared cross-query answer store: a
+	// question whose content already has servable votes is answered from
+	// the store and never posted, and every freshly collected question
+	// feeds it. Unlike Cache (per-run, consulted only by the adaptive
+	// filter path), Answers is consulted by every crowd operator and is
+	// typically shared by many engines in a qurkd process.
+	Answers AnswerStore
 }
 
 // NewEngine builds an engine with fresh catalog/library/ledger/cache.

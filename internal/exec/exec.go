@@ -56,6 +56,10 @@ type Stats struct {
 	mu         sync.Mutex
 	Operators  []OpStat
 	Incomplete []string
+	// Reused counts questions resolved from the engine's shared answer
+	// store (core.Engine.Answers) instead of being posted — crowd work
+	// some earlier query already paid for.
+	Reused int
 	// PipelineMakespanHours is the end-to-end crowd makespan on the
 	// streaming executor's virtual clock: each batch is stamped with
 	// the time its rows became available, crowd chunks advance the
@@ -69,6 +73,20 @@ func (s *Stats) add(st OpStat, incomplete ...string) {
 	defer s.mu.Unlock()
 	s.Operators = append(s.Operators, st)
 	s.Incomplete = append(s.Incomplete, incomplete...)
+}
+
+// addReused bumps the answer-store reuse counter.
+func (s *Stats) addReused(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Reused += n
+}
+
+// TotalReused reports questions served from the shared answer store.
+func (s *Stats) TotalReused() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Reused
 }
 
 // registerOp reserves a Stats slot at plan-compile time so operator
@@ -205,6 +223,34 @@ func RunPlan(e *core.Engine, node plan.Node) (*relation.Relation, *Stats, error)
 // RunPlanContext compiles the plan to a streaming operator tree and
 // drains it.
 func RunPlanContext(ctx context.Context, e *core.Engine, node plan.Node) (*relation.Relation, *Stats, error) {
+	return RunPlanStreamContext(ctx, e, node, nil)
+}
+
+// Sink receives one batch of result tuples as the streaming executor
+// produces it: the rows, and the virtual crowd clock at which they
+// became available. Returning an error aborts the run.
+type Sink func(tuples []relation.Tuple, ready float64) error
+
+// RunQueryStreamContext is RunQueryContext with incremental delivery:
+// sink observes every result batch as the root operator yields it, so
+// callers (the qurkd row stream, Client.RunStream) can forward rows
+// while crowd work is still in flight. The fully materialized relation
+// is still returned at the end.
+func RunQueryStreamContext(ctx context.Context, e *core.Engine, src string, sink Sink) (*relation.Relation, *Stats, error) {
+	stmt, err := query.ParseQuery(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	node, err := plan.Build(stmt, e.Library)
+	if err != nil {
+		return nil, nil, err
+	}
+	return RunPlanStreamContext(ctx, e, node, sink)
+}
+
+// RunPlanStreamContext is RunPlanContext with incremental delivery
+// through sink (nil for none).
+func RunPlanStreamContext(ctx context.Context, e *core.Engine, node plan.Node, sink Sink) (*relation.Relation, *Stats, error) {
 	x := &executor{eng: e, stats: &Stats{}}
 	root, err := x.build(node, "q")
 	if err != nil {
@@ -222,6 +268,11 @@ func RunPlanContext(ctx context.Context, e *core.Engine, node plan.Node) (*relat
 		}
 		for _, t := range b.Tuples {
 			if err := out.Append(t); err != nil {
+				return nil, x.stats, err
+			}
+		}
+		if sink != nil && len(b.Tuples) > 0 {
+			if err := sink(b.Tuples, b.Ready); err != nil {
 				return nil, x.stats, err
 			}
 		}
@@ -631,6 +682,7 @@ func (x *executor) buildGenerative(child Operator, label, groupID string, gt *ta
 		hitSize: hitSize,
 		builder: hit.NewBuilder(groupID, assignments, 1),
 		slotOf:  map[string]int{},
+		asked:   map[uint64]bool{},
 	}
 	g.emit.size = x.eng.Options.ExecBatch
 	g.eosVotes = map[string][]combine.Vote{}
@@ -710,10 +762,39 @@ func (x *executor) runSortQuestions(ctx context.Context, label, groupID string,
 	p := x.newPoster(groupID, new(int), acct)
 	b := hit.NewBuilder(groupID, assignments, 1)
 	qbuf := questions
+	// Serve questions the shared answer store already holds (a prior
+	// query's identical compare group or rating batch) before anything
+	// posts; only the remainder reaches the marketplace.
+	if x.eng.Answers != nil {
+		kept := make([]hit.Question, 0, len(questions))
+		asked := map[uint64]bool{}
+		for i := range questions {
+			q := &questions[i]
+			served := false
+			if key := q.CacheKey(); !asked[key] {
+				asked[key] = true
+				as, ok, err := x.answersLookup(q, clock)
+				if err != nil {
+					return clock, acct, err
+				}
+				if ok {
+					for _, ca := range as {
+						add(q.ID, ca.Answer)
+					}
+					served = true
+				}
+			}
+			if !served {
+				kept = append(kept, questions[i])
+			}
+		}
+		qbuf = kept
+	}
 	if err := p.FlushQuestions(b, &qbuf, perHIT, true); err != nil {
 		return clock, acct, err
 	}
 	done, err := p.Drain(ctx, clock, func(q *hit.Question, as []hit.CachedAnswer, done float64) error {
+		x.answersStore(q, as)
 		for _, ca := range as {
 			add(q.ID, ca.Answer)
 		}

@@ -52,13 +52,18 @@ type generativeOp struct {
 	qbuf    []hit.Question
 	slots   []*gslot
 	slotOf  map[string]int
-	emit    emitQueue
-	emitAt  int
-	clock   float64
-	eos     bool
-	closed  bool
-	done    bool
-	final   bool
+	// asked gates answer-store lookups by question content: each
+	// distinct content is looked up once per run, at first mint, so
+	// store-hit behavior never depends on chunk collection timing (see
+	// answers.go).
+	asked  map[uint64]bool
+	emit   emitQueue
+	emitAt int
+	clock  float64
+	eos    bool
+	closed bool
+	done   bool
+	final  bool
 	// eosVotes buffers per-field votes (in question order) for
 	// stateful combiners.
 	eosVotes map[string][]combine.Vote
@@ -192,6 +197,19 @@ func (g *generativeOp) step(ctx context.Context) error {
 				Fields: g.fields,
 			}
 			g.slotOf[q.ID] = slotIdx
+			if !g.asked[q.CacheKey()] {
+				g.asked[q.CacheKey()] = true
+				as, ok, err := g.x.answersLookup(&q, in.Ready)
+				if err != nil {
+					return err
+				}
+				if ok {
+					if err := g.resolveQ(&q, as, in.Ready); err != nil {
+						return err
+					}
+					continue
+				}
+			}
 			g.qbuf = append(g.qbuf, q)
 			if err := g.flushHIT(false); err != nil {
 				return err
@@ -222,32 +240,40 @@ func (g *generativeOp) flushHIT(force bool) error {
 // order) when its retry resolves.
 func (g *generativeOp) collectChunk(ctx context.Context) error {
 	_, err := g.post.CollectOne(ctx, func(q *hit.Question, as []hit.CachedAnswer, done float64) error {
-		s := g.slots[g.slotOf[q.ID]]
-		if !g.perQ {
-			for _, fname := range g.fields {
-				g.eosVotes[fname] = append(g.eosVotes[fname], g.fieldVotes(q.ID, fname, as)...)
-			}
-			return nil
-		}
-		for _, fname := range g.fields {
-			vs := g.fieldVotes(q.ID, fname, as)
-			val := ""
-			if len(vs) > 0 {
-				decisions, cerr := g.comb[fname].Combine(vs)
-				if cerr != nil {
-					return cerr
-				}
-				val = decisions[q.ID].Value
-			}
-			s.values[fname] = val
-		}
-		s.done = true
-		if done > s.ready {
-			s.ready = done
-		}
-		return nil
+		g.x.answersStore(q, as)
+		return g.resolveQ(q, as, done)
 	})
 	return err
+}
+
+// resolveQ folds one resolved question's answers into its slot
+// (PerQuestion path) or the EOS vote buffers. Both the poster's collect
+// callback and an answer-store hit at mint time resolve through here.
+func (g *generativeOp) resolveQ(q *hit.Question, as []hit.CachedAnswer, done float64) error {
+	s := g.slots[g.slotOf[q.ID]]
+	if !g.perQ {
+		for _, fname := range g.fields {
+			g.eosVotes[fname] = append(g.eosVotes[fname], g.fieldVotes(q.ID, fname, as)...)
+		}
+		return nil
+	}
+	for _, fname := range g.fields {
+		vs := g.fieldVotes(q.ID, fname, as)
+		val := ""
+		if len(vs) > 0 {
+			decisions, cerr := g.comb[fname].Combine(vs)
+			if cerr != nil {
+				return cerr
+			}
+			val = decisions[q.ID].Value
+		}
+		s.values[fname] = val
+	}
+	s.done = true
+	if done > s.ready {
+		s.ready = done
+	}
+	return nil
 }
 
 // fieldVotes normalizes one field's answers out of a question's raw

@@ -35,7 +35,10 @@ type jslot struct {
 	pending  int
 	decided  bool
 	accepted bool
-	ready    float64
+	// served marks a pair resolved from the shared answer store at mint
+	// time; later duplicate occurrences keep the verdict without posting.
+	served bool
+	ready  float64
 }
 
 type crowdJoinOp struct {
@@ -392,8 +395,28 @@ func (j *crowdJoinOp) layoutGrids(left, right *relation.Relation, le, re *join.E
 	if err != nil {
 		return err
 	}
-	// A candidate's cell lives in exactly one grid HIT.
+	// Serve whole grid HITs from the answer store where possible: a grid
+	// question's content key covers its full item layout, so a stored
+	// entry decides every cell (a candidate's cell lives in exactly one
+	// grid HIT). Grids are built one question per HIT, so serving is
+	// all-or-nothing per HIT; multi-question HITs always post.
+	var post []*hit.HIT
 	for _, h := range hits {
+		if len(h.Questions) == 1 {
+			as, ok, err := j.x.answersLookup(&h.Questions[0], j.clock)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := j.applyGridAnswers(&h.Questions[0], as); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		post = append(post, h)
+	}
+	for _, h := range post {
 		for qi := range h.Questions {
 			q := &h.Questions[qi]
 			for _, lt := range q.LeftItems {
@@ -406,22 +429,110 @@ func (j *crowdJoinOp) layoutGrids(left, right *relation.Relation, le, re *join.E
 			}
 		}
 	}
-	j.post.Enqueue(hits...)
+	j.post.Enqueue(post...)
 	j.pairsDone = true
 	return nil
 }
 
+// applyGridAnswers decides every cell of one store-served grid question
+// from its stored worker answers — the same per-cell vote expansion
+// join.CollectVotes performs for freshly collected grids.
+func (j *crowdJoinOp) applyGridAnswers(q *hit.Question, as []hit.CachedAnswer) error {
+	for li, lt := range q.LeftItems {
+		for ri, rt := range q.RightItems {
+			key := join.Pair{Left: lt, Right: rt}.Key()
+			idx, ok := j.slotOf[key]
+			if !ok {
+				continue
+			}
+			s := j.slots[idx]
+			votes := make([]combine.Vote, 0, len(as))
+			for _, ca := range as {
+				sel := false
+				for _, pr := range ca.Answer.Pairs {
+					if pr == [2]int{li, ri} {
+						sel = true
+						break
+					}
+				}
+				votes = append(votes, combine.Vote{Question: key, Worker: ca.WorkerID, Value: combine.BoolVote(sel)})
+			}
+			s.served = true
+			if j.clock > s.ready {
+				s.ready = j.clock
+			}
+			if j.perQ {
+				s.votes = append(s.votes, votes...)
+				if !s.decided {
+					if err := j.decideSlot(s, key); err != nil {
+						return err
+					}
+					s.decided = true
+				}
+			} else {
+				j.eosVotes = append(j.eosVotes, votes...)
+			}
+		}
+	}
+	return nil
+}
+
 // noteSlot registers a candidate pair, deduplicating by content key
-// (first appearance wins, fixing emission order).
-func (j *crowdJoinOp) noteSlot(p join.Pair) *jslot {
+// (first appearance wins, fixing emission order). The second result
+// reports whether this was the pair's first appearance.
+func (j *crowdJoinOp) noteSlot(p join.Pair) (*jslot, bool) {
 	key := p.Key()
 	if idx, ok := j.slotOf[key]; ok {
-		return j.slots[idx]
+		return j.slots[idx], false
 	}
 	s := &jslot{pair: p}
 	j.slotOf[key] = len(j.slots)
 	j.slots = append(j.slots, s)
-	return s
+	return s, true
+}
+
+// mintPair queues one candidate pair's question — unless the pair was
+// already resolved from the answer store (first appearance consults
+// the store; a servable entry decides the slot without posting).
+func (j *crowdJoinOp) mintPair(p join.Pair, s *jslot, isNew bool, batch int, clock float64) error {
+	if s.served {
+		return nil
+	}
+	q := hit.Question{
+		ID:   p.Key(),
+		Kind: hit.JoinPairQ,
+		Task: j.node.Task.Name,
+		Left: p.Left, Right: p.Right,
+	}
+	if isNew {
+		as, ok, err := j.x.answersLookup(&q, clock)
+		if err != nil {
+			return err
+		}
+		if ok {
+			votes := make([]combine.Vote, 0, len(as))
+			for _, ca := range as {
+				votes = append(votes, combine.Vote{Question: q.ID, Worker: ca.WorkerID, Value: combine.BoolVote(ca.Answer.Bool)})
+			}
+			s.served = true
+			if clock > s.ready {
+				s.ready = clock
+			}
+			if j.perQ {
+				s.votes = votes
+				if err := j.decideSlot(s, q.ID); err != nil {
+					return err
+				}
+				s.decided = true
+			} else {
+				j.eosVotes = append(j.eosVotes, votes...)
+			}
+			return nil
+		}
+	}
+	s.pending++
+	j.qbuf = append(j.qbuf, q)
+	return j.flushHIT(batch, false)
 }
 
 // nextPair produces the next candidate pair on the featureless
@@ -500,15 +611,8 @@ func (j *crowdJoinOp) step(ctx context.Context) error {
 				j.pairsDone = true
 				return j.flushHIT(batch, true)
 			}
-			s := j.noteSlot(p)
-			s.pending++
-			j.qbuf = append(j.qbuf, hit.Question{
-				ID:   p.Key(),
-				Kind: hit.JoinPairQ,
-				Task: j.node.Task.Name,
-				Left: p.Left, Right: p.Right,
-			})
-			if err := j.flushHIT(batch, false); err != nil {
+			s, isNew := j.noteSlot(p)
+			if err := j.mintPair(p, s, isNew, batch, j.clock); err != nil {
 				return err
 			}
 		}
@@ -624,11 +728,11 @@ func (j *crowdJoinOp) stepExtracting(ctx context.Context, batch int) error {
 		}
 	}
 	consider(j.xr.post.OldestSeq(), func(ctx context.Context) error {
-		_, err := j.xr.post.CollectOne(ctx, j.xr.resolveQ)
+		_, err := j.xr.post.CollectOne(ctx, j.xr.resolveCollected)
 		return err
 	})
 	consider(j.xl.post.OldestSeq(), func(ctx context.Context) error {
-		_, err := j.xl.post.CollectOne(ctx, j.xl.resolveQ)
+		_, err := j.xl.post.CollectOne(ctx, j.xl.resolveCollected)
 		return err
 	})
 	consider(j.post.OldestSeq(), j.collectChunk)
@@ -687,15 +791,8 @@ func (j *crowdJoinOp) genPairs(batch int) (bool, error) {
 				continue
 			}
 			p := join.Pair{LeftIndex: j.genLeft, RightIndex: ri, Left: lt, Right: rt}
-			s := j.noteSlot(p)
-			s.pending++
-			j.qbuf = append(j.qbuf, hit.Question{
-				ID:   p.Key(),
-				Kind: hit.JoinPairQ,
-				Task: j.node.Task.Name,
-				Left: p.Left, Right: p.Right,
-			})
-			if err := j.flushHIT(batch, false); err != nil {
+			s, isNew := j.noteSlot(p)
+			if err := j.mintPair(p, s, isNew, batch, j.pairClock); err != nil {
 				return false, err
 			}
 		}
@@ -739,6 +836,27 @@ func (j *crowdJoinOp) collectChunk(ctx context.Context) error {
 	}
 	retrying = poster.MergeRetrying(retrying, xretrying)
 	exhausted = append(exhausted, xincomplete...)
+	// Feed resolved questions to the shared answer store (skipping those
+	// still pending a refusal/expiry retry — their final vote set
+	// arrives with a later chunk). Duplicate questions with one ID
+	// aggregate their votes, matching what the slots accumulate.
+	if j.x.eng.Answers != nil {
+		byQ := map[string][]hit.CachedAnswer{}
+		hit.ForEachAnswer(c.HITs, res.Assignments, func(q *hit.Question, worker string, ans hit.Answer) {
+			byQ[q.ID] = append(byQ[q.ID], hit.CachedAnswer{WorkerID: worker, Answer: ans})
+		})
+		stored := map[string]bool{}
+		for _, h := range c.HITs {
+			for qi := range h.Questions {
+				q := &h.Questions[qi]
+				if retrying[q.ID] > 0 || stored[q.ID] {
+					continue
+				}
+				stored[q.ID] = true
+				j.x.answersStore(q, byQ[q.ID])
+			}
+		}
+	}
 	votes := join.CollectVotes(c.HITs, res.Assignments)
 	if j.perQ {
 		// EOS-mode combiners read only eosVotes; buffering per slot too

@@ -327,8 +327,21 @@ func (f *crowdFilterOp) ingest(in *Batch) error {
 				Task:  br.ft.Name,
 				Tuple: t,
 			}
-			if f.x.eng.Cache != nil && !br.asked[q.CacheKey()] {
-				if cached, ok := f.x.eng.Cache.Lookup(&q); ok {
+			if !br.asked[q.CacheKey()] {
+				// Per-run task cache first, then the shared cross-query
+				// answer store.
+				cached, ok := []hit.CachedAnswer(nil), false
+				if f.x.eng.Cache != nil {
+					cached, ok = f.x.eng.Cache.Lookup(&q)
+				}
+				if !ok {
+					var err error
+					cached, ok, err = f.x.answersLookup(&q, in.Ready)
+					if err != nil {
+						return err
+					}
+				}
+				if ok {
 					votes := make([]combine.Vote, 0, len(cached))
 					for _, ca := range cached {
 						votes = append(votes, combine.Vote{Question: q.ID, Worker: ca.WorkerID, Value: combine.BoolVote(ca.Answer.Bool)})
@@ -396,6 +409,7 @@ func (f *crowdFilterOp) collectChunk(ctx context.Context, br *filterBranch) erro
 			// when the retry resolves.
 			f.x.eng.Cache.Store(q, as)
 		}
+		f.x.answersStore(q, as)
 		votes := make([]combine.Vote, 0, len(as))
 		for _, ca := range as {
 			votes = append(votes, combine.Vote{Question: q.ID, Worker: ca.WorkerID, Value: combine.BoolVote(ca.Answer.Bool)})

@@ -1,0 +1,64 @@
+package hit
+
+import (
+	"testing"
+
+	"qurk/internal/relation"
+)
+
+func TestCacheKeyNormalizesFieldOrder(t *testing.T) {
+	sch := relation.MustSchema(relation.Column{Name: "img", Kind: relation.KindText})
+	tp := relation.MustTuple(sch, relation.Text("x.jpg"))
+	a := Question{ID: "a", Kind: GenerativeQ, Task: "extract", Tuple: tp,
+		Fields: []string{"gender", "hair", "age"}}
+	b := Question{ID: "b", Kind: GenerativeQ, Task: "extract", Tuple: tp,
+		Fields: []string{"age", "gender", "hair"}}
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatal("field order must not change the cache key")
+	}
+	c := Question{ID: "c", Kind: GenerativeQ, Task: "extract", Tuple: tp,
+		Fields: []string{"age", "gender"}}
+	if a.CacheKey() == c.CacheKey() {
+		t.Fatal("different field sets must produce different keys")
+	}
+}
+
+func TestCacheKeyNormalizesTupleColumnOrder(t *testing.T) {
+	a := relation.MustSchema(
+		relation.Column{Name: "name", Kind: relation.KindText},
+		relation.Column{Name: "img", Kind: relation.KindText})
+	b := relation.MustSchema(
+		relation.Column{Name: "x.img", Kind: relation.KindText},
+		relation.Column{Name: "x.name", Kind: relation.KindText})
+	qa := Question{ID: "a", Kind: FilterQ, Task: "t",
+		Tuple: relation.MustTuple(a, relation.Text("alice"), relation.Text("alice.jpg"))}
+	qb := Question{ID: "b", Kind: FilterQ, Task: "t",
+		Tuple: relation.MustTuple(b, relation.Text("alice.jpg"), relation.Text("alice"))}
+	if qa.CacheKey() != qb.CacheKey() {
+		t.Fatal("cache key must be content-addressed, not projection-ordered")
+	}
+}
+
+func TestCacheKeyKeepsCompareItemOrderSignificant(t *testing.T) {
+	// Compare answers reference items by index, so reordering the group
+	// is a genuinely different question.
+	sch := relation.MustSchema(relation.Column{Name: "img", Kind: relation.KindText})
+	x := relation.MustTuple(sch, relation.Text("x"))
+	y := relation.MustTuple(sch, relation.Text("y"))
+	a := Question{ID: "a", Kind: CompareQ, Task: "t", Items: []relation.Tuple{x, y}}
+	b := Question{ID: "b", Kind: CompareQ, Task: "t", Items: []relation.Tuple{y, x}}
+	if a.CacheKey() == b.CacheKey() {
+		t.Fatal("compare item order must stay significant")
+	}
+}
+
+func TestCacheKeySeparatesTaskAndKind(t *testing.T) {
+	sch := relation.MustSchema(relation.Column{Name: "img", Kind: relation.KindText})
+	tp := relation.MustTuple(sch, relation.Text("x.jpg"))
+	a := Question{ID: "a", Kind: FilterQ, Task: "t1", Tuple: tp}
+	b := Question{ID: "b", Kind: FilterQ, Task: "t2", Tuple: tp}
+	c := Question{ID: "c", Kind: RateQ, Task: "t1", Tuple: tp, Scale: 7}
+	if a.CacheKey() == b.CacheKey() || a.CacheKey() == c.CacheKey() {
+		t.Fatal("task and kind must distinguish keys")
+	}
+}

@@ -103,12 +103,23 @@ func (q *Question) UnitCount() int {
 // CacheKey returns a stable content hash of the question (task, kind and
 // all referenced tuples) for HIT result caching (paper §2.6: "first
 // checks to see if the HIT is cached").
+//
+// The hash is canonical: tuples are hashed by their content
+// (relation.Tuple.CanonicalKey — column order and alias qualifiers do
+// not matter) and the generative field list is sorted before hashing,
+// so the same logical question minted by two different queries (or by
+// the same query over a differently-ordered projection) produces the
+// same key. The cross-query answer store depends on this; keys that
+// baked in incidental field ordering used to miss on map-iteration
+// order. Item order inside CompareQ and JoinGridQ stays significant:
+// their answers (Order permutations, Pairs cells) reference items by
+// index, so reordering the items genuinely changes the question.
 func (q *Question) CacheKey() uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%d|", q.Task, q.Kind)
 	writeTuple := func(t relation.Tuple) {
 		if t.Schema() != nil {
-			fmt.Fprintf(h, "%x;", t.Key())
+			fmt.Fprintf(h, "%x;", t.CanonicalKey())
 		}
 	}
 	writeTuple(q.Tuple)
@@ -125,7 +136,12 @@ func (q *Question) CacheKey() uint64 {
 	for _, t := range q.Items {
 		writeTuple(t)
 	}
-	fmt.Fprintf(h, "|%s|%d", strings.Join(q.Fields, ","), q.Scale)
+	fields := q.Fields
+	if len(fields) > 1 && !sort.StringsAreSorted(fields) {
+		fields = append([]string(nil), fields...)
+		sort.Strings(fields)
+	}
+	fmt.Fprintf(h, "|%s|%d", strings.Join(fields, ","), q.Scale)
 	return h.Sum64()
 }
 

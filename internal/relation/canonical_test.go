@@ -1,0 +1,40 @@
+package relation
+
+import "testing"
+
+func TestCanonicalKeyIgnoresColumnOrderAndAlias(t *testing.T) {
+	a := MustSchema(Column{Name: "name", Kind: KindText}, Column{Name: "img", Kind: KindText})
+	b := MustSchema(Column{Name: "c.img", Kind: KindText}, Column{Name: "C.Name", Kind: KindText})
+	ta := MustTuple(a, Text("alice"), Text("alice.jpg"))
+	tb := MustTuple(b, Text("alice.jpg"), Text("alice"))
+	if ta.CanonicalKey() != tb.CanonicalKey() {
+		t.Fatal("canonical keys should match across column order and alias qualifiers")
+	}
+	// Positional Key is (intentionally) order-sensitive.
+	if ta.Key() == tb.Key() {
+		t.Fatal("positional keys should differ for reordered values")
+	}
+}
+
+func TestCanonicalKeyDistinguishesContent(t *testing.T) {
+	s := MustSchema(Column{Name: "name", Kind: KindText}, Column{Name: "img", Kind: KindText})
+	a := MustTuple(s, Text("alice"), Text("alice.jpg"))
+	b := MustTuple(s, Text("alice.jpg"), Text("alice")) // same values, swapped columns
+	c := MustTuple(s, Text("bob"), Text("bob.jpg"))
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Fatal("swapping values across differently-named columns changes content")
+	}
+	if a.CanonicalKey() == c.CanonicalKey() {
+		t.Fatal("different content must produce different keys")
+	}
+}
+
+func TestCanonicalKeyDistinguishesValueKinds(t *testing.T) {
+	s := MustSchema(Column{Name: "v", Kind: KindText})
+	si := MustSchema(Column{Name: "v", Kind: KindInt})
+	a := MustTuple(s, Text("1"))
+	b := MustTuple(si, Int(1))
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Fatal("text \"1\" and int 1 must hash differently")
+	}
+}

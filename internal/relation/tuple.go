@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strings"
 )
 
@@ -106,6 +107,36 @@ func (t Tuple) Key() uint64 {
 		h.Write([]byte{byte(v.kind)})
 		h.Write([]byte(v.String()))
 		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// CanonicalKey returns a content hash that is independent of column
+// order and of query-specific alias qualifiers: each (column, value)
+// pair is hashed as (base column name, value kind, value text), with
+// the pairs sorted lexicographically before hashing. Two tuples that
+// carry the same named content — even if one query projected the
+// columns in a different order or under a different table alias —
+// produce the same key. The cross-query answer store keys on this so
+// identical questions asked by different queries share crowd votes;
+// the positional Key above stays as-is for within-run identity.
+func (t Tuple) CanonicalKey() uint64 {
+	parts := make([]string, len(t.vals))
+	for i, v := range t.vals {
+		name := ""
+		if t.schema != nil && i < t.schema.Len() {
+			name = strings.ToLower(t.schema.Column(i).Name)
+			if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+				name = name[dot+1:]
+			}
+		}
+		parts[i] = name + "\x00" + string([]byte{byte(v.kind)}) + "\x00" + v.String()
+	}
+	sort.Strings(parts)
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0xff})
 	}
 	return h.Sum64()
 }

@@ -1,0 +1,523 @@
+// Package service is qurkd's multi-tenant query service: many
+// concurrent queries from many tenants over shared crowd marketplaces
+// and a shared cross-query answer store.
+//
+// The pieces, composed per the paper's architecture (Fig. 1) scaled to
+// a long-running process:
+//
+//   - One Mux per backend: a single dispatch loop all queries' HIT
+//     chunks post through, so the process maintains one poster loop
+//     per marketplace rather than one per query.
+//   - One Tenant per paying principal, with a dollar budget enforced
+//     through a cost.Ledger: queries are admitted only when the
+//     optimizer's estimate fits the remaining budget, and every posted
+//     group is charged before it reaches the marketplace (BudgetGate),
+//     cutting a query off mid-run when the money runs out.
+//   - One shared core.AnswerStore (internal/answerstore) across every
+//     engine the service builds: a question some earlier query already
+//     paid for is served from the store and never posted again.
+//
+// Each submitted query gets its own engine — fresh ledger, cache, and
+// options — sharing the service-wide catalog, task library, answer
+// store, and backend mux. Results stream: rows are appended to the
+// query as the executor yields batches, and any number of subscribers
+// (HTTP chunked responses) follow along.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"qurk/internal/core"
+	"qurk/internal/cost"
+	"qurk/internal/crowd"
+	"qurk/internal/exec"
+	"qurk/internal/plan"
+	"qurk/internal/query"
+	"qurk/internal/relation"
+)
+
+// Config wires a Service.
+type Config struct {
+	// Backends maps backend names to marketplaces; each is wrapped in
+	// its own Mux. Required: at least one.
+	Backends map[string]crowd.Marketplace
+	// DefaultBackend names the backend used when a submission does not
+	// pick one; defaults to the sole backend when there is exactly one.
+	DefaultBackend string
+	// Catalog and Library are shared by every query's engine.
+	Catalog *relation.Catalog
+	Library *core.Library
+	// Answers is the shared cross-query answer store (nil disables
+	// reuse).
+	Answers core.AnswerStore
+	// Options are the engine defaults each submission may override.
+	Options core.Options
+	// Tenants is the tenant directory; nil creates an empty one.
+	Tenants *Registry
+	// DefaultBudgetDollars seeds tenants auto-created at submission
+	// time (0 = unlimited).
+	DefaultBudgetDollars float64
+}
+
+// State is a query's lifecycle phase.
+type State string
+
+// Query lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Query is one submitted query's full lifecycle record.
+type Query struct {
+	// ID is the service-assigned handle ("q0001").
+	ID string
+	// TenantID, Backend, and Src echo the submission.
+	TenantID string
+	Backend  string
+	Src      string
+
+	svc    *Service
+	engine *core.Engine
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  State
+	err    error
+	schema *relation.Schema
+	rows   []relation.Tuple
+	stats  *exec.Stats
+	// wake is closed and replaced whenever rows or state change, so
+	// row subscribers can block without polling.
+	wake chan struct{}
+}
+
+// Snapshot is a query's JSON-ready status.
+type Snapshot struct {
+	ID      string   `json:"id"`
+	Tenant  string   `json:"tenant"`
+	Backend string   `json:"backend"`
+	Query   string   `json:"query"`
+	State   State    `json:"state"`
+	Error   string   `json:"error,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+	Rows    int      `json:"rows"`
+	// HITs/Assignments/Reused/Dollars summarize crowd spending so far;
+	// Reused counts questions served from the shared answer store.
+	HITs          int     `json:"hits"`
+	Reused        int     `json:"reused"`
+	Dollars       float64 `json:"dollars"`
+	MakespanHours float64 `json:"makespan_hours,omitempty"`
+}
+
+// Service is the multi-tenant query service.
+type Service struct {
+	cfg     Config
+	muxes   map[string]*Mux
+	tenants *Registry
+
+	mu      sync.Mutex
+	queries map[string]*Query
+	order   []string
+	nextID  int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New builds a Service; it validates that at least one backend exists
+// and resolves the default backend.
+func New(cfg Config) (*Service, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("service: no backends configured")
+	}
+	if cfg.DefaultBackend == "" {
+		if len(cfg.Backends) == 1 {
+			for name := range cfg.Backends {
+				cfg.DefaultBackend = name
+			}
+		} else {
+			return nil, errors.New("service: multiple backends need an explicit DefaultBackend")
+		}
+	}
+	if _, ok := cfg.Backends[cfg.DefaultBackend]; !ok {
+		return nil, fmt.Errorf("service: default backend %q is not configured", cfg.DefaultBackend)
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = relation.NewCatalog()
+	}
+	if cfg.Library == nil {
+		cfg.Library = core.NewLibrary()
+	}
+	if cfg.Tenants == nil {
+		cfg.Tenants = NewRegistry()
+	}
+	s := &Service{
+		cfg:     cfg,
+		muxes:   map[string]*Mux{},
+		tenants: cfg.Tenants,
+		queries: map[string]*Query{},
+	}
+	for name, m := range cfg.Backends {
+		s.muxes[name] = NewMux(m)
+	}
+	return s, nil
+}
+
+// Tenants exposes the tenant directory.
+func (s *Service) Tenants() *Registry { return s.tenants }
+
+// MuxStats reports per-backend admitted groups and HITs.
+func (s *Service) MuxStats() map[string][2]int {
+	out := map[string][2]int{}
+	for name, m := range s.muxes {
+		g, h := m.Stats()
+		out[name] = [2]int{g, h}
+	}
+	return out
+}
+
+// SubmitRequest is one query submission.
+type SubmitRequest struct {
+	// Tenant is required; unknown tenants are created with the
+	// service's default budget.
+	Tenant string
+	// Query is the query text (required).
+	Query string
+	// Backend picks a configured marketplace ("" = default).
+	Backend string
+	// Options overrides the service defaults for this query (nil =
+	// defaults).
+	Options *core.Options
+}
+
+// Submit admits and starts one query, returning its handle
+// immediately; execution proceeds in the background. Admission fails
+// with ErrBudgetExceeded when the optimizer's cost estimate does not
+// fit the tenant's remaining budget.
+func (s *Service) Submit(req SubmitRequest) (*Query, error) {
+	if req.Tenant == "" {
+		return nil, errors.New("service: submission needs a tenant")
+	}
+	if req.Query == "" {
+		return nil, errors.New("service: submission needs a query")
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = s.cfg.DefaultBackend
+	}
+	mux, ok := s.muxes[backend]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown backend %q", backend)
+	}
+	opts := s.cfg.Options
+	if req.Options != nil {
+		opts = *req.Options
+	}
+	tenant := s.tenants.Ensure(req.Tenant, s.cfg.DefaultBudgetDollars)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("service: shut down")
+	}
+	s.nextID++
+	id := fmt.Sprintf("q%04d", s.nextID)
+	s.mu.Unlock()
+
+	eng := core.NewEngine(&BudgetGate{Tenant: tenant, Label: id, Inner: mux}, opts)
+	eng.Catalog = s.cfg.Catalog
+	eng.Library = s.cfg.Library
+	eng.Answers = s.cfg.Answers
+
+	// Admission control: the query must parse, plan, and fit the
+	// tenant's remaining budget by the optimizer's estimate.
+	if err := s.admit(eng, tenant, req.Query); err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Query{
+		ID:       id,
+		TenantID: tenant.ID,
+		Backend:  backend,
+		Src:      req.Query,
+		svc:      s,
+		engine:   eng,
+		cancel:   cancel,
+		state:    StateQueued,
+		wake:     make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.queries[id] = q
+	s.order = append(s.order, id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go q.run(ctx)
+	return q, nil
+}
+
+// admit parses and cost-estimates the query against the tenant's
+// remaining budget. Parse and plan errors reject the submission here,
+// synchronously, rather than as a failed background query.
+func (s *Service) admit(eng *core.Engine, tenant *Tenant, src string) error {
+	stmt, err := query.ParseQuery(src)
+	if err != nil {
+		return err
+	}
+	node, err := plan.Build(stmt, eng.Library)
+	if err != nil {
+		return err
+	}
+	cp, err := plan.Optimize(node, eng.Catalog, plan.OptimizeOptionsFrom(eng.Options, 0))
+	if err != nil {
+		return err
+	}
+	return tenant.admit(cp.TotalDollars)
+}
+
+// run executes the query, streaming rows into the record.
+func (q *Query) run(ctx context.Context) {
+	defer q.svc.wg.Done()
+	q.transition(StateRunning, nil, nil)
+	out, st, err := exec.RunQueryStreamContext(ctx, q.engine, q.Src, func(ts []relation.Tuple, _ float64) error {
+		q.appendRows(ts)
+		return nil
+	})
+	switch {
+	case err == nil:
+		q.mu.Lock()
+		if out != nil {
+			q.schema = out.Schema()
+		}
+		q.mu.Unlock()
+		q.transition(StateDone, st, nil)
+	case ctx.Err() != nil:
+		q.transition(StateCancelled, st, context.Cause(ctx))
+	default:
+		q.transition(StateFailed, st, err)
+	}
+}
+
+func (q *Query) appendRows(ts []relation.Tuple) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.rows = append(q.rows, ts...)
+	if q.schema == nil && len(ts) > 0 {
+		q.schema = ts[0].Schema()
+	}
+	q.broadcast()
+}
+
+// transition moves the query to a new state unless it is already
+// terminal (a cancel that races completion keeps the first outcome).
+func (q *Query) transition(st State, stats *exec.Stats, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.state.Terminal() {
+		return
+	}
+	q.state = st
+	if stats != nil {
+		q.stats = stats
+	}
+	q.err = err
+	q.broadcast()
+}
+
+// broadcast wakes row subscribers; callers hold q.mu.
+func (q *Query) broadcast() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// Cancel stops the query cooperatively; in-flight chunks complete but
+// are no longer waited for.
+func (q *Query) Cancel() { q.cancel() }
+
+// Snapshot returns the query's JSON-ready status.
+func (q *Query) Snapshot() Snapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	sn := Snapshot{
+		ID:      q.ID,
+		Tenant:  q.TenantID,
+		Backend: q.Backend,
+		Query:   q.Src,
+		State:   q.state,
+		Rows:    len(q.rows),
+	}
+	if q.err != nil {
+		sn.Error = q.err.Error()
+	}
+	if q.schema != nil {
+		for i := 0; i < q.schema.Len(); i++ {
+			sn.Columns = append(sn.Columns, q.schema.Column(i).Name)
+		}
+	}
+	if q.stats != nil {
+		sn.HITs = q.stats.TotalHITs()
+		sn.Reused = q.stats.TotalReused()
+		sn.MakespanHours = q.stats.PipelineMakespanHours
+	}
+	sn.Dollars = q.ledgerDollars()
+	return sn
+}
+
+// ledgerDollars reads the query's own entries out of the tenant
+// ledger; callers hold q.mu (the ledger has its own lock).
+func (q *Query) ledgerDollars() float64 {
+	t := q.svc.tenants.Get(q.TenantID)
+	if t == nil {
+		return 0
+	}
+	var d float64
+	for _, e := range t.Ledger.Entries() {
+		if e.Label == q.ID {
+			d += e.Dollars()
+		}
+	}
+	return d
+}
+
+// Stats returns the run's exec stats once terminal (nil before).
+func (q *Query) Stats() *exec.Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// StreamRows delivers result rows to fn starting at index from,
+// following the query live until it reaches a terminal state, ctx
+// ends, or fn errors. It returns the final state.
+func (q *Query) StreamRows(ctx context.Context, from int, fn func(i int, t relation.Tuple) error) (State, error) {
+	i := from
+	if i < 0 {
+		i = 0
+	}
+	for {
+		q.mu.Lock()
+		rows := q.rows[min(i, len(q.rows)):]
+		st := q.state
+		wake := q.wake
+		q.mu.Unlock()
+		for _, t := range rows {
+			if err := fn(i, t); err != nil {
+				return st, err
+			}
+			i++
+		}
+		if st.Terminal() {
+			// Drain rows that landed between the snapshot and the
+			// terminal transition (broadcast ordering makes this rare).
+			q.mu.Lock()
+			tail := q.rows[min(i, len(q.rows)):]
+			q.mu.Unlock()
+			for _, t := range tail {
+				if err := fn(i, t); err != nil {
+					return st, err
+				}
+				i++
+			}
+			return st, nil
+		}
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Get returns a query by ID.
+func (s *Service) Get(id string) (*Query, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queries[id]
+	return q, ok
+}
+
+// List returns snapshots of every query in submission order.
+func (s *Service) List() []Snapshot {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]Snapshot, 0, len(ids))
+	for _, id := range ids {
+		if q, ok := s.Get(id); ok {
+			out = append(out, q.Snapshot())
+		}
+	}
+	return out
+}
+
+// TenantSnapshot is a tenant's JSON-ready status.
+type TenantSnapshot struct {
+	ID string `json:"id"`
+	// BudgetDollars 0 means unlimited.
+	BudgetDollars    float64      `json:"budget_dollars"`
+	SpentDollars     float64      `json:"spent_dollars"`
+	RemainingDollars float64      `json:"remaining_dollars"`
+	HITs             int          `json:"hits"`
+	Entries          []cost.Entry `json:"entries,omitempty"`
+	Queries          []string     `json:"queries,omitempty"`
+}
+
+// TenantSnapshot builds one tenant's status, or ok=false.
+func (s *Service) TenantSnapshot(id string) (TenantSnapshot, bool) {
+	t := s.tenants.Get(id)
+	if t == nil {
+		return TenantSnapshot{}, false
+	}
+	sn := TenantSnapshot{
+		ID:               t.ID,
+		BudgetDollars:    t.BudgetDollars,
+		SpentDollars:     t.SpentDollars(),
+		RemainingDollars: t.RemainingDollars(),
+		HITs:             t.Ledger.TotalHITs(),
+		Entries:          t.Ledger.Entries(),
+	}
+	s.mu.Lock()
+	for _, qid := range s.order {
+		if q := s.queries[qid]; q != nil && q.TenantID == id {
+			sn.Queries = append(sn.Queries, qid)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(sn.Queries)
+	return sn, true
+}
+
+// Close cancels every live query, waits for their goroutines, and
+// stops the backend muxes.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	qs := make([]*Query, 0, len(s.queries))
+	for _, q := range s.queries {
+		qs = append(qs, q)
+	}
+	s.mu.Unlock()
+	for _, q := range qs {
+		q.Cancel()
+	}
+	s.wg.Wait()
+	for _, m := range s.muxes {
+		m.Close()
+	}
+}

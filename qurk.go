@@ -245,12 +245,6 @@ const (
 var (
 	// NewEngine creates an engine over a marketplace.
 	NewEngine = core.NewEngine
-	// RunQuery parses, plans, and executes one query string on the
-	// streaming Volcano executor.
-	RunQuery = exec.RunQuery
-	// RunQueryContext is RunQuery with cooperative cancellation: when
-	// ctx is done, operators stop posting HITs and unwind promptly.
-	RunQueryContext = exec.RunQueryContext
 	// RunPlan executes an already-built plan tree.
 	RunPlan = exec.RunPlan
 	// RunPlanContext is RunPlan with cooperative cancellation.
@@ -281,6 +275,24 @@ var (
 	// OptimizeOptionsFrom seeds optimizer options from engine options.
 	OptimizeOptionsFrom = plan.OptimizeOptionsFrom
 )
+
+// RunQuery parses, plans, and executes one query string on the
+// streaming Volcano executor.
+//
+// Deprecated: construct a Client and use Client.Run; this wrapper
+// remains for compatibility.
+func RunQuery(e *Engine, src string) (*Relation, *ExecStats, error) {
+	return exec.RunQuery(e, src)
+}
+
+// RunQueryContext is RunQuery with cooperative cancellation: when ctx
+// is done, operators stop posting HITs and unwind promptly.
+//
+// Deprecated: construct a Client and use Client.Run; this wrapper
+// remains for compatibility.
+func RunQueryContext(ctx context.Context, e *Engine, src string) (*Relation, *ExecStats, error) {
+	return exec.RunQueryContext(ctx, e, src)
+}
 
 // Cost-based optimizer types (paper §2.6's minimize-HITs objective over
 // the §3/§4 interface choices).
@@ -588,16 +600,30 @@ var (
 // simulator re-derives the same deterministic answers). On success the
 // journal is sealed "complete"; on error it is sealed with the reason
 // and remains resumable.
+//
+// Deprecated: construct a Client with WithJournal and use Client.Run;
+// this wrapper remains for compatibility.
 func RunQueryDurable(ctx context.Context, e *Engine, src, journalPath string) (*Relation, *ExecStats, error) {
-	j, err := wal.Create(journalPath, JournalMeta{
-		Query:       src,
-		Backend:     fmt.Sprintf("%T", e.Market),
-		Fingerprint: queryFingerprint(e, src),
-	})
+	return runDurable(ctx, e, src, journalPath)
+}
+
+// runDurable starts a fresh journal at journalPath and runs src
+// through it (the body behind RunQueryDurable and Client.Run).
+func runDurable(ctx context.Context, e *Engine, src, journalPath string) (*Relation, *ExecStats, error) {
+	j, err := wal.Create(journalPath, journalMeta(e, src))
 	if err != nil {
 		return nil, nil, err
 	}
 	return runJournaled(ctx, e, src, j)
+}
+
+// journalMeta identifies a run for its journal header.
+func journalMeta(e *Engine, src string) JournalMeta {
+	return JournalMeta{
+		Query:       src,
+		Backend:     fmt.Sprintf("%T", e.Market),
+		Fingerprint: queryFingerprint(e, src),
+	}
 }
 
 // Resume re-executes a durable run from its journal: recorded group
@@ -608,7 +634,16 @@ func RunQueryDurable(ctx context.Context, e *Engine, src, journalPath string) (*
 // query, options, and backend kind — or Resume refuses the journal.
 // Resuming a journal sealed "complete" simply replays the whole run
 // and returns the same result.
+//
+// Deprecated: construct a Client with WithJournal and use
+// Client.Resume; this wrapper remains for compatibility.
 func Resume(ctx context.Context, e *Engine, src, journalPath string) (*Relation, *ExecStats, error) {
+	return resumeJournal(ctx, e, src, journalPath)
+}
+
+// resumeJournal reopens journalPath, verifies its fingerprint, and
+// re-runs src through it (the body behind Resume and Client.Resume).
+func resumeJournal(ctx context.Context, e *Engine, src, journalPath string) (*Relation, *ExecStats, error) {
 	j, err := wal.Open(journalPath)
 	if err != nil {
 		return nil, nil, err
@@ -624,11 +659,18 @@ func Resume(ctx context.Context, e *Engine, src, journalPath string) (*Relation,
 // wrapped with the journal; the copy shares the caller's ledger and
 // cache so accounting lands where it always does.
 func runJournaled(ctx context.Context, e *Engine, src string, j *wal.Journal) (*Relation, *ExecStats, error) {
+	return runJournaledStream(ctx, e, src, j, nil)
+}
+
+// runJournaledStream is runJournaled with incremental delivery through
+// sink (nil for none); Client.RunStream uses it for durable streaming
+// runs.
+func runJournaledStream(ctx context.Context, e *Engine, src string, j *wal.Journal, sink StreamSink) (*Relation, *ExecStats, error) {
 	defer j.Close()
 	e2 := *e
 	e2.Market = wal.NewMarket(e.Market, j)
 	e2.Journal = j
-	out, st, err := exec.RunQueryContext(ctx, &e2, src)
+	out, st, err := exec.RunQueryStreamContext(ctx, &e2, src, sink)
 	if err != nil {
 		// Best effort: the journal is already consistent record by
 		// record; the seal only annotates why the run stopped.
