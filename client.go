@@ -18,6 +18,7 @@ import (
 	"qurk/internal/core"
 	"qurk/internal/cost"
 	"qurk/internal/exec"
+	"qurk/internal/obstats"
 	"qurk/internal/relation"
 	"qurk/internal/service"
 	"qurk/internal/wal"
@@ -43,6 +44,17 @@ type (
 // OpenAnswerStore opens (or creates) a shared answer store; an empty
 // path keeps it in memory only.
 var OpenAnswerStore = answerstore.Open
+
+// StatsStore is the persistent observed-statistics store: an
+// append-only CRC-framed log of per-task observed selectivities,
+// POSSIBLY pass fractions, sort group sizes, worker latency and
+// agreement, aggregated into weighted means the optimizer blends with
+// its priors at plan time (see docs/STATS.md).
+type StatsStore = obstats.Store
+
+// OpenStatsStore opens (or creates) an observed-statistics store; an
+// empty path keeps it in memory only.
+var OpenStatsStore = obstats.Open
 
 // Shared-structure constructors for clients that pool a catalog or
 // task library across engines.
@@ -77,6 +89,7 @@ type clientConfig struct {
 	catalog   *Catalog
 	library   *Library
 	answers   AnswerStore
+	obstats   core.ObservedStats
 	journal   string
 	budget    float64
 	hasBudget bool
@@ -119,6 +132,36 @@ func WithDataset(d *DatasetBundle) ClientOption {
 // the store for later queries.
 func WithAnswerStore(s AnswerStore) ClientOption {
 	return func(c *clientConfig) { c.answers = s }
+}
+
+// WithStatsStore shares an observed-statistics store across the
+// client's runs (and, via a shared store, across clients): every run
+// feeds its measured selectivities, POSSIBLY pass fractions, and sort
+// group sizes into it, and the optimizer blends that history into its
+// estimates at plan time. The store rides on the Engine, not Options,
+// so attaching one never changes a durable run's journal fingerprint.
+func WithStatsStore(s *StatsStore) ClientOption {
+	return func(c *clientConfig) {
+		if s != nil {
+			c.obstats = s
+		}
+	}
+}
+
+// WithReplan enables mid-run re-optimization at pipeline breakers: the
+// executor re-costs the join's pair interface once the first probe
+// rows reveal the true POSSIBLY pass fraction (switching NaiveBatch→
+// SmartBatch when grids are cheaper), and re-costs each sort group at
+// its true size (switching Compare→Rate). minQuality floors the
+// switched interface's estimated quality; 0 keeps the engine default.
+// Replan settings live in Options, so they are part of a durable
+// run's journal fingerprint — and re-plan decisions are themselves
+// checkpointed, so resumes replay the same switches.
+func WithReplan(minQuality float64) ClientOption {
+	return func(c *clientConfig) {
+		c.opts.Replan.Enabled = true
+		c.opts.Replan.MinQuality = minQuality
+	}
 }
 
 // WithJournal makes runs durable: Run records every marketplace
@@ -164,6 +207,9 @@ func NewClient(market Marketplace, opts ...ClientOption) *Client {
 		c.eng.Library = cfg.library
 	}
 	c.eng.Answers = cfg.answers
+	if cfg.obstats != nil {
+		c.eng.ObStats = cfg.obstats
+	}
 	return c
 }
 

@@ -55,6 +55,9 @@ func main() {
 		asnDuration = flag.Int("mturk-deadline", 600, "assignment deadline in seconds before it counts as expired")
 		journalPath = flag.String("journal", "", "write-ahead journal path: run durably, resumable after a crash")
 		resume      = flag.Bool("resume", false, "resume an interrupted durable run from -journal instead of starting fresh")
+		statsPath   = flag.String("stats", "", "observed-statistics store file: runs feed measured selectivities/pass fractions/group sizes, and the optimizer seeds estimates from that history (empty = off)")
+		replan      = flag.Bool("replan", false, "re-optimize mid-run at pipeline breakers (join interface and sort-method switches from observed statistics)")
+		replanQual  = flag.Float64("replan-quality", 0, "minimum estimated quality a mid-run switch must keep (0 = default 0.85)")
 	)
 	flag.Parse()
 	if *resume && *journalPath == "" {
@@ -95,6 +98,18 @@ func main() {
 	clientOpts := []qurk.ClientOption{qurk.WithOptions(opts), qurk.WithDataset(data)}
 	if *journalPath != "" {
 		clientOpts = append(clientOpts, qurk.WithJournal(*journalPath))
+	}
+	if *replan {
+		clientOpts = append(clientOpts, qurk.WithReplan(*replanQual))
+	}
+	var statsStore *qurk.StatsStore
+	if *statsPath != "" {
+		statsStore, err = qurk.OpenStatsStore(*statsPath)
+		if err != nil {
+			fail(err)
+		}
+		defer statsStore.Close()
+		clientOpts = append(clientOpts, qurk.WithStatsStore(statsStore))
 	}
 	client := qurk.NewClient(market, clientOpts...)
 

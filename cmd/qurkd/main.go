@@ -53,6 +53,7 @@ func main() {
 		assignments = flag.Int("assignments", 5, "default workers per HIT")
 		combiner    = flag.String("combiner", "MajorityVote", "default vote combiner: MajorityVote or QualityAdjust")
 		storePath   = flag.String("store", "", "answer-store file (empty = in-memory, still shared across queries)")
+		statsPath   = flag.String("stats-store", "", "observed-statistics store file shared by all tenants: runs feed measured selectivities/pass fractions/group sizes, and every admission-time plan is seeded from that history (empty = off)")
 		storeAgree  = flag.Int("store-min-agreement", 0, "serve stored answers only at or above this vote count")
 		storeMaxAge = flag.Duration("store-max-age", 0, "serve stored answers only younger than this (0 = forever)")
 		defBudget   = flag.Float64("default-budget", 0, "budget in dollars for tenants not named by -tenant (0 = unlimited)")
@@ -101,7 +102,7 @@ func main() {
 	for id, budget := range tenants {
 		registry.Ensure(id, budget)
 	}
-	svc, err := service.New(service.Config{
+	cfg := service.Config{
 		Backends:             map[string]qurk.Marketplace{backendName: market},
 		Catalog:              data.Catalog,
 		Library:              data.Library,
@@ -109,7 +110,16 @@ func main() {
 		Options:              opts,
 		Tenants:              registry,
 		DefaultBudgetDollars: *defBudget,
-	})
+	}
+	if *statsPath != "" {
+		statsStore, err := qurk.OpenStatsStore(*statsPath)
+		if err != nil {
+			fail(err)
+		}
+		defer statsStore.Close()
+		cfg.Stats = statsStore
+	}
+	svc, err := service.New(cfg)
 	if err != nil {
 		fail(err)
 	}

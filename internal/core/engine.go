@@ -200,6 +200,33 @@ type Options struct {
 	// (internal/mturk) for deployments that post real HITs instead of
 	// simulating them. SimMarket runs ignore it.
 	MTurk MTurkOptions
+	// Replan enables adaptive mid-query re-optimization: the streaming
+	// executor re-costs interface choices at pipeline breakers from
+	// statistics observed during the run (see ReplanOptions). Off by
+	// default, so plans and HIT identity are unchanged unless opted in.
+	Replan ReplanOptions
+}
+
+// ReplanOptions controls adaptive mid-query re-optimization. Switch
+// decisions derive only from count-based boundaries (tuple and pair
+// ordinals), never from timing, so the same query+seed re-plans at the
+// same point and produces identical rows at any ExecBatch /
+// StreamChunkHITs / partition setting. Durable runs journal every
+// re-plan decision as a breaker checkpoint, and resumes verify it.
+type ReplanOptions struct {
+	// Enabled turns mid-query re-optimization on.
+	Enabled bool
+	// ProbeTuples is how many probe-side (left) tuples a streaming
+	// join observes before re-costing NaiveBatch vs SmartBatch for
+	// the remaining pairs from the measured POSSIBLY pass fraction
+	// (default 16). Crowd sorts re-cost per group regardless, since a
+	// group's true size is known the moment it materializes.
+	ProbeTuples int
+	// MinQuality is the quality floor a re-planned interface must
+	// clear before the executor switches to it (default 0.85, the
+	// optimizer's own floor). A cheaper interface below the floor is
+	// rejected and the original plan keeps running.
+	MinQuality float64
 }
 
 // MTurkOptions are the knobs a live MTurk deployment needs; the zero
@@ -299,6 +326,14 @@ func (o *Options) fillDefaults() {
 	if o.ExpiredRetries == 0 {
 		o.ExpiredRetries = 2
 	}
+	if o.Replan.Enabled {
+		if o.Replan.ProbeTuples <= 0 {
+			o.Replan.ProbeTuples = 16
+		}
+		if o.Replan.MinQuality <= 0 {
+			o.Replan.MinQuality = 0.85
+		}
+	}
 }
 
 // JournalSink receives breaker checkpoints from the executor: a digest
@@ -329,6 +364,21 @@ type AnswerStore interface {
 	Store(q *hit.Question, answers []hit.CachedAnswer)
 }
 
+// ObservedStats is the persistent observed-statistics store consulted
+// by the optimizer at plan time and fed by the executor after every
+// run: per-task observed selectivities, POSSIBLY pass fractions, sort
+// group sizes, and worker latency/agreement (the obstats.Kind*
+// constants name the kinds). internal/obstats implements it; the field
+// is nil for engines that neither record nor use history.
+type ObservedStats interface {
+	// Observe records one observed statistic with the given weight
+	// (typically the tuple or pair count it was measured over).
+	Observe(task, kind string, value, weight float64)
+	// Estimate returns the weighted mean and total weight for one
+	// (task, kind), or ok=false when nothing was ever observed.
+	Estimate(task, kind string) (value, weight float64, ok bool)
+}
+
 // Engine bundles the services every operator needs (paper Fig. 1: query
 // optimizer → executor → task manager → HIT compiler → crowd).
 type Engine struct {
@@ -348,6 +398,15 @@ type Engine struct {
 	// filter path), Answers is consulted by every crowd operator and is
 	// typically shared by many engines in a qurkd process.
 	Answers AnswerStore
+	// ObStats, when non-nil, is the shared observed-statistics store:
+	// the optimizer seeds selectivity / pass-fraction / group-size
+	// priors from it at plan time, and the executor feeds it what the
+	// run actually observed. Like Answers it is typically shared by
+	// many engines in a qurkd process. It deliberately lives on the
+	// Engine rather than in Options: Options is hashed into the durable
+	// journal fingerprint, and attaching history must not change what
+	// journal a run can resume.
+	ObStats ObservedStats
 }
 
 // NewEngine builds an engine with fresh catalog/library/ledger/cache.

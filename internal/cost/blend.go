@@ -1,0 +1,21 @@
+package cost
+
+// ObservationPseudoWeight is the weight the estimator's built-in prior
+// carries when blended against observed history: an observation backed
+// by fewer than this many tuples/pairs nudges the estimate, one backed
+// by many more dominates it. Shrinking toward the prior keeps a single
+// tiny run from swinging plans wildly (the learned-joins motivation:
+// history informs, it does not dictate).
+const ObservationPseudoWeight = 32
+
+// BlendObserved shrinks an observed statistic toward the model prior:
+// the result is the weight-proportional mix of prior (at
+// ObservationPseudoWeight) and observed (at its own weight, typically
+// the tuple or pair count it was measured over). A non-positive weight
+// returns the prior unchanged.
+func BlendObserved(prior, observed, weight float64) float64 {
+	if weight <= 0 {
+		return prior
+	}
+	return (prior*ObservationPseudoWeight + observed*weight) / (ObservationPseudoWeight + weight)
+}

@@ -1,0 +1,26 @@
+package cost
+
+import "testing"
+
+func TestBlendObserved(t *testing.T) {
+	// Zero or negative weight leaves the prior untouched.
+	if got := BlendObserved(0.5, 0.9, 0); got != 0.5 {
+		t.Fatalf("BlendObserved(weight=0) = %v, want prior 0.5", got)
+	}
+	if got := BlendObserved(0.5, 0.9, -4); got != 0.5 {
+		t.Fatalf("BlendObserved(weight<0) = %v, want prior 0.5", got)
+	}
+	// Weight equal to the pseudo-weight lands halfway.
+	if got := BlendObserved(0.2, 0.6, ObservationPseudoWeight); got != 0.4 {
+		t.Fatalf("BlendObserved(equal weights) = %v, want 0.4", got)
+	}
+	// A heavily-backed observation dominates the prior.
+	got := BlendObserved(0.1, 0.9, 100*ObservationPseudoWeight)
+	if got < 0.85 || got > 0.9 {
+		t.Fatalf("BlendObserved(heavy observation) = %v, want ≈0.89", got)
+	}
+	// Observation equal to the prior is a fixed point.
+	if got := BlendObserved(0.3, 0.3, 17); got != 0.3 {
+		t.Fatalf("BlendObserved(fixed point) = %v, want 0.3", got)
+	}
+}

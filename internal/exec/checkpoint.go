@@ -19,6 +19,11 @@ const (
 	ckptSortGroup  = "sort-group"
 	ckptJoinBuild  = "join-build"
 	ckptExtraction = "extraction-carry"
+	// ckptReplan records a mid-run re-optimization decision (join
+	// interface switch, sort method switch). Resumed runs recompute the
+	// decision from the same replayed counts and verify the digest, so a
+	// durable resume can never diverge from the original run's plan.
+	ckptReplan = "re-plan"
 )
 
 // checkpoint forwards one breaker checkpoint to the engine's journal;

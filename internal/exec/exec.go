@@ -56,6 +56,11 @@ type Stats struct {
 	mu         sync.Mutex
 	Operators  []OpStat
 	Incomplete []string
+	// Observed lists the statistics operators measured during the run
+	// (selectivities, pass fractions, group sizes — the same values fed
+	// to the engine's ObStats store); qurk.Explain renders them next to
+	// the optimizer's estimates. Access via ObservedStats.
+	Observed []ObservedStat
 	// Reused counts questions resolved from the engine's shared answer
 	// store (core.Engine.Answers) instead of being posted — crowd work
 	// some earlier query already paid for.
@@ -874,8 +879,12 @@ func (x *executor) crowdSort(ctx context.Context, sub *relation.Relation, n *pla
 		}
 		rr := tally.Result()
 		rr.HITCount = acct.hits
-		// … then the sequential comparison refinements.
-		res, err := sortop.Hybrid(sub, n.Task, sortop.HybridOptions{
+		// … then the comparison refinements, through the chunked poster:
+		// iterations on disjoint windows mint and post concurrently
+		// (bounded by the lookahead), answers fold in iteration order, and
+		// the refusal/expiry retry policies apply — previously each
+		// iteration was one blocking single-question marketplace round.
+		st, err := sortop.NewHybridState(sub, n.Task, sortop.HybridOptions{
 			Strategy:    sp.Strategy,
 			WindowSize:  sp.GroupSize,
 			Step:        sp.Step,
@@ -884,11 +893,73 @@ func (x *executor) crowdSort(ctx context.Context, sub *relation.Relation, n *pla
 			SeedRating:  rr,
 			GroupID:     gid,
 			Seed:        opts.Seed,
-		}, x.eng.Market)
+		})
 		if err != nil {
 			return nil, 0, err
 		}
-		x.account(n.Label(), sp.Assignments, res.CompareHITs, 0, 0)
+		hacct := &opAcct{x: x, label: n.Label(), asn: sp.Assignments, slot: x.stats.registerOp(n.Label())}
+		p := x.newPoster(gid, new(int), hacct)
+		iterOf := map[string]int{}
+		asked := map[uint64]bool{}
+		apply := func(iter int, as []hit.CachedAnswer) error {
+			answers := make([]hit.Answer, 0, len(as))
+			for _, ca := range as {
+				answers = append(answers, ca.Answer)
+			}
+			return st.Apply(iter, answers)
+		}
+		for !st.Done() {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			// Mint every iteration whose window is free of in-flight ones,
+			// serving repeats from the shared answer store first.
+			for {
+				h, iter, err := st.MintNext()
+				if err != nil {
+					return nil, 0, err
+				}
+				if h == nil {
+					break
+				}
+				q := &h.Questions[0]
+				served := false
+				if key := q.CacheKey(); !asked[key] {
+					asked[key] = true
+					as, ok, err := x.answersLookup(q, done)
+					if err != nil {
+						return nil, 0, err
+					}
+					if ok {
+						if err := apply(iter, as); err != nil {
+							return nil, 0, err
+						}
+						served = true
+					}
+				}
+				if !served {
+					iterOf[q.ID] = iter
+					p.Enqueue(h)
+				}
+			}
+			for p.CanPost() && p.HasChunk(true) {
+				p.PostOne(done)
+			}
+			if p.OldestSeq() < 0 {
+				continue
+			}
+			chunkDone, err := p.CollectOne(ctx, func(q *hit.Question, as []hit.CachedAnswer, _ float64) error {
+				x.answersStore(q, as)
+				return apply(iterOf[q.ID], as)
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			if chunkDone > done {
+				done = chunkDone
+			}
+		}
+		res := st.Result()
 		return res.Order, done, nil
 	default:
 		return nil, 0, fmt.Errorf("exec: unknown sort method %v", sp.Method)

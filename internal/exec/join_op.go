@@ -17,10 +17,13 @@ package exec
 
 import (
 	"context"
+	"math"
 
 	"qurk/internal/combine"
+	"qurk/internal/cost"
 	"qurk/internal/hit"
 	"qurk/internal/join"
+	"qurk/internal/obstats"
 	"qurk/internal/plan"
 	"qurk/internal/poster"
 	"qurk/internal/relation"
@@ -80,6 +83,16 @@ type crowdJoinOp struct {
 	genLeft   int              // next probe ordinal to pair
 	genRight  int              // next build row for genLeft
 	pairClock float64          // max resolve time of consumed tuples
+
+	// mid-run re-plan (Options.Replan, streaming prefilter path only):
+	// pair counts over the scanned probe prefix, the one-shot switch
+	// decision, and — after a Naive→Smart switch — the surviving tail
+	// pairs buffered for grid layout at end of stream.
+	scanPairs int
+	passPairs int
+	replanned bool
+	useSmart  bool
+	tailPairs []join.Pair
 
 	qbuf     []hit.Question
 	slots    []*jslot
@@ -408,7 +421,7 @@ func (j *crowdJoinOp) layoutGrids(left, right *relation.Relation, le, re *join.E
 				return err
 			}
 			if ok {
-				if err := j.applyGridAnswers(&h.Questions[0], as); err != nil {
+				if err := j.applyGridAnswers(&h.Questions[0], as, j.clock); err != nil {
 					return err
 				}
 				continue
@@ -437,7 +450,7 @@ func (j *crowdJoinOp) layoutGrids(left, right *relation.Relation, le, re *join.E
 // applyGridAnswers decides every cell of one store-served grid question
 // from its stored worker answers — the same per-cell vote expansion
 // join.CollectVotes performs for freshly collected grids.
-func (j *crowdJoinOp) applyGridAnswers(q *hit.Question, as []hit.CachedAnswer) error {
+func (j *crowdJoinOp) applyGridAnswers(q *hit.Question, as []hit.CachedAnswer, clock float64) error {
 	for li, lt := range q.LeftItems {
 		for ri, rt := range q.RightItems {
 			key := join.Pair{Left: lt, Right: rt}.Key()
@@ -458,8 +471,8 @@ func (j *crowdJoinOp) applyGridAnswers(q *hit.Question, as []hit.CachedAnswer) e
 				votes = append(votes, combine.Vote{Question: key, Worker: ca.WorkerID, Value: combine.BoolVote(sel)})
 			}
 			s.served = true
-			if j.clock > s.ready {
-				s.ready = j.clock
+			if clock > s.ready {
+				s.ready = clock
 			}
 			if j.perQ {
 				s.votes = append(s.votes, votes...)
@@ -787,10 +800,22 @@ func (j *crowdJoinOp) genPairs(batch int) (bool, error) {
 			ri := j.genRight
 			j.genRight++
 			visited++
-			if !featureMatch(lv, rv, j.xl.fields) {
+			pass := featureMatch(lv, rv, j.xl.fields)
+			j.scanPairs++
+			if pass {
+				j.passPairs++
+			}
+			if !pass {
 				continue
 			}
 			p := join.Pair{LeftIndex: j.genLeft, RightIndex: ri, Left: lt, Right: rt}
+			if j.useSmart {
+				// Post-switch survivors wait for the grid layout at end of
+				// stream; emission order still follows scan order because
+				// their slots register during layout, after every minted one.
+				j.tailPairs = append(j.tailPairs, p)
+				continue
+			}
 			s, isNew := j.noteSlot(p)
 			if err := j.mintPair(p, s, isNew, batch, j.pairClock); err != nil {
 				return false, err
@@ -801,10 +826,16 @@ func (j *crowdJoinOp) genPairs(batch int) (bool, error) {
 			j.leftRows[j.genLeft] = relation.Tuple{} // release the buffered tuple
 			j.xl.values[j.genLeft] = nil
 			j.genLeft++
+			if err := j.maybeReplan(); err != nil {
+				return false, err
+			}
 		}
 	}
 	if j.leftEOS && j.xl.done() && j.genLeft >= len(j.leftRows) && !j.pairsDone {
 		j.pairsDone = true
+		if err := j.layoutTailGrids(); err != nil {
+			return false, err
+		}
 		if err := j.flushHIT(batch, true); err != nil {
 			return false, err
 		}
@@ -814,6 +845,115 @@ func (j *crowdJoinOp) genPairs(batch int) (bool, error) {
 	// pair was pruned — otherwise a fully-filtered visit window would
 	// end the operator with candidates still unscanned.
 	return visited > 0, nil
+}
+
+// replanGrid is the grid shape a mid-run switch lays tail pairs out
+// with — the engine's configured SmartBatch shape (a Naive physical
+// plan carries no grid dimensions of its own).
+func (j *crowdJoinOp) replanGrid() (int, int) {
+	r, s := j.x.eng.Options.GridRows, j.x.eng.Options.GridCols
+	if r <= 0 {
+		r = 3
+	}
+	if s <= 0 {
+		s = 3
+	}
+	return r, s
+}
+
+// maybeReplan makes the one mid-run join re-optimization decision, at
+// the moment the first Options.Replan.ProbeTuples probe rows have been
+// fully scanned against the build side. The observed POSSIBLY pass
+// fraction re-costs the chosen per-pair interface against SmartBatch
+// grids for the remaining pairs; when grids are cheaper per probe row
+// and their estimated quality clears Replan.MinQuality, the remaining
+// survivors are laid out as grids instead of per-pair HITs. The
+// decision reads only extraction-derived counts at a fixed probe-row
+// boundary — never collection timing — so it is identical at any
+// ExecBatch/StreamChunkHITs setting; durable runs checkpoint it so a
+// resume verifies the same switch.
+func (j *crowdJoinOp) maybeReplan() error {
+	repl := j.x.eng.Options.Replan
+	if j.replanned || !repl.Enabled || j.genLeft < repl.ProbeTuples {
+		return nil
+	}
+	j.replanned = true
+	nr := j.rightRel.Len()
+	if j.scanPairs == 0 || nr == 0 {
+		return nil
+	}
+	f := float64(j.passPairs) / float64(j.scanPairs)
+	r, s := j.replanGrid()
+	b := float64(j.pairBatch())
+	naivePerRow := f * float64(nr) / b
+	smartPerRow := float64(cost.CeilDiv(nr, s)) * (1 - math.Pow(1-f, float64(r*s))) / float64(r)
+	// Grid-quality stand-in: assume one true match per probe row spread
+	// uniformly over the build side — sel·r·s expected matches per grid
+	// with sel = 1/nr (deterministic; true matches are unknown mid-run).
+	quality := cost.GridQuality(r, s, float64(r*s)/float64(nr))
+	if smartPerRow < naivePerRow && quality >= repl.MinQuality {
+		j.useSmart = true
+	}
+	dig := fnvFold(0, uint64(repl.ProbeTuples))
+	dig = fnvFold(dig, uint64(j.scanPairs))
+	dig = fnvFold(dig, uint64(j.passPairs))
+	var sw uint64
+	if j.useSmart {
+		sw = 1
+	}
+	dig = fnvFold(dig, sw)
+	dig = fnvFold(dig, uint64(r))
+	dig = fnvFold(dig, uint64(s))
+	return j.x.checkpoint(ckptReplan, j.path, dig, j.pairClock)
+}
+
+// layoutTailGrids lays the pairs buffered since a mid-run Naive→Smart
+// switch out as SmartBatch grids (the layout needs the full tail) and
+// queues them on the pair poster — mirroring layoutGrids' store-serve
+// and per-cell pending accounting. collectChunk's per-cell grid
+// expansion then resolves them like any up-front grid.
+func (j *crowdJoinOp) layoutTailGrids() error {
+	if !j.useSmart || len(j.tailPairs) == 0 {
+		return nil
+	}
+	r, s := j.replanGrid()
+	hits, err := join.SmartGridHITs(j.builder, join.SliceSeq(j.tailPairs), func(p join.Pair) { j.noteSlot(p) },
+		j.node.Task.Name, r, s)
+	if err != nil {
+		return err
+	}
+	j.tailPairs = nil
+	var post []*hit.HIT
+	for _, h := range hits {
+		if len(h.Questions) == 1 {
+			as, ok, err := j.x.answersLookup(&h.Questions[0], j.pairClock)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := j.applyGridAnswers(&h.Questions[0], as, j.pairClock); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		post = append(post, h)
+	}
+	for _, h := range post {
+		for qi := range h.Questions {
+			q := &h.Questions[qi]
+			for _, lt := range q.LeftItems {
+				for _, rt := range q.RightItems {
+					key := join.Pair{Left: lt, Right: rt}.Key()
+					if idx, ok := j.slotOf[key]; ok {
+						j.slots[idx].pending++
+					}
+				}
+			}
+		}
+	}
+	j.post.Enqueue(post...)
+	return nil
 }
 
 func (j *crowdJoinOp) flushHIT(batch int, force bool) error {
@@ -960,6 +1100,7 @@ func (j *crowdJoinOp) finalize() error {
 				s.ready = doneAt
 			}
 		}
+		j.observeRun()
 		return nil
 	}
 	for _, s := range j.slots {
@@ -967,5 +1108,33 @@ func (j *crowdJoinOp) finalize() error {
 			s.decided = true
 		}
 	}
+	j.observeRun()
 	return nil
+}
+
+// observeRun feeds the join's measured statistics to the run's Stats
+// and the engine's history store: the probe side's POSSIBLY pass
+// fraction (streaming prefilter path), the match selectivity over
+// decided candidates, and the operator's crowd latency.
+func (j *crowdJoinOp) observeRun() {
+	if j.scanPairs > 0 {
+		j.x.observe(j.label, j.node.Task.Name, obstats.KindPassFraction,
+			float64(j.passPairs)/float64(j.scanPairs), float64(j.scanPairs))
+	}
+	decided, accepted := 0, 0
+	for _, s := range j.slots {
+		if s.decided {
+			decided++
+			if s.accepted {
+				accepted++
+			}
+		}
+	}
+	if decided > 0 {
+		j.x.observe(j.label, j.node.Task.Name, obstats.KindSelectivity,
+			float64(accepted)/float64(decided), float64(decided))
+	}
+	if span := j.acct.span(); span > 0 && j.acct.hits > 0 {
+		j.x.observe(j.label, j.node.Task.Name, obstats.KindLatencyHours, span, float64(j.acct.hits))
+	}
 }

@@ -18,8 +18,12 @@ import (
 	"fmt"
 	"sort"
 
+	"qurk/internal/core"
+	"qurk/internal/cost"
+	"qurk/internal/obstats"
 	"qurk/internal/plan"
 	"qurk/internal/relation"
+	"qurk/internal/sortop"
 	"qurk/internal/spill"
 )
 
@@ -254,6 +258,55 @@ func (o *crowdOrderByOp) nextGroup() (*relation.Relation, error) {
 	}
 }
 
+// replanGroup observes the settled group's true size (fed to the stats
+// store for the next run's per-group estimates) and — when mid-run
+// re-optimization is on — re-costs the group's sort interface against
+// that size: a group much larger than the optimizer assumed can make
+// rating strictly cheaper than the comparison cover, so the group
+// switches Compare→Rate when rating's quality also clears
+// Options.Replan.MinQuality. The decision reads only the materialized
+// group, so it is identical at any ExecBatch/StreamChunkHITs setting;
+// durable runs checkpoint it for resume verification.
+func (o *crowdOrderByOp) replanGroup(sub *relation.Relation, path string) (plan.SortPhys, error) {
+	phys := o.phys
+	n := sub.Len()
+	o.x.observe(o.node.Label(), o.node.Task.Name, obstats.KindGroupSize, float64(n), 1)
+	repl := o.x.eng.Options.Replan
+	if !repl.Enabled || phys.Method != core.SortCompare || n < 2 {
+		return phys, nil
+	}
+	s := phys.GroupSize
+	if s < 2 {
+		s = 2
+	}
+	// Exact cover size where the enumeration is cheap; the analytic
+	// approximation beyond that (matching the optimizer's own split).
+	compareHITs := cost.CompareSortHITs(n, s)
+	if n <= 120 {
+		compareHITs = len(sortop.CoverGroups(n, s, nil))
+	}
+	rateBatch := phys.RateBatch
+	if rateBatch <= 0 {
+		rateBatch = sortop.DefaultRateBatch
+	}
+	rateHITs := cost.RateSortHITs(n, rateBatch)
+	if rateHITs < compareHITs && cost.QualityRateSort >= repl.MinQuality {
+		phys.Method = core.SortRate
+	}
+	dig := fnvFold(0, uint64(n))
+	dig = fnvFold(dig, uint64(compareHITs))
+	dig = fnvFold(dig, uint64(rateHITs))
+	var sw uint64
+	if phys.Method == core.SortRate {
+		sw = 1
+	}
+	dig = fnvFold(dig, sw)
+	if err := o.x.checkpoint(ckptReplan, path, dig, o.clock); err != nil {
+		return phys, err
+	}
+	return phys, nil
+}
+
 // stripKey drops the hidden leading key column.
 func (o *crowdOrderByOp) stripKey(t relation.Tuple) relation.Tuple {
 	vals := make([]relation.Value, 0, t.Len()-1)
@@ -299,7 +352,11 @@ func (o *crowdOrderByOp) Next(ctx context.Context) (*Batch, error) {
 		}
 		path := fmt.Sprintf("%s.g%d", o.path, o.gi)
 		o.gi++
-		order, done, err := o.x.crowdSort(ctx, sub, o.node, o.phys, path, o.clock)
+		phys, err := o.replanGroup(sub, path)
+		if err != nil {
+			return nil, err
+		}
+		order, done, err := o.x.crowdSort(ctx, sub, o.node, phys, path, o.clock)
 		if err != nil {
 			return nil, err
 		}

@@ -24,8 +24,10 @@ import (
 
 	"qurk/internal/combine"
 	"qurk/internal/hit"
+	"qurk/internal/obstats"
 	"qurk/internal/poster"
 	"qurk/internal/relation"
+	"qurk/internal/stats"
 	"qurk/internal/task"
 )
 
@@ -144,6 +146,10 @@ type filterBranch struct {
 	// which need the full vote matrix in one Combine call.
 	eosVotes []combine.Vote
 	eosSlots []qVotes
+	// agreeSum/agreeN accumulate per-question worker-agreement shares
+	// (stats.MajorityShare) for the observed-statistics feedback.
+	agreeSum float64
+	agreeN   int
 }
 
 func (br *filterBranch) accepts(d combine.Decision, ok bool) bool {
@@ -180,6 +186,11 @@ type crowdFilterOp struct {
 	closed  bool
 	done    bool
 	final   bool
+	// decidedN/acceptedN count released verdicts for the
+	// observed-selectivity feedback; observed latches the one-time feed.
+	decidedN  int
+	acceptedN int
+	observed  bool
 }
 
 func (f *crowdFilterOp) Schema() *relation.Schema { return f.child.Schema() }
@@ -226,7 +237,9 @@ func (f *crowdFilterOp) Next(ctx context.Context) (*Batch, error) {
 		// Release the longest decided prefix in input order.
 		for f.emitAt < len(f.slots) && f.slots[f.emitAt].pending == 0 {
 			s := f.slots[f.emitAt]
+			f.decidedN++
 			if s.accepted {
+				f.acceptedN++
 				f.emit.push(s.tuple, s.ready)
 			} else {
 				f.emit.advance(s.ready)
@@ -238,6 +251,10 @@ func (f *crowdFilterOp) Next(ctx context.Context) (*Batch, error) {
 			return f.emit.pop(), nil
 		}
 		if f.done {
+			if !f.observed {
+				f.observed = true
+				f.observeRun()
+			}
 			return nil, nil
 		}
 		if err := ctx.Err(); err != nil {
@@ -368,6 +385,19 @@ func (f *crowdFilterOp) ingest(in *Batch) error {
 // Combine errors fail the query, as they did under the materializing
 // executor — an empty decision map would silently reject everything.
 func (f *crowdFilterOp) applyBranchVotes(br *filterBranch, list []qVotes, done float64) error {
+	for _, qv := range list {
+		if len(qv.votes) == 0 {
+			continue
+		}
+		vals := make([]string, len(qv.votes))
+		for i, v := range qv.votes {
+			vals[i] = v.Value
+		}
+		if share, _, ok := stats.MajorityShare(vals); ok {
+			br.agreeSum += share
+			br.agreeN++
+		}
+	}
 	if !br.perQ {
 		for _, qv := range list {
 			br.eosVotes = append(br.eosVotes, qv.votes...)
@@ -445,6 +475,27 @@ func (f *crowdFilterOp) finalize() error {
 		}
 	}
 	return nil
+}
+
+// observeRun feeds the filter's measured statistics to the run's Stats
+// and the engine's history store, once, after the last verdict is
+// released: the observed selectivity (single-branch filters only — an
+// OR's combined verdict cannot be attributed to one task), and each
+// unique branch's worker agreement and crowd latency.
+func (f *crowdFilterOp) observeRun() {
+	if len(f.uniq) == 1 && f.decidedN > 0 {
+		f.x.observe(f.label, f.uniq[0].ft.Name, obstats.KindSelectivity,
+			float64(f.acceptedN)/float64(f.decidedN), float64(f.decidedN))
+	}
+	for _, br := range f.uniq {
+		if br.agreeN > 0 {
+			f.x.observe(f.label, br.ft.Name, obstats.KindAgreement,
+				br.agreeSum/float64(br.agreeN), float64(br.agreeN))
+		}
+		if span := br.acct.span(); span > 0 && br.acct.hits > 0 {
+			f.x.observe(f.label, br.ft.Name, obstats.KindLatencyHours, span, float64(br.acct.hits))
+		}
+	}
 }
 
 // clockDone is the operator's last chunk completion time: EOS-mode

@@ -20,9 +20,21 @@ import (
 	"qurk/internal/core"
 	"qurk/internal/cost"
 	"qurk/internal/join"
+	"qurk/internal/obstats"
 	"qurk/internal/sortop"
 	"qurk/internal/task"
 )
+
+// StatsSource supplies observed per-task statistics from prior runs
+// (selectivities, POSSIBLY pass fractions, sort group sizes — the
+// obstats.Kind* constants). core.ObservedStats satisfies it, so an
+// engine's ObStats store plugs in directly; nil disables seeding and
+// prices plans from the paper's fixed constants exactly as before.
+type StatsSource interface {
+	// Estimate returns the weighted mean and total weight for one
+	// (task, kind), or ok=false when nothing was ever observed.
+	Estimate(task, kind string) (value, weight float64, ok bool)
+}
 
 // CardSource supplies base-relation cardinalities. relation.Catalog
 // implements it; tests use a map.
@@ -69,6 +81,11 @@ type OptimizeOptions struct {
 	JoinBatch, GridRows, GridCols int
 	// Sort parameters, mirroring core.Options (defaults 5, 20, 6).
 	CompareGroupSize, HybridIterations, HybridStep int
+	// Stats, when non-nil, seeds selectivity / pass-fraction /
+	// group-size estimates from observed history: each estimate is the
+	// fixed prior blended toward the store's weighted mean
+	// (cost.BlendObserved), and a note records every seeded value.
+	Stats StatsSource
 }
 
 func (o *OptimizeOptions) fillDefaults() {
@@ -161,13 +178,21 @@ type OpCost struct {
 	InRows, OutRows int
 }
 
-// OpActual pairs an executed operator label with its posted HITs, for
-// estimated-vs-actual rendering.
+// OpActual pairs an executed operator label with its posted HITs and
+// the run's observed statistics, for estimated-vs-actual rendering.
 type OpActual struct {
 	// Label matches the OpStat label from the executed run.
 	Label string
 	// HITs is the operator's actually posted HIT count.
 	HITs int
+	// Observed statistics measured by the executed run (exec.Stats
+	// ObservedStats, or the stats store). A zero weight means the
+	// statistic was not observed and its column is omitted; values with
+	// weights merge as weighted means when several entries share an
+	// operator.
+	Selectivity, SelectivityWeight   float64
+	PassFraction, PassFractionWeight float64
+	GroupSize, GroupSizeWeight       float64
 }
 
 // CostedPlan is the optimizer's result: the annotated tree plus the
@@ -263,6 +288,15 @@ func (o *optimizer) note(format string, args ...any) {
 	o.notes = append(o.notes, fmt.Sprintf(format, args...))
 }
 
+// observed reads one statistic from the configured history source;
+// ok=false when no source is configured or nothing was recorded.
+func (o *optimizer) observed(taskName, kind string) (value, weight float64, ok bool) {
+	if o.opt.Stats == nil {
+		return 0, 0, false
+	}
+	return o.opt.Stats.Estimate(taskName, kind)
+}
+
 // visit estimates output cardinality bottom-up and collects crowd
 // operator alternatives in post-order.
 func (o *optimizer) visit(n Node) (int, error) {
@@ -288,7 +322,12 @@ func (o *optimizer) visit(n Node) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		out := scaleRows(in, opt.FilterSelectivity)
+		sel := opt.FilterSelectivity
+		if v, w, ok := o.observed(t.Task.Name, obstats.KindSelectivity); ok {
+			sel = clampFraction(cost.BlendObserved(sel, v, w))
+			o.note("%s: selectivity %.3f seeded from observed history (weight %.0f)", t.Label(), sel, w)
+		}
+		out := scaleRows(in, sel)
 		o.addSingle(t, in, out, opt.FilterBatch, func(k int) {
 			t.Phys = &BatchPhys{Batch: opt.FilterBatch, Assignments: k}
 		}, segment{cost.BatchHITs(in, opt.FilterBatch), cost.PairEffort(opt.FilterBatch)})
@@ -395,16 +434,26 @@ func (o *optimizer) visitJoin(t *CrowdJoin, lr, rr int) (int, error) {
 			sel = 1
 		}
 	}
+	if v, w, ok := o.observed(t.Task.Name, obstats.KindSelectivity); ok {
+		sel = clampFraction(cost.BlendObserved(sel, v, w))
+		o.note("%s: join selectivity %.3f seeded from observed history (weight %.0f)", t.Label(), sel, w)
+	}
 	pairs := cost.JoinPairs(lr, rr, 1)
 	out := scaleRows(pairs, sel)
 
 	// POSSIBLY pre-filter pass fraction: independent features each pass
 	// ≈ 1/domain for known extractions plus the UNKNOWN-wildcard share
 	// (§2.4: UNKNOWN never prunes); true matches always agree, flooring
-	// the fraction at the join selectivity.
+	// the fraction at the join selectivity. Observed history overrides
+	// the model — this is exactly the estimate PR 3 recorded as
+	// factor-of-two off.
 	passFrac := 1.0
 	for _, f := range t.LeftFeatures {
 		passFrac *= cost.FeaturePassFraction(featureDomain(f), cost.DefaultUnknownRate)
+	}
+	if v, w, ok := o.observed(t.Task.Name, obstats.KindPassFraction); ok && len(t.LeftFeatures) > 0 {
+		passFrac = clampFraction(cost.BlendObserved(passFrac, v, w))
+		o.note("%s: POSSIBLY pass fraction %.3f seeded from observed history (weight %.0f)", t.Label(), passFrac, w)
 	}
 	if passFrac < sel {
 		passFrac = sel
@@ -512,8 +561,28 @@ func (o *optimizer) visitSort(t *CrowdOrderBy, in int) {
 		inRows: in,
 		outRow: in,
 	}
+	// Per-group cost shaping (GROUP BY sorts each group independently,
+	// so HITs scale with group sizes, not one global n): with observed
+	// history the estimate becomes ceil(in/g) groups of ≈g rows; without
+	// it the single-group assumption stands, noted as before. The
+	// executor refines per group mid-run once each group's true size
+	// materializes (ReplanOptions).
+	groups, gsize := 1, in
 	if len(t.GroupCols) > 0 {
-		o.note("%s estimated as a single group (group count unknown before execution)", t.Label())
+		if g, w, ok := o.observed(t.Task.Name, obstats.KindGroupSize); ok && g >= 1 && in > 0 {
+			gsize = int(math.Round(g))
+			if gsize < 1 {
+				gsize = 1
+			}
+			if gsize > in {
+				gsize = in
+			}
+			groups = (in + gsize - 1) / gsize
+			o.note("%s: estimated as %d groups of ≈%d rows (observed group sizes, weight %.0f)",
+				t.Label(), groups, gsize, w)
+		} else {
+			o.note("%s estimated as a single group (group count unknown before execution)", t.Label())
+		}
 	}
 	if in < 2 {
 		entry.alts = []alternative{{
@@ -529,9 +598,9 @@ func (o *optimizer) visitSort(t *CrowdOrderBy, in int) {
 		return
 	}
 	s := opt.CompareGroupSize
-	compareHITs := compareCoverHITs(in, s)
-	if in > exactCoverLimit {
-		o.note("%s: comparison cover approximated analytically for %d rows", t.Label(), in)
+	compareHITs := groups * compareCoverHITs(gsize, s)
+	if gsize > exactCoverLimit {
+		o.note("%s: comparison cover approximated analytically for %d rows", t.Label(), gsize)
 	}
 	entry.alts = append(entry.alts, alternative{
 		choice:  fmt.Sprintf("Compare S=%d", s),
@@ -546,21 +615,21 @@ func (o *optimizer) visitSort(t *CrowdOrderBy, in int) {
 	entry.alts = append(entry.alts, alternative{
 		choice:  fmt.Sprintf("Rate b=%d", opt.RateBatch),
 		quality: cost.QualityRateSort,
-		segs:    []segment{{cost.RateSortHITs(in, opt.RateBatch), cost.PairEffort(opt.RateBatch)}},
+		segs:    []segment{{groups * cost.RateSortHITs(gsize, opt.RateBatch), cost.PairEffort(opt.RateBatch)}},
 		apply: func(k int) {
 			t.Phys = &SortPhys{Method: core.SortRate, GroupSize: s,
 				RateBatch: opt.RateBatch, Iterations: opt.HybridIterations, Step: opt.HybridStep,
 				Strategy: sortop.SlidingWindow, Assignments: k}
 		},
 	})
-	for _, iters := range hybridIterationLevels(opt.HybridIterations, in) {
+	for _, iters := range hybridIterationLevels(opt.HybridIterations, gsize) {
 		iters := iters
 		entry.alts = append(entry.alts, alternative{
 			choice:  fmt.Sprintf("Hybrid/Window S=%d t=%d i=%d", s, opt.HybridStep, iters),
-			quality: cost.HybridQuality(in, iters, opt.HybridStep),
+			quality: cost.HybridQuality(gsize, iters, opt.HybridStep),
 			segs: []segment{
-				{cost.RateSortHITs(in, opt.RateBatch), cost.PairEffort(opt.RateBatch)},
-				{iters, cost.CompareEffort(s)},
+				{groups * cost.RateSortHITs(gsize, opt.RateBatch), cost.PairEffort(opt.RateBatch)},
+				{groups * iters, cost.CompareEffort(s)},
 			},
 			apply: func(k int) {
 				t.Phys = &SortPhys{Method: core.SortHybrid, GroupSize: s,
@@ -798,14 +867,47 @@ func (cp *CostedPlan) RenderWithActual(actual []OpActual) string {
 	return cp.render(cp.foldActual(actual))
 }
 
+// actualAgg accumulates executed-run facts per costed node: posted
+// HITs plus weighted sums of the observed statistics.
+type actualAgg struct {
+	hits                                  int
+	sel, selW, pass, passW, gsize, gsizeW float64
+}
+
+// fold merges one OpActual into the aggregate (weighted-mean merge for
+// the observed columns).
+func (g *actualAgg) fold(a OpActual) {
+	g.hits += a.HITs
+	if a.SelectivityWeight > 0 {
+		g.sel += a.Selectivity * a.SelectivityWeight
+		g.selW += a.SelectivityWeight
+	}
+	if a.PassFractionWeight > 0 {
+		g.pass += a.PassFraction * a.PassFractionWeight
+		g.passW += a.PassFractionWeight
+	}
+	if a.GroupSizeWeight > 0 {
+		g.gsize += a.GroupSize * a.GroupSizeWeight
+		g.gsizeW += a.GroupSizeWeight
+	}
+}
+
 // foldActual maps executed operator labels onto costed ops: exact label
 // match, "<label>[i]" branch entries, and extraction/feature-selection
 // spending folded into the pre-filtered join that caused it. Stats
 // labels do not say which join an extraction belonged to, so the fold
 // happens only when exactly one join pre-filters; with several, their
 // extraction spending is left unattributed rather than misattributed.
-func (cp *CostedPlan) foldActual(actual []OpActual) map[Node]int {
-	out := map[Node]int{}
+func (cp *CostedPlan) foldActual(actual []OpActual) map[Node]*actualAgg {
+	out := map[Node]*actualAgg{}
+	at := func(n Node) *actualAgg {
+		g := out[n]
+		if g == nil {
+			g = &actualAgg{}
+			out[n] = g
+		}
+		return g
+	}
 	prefilterJoin := Node(nil)
 	prefilterJoins := 0
 	for i := range cp.Ops {
@@ -822,20 +924,20 @@ func (cp *CostedPlan) foldActual(actual []OpActual) map[Node]int {
 		for i := range cp.Ops {
 			op := &cp.Ops[i]
 			if a.Label == op.Label || strings.HasPrefix(a.Label, op.Label+"[") {
-				out[op.Node] += a.HITs
+				at(op.Node).fold(a)
 				matched = true
 				break
 			}
 		}
 		if !matched && prefilterJoin != nil &&
 			(strings.HasPrefix(a.Label, "extract-") || strings.HasPrefix(a.Label, "feature")) {
-			out[prefilterJoin] += a.HITs
+			at(prefilterJoin).fold(a)
 		}
 	}
 	return out
 }
 
-func (cp *CostedPlan) render(actual map[Node]int) string {
+func (cp *CostedPlan) render(actual map[Node]*actualAgg) string {
 	byNode := map[Node]*OpCost{}
 	for i := range cp.Ops {
 		byNode[cp.Ops[i].Node] = &cp.Ops[i]
@@ -855,9 +957,27 @@ func (cp *CostedPlan) render(actual map[Node]int) string {
 				oc.Choice, oc.HITs, oc.Assignments, oc.Dollars, oc.Quality, oc.Detail)
 			if actual != nil {
 				got := actual[n]
-				fmt.Fprintf(&b, " · actual %d HITs", got)
+				hits := 0
+				if got != nil {
+					hits = got.hits
+				}
+				fmt.Fprintf(&b, " · actual %d HITs", hits)
 				if oc.HITs > 0 {
-					fmt.Fprintf(&b, " (%+.0f%%)", 100*float64(got-oc.HITs)/float64(oc.HITs))
+					fmt.Fprintf(&b, " (%+.0f%%)", 100*float64(hits-oc.HITs)/float64(oc.HITs))
+				}
+				// Observed statistics next to the estimates that should
+				// have predicted them — the mis-estimates PR 3 recorded
+				// were invisible here when only HIT counts rendered.
+				if got != nil {
+					if got.selW > 0 {
+						fmt.Fprintf(&b, " · obs sel %.3f", got.sel/got.selW)
+					}
+					if got.passW > 0 {
+						fmt.Fprintf(&b, " · obs pass %.3f", got.pass/got.passW)
+					}
+					if got.gsizeW > 0 {
+						fmt.Fprintf(&b, " · obs group ≈%.0f rows", got.gsize/got.gsizeW)
+					}
 				}
 			}
 		}
@@ -908,6 +1028,19 @@ func fieldOf(gt *task.Generative, name string) (task.Field, bool) {
 		}
 	}
 	return task.Field{}, false
+}
+
+// clampFraction bounds a blended estimate to a usable probability:
+// strictly positive (a zero selectivity would zero out estimates) and
+// at most 1.
+func clampFraction(v float64) float64 {
+	if v < 1e-6 {
+		return 1e-6
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
 }
 
 func scaleRows(in int, sel float64) int {

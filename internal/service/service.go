@@ -54,6 +54,11 @@ type Config struct {
 	// Answers is the shared cross-query answer store (nil disables
 	// reuse).
 	Answers core.AnswerStore
+	// Stats is the shared observed-statistics store: every tenant's
+	// runs feed their measured selectivities, pass fractions, and group
+	// sizes into it, and every submission's admission-time plan is
+	// seeded from that history (nil disables the feedback loop).
+	Stats core.ObservedStats
 	// Options are the engine defaults each submission may override.
 	Options core.Options
 	// Tenants is the tenant directory; nil creates an empty one.
@@ -240,6 +245,7 @@ func (s *Service) Submit(req SubmitRequest) (*Query, error) {
 	eng.Catalog = s.cfg.Catalog
 	eng.Library = s.cfg.Library
 	eng.Answers = s.cfg.Answers
+	eng.ObStats = s.cfg.Stats
 
 	// Admission control: the query must parse, plan, and fit the
 	// tenant's remaining budget by the optimizer's estimate.
@@ -280,7 +286,14 @@ func (s *Service) admit(eng *core.Engine, tenant *Tenant, src string) error {
 	if err != nil {
 		return err
 	}
-	cp, err := plan.Optimize(node, eng.Catalog, plan.OptimizeOptionsFrom(eng.Options, 0))
+	po := plan.OptimizeOptionsFrom(eng.Options, 0)
+	if eng.ObStats != nil {
+		// Seed the admission-time plan from observed history: a second
+		// submission of a workload the store has seen picks the better
+		// interface (and a truer budget estimate) before running.
+		po.Stats = eng.ObStats
+	}
+	cp, err := plan.Optimize(node, eng.Catalog, po)
 	if err != nil {
 		return err
 	}

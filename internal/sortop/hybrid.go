@@ -102,7 +102,199 @@ type HybridResult struct {
 // TotalHITs is the paper's cost metric for hybrid runs.
 func (r *HybridResult) TotalHITs() int { return r.RateHITs + r.CompareHITs }
 
-// Hybrid runs the rating seed plus iterative comparison refinement.
+// HybridState decomposes the comparison refinement into explicit
+// mint/apply steps so the streaming executor can post iterations
+// through the chunked poster (refusal/expiry retries, overlapped
+// posting) instead of one blocking marketplace round per iteration.
+//
+// Every strategy's window POSITIONS depend only on the seed, the window
+// size, and the iteration number — never on worker answers — so all of
+// them are precomputed at construction. A window's CONTENT (the items
+// currently at those positions) is captured at mint time; MintNext
+// refuses to mint an iteration whose positions overlap a
+// minted-but-unapplied window, because windows on disjoint positions
+// commute: the items such a window sees at mint time are exactly the
+// items the sequential algorithm would have shown it. Apply folds
+// answers strictly in iteration order (buffering early arrivals), so
+// Order and Trace evolve identically to the sequential run.
+type HybridState struct {
+	items     *relation.Relation
+	rt        *task.Rank
+	opts      HybridOptions
+	res       *HybridResult
+	positions [][]int
+	minted    int
+	applied   int
+	buffered  map[int][]hit.Answer
+}
+
+// NewHybridState prepares the refinement over an already-computed
+// rating seed (opts.SeedRating is required — run the rating pass first).
+func NewHybridState(items *relation.Relation, rt *task.Rank, opts HybridOptions) (*HybridState, error) {
+	opts.fillDefaults()
+	n := items.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("sortop: need ≥2 items, got %d", n)
+	}
+	if opts.WindowSize > n {
+		opts.WindowSize = n
+	}
+	rr := opts.SeedRating
+	if rr == nil {
+		return nil, fmt.Errorf("sortop: HybridState requires SeedRating")
+	}
+	st := &HybridState{
+		items: items,
+		rt:    rt,
+		opts:  opts,
+		res: &HybridResult{
+			InitialOrder: append([]int(nil), rr.Order...),
+			Order:        append([]int(nil), rr.Order...),
+			RateHITs:     rr.HITCount,
+			RateResult:   rr,
+		},
+		buffered: map[int][]hit.Answer{},
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Confidence strategy: precompute the window processing order by
+	// decreasing R_i = Σ max(µa+σa − µb−σb, 0) over window pairs
+	// (µa < µb), from the rating summaries (§4.1.3).
+	var confOrder []int
+	if opts.Strategy == ConfidenceWindow {
+		confOrder = confidenceOrder(rr, opts.WindowSize)
+	}
+
+	s := opts.WindowSize
+	slideStart := 1 // the paper's sliding window starts at i = 1
+	for iter := 0; iter < opts.Iterations; iter++ {
+		var positions []int
+		switch opts.Strategy {
+		case RandomWindow:
+			positions = rng.Perm(n)[:s]
+			sort.Ints(positions)
+		case ConfidenceWindow:
+			start := confOrder[iter%len(confOrder)]
+			positions = windowPositions(start, s, n)
+		case SlidingWindow:
+			positions = windowPositions(slideStart, s, n)
+			slideStart = (slideStart + opts.Step) % n
+		default:
+			return nil, fmt.Errorf("sortop: unknown strategy %v", opts.Strategy)
+		}
+		st.positions = append(st.positions, positions)
+	}
+	return st, nil
+}
+
+// MintNext builds the next iteration's single-question comparison HIT
+// and returns it with its iteration number. A nil HIT (with nil error)
+// means nothing can mint right now: every iteration is minted, or the
+// next window overlaps a minted-but-unapplied one and must wait for an
+// Apply.
+func (st *HybridState) MintNext() (*hit.HIT, int, error) {
+	if st.minted >= len(st.positions) {
+		return nil, 0, nil
+	}
+	next := st.positions[st.minted]
+	for i := st.applied; i < st.minted; i++ {
+		if overlaps(st.positions[i], next) {
+			return nil, 0, nil
+		}
+	}
+	iter := st.minted
+	windowItems := make([]relation.Tuple, len(next))
+	for i, p := range next {
+		windowItems[i] = st.items.Row(st.res.Order[p])
+	}
+	q := hit.Question{
+		ID:    fmt.Sprintf("%s/iter%04d", st.opts.GroupID, iter),
+		Kind:  hit.CompareQ,
+		Task:  st.rt.Name,
+		Items: windowItems,
+	}
+	b := hit.NewBuilder(fmt.Sprintf("%s/i%04d", st.opts.GroupID, iter), st.opts.Assignments, 1)
+	hits, err := b.Merge([]hit.Question{q}, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	st.minted++
+	return hits[0], iter, nil
+}
+
+// Apply folds one minted iteration's collected answers. Early arrivals
+// buffer until every preceding iteration folded, so the refinement
+// trajectory matches the sequential algorithm's exactly.
+func (st *HybridState) Apply(iter int, answers []hit.Answer) error {
+	if iter < 0 || iter >= st.minted {
+		return fmt.Errorf("sortop: hybrid iteration %d not minted", iter)
+	}
+	if _, dup := st.buffered[iter]; dup || iter < st.applied {
+		return fmt.Errorf("sortop: hybrid iteration %d applied twice", iter)
+	}
+	st.buffered[iter] = answers
+	for {
+		ans, ok := st.buffered[st.applied]
+		if !ok {
+			return nil
+		}
+		delete(st.buffered, st.applied)
+		st.fold(st.applied, ans)
+		st.applied++
+	}
+}
+
+// Done reports whether every refinement iteration has been applied.
+func (st *HybridState) Done() bool { return st.applied >= len(st.positions) }
+
+// Result returns the refinement outcome; valid once Done.
+func (st *HybridState) Result() *HybridResult { return st.res }
+
+// fold is one sequential refinement step: head-to-head ranking within
+// the window, reinserted into the same positions.
+func (st *HybridState) fold(iter int, answers []hit.Answer) {
+	positions := st.positions[iter]
+	wins := make([]float64, len(positions))
+	for _, ans := range answers {
+		if len(ans.Order) != len(positions) {
+			continue
+		}
+		for rank, local := range ans.Order {
+			wins[local] += float64(rank)
+		}
+	}
+	local := make([]int, len(positions))
+	for i := range local {
+		local[i] = i
+	}
+	sort.SliceStable(local, func(a, b int) bool { return wins[local[a]] < wins[local[b]] })
+	current := make([]int, len(positions))
+	for i, p := range positions {
+		current[i] = st.res.Order[p]
+	}
+	for i, p := range positions {
+		st.res.Order[p] = current[local[i]]
+	}
+	st.res.CompareHITs++
+	st.res.Trace = append(st.res.Trace, append([]int(nil), st.res.Order...))
+}
+
+// overlaps reports whether two (small) position sets intersect.
+func overlaps(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Hybrid runs the rating seed plus iterative comparison refinement as
+// one blocking call: mint one iteration, run it on the marketplace,
+// fold — the sequential special case of HybridState (with nothing ever
+// pending, MintNext never has to wait).
 func Hybrid(items *relation.Relation, rt *task.Rank, opts HybridOptions, market crowd.Marketplace) (*HybridResult, error) {
 	opts.fillDefaults()
 	n := items.Len()
@@ -122,92 +314,33 @@ func Hybrid(items *relation.Relation, rt *task.Rank, opts HybridOptions, market 
 			return nil, err
 		}
 	}
-	res := &HybridResult{
-		InitialOrder: append([]int(nil), rr.Order...),
-		Order:        append([]int(nil), rr.Order...),
-		RateHITs:     rr.HITCount,
-		RateResult:   rr,
+	o := opts
+	o.SeedRating = rr
+	st, err := NewHybridState(items, rt, o)
+	if err != nil {
+		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-
-	// Confidence strategy: precompute the window processing order by
-	// decreasing R_i = Σ max(µa+σa − µb−σb, 0) over window pairs
-	// (µa < µb), from the rating summaries (§4.1.3).
-	var confOrder []int
-	if opts.Strategy == ConfidenceWindow {
-		confOrder = confidenceOrder(rr, opts.WindowSize)
-	}
-
-	s := opts.WindowSize
-	slideStart := 1 // the paper's sliding window starts at i = 1
-	for iter := 0; iter < opts.Iterations; iter++ {
-		// Pick window positions in the *current* order.
-		var positions []int
-		switch opts.Strategy {
-		case RandomWindow:
-			positions = rng.Perm(n)[:s]
-			sort.Ints(positions)
-		case ConfidenceWindow:
-			start := confOrder[iter%len(confOrder)]
-			positions = windowPositions(start, s, n)
-		case SlidingWindow:
-			positions = windowPositions(slideStart, s, n)
-			slideStart = (slideStart + opts.Step) % n
-		default:
-			return nil, fmt.Errorf("sortop: unknown strategy %v", opts.Strategy)
-		}
-
-		// One comparison HIT over the window's items.
-		windowItems := make([]relation.Tuple, len(positions))
-		for i, p := range positions {
-			windowItems[i] = items.Row(res.Order[p])
-		}
-		q := hit.Question{
-			ID:    fmt.Sprintf("%s/iter%04d", opts.GroupID, iter),
-			Kind:  hit.CompareQ,
-			Task:  rt.Name,
-			Items: windowItems,
-		}
-		b := hit.NewBuilder(fmt.Sprintf("%s/i%04d", opts.GroupID, iter), opts.Assignments, 1)
-		hits, err := b.Merge([]hit.Question{q}, 1)
+	for {
+		h, iter, err := st.MintNext()
 		if err != nil {
 			return nil, err
 		}
-		run, err := market.Run(&hit.Group{ID: hits[0].GroupID, HITs: hits})
+		if h == nil {
+			break
+		}
+		run, err := market.Run(&hit.Group{ID: h.GroupID, HITs: []*hit.HIT{h}})
 		if err != nil {
 			return nil, err
 		}
-		res.CompareHITs++
-
-		// Head-to-head within the window.
-		wins := make([]float64, len(positions))
+		var answers []hit.Answer
 		for _, a := range run.Assignments {
-			for _, ans := range a.Answers {
-				if len(ans.Order) != len(positions) {
-					continue
-				}
-				for rank, local := range ans.Order {
-					wins[local] += float64(rank)
-				}
-			}
+			answers = append(answers, a.Answers...)
 		}
-		local := make([]int, len(positions))
-		for i := range local {
-			local[i] = i
+		if err := st.Apply(iter, answers); err != nil {
+			return nil, err
 		}
-		sort.SliceStable(local, func(a, b int) bool { return wins[local[a]] < wins[local[b]] })
-
-		// Reinsert the reordered items into the same positions.
-		current := make([]int, len(positions))
-		for i, p := range positions {
-			current[i] = res.Order[p]
-		}
-		for i, p := range positions {
-			res.Order[p] = current[local[i]]
-		}
-		res.Trace = append(res.Trace, append([]int(nil), res.Order...))
 	}
-	return res, nil
+	return st.Result(), nil
 }
 
 // windowPositions returns S consecutive positions starting at start,

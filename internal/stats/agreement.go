@@ -1,0 +1,21 @@
+package stats
+
+// MajorityShare returns the fraction of votes that agree with the most
+// common value, and that value — the per-question worker-agreement
+// statistic the executor feeds the observed-statistics store
+// (obstats.KindAgreement). Ties break toward the value seen first, so
+// the share is the same either way. ok is false for an empty vote set.
+func MajorityShare(values []string) (share float64, majority string, ok bool) {
+	if len(values) == 0 {
+		return 0, "", false
+	}
+	counts := make(map[string]int, len(values))
+	best := -1
+	for _, v := range values {
+		counts[v]++
+		if counts[v] > best {
+			best, majority = counts[v], v
+		}
+	}
+	return float64(best) / float64(len(values)), majority, true
+}

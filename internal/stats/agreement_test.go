@@ -1,0 +1,22 @@
+package stats
+
+import "testing"
+
+func TestMajorityShare(t *testing.T) {
+	if _, _, ok := MajorityShare(nil); ok {
+		t.Fatal("empty vote set reported ok")
+	}
+	share, maj, ok := MajorityShare([]string{"yes", "yes", "no", "yes", "no"})
+	if !ok || maj != "yes" || share != 0.6 {
+		t.Fatalf("MajorityShare = (%v, %q, %v), want (0.6, yes, true)", share, maj, ok)
+	}
+	share, maj, ok = MajorityShare([]string{"a"})
+	if !ok || maj != "a" || share != 1 {
+		t.Fatalf("MajorityShare single = (%v, %q, %v)", share, maj, ok)
+	}
+	// Ties keep the first-seen value; the share is identical either way.
+	share, maj, ok = MajorityShare([]string{"b", "a", "b", "a"})
+	if !ok || share != 0.5 || maj != "b" {
+		t.Fatalf("MajorityShare tie = (%v, %q, %v), want (0.5, b, true)", share, maj, ok)
+	}
+}

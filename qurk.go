@@ -42,6 +42,7 @@ import (
 	"qurk/internal/hit"
 	"qurk/internal/join"
 	"qurk/internal/mturk"
+	"qurk/internal/obstats"
 	"qurk/internal/plan"
 	"qurk/internal/query"
 	"qurk/internal/relation"
@@ -211,6 +212,9 @@ type (
 	Engine = core.Engine
 	// Options are the engine-wide execution knobs.
 	Options = core.Options
+	// ReplanOptions controls adaptive mid-query re-optimization
+	// (Options.Replan).
+	ReplanOptions = core.ReplanOptions
 	// Library resolves UDF names to task templates.
 	Library = core.Library
 	// ExecStats aggregates a query run's crowd spending, including the
@@ -346,6 +350,23 @@ func Explain(e *Engine, src string, opts ...ExplainOptions) (string, error) {
 	for _, op := range eo.Actual.Operators {
 		actual = append(actual, plan.OpActual{Label: op.Label, HITs: op.HITs})
 	}
+	// Fold in the run's observed statistics (selectivities, POSSIBLY
+	// pass fractions, sort group sizes) so est-vs-actual shows what the
+	// crowd measured, not just how many HITs it cost.
+	for _, ob := range eo.Actual.ObservedStats() {
+		oa := plan.OpActual{Label: ob.Label}
+		switch ob.Kind {
+		case obstats.KindSelectivity:
+			oa.Selectivity, oa.SelectivityWeight = ob.Value, ob.Weight
+		case obstats.KindPassFraction:
+			oa.PassFraction, oa.PassFractionWeight = ob.Value, ob.Weight
+		case obstats.KindGroupSize:
+			oa.GroupSize, oa.GroupSizeWeight = ob.Value, ob.Weight
+		default:
+			continue
+		}
+		actual = append(actual, oa)
+	}
 	return cp.RenderWithActual(actual), nil
 }
 
@@ -362,7 +383,14 @@ func Optimize(e *Engine, src string, budgetDollars float64) (*CostedPlan, error)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Optimize(node, e.Catalog, plan.OptimizeOptionsFrom(e.Options, budgetDollars))
+	po := plan.OptimizeOptionsFrom(e.Options, budgetDollars)
+	if e.ObStats != nil {
+		// Seed estimates from observed history: the engine's stats store
+		// supplies weighted means of past runs' measured selectivities,
+		// pass fractions, and group sizes, blended with the priors.
+		po.Stats = e.ObStats
+	}
+	return plan.Optimize(node, e.Catalog, po)
 }
 
 // --- Direct operator access (paper §3 and §4) ---
