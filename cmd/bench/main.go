@@ -7,6 +7,9 @@
 // measurement is checked against a committed baseline report and the
 // process exits nonzero when any ns/op regresses beyond -threshold
 // (use -warn-only on noisy runners to report without failing).
+// Allocation counts are deterministic even on noisy runners, so
+// -alloc-gate names the benchmark families whose allocs/op and B/op
+// regressions hard-fail the gate regardless of -warn-only.
 //
 // Usage:
 //
@@ -14,6 +17,7 @@
 //	go run ./cmd/bench -bench Parallel       # only the scaling benchmarks
 //	go run ./cmd/bench -benchtime 5x -cpu 1,4,8
 //	go run ./cmd/bench -compare BENCH_baseline.json -threshold 0.20
+//	go run ./cmd/bench -compare BENCH_baseline.json -warn-only -alloc-gate 'Spill|SimMarket'
 package main
 
 import (
@@ -91,8 +95,18 @@ func main() {
 	notes := flag.String("notes", "", "free-form provenance note recorded in the report")
 	compare := flag.String("compare", "", "baseline report to gate regressions against")
 	threshold := flag.Float64("threshold", 0.20, "fractional ns/op regression allowed before the gate fails")
-	warnOnly := flag.Bool("warn-only", false, "report regressions but exit 0 (noisy runners)")
+	warnOnly := flag.Bool("warn-only", false, "report ns/op regressions but exit 0 (noisy runners)")
+	allocGate := flag.String("alloc-gate", "",
+		"regex of benchmarks whose allocs/op and B/op regressions hard-fail the gate, even under -warn-only")
 	flag.Parse()
+	var allocGateRe *regexp.Regexp
+	if *allocGate != "" {
+		re, err := regexp.Compile(*allocGate)
+		if err != nil {
+			fatalf("bad -alloc-gate regex: %v", err)
+		}
+		allocGateRe = re
+	}
 	if *cpus == "" {
 		*cpus = "1"
 		// On multi-core hosts, also measure at full width so the
@@ -219,12 +233,18 @@ func main() {
 	fmt.Fprintf(stdout, "wrote %s (%d results)\n", *out, len(report.Results))
 
 	if *compare != "" {
-		regressed := compareBaseline(stdout, &report, *compare, *threshold)
-		if regressed > 0 && !*warnOnly {
+		regressed, allocGated := compareBaseline(stdout, &report, *compare, *threshold, allocGateRe)
+		fail := regressed > 0 && !*warnOnly
+		// Alloc regressions on gated families fail even under
+		// -warn-only: allocation counts are deterministic, so a jump is
+		// a real code change, not runner noise.
+		fail = fail || allocGated > 0
+		if fail {
 			if err := stdout.Flush(); err != nil {
 				fatalf("writing stdout: %v", err)
 			}
-			fatalf("%d benchmark(s) regressed beyond %.0f%% — see report above", regressed, *threshold*100)
+			fatalf("%d benchmark(s) regressed beyond %.0f%% (%d allocation-gated) — see report above",
+				regressed+allocGated, *threshold*100, allocGated)
 		}
 	}
 }
@@ -232,11 +252,12 @@ func main() {
 // compareBaseline checks every (name, procs) measurement against the
 // baseline report and prints a regression/improvement table. Entries
 // missing from either side are skipped (benchmarks come and go); the
-// count of ns/op regressions beyond threshold is returned. Allocation
-// regressions (allocs/op and B/op beyond the same threshold) are
-// reported but never counted toward the gate — warn-only until enough
-// baselines exist to trust the numbers on shared runners.
-func compareBaseline(w *bufio.Writer, cur *Report, path string, threshold float64) int {
+// counts of ns/op regressions and of gated allocation regressions
+// beyond threshold are returned. Allocation regressions (allocs/op and
+// B/op beyond the same threshold) hard-fail when the benchmark name
+// matches allocGate — the counts are deterministic, so they hold up
+// even on shared runners — and warn otherwise.
+func compareBaseline(w *bufio.Writer, cur *Report, path string, threshold float64, allocGate *regexp.Regexp) (int, int) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("reading baseline %s: %v", path, err)
@@ -250,7 +271,7 @@ func compareBaseline(w *bufio.Writer, cur *Report, path string, threshold float6
 	for _, r := range base.Results {
 		baseBy[key(r)] = r
 	}
-	regressed, allocRegressed, compared, skipped := 0, 0, 0, 0
+	regressed, allocWarned, allocGated, compared, skipped := 0, 0, 0, 0, 0
 	fmt.Fprintf(w, "\ncompare vs %s (threshold %.0f%%):\n", path, threshold*100)
 	for _, r := range cur.Results {
 		b, ok := baseBy[key(r)]
@@ -270,23 +291,29 @@ func compareBaseline(w *bufio.Writer, cur *Report, path string, threshold float6
 				key(r), b.NsPerOp/1e6, r.NsPerOp/1e6, delta*100)
 		}
 		// Allocation deltas: deterministic counts, so even small shifts
-		// are signal — but warn-only (never fails the gate).
-		if b.AllocsPerOp > 0 && r.AllocsPerOp > 0 {
-			if ad := (r.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp; ad > threshold {
-				allocRegressed++
-				fmt.Fprintf(w, "  ALLOC-WARN  %-44s %9.0f → %9.0f allocs/op  (%+.1f%%)\n",
-					key(r), b.AllocsPerOp, r.AllocsPerOp, ad*100)
+		// are signal. Gated families hard-fail; the rest warn.
+		allocCheck := func(baseVal, curVal float64, unit string) {
+			if baseVal <= 0 || curVal <= 0 {
+				return
 			}
-		}
-		if b.BytesPerOp > 0 && r.BytesPerOp > 0 {
-			if bd := (r.BytesPerOp - b.BytesPerOp) / b.BytesPerOp; bd > threshold {
-				allocRegressed++
-				fmt.Fprintf(w, "  ALLOC-WARN  %-44s %9.0f → %9.0f B/op  (%+.1f%%)\n",
-					key(r), b.BytesPerOp, r.BytesPerOp, bd*100)
+			d := (curVal - baseVal) / baseVal
+			if d <= threshold {
+				return
 			}
+			label := "ALLOC-WARN "
+			if allocGate != nil && allocGate.MatchString(r.Name) {
+				allocGated++
+				label = "ALLOC-REGRESSION"
+			} else {
+				allocWarned++
+			}
+			fmt.Fprintf(w, "  %s %-44s %9.0f → %9.0f %s  (%+.1f%%)\n",
+				label, key(r), baseVal, curVal, unit, d*100)
 		}
+		allocCheck(b.AllocsPerOp, r.AllocsPerOp, "allocs/op")
+		allocCheck(b.BytesPerOp, r.BytesPerOp, "B/op")
 	}
-	fmt.Fprintf(w, "  %d compared, %d regressed, %d alloc warnings (warn-only), %d not in baseline\n",
-		compared, regressed, allocRegressed, skipped)
-	return regressed
+	fmt.Fprintf(w, "  %d compared, %d regressed, %d alloc regressions (gated), %d alloc warnings, %d not in baseline\n",
+		compared, regressed, allocGated, allocWarned, skipped)
+	return regressed, allocGated
 }

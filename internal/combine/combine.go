@@ -8,7 +8,6 @@ package combine
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Vote is one worker's categorical response to one question.
@@ -101,31 +100,73 @@ func (MajorityVote) Combine(votes []Vote) (map[string]Decision, error) {
 	if len(votes) == 0 {
 		return map[string]Decision{}, nil
 	}
+	// Streaming operators decide one question per call (a slot's own
+	// vote run); skip the grouping map on that shape.
+	single := true
+	for i := 1; i < len(votes); i++ {
+		if votes[i].Question != votes[0].Question {
+			single = false
+			break
+		}
+	}
+	if single {
+		return map[string]Decision{votes[0].Question: majorityDecision(votes)}, nil
+	}
 	_, byQ := groupByQuestion(votes)
 	out := make(map[string]Decision, len(byQ))
 	for q, vs := range byQ {
-		counts := map[string]int{}
-		for _, v := range vs {
-			counts[v.Value]++
-		}
-		vals := make([]string, 0, len(counts))
-		for val := range counts {
-			vals = append(vals, val)
-		}
-		sort.Strings(vals)
-		best, bestN := "", -1
-		for _, val := range vals {
-			if counts[val] > bestN {
-				best, bestN = val, counts[val]
-			}
-		}
-		out[q] = Decision{
-			Value:      best,
-			Confidence: float64(bestN) / float64(len(vs)),
-			Votes:      len(vs),
-		}
+		out[q] = majorityDecision(vs)
 	}
 	return out, nil
+}
+
+// majorityDecision resolves one question's votes: most popular value,
+// lexicographically smallest on ties. Typical runs are one HIT's worth
+// of assignments, so values count in fixed arrays; runs with more
+// distinct values than the arrays hold fall back to a map.
+func majorityDecision(vs []Vote) Decision {
+	var vals [8]string
+	var counts [8]int
+	n := 0
+	for _, v := range vs {
+		found := false
+		for i := 0; i < n; i++ {
+			if vals[i] == v.Value {
+				counts[i]++
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		if n == len(vals) {
+			return majorityDecisionMap(vs)
+		}
+		vals[n], counts[n] = v.Value, 1
+		n++
+	}
+	best, bestN := "", -1
+	for i := 0; i < n; i++ {
+		if counts[i] > bestN || (counts[i] == bestN && vals[i] < best) {
+			best, bestN = vals[i], counts[i]
+		}
+	}
+	return Decision{Value: best, Confidence: float64(bestN) / float64(len(vs)), Votes: len(vs)}
+}
+
+func majorityDecisionMap(vs []Vote) Decision {
+	counts := map[string]int{}
+	for _, v := range vs {
+		counts[v.Value]++
+	}
+	best, bestN := "", -1
+	for val, c := range counts {
+		if c > bestN || (c == bestN && val < best) {
+			best, bestN = val, c
+		}
+	}
+	return Decision{Value: best, Confidence: float64(bestN) / float64(len(vs)), Votes: len(vs)}
 }
 
 // BoolVote maps a boolean answer onto the categorical yes/no vote

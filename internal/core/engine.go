@@ -184,6 +184,18 @@ type Options struct {
 	// cap. One crowd-sorted group (and the streaming operators' own
 	// in-flight bookkeeping) still materializes in memory.
 	BreakerMemTuples int
+	// SplitSortGroups bounds crowd-sort memory for oversized groups:
+	// with BreakerMemTuples > 0, a group larger than the cap splits
+	// into consecutive windows of at most cap tuples, each window is
+	// crowd-sorted independently, and the sorted windows merge through
+	// the external sorter on normalized within-window rank — the
+	// paper's windowed-sort approximation (§4.3's bounded-comparison
+	// spirit), keeping one window rather than one group in memory.
+	// Results stay bit-identical at any ExecBatch/StreamChunkHITs for a
+	// fixed cap, but the cap becomes plan-shaping for oversized groups
+	// (different sort HITs than the unsplit run), so this is opt-in and
+	// off by default.
+	SplitSortGroups bool
 	// ExpiredRetries bounds how many times a streaming crowd operator
 	// re-posts a HIT some of whose assignments expired — accepted by a
 	// worker but never submitted before the assignment deadline

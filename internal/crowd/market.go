@@ -675,9 +675,10 @@ func (m *SimMarket) simulateHIT(groupID string, p *posting, baseMakespan float64
 			continue
 		}
 		asn := hit.Assignment{
-			ID:       fmt.Sprintf("%s/a%06d", groupID, p.idBase+k+1),
+			ID:       hit.MintID(groupID, "a", p.idBase+k+1, 6),
 			HITID:    p.h.ID,
 			WorkerID: w.ID,
+			Answers:  make([]hit.Answer, 0, len(p.h.Questions)),
 		}
 		for qi := range p.h.Questions {
 			q := &p.h.Questions[qi]

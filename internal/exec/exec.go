@@ -271,16 +271,20 @@ func RunPlanStreamContext(ctx context.Context, e *core.Engine, node plan.Node, s
 		if b == nil {
 			break
 		}
-		for _, t := range b.Tuples {
+		rows := b.Rows()
+		for _, t := range rows {
 			if err := out.Append(t); err != nil {
 				return nil, x.stats, err
 			}
 		}
-		if sink != nil && len(b.Tuples) > 0 {
-			if err := sink(b.Tuples, b.Ready); err != nil {
+		if sink != nil && len(rows) > 0 {
+			if err := sink(rows, b.Ready); err != nil {
 				return nil, x.stats, err
 			}
 		}
+		// Root is the end of the pipeline: recycle the batch's vectors.
+		// The arena-backed rows appended above stay valid.
+		b.Cols.Release()
 		if b.Ready > x.stats.PipelineMakespanHours {
 			x.stats.PipelineMakespanHours = b.Ready
 		}

@@ -306,9 +306,9 @@ func (e *extStream) finalizeEOS() error {
 // ordinal, never a builder counter, so they are stable at any chunking.
 func (e *extStream) qidFor(i int, field string) string {
 	if e.combined {
-		return fmt.Sprintf("%s/t%05d", e.groupID, i)
+		return hit.MintID(e.groupID, "t", i, 5)
 	}
-	return fmt.Sprintf("%s/t%05d.%s", e.groupID, i, field)
+	return hit.MintID(e.groupID, "t", i, 5) + "." + field
 }
 
 // done reports whether every ingested subject has resolved values.

@@ -7,7 +7,6 @@ package exec
 
 import (
 	"context"
-	"fmt"
 
 	"qurk/internal/combine"
 	"qurk/internal/hit"
@@ -121,7 +120,7 @@ func (g *generativeOp) Next(ctx context.Context) (*Batch, error) {
 			g.emitAt++
 		}
 		if !g.emit.empty() {
-			return g.emit.pop(), nil
+			return g.emit.pop(g.Schema()), nil
 		}
 		if g.done {
 			return nil, nil
@@ -186,11 +185,11 @@ func (g *generativeOp) step(ctx context.Context) error {
 		if in.Ready > g.clock {
 			g.clock = in.Ready
 		}
-		for _, t := range in.Tuples {
+		for _, t := range in.Rows() {
 			slotIdx := len(g.slots)
 			g.slots = append(g.slots, &gslot{tuple: t, values: map[string]string{}, ready: in.Ready})
 			q := hit.Question{
-				ID:     fmt.Sprintf("%s/t%05d", g.groupID, slotIdx),
+				ID:     hit.MintID(g.groupID, "t", slotIdx, 5),
 				Kind:   hit.GenerativeQ,
 				Task:   g.gt.Name,
 				Tuple:  t,
@@ -314,7 +313,7 @@ func (g *generativeOp) finalize() error {
 		if s == nil || s.done {
 			continue
 		}
-		qid := fmt.Sprintf("%s/t%05d", g.groupID, i)
+		qid := hit.MintID(g.groupID, "t", i, 5)
 		for _, fname := range g.fields {
 			s.values[fname] = decisions[fname][qid].Value
 		}

@@ -237,7 +237,7 @@ func (j *crowdJoinOp) Next(ctx context.Context) (*Batch, error) {
 			j.emitAt++
 		}
 		if !j.emit.empty() {
-			return j.emit.pop(), nil
+			return j.emit.pop(j.schema), nil
 		}
 		if j.done {
 			return nil, nil
@@ -491,28 +491,30 @@ func (j *crowdJoinOp) applyGridAnswers(q *hit.Question, as []hit.CachedAnswer, c
 }
 
 // noteSlot registers a candidate pair, deduplicating by content key
-// (first appearance wins, fixing emission order). The second result
-// reports whether this was the pair's first appearance.
-func (j *crowdJoinOp) noteSlot(p join.Pair) (*jslot, bool) {
+// (first appearance wins, fixing emission order). It returns the pair's
+// key so callers minting a question reuse the string instead of
+// re-deriving it; the last result reports whether this was the pair's
+// first appearance.
+func (j *crowdJoinOp) noteSlot(p join.Pair) (*jslot, string, bool) {
 	key := p.Key()
 	if idx, ok := j.slotOf[key]; ok {
-		return j.slots[idx], false
+		return j.slots[idx], key, false
 	}
 	s := &jslot{pair: p}
 	j.slotOf[key] = len(j.slots)
 	j.slots = append(j.slots, s)
-	return s, true
+	return s, key, true
 }
 
 // mintPair queues one candidate pair's question — unless the pair was
 // already resolved from the answer store (first appearance consults
 // the store; a servable entry decides the slot without posting).
-func (j *crowdJoinOp) mintPair(p join.Pair, s *jslot, isNew bool, batch int, clock float64) error {
+func (j *crowdJoinOp) mintPair(p join.Pair, key string, s *jslot, isNew bool, batch int, clock float64) error {
 	if s.served {
 		return nil
 	}
 	q := hit.Question{
-		ID:   p.Key(),
+		ID:   key,
 		Kind: hit.JoinPairQ,
 		Task: j.node.Task.Name,
 		Left: p.Left, Right: p.Right,
@@ -580,7 +582,7 @@ func (j *crowdJoinOp) nextPair(ctx context.Context) (join.Pair, bool, error) {
 		if in.Ready > j.clock {
 			j.clock = in.Ready
 		}
-		j.leftBuf = in.Tuples
+		j.leftBuf = in.Rows()
 		j.rightIdx = 0
 	}
 }
@@ -624,8 +626,8 @@ func (j *crowdJoinOp) step(ctx context.Context) error {
 				j.pairsDone = true
 				return j.flushHIT(batch, true)
 			}
-			s, isNew := j.noteSlot(p)
-			if err := j.mintPair(p, s, isNew, batch, j.clock); err != nil {
+			s, key, isNew := j.noteSlot(p)
+			if err := j.mintPair(p, key, s, isNew, batch, j.clock); err != nil {
 				return err
 			}
 		}
@@ -708,7 +710,7 @@ func (j *crowdJoinOp) stepExtracting(ctx context.Context, batch int) error {
 		if in.Ready > j.clock {
 			j.clock = in.Ready
 		}
-		for _, t := range in.Tuples {
+		for _, t := range in.Rows() {
 			j.leftRows = append(j.leftRows, t)
 			if err := j.xl.ingest(t); err != nil {
 				return err
@@ -816,8 +818,8 @@ func (j *crowdJoinOp) genPairs(batch int) (bool, error) {
 				j.tailPairs = append(j.tailPairs, p)
 				continue
 			}
-			s, isNew := j.noteSlot(p)
-			if err := j.mintPair(p, s, isNew, batch, j.pairClock); err != nil {
+			s, key, isNew := j.noteSlot(p)
+			if err := j.mintPair(p, key, s, isNew, batch, j.pairClock); err != nil {
 				return false, err
 			}
 		}
@@ -1003,7 +1005,13 @@ func (j *crowdJoinOp) collectChunk(ctx context.Context) error {
 		// would double vote memory for nothing.
 		for _, v := range votes {
 			if idx, ok := j.slotOf[v.Question]; ok {
-				j.slots[idx].votes = append(j.slots[idx].votes, v)
+				s := j.slots[idx]
+				if s.votes == nil {
+					// Size for one HIT's worth of assignments; retried
+					// lineages append past the hint and just regrow.
+					s.votes = make([]combine.Vote, 0, j.phys.Assignments)
+				}
+				s.votes = append(s.votes, v)
 			}
 		}
 	}

@@ -46,6 +46,15 @@ type crowdOrderByOp struct {
 	keySchema *relation.Schema
 	peek      *relation.Tuple // held-back first (keyed) tuple of the next group
 
+	// windowed sub-sorts (Options.SplitSortGroups): an oversized
+	// group's windows re-sort through a second external sorter keyed on
+	// a hidden normalized-rank column, so one window — not one group —
+	// is the memory high-water mark.
+	rankSchema *relation.Schema
+	winSorter  *spill.Sorter
+	winIter    *spill.Iter
+	winIdx     int
+
 	gi      int
 	pending []relation.Tuple
 	clock   float64
@@ -91,6 +100,20 @@ func (o *crowdOrderByOp) release() {
 		o.sorter.Close()
 		o.sorter = nil
 	}
+	o.releaseWindows()
+}
+
+// releaseWindows frees the windowed-merge resources of one group.
+func (o *crowdOrderByOp) releaseWindows() {
+	if o.winIter != nil {
+		o.winIter.Close()
+		o.winIter = nil
+	}
+	if o.winSorter != nil {
+		o.winSorter.Close()
+		o.winSorter = nil
+	}
+	o.winIdx = 0
 }
 
 // groupKey is the tuple's machine-sortable prefix key (paper §5's
@@ -139,7 +162,7 @@ func (o *crowdOrderByOp) start(ctx context.Context) error {
 			if b == nil {
 				break
 			}
-			for _, t := range b.Tuples {
+			for _, t := range b.Rows() {
 				key, err := o.groupKey(t)
 				if err != nil {
 					return err
@@ -209,51 +232,63 @@ func (o *crowdOrderByOp) start(ctx context.Context) error {
 	return nil
 }
 
-// nextGroup returns the next group to crowd-sort, or nil at the end.
-func (o *crowdOrderByOp) nextGroup() (*relation.Relation, error) {
+// nextGroup returns the next crowd-sort unit and whether the current
+// group continues past it: a whole group normally, or — with
+// Options.SplitSortGroups on the spilled path — the group's next
+// window of at most BreakerMemTuples tuples (more=true until the
+// group's last window). nil at end of input.
+func (o *crowdOrderByOp) nextGroup() (sub *relation.Relation, more bool, err error) {
 	if o.sorter == nil {
 		if o.gi >= len(o.groups) {
-			return nil, nil
+			return nil, false, nil
 		}
 		g := o.groups[o.gi]
 		o.groups[o.gi] = nil
-		return g, nil
+		return g, false, nil
 	}
 	// Spilled path: cut the next run of equal keys from the merged
-	// stream, holding back the first tuple of the following group. The
-	// hidden key column (ordinal 0) is stripped as rows re-enter the
-	// child schema.
+	// stream, holding back the first tuple of the following group (or
+	// the current group's next window). The hidden key column (ordinal
+	// 0) is stripped as rows re-enter the child schema.
+	winCap := 0
+	if o.x.eng.Options.SplitSortGroups {
+		winCap = o.x.eng.Options.BreakerMemTuples
+	}
 	first := o.peek
 	o.peek = nil
 	if first == nil {
 		t, ok, err := o.iter.Next()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if !ok {
-			return nil, nil
+			return nil, false, nil
 		}
 		first = &t
 	}
 	key := first.At(0).Text()
-	sub := relation.New(o.child.Name(), o.child.Schema())
+	sub = relation.New(o.child.Name(), o.child.Schema())
 	if err := sub.Append(o.stripKey(*first)); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	for {
 		t, ok, err := o.iter.Next()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if !ok {
-			return sub, nil
+			return sub, false, nil
 		}
 		if t.At(0).Text() != key {
 			o.peek = &t
-			return sub, nil
+			return sub, false, nil
+		}
+		if winCap > 0 && sub.Len() >= winCap {
+			o.peek = &t
+			return sub, true, nil
 		}
 		if err := sub.Append(o.stripKey(t)); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 }
@@ -322,6 +357,59 @@ func (o *crowdOrderByOp) stripKey(t relation.Tuple) relation.Tuple {
 	return out
 }
 
+// addScoredWindow feeds one crowd-sorted window into the group's merge
+// sorter. Each row carries a hidden leading rank column — its position
+// in the window's emission order, normalized to (0,1) by window size —
+// so the external merge interleaves windows proportionally; equal ranks
+// keep window order via the sorter's stable run tie-breaks.
+func (o *crowdOrderByOp) addScoredWindow(sub *relation.Relation, order []int) error {
+	if o.winSorter == nil {
+		cols := append([]relation.Column{{Name: "\x00rank", Kind: relation.KindFloat}},
+			o.child.Schema().Columns()...)
+		rankSchema, err := relation.NewSchema(cols...)
+		if err != nil {
+			return err
+		}
+		o.rankSchema = rankSchema
+		less := func(a, b relation.Tuple) bool { return a.At(0).Float() < b.At(0).Float() }
+		ws, err := spill.NewSorter(rankSchema, o.x.eng.Options.BreakerMemTuples, less)
+		if err != nil {
+			return err
+		}
+		o.winSorter = ws
+	}
+	m := float64(len(order) + 1)
+	for pos, ri := range order {
+		t := sub.Row(ri)
+		vals := make([]relation.Value, 0, t.Len()+1)
+		vals = append(vals, relation.Float(float64(pos+1)/m))
+		for c := 0; c < t.Len(); c++ {
+			vals = append(vals, t.At(c))
+		}
+		rt, err := relation.NewTuple(o.rankSchema, vals...)
+		if err != nil {
+			return err
+		}
+		if err := o.winSorter.Add(rt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stripRank drops the hidden leading rank column.
+func (o *crowdOrderByOp) stripRank(t relation.Tuple) relation.Tuple {
+	vals := make([]relation.Value, 0, t.Len()-1)
+	for c := 1; c < t.Len(); c++ {
+		vals = append(vals, t.At(c))
+	}
+	out, err := relation.NewTuple(o.child.Schema(), vals...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
 func (o *crowdOrderByOp) Next(ctx context.Context) (*Batch, error) {
 	if !o.started {
 		if err := o.start(ctx); err != nil {
@@ -335,14 +423,39 @@ func (o *crowdOrderByOp) Next(ctx context.Context) (*Batch, error) {
 			if n <= 0 || n > len(o.pending) {
 				n = len(o.pending)
 			}
-			b := &Batch{Tuples: o.pending[:n:n], Ready: o.clock}
+			b := batchOfTuples(o.Schema(), o.pending[:n], o.clock)
 			o.pending = o.pending[n:]
 			return b, nil
+		}
+		// Drain a completed windowed merge in bounded batches.
+		if o.winIter != nil {
+			n := o.size
+			if n <= 0 {
+				n = 1 << 30
+			}
+			cols := relation.NewColumnBatch(o.Schema(), o.size)
+			for cols.Len() < n {
+				t, ok, err := o.winIter.Next()
+				if err != nil {
+					cols.Release()
+					return nil, err
+				}
+				if !ok {
+					o.releaseWindows()
+					break
+				}
+				cols.AppendTuple(o.stripRank(t))
+			}
+			if cols.Len() > 0 {
+				return newBatch(cols, o.clock), nil
+			}
+			cols.Release()
+			continue
 		}
 		if o.closed {
 			return nil, nil
 		}
-		sub, err := o.nextGroup()
+		sub, more, err := o.nextGroup()
 		if err != nil {
 			return nil, err
 		}
@@ -350,8 +463,20 @@ func (o *crowdOrderByOp) Next(ctx context.Context) (*Batch, error) {
 			o.release()
 			return nil, nil
 		}
-		path := fmt.Sprintf("%s.g%d", o.path, o.gi)
-		o.gi++
+		// An oversized group's windows sort under per-window paths (so
+		// checkpoints and HIT group IDs stay unique and count-derived);
+		// the group index advances only when the group completes.
+		windowed := more || o.winSorter != nil
+		var path string
+		if windowed {
+			path = fmt.Sprintf("%s.g%d.w%d", o.path, o.gi, o.winIdx)
+			o.winIdx++
+		} else {
+			path = fmt.Sprintf("%s.g%d", o.path, o.gi)
+		}
+		if !more {
+			o.gi++
+		}
 		phys, err := o.replanGroup(sub, path)
 		if err != nil {
 			return nil, err
@@ -360,8 +485,9 @@ func (o *crowdOrderByOp) Next(ctx context.Context) (*Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Durable runs checkpoint each settled group: the breaker's
-		// materialized rows plus the crowd-resolved permutation.
+		// Durable runs checkpoint each settled group (or window): the
+		// breaker's materialized rows plus the crowd-resolved
+		// permutation.
 		if err := o.x.checkpoint(ckptSortGroup, path, digestSortGroup(order, sub), done); err != nil {
 			return nil, err
 		}
@@ -372,6 +498,21 @@ func (o *crowdOrderByOp) Next(ctx context.Context) (*Batch, error) {
 			for i, k := 0, len(order)-1; i < k; i, k = i+1, k-1 {
 				order[i], order[k] = order[k], order[i]
 			}
+		}
+		if windowed {
+			if err := o.addScoredWindow(sub, order); err != nil {
+				return nil, err
+			}
+			if more {
+				continue
+			}
+			// Last window: merge the group's sub-sorts externally.
+			it, err := o.winSorter.Sort()
+			if err != nil {
+				return nil, err
+			}
+			o.winIter = it
+			continue
 		}
 		o.pending = make([]relation.Tuple, 0, len(order))
 		for _, ri := range order {
@@ -468,7 +609,7 @@ func (o *machineOrderByOp) Next(ctx context.Context) (*Batch, error) {
 				if b == nil {
 					break
 				}
-				for _, t := range b.Tuples {
+				for _, t := range b.Rows() {
 					if err := o.sorter.Add(t); err != nil {
 						return nil, err
 					}
@@ -505,8 +646,8 @@ func (o *machineOrderByOp) Next(ctx context.Context) (*Batch, error) {
 		if n <= 0 {
 			n = 1 << 30
 		}
-		b := &Batch{Ready: o.ready}
-		for len(b.Tuples) < n {
+		cols := relation.NewColumnBatch(o.child.Schema(), o.size)
+		for cols.Len() < n {
 			t, ok, err := o.spilled.Next()
 			if err != nil {
 				return nil, err
@@ -515,12 +656,13 @@ func (o *machineOrderByOp) Next(ctx context.Context) (*Batch, error) {
 				o.releaseSpill()
 				break
 			}
-			b.Tuples = append(b.Tuples, t)
+			cols.AppendTuple(t)
 		}
-		if len(b.Tuples) == 0 {
+		if cols.Len() == 0 {
+			cols.Release()
 			return nil, nil
 		}
-		return b, nil
+		return newBatch(cols, o.ready), nil
 	}
 	b, err := o.out.Next(ctx)
 	if b != nil {

@@ -49,7 +49,7 @@ func drainBuildTable(ctx context.Context, op Operator, cap int) (*buildTable, fl
 		if b == nil {
 			break
 		}
-		for _, t := range b.Tuples {
+		for _, t := range b.Rows() {
 			if err := sp.Append(t); err != nil {
 				sp.Close()
 				return nil, 0, err

@@ -8,6 +8,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
@@ -101,6 +102,61 @@ func TestJoinBuildSpillInvariance(t *testing.T) {
 					cap, src[:40], mem, spilled)
 			}
 		}
+	}
+}
+
+// TestSplitSortGroupsChunkInvariance: with Options.SplitSortGroups, a
+// crowd-sort group larger than BreakerMemTuples splits into cap-bounded
+// windows that sub-sort independently and merge through the external
+// sorter. The cap is plan-shaping there by design (windowed sub-sorts
+// post different sort HITs than one oversized group), but for a fixed
+// cap the result must stay bit-identical at any
+// ExecBatch/StreamChunkHITs — and the rows must be a permutation of the
+// unsplit run's rows.
+func TestSplitSortGroupsChunkInvariance(t *testing.T) {
+	run := func(split bool, cap, execBatch, chunk int) string {
+		mv := dataset.NewMovie(dataset.MovieConfig{Scenes: 18, Actors: 2, Seed: 17})
+		m := crowd.NewSimMarket(crowd.DefaultConfig(17), mv.Oracle())
+		e := core.NewEngine(m, core.Options{
+			SortMethod: core.SortCompare, BreakerMemTuples: cap,
+			SplitSortGroups: split, ExecBatch: execBatch, StreamChunkHITs: chunk,
+		})
+		e.Catalog.Register(mv.Actors)
+		e.Catalog.Register(mv.Scenes)
+		e.Library.MustRegister(dataset.InSceneTask())
+		e.Library.MustRegister(dataset.QualityTask())
+		rows, stats := runRows(t, e, `
+SELECT name, scenes.img FROM actors JOIN scenes
+ON inScene(actors.img, scenes.img)
+ORDER BY name, quality(scenes.img)`)
+		return fmt.Sprintf("%s|hits=%d", rows, stats.TotalHITs())
+	}
+	base := run(true, 4, 32, 8)
+	if !strings.Contains(base, "hits=") || strings.Contains(base, "hits=0") {
+		t.Fatalf("split sort posted no HITs:\n%s", base)
+	}
+	for _, cfg := range [][2]int{{1, 8}, {7, 8}, {64, 8}, {32, 1}, {32, 3}, {32, 1000}} {
+		if got := run(true, 4, cfg[0], cfg[1]); got != base {
+			t.Errorf("ExecBatch=%d StreamChunkHITs=%d diverged under SplitSortGroups:\n--- base\n%s--- got\n%s",
+				cfg[0], cfg[1], base, got)
+		}
+	}
+	// The windows must really have split: the sub-sorts post different
+	// HITs than one oversized in-memory group …
+	unsplit := run(false, 4, 32, 8)
+	if base == unsplit {
+		t.Error("SplitSortGroups changed nothing — groups never split")
+	}
+	// … while emitting the same row multiset (a windowed merge reorders
+	// within groups, it never drops or invents rows).
+	multiset := func(s string) string {
+		rows := strings.Split(strings.SplitN(s, "|", 2)[0], "\n")
+		sort.Strings(rows)
+		return strings.Join(rows, "\n")
+	}
+	if multiset(base) != multiset(unsplit) {
+		t.Errorf("split run is not a permutation of the unsplit rows:\n--- split\n%s\n--- unsplit\n%s",
+			multiset(base), multiset(unsplit))
 	}
 }
 

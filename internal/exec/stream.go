@@ -248,7 +248,7 @@ func (f *crowdFilterOp) Next(ctx context.Context) (*Batch, error) {
 			f.emitAt++
 		}
 		if !f.emit.empty() {
-			return f.emit.pop(), nil
+			return f.emit.pop(f.Schema()), nil
 		}
 		if f.done {
 			if !f.observed {
@@ -329,7 +329,7 @@ func (br *filterBranch) flushHIT(size int, force bool) error {
 // ingest mints one question per tuple per unique branch, answering
 // from the task cache where possible.
 func (f *crowdFilterOp) ingest(in *Batch) error {
-	for _, t := range in.Tuples {
+	for _, t := range in.Rows() {
 		slotIdx := len(f.slots)
 		s := &fslot{tuple: t, ready: in.Ready}
 		f.slots = append(f.slots, s)
@@ -339,7 +339,7 @@ func (f *crowdFilterOp) ingest(in *Batch) error {
 			}
 			s.pending++
 			q := hit.Question{
-				ID:    fmt.Sprintf("%s/t%05d", br.groupID, slotIdx),
+				ID:    hit.MintID(br.groupID, "t", slotIdx, 5),
 				Kind:  hit.FilterQ,
 				Task:  br.ft.Name,
 				Tuple: t,

@@ -3,7 +3,9 @@ package exec
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"qurk/internal/core"
@@ -136,6 +138,154 @@ ORDER BY c.name`)
 			}
 		}
 	}
+}
+
+// recordingMarket wraps a marketplace and records every posted HIT
+// with its question IDs, so tests can assert the posted-HIT *set* —
+// not just the count — is invariant across scheduling knobs.
+type recordingMarket struct {
+	crowd.Marketplace
+	mu    sync.Mutex
+	lines []string
+}
+
+func (m *recordingMarket) note(g *hit.Group) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, h := range g.HITs {
+		var sb strings.Builder
+		sb.WriteString(h.ID)
+		for i := range h.Questions {
+			sb.WriteByte(' ')
+			sb.WriteString(h.Questions[i].ID)
+		}
+		m.lines = append(m.lines, sb.String())
+	}
+}
+
+// posted returns the recorded HIT lines as one order-independent blob.
+func (m *recordingMarket) posted() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]string(nil), m.lines...)
+	sort.Strings(out)
+	return strings.Join(out, "\n")
+}
+
+func (m *recordingMarket) Run(g *hit.Group) (*crowd.RunResult, error) {
+	m.note(g)
+	return m.Marketplace.Run(g)
+}
+
+func (m *recordingMarket) RunAsync(g *hit.Group) <-chan crowd.Async {
+	m.note(g)
+	return m.Marketplace.RunAsync(g)
+}
+
+// TestColumnarInvarianceAcrossBatchAndCap: the columnar batch layout
+// and binary spill codec must be observationally invisible — rows AND
+// the posted-HIT set (IDs and question membership) are bit-identical
+// across the full ExecBatch × BreakerMemTuples grid for seeded filter,
+// join, and grouped-sort plans.
+func TestColumnarInvarianceAcrossBatchAndCap(t *testing.T) {
+	celebEngine := func(rm *recordingMarket, execBatch, cap int) *core.Engine {
+		e := core.NewEngine(rm, core.Options{
+			JoinAlgorithm: join.Naive, JoinBatch: 5,
+			ExecBatch: execBatch, BreakerMemTuples: cap, StreamChunkHITs: 4,
+		})
+		return e
+	}
+	plans := []struct {
+		name string
+		src  string
+		run  func(execBatch, cap int) string
+	}{
+		{name: "filter", src: `SELECT c.name FROM celeb AS c WHERE isFemale(c.img)`},
+		{name: "join", src: `SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img)`},
+		{name: "sort", src: `
+SELECT name, scenes.img FROM actors JOIN scenes
+ON inScene(actors.img, scenes.img)
+ORDER BY name, quality(scenes.img)`},
+	}
+	for i := range plans {
+		p := &plans[i]
+		src := p.src
+		if p.name == "sort" {
+			p.run = func(execBatch, cap int) string {
+				mv := dataset.NewMovie(dataset.MovieConfig{Scenes: 14, Actors: 2, Seed: 31})
+				rm := &recordingMarket{Marketplace: crowd.NewSimMarket(crowd.DefaultConfig(31), mv.Oracle())}
+				e := core.NewEngine(rm, core.Options{
+					SortMethod: core.SortCompare,
+					ExecBatch:  execBatch, BreakerMemTuples: cap, StreamChunkHITs: 4,
+				})
+				e.Catalog.Register(mv.Actors)
+				e.Catalog.Register(mv.Scenes)
+				e.Library.MustRegister(dataset.InSceneTask())
+				e.Library.MustRegister(dataset.QualityTask())
+				rows, _ := runRows(t, e, src)
+				return rows + "#hits#\n" + rm.posted()
+			}
+			continue
+		}
+		p.run = func(execBatch, cap int) string {
+			d := dataset.NewCelebrities(dataset.CelebrityConfig{N: 18, Seed: 37})
+			rm := &recordingMarket{Marketplace: crowd.NewSimMarket(crowd.DefaultConfig(37), d.Oracle())}
+			e := celebEngine(rm, execBatch, cap)
+			e.Catalog.Register(d.Celeb)
+			e.Catalog.Register(d.Photos)
+			e.Library.MustRegister(dataset.IsFemaleTask())
+			e.Library.MustRegister(dataset.SamePersonTask())
+			rows, _ := runRows(t, e, src)
+			return rows + "#hits#\n" + rm.posted()
+		}
+	}
+	for _, p := range plans {
+		base := p.run(32, 0)
+		if !strings.Contains(base, "/hit") {
+			t.Fatalf("%s: no HITs recorded:\n%s", p.name, base)
+		}
+		for _, execBatch := range []int{1, 7, 64} {
+			for _, cap := range []int{0, 3, 16} {
+				if execBatch == 32 && cap == 0 {
+					continue
+				}
+				if got := p.run(execBatch, cap); got != base {
+					t.Errorf("%s: ExecBatch=%d BreakerMemTuples=%d diverged:\n--- base\n%s\n--- got\n%s",
+						p.name, execBatch, cap, base, got)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchTupleRoundTrip: the exec batch shim reproduces its input
+// tuples exactly — batchOfTuples → Rows is the identity for every
+// value kind, including NULL and UNKNOWN attributes.
+func TestBatchTupleRoundTrip(t *testing.T) {
+	sch := relation.MustSchema(
+		relation.Column{Name: "t", Kind: relation.KindText},
+		relation.Column{Name: "i", Kind: relation.KindInt},
+		relation.Column{Name: "f", Kind: relation.KindFloat},
+		relation.Column{Name: "b", Kind: relation.KindBool},
+		relation.Column{Name: "u", Kind: relation.KindURL},
+		relation.Column{Name: "n", Kind: relation.KindText},
+	)
+	tuples := []relation.Tuple{
+		relation.MustTuple(sch, relation.Text("a"), relation.Int(-3), relation.Float(2.5),
+			relation.Bool(true), relation.URL("http://x"), relation.Null()),
+		relation.MustTuple(sch, relation.Text(""), relation.Int(0), relation.Float(0),
+			relation.Bool(false), relation.Null(), relation.Unknown()),
+	}
+	b := batchOfTuples(sch, tuples, 1.5)
+	if b.Len() != len(tuples) || b.Ready != 1.5 {
+		t.Fatalf("batch shape: len=%d ready=%v", b.Len(), b.Ready)
+	}
+	for i, got := range b.Rows() {
+		if got.Key() != tuples[i].Key() || got.String() != tuples[i].String() {
+			t.Errorf("row %d: %v != %v", i, got, tuples[i])
+		}
+	}
+	b.Cols.Release()
 }
 
 // cancelMarket cancels a context the first time a group is posted,

@@ -22,14 +22,60 @@ import (
 	"qurk/internal/relation"
 )
 
-// Batch is a bounded run of tuples flowing between operators, stamped
+// Batch is a bounded run of rows flowing between operators, stamped
 // with the simulated crowd clock (hours) at which its rows became
 // available. Crowd operators advance Ready by their chunk makespans;
 // machine operators pass it through. The root's maximum Ready is the
 // query's pipelined end-to-end makespan.
+//
+// Rows are stored as schema-aligned column vectors (see
+// relation.ColumnBatch); operators read them through the Value/Row
+// accessors. Row and Rows are the row-view shim: arena-backed
+// relation.Tuples that stay valid after the batch's vectors recycle,
+// so combiners and the public row surface are unchanged by the
+// columnar layout.
 type Batch struct {
-	Tuples []relation.Tuple
-	Ready  float64
+	Cols  *relation.ColumnBatch
+	Ready float64
+}
+
+// newBatch wraps column vectors with a clock stamp.
+func newBatch(cols *relation.ColumnBatch, ready float64) *Batch {
+	return &Batch{Cols: cols, Ready: ready}
+}
+
+// batchOfTuples builds a columnar batch from assembled rows — the
+// emission path for operators that buffer tuples.
+func batchOfTuples(schema *relation.Schema, tuples []relation.Tuple, ready float64) *Batch {
+	return &Batch{Cols: relation.ColumnBatchOf(schema, tuples), Ready: ready}
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int {
+	if b == nil || b.Cols == nil {
+		return 0
+	}
+	return b.Cols.Len()
+}
+
+// Schema returns the batch's row schema.
+func (b *Batch) Schema() *relation.Schema {
+	if b == nil || b.Cols == nil {
+		return nil
+	}
+	return b.Cols.Schema()
+}
+
+// Row returns row i as an arena-backed tuple.
+func (b *Batch) Row(i int) relation.Tuple { return b.Cols.Row(i) }
+
+// Rows returns all rows as arena-backed tuples. The slice is shared;
+// callers must not mutate it.
+func (b *Batch) Rows() []relation.Tuple {
+	if b == nil || b.Cols == nil {
+		return nil
+	}
+	return b.Cols.Rows()
 }
 
 // Operator is one node of the streaming executor: a pull-based
@@ -196,11 +242,11 @@ func (s *scanOp) Next(ctx context.Context) (*Batch, error) {
 	if end > s.rel.Len() {
 		end = s.rel.Len()
 	}
-	b := &Batch{Tuples: make([]relation.Tuple, 0, end-s.pos)}
+	cols := relation.NewColumnBatch(s.rel.Schema(), end-s.pos)
 	for ; s.pos < end; s.pos++ {
-		b.Tuples = append(b.Tuples, s.rel.Row(s.pos))
+		cols.AppendTuple(s.rel.Row(s.pos))
 	}
-	return b, nil
+	return newBatch(cols, 0), nil
 }
 
 // --- Machine filter ---
@@ -232,18 +278,22 @@ func (f *machineFilterOp) Next(ctx context.Context) (*Batch, error) {
 		if in.Ready > f.seen {
 			f.seen = in.Ready
 		}
-		out := &Batch{Ready: in.Ready}
-		for _, t := range in.Tuples {
-			ok, err := f.pred(t)
+		var out *relation.ColumnBatch
+		n := in.Len()
+		for i := 0; i < n; i++ {
+			ok, err := f.pred(in.Row(i))
 			if err != nil {
 				return nil, err
 			}
 			if ok {
-				out.Tuples = append(out.Tuples, t)
+				if out == nil {
+					out = relation.NewColumnBatch(in.Schema(), n-i)
+				}
+				out.AppendBatchRow(in.Cols, i)
 			}
 		}
-		if len(out.Tuples) > 0 {
-			return out, nil
+		if out != nil {
+			return newBatch(out, in.Ready), nil
 		}
 		// A fully-rejected batch yields nothing; keep pulling.
 	}
@@ -268,11 +318,8 @@ func (p *projectOp) Next(ctx context.Context) (*Batch, error) {
 	if err != nil || in == nil {
 		return nil, err
 	}
-	out := &Batch{Tuples: make([]relation.Tuple, 0, len(in.Tuples)), Ready: in.Ready}
-	for _, t := range in.Tuples {
-		out.Tuples = append(out.Tuples, t.Project(p.schema, p.ords))
-	}
-	return out, nil
+	// Zero-copy: projection selects column vectors, no per-row work.
+	return newBatch(in.Cols.Project(p.schema, p.ords), in.Ready), nil
 }
 
 // --- Limit ---
@@ -323,18 +370,19 @@ func (l *limitOp) Next(ctx context.Context) (*Batch, error) {
 	if in.Ready > l.seen {
 		l.seen = in.Ready
 	}
-	if l.n >= 0 && l.emitted+len(in.Tuples) >= l.n {
-		in.Tuples = in.Tuples[:l.n-l.emitted]
+	if l.n >= 0 && l.emitted+in.Len() >= l.n {
+		keep := l.n - l.emitted
 		l.emitted = l.n
 		// Cut upstream off immediately: no further pulls, no further
 		// HIT chunks posted.
 		l.Close()
-		if len(in.Tuples) == 0 {
+		if keep == 0 {
 			return nil, nil
 		}
+		in.Cols = in.Cols.Slice(0, keep)
 		return in, nil
 	}
-	l.emitted += len(in.Tuples)
+	l.emitted += in.Len()
 	return in, nil
 }
 
@@ -465,7 +513,7 @@ func drain(ctx context.Context, op Operator) ([]relation.Tuple, float64, error) 
 			}
 			return tuples, ready, nil
 		}
-		tuples = append(tuples, b.Tuples...)
+		tuples = append(tuples, b.Rows()...)
 		if b.Ready > ready {
 			ready = b.Ready
 		}
@@ -512,7 +560,7 @@ func (q *emitQueue) advance(ready float64) {
 
 func (q *emitQueue) empty() bool { return len(q.buf) == 0 }
 
-func (q *emitQueue) pop() *Batch {
+func (q *emitQueue) pop(schema *relation.Schema) *Batch {
 	if len(q.buf) == 0 {
 		return nil
 	}
@@ -520,8 +568,7 @@ func (q *emitQueue) pop() *Batch {
 	if n <= 0 || n > len(q.buf) {
 		n = len(q.buf)
 	}
-	out := &Batch{Tuples: make([]relation.Tuple, n), Ready: q.ready}
-	copy(out.Tuples, q.buf)
+	out := batchOfTuples(schema, q.buf[:n], q.ready)
 	q.buf = q.buf[:copy(q.buf, q.buf[n:])]
 	return out
 }

@@ -2,6 +2,7 @@ package hit
 
 import (
 	"fmt"
+	"strconv"
 )
 
 // This file implements the paper's two batching optimizations (§2.6):
@@ -30,11 +31,33 @@ func NewBuilder(groupID string, assignments int, rewardCents float64) *Builder {
 	return &Builder{groupID: groupID, assignments: assignments, rewardCents: rewardCents}
 }
 
+// MintID formats "<group>/<tag><n zero-padded to width digits>",
+// byte-identical to fmt.Sprintf("%s/%s%0*d", group, tag, width, n) but
+// in one allocation. Counter IDs are minted per question and per
+// simulated assignment, so the mint is hot in simulator-bound profiles.
+func MintID(group, tag string, n, width int) string {
+	var num [20]byte
+	d := strconv.AppendInt(num[:0], int64(n), 10)
+	pad := width - len(d)
+	if pad < 0 {
+		pad = 0
+	}
+	b := make([]byte, 0, len(group)+1+len(tag)+pad+len(d))
+	b = append(b, group...)
+	b = append(b, '/')
+	b = append(b, tag...)
+	for ; pad > 0; pad-- {
+		b = append(b, '0')
+	}
+	b = append(b, d...)
+	return string(b)
+}
+
 // newHIT allocates an empty HIT of the given kind.
 func (b *Builder) newHIT(kind Kind) *HIT {
 	b.nextHIT++
 	return &HIT{
-		ID:          fmt.Sprintf("%s/hit%04d", b.groupID, b.nextHIT),
+		ID:          MintID(b.groupID, "hit", b.nextHIT, 4),
 		GroupID:     b.groupID,
 		Kind:        kind,
 		Assignments: b.assignments,
@@ -46,7 +69,7 @@ func (b *Builder) newHIT(kind Kind) *HIT {
 // stable IDs tied to their own bookkeeping.
 func (b *Builder) QuestionID() string {
 	b.nextQ++
-	return fmt.Sprintf("%s/q%05d", b.groupID, b.nextQ)
+	return MintID(b.groupID, "q", b.nextQ, 5)
 }
 
 // Merge batches a flat list of single-subject questions (FilterQ,
@@ -61,13 +84,14 @@ func (b *Builder) Merge(questions []Question, batchSize int) ([]*HIT, error) {
 		batchSize = 1
 	}
 	kind := questions[0].Kind
-	var hits []*HIT
+	hits := make([]*HIT, 0, (len(questions)+batchSize-1)/batchSize)
 	for start := 0; start < len(questions); start += batchSize {
 		end := start + batchSize
 		if end > len(questions) {
 			end = len(questions)
 		}
 		h := b.newHIT(kind)
+		h.Questions = make([]Question, 0, end-start)
 		for _, q := range questions[start:end] {
 			if q.Kind != kind {
 				return nil, fmt.Errorf("hit: cannot merge %s question into %s HIT", q.Kind, kind)

@@ -1,10 +1,73 @@
 package hit
 
 import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
 	"testing"
 
 	"qurk/internal/relation"
 )
+
+// legacyCacheKey is the original fmt/hash-fnv CacheKey, kept as the
+// reference the manual fold must keep matching: cache keys persist in
+// the cross-query answer store, so the values can never drift.
+func legacyCacheKey(q *Question) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|", q.Task, q.Kind)
+	writeTuple := func(t relation.Tuple) {
+		if t.Schema() != nil {
+			fmt.Fprintf(h, "%x;", t.CanonicalKey())
+		}
+	}
+	writeTuple(q.Tuple)
+	writeTuple(q.Left)
+	writeTuple(q.Right)
+	for _, t := range q.LeftItems {
+		writeTuple(t)
+	}
+	fmt.Fprint(h, "/")
+	for _, t := range q.RightItems {
+		writeTuple(t)
+	}
+	fmt.Fprint(h, "/")
+	for _, t := range q.Items {
+		writeTuple(t)
+	}
+	fields := q.Fields
+	if len(fields) > 1 && !sort.StringsAreSorted(fields) {
+		fields = append([]string(nil), fields...)
+		sort.Strings(fields)
+	}
+	fmt.Fprintf(h, "|%s|%d", strings.Join(fields, ","), q.Scale)
+	return h.Sum64()
+}
+
+func TestCacheKeyMatchesLegacyFNV(t *testing.T) {
+	sch := relation.MustSchema(
+		relation.Column{Name: "name", Kind: relation.KindText},
+		relation.Column{Name: "age", Kind: relation.KindInt})
+	x := relation.MustTuple(sch, relation.Text("x"), relation.Int(41))
+	y := relation.MustTuple(sch, relation.Text("y"), relation.Int(-7))
+	qs := []Question{
+		{ID: "a", Kind: FilterQ, Task: "isFemale", Tuple: x},
+		{ID: "b", Kind: GenerativeQ, Task: "extract", Tuple: y,
+			Fields: []string{"hair", "age", "gender"}},
+		{ID: "c", Kind: JoinPairQ, Task: "samePerson", Left: x, Right: y},
+		{ID: "d", Kind: JoinGridQ, Task: "samePerson",
+			LeftItems: []relation.Tuple{x}, RightItems: []relation.Tuple{y, x}},
+		{ID: "e", Kind: CompareQ, Task: "squareSort", Items: []relation.Tuple{y, x}},
+		{ID: "f", Kind: RateQ, Task: "squareSort", Tuple: x, Scale: 7},
+		{ID: "g", Kind: FilterQ, Task: ""},
+	}
+	for _, q := range qs {
+		q := q
+		if got, want := q.CacheKey(), legacyCacheKey(&q); got != want {
+			t.Errorf("question %s: CacheKey %#x, legacy %#x", q.ID, got, want)
+		}
+	}
+}
 
 func TestCacheKeyNormalizesFieldOrder(t *testing.T) {
 	sch := relation.MustSchema(relation.Column{Name: "img", Kind: relation.KindText})

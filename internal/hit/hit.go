@@ -7,9 +7,8 @@ package hit
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
-	"strings"
+	"strconv"
 
 	"qurk/internal/relation"
 )
@@ -115,11 +114,19 @@ func (q *Question) UnitCount() int {
 // their answers (Order permutations, Pairs cells) reference items by
 // index, so reordering the items genuinely changes the question.
 func (q *Question) CacheKey() uint64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d|", q.Task, q.Kind)
+	// Manual FNV-1a over exactly the bytes the fmt-based implementation
+	// hashed; cache keys persist in the answer store, so the values must
+	// never change. Covered against hash/fnv in cachekey_test.go.
+	var buf [20]byte
+	h := relation.HashSeed()
+	h = relation.HashString(h, q.Task)
+	h = relation.HashByte(h, '|')
+	h = relation.HashBytes(h, strconv.AppendUint(buf[:0], uint64(q.Kind), 10))
+	h = relation.HashByte(h, '|')
 	writeTuple := func(t relation.Tuple) {
 		if t.Schema() != nil {
-			fmt.Fprintf(h, "%x;", t.CanonicalKey())
+			h = relation.HashBytes(h, strconv.AppendUint(buf[:0], t.CanonicalKey(), 16))
+			h = relation.HashByte(h, ';')
 		}
 	}
 	writeTuple(q.Tuple)
@@ -128,11 +135,11 @@ func (q *Question) CacheKey() uint64 {
 	for _, t := range q.LeftItems {
 		writeTuple(t)
 	}
-	fmt.Fprint(h, "/")
+	h = relation.HashByte(h, '/')
 	for _, t := range q.RightItems {
 		writeTuple(t)
 	}
-	fmt.Fprint(h, "/")
+	h = relation.HashByte(h, '/')
 	for _, t := range q.Items {
 		writeTuple(t)
 	}
@@ -141,8 +148,16 @@ func (q *Question) CacheKey() uint64 {
 		fields = append([]string(nil), fields...)
 		sort.Strings(fields)
 	}
-	fmt.Fprintf(h, "|%s|%d", strings.Join(fields, ","), q.Scale)
-	return h.Sum64()
+	h = relation.HashByte(h, '|')
+	for i, f := range fields {
+		if i > 0 {
+			h = relation.HashByte(h, ',')
+		}
+		h = relation.HashString(h, f)
+	}
+	h = relation.HashByte(h, '|')
+	h = relation.HashBytes(h, strconv.AppendInt(buf[:0], int64(q.Scale), 10))
+	return h
 }
 
 // HIT is a batched set of questions posted as one marketplace unit.

@@ -7,6 +7,7 @@ package join
 
 import (
 	"fmt"
+	"strconv"
 
 	"qurk/internal/combine"
 	"qurk/internal/crowd"
@@ -90,9 +91,16 @@ type Pair struct {
 }
 
 // Key identifies the pair for vote bookkeeping, stable across interfaces
-// so MajorityVote and QualityAdjust see the same question IDs.
+// so MajorityVote and QualityAdjust see the same question IDs. The
+// rendering is byte-identical to fmt.Sprintf("pair:%x|%x", ...) but in
+// one allocation — every candidate pair mints this at least once.
 func (p Pair) Key() string {
-	return fmt.Sprintf("pair:%x|%x", p.Left.Key(), p.Right.Key())
+	var buf [40]byte
+	b := append(buf[:0], "pair:"...)
+	b = strconv.AppendUint(b, p.Left.Key(), 16)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, p.Right.Key(), 16)
+	return string(b)
 }
 
 // PairSeq streams candidate pairs to a consumer: it calls yield for each

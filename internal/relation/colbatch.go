@@ -1,0 +1,300 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ColumnBatch is a schema-aligned batch of rows stored as typed column
+// vectors (the promql-engine step-vector layout): one vector per
+// attribute, each holding a per-row kind tag plus payload arrays. The
+// executor streams these between operators instead of []Tuple so inner
+// loops touch contiguous arrays and batches recycle their backing
+// storage through a pool.
+//
+// Lifecycle rules:
+//
+//   - Batches come from NewColumnBatch (pool-backed) and go back via
+//     Release. Release recycles only the column vectors; it never
+//     recycles the row arena, so Tuples handed out by Row/Rows stay
+//     valid after the batch is released.
+//   - Project and Slice return zero-copy views sharing the parent's
+//     vectors. Creating a view pins the parent: neither the view nor
+//     the parent returns to the pool (both fall to the GC), which keeps
+//     recycling safe without reference counting.
+//   - Appending after Row/Rows invalidates nothing already handed out
+//     (row views copy values into the arena) but resets the cached
+//     arena so later Row calls observe the new length.
+type ColumnBatch struct {
+	schema *Schema
+	n      int
+	cols   []colVec
+
+	// arena backs the Tuple views handed out by Row/Rows: one flat
+	// []Value of n*width entries, sliced per row. It is allocated
+	// lazily and never pooled — escaped tuples may outlive the batch.
+	arena []Value
+	rows  []Tuple
+
+	// owned marks a batch whose vectors came from the pool and are not
+	// shared with any view; only owned batches recycle on Release.
+	owned bool
+}
+
+// colVec is one column: a kind tag per row plus payload arrays. Numeric
+// payloads (int, float bits, bool) share nums; string payloads (text,
+// url) live in strs, allocated only when the column carries one.
+type colVec struct {
+	kinds []Kind
+	nums  []uint64
+	strs  []string
+}
+
+func (c *colVec) append(v Value) {
+	c.kinds = append(c.kinds, v.kind)
+	var num uint64
+	switch v.kind {
+	case KindInt:
+		num = uint64(v.i)
+	case KindFloat:
+		num = math.Float64bits(v.f)
+	case KindBool:
+		if v.b {
+			num = 1
+		}
+	}
+	c.nums = append(c.nums, num)
+	if c.strs != nil || v.kind == KindText || v.kind == KindURL {
+		if c.strs == nil {
+			c.strs = make([]string, len(c.kinds)-1, cap(c.kinds))
+		}
+		for len(c.strs) < len(c.kinds)-1 {
+			c.strs = append(c.strs, "")
+		}
+		c.strs = append(c.strs, v.s)
+	}
+}
+
+func (c *colVec) value(i int) Value {
+	k := c.kinds[i]
+	switch k {
+	case KindText, KindURL:
+		s := ""
+		if i < len(c.strs) {
+			s = c.strs[i]
+		}
+		return Value{kind: k, s: s}
+	case KindInt:
+		return Value{kind: k, i: int64(c.nums[i])}
+	case KindFloat:
+		return Value{kind: k, f: math.Float64frombits(c.nums[i])}
+	case KindBool:
+		return Value{kind: k, b: c.nums[i] != 0}
+	default:
+		return Value{kind: k}
+	}
+}
+
+func (c *colVec) reset() {
+	c.kinds = c.kinds[:0]
+	c.nums = c.nums[:0]
+	// Drop string references so recycled vectors do not pin payloads.
+	for i := range c.strs {
+		c.strs[i] = ""
+	}
+	c.strs = c.strs[:0]
+}
+
+var colBatchPool = sync.Pool{New: func() any { return &ColumnBatch{} }}
+
+// NewColumnBatch returns an empty batch over schema, reusing pooled
+// column vectors when available. capRows is a sizing hint only.
+func NewColumnBatch(schema *Schema, capRows int) *ColumnBatch {
+	b := colBatchPool.Get().(*ColumnBatch)
+	b.schema = schema
+	b.n = 0
+	b.arena = nil
+	b.rows = nil
+	b.owned = true
+	w := schema.Len()
+	if cap(b.cols) < w {
+		b.cols = make([]colVec, w)
+	} else {
+		b.cols = b.cols[:w]
+	}
+	for i := range b.cols {
+		b.cols[i].reset()
+		if capRows > 0 && cap(b.cols[i].kinds) == 0 {
+			b.cols[i].kinds = make([]Kind, 0, capRows)
+			b.cols[i].nums = make([]uint64, 0, capRows)
+		}
+	}
+	return b
+}
+
+// ColumnBatchOf builds a batch from existing tuples; a convenience for
+// operators that assemble rows before emitting.
+func ColumnBatchOf(schema *Schema, tuples []Tuple) *ColumnBatch {
+	b := NewColumnBatch(schema, len(tuples))
+	for _, t := range tuples {
+		b.AppendTuple(t)
+	}
+	return b
+}
+
+// Schema returns the batch's schema.
+func (b *ColumnBatch) Schema() *Schema { return b.schema }
+
+// Len returns the number of rows.
+func (b *ColumnBatch) Len() int { return b.n }
+
+// AppendTuple appends one row. The tuple's arity must match the batch
+// schema (its column names need not: rebinds are positional, as with
+// Tuple.Rebind).
+func (b *ColumnBatch) AppendTuple(t Tuple) {
+	if len(t.vals) != len(b.cols) {
+		panic(fmt.Sprintf("relation: appending %d-value tuple to %d-column batch", len(t.vals), len(b.cols)))
+	}
+	for i := range b.cols {
+		b.cols[i].append(t.vals[i])
+	}
+	b.n++
+	b.arena = nil
+	b.rows = nil
+}
+
+// AppendRow appends one row given as values; arity must match.
+func (b *ColumnBatch) AppendRow(vals ...Value) {
+	if len(vals) != len(b.cols) {
+		panic(fmt.Sprintf("relation: appending %d values to %d-column batch", len(vals), len(b.cols)))
+	}
+	for i := range b.cols {
+		b.cols[i].append(vals[i])
+	}
+	b.n++
+	b.arena = nil
+	b.rows = nil
+}
+
+// AppendBatchRow appends row i of src; schemas must have equal arity.
+func (b *ColumnBatch) AppendBatchRow(src *ColumnBatch, i int) {
+	if len(src.cols) != len(b.cols) {
+		panic(fmt.Sprintf("relation: appending %d-column row to %d-column batch", len(src.cols), len(b.cols)))
+	}
+	for c := range b.cols {
+		b.cols[c].append(src.cols[c].value(i))
+	}
+	b.n++
+	b.arena = nil
+	b.rows = nil
+}
+
+// Value returns the value at (row, col) without materializing a row
+// view; the accessor operators use in their inner loops.
+func (b *ColumnBatch) Value(row, col int) Value {
+	return b.cols[col].value(row)
+}
+
+// RowsOver slices a flat value arena (row-major, len n*schema.Len())
+// into n tuples sharing the backing array — one allocation for the
+// tuple headers instead of one per row. The spill codec decodes frames
+// straight into such arenas.
+func RowsOver(schema *Schema, arena []Value) []Tuple {
+	w := schema.Len()
+	if w == 0 {
+		return nil
+	}
+	n := len(arena) / w
+	rows := make([]Tuple, n)
+	for r := 0; r < n; r++ {
+		rows[r] = Tuple{schema: schema, vals: arena[r*w : (r+1)*w : (r+1)*w]}
+	}
+	return rows
+}
+
+// materialize fills the row arena and tuple views.
+func (b *ColumnBatch) materialize() {
+	w := len(b.cols)
+	b.arena = make([]Value, b.n*w)
+	b.rows = make([]Tuple, b.n)
+	for c := range b.cols {
+		col := &b.cols[c]
+		for r := 0; r < b.n; r++ {
+			b.arena[r*w+c] = col.value(r)
+		}
+	}
+	for r := 0; r < b.n; r++ {
+		b.rows[r] = Tuple{schema: b.schema, vals: b.arena[r*w : (r+1)*w : (r+1)*w]}
+	}
+}
+
+// Row returns row i as a Tuple backed by the batch's arena. The tuple
+// remains valid after Release (the arena is never recycled).
+func (b *ColumnBatch) Row(i int) Tuple {
+	if b.rows == nil {
+		b.materialize()
+	}
+	return b.rows[i]
+}
+
+// Rows returns all rows as arena-backed Tuples — the row-view shim that
+// keeps combiners and the public Row surface unchanged. The returned
+// slice is shared; callers must not mutate it.
+func (b *ColumnBatch) Rows() []Tuple {
+	if b.rows == nil {
+		b.materialize()
+	}
+	return b.rows
+}
+
+// Project returns a zero-copy view holding only the columns named by
+// ordinals, under schema out. The view shares vectors with b, so
+// neither batch recycles on Release (see lifecycle rules).
+func (b *ColumnBatch) Project(out *Schema, ordinals []int) *ColumnBatch {
+	v := &ColumnBatch{schema: out, n: b.n, cols: make([]colVec, len(ordinals))}
+	for i, ord := range ordinals {
+		v.cols[i] = b.cols[ord]
+	}
+	b.owned = false
+	return v
+}
+
+// Slice returns a zero-copy view of rows [lo, hi). The view shares
+// vectors with b, so neither batch recycles on Release.
+func (b *ColumnBatch) Slice(lo, hi int) *ColumnBatch {
+	v := &ColumnBatch{schema: b.schema, n: hi - lo, cols: make([]colVec, len(b.cols))}
+	for i := range b.cols {
+		c := b.cols[i]
+		v.cols[i] = colVec{kinds: c.kinds[lo:hi], nums: c.nums[lo:hi]}
+		if c.strs != nil {
+			end := hi
+			if end > len(c.strs) {
+				end = len(c.strs)
+			}
+			if lo < end {
+				v.cols[i].strs = c.strs[lo:end]
+			}
+		}
+	}
+	b.owned = false
+	return v
+}
+
+// Release returns the batch's column vectors to the pool. Only owned,
+// unshared batches recycle; views and view parents are no-ops. Row
+// arenas are never pooled, so previously returned Tuples stay valid.
+func (b *ColumnBatch) Release() {
+	if !b.owned {
+		return
+	}
+	b.owned = false
+	b.schema = nil
+	b.n = 0
+	b.arena = nil
+	b.rows = nil
+	for i := range b.cols {
+		b.cols[i].reset()
+	}
+	colBatchPool.Put(b)
+}

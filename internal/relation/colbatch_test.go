@@ -1,0 +1,229 @@
+package relation
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// allKindValues covers every Kind the engine can hold, including the
+// absent/NULL and UNKNOWN sentinels and edge-case payloads.
+func allKindValues() []Value {
+	return []Value{
+		Null(),
+		Unknown(),
+		Text(""),
+		Text("alice"),
+		Text("emb\x00edded nul + ünïcode ✓"),
+		URL(""),
+		URL("https://example.com/img?id=1&x=%20"),
+		Int(0),
+		Int(-1),
+		Int(math.MaxInt64),
+		Int(math.MinInt64),
+		Float(0),
+		Float(-0.0),
+		Float(3.14159),
+		Float(math.Inf(1)),
+		Float(math.Inf(-1)),
+		Float(math.NaN()),
+		Float(math.SmallestNonzeroFloat64),
+		Float(math.MaxFloat64),
+		Bool(true),
+		Bool(false),
+	}
+}
+
+// legacyKey is the original hash/fnv implementation of Tuple.Key; the
+// manual fold must match it bit for bit on every value kind, because
+// WAL digests, the task cache, and the answer store embed these hashes.
+func legacyKey(t Tuple) uint64 {
+	h := fnv.New64a()
+	for i := 0; i < t.Len(); i++ {
+		v := t.At(i)
+		h.Write([]byte{byte(v.Kind())})
+		h.Write([]byte(v.String()))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+func TestTupleKeyMatchesLegacyFNV(t *testing.T) {
+	vals := allKindValues()
+	cols := make([]Column, len(vals))
+	for i := range vals {
+		cols[i] = Column{Name: string(rune('a' + i%26)), Kind: vals[i].Kind()}
+	}
+	// Unique names.
+	for i := range cols {
+		cols[i].Name = cols[i].Name + string(rune('0'+i/26)) + string(rune('0'+i%10))
+	}
+	schema := MustSchema(cols...)
+	tp := MustTuple(schema, vals...)
+	if got, want := tp.Key(), legacyKey(tp); got != want {
+		t.Fatalf("Tuple.Key = %x, legacy fnv = %x", got, want)
+	}
+	// Single-value tuples too, so one wrong kind branch cannot hide.
+	one := MustSchema(Column{Name: "v"})
+	for _, v := range vals {
+		tv := MustTuple(one, v)
+		if got, want := tv.Key(), legacyKey(tv); got != want {
+			t.Fatalf("Tuple.Key(%s %s) = %x, legacy fnv = %x", v.Kind(), v, got, want)
+		}
+	}
+}
+
+func TestHashHelpersMatchFNV(t *testing.T) {
+	h := fnv.New64a()
+	h.Write([]byte("hello"))
+	h.Write([]byte{0xff})
+	h.Write([]byte("world"))
+	want := h.Sum64()
+	got := HashSeed()
+	got = HashString(got, "hello")
+	got = HashByte(got, 0xff)
+	got = HashBytes(got, []byte("world"))
+	if got != want {
+		t.Fatalf("manual fnv %x != hash/fnv %x", got, want)
+	}
+}
+
+// TestColumnBatchRoundTrip is the batch→rows→batch property: every
+// value kind survives a trip through the columnar layout bit-intact.
+func TestColumnBatchRoundTrip(t *testing.T) {
+	vals := allKindValues()
+	schema := MustSchema(Column{Name: "a"}, Column{Name: "b"}, Column{Name: "c"})
+	var tuples []Tuple
+	for i := range vals {
+		tuples = append(tuples, MustTuple(schema,
+			vals[i], vals[(i+7)%len(vals)], vals[(i+13)%len(vals)]))
+	}
+	b := ColumnBatchOf(schema, tuples)
+	if b.Len() != len(tuples) {
+		t.Fatalf("batch len %d != %d", b.Len(), len(tuples))
+	}
+	// Value accessor path.
+	for r, tp := range tuples {
+		for c := 0; c < 3; c++ {
+			got, want := b.Value(r, c), tp.At(c)
+			if got.Kind() != want.Kind() || got.String() != want.String() {
+				t.Fatalf("Value(%d,%d) = %s %q, want %s %q", r, c, got.Kind(), got, want.Kind(), want)
+			}
+		}
+	}
+	// Row-view shim path, then back into a second batch. Tuples are
+	// compared by (kind, rendering) per value rather than Equal, which
+	// would reject NaN == NaN.
+	sameTuple := func(a, b Tuple) bool {
+		if a.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < a.Len(); i++ {
+			if a.At(i).Kind() != b.At(i).Kind() || a.At(i).String() != b.At(i).String() {
+				return false
+			}
+		}
+		return true
+	}
+	b2 := NewColumnBatch(schema, b.Len())
+	for r := 0; r < b.Len(); r++ {
+		row := b.Row(r)
+		if !sameTuple(row, tuples[r]) {
+			t.Fatalf("row %d = %s, want %s", r, row, tuples[r])
+		}
+		if row.Key() != tuples[r].Key() {
+			t.Fatalf("row %d key diverged through columnar layout", r)
+		}
+		b2.AppendTuple(row)
+	}
+	for r := 0; r < b2.Len(); r++ {
+		if !sameTuple(b2.Row(r), tuples[r]) {
+			t.Fatalf("second-generation row %d = %s, want %s", r, b2.Row(r), tuples[r])
+		}
+	}
+}
+
+// TestColumnBatchRowsSurviveRelease pins the arena lifecycle rule:
+// tuples handed out by Row/Rows stay valid after the batch recycles.
+func TestColumnBatchRowsSurviveRelease(t *testing.T) {
+	schema := MustSchema(Column{Name: "n"}, Column{Name: "s"})
+	b := NewColumnBatch(schema, 4)
+	for i := 0; i < 4; i++ {
+		b.AppendRow(Int(int64(i)), Text("row"+string(rune('0'+i))))
+	}
+	rows := b.Rows()
+	keys := make([]uint64, len(rows))
+	for i, r := range rows {
+		keys[i] = r.Key()
+	}
+	b.Release()
+	// Stomp the pool: new batches reuse the vectors the release returned.
+	for i := 0; i < 8; i++ {
+		nb := NewColumnBatch(schema, 4)
+		for j := 0; j < 4; j++ {
+			nb.AppendRow(Int(999), Text("stomp"))
+		}
+		_ = nb.Rows()
+		nb.Release()
+	}
+	for i, r := range rows {
+		if r.Key() != keys[i] {
+			t.Fatalf("row %d changed after Release: %s", i, r)
+		}
+		if r.At(0).Int() != int64(i) {
+			t.Fatalf("row %d payload corrupted after Release: %s", i, r)
+		}
+	}
+}
+
+func TestColumnBatchProjectAndSlice(t *testing.T) {
+	schema := MustSchema(Column{Name: "a"}, Column{Name: "b"}, Column{Name: "c"})
+	b := NewColumnBatch(schema, 5)
+	for i := 0; i < 5; i++ {
+		b.AppendRow(Int(int64(i)), Text("t"+string(rune('0'+i))), Float(float64(i)/2))
+	}
+	out, ords, err := schema.Project("c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.Project(out, ords)
+	if p.Len() != 5 || p.Schema() != out {
+		t.Fatalf("projected batch len=%d schema=%s", p.Len(), p.Schema())
+	}
+	for i := 0; i < 5; i++ {
+		row := p.Row(i)
+		if row.At(0).Float() != float64(i)/2 || row.At(1).Int() != int64(i) {
+			t.Fatalf("projected row %d = %s", i, row)
+		}
+	}
+	s := b.Slice(1, 4)
+	if s.Len() != 3 {
+		t.Fatalf("slice len %d", s.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if s.Value(i, 0).Int() != int64(i+1) {
+			t.Fatalf("slice row %d = %s", i, s.Row(i))
+		}
+	}
+	// Views pin the parent: none of the three recycle.
+	b.Release()
+	p.Release()
+	s.Release()
+	if b.Len() != 5 || p.Len() != 5 || s.Len() != 3 {
+		t.Fatal("view or parent was recycled despite sharing vectors")
+	}
+}
+
+func TestColumnBatchAppendBatchRow(t *testing.T) {
+	schema := MustSchema(Column{Name: "a"}, Column{Name: "b"})
+	src := ColumnBatchOf(schema, []Tuple{
+		MustTuple(schema, Int(1), Text("x")),
+		MustTuple(schema, Null(), Unknown()),
+	})
+	dst := NewColumnBatch(schema, 2)
+	dst.AppendBatchRow(src, 1)
+	dst.AppendBatchRow(src, 0)
+	if !dst.Row(0).Equal(src.Row(1)) || !dst.Row(1).Equal(src.Row(0)) {
+		t.Fatalf("AppendBatchRow mismatch: %s / %s", dst.Row(0), dst.Row(1))
+	}
+}

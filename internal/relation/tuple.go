@@ -2,7 +2,6 @@ package relation
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 )
@@ -101,14 +100,16 @@ func (t Tuple) Rebind(s *Schema) (Tuple, error) {
 
 // Key returns a stable content hash of the tuple, used by the task cache
 // to memoize HITs over identical inputs (TurKit-style, paper §2.6).
+// The byte sequence hashed — (kind byte, String() bytes, NUL) per value
+// under FNV-1a — is load-bearing: WAL checkpoint digests, the answer
+// store, and spill digests all embed these values, so the manual fold
+// below must stay byte-identical to the original hash/fnv version.
 func (t Tuple) Key() uint64 {
-	h := fnv.New64a()
+	h := uint64(fnvOffset64)
 	for _, v := range t.vals {
-		h.Write([]byte{byte(v.kind)})
-		h.Write([]byte(v.String()))
-		h.Write([]byte{0})
+		h = v.hashInto(h)
 	}
-	return h.Sum64()
+	return h
 }
 
 // CanonicalKey returns a content hash that is independent of column
@@ -133,12 +134,12 @@ func (t Tuple) CanonicalKey() uint64 {
 		parts[i] = name + "\x00" + string([]byte{byte(v.kind)}) + "\x00" + v.String()
 	}
 	sort.Strings(parts)
-	h := fnv.New64a()
+	h := uint64(fnvOffset64)
 	for _, p := range parts {
-		h.Write([]byte(p))
-		h.Write([]byte{0xff})
+		h = fnvString(h, p)
+		h = fnvByte(h, 0xff)
 	}
-	return h.Sum64()
+	return h
 }
 
 // String renders the tuple as "(v1, v2, ...)".

@@ -1,0 +1,260 @@
+package spill
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"qurk/internal/relation"
+)
+
+// fuzzKinds are the kinds the round-trip fuzzer can mint; index by
+// input byte modulo len.
+var fuzzKinds = []relation.Kind{
+	relation.KindNull, relation.KindText, relation.KindInt,
+	relation.KindFloat, relation.KindBool, relation.KindURL,
+	relation.KindUnknown,
+}
+
+// takeBytes consumes up to n bytes of data at *pos, clamping both ends
+// to the input (next() may already have advanced past it).
+func takeBytes(data []byte, pos *int, n int) []byte {
+	start := *pos
+	if start > len(data) {
+		start = len(data)
+	}
+	end := start + n
+	if end > len(data) {
+		end = len(data)
+	}
+	*pos = end
+	return data[start:end]
+}
+
+// buildFuzzRun interprets raw fuzz bytes as a schema plus rows: byte 0
+// picks the column count (1..6), the next ncols bytes pick kinds, and
+// the rest is consumed as values. Returns nil if the input is too
+// short to describe a schema.
+func buildFuzzRun(data []byte) (*relation.Schema, []relation.Tuple) {
+	if len(data) < 2 {
+		return nil, nil
+	}
+	ncols := int(data[0])%6 + 1
+	if len(data) < 1+ncols {
+		return nil, nil
+	}
+	cols := make([]relation.Column, ncols)
+	for i := 0; i < ncols; i++ {
+		cols[i] = relation.Column{
+			Name: "c" + strconv.Itoa(i),
+			Kind: fuzzKinds[int(data[1+i])%len(fuzzKinds)],
+		}
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, nil
+	}
+	pos := 1 + ncols
+	next := func() byte {
+		if pos >= len(data) {
+			pos++
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	var tuples []relation.Tuple
+	for pos < len(data) && len(tuples) < 4*frameRows {
+		vals := make([]relation.Value, ncols)
+		for i := range vals {
+			switch fuzzKinds[int(next())%len(fuzzKinds)] {
+			case relation.KindNull:
+				vals[i] = relation.Null()
+			case relation.KindUnknown:
+				vals[i] = relation.Unknown()
+			case relation.KindBool:
+				vals[i] = relation.Bool(next()%2 == 0)
+			case relation.KindInt:
+				n := int64(next())<<16 | int64(next())<<8 | int64(next())
+				if next()%2 == 0 {
+					n = -n
+				}
+				vals[i] = relation.Int(n)
+			case relation.KindFloat:
+				f := float64(next()) / (float64(next()) + 0.5)
+				vals[i] = relation.Float(f)
+			case relation.KindText:
+				vals[i] = relation.Text(string(takeBytes(data, &pos, int(next())%32)))
+			case relation.KindURL:
+				vals[i] = relation.URL(string(takeBytes(data, &pos, int(next())%16)))
+			}
+		}
+		tp, err := relation.NewTuple(schema, vals...)
+		if err != nil {
+			return nil, nil
+		}
+		tuples = append(tuples, tp)
+	}
+	return schema, tuples
+}
+
+// FuzzRunCodecRoundTrip: arbitrary schemas and rows derived from the
+// fuzz input must encode and decode bit-identically — same kinds, same
+// renderings, same content hashes.
+func FuzzRunCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 0, 1, 2, 'h', 'i', 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 6, 4, 5, 255, 128, 64, 32, 16, 8, 4, 2, 1, 0})
+	f.Add(bytes.Repeat([]byte{5, 1, 1, 1, 1, 1, 42}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		schema, tuples := buildFuzzRun(data)
+		if schema == nil {
+			return
+		}
+		var buf bytes.Buffer
+		fw, err := newFrameWriter(&buf, schema)
+		if err != nil {
+			t.Fatalf("newFrameWriter: %v", err)
+		}
+		for _, tp := range tuples {
+			if err := fw.add(tp); err != nil {
+				t.Fatalf("add: %v", err)
+			}
+		}
+		if err := fw.finish(); err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+		got, err := decodeRunBytes(schema, buf.Bytes())
+		if err != nil {
+			t.Fatalf("decode of freshly encoded run failed: %v", err)
+		}
+		if len(got) != len(tuples) {
+			t.Fatalf("decoded %d rows, want %d", len(got), len(tuples))
+		}
+		for i := range tuples {
+			for c := 0; c < schema.Len(); c++ {
+				a, b := tuples[i].At(c), got[i].At(c)
+				if a.Kind() != b.Kind() || a.String() != b.String() {
+					t.Fatalf("row %d col %d: %s %q -> %s %q", i, c, a.Kind(), a, b.Kind(), b)
+				}
+			}
+			if tuples[i].Key() != got[i].Key() {
+				t.Fatalf("row %d content hash diverged", i)
+			}
+		}
+	})
+}
+
+// decodeRunBytes decodes a run stream held in memory (shared by the
+// fuzz targets; the unit tests' decodeRun needs *testing.T-free code).
+func decodeRunBytes(schema *relation.Schema, data []byte) ([]relation.Tuple, error) {
+	fr, err := newFrameReader(bytes.NewReader(data), schema)
+	if err != nil {
+		return nil, err
+	}
+	var out []relation.Tuple
+	for {
+		tp, ok, err := fr.next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, tp)
+	}
+}
+
+// FuzzRunCodecRecover: arbitrary — torn, bit-flipped, hostile — bytes
+// fed to the decoder must never panic and must surface any integrity
+// failure as an errCorrupt-tagged error, not as silently wrong rows of
+// a well-formed stream it never saw.
+func FuzzRunCodecRecover(f *testing.F) {
+	schema := relation.MustSchema(
+		relation.Column{Name: "k", Kind: relation.KindInt},
+		relation.Column{Name: "s", Kind: relation.KindText},
+	)
+	// Seed with a valid stream, a truncation, a bit flip, and junk.
+	var buf bytes.Buffer
+	fw, _ := newFrameWriter(&buf, schema)
+	for i := 0; i < 10; i++ {
+		fw.add(relation.MustTuple(schema, relation.Int(int64(i)), relation.Text("seed")))
+	}
+	fw.finish()
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	f.Add(append([]byte(nil), valid[:len(valid)/2]...))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x80
+	f.Add(flipped)
+	f.Add([]byte("QSPL\x01garbage that is not a frame"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := decodeRunBytes(schema, data)
+		if err != nil && !errors.Is(err, errCorrupt) {
+			t.Fatalf("decode error not tagged corrupt: %v", err)
+		}
+		// Anything decoded before an error (or a clean end) must be
+		// well-formed rows of the expected schema.
+		for i, tp := range got {
+			if tp.Len() != schema.Len() {
+				t.Fatalf("row %d has arity %d", i, tp.Len())
+			}
+			_ = tp.Key()
+			_ = tp.String()
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz/ when QURK_WRITE_FUZZ_CORPUS=1; a no-op otherwise.
+// The committed seeds keep CI's -fuzztime smoke runs anchored on
+// inputs that already cover the interesting paths.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("QURK_WRITE_FUZZ_CORPUS") != "1" {
+		t.Skip("set QURK_WRITE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	write := func(target, name string, data []byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round-trip seeds: mixed kinds, all-null, long strings, many rows.
+	write("FuzzRunCodecRoundTrip", "seed_mixed", []byte{3, 1, 2, 3, 0, 1, 2, 'h', 'i', 5, 6, 7, 8, 9, 10, 11, 12})
+	write("FuzzRunCodecRoundTrip", "seed_nulls", []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	write("FuzzRunCodecRoundTrip", "seed_text", append([]byte{1, 1, 1}, bytes.Repeat([]byte("abcdefg"), 30)...))
+	write("FuzzRunCodecRoundTrip", "seed_manyrows", bytes.Repeat([]byte{5, 1, 1, 1, 1, 1, 42}, 120))
+	// Recover seeds: a valid stream, its torn prefix, a bit flip, junk.
+	schema := relation.MustSchema(
+		relation.Column{Name: "k", Kind: relation.KindInt},
+		relation.Column{Name: "s", Kind: relation.KindText},
+	)
+	var buf bytes.Buffer
+	fw, err := newFrameWriter(&buf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := fw.add(relation.MustTuple(schema, relation.Int(int64(i)), relation.Text("corpus-seed"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.finish(); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	write("FuzzRunCodecRecover", "seed_valid", valid)
+	write("FuzzRunCodecRecover", "seed_torn", valid[:len(valid)*2/3])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01
+	write("FuzzRunCodecRecover", "seed_flipped", flipped)
+	write("FuzzRunCodecRecover", "seed_junk", []byte("QSPL\x01not a frame at all"))
+}

@@ -1,19 +1,17 @@
 // Package spill gives the executor's pipeline breakers a bounded-memory
 // backing store: relations larger than a configured tuple cap are
-// written to temporary run files (JSON-encoded, schema-stable) and read
-// back either partition by partition (Table — the join's build side) or
-// as a k-way stable merge of sorted runs (Sorter — external sort for
-// ORDER BY and group partitioning). Everything is stdlib-only and
-// deterministic: run boundaries are count-based, merges tie-break by
-// run index, so a spilling operator produces bit-identical output to
+// written to temporary run files (binary, CRC-framed — see codec.go)
+// and read back either partition by partition (Table — the join's build
+// side) or as a k-way stable merge of sorted runs (Sorter — external
+// sort for ORDER BY and group partitioning). Everything is stdlib-only
+// and deterministic: run boundaries are count-based, merges tie-break
+// by run index, so a spilling operator produces bit-identical output to
 // its in-memory twin at any cap.
 package spill
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -21,74 +19,33 @@ import (
 	"qurk/internal/relation"
 )
 
-// wireValue is the JSON form of one relation.Value.
-type wireValue struct {
-	K uint8   `json:"k"`
-	S string  `json:"s,omitempty"`
-	I int64   `json:"i,omitempty"`
-	F float64 `json:"f,omitempty"`
-	B bool    `json:"b,omitempty"`
+// runPath names run file seq in dir.
+func runPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("run%05d.qrun", seq))
 }
 
-func encodeTuple(t relation.Tuple) []wireValue {
-	out := make([]wireValue, t.Len())
-	for i := 0; i < t.Len(); i++ {
-		v := t.At(i)
-		w := wireValue{K: uint8(v.Kind())}
-		switch v.Kind() {
-		case relation.KindText, relation.KindURL:
-			w.S = v.Text()
-		case relation.KindInt:
-			w.I = v.Int()
-		case relation.KindFloat:
-			w.F = v.Float()
-		case relation.KindBool:
-			w.B = v.Bool()
-		}
-		out[i] = w
-	}
-	return out
-}
-
-func decodeTuple(schema *relation.Schema, ws []wireValue) (relation.Tuple, error) {
-	vals := make([]relation.Value, len(ws))
-	for i, w := range ws {
-		switch relation.Kind(w.K) {
-		case relation.KindNull:
-			vals[i] = relation.Null()
-		case relation.KindText:
-			vals[i] = relation.Text(w.S)
-		case relation.KindURL:
-			vals[i] = relation.URL(w.S)
-		case relation.KindInt:
-			vals[i] = relation.Int(w.I)
-		case relation.KindFloat:
-			vals[i] = relation.Float(w.F)
-		case relation.KindBool:
-			vals[i] = relation.Bool(w.B)
-		case relation.KindUnknown:
-			vals[i] = relation.Unknown()
-		default:
-			return relation.Tuple{}, fmt.Errorf("spill: unknown value kind %d", w.K)
-		}
-	}
-	return relation.NewTuple(schema, vals...)
-}
-
-// writeRun writes tuples to a new file in dir, one JSON value per line.
-func writeRun(dir string, seq int, tuples []relation.Tuple) (string, error) {
-	path := filepath.Join(dir, fmt.Sprintf("run%05d.json", seq))
+// writeRun writes tuples to a new binary run file in dir.
+func writeRun(dir string, seq int, schema *relation.Schema, tuples []relation.Tuple) (string, error) {
+	path := runPath(dir, seq)
 	f, err := os.Create(path)
 	if err != nil {
 		return "", err
 	}
 	w := bufio.NewWriter(f)
-	enc := json.NewEncoder(w)
+	fw, err := newFrameWriter(w, schema)
+	if err != nil {
+		f.Close()
+		return "", err
+	}
 	for _, t := range tuples {
-		if err := enc.Encode(encodeTuple(t)); err != nil {
+		if err := fw.add(t); err != nil {
 			f.Close()
 			return "", err
 		}
+	}
+	if err := fw.finish(); err != nil {
+		f.Close()
+		return "", err
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
@@ -99,9 +56,8 @@ func writeRun(dir string, seq int, tuples []relation.Tuple) (string, error) {
 
 // runReader streams one run file tuple by tuple.
 type runReader struct {
-	f      *os.File
-	dec    *json.Decoder
-	schema *relation.Schema
+	f  *os.File
+	fr *frameReader
 }
 
 func openRun(path string, schema *relation.Schema) (*runReader, error) {
@@ -109,23 +65,17 @@ func openRun(path string, schema *relation.Schema) (*runReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &runReader{f: f, dec: json.NewDecoder(bufio.NewReader(f)), schema: schema}, nil
+	fr, err := newFrameReader(f, schema)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &runReader{f: f, fr: fr}, nil
 }
 
 // next returns the run's next tuple, or ok=false at end of run.
 func (r *runReader) next() (relation.Tuple, bool, error) {
-	var ws []wireValue
-	if err := r.dec.Decode(&ws); err != nil {
-		if err == io.EOF {
-			return relation.Tuple{}, false, nil
-		}
-		return relation.Tuple{}, false, err
-	}
-	t, err := decodeTuple(r.schema, ws)
-	if err != nil {
-		return relation.Tuple{}, false, err
-	}
-	return t, true, nil
+	return r.fr.next()
 }
 
 func (r *runReader) close() error { return r.f.Close() }
@@ -214,7 +164,7 @@ func (t *Table) Append(tp relation.Tuple) error {
 	if err != nil {
 		return err
 	}
-	path, err := writeRun(dir, len(t.parts), t.tail)
+	path, err := writeRun(dir, len(t.parts), t.schema, t.tail)
 	if err != nil {
 		return err
 	}
@@ -319,7 +269,7 @@ func (s *Sorter) spillRun() error {
 		return err
 	}
 	s.runSeq++
-	path, err := writeRun(dir, s.runSeq, s.mem)
+	path, err := writeRun(dir, s.runSeq, s.schema, s.mem)
 	if err != nil {
 		return err
 	}
@@ -365,18 +315,23 @@ func (s *Sorter) compact() error {
 				return err
 			}
 			s.runSeq++
-			path := filepath.Join(s.dir, fmt.Sprintf("run%05d.json", s.runSeq))
+			path := runPath(s.dir, s.runSeq)
 			f, err := os.Create(path)
 			if err != nil {
 				it.Close()
 				return err
 			}
 			w := bufio.NewWriter(f)
-			enc := json.NewEncoder(w)
+			fw, err := newFrameWriter(w, s.schema)
+			if err != nil {
+				it.Close()
+				f.Close()
+				return err
+			}
 			for {
 				t, ok, err := it.Next()
 				if err == nil && ok {
-					err = enc.Encode(encodeTuple(t))
+					err = fw.add(t)
 				}
 				if err != nil {
 					it.Close()
@@ -388,6 +343,10 @@ func (s *Sorter) compact() error {
 				}
 			}
 			it.Close()
+			if err := fw.finish(); err != nil {
+				f.Close()
+				return err
+			}
 			if err := w.Flush(); err != nil {
 				f.Close()
 				return err

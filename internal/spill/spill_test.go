@@ -1,6 +1,7 @@
 package spill
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -50,15 +51,33 @@ func TestCodecRoundtrip(t *testing.T) {
 		relation.URL("http://img/1.jpg"),
 		relation.Unknown(),
 	)
-	out, err := decodeTuple(s, encodeTuple(in))
+	var buf bytes.Buffer
+	fw, err := newFrameWriter(&buf, s)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if err := fw.add(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.finish(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := newFrameReader(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok, err := fr.next()
+	if err != nil || !ok {
+		t.Fatalf("next: ok=%v err=%v", ok, err)
 	}
 	if !in.Equal(out) {
 		t.Errorf("roundtrip mismatch:\n in=%v\nout=%v", in, out)
 	}
 	if !out.At(5).IsUnknown() {
 		t.Error("UNKNOWN sentinel lost in roundtrip")
+	}
+	if _, ok, err := fr.next(); ok || err != nil {
+		t.Fatalf("expected clean end of stream, got ok=%v err=%v", ok, err)
 	}
 }
 
