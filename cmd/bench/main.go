@@ -89,6 +89,7 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	benchRe := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	pkgs := flag.String("pkg", "qurk", "comma-separated import paths to benchmark (the bulk of the Benchmark* suite lives at the module root)")
 	benchTime := flag.String("benchtime", "2x", "go test -benchtime value")
 	cpus := flag.String("cpu", "", "go test -cpu list (default \"1,<NumCPU>\")")
 	out := flag.String("out", "BENCH_results.json", "output JSON path")
@@ -126,10 +127,11 @@ func main() {
 		}
 	}()
 
-	// Target the root package by import path so the harness works from
-	// any directory inside the module (the Benchmark* suite lives at
-	// the module root).
-	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchtime", *benchTime, "-benchmem", "-cpu", *cpus, "qurk"}
+	// Target packages by import path so the harness works from any
+	// directory inside the module. Benchmark names must stay unique
+	// across the listed packages — results are keyed by name alone.
+	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchtime", *benchTime, "-benchmem", "-cpu", *cpus}
+	args = append(args, strings.Split(*pkgs, ",")...)
 	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr

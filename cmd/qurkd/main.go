@@ -37,6 +37,8 @@ import (
 
 	"qurk"
 	"qurk/internal/answerstore"
+	"qurk/internal/circuit"
+	"qurk/internal/mturk"
 	"qurk/internal/service"
 )
 
@@ -57,6 +59,10 @@ func main() {
 		storeAgree  = flag.Int("store-min-agreement", 0, "serve stored answers only at or above this vote count")
 		storeMaxAge = flag.Duration("store-max-age", 0, "serve stored answers only younger than this (0 = forever)")
 		defBudget   = flag.Float64("default-budget", 0, "budget in dollars for tenants not named by -tenant (0 = unlimited)")
+		journalDir  = flag.String("journal-dir", "", "directory of per-query manifests + WAL journals: every query becomes durable, and a restarted daemon resumes unfinished ones exactly where they stopped (empty = ephemeral)")
+		cbThreshold = flag.Int("circuit-threshold", 5, "consecutive backend failures before the circuit opens and posting parks (0 = no breaker)")
+		cbCooldown  = flag.Duration("circuit-cooldown", 30*time.Second, "how long an open circuit waits before probing the backend again")
+		deadlineHrs = flag.Float64("deadline-hours", 0, "default wall-clock deadline per query; an overdue query fails alone, its journal stays resumable (0 = none)")
 	)
 	tenants := map[string]float64{}
 	flag.Func("tenant", "tenant budget as id=dollars (repeatable; 0 = unlimited)", func(s string) error {
@@ -73,7 +79,7 @@ func main() {
 	})
 	flag.Parse()
 
-	opts := qurk.Options{Assignments: *assignments, Combiner: *combiner, Seed: *seed}
+	opts := qurk.Options{Assignments: *assignments, Combiner: *combiner, Seed: *seed, DeadlineHours: *deadlineHrs}
 	opts.MTurk = qurk.MTurkOptions{
 		Endpoint:                  *endpoint,
 		PollIntervalSeconds:       *pollSecs,
@@ -110,6 +116,18 @@ func main() {
 		Options:              opts,
 		Tenants:              registry,
 		DefaultBudgetDollars: *defBudget,
+		JournalDir:           *journalDir,
+	}
+	if *cbThreshold > 0 {
+		cfg.Circuit = &circuit.Config{
+			Threshold: *cbThreshold,
+			Cooldown:  *cbCooldown,
+			// A validation/auth/budget error proves the marketplace is
+			// reachable and answering; only transport faults, 5xx, and
+			// throttles (already retried inside the client) count toward
+			// tripping the breaker.
+			Permanent: func(err error) bool { return !mturk.IsTransient(err) },
+		}
 	}
 	if *statsPath != "" {
 		statsStore, err := qurk.OpenStatsStore(*statsPath)
@@ -122,6 +140,13 @@ func main() {
 	svc, err := service.New(cfg)
 	if err != nil {
 		fail(err)
+	}
+	// Replay journaled queries before accepting traffic; resumed runs
+	// proceed in the background, and /readyz flips once the scan ends.
+	if *journalDir != "" {
+		if err := svc.Recover(); err != nil {
+			fail(err)
+		}
 	}
 
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}

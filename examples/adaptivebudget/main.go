@@ -96,8 +96,11 @@ func main() {
 	}
 	sort.Slice(workers, func(i, j int) bool { return quality[workers[i]] < quality[workers[j]] })
 	toBan := len(workers) / 10
-	for _, w := range workers[:toBan] {
-		market.Population().Ban(w)
+	// The moderation helper works against either backend: here it bans
+	// in the simulated population; on MTurk the same call would issue
+	// CreateWorkerBlock requests.
+	if _, err := qurk.EnforceWorkerBans(market, workers[:toBan], "bottom-decile quality score"); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("QualityAdjust scored %d workers; banned the bottom %d (quality %.3f..%.3f)\n",
 		len(workers), toBan, quality[workers[0]], quality[workers[toBan-1]])

@@ -1,0 +1,230 @@
+package circuit
+
+// Breaker state-machine tests, driven by a scripted marketplace (the
+// error sequence is the test input) and a step clock (cooldowns only
+// elapse when the test releases them).
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"qurk/internal/crowd"
+	"qurk/internal/hit"
+)
+
+// scriptedMarket pops one outcome per Run call; nil means success.
+// Exhausting the script means every further call succeeds.
+type scriptedMarket struct {
+	mu    sync.Mutex
+	errs  []error
+	calls int
+}
+
+func (m *scriptedMarket) Run(g *hit.Group) (*crowd.RunResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls++
+	if len(m.errs) > 0 {
+		err := m.errs[0]
+		m.errs = m.errs[1:]
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &crowd.RunResult{TotalAssignments: 1}, nil
+}
+
+func (m *scriptedMarket) RunAsync(g *hit.Group) <-chan crowd.Async {
+	return crowd.GoRun(func() (*crowd.RunResult, error) { return m.Run(g) })
+}
+
+func (m *scriptedMarket) callCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.calls
+}
+
+// stepClock blocks every Sleep until the test releases it, so the
+// breaker's cooldown transitions happen exactly when the test says.
+type stepClock struct {
+	sleeps chan chan struct{}
+}
+
+func newStepClock() *stepClock { return &stepClock{sleeps: make(chan chan struct{}, 16)} }
+
+func (c *stepClock) Now() time.Time { return time.Unix(0, 0) }
+
+func (c *stepClock) Sleep(d time.Duration) {
+	ch := make(chan struct{})
+	c.sleeps <- ch
+	<-ch
+}
+
+// releaseSleep waits for the next Sleep call and lets it return.
+func (c *stepClock) releaseSleep(t *testing.T) {
+	t.Helper()
+	select {
+	case ch := <-c.sleeps:
+		close(ch)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no cooldown sleep started within 5s")
+	}
+}
+
+var errBoom = errors.New("backend down")
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestRunPassesThroughSuccess(t *testing.T) {
+	m := &scriptedMarket{}
+	b := New(m, Config{Clock: newStepClock()})
+	res, err := b.Run(&hit.Group{})
+	if err != nil || res == nil || res.TotalAssignments != 1 {
+		t.Fatalf("Run = %+v, %v; want success", res, err)
+	}
+	if b.State() != Closed {
+		t.Errorf("state = %v, want Closed", b.State())
+	}
+}
+
+func TestRunRetriesTransientBelowThreshold(t *testing.T) {
+	m := &scriptedMarket{errs: []error{errBoom, errBoom, nil}}
+	b := New(m, Config{Threshold: 5, Clock: newStepClock()})
+	res, err := b.Run(&hit.Group{})
+	if err != nil || res == nil {
+		t.Fatalf("Run = %v, %v; transient failures must be absorbed", res, err)
+	}
+	if got := m.callCount(); got != 3 {
+		t.Errorf("backend calls = %d, want 3", got)
+	}
+	if b.State() != Closed {
+		t.Errorf("state = %v, want Closed (threshold never reached)", b.State())
+	}
+}
+
+func TestTripParkProbeRecover(t *testing.T) {
+	clk := newStepClock()
+	m := &scriptedMarket{errs: []error{errBoom, errBoom}}
+	b := New(m, Config{Threshold: 2, Cooldown: time.Minute, Clock: clk})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Run(&hit.Group{})
+		done <- err
+	}()
+
+	// Two transient failures trip the breaker; the same call parks.
+	waitFor(t, "breaker open", func() bool { return b.State() == Open })
+	waitFor(t, "caller parked", func() bool { return b.Parked() == 1 })
+
+	// Cooldown elapses → half-open → the parked call probes; the
+	// script is exhausted so the probe succeeds and closes the circuit.
+	clk.releaseSleep(t)
+	if err := <-done; err != nil {
+		t.Fatalf("parked call must complete after recovery, got %v", err)
+	}
+	if b.State() != Closed {
+		t.Errorf("state after successful probe = %v, want Closed", b.State())
+	}
+	if b.Parked() != 0 {
+		t.Errorf("parked after recovery = %d, want 0", b.Parked())
+	}
+}
+
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newStepClock()
+	// Trip (2 failures), failed probe (1 more), then recovery.
+	m := &scriptedMarket{errs: []error{errBoom, errBoom, errBoom}}
+	b := New(m, Config{Threshold: 2, Cooldown: time.Minute, Clock: clk})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Run(&hit.Group{})
+		done <- err
+	}()
+
+	waitFor(t, "breaker open", func() bool { return b.State() == Open })
+	clk.releaseSleep(t) // probe runs and fails → open again
+	waitFor(t, "breaker re-open", func() bool { return b.State() == Open && m.callCount() == 3 })
+	clk.releaseSleep(t) // second probe succeeds
+	if err := <-done; err != nil {
+		t.Fatalf("call must complete after second probe, got %v", err)
+	}
+	if b.State() != Closed {
+		t.Errorf("state = %v, want Closed", b.State())
+	}
+}
+
+func TestPermanentErrorPassesThrough(t *testing.T) {
+	errBad := errors.New("malformed request")
+	m := &scriptedMarket{errs: []error{errBad}}
+	b := New(m, Config{
+		Threshold: 1,
+		Clock:     newStepClock(),
+		Permanent: func(err error) bool { return errors.Is(err, errBad) },
+	})
+	_, err := b.Run(&hit.Group{})
+	if !errors.Is(err, errBad) {
+		t.Fatalf("Run = %v, want the permanent error surfaced", err)
+	}
+	// A permanent rejection proves the backend reachable: circuit
+	// stays closed even at Threshold 1.
+	if b.State() != Closed {
+		t.Errorf("state = %v, want Closed", b.State())
+	}
+	if got := m.callCount(); got != 1 {
+		t.Errorf("backend calls = %d, want 1 (no retry)", got)
+	}
+}
+
+func TestCloseReleasesParked(t *testing.T) {
+	clk := newStepClock()
+	m := &scriptedMarket{errs: []error{errBoom}}
+	b := New(m, Config{Threshold: 1, Cooldown: time.Minute, Clock: clk})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Run(&hit.Group{})
+		done <- err
+	}()
+	waitFor(t, "caller parked", func() bool { return b.Parked() == 1 })
+
+	b.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("parked call after Close = %v, want ErrClosed", err)
+	}
+	// Later calls fail fast; Close is idempotent.
+	b.Close()
+	if _, err := b.Run(&hit.Group{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Run after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestRunAsyncDeliversThroughBreaker(t *testing.T) {
+	m := &scriptedMarket{errs: []error{errBoom, nil}}
+	b := New(m, Config{Threshold: 5, Clock: newStepClock()})
+	a := <-b.RunAsync(&hit.Group{})
+	if a.Err != nil || a.Result == nil {
+		t.Fatalf("RunAsync = %+v; want success after one absorbed failure", a)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open", State(9): "unknown"} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -217,6 +217,16 @@ type Options struct {
 	// statistics observed during the run (see ReplanOptions). Off by
 	// default, so plans and HIT identity are unchanged unless opted in.
 	Replan ReplanOptions
+	// DeadlineHours is a wall-clock budget for the whole query,
+	// measured on the service's injectable clock from submission. Zero
+	// (the default) means no deadline. An overdue query fails alone —
+	// its journal is sealed "interrupted" so it stays resumable — while
+	// other queries on the same daemon keep running. Crowd work posted
+	// before the deadline is spent either way (the marketplace has no
+	// recall); the deadline bounds how long the service keeps waiting,
+	// which matters most while a marketplace outage holds the circuit
+	// breaker open.
+	DeadlineHours float64
 }
 
 // ReplanOptions controls adaptive mid-query re-optimization. Switch

@@ -38,6 +38,23 @@ type Marketplace interface {
 	RunAsync(group *hit.Group) <-chan Async
 }
 
+// WorkerModerator is an optional Marketplace extension for backends
+// that can moderate individual workers: ban poor performers from
+// future tasks (the paper's §6 suggestion to act on the QA algorithm's
+// output), lift bans, and pay bonuses. The simulator moderates its
+// synthetic population; the live MTurk client maps these calls to
+// CreateWorkerBlock / DeleteWorkerBlock / SendBonus.
+type WorkerModerator interface {
+	// BlockWorker bans workerID from future task pickup; reason is
+	// recorded with the marketplace (MTurk shows it to the worker).
+	BlockWorker(workerID, reason string) error
+	// UnblockWorker lifts a previous block on workerID.
+	UnblockWorker(workerID, reason string) error
+	// BonusWorker grants workerID a bonus of cents against one of
+	// their submitted assignments.
+	BonusWorker(workerID, assignmentID string, cents int, reason string) error
+}
+
 // Async is the outcome RunAsync delivers.
 type Async struct {
 	// Result is the completed group's outcome when Err is nil.
@@ -325,6 +342,11 @@ type SimMarket struct {
 	crashArmed bool
 	crashLeft  int
 	crashed    bool
+
+	// Worker-moderation state (WorkerModerator), guarded separately
+	// from the simulation hot path.
+	modMu   sync.Mutex
+	bonuses map[string]int // workerID → total bonus cents granted
 }
 
 // ErrInjectedCrash is the failure a SimMarket armed with
@@ -425,6 +447,45 @@ func (m *SimMarket) crashArmedSnapshot() bool {
 // Population exposes the worker pool (experiments regress accuracy
 // against per-worker task counts, §3.3.3).
 func (m *SimMarket) Population() *Population { return m.pop }
+
+// BlockWorker implements WorkerModerator by banning the worker from
+// future task pickup in the simulated population.
+func (m *SimMarket) BlockWorker(workerID, reason string) error {
+	m.pop.Ban(workerID)
+	return nil
+}
+
+// UnblockWorker implements WorkerModerator by restoring the worker to
+// the simulated pickup pool.
+func (m *SimMarket) UnblockWorker(workerID, reason string) error {
+	m.pop.Unban(workerID)
+	return nil
+}
+
+// BonusWorker implements WorkerModerator by recording a bonus grant
+// for the worker. The simulator tracks totals (see BonusCents) so
+// experiments can audit incentive spend; it does not change worker
+// behavior.
+func (m *SimMarket) BonusWorker(workerID, assignmentID string, cents int, reason string) error {
+	if cents <= 0 {
+		return fmt.Errorf("crowd: bonus must be positive, got %d cents", cents)
+	}
+	m.modMu.Lock()
+	defer m.modMu.Unlock()
+	if m.bonuses == nil {
+		m.bonuses = map[string]int{}
+	}
+	m.bonuses[workerID] += cents
+	return nil
+}
+
+// BonusCents reports the total bonus cents granted to a worker via
+// BonusWorker.
+func (m *SimMarket) BonusCents(workerID string) int {
+	m.modMu.Lock()
+	defer m.modMu.Unlock()
+	return m.bonuses[workerID]
+}
 
 // Oracle returns the ground-truth oracle (experiments score results
 // against it).

@@ -242,6 +242,23 @@ func (p *Population) Ban(workerID string) {
 	}
 }
 
+// Unban restores a previously banned worker to the pickup pool —
+// the simulator-side mirror of MTurk's DeleteWorkerBlock.
+func (p *Population) Unban(workerID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.banned[workerID] {
+		delete(p.banned, workerID)
+		p.banVer++
+		p.cums.Range(func(k, _ any) bool {
+			if k.(cumKey).version != p.banVer {
+				p.cums.Delete(k)
+			}
+			return true
+		})
+	}
+}
+
 // Banned reports whether a worker is banned.
 func (p *Population) Banned(workerID string) bool {
 	p.mu.RLock()

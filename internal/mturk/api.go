@@ -28,6 +28,9 @@ const (
 	opApproveAssignment      = "ApproveAssignment"
 	opUpdateExpirationForHIT = "UpdateExpirationForHIT"
 	opGetAccountBalance      = "GetAccountBalance"
+	opSendBonus              = "SendBonus"
+	opCreateWorkerBlock      = "CreateWorkerBlock"
+	opDeleteWorkerBlock      = "DeleteWorkerBlock"
 )
 
 // contentTypeAWSJSON is the aws-json protocol content type.
@@ -133,6 +136,30 @@ type updateExpirationRequest struct {
 	ExpireAt epoch  `json:"ExpireAt"`
 }
 
+// sendBonusRequest grants a worker a bonus against one of their
+// submitted assignments. UniqueRequestToken makes the grant
+// idempotent, so a retried call never pays twice.
+type sendBonusRequest struct {
+	WorkerId           string `json:"WorkerId"`
+	AssignmentId       string `json:"AssignmentId"`
+	BonusAmount        string `json:"BonusAmount"`
+	Reason             string `json:"Reason"`
+	UniqueRequestToken string `json:"UniqueRequestToken,omitempty"`
+}
+
+// createWorkerBlockRequest bans a worker from the requester's future
+// HITs; MTurk shows Reason to the worker.
+type createWorkerBlockRequest struct {
+	WorkerId string `json:"WorkerId"`
+	Reason   string `json:"Reason"`
+}
+
+// deleteWorkerBlockRequest lifts a previous worker block.
+type deleteWorkerBlockRequest struct {
+	WorkerId string `json:"WorkerId"`
+	Reason   string `json:"Reason,omitempty"`
+}
+
 // apiError is the aws-json error body.
 type apiError struct {
 	Type    string `json:"__type"`
@@ -175,11 +202,22 @@ func (c *Client) call(op string, in, out any) error {
 			return nil
 		}
 		var re *RequestError
-		if !errors.As(lastErr, &re) || (re.Status < 500 && re.Code != throttlingCode) {
+		var te *transportError
+		switch {
+		case errors.As(lastErr, &te):
+			// Network-level failure (connection refused, reset, or
+			// dropped mid-body): retryable like a 5xx. Safe to repeat
+			// even for CreateHIT — the UniqueRequestToken makes the
+			// re-post attach to the already-created HIT.
+			if try < attempts-1 {
+				c.cfg.Clock.Sleep(c.backoff(try, false))
+			}
+		case errors.As(lastErr, &re) && (re.Status >= 500 || re.Code == throttlingCode):
+			if try < attempts-1 {
+				c.cfg.Clock.Sleep(c.backoff(try, re.Code == throttlingCode))
+			}
+		default:
 			return lastErr
-		}
-		if try < attempts-1 {
-			c.cfg.Clock.Sleep(c.backoff(try, re.Code == throttlingCode))
 		}
 	}
 	return lastErr
@@ -207,6 +245,38 @@ func (c *Client) backoff(try int, throttled bool) time.Duration {
 	return half + time.Duration(c.backoffRNG.Int63n(int64(half)))
 }
 
+// transportError marks a network-level failure — the request may or
+// may not have reached the endpoint, so call() retries it like a 5xx
+// (every operation is idempotent: CreateHIT and SendBonus by
+// UniqueRequestToken, the rest by nature).
+type transportError struct {
+	op  string
+	err error
+}
+
+// Error implements error.
+func (e *transportError) Error() string {
+	return fmt.Sprintf("mturk: %s: transport: %v", e.op, e.err)
+}
+
+// Unwrap exposes the underlying network error.
+func (e *transportError) Unwrap() error { return e.err }
+
+// IsTransient reports whether err names a failure worth retrying
+// later: a transport-level fault (the endpoint may be unreachable), an
+// HTTP 5xx, or a throttle. Circuit breakers use it as the inverse of
+// their Permanent classifier — a permanent error (validation, auth,
+// budget) proves the backend is reachable and must not trip the
+// breaker.
+func IsTransient(err error) bool {
+	var te *transportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var re *RequestError
+	return errors.As(err, &re) && (re.Status >= 500 || re.Code == throttlingCode)
+}
+
 func (c *Client) callOnce(op string, body []byte, out any) error {
 	req, err := http.NewRequest(http.MethodPost, c.cfg.Endpoint, bytes.NewReader(body))
 	if err != nil {
@@ -217,12 +287,12 @@ func (c *Client) callOnce(op string, body []byte, out any) error {
 	signRequest(req, body, c.creds, c.cfg.Region, c.cfg.Clock.Now())
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
-		return fmt.Errorf("mturk: %s: %w", op, err)
+		return &transportError{op: op, err: err}
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return fmt.Errorf("mturk: %s: reading response: %w", op, err)
+		return &transportError{op: op, err: fmt.Errorf("reading response: %w", err)}
 	}
 	if resp.StatusCode != http.StatusOK {
 		var ae apiError

@@ -441,3 +441,48 @@ func (c *Client) CheckBalance() (string, error) {
 	}
 	return resp.AvailableBalance, nil
 }
+
+// SendBonus grants a worker a bonus of cents against one of their
+// submitted assignments. The UniqueRequestToken derives from
+// (worker, assignment) so a retried call never double-pays.
+func (c *Client) SendBonus(workerID, assignmentID string, cents int, reason string) error {
+	if cents <= 0 {
+		return fmt.Errorf("mturk: bonus must be positive, got %d cents", cents)
+	}
+	req := sendBonusRequest{
+		WorkerId:           workerID,
+		AssignmentId:       assignmentID,
+		BonusAmount:        fmt.Sprintf("%.2f", float64(cents)/100),
+		Reason:             reason,
+		UniqueRequestToken: "bonus-" + workerID + "-" + assignmentID,
+	}
+	return c.call(opSendBonus, &req, nil)
+}
+
+// CreateWorkerBlock bans a worker from all of the requester's future
+// HITs — the real-marketplace arm of the §6 gold-standard screen's
+// ban decision. MTurk shows the reason to the worker.
+func (c *Client) CreateWorkerBlock(workerID, reason string) error {
+	return c.call(opCreateWorkerBlock, &createWorkerBlockRequest{WorkerId: workerID, Reason: reason}, nil)
+}
+
+// DeleteWorkerBlock lifts a previous worker block.
+func (c *Client) DeleteWorkerBlock(workerID, reason string) error {
+	return c.call(opDeleteWorkerBlock, &deleteWorkerBlockRequest{WorkerId: workerID, Reason: reason}, nil)
+}
+
+// BlockWorker implements crowd.WorkerModerator over CreateWorkerBlock.
+func (c *Client) BlockWorker(workerID, reason string) error {
+	return c.CreateWorkerBlock(workerID, reason)
+}
+
+// UnblockWorker implements crowd.WorkerModerator over
+// DeleteWorkerBlock.
+func (c *Client) UnblockWorker(workerID, reason string) error {
+	return c.DeleteWorkerBlock(workerID, reason)
+}
+
+// BonusWorker implements crowd.WorkerModerator over SendBonus.
+func (c *Client) BonusWorker(workerID, assignmentID string, cents int, reason string) error {
+	return c.SendBonus(workerID, assignmentID, cents, reason)
+}

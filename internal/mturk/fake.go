@@ -19,6 +19,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -64,6 +65,15 @@ type FakeConfig struct {
 	// with HTTP 400 ThrottlingException — the rate-limit signal the
 	// client backs off from with a longer cool-off.
 	ThrottleEveryN int
+	// DropEveryN, when positive, kills the TCP connection of every Nth
+	// API call mid-response-body: the operation is fully processed
+	// server-side first, then the response is truncated — the nastiest
+	// network failure shape, where the client cannot know whether its
+	// request took effect and must retry into the idempotency
+	// machinery (UniqueRequestToken re-attach for CreateHIT/SendBonus,
+	// natural idempotence for the rest). Counted on the same
+	// all-operations counter as ThrottleEveryN.
+	DropEveryN int
 }
 
 // fakeAssignment is one fabricated worker pass.
@@ -109,7 +119,24 @@ type FakeServer struct {
 	byToken  map[string]string   // UniqueRequestToken → MTurk HIT ID
 	requests []RecordedRequest
 	failLeft map[string]int // remaining FailFirst faults per op
-	callNum  int            // total calls served (ThrottleEveryN counter)
+	callNum  int            // total calls served (Throttle/DropEveryN counter)
+
+	bonuses    []BonusGrant      // recorded SendBonus grants, in order
+	bonusToken map[string]bool   // UniqueRequestToken dedup for SendBonus
+	blocked    map[string]string // workerID → block reason
+}
+
+// BonusGrant is one SendBonus the fake recorded, for test assertions
+// on what the client actually paid.
+type BonusGrant struct {
+	// WorkerID is the bonused worker.
+	WorkerID string
+	// AssignmentID is the assignment the bonus was granted against.
+	AssignmentID string
+	// Amount is the wire-format dollar amount (e.g. "0.25").
+	Amount string
+	// Reason is the message shown to the worker.
+	Reason string
 }
 
 // NewFakeServer starts the fake endpoint.
@@ -136,11 +163,13 @@ func NewFakeServer(cfg FakeConfig) *FakeServer {
 		cfg.YesPct = 0
 	}
 	f := &FakeServer{
-		cfg:      cfg,
-		creds:    credentials{accessKey: cfg.AccessKey, secretKey: cfg.SecretKey},
-		hits:     map[string]*fakeHIT{},
-		byToken:  map[string]string{},
-		failLeft: map[string]int{},
+		cfg:        cfg,
+		creds:      credentials{accessKey: cfg.AccessKey, secretKey: cfg.SecretKey},
+		hits:       map[string]*fakeHIT{},
+		byToken:    map[string]string{},
+		failLeft:   map[string]int{},
+		bonusToken: map[string]bool{},
+		blocked:    map[string]string{},
 	}
 	for op, n := range cfg.FailFirst {
 		f.failLeft[op] = n
@@ -246,6 +275,12 @@ func (f *FakeServer) handle(w http.ResponseWriter, r *http.Request) {
 		f.fail(w, http.StatusBadRequest, "ThrottlingException", "injected throttle")
 		return
 	}
+	// The connection-drop fault triggers AFTER the operation is served
+	// (decided here, applied at response-write time below): the request
+	// took effect server-side but the caller never learns, which is
+	// exactly the ambiguity the client's idempotency machinery exists
+	// for.
+	drop := f.cfg.DropEveryN > 0 && f.callNum%f.cfg.DropEveryN == 0
 	f.mu.Unlock()
 
 	var out any
@@ -263,6 +298,12 @@ func (f *FakeServer) handle(w http.ResponseWriter, r *http.Request) {
 		out, opErr = f.updateExpiration(body)
 	case opGetAccountBalance:
 		out = map[string]string{"AvailableBalance": "10000.00"}
+	case opSendBonus:
+		out, opErr = f.sendBonus(body)
+	case opCreateWorkerBlock:
+		out, opErr = f.createWorkerBlock(body)
+	case opDeleteWorkerBlock:
+		out, opErr = f.deleteWorkerBlock(body)
 	default:
 		f.fail(w, http.StatusBadRequest, "UnknownOperationException", op)
 		return
@@ -271,8 +312,37 @@ func (f *FakeServer) handle(w http.ResponseWriter, r *http.Request) {
 		f.fail(w, http.StatusBadRequest, "RequestError", opErr.Error())
 		return
 	}
+	if drop {
+		f.dropConnection(w, out)
+		return
+	}
 	w.Header().Set("Content-Type", contentTypeAWSJSON)
 	_ = json.NewEncoder(w).Encode(out)
+}
+
+// dropConnection truncates the response mid-body and severs the TCP
+// connection: it advertises the full Content-Length, writes half the
+// payload, and closes the raw conn so the client sees an unexpected
+// EOF instead of a clean HTTP error.
+func (f *FakeServer) dropConnection(w http.ResponseWriter, out any) {
+	payload, err := json.Marshal(out)
+	if err != nil {
+		payload = []byte("{}")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// No raw-conn access (shouldn't happen under httptest's
+		// default server); degrade to dropping the whole response.
+		panic("fake: response writer does not support hijacking")
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	fmt.Fprintf(buf, "HTTP/1.1 200 OK\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n", contentTypeAWSJSON, len(payload))
+	buf.Write(payload[:len(payload)/2])
+	buf.Flush()
 }
 
 // fakeHash gives the deterministic stream all worker behavior draws
@@ -545,6 +615,99 @@ func (f *FakeServer) approveAssignment(body []byte) (any, error) {
 		}
 	}
 	return nil, fmt.Errorf("ApproveAssignment: unknown assignment %s", req.AssignmentId)
+}
+
+// sendBonus records a bonus grant after validating the assignment
+// belongs to the named worker; the UniqueRequestToken dedups retries
+// so a re-sent grant is acknowledged without paying twice.
+func (f *FakeServer) sendBonus(body []byte) (any, error) {
+	var req sendBonusRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if req.WorkerId == "" || req.AssignmentId == "" || req.BonusAmount == "" {
+		return nil, fmt.Errorf("SendBonus: missing WorkerId, AssignmentId, or BonusAmount")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if req.UniqueRequestToken != "" && f.bonusToken[req.UniqueRequestToken] {
+		return map[string]any{}, nil
+	}
+	found := false
+	for _, fh := range f.hits {
+		for i := range fh.asn {
+			if fh.asn[i].id == req.AssignmentId && fh.asn[i].workerID == req.WorkerId {
+				found = true
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("SendBonus: assignment %s does not belong to worker %s", req.AssignmentId, req.WorkerId)
+	}
+	if req.UniqueRequestToken != "" {
+		f.bonusToken[req.UniqueRequestToken] = true
+	}
+	f.bonuses = append(f.bonuses, BonusGrant{
+		WorkerID:     req.WorkerId,
+		AssignmentID: req.AssignmentId,
+		Amount:       req.BonusAmount,
+		Reason:       req.Reason,
+	})
+	return map[string]any{}, nil
+}
+
+// createWorkerBlock records the ban. Like the real marketplace, a
+// block only affects which workers pick up FUTURE HITs; the fake's
+// fabricated assignments are pre-drawn per token, so existing and
+// later fabrications are unchanged — tests assert on BlockedWorkers,
+// not on answer streams.
+func (f *FakeServer) createWorkerBlock(body []byte) (any, error) {
+	var req createWorkerBlockRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if req.WorkerId == "" || req.Reason == "" {
+		return nil, fmt.Errorf("CreateWorkerBlock: missing WorkerId or Reason")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.blocked[req.WorkerId] = req.Reason
+	return map[string]any{}, nil
+}
+
+// deleteWorkerBlock lifts a recorded ban; unblocking an unblocked
+// worker succeeds, matching the real endpoint.
+func (f *FakeServer) deleteWorkerBlock(body []byte) (any, error) {
+	var req deleteWorkerBlockRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, err
+	}
+	if req.WorkerId == "" {
+		return nil, fmt.Errorf("DeleteWorkerBlock: missing WorkerId")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.blocked, req.WorkerId)
+	return map[string]any{}, nil
+}
+
+// Bonuses returns every recorded bonus grant, in arrival order.
+func (f *FakeServer) Bonuses() []BonusGrant {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]BonusGrant(nil), f.bonuses...)
+}
+
+// BlockedWorkers returns the currently blocked worker IDs, sorted.
+func (f *FakeServer) BlockedWorkers() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.blocked))
+	for w := range f.blocked {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (f *FakeServer) updateExpiration(body []byte) (any, error) {

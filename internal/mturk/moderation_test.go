@@ -1,0 +1,181 @@
+package mturk
+
+// Worker-moderation tests: SendBonus / CreateWorkerBlock /
+// DeleteWorkerBlock against the fake endpoint (recorded requests
+// pinned by golden fixtures), plus the connection-drop fault mode that
+// exercises the transport-level retry path.
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"qurk/internal/crowd"
+)
+
+// The live client moderates workers through the same interface the
+// simulator does, so the §6 gold-screen ban wiring is backend-neutral.
+var _ crowd.WorkerModerator = (*Client)(nil)
+
+// lastRequestBody returns the most recent recorded body for op.
+func lastRequestBody(t *testing.T, f *FakeServer, op string) string {
+	t.Helper()
+	reqs := f.Requests()
+	for i := len(reqs) - 1; i >= 0; i-- {
+		if reqs[i].Op == op {
+			return reqs[i].Body
+		}
+	}
+	t.Fatalf("no recorded %s request", op)
+	return ""
+}
+
+func TestSendBonusRecordsGrantOnce(t *testing.T) {
+	f, c, _ := newFixture(t, FakeConfig{})
+	res, err := c.Run(filterGroup(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Assignments[0]
+
+	if err := c.SendBonus(a.WorkerID, a.ID, 25, "gold-standard accuracy"); err != nil {
+		t.Fatal(err)
+	}
+	// A retried grant carries the same UniqueRequestToken; the
+	// endpoint must acknowledge without paying twice.
+	if err := c.SendBonus(a.WorkerID, a.ID, 25, "gold-standard accuracy"); err != nil {
+		t.Fatal(err)
+	}
+	grants := f.Bonuses()
+	if len(grants) != 1 {
+		t.Fatalf("Bonuses() = %+v, want exactly one grant", grants)
+	}
+	g := grants[0]
+	if g.WorkerID != a.WorkerID || g.AssignmentID != a.ID || g.Amount != "0.25" || g.Reason != "gold-standard accuracy" {
+		t.Errorf("grant = %+v, want worker %s assignment %s $0.25", g, a.WorkerID, a.ID)
+	}
+	checkGolden(t, "sendbonus_request.golden.json", lastRequestBody(t, f, opSendBonus)+"\n")
+}
+
+func TestSendBonusValidation(t *testing.T) {
+	f, c, _ := newFixture(t, FakeConfig{})
+	if err := c.SendBonus("FW0", "A0", 0, "r"); err == nil {
+		t.Error("zero-cent bonus must be rejected client-side")
+	}
+	var re *RequestError
+	if err := c.SendBonus("FW0", "A0", 10, "r"); !errors.As(err, &re) {
+		t.Errorf("bonus on unknown assignment = %v, want RequestError", err)
+	}
+	if n := len(f.Bonuses()); n != 0 {
+		t.Errorf("rejected bonuses still recorded: %d", n)
+	}
+}
+
+func TestWorkerBlockLifecycle(t *testing.T) {
+	f, c, _ := newFixture(t, FakeConfig{})
+	if err := c.CreateWorkerBlock("FWDEADBEEF", "failed gold-standard screen"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateWorkerBlock("FW0BADF00D", "failed gold-standard screen"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.BlockedWorkers(); len(got) != 2 || got[0] != "FW0BADF00D" || got[1] != "FWDEADBEEF" {
+		t.Fatalf("BlockedWorkers() = %v, want both bans, sorted", got)
+	}
+	checkGolden(t, "createworkerblock_request.golden.json", lastRequestBody(t, f, opCreateWorkerBlock)+"\n")
+
+	if err := c.DeleteWorkerBlock("FWDEADBEEF", "appeal accepted"); err != nil {
+		t.Fatal(err)
+	}
+	// Unblocking an unblocked worker succeeds, like the real endpoint.
+	if err := c.DeleteWorkerBlock("FWNEVERBLOCKED", ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.BlockedWorkers(); len(got) != 1 || got[0] != "FW0BADF00D" {
+		t.Fatalf("BlockedWorkers() after unblock = %v, want [FW0BADF00D]", got)
+	}
+	checkGolden(t, "deleteworkerblock_request.golden.json", lastRequestBody(t, f, opDeleteWorkerBlock)+"\n")
+
+	// The moderator interface routes to the same operations.
+	if err := c.BlockWorker("FWMOD", "modded"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UnblockWorker("FWMOD", "modded"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.BlockedWorkers(); len(got) != 1 {
+		t.Fatalf("BlockedWorkers() after moderator round-trip = %v", got)
+	}
+}
+
+func TestCreateWorkerBlockRequiresReason(t *testing.T) {
+	_, c, _ := newFixture(t, FakeConfig{})
+	var re *RequestError
+	if err := c.CreateWorkerBlock("FW1", ""); !errors.As(err, &re) {
+		t.Errorf("block without reason = %v, want RequestError", err)
+	}
+}
+
+// TestDropEveryNConnectionDropsAreRetried: every other API call is
+// severed mid-response-body after the server processed it. The
+// transport retry + UniqueRequestToken idempotency must absorb all of
+// it: the run completes, and no HIT is double-posted.
+func TestDropEveryNConnectionDropsAreRetried(t *testing.T) {
+	f, c, _ := newFixture(t, FakeConfig{DropEveryN: 2})
+	group := filterGroup(3, 2)
+	res, err := c.Run(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalAssignments != 3*2 {
+		t.Errorf("TotalAssignments = %d, want 6", res.TotalAssignments)
+	}
+	if got := len(f.CreatedHITs()); got != 3 {
+		t.Errorf("distinct HITs created = %d, want 3 (idempotent re-attach)", got)
+	}
+	// The drops really happened: more CreateHIT calls arrived than
+	// HITs exist.
+	if calls := f.RequestCount(opCreateHIT); calls <= 3 {
+		t.Errorf("CreateHIT calls = %d, want > 3 (retries after drops)", calls)
+	}
+}
+
+// TestTransportErrorSurfacesAfterRetryBudget: a dead endpoint (every
+// call dropped) exhausts the bounded retry and surfaces a transport
+// error rather than hanging.
+func TestTransportErrorSurfacesAfterRetryBudget(t *testing.T) {
+	f, c, _ := newFixture(t, FakeConfig{DropEveryN: 1})
+	_, err := c.Run(filterGroup(1, 1))
+	if err == nil {
+		t.Fatal("Run against all-dropping endpoint must fail")
+	}
+	var te *transportError
+	if !errors.As(err, &te) {
+		t.Errorf("error = %v, want transportError", err)
+	}
+	if calls := f.RequestCount(opCreateHIT); calls != 3 {
+		t.Errorf("CreateHIT attempts = %d, want the full retry budget of 3", calls)
+	}
+}
+
+// TestSendBonusWireFormat pins the dollars formatting and token scheme
+// without the HTTP round-trip.
+func TestSendBonusWireFormat(t *testing.T) {
+	req := sendBonusRequest{
+		WorkerId:           "FW1",
+		AssignmentId:       "A1",
+		BonusAmount:        "1.05",
+		Reason:             "why",
+		UniqueRequestToken: "bonus-FW1-A1",
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"BonusAmount":"1.05"`, `"UniqueRequestToken":"bonus-FW1-A1"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("wire form %s missing %s", b, want)
+		}
+	}
+}

@@ -1,0 +1,425 @@
+package service
+
+// Chaos harness: drives real qurkd binaries through scripted
+// kill -9 / restart schedules against the fault-injecting fake MTurk
+// endpoint, and asserts the durability invariants hold for three
+// concurrent tenants' queries:
+//
+//  1. bit-identical rows to a run that was never killed,
+//  2. the fake endpoint's created-HIT set equals the baseline's
+//     (UniqueRequestToken re-posts attach, never duplicate), and
+//  3. every tenant ledger charged exactly once per HIT group.
+//
+// The daemon is killed with SIGKILL — no shutdown hooks, no sealing —
+// so every crash lands at an arbitrary point in the post/charge/commit
+// pipeline. Recovery has only the journal directory to work from.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"qurk/internal/mturk"
+)
+
+// chaosTenants are the three concurrent queries, content-disjoint so
+// cross-query answer reuse cannot mask a duplicate post: alice filters
+// celeb tuples, bob filters photo tuples, carol joins the two.
+var chaosTenants = []struct{ tenant, query string }{
+	{"alice", `SELECT c.name FROM celeb AS c WHERE isFemale(c.img)`},
+	{"bob", `SELECT p.img FROM photos AS p WHERE isFemale(p.img)`},
+	{"carol", `SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img)`},
+}
+
+// chaosOutcome is everything a scenario run measures.
+type chaosOutcome struct {
+	rows    map[string][]string // tenant -> sorted result rows
+	created []string            // fake endpoint's distinct HIT IDs, sorted
+	spent   map[string]float64  // tenant -> ledger dollars
+	hits    map[string]int      // tenant -> ledger HIT count
+}
+
+// buildQurkd compiles the daemon once into dir.
+func buildQurkd(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "qurkd")
+	out, err := exec.Command("go", "build", "-o", bin, "qurk/cmd/qurkd").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building qurkd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// chaosDaemon manages one qurkd process life.
+type chaosDaemon struct {
+	t        *testing.T
+	bin      string
+	addr     string
+	journal  string
+	endpoint string
+	cmd      *exec.Cmd
+	logs     *bytes.Buffer
+}
+
+// start launches qurkd and waits for /readyz.
+func (d *chaosDaemon) start() {
+	d.t.Helper()
+	d.logs = &bytes.Buffer{}
+	cmd := exec.Command(d.bin,
+		"-addr", d.addr,
+		"-dataset", "celebrities", "-n", "8", "-seed", "1",
+		"-backend", "mturk-sandbox",
+		"-mturk-endpoint", d.endpoint,
+		"-mturk-poll", "0.05",
+		"-assignments", "3",
+		"-journal-dir", d.journal,
+	)
+	cmd.Env = append(os.Environ(),
+		"AWS_ACCESS_KEY_ID=FAKEKEY",
+		"AWS_SECRET_ACCESS_KEY=FAKESECRET",
+	)
+	cmd.Stdout = d.logs
+	cmd.Stderr = d.logs
+	if err := cmd.Start(); err != nil {
+		d.t.Fatalf("starting qurkd: %v", err)
+	}
+	d.cmd = cmd
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(d.url("/readyz"))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			d.t.Fatalf("qurkd never became ready; logs:\n%s", d.logs)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill sends SIGKILL — the crash the journal must survive.
+func (d *chaosDaemon) kill() {
+	d.t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		d.t.Fatalf("kill -9: %v", err)
+	}
+	_ = d.cmd.Wait()
+}
+
+func (d *chaosDaemon) url(path string) string { return "http://" + d.addr + path }
+
+// getJSON decodes one API response.
+func (d *chaosDaemon) getJSON(path string, out any) error {
+	resp, err := http.Get(d.url(path))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// freeAddr reserves an ephemeral localhost port.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// runChaosScenario runs the three tenants' queries to completion on a
+// fresh fake endpoint and journal directory. kills > 0 injects that
+// many SIGKILL/restart cycles while the queries are in flight.
+func runChaosScenario(t *testing.T, bin string, kills int) chaosOutcome {
+	t.Helper()
+	fake := mturk.NewFakeServer(mturk.FakeConfig{
+		SubmitDelay: 40 * time.Millisecond,
+	})
+	defer fake.Close()
+
+	d := &chaosDaemon{
+		t:        t,
+		bin:      bin,
+		addr:     freeAddr(t),
+		journal:  t.TempDir(),
+		endpoint: fake.URL(),
+	}
+	d.start()
+	defer func() {
+		if d.cmd.ProcessState == nil {
+			d.kill()
+		}
+	}()
+
+	// Submit the three tenants' queries; IDs are q0001..q0003 in
+	// submission order, stable across every restart.
+	ids := map[string]string{}
+	for _, c := range chaosTenants {
+		body, _ := json.Marshal(map[string]string{"tenant": c.tenant, "query": c.query})
+		resp, err := http.Post(d.url("/v1/queries"), "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sn struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sn)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusAccepted || sn.ID == "" {
+			t.Fatalf("submit for %s: status %d err %v", c.tenant, resp.StatusCode, err)
+		}
+		ids[c.tenant] = sn.ID
+	}
+
+	// The kill schedule: let work accumulate, then SIGKILL at staggered
+	// offsets so crashes land in different phases of the pipeline.
+	for k := 0; k < kills; k++ {
+		time.Sleep(time.Duration(150+100*k) * time.Millisecond)
+		d.kill()
+		d.start()
+	}
+
+	// Follow the queries to terminal states.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		var list struct {
+			Queries []Snapshot `json:"queries"`
+		}
+		if err := d.getJSON("/v1/queries", &list); err != nil {
+			t.Fatalf("listing queries: %v", err)
+		}
+		done := 0
+		for _, sn := range list.Queries {
+			switch sn.State {
+			case StateDone:
+				done++
+			case StateFailed, StateCancelled:
+				t.Fatalf("query %s (%s) ended %s: %s", sn.ID, sn.Tenant, sn.State, sn.Error)
+			}
+		}
+		if done == len(chaosTenants) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queries never finished; last list %+v\nlogs:\n%s", list, d.logs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	out := chaosOutcome{
+		rows:  map[string][]string{},
+		spent: map[string]float64{},
+		hits:  map[string]int{},
+	}
+	for _, c := range chaosTenants {
+		out.rows[c.tenant] = fetchRows(t, d, ids[c.tenant])
+		var ts TenantSnapshot
+		if err := d.getJSON("/v1/tenants/"+c.tenant, &ts); err != nil {
+			t.Fatal(err)
+		}
+		out.spent[c.tenant] = ts.SpentDollars
+		out.hits[c.tenant] = ts.HITs
+	}
+	out.created = append(out.created, fake.CreatedHITs()...)
+	sort.Strings(out.created)
+	d.kill()
+	return out
+}
+
+// fetchRows streams one query's NDJSON rows and returns them sorted.
+func fetchRows(t *testing.T, d *chaosDaemon, id string) []string {
+	t.Helper()
+	resp, err := http.Get(d.url("/v1/queries/" + id + "/rows"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rows []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			Values map[string]string `json:"values"`
+			State  string            `json:"state"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.State != "" {
+			continue
+		}
+		var cols []string
+		for k, v := range line.Values {
+			cols = append(cols, k+"="+v)
+		}
+		sort.Strings(cols)
+		rows = append(rows, strings.Join(cols, ","))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// TestChaosKillRestart is the tentpole acceptance test: three tenants'
+// queries, three kill -9s at arbitrary pipeline points, and the final
+// state is indistinguishable from a run that never crashed.
+func TestChaosKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness builds and kills real daemons")
+	}
+	bin := buildQurkd(t, t.TempDir())
+
+	baseline := runChaosScenario(t, bin, 0)
+	for tenant, rows := range baseline.rows {
+		if len(rows) == 0 {
+			t.Fatalf("baseline %s produced no rows", tenant)
+		}
+	}
+	if len(baseline.created) == 0 {
+		t.Fatal("baseline posted no HITs")
+	}
+
+	chaos := runChaosScenario(t, bin, 3)
+
+	// Invariant 1: bit-identical rows per tenant.
+	for _, c := range chaosTenants {
+		want, got := baseline.rows[c.tenant], chaos.rows[c.tenant]
+		if len(want) != len(got) {
+			t.Fatalf("%s: %d rows after chaos, baseline %d", c.tenant, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s row %d diverged: %q vs baseline %q", c.tenant, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Invariant 2: the created-HIT sets are equal — re-posts after a
+	// crash attached to existing HITs instead of duplicating them.
+	if len(chaos.created) != len(baseline.created) {
+		t.Fatalf("chaos created %d HITs, baseline %d", len(chaos.created), len(baseline.created))
+	}
+	for i := range baseline.created {
+		if chaos.created[i] != baseline.created[i] {
+			t.Fatalf("created-HIT sets diverge at %d: %s vs %s", i, chaos.created[i], baseline.created[i])
+		}
+	}
+
+	// Invariant 3: tenant ledgers charged exactly once per HIT group,
+	// to the cent, despite charges landing in three different process
+	// lives.
+	for _, c := range chaosTenants {
+		if chaos.spent[c.tenant] != baseline.spent[c.tenant] || chaos.hits[c.tenant] != baseline.hits[c.tenant] {
+			t.Fatalf("%s ledger after chaos $%.3f/%d HITs, baseline $%.3f/%d HITs",
+				c.tenant, chaos.spent[c.tenant], chaos.hits[c.tenant],
+				baseline.spent[c.tenant], baseline.hits[c.tenant])
+		}
+	}
+}
+
+// TestChaosConnectionDrops reruns the scenario with the endpoint
+// severing every fourth response mid-body (DropEveryN) and no kills:
+// transport retries plus token idempotency must absorb it all.
+func TestChaosConnectionDrops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness builds and kills real daemons")
+	}
+	bin := buildQurkd(t, t.TempDir())
+
+	baseline := runChaosScenario(t, bin, 0)
+
+	fake := mturk.NewFakeServer(mturk.FakeConfig{
+		SubmitDelay: 40 * time.Millisecond,
+		DropEveryN:  4,
+	})
+	defer fake.Close()
+	d := &chaosDaemon{
+		t:        t,
+		bin:      bin,
+		addr:     freeAddr(t),
+		journal:  t.TempDir(),
+		endpoint: fake.URL(),
+	}
+	d.start()
+	defer d.kill()
+
+	ids := map[string]string{}
+	for _, c := range chaosTenants {
+		body, _ := json.Marshal(map[string]string{"tenant": c.tenant, "query": c.query})
+		resp, err := http.Post(d.url("/v1/queries"), "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sn struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sn)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[c.tenant] = sn.ID
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		var list struct {
+			Queries []Snapshot `json:"queries"`
+		}
+		if err := d.getJSON("/v1/queries", &list); err != nil {
+			t.Fatal(err)
+		}
+		done := 0
+		for _, sn := range list.Queries {
+			switch sn.State {
+			case StateDone:
+				done++
+			case StateFailed, StateCancelled:
+				t.Fatalf("query %s ended %s under connection drops: %s", sn.ID, sn.State, sn.Error)
+			}
+		}
+		if done == len(chaosTenants) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queries never finished under drops; logs:\n%s", d.logs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	created := fake.CreatedHITs()
+	sort.Strings(created)
+	if len(created) != len(baseline.created) {
+		t.Fatalf("drops run created %d HITs, baseline %d", len(created), len(baseline.created))
+	}
+	for _, c := range chaosTenants {
+		rows := fetchRows(t, d, ids[c.tenant])
+		if len(rows) != len(baseline.rows[c.tenant]) {
+			t.Fatalf("%s: %d rows under drops, baseline %d", c.tenant, len(rows), len(baseline.rows[c.tenant]))
+		}
+		for i := range rows {
+			if rows[i] != baseline.rows[c.tenant][i] {
+				t.Fatalf("%s row %d diverged under drops: %q vs %q", c.tenant, i, rows[i], baseline.rows[c.tenant][i])
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "chaos drops: %d HITs, all rows identical\n", len(created))
+}

@@ -8,7 +8,9 @@
 //	GET    /v1/tenants            list tenants
 //	GET    /v1/tenants/{id}       one tenant's budget and spend
 //	GET    /v1/store              shared answer-store statistics
-//	GET    /healthz               liveness
+//	GET    /v1/status             circuit/recovery health detail
+//	GET    /healthz               liveness (process is up)
+//	GET    /readyz                readiness (recovered, circuits closed)
 //
 // The rows stream is a chunked response that follows a running query
 // live: each line is one result row, and the final line reports the
@@ -31,8 +33,22 @@ import (
 // Handler returns the service's HTTP API.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// Liveness and readiness are deliberately split: a daemon replaying
+	// journals or riding out a marketplace outage is alive (do not
+	// restart it — that would only repeat the replay) but should not
+	// receive new traffic yet.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ok, reason := s.Ready(); !ok {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not-ready", "reason": reason})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Status())
 	})
 	mux.HandleFunc("POST /v1/queries", s.handleSubmit)
 	mux.HandleFunc("GET /v1/queries", func(w http.ResponseWriter, r *http.Request) {

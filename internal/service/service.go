@@ -30,7 +30,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"qurk/internal/circuit"
 	"qurk/internal/core"
 	"qurk/internal/cost"
 	"qurk/internal/crowd"
@@ -38,6 +40,7 @@ import (
 	"qurk/internal/plan"
 	"qurk/internal/query"
 	"qurk/internal/relation"
+	"qurk/internal/wal"
 )
 
 // Config wires a Service.
@@ -66,7 +69,47 @@ type Config struct {
 	// DefaultBudgetDollars seeds tenants auto-created at submission
 	// time (0 = unlimited).
 	DefaultBudgetDollars float64
+	// JournalDir, when set, makes every query durable by default: a
+	// manifest + WAL pair per query (see journal.go), resumed by
+	// Recover on the next boot. Callers that set it MUST call Recover
+	// once after New — the service reports not-ready until then.
+	JournalDir string
+	// Clock drives per-query deadlines (Options.DeadlineHours) and is
+	// shared with the circuit breakers; nil means wall time.
+	Clock Clock
+	// Circuit, when non-nil, wraps every backend in a circuit breaker
+	// beneath its Mux: a marketplace outage parks posting calls (the
+	// service reports degraded) instead of failing queries. The
+	// config's Clock field is overridden by the service clock.
+	Circuit *circuit.Config
 }
+
+// Clock abstracts wall time for deadline and breaker cooldowns so
+// tests can drive both deterministically.
+type Clock = circuit.Clock
+
+// wallClock is the production Clock.
+type wallClock struct{}
+
+// Now implements Clock.
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// ErrDeadlineExceeded is the failure cause of a query that outlived
+// its Options.DeadlineHours wall-clock budget. Only the overdue query
+// fails; its journal seals "interrupted" and stays resumable.
+var ErrDeadlineExceeded = errors.New("service: query deadline exceeded")
+
+// errUserCancelled marks an explicit Cancel (API DELETE); unlike a
+// shutdown it seals the journal as cancelled, which Recover treats as
+// terminal rather than resumable.
+var errUserCancelled = errors.New("service: cancelled by request")
+
+// errShutdown marks queries cancelled by Service.Close; their
+// journals seal "interrupted: …" so the next boot resumes them.
+var errShutdown = errors.New("service: shutting down")
 
 // State is a query's lifecycle phase.
 type State string
@@ -94,9 +137,12 @@ type Query struct {
 	Backend  string
 	Src      string
 
-	svc    *Service
-	engine *core.Engine
-	cancel context.CancelFunc
+	svc         *Service
+	engine      *core.Engine
+	cancelCause context.CancelCauseFunc
+	// journal is non-nil for durable queries; sealed at the terminal
+	// transition.
+	journal *wal.Journal
 
 	mu     sync.Mutex
 	state  State
@@ -129,16 +175,19 @@ type Snapshot struct {
 
 // Service is the multi-tenant query service.
 type Service struct {
-	cfg     Config
-	muxes   map[string]*Mux
-	tenants *Registry
+	cfg      Config
+	muxes    map[string]*Mux
+	breakers map[string]*circuit.Breaker
+	tenants  *Registry
+	clock    Clock
 
-	mu      sync.Mutex
-	queries map[string]*Query
-	order   []string
-	nextID  int
-	closed  bool
-	wg      sync.WaitGroup
+	mu         sync.Mutex
+	queries    map[string]*Query
+	order      []string
+	nextID     int
+	closed     bool
+	recovering bool
+	wg         sync.WaitGroup
 }
 
 // New builds a Service; it validates that at least one backend exists
@@ -168,16 +217,121 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Tenants == nil {
 		cfg.Tenants = NewRegistry()
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = wallClock{}
+	}
 	s := &Service{
-		cfg:     cfg,
-		muxes:   map[string]*Mux{},
-		tenants: cfg.Tenants,
-		queries: map[string]*Query{},
+		cfg:      cfg,
+		muxes:    map[string]*Mux{},
+		breakers: map[string]*circuit.Breaker{},
+		tenants:  cfg.Tenants,
+		clock:    cfg.Clock,
+		queries:  map[string]*Query{},
+		// Not-ready from the first instant when journaling is on: the
+		// flag clears when Recover finishes, so a load balancer never
+		// routes submits to a daemon that has not replayed its journals
+		// yet (even before Recover is called).
+		recovering: cfg.JournalDir != "",
 	}
 	for name, m := range cfg.Backends {
+		if cfg.Circuit != nil {
+			bc := *cfg.Circuit
+			bc.Clock = s.clock
+			b := circuit.New(m, bc)
+			s.breakers[name] = b
+			m = b
+		}
 		s.muxes[name] = NewMux(m)
 	}
 	return s, nil
+}
+
+// Ready reports whether the service should receive traffic, with a
+// human reason when it should not: journal recovery is still
+// replaying, or a backend's circuit breaker is not closed.
+func (s *Service) Ready() (bool, string) {
+	s.mu.Lock()
+	rec := s.recovering
+	s.mu.Unlock()
+	if rec {
+		return false, "recovering journaled queries"
+	}
+	for _, name := range s.backendNames() {
+		if b := s.breakers[name]; b != nil {
+			if st := b.State(); st != circuit.Closed {
+				return false, fmt.Sprintf("backend %s circuit %s", name, st)
+			}
+		}
+	}
+	return true, ""
+}
+
+// backendNames lists backends sorted, for stable status output.
+func (s *Service) backendNames() []string {
+	names := make([]string, 0, len(s.muxes))
+	for name := range s.muxes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BackendStatus is one backend's health in the status report.
+type BackendStatus struct {
+	// Circuit is the breaker state ("closed"/"open"/"half-open"), or
+	// "disabled" when the service runs without breakers.
+	Circuit string `json:"circuit"`
+	// Parked counts posting calls waiting out an open circuit.
+	Parked int `json:"parked"`
+	// Groups and HITs are the mux's admitted-work counters.
+	Groups int `json:"groups"`
+	HITs   int `json:"hits"`
+}
+
+// Status is the service's operational snapshot (GET /v1/status).
+type Status struct {
+	// State is "ok", "degraded" (some circuit not closed), or
+	// "recovering" (journal replay still running).
+	State      string                   `json:"state"`
+	Recovering bool                     `json:"recovering"`
+	Backends   map[string]BackendStatus `json:"backends"`
+	Queries    int                      `json:"queries"`
+}
+
+// Status reports service health: recovery progress and per-backend
+// circuit state. Degraded means at least one breaker is not closed —
+// queries are parked, not failing.
+func (s *Service) Status() Status {
+	s.mu.Lock()
+	st := Status{
+		Recovering: s.recovering,
+		Backends:   map[string]BackendStatus{},
+		Queries:    len(s.queries),
+	}
+	s.mu.Unlock()
+	degraded := false
+	for _, name := range s.backendNames() {
+		bs := BackendStatus{Circuit: "disabled"}
+		bs.Groups, bs.HITs = s.muxes[name].Stats()
+		if b := s.breakers[name]; b != nil {
+			cs := b.State()
+			bs.Circuit = cs.String()
+			bs.Parked = b.Parked()
+			if cs != circuit.Closed {
+				degraded = true
+			}
+		}
+		st.Backends[name] = bs
+	}
+	switch {
+	case st.Recovering:
+		st.State = "recovering"
+	case degraded:
+		st.State = "degraded"
+	default:
+		st.State = "ok"
+	}
+	return st
 }
 
 // Tenants exposes the tenant directory.
@@ -241,11 +395,8 @@ func (s *Service) Submit(req SubmitRequest) (*Query, error) {
 	id := fmt.Sprintf("q%04d", s.nextID)
 	s.mu.Unlock()
 
-	eng := core.NewEngine(&BudgetGate{Tenant: tenant, Label: id, Inner: mux}, opts)
-	eng.Catalog = s.cfg.Catalog
-	eng.Library = s.cfg.Library
-	eng.Answers = s.cfg.Answers
-	eng.ObStats = s.cfg.Stats
+	gate := &BudgetGate{Tenant: tenant, Label: id, Inner: mux}
+	eng := s.newEngine(gate, opts)
 
 	// Admission control: the query must parse, plan, and fit the
 	// tenant's remaining budget by the optimizer's estimate.
@@ -253,25 +404,35 @@ func (s *Service) Submit(req SubmitRequest) (*Query, error) {
 		return nil, err
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
-	q := &Query{
-		ID:       id,
-		TenantID: tenant.ID,
-		Backend:  backend,
-		Src:      req.Query,
-		svc:      s,
-		engine:   eng,
-		cancel:   cancel,
-		state:    StateQueued,
-		wake:     make(chan struct{}),
+	// Durable by default when a journal directory is configured: the
+	// manifest + WAL pair commits before the query starts, so a crash
+	// at ANY later point leaves enough on disk for Recover to resume.
+	var j *wal.Journal
+	if s.cfg.JournalDir != "" {
+		var err error
+		if j, err = s.attachJournal(id, backend, tenant, req.Query, gate, eng); err != nil {
+			return nil, err
+		}
 	}
-	s.mu.Lock()
-	s.queries[id] = q
-	s.order = append(s.order, id)
-	s.wg.Add(1)
-	s.mu.Unlock()
+
+	ctx, q := s.register(id, tenant.ID, backend, req.Query, eng, j)
+	if q == nil {
+		return nil, errors.New("service: shut down")
+	}
+	s.armDeadline(ctx, q, eng.Options.DeadlineHours)
 	go q.run(ctx)
 	return q, nil
+}
+
+// newEngine builds a per-query engine over the budget gate, sharing
+// the service-wide catalog, library, answer store, and stats store.
+func (s *Service) newEngine(gate *BudgetGate, opts core.Options) *core.Engine {
+	eng := core.NewEngine(gate, opts)
+	eng.Catalog = s.cfg.Catalog
+	eng.Library = s.cfg.Library
+	eng.Answers = s.cfg.Answers
+	eng.ObStats = s.cfg.Stats
+	return eng
 }
 
 // admit parses and cost-estimates the query against the tenant's
@@ -300,7 +461,8 @@ func (s *Service) admit(eng *core.Engine, tenant *Tenant, src string) error {
 	return tenant.admit(cp.TotalDollars)
 }
 
-// run executes the query, streaming rows into the record.
+// run executes the query, streaming rows into the record, then seals
+// the journal according to the terminal state.
 func (q *Query) run(ctx context.Context) {
 	defer q.svc.wg.Done()
 	q.transition(StateRunning, nil, nil)
@@ -308,6 +470,7 @@ func (q *Query) run(ctx context.Context) {
 		q.appendRows(ts)
 		return nil
 	})
+	var final State
 	switch {
 	case err == nil:
 		q.mu.Lock()
@@ -315,12 +478,26 @@ func (q *Query) run(ctx context.Context) {
 			q.schema = out.Schema()
 		}
 		q.mu.Unlock()
+		final = StateDone
 		q.transition(StateDone, st, nil)
 	case ctx.Err() != nil:
-		q.transition(StateCancelled, st, context.Cause(ctx))
+		cause := context.Cause(ctx)
+		if errors.Is(cause, ErrDeadlineExceeded) {
+			// A blown deadline is a failure of this one query, not a
+			// cancellation: the journal seals "interrupted" and Recover
+			// resumes it on the next boot.
+			final = StateFailed
+			q.transition(StateFailed, st, cause)
+		} else {
+			final = StateCancelled
+			q.transition(StateCancelled, st, cause)
+		}
+		err = cause
 	default:
+		final = StateFailed
 		q.transition(StateFailed, st, err)
 	}
+	q.sealJournal(final, err)
 }
 
 func (q *Query) appendRows(ts []relation.Tuple) {
@@ -356,8 +533,9 @@ func (q *Query) broadcast() {
 }
 
 // Cancel stops the query cooperatively; in-flight chunks complete but
-// are no longer waited for.
-func (q *Query) Cancel() { q.cancel() }
+// are no longer waited for. A user cancel is terminal: the journal is
+// sealed "cancelled" and Recover will not resume it.
+func (q *Query) Cancel() { q.cancelCause(errUserCancelled) }
 
 // Snapshot returns the query's JSON-ready status.
 func (q *Query) Snapshot() Snapshot {
@@ -527,10 +705,17 @@ func (s *Service) Close() {
 	}
 	s.mu.Unlock()
 	for _, q := range qs {
-		q.Cancel()
+		// Shutdown is not a user cancel: the journal seals
+		// "interrupted", so the next boot resumes these queries.
+		q.cancelCause(errShutdown)
 	}
 	s.wg.Wait()
 	for _, m := range s.muxes {
 		m.Close()
+	}
+	// Breakers last: closing them releases any posting call still
+	// parked on an open circuit.
+	for _, b := range s.breakers {
+		b.Close()
 	}
 }

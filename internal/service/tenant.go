@@ -18,6 +18,7 @@ import (
 	"qurk/internal/cost"
 	"qurk/internal/crowd"
 	"qurk/internal/hit"
+	"qurk/internal/wal"
 )
 
 // ErrBudgetExceeded reports that posting a HIT group would push a
@@ -153,11 +154,42 @@ type BudgetGate struct {
 	Label string
 	// Inner is the wrapped marketplace.
 	Inner crowd.Marketplace
+	// Journal, when set, makes charges exactly-once across restarts: a
+	// group the previous process already charged (its charge record is
+	// in the recovered journal) is not charged again, and every fresh
+	// charge is logged before the post so the NEXT restart can skip it
+	// too. Set by the service's journal wiring; nil for ephemeral runs.
+	Journal *wal.Journal
+}
+
+// chargeOnce charges the group to the tenant exactly once across
+// process restarts. With a journal attached, a recovered charge record
+// for this group's key means the money was taken in a previous life —
+// skip the ledger and just let the post proceed (the wal.Market layer
+// above will typically have replayed the result anyway; this guards
+// the crash window between charge and result commit). Fresh charges
+// append a charge record after the ledger commits, closing the window
+// for the next crash.
+func (g *BudgetGate) chargeOnce(group *hit.Group) error {
+	if g.Journal != nil && g.Journal.TakeCharge(wal.GroupKey(group)) {
+		return nil
+	}
+	if err := g.Tenant.charge(g.Label, group); err != nil {
+		return err
+	}
+	if g.Journal != nil {
+		asn := 1
+		if len(group.HITs) > 0 {
+			asn = group.HITs[0].Assignments
+		}
+		return g.Journal.LogCharge(wal.GroupKey(group), len(group.HITs), asn)
+	}
+	return nil
 }
 
 // Run charges the group, then posts it synchronously.
 func (g *BudgetGate) Run(group *hit.Group) (*crowd.RunResult, error) {
-	if err := g.Tenant.charge(g.Label, group); err != nil {
+	if err := g.chargeOnce(group); err != nil {
 		return nil, err
 	}
 	return g.Inner.Run(group)
@@ -166,7 +198,7 @@ func (g *BudgetGate) Run(group *hit.Group) (*crowd.RunResult, error) {
 // RunAsync charges the group, then posts it without blocking; a budget
 // rejection is delivered on the returned channel.
 func (g *BudgetGate) RunAsync(group *hit.Group) <-chan crowd.Async {
-	if err := g.Tenant.charge(g.Label, group); err != nil {
+	if err := g.chargeOnce(group); err != nil {
 		ch := make(chan crowd.Async, 1)
 		ch <- crowd.Async{Err: err}
 		return ch

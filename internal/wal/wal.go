@@ -42,6 +42,7 @@ const (
 	recIntent     = "intent"
 	recResult     = "result"
 	recCheckpoint = "checkpoint"
+	recCharge     = "charge"
 	recSeal       = "seal"
 )
 
@@ -86,8 +87,26 @@ type record struct {
 	Label  string  `json:"label,omitempty"`
 	Digest uint64  `json:"digest,omitempty"`
 	Clock  float64 `json:"clock,omitempty"`
+	// charge
+	ChargeHITs int `json:"chits,omitempty"`
+	ChargeAsn  int `json:"casn,omitempty"`
 	// seal
 	Reason string `json:"reason,omitempty"`
+}
+
+// Charge is one journaled budget charge: a HIT group that was priced
+// against a tenant's budget before it was posted. The multi-tenant
+// service writes one per group, after the in-memory ledger charge
+// commits and before the group reaches the marketplace, so a restarted
+// daemon can rebuild the tenant ledger exactly — groups charged before
+// the crash are restored from these records and never charged again
+// when the resumed run re-posts or replays them.
+type Charge struct {
+	// Key is the charged group's content key (Market.GroupKey).
+	Key uint64
+	// HITs is the group's HIT count; Assignments the per-HIT assignment
+	// level the ledger entry was recorded at.
+	HITs, Assignments int
 }
 
 // checkpoint is one recorded breaker checkpoint awaiting verification
@@ -118,6 +137,12 @@ type Journal struct {
 	results map[uint64][]*crowd.RunResult
 	pending map[uint64]int // intents without a matching result
 	cps     map[string][]checkpoint
+	// charges queues loaded budget-charge records FIFO per group key
+	// (TakeCharge pops them); loaded keeps the full recovered list for
+	// ledger reconstruction, which must see every charge even after the
+	// resumed run starts consuming the queue.
+	charges map[uint64]int
+	loaded  []Charge
 	sealed  bool
 	reason  string
 }
@@ -139,6 +164,7 @@ func Create(path string, meta Meta) (*Journal, error) {
 		results: map[uint64][]*crowd.RunResult{},
 		pending: map[uint64]int{},
 		cps:     map[string][]checkpoint{},
+		charges: map[uint64]int{},
 	}
 	if err := j.append(&record{T: recMeta, Meta: &meta}); err != nil {
 		f.Close()
@@ -162,6 +188,7 @@ func Open(path string) (*Journal, error) {
 		results: map[uint64][]*crowd.RunResult{},
 		pending: map[uint64]int{},
 		cps:     map[string][]checkpoint{},
+		charges: map[uint64]int{},
 	}
 	if err := j.load(); err != nil {
 		f.Close()
@@ -242,6 +269,9 @@ func (j *Journal) apply(rec *record) {
 	case recCheckpoint:
 		k := cpKey(rec.Kind, rec.Label)
 		j.cps[k] = append(j.cps[k], checkpoint{digest: rec.Digest, clock: rec.Clock})
+	case recCharge:
+		j.charges[rec.Key]++
+		j.loaded = append(j.loaded, Charge{Key: rec.Key, HITs: rec.ChargeHITs, Assignments: rec.ChargeAsn})
 	case recSeal:
 		j.sealed = true
 		j.reason = rec.Reason
@@ -333,6 +363,42 @@ func (j *Journal) LogIntent(key uint64, groupID string, hitIDs []string) error {
 // LogResult durably records a completed group's folded outcome.
 func (j *Journal) LogResult(key uint64, res *crowd.RunResult) error {
 	return j.append(&record{T: recResult, Key: key, Result: res})
+}
+
+// LogCharge durably records that a group's HITs were charged to the
+// tenant's budget ledger. It is written after the in-memory charge
+// commits and before the group posts, so a crash in between replays as
+// "already charged". Live appends do not enter the recovered-charge
+// queue: only records loaded at Open are consumable by TakeCharge.
+func (j *Journal) LogCharge(key uint64, hits, assignments int) error {
+	return j.append(&record{T: recCharge, Key: key, ChargeHITs: hits, ChargeAsn: assignments})
+}
+
+// TakeCharge pops one recovered charge record for key, reporting
+// whether the group was already charged before the crash — the caller
+// must then skip re-charging the tenant for it.
+func (j *Journal) TakeCharge(key uint64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.charges[key] == 0 {
+		return false
+	}
+	j.charges[key]--
+	if j.charges[key] == 0 {
+		delete(j.charges, key)
+	}
+	return true
+}
+
+// Charges returns every charge record recovered at Open, in journal
+// order. Recovery uses it to rebuild the tenant's ledger before the
+// resumed run starts consuming the queue via TakeCharge.
+func (j *Journal) Charges() []Charge {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Charge, len(j.loaded))
+	copy(out, j.loaded)
+	return out
 }
 
 // Replay pops the recorded result for a group key, or nil when the

@@ -99,6 +99,61 @@ func TestRoundtripAcrossReopen(t *testing.T) {
 	}
 }
 
+func TestChargeRecordsRoundtrip(t *testing.T) {
+	path := tempJournal(t)
+	j := mustCreate(t, path)
+	if err := j.LogCharge(7, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogCharge(7, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogCharge(9, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Live appends are not consumable in the same run: TakeCharge only
+	// serves records recovered at Open.
+	if j.TakeCharge(7) {
+		t.Error("TakeCharge must not consume charges appended in this run")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	want := []Charge{{Key: 7, HITs: 2, Assignments: 3}, {Key: 7, HITs: 1, Assignments: 3}, {Key: 9, HITs: 4, Assignments: 5}}
+	got := r.Charges()
+	if len(got) != len(want) {
+		t.Fatalf("Charges() = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Charges()[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Pops are per-key and bounded by the recovered count; Charges()
+	// keeps the full recovered list for ledger reconstruction.
+	if !r.TakeCharge(7) || !r.TakeCharge(7) {
+		t.Error("TakeCharge(7) must succeed twice (two recovered records)")
+	}
+	if r.TakeCharge(7) {
+		t.Error("third TakeCharge(7) must report not-charged")
+	}
+	if !r.TakeCharge(9) {
+		t.Error("TakeCharge(9) must succeed once")
+	}
+	if r.TakeCharge(11) {
+		t.Error("TakeCharge of unknown key must report not-charged")
+	}
+	if n := len(r.Charges()); n != 3 {
+		t.Errorf("Charges() after pops = %d records, want 3 (full recovered list)", n)
+	}
+}
+
 func TestReplayFIFOPerKey(t *testing.T) {
 	path := tempJournal(t)
 	j := mustCreate(t, path)

@@ -29,6 +29,7 @@ package qurk
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 
@@ -765,3 +766,40 @@ var (
 	// NewGoldScreen wraps a combiner with gold-standard screening (§7).
 	NewGoldScreen = combine.NewGoldScreen
 )
+
+// WorkerModerator is the optional marketplace extension for banning,
+// unbanning, and bonusing individual workers. Both backends implement
+// it: the simulator against its synthetic population, the MTurk
+// client via CreateWorkerBlock / DeleteWorkerBlock / SendBonus.
+type WorkerModerator = crowd.WorkerModerator
+
+// EnforceWorkerBans pushes a set of worker bans to the marketplace.
+// It returns the workers actually banned (in input order) and stops
+// at the first marketplace error. Markets without moderation support
+// (e.g. a bare test stub) report ErrNoModeration.
+func EnforceWorkerBans(market crowd.Marketplace, workers []string, reason string) ([]string, error) {
+	mod, ok := market.(crowd.WorkerModerator)
+	if !ok {
+		return nil, ErrNoModeration
+	}
+	banned := make([]string, 0, len(workers))
+	for _, w := range workers {
+		if err := mod.BlockWorker(w, reason); err != nil {
+			return banned, fmt.Errorf("qurk: banning %s: %w", w, err)
+		}
+		banned = append(banned, w)
+	}
+	return banned, nil
+}
+
+// EnforceGoldScreenBans carries a GoldScreen's verdicts to the
+// marketplace: every worker the §6 gold-standard screen banned during
+// vote combination is blocked from future tasks, so simulator-style
+// bans reach the real marketplace too. Returns the workers banned.
+func EnforceGoldScreenBans(market crowd.Marketplace, gs *GoldScreen) ([]string, error) {
+	return EnforceWorkerBans(market, gs.Banned(), "failed gold-standard screening questions")
+}
+
+// ErrNoModeration reports a marketplace without worker-moderation
+// support.
+var ErrNoModeration = errors.New("qurk: marketplace does not support worker moderation")
